@@ -1,0 +1,643 @@
+(* Benchmark harness: regenerates the *shape* of every table and figure in
+   the paper's evaluation — Table 1 (decision problems), Table 2
+   (composition synthesis) and Figure 1 (FSA vs SWS specification of the
+   travel service) — plus the design ablations listed in DESIGN.md.
+
+   The paper is a theory paper: its tables report complexity classes, not
+   wall-clock numbers.  Each section below therefore runs the implemented
+   decision/synthesis procedure on a scaling instance family and prints a
+   size -> time series whose growth curve exhibits the predicted class
+   (e.g. the NP cells scale through a SAT solver, the PSPACE cells through
+   on-the-fly vector exploration, the EXPTIME cell through an exponential
+   unfolding).  EXPERIMENTS.md records the paper-vs-measured reading.
+
+     dune exec bench/main.exe            full run
+     dune exec bench/main.exe -- quick   smaller sweeps
+
+   The final section registers one Bechamel micro-benchmark per table, as a
+   stable timing reference for the headline operations. *)
+
+module R = Relational
+module Prop = Proplogic.Prop
+module Regex = Automata.Regex
+module Nfa = Automata.Nfa
+module Dfa = Automata.Dfa
+module Afa = Automata.Afa
+open Sws
+
+let quick = Array.exists (String.equal "quick") Sys.argv
+
+(* ------------------------------------------------------------------ *)
+(* Timing helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let time_ms f =
+  let t0 = Sys.time () in
+  let result = f () in
+  (result, (Sys.time () -. t0) *. 1000.)
+
+let median xs =
+  let sorted = List.sort compare xs in
+  List.nth sorted (List.length sorted / 2)
+
+let measure ?(repeats = 3) f =
+  let times = List.init repeats (fun _ -> snd (time_ms f)) in
+  median times
+
+let header title =
+  Fmt.pr "@.=== %s ===@." title
+
+let row fmt = Fmt.pr ("  " ^^ fmt ^^ "@.")
+
+let series name pairs =
+  Fmt.pr "@.-- %s --@." name;
+  Fmt.pr "  %-28s %12s@." "instance" "time (ms)";
+  List.iter (fun (label, ms) -> Fmt.pr "  %-28s %12.3f@." label ms) pairs
+
+let rng = Random.State.make [| 20080611 |] (* PODS 2008 *)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1, row SWS_nr(PL, PL): NP / NP / coNP via SAT                  *)
+(* ------------------------------------------------------------------ *)
+
+let random_cnf n_vars n_clauses =
+  let lit () =
+    let x = Prop.var (Printf.sprintf "x%d" (Random.State.int rng n_vars)) in
+    if Random.State.bool rng then x else Prop.Not x
+  in
+  Prop.conj
+    (List.init n_clauses (fun _ -> Prop.disj [ lit (); lit (); lit () ]))
+
+let table1_pl_nr () =
+  header "Table 1 / SWS_nr(PL,PL): non-emptiness (np-c), validation (np-c), equivalence (conp-c)";
+  let sizes = if quick then [ 10; 20 ] else [ 10; 20; 40; 80 ] in
+  series "non-emptiness (SAT on the unfolding)"
+    (List.map
+       (fun n ->
+         let sws = Reductions.sws_of_sat (random_cnf n (4 * n)) in
+         ( Printf.sprintf "%d vars, %d clauses" n (4 * n),
+           measure (fun () -> ignore (Decision.pl_nr_non_emptiness sws)) ))
+       sizes);
+  series "equivalence (UNSAT of the difference; coNP, so smaller sweeps)"
+    (List.map
+       (fun n ->
+         let f = random_cnf n (3 * n) in
+         let s1 = Reductions.sws_of_sat f in
+         let s2 = Reductions.sws_of_sat (Prop.simplify f) in
+         ( Printf.sprintf "%d vars" n,
+           measure (fun () -> ignore (Decision.pl_nr_equivalence s1 s2)) ))
+       (if quick then [ 6; 10 ] else [ 6; 10; 14; 18 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Table 1, row SWS(PL, PL): PSPACE via truth-vector exploration        *)
+(* ------------------------------------------------------------------ *)
+
+(* A family with genuinely exponential reachable vector sets: the AFA for
+   "the k-th symbol from the end is 'a'" — its minimal DFA needs 2^k
+   states, the textbook PSPACE-ish workload. *)
+let kth_from_end_nfa k =
+  (* states 0..k: 0 start, move on 'a' to 1, then any symbol advances *)
+  let edges =
+    (0, 0, 0) :: (0, 1, 0) :: (0, 0, 1)
+    :: List.concat_map
+         (fun i -> [ (i, 0, i + 1); (i, 1, i + 1) ])
+         (List.init (k - 1) (fun i -> i + 1))
+  in
+  Nfa.create ~num_states:(k + 1) ~alphabet_size:2 ~starts:[ 0 ] ~finals:[ k ]
+    ~edges ~eps_edges:[]
+
+let table1_pl_rec () =
+  header "Table 1 / SWS(PL,PL): non-emptiness, validation, equivalence (all pspace-c)";
+  let sizes = if quick then [ 4; 6 ] else [ 4; 6; 8; 10; 12 ] in
+  series "non-emptiness via reachable truth vectors (k-th symbol from end family)"
+    (List.map
+       (fun k ->
+         let sws = Reductions.sws_of_afa (Afa.of_nfa (kth_from_end_nfa k)) in
+         ( Printf.sprintf "k = %d (DFA needs 2^%d states)" k k,
+           measure (fun () -> ignore (Decision.pl_non_emptiness sws)) ))
+       sizes);
+  series "equivalence of two encodings (vector DFA product)"
+    (List.map
+       (fun k ->
+         let a1 = Afa.of_nfa (kth_from_end_nfa k) in
+         let s1 = Reductions.sws_of_afa a1 in
+         ( Printf.sprintf "k = %d" k,
+           measure (fun () -> ignore (Decision.pl_equivalence s1 s1)) ))
+       (if quick then [ 4 ] else [ 4; 6; 8 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Table 1, row SWS_nr(CQ, UCQ): PSPACE / NEXPTIME / coNEXPTIME         *)
+(* ------------------------------------------------------------------ *)
+
+(* Binary-tree services of depth d: the unfolding has exponentially many
+   disjuncts in d. *)
+let tree_service depth =
+  let v = R.Term.var in
+  let cq ?eqs ?neqs head body = R.Cq.make ?eqs ?neqs ~head ~body () in
+  let phi = Sws_data.Q_cq (cq [ v "x" ] [ R.Atom.make Sws_data.in_rel [ v "x" ] ]) in
+  let leaf =
+    Sws_data.Q_cq
+      (cq [ v "x"; v "y" ]
+         [ R.Atom.make Sws_data.msg_rel [ v "x" ]; R.Atom.make "r" [ v "x"; v "y" ] ])
+  in
+  let union2 =
+    Sws_data.Q_ucq
+      (R.Ucq.make
+         [
+           cq [ v "x"; v "y" ] [ R.Atom.make "act1" [ v "x"; v "y" ] ];
+           cq [ v "x"; v "y" ] [ R.Atom.make "act2" [ v "x"; v "y" ] ];
+         ])
+  in
+  let rec rules level =
+    let name = Printf.sprintf "n%d" level in
+    if level = depth then [ (name, { Sws_def.succs = []; synth = leaf }) ]
+    else
+      let child = Printf.sprintf "n%d" (level + 1) in
+      (name, { Sws_def.succs = [ (child, phi); (child, phi) ]; synth = union2 })
+      :: rules (level + 1)
+  in
+  Sws_data.make ~db_schema:(R.Schema.of_list [ ("r", 2) ]) ~in_arity:1
+    ~out_arity:2 ~start:"n0" ~rules:(rules 0)
+
+let table1_cq_nr () =
+  header "Table 1 / SWS_nr(CQ,UCQ): non-empt. (pspace-c), valid. (nexptime-c), equiv. (conexptime-c)";
+  let depths = if quick then [ 2; 4 ] else [ 2; 4; 6; 8 ] in
+  series "non-emptiness (canonical databases over the unfolding)"
+    (List.map
+       (fun d ->
+         let sws = tree_service d in
+         ( Printf.sprintf "depth %d (2^%d leaves)" d d,
+           measure (fun () -> ignore (Decision.cq_non_emptiness sws)) ))
+       depths);
+  series "equivalence (Klug containment of unfoldings)"
+    (List.map
+       (fun d ->
+         let s = tree_service d in
+         ( Printf.sprintf "depth %d" d,
+           measure (fun () -> ignore (Decision.cq_equivalence s s)) ))
+       (if quick then [ 1; 2 ] else [ 1; 2; 3 ]));
+  series "validation (small-model search, singleton output)"
+    (List.map
+       (fun d ->
+         let s = tree_service d in
+         let o =
+           R.Relation.singleton
+             (R.Tuple.of_list [ R.Value.int 1; R.Value.int 2 ])
+         in
+         ( Printf.sprintf "depth %d" d,
+           measure (fun () -> ignore (Decision.cq_validation s ~output:o)) ))
+       (if quick then [ 1; 2 ] else [ 1; 2; 3 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Table 1, row SWS(CQ, UCQ): EXPTIME-complete non-emptiness            *)
+(* ------------------------------------------------------------------ *)
+
+let table1_cq_rec () =
+  header "Table 1 / SWS(CQ,UCQ): non-emptiness (exptime-c, via sirups), valid./equiv. undecidable";
+  (* the unfolding has |E|^2 successors per level: two or three sizes are
+     enough to exhibit the exponential wall the EXPTIME bound predicts *)
+  let sizes = if quick then [ 2 ] else [ 2; 3 ] in
+  series "non-emptiness of the sirup reduction (backward chaining, |succs| = |E|^2)"
+    (List.map
+       (fun num_nodes ->
+         let i = R.Value.int in
+         let edges =
+           List.init num_nodes (fun k -> (i ((k + 1) mod num_nodes), i k))
+         in
+         let sws =
+           Reductions.sws_of_sg_sirup ~edges ~seed:(i 0, i 0)
+             ~goal:(i (num_nodes - 1), i (num_nodes - 1))
+         in
+         ( Printf.sprintf "%d nodes, %d edges" num_nodes (List.length edges),
+           measure ~repeats:1 (fun () ->
+               ignore (Decision.cq_non_emptiness ~max_n:(num_nodes + 1) sws)) ))
+       sizes);
+  series "reference: bottom-up datalog on the same sirups (semi-naive)"
+    (List.map
+       (fun n ->
+         let inst = Datalog.Sirup.same_generation rng ~num_nodes:n ~num_edges:(2 * n) in
+         ( Printf.sprintf "%d nodes, %d edges" n (2 * n),
+           measure (fun () -> ignore (Datalog.Sirup.accepts_with_edges inst)) ))
+       (if quick then [ 8; 16 ] else [ 8; 16; 32; 64 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Table 1, row SWS_nr(FO, FO): undecidable — bounded search blow-up    *)
+(* ------------------------------------------------------------------ *)
+
+let table1_fo () =
+  header "Table 1 / SWS(FO,FO) rows: undecidable — bounded-model semi-procedure cost";
+  let v = R.Term.var in
+  let sentence k =
+    (* "u has at least k elements": model search must reach domain size k *)
+    let xs = List.init k (fun i -> Printf.sprintf "x%d" i) in
+    let distinct =
+      List.concat_map
+        (fun i ->
+          List.filter_map
+            (fun j ->
+              if i < j then
+                Some (R.Fo.neq (v (List.nth xs i)) (v (List.nth xs j)))
+              else None)
+            (List.init k Fun.id))
+        (List.init k Fun.id)
+    in
+    R.Fo.exists_many xs
+      (R.Fo.conj (List.map (fun x -> R.Fo.atom "u" [ v x ]) xs @ distinct))
+  in
+  series "non-emptiness semi-procedure vs required model size"
+    (List.map
+       (fun k ->
+         let svc =
+           Reductions.sws_of_fo_sentence
+             ~db_schema:(R.Schema.of_list [ ("u", 1) ])
+             (sentence k)
+         in
+         ( Printf.sprintf "needs |model| >= %d" k,
+           measure (fun () ->
+               ignore (Decision.fo_non_emptiness ~max_dom:k ~max_pool:(k + 1) svc)) ))
+       (if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: composition synthesis                                      *)
+(* ------------------------------------------------------------------ *)
+
+let nfa2 s = Nfa.of_regex ~alphabet_size:2 (Regex.parse s)
+
+let table2_mdt_or () =
+  header "Table 2 / MDT(∨) rows (Thm 5.3(1,2)): synthesis via regular rewriting";
+  let sizes = if quick then [ 2; 4 ] else [ 2; 4; 8; 12 ] in
+  series "goal (ab)^k over view ab: rewriting + exactness check"
+    (List.map
+       (fun k ->
+         let goal = nfa2 (String.concat "" (List.init k (fun _ -> "ab"))) in
+         ( Printf.sprintf "k = %d" k,
+           measure (fun () ->
+               ignore
+                 (Compose.compose_nfa_or ~goal
+                    ~components:[ ("c_ab", nfa2 "ab"); ("c_a", nfa2 "a"); ("c_b", nfa2 "b") ])) ))
+       sizes);
+  series "no-mediator goals (maximality certificates)"
+    (List.map
+       (fun k ->
+         let goal =
+           nfa2 (String.concat "" (List.init k (fun _ -> "ab")) ^ "a")
+         in
+         ( Printf.sprintf "k = %d" k,
+           measure (fun () ->
+               ignore
+                 (Compose.compose_nfa_or ~goal ~components:[ ("c_ab", nfa2 "ab") ])) ))
+       (if quick then [ 2 ] else [ 2; 4; 8 ]))
+
+let table2_mdtb () =
+  header "Table 2 / MDT_b(PL) rows (Thm 5.3(3)): bounded boolean-plan search";
+  series "plan search vs invocation bound b (2 components)"
+    (List.map
+       (fun b ->
+         let goal = nfa2 (String.concat "" (List.init b (fun _ -> "ab"))) in
+         ( Printf.sprintf "b = %d" b,
+           measure (fun () ->
+               ignore
+                 (Compose.compose_mdtb ~goal
+                    ~components:[ ("c_ab", nfa2 "ab"); ("c_ba", nfa2 "ba") ]
+                    ~bound:b)) ))
+       (if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ]));
+  series "plan search vs number of components (bound 2)"
+    (List.map
+       (fun m ->
+         let comps =
+           List.init m (fun i -> (Printf.sprintf "c%d" i, nfa2 (if i = 0 then "ab" else "ba")))
+         in
+         ( Printf.sprintf "%d components" m,
+           measure (fun () ->
+               ignore (Compose.compose_mdtb ~goal:(nfa2 "abba") ~components:comps ~bound:2)) ))
+       (if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ]))
+
+let table2_cq () =
+  header "Table 2 / CP(SWS_nr(CQ,UCQ), MDT_nr(UCQ), SWS_nr(CQ,UCQ)) (Thm 5.1(3)): view rewriting";
+  let v = R.Term.var in
+  let cq ?eqs ?neqs head body = R.Cq.make ?eqs ?neqs ~head ~body () in
+  let chain_goal len =
+    let atom i = R.Atom.make "e" [ v (Printf.sprintf "x%d" i); v (Printf.sprintf "x%d" (i + 1)) ] in
+    R.Ucq.of_cq
+      (cq [ v "x0"; v (Printf.sprintf "x%d" len) ] (List.init len atom))
+  in
+  let db_schema = R.Schema.of_list [ ("e", 2) ] in
+  let view2 =
+    ("v2", cq [ v "a"; v "c" ] [ R.Atom.make "e" [ v "a"; v "b" ]; R.Atom.make "e" [ v "b"; v "c" ] ])
+  in
+  let view1 = ("v1", cq [ v "a"; v "b" ] [ R.Atom.make "e" [ v "a"; v "b" ] ]) in
+  series "equivalent rewriting of the 2k-chain goal over the 2-path view"
+    (List.map
+       (fun k ->
+         ( Printf.sprintf "chain length %d" (2 * k),
+           measure (fun () ->
+               ignore
+                 (Compose.compose_cq ~max_atoms:(k + 1) ~db_schema
+                    ~components:[ view2 ] (chain_goal (2 * k)))) ))
+       (if quick then [ 1; 2 ] else [ 1; 2; 3 ]));
+  series "with a redundant extra view (bigger bucket)"
+    (List.map
+       (fun k ->
+         ( Printf.sprintf "chain length %d, 2 views" (2 * k),
+           measure (fun () ->
+               ignore
+                 (Compose.compose_cq ~max_atoms:(k + 1) ~db_schema
+                    ~components:[ view2; view1 ] (chain_goal (2 * k)))) ))
+       (if quick then [ 1 ] else [ 1; 2 ]))
+
+let table2_prefix () =
+  header "Table 2 / decidable PL cases (Thm 5.1(4,5)): k-prefix machinery";
+  series "k-prefix bound computation vs goal size"
+    (List.map
+       (fun k ->
+         let prefix = String.concat "" (List.init k (fun _ -> "ab")) in
+         let dfa = Dfa.of_nfa (nfa2 (prefix ^ "(a|b)*")) in
+         ( Printf.sprintf "k = %d" (2 * k),
+           measure (fun () -> ignore (Compose.k_prefix_bound dfa)) ))
+       (if quick then [ 2; 4 ] else [ 2; 4; 8; 16 ]))
+
+let table2_uc2rpq () =
+  header "Table 2 / Corollary 5.2: UC2RPQ composition in 2exptime (rewriting pipeline)";
+  series "RPQ goal a^k over the single-step view"
+    (List.map
+       (fun k ->
+         let goal = nfa2 (String.concat "" (List.init k (fun _ -> "a"))) in
+         ( Printf.sprintf "path length %d" k,
+           measure (fun () ->
+               ignore
+                 (Rewriting.Regex_rewrite.rewrite ~target:goal
+                    ~views:[ nfa2 "a"; nfa2 "aa" ])) ))
+       (if quick then [ 2; 4 ] else [ 2; 4; 8; 16 ]))
+
+let table2_undecidable () =
+  header "Table 2 / undecidable rows (Thm 5.1(1,2)): bounded search cost";
+  let v = R.Term.var in
+  let cq ?eqs ?neqs head body = R.Cq.make ?eqs ?neqs ~head ~body () in
+  let db_schema = R.Schema.of_list [ ("e", 2) ] in
+  let svc = Compose.query_service ~db_schema (cq [ v "x"; v "y" ] [ R.Atom.make "e" [ v "x"; v "y" ] ]) in
+  series "bounded mediator search vs component count"
+    (List.map
+       (fun m ->
+         let comps = List.init m (fun i -> (Printf.sprintf "c%d" i, svc)) in
+         ( Printf.sprintf "%d components" m,
+           measure (fun () ->
+               ignore
+                 (Compose.compose_bounded_search ~samples:20 ~db_schema
+                    ~goal:svc ~components:comps ())) ))
+       (if quick then [ 1; 2 ] else [ 1; 2; 3 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: FSA (sequential) vs SWS (parallel) travel service          *)
+(* ------------------------------------------------------------------ *)
+
+let figure1 () =
+  header "Figure 1: FSA-style sequential vs SWS parallel specification";
+  let catalog n =
+    let items = List.init n (fun i -> (i, 100 + (i mod 7))) in
+    Travel.catalog_db ~airfares:items ~hotels:items ~tickets:items ~cars:items
+  in
+  let req = Travel.request ~air:[ 100 ] ~hotel:[ 101 ] ~ticket:[ 102 ] ~car:[ 103 ] () in
+  let db = catalog 5 in
+  let seq_tree = Sws_data.run_tree Travel.tau1_sequential db (Travel.session_sequential req) in
+  let par_tree = Sws_data.run_tree Travel.tau1 db (Travel.session req) in
+  row "execution-tree depth:    parallel %d vs sequential %d"
+    (Sws_data.Run.tree_depth par_tree)
+    (Sws_data.Run.tree_depth seq_tree);
+  row "messages per session:    parallel %d vs sequential %d" 2 4;
+  row "same outputs on this workload: %b"
+    (R.Relation.equal
+       (Travel.booked db req)
+       (Travel.booked_sequential db req));
+  let sizes = if quick then [ 4; 16 ] else [ 4; 16; 64; 128 ] in
+  series "booking latency vs catalog size (parallel tau1)"
+    (List.map
+       (fun n ->
+         let db = catalog n in
+         (Printf.sprintf "%d items/category" n, measure (fun () -> ignore (Travel.booked db req))))
+       sizes);
+  series "booking latency vs catalog size (sequential variant)"
+    (List.map
+       (fun n ->
+         let db = catalog n in
+         ( Printf.sprintf "%d items/category" n,
+           measure (fun () -> ignore (Travel.booked_sequential db req)) ))
+       sizes);
+  series "mediator pi1 (Example 5.1) on the same workload"
+    (List.map
+       (fun n ->
+         let db = catalog n in
+         ( Printf.sprintf "%d items/category" n,
+           measure (fun () -> ignore (Travel.booked_via_mediator db req)) ))
+       (if quick then [ 4 ] else [ 4; 16; 64 ]));
+  (* the future-work extension: minimum-cost packages over a widening
+     candidate space *)
+  series "min-cost aggregation (future-work extension) vs candidate packages"
+    (List.map
+       (fun n ->
+         let db = catalog n in
+         let req =
+           Travel.request ~air:[ 100; 101 ] ~hotel:[ 100; 101 ]
+             ~ticket:[ 100; 101 ] ()
+         in
+         let candidates =
+           R.Relation.cardinal (Travel.booked_priced db req)
+         in
+         ( Printf.sprintf "%d items (%d candidates)" n candidates,
+           measure (fun () -> ignore (Travel.booked_min_cost db req)) ))
+       (if quick then [ 4; 16 ] else [ 4; 16; 64 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md section 5)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let ablations () =
+  header "Ablations";
+  (* join ordering *)
+  let v = R.Term.var in
+  let line_db n =
+    List.fold_left
+      (fun db i ->
+        R.Database.add_tuple "e"
+          (R.Tuple.of_list [ R.Value.int i; R.Value.int (i + 1) ])
+          db)
+      (R.Database.empty (R.Schema.of_list [ ("e", 2) ]))
+      (List.init n Fun.id)
+  in
+  let db = line_db (if quick then 30 else 80) in
+  (* adversarial atom order: the textual order starts with a cross product,
+     which greedy sideways-information-passing avoids *)
+  let scrambled =
+    R.Cq.make
+      ~head:[ v "x0" ]
+      ~body:
+        (List.map
+           (fun (i, j) ->
+             R.Atom.make "e" [ v (Printf.sprintf "x%d" i); v (Printf.sprintf "x%d" j) ])
+           [ (2, 3); (0, 1); (3, 4); (1, 2) ])
+      ()
+  in
+  series "CQ evaluation: greedy SIP vs textual atom order (scrambled 4-chain)"
+    [
+      ("greedy", measure (fun () -> ignore (R.Cq.eval ~strategy:`Greedy scrambled db)));
+      ("naive", measure (fun () -> ignore (R.Cq.eval ~strategy:`Naive scrambled db)));
+    ];
+  (* containment with <> *)
+  let q1 =
+    R.Cq.make ~head:[ v "x" ]
+      ~body:[ R.Atom.make "e" [ v "x"; v "y" ]; R.Atom.make "e" [ v "y"; v "x" ] ]
+      ()
+  in
+  let q2 =
+    R.Cq.make
+      ~neqs:[ (v "y", v "x") ]
+      ~head:[ v "x" ]
+      ~body:[ R.Atom.make "e" [ v "x"; v "y" ] ]
+      ()
+  in
+  series "containment with <>: Klug partitions vs frozen-only (complete vs not)"
+    [
+      ("partitions (correct: false)", measure (fun () -> ignore (R.Cq.contained_in q1 q2)));
+      ( "frozen-only (wrong: true)",
+        measure (fun () -> ignore (R.Cq.contained_in_frozen_only q1 q2)) );
+    ];
+  row "frozen-only verdict %b vs partition verdict %b on the <> pair"
+    (R.Cq.contained_in_frozen_only q1 q2)
+    (R.Cq.contained_in q1 q2);
+  (* datalog strategies *)
+  let tc =
+    Datalog.Dl.make
+      [
+        Datalog.Dl.plain_rule "tc" [ v "x"; v "y" ] [ R.Atom.make "e" [ v "x"; v "y" ] ];
+        Datalog.Dl.plain_rule "tc" [ v "x"; v "z" ]
+          [ R.Atom.make "e" [ v "x"; v "y" ]; R.Atom.make "tc" [ v "y"; v "z" ] ];
+      ]
+  in
+  let db =
+    let base = line_db (if quick then 20 else 60) in
+    R.Database.set "tc" (R.Relation.empty 2)
+      (R.Database.fold
+         (fun n r acc -> R.Database.set n r acc)
+         base
+         (R.Database.empty (R.Schema.of_list [ ("e", 2); ("tc", 2) ])))
+  in
+  series "datalog fixpoint: semi-naive vs naive (transitive closure of a line)"
+    [
+      ("semi-naive", measure (fun () -> ignore (Datalog.Seminaive.eval ~strategy:`Seminaive tc db)));
+      ("naive", measure (fun () -> ignore (Datalog.Seminaive.eval ~strategy:`Naive tc db)));
+    ];
+  (* FO evaluation: atom-driven all-solutions search vs the naive
+     active-domain product *)
+  let fig_db =
+    let items = List.init 8 (fun i -> (i, 100 + (i mod 7))) in
+    Travel.catalog_db ~airfares:items ~hotels:items ~tickets:items ~cars:items
+  in
+  let fig_req = Travel.request ~air:[ 100 ] ~hotel:[ 101 ] ~ticket:[ 102 ] () in
+  let acts =
+    (* materialize the four leaf registers as a database for psi0 *)
+    let tree = Sws_data.run_tree Travel.tau1 fig_db (Travel.session fig_req) in
+    let children = tree.Sws_data.Run.children in
+    let schema =
+      R.Schema.of_list (List.mapi (fun i _ -> (Sws_data.act_rel i, 4)) children)
+    in
+    List.fold_left
+      (fun (db, i) (c : Sws_data.Run.node) ->
+        (R.Database.set (Sws_data.act_rel i) c.Sws_data.Run.act db, i + 1))
+      (R.Database.empty schema, 0)
+      children
+    |> fst
+  in
+  let psi0_query =
+    match List.assoc "q0" (List.map (fun q -> (q, (Sws_def.rule (Sws_data.def Travel.tau1) q).Sws_def.synth)) [ "q0" ]) with
+    | Sws_data.Q_fo q -> q
+    | _ -> assert false
+  in
+  series "FO evaluation of psi0: atom-driven search vs naive domain product"
+    [
+      ("atom-driven", measure (fun () -> ignore (R.Fo.eval psi0_query acts)));
+      ("naive", measure ~repeats:1 (fun () -> ignore (R.Fo.eval_naive psi0_query acts)));
+    ];
+  (* AFA emptiness: on-the-fly vector DFA vs full translation *)
+  let afa = Afa.of_nfa (kth_from_end_nfa (if quick then 8 else 12)) in
+  series "AFA emptiness: on-the-fly vector exploration vs full NFA translation"
+    [
+      ("on the fly", measure (fun () -> ignore (Afa.is_empty afa)));
+      ( "via to_nfa + subset",
+        measure (fun () -> ignore (Nfa.is_empty (Afa.to_nfa afa))) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one per table / figure                    *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_section () =
+  header "Bechamel micro-benchmarks (one per table/figure)";
+  let open Bechamel in
+  let open Toolkit in
+  let t1_formula = random_cnf 20 60 in
+  let t1 =
+    Test.make ~name:"table1: SWS_nr(PL,PL) non-emptiness (20 vars)"
+      (Staged.stage (fun () ->
+           ignore (Decision.pl_nr_non_emptiness (Reductions.sws_of_sat t1_formula))))
+  in
+  let t2 =
+    Test.make ~name:"table2: MDT(or) rewriting (goal (ab)^4)"
+      (Staged.stage (fun () ->
+           ignore
+             (Compose.compose_nfa_or ~goal:(nfa2 "abababab")
+                ~components:[ ("c_ab", nfa2 "ab") ])))
+  in
+  let fig_db =
+    Travel.catalog_db
+      ~airfares:[ (1, 100) ] ~hotels:[ (2, 101) ] ~tickets:[ (3, 102) ]
+      ~cars:[ (4, 103) ]
+  in
+  let fig_req = Travel.request ~air:[ 100 ] ~hotel:[ 101 ] ~ticket:[ 102 ] () in
+  let f1 =
+    Test.make ~name:"figure1: travel booking (parallel tau1)"
+      (Staged.stage (fun () -> ignore (Travel.booked fig_db fig_req)))
+  in
+  let test = Test.make_grouped ~name:"sws" [ t1; t2; f1 ] in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 256) ()
+    in
+    let raw_results = Benchmark.all cfg instances test in
+    let results =
+      List.map (fun instance -> Analyze.all ols instance raw_results) instances
+    in
+    let results = Analyze.merge ols instances results in
+    results
+  in
+  let results = benchmark () in
+  Hashtbl.iter
+    (fun _instance tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Fmt.pr "  %-55s %12.1f ns/run@." name est
+          | _ -> Fmt.pr "  %-55s (no estimate)@." name)
+        tbl)
+    results
+
+let () =
+  Fmt.pr "SWS benchmark harness — reproducing Table 1, Table 2 and Figure 1 shapes@.";
+  Fmt.pr "(mode: %s)@." (if quick then "quick" else "full");
+  table1_pl_nr ();
+  table1_pl_rec ();
+  table1_cq_nr ();
+  table1_cq_rec ();
+  table1_fo ();
+  table2_mdt_or ();
+  table2_mdtb ();
+  table2_cq ();
+  table2_prefix ();
+  table2_uc2rpq ();
+  table2_undecidable ();
+  figure1 ();
+  ablations ();
+  bechamel_section ();
+  Fmt.pr "@.done.@."

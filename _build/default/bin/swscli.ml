@@ -1,0 +1,269 @@
+(* swscli: a command-line front end for the SWS library.
+
+   Services are described in a small textual form on the command line or
+   demonstrated from built-ins; the tool exposes the decision procedures
+   and composition synthesis over regular goals.
+
+     swscli run-travel --air 300 --hotel 120 --ticket 80
+     swscli check --regex '(ab)+c'
+     swscli equivalence --left '(ab)*' --right '(ab)*ab|1'
+     swscli compose --goal '(ab)*' --view ab --view ba
+     swscli kprefix --regex 'ab(a|b)*'  *)
+
+module Regex = Automata.Regex
+module Nfa = Automata.Nfa
+module Dfa = Automata.Dfa
+open Sws
+open Cmdliner
+
+let alphabet_size_of regexes =
+  List.fold_left (fun m r -> max m (Regex.max_symbol r + 1)) 1 regexes
+
+(* ------------------------------------------------------------------ *)
+(* run-travel                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_travel air hotel ticket car =
+  let db =
+    Travel.catalog_db
+      ~airfares:[ (101, 300); (102, 500) ]
+      ~hotels:[ (201, 120); (202, 250) ]
+      ~tickets:[ (301, 80) ]
+      ~cars:[ (401, 60) ]
+  in
+  let req = Travel.request ~air ~hotel ~ticket ~car () in
+  let out = Travel.booked db req in
+  Fmt.pr "catalog: airfares 300/500, hotels 120/250, tickets 80, cars 60@.";
+  Fmt.pr "package (airfare, hotel, ticket, car): %a@."
+    Relational.Relation.pp out;
+  if Relational.Relation.is_empty out then
+    Fmt.pr "no package: some requirement is unsatisfiable (rollback)@.";
+  0
+
+let budgets name =
+  Arg.(value & opt_all int [] & info [ name ] ~docv:"PRICE"
+         ~doc:(Printf.sprintf "Requested %s price (repeatable)." name))
+
+let run_travel_cmd =
+  let doc = "Run the paper's travel-package service (Figure 1)." in
+  Cmd.v
+    (Cmd.info "run-travel" ~doc)
+    Term.(
+      const run_travel $ budgets "air" $ budgets "hotel" $ budgets "ticket"
+      $ budgets "car")
+
+(* ------------------------------------------------------------------ *)
+(* check: decision problems of a Roman-model service                   *)
+(* ------------------------------------------------------------------ *)
+
+let regex_arg name =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ name ] ~docv:"REGEX"
+        ~doc:"Regular expression over letters a..z ('0' empty, '1' epsilon).")
+
+let check regex_s =
+  match Regex.parse regex_s with
+  | exception Regex.Parse_error m ->
+    Fmt.epr "parse error: %s@." m;
+    1
+  | regex ->
+    let alphabet_size = alphabet_size_of [ regex ] in
+    let nfa = Nfa.of_regex ~alphabet_size regex in
+    let sws = Roman.to_sws_pl nfa in
+    Fmt.pr "Roman-model service %s as SWS(PL, PL): %d states, recursive %b@."
+      regex_s
+      (Sws_def.num_states (Sws_pl.def sws))
+      (Sws_pl.is_recursive sws);
+    (match Decision.pl_non_emptiness sws with
+    | Decision.Yes w -> Fmt.pr "non-emptiness: Yes (witness: %d messages)@." (List.length w)
+    | Decision.No -> Fmt.pr "non-emptiness: No@."
+    | Decision.Unknown m -> Fmt.pr "non-emptiness: unknown (%s)@." m);
+    (match Decision.pl_validation sws ~output:false with
+    | Decision.Yes _ -> Fmt.pr "validation (output false): Yes@."
+    | Decision.No -> Fmt.pr "validation (output false): No@."
+    | Decision.Unknown m -> Fmt.pr "validation: unknown (%s)@." m);
+    0
+
+let check_cmd =
+  let doc = "Decision problems for a Roman-model service given as a regex." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const check $ regex_arg "regex")
+
+(* ------------------------------------------------------------------ *)
+(* equivalence                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let equivalence left right =
+  match Regex.parse left, Regex.parse right with
+  | exception Regex.Parse_error m ->
+    Fmt.epr "parse error: %s@." m;
+    1
+  | rl, rr ->
+    let alphabet_size = alphabet_size_of [ rl; rr ] in
+    let sl = Roman.to_sws_pl (Nfa.of_regex ~alphabet_size rl) in
+    let sr = Roman.to_sws_pl (Nfa.of_regex ~alphabet_size rr) in
+    (match Decision.pl_equivalence sl sr with
+    | Decision.Equivalent -> Fmt.pr "equivalent@."
+    | Decision.Inequivalent w ->
+      Fmt.pr "inequivalent (distinguishing sequence of %d messages)@."
+        (List.length w)
+    | Decision.Equiv_unknown m -> Fmt.pr "unknown: %s@." m);
+    0
+
+let equivalence_cmd =
+  let doc = "Equivalence of two Roman-model services (as regexes)." in
+  Cmd.v
+    (Cmd.info "equivalence" ~doc)
+    Term.(const equivalence $ regex_arg "left" $ regex_arg "right")
+
+(* ------------------------------------------------------------------ *)
+(* compose                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let compose goal views =
+  match Regex.parse goal, List.map Regex.parse views with
+  | exception Regex.Parse_error m ->
+    Fmt.epr "parse error: %s@." m;
+    1
+  | goal_r, view_rs ->
+    if view_rs = [] then begin
+      Fmt.epr "need at least one --view@.";
+      1
+    end
+    else begin
+      let alphabet_size = alphabet_size_of (goal_r :: view_rs) in
+      let goal_nfa = Nfa.of_regex ~alphabet_size goal_r in
+      let components =
+        List.mapi
+          (fun i r -> (Printf.sprintf "V%d:%s" i (List.nth views i),
+                       Nfa.of_regex ~alphabet_size r))
+          view_rs
+      in
+      (match Compose.compose_nfa_or ~goal:goal_nfa ~components with
+      | Some { Compose.exact; mediator; component_names } ->
+        Fmt.pr "%s MDT(∨) mediator found (%d states).@."
+          (if exact then "equivalent" else "maximally-contained (not equivalent)")
+          (Dfa.num_states mediator);
+        let plans =
+          List.filter (Dfa.accepts mediator)
+            (Automata.Word_gen.words_up_to
+               ~alphabet_size:(List.length components) 3)
+        in
+        List.iteri
+          (fun i plan ->
+            if i < 8 then
+              Fmt.pr "  plan: %a@."
+                Fmt.(list ~sep:(any " ; ") string)
+                (List.map (fun j -> List.nth component_names j) plan))
+          plans
+      | None -> Fmt.pr "no mediator: no view word expands inside the goal@.");
+      0
+    end
+
+let compose_cmd =
+  let doc = "Synthesize an MDT(∨) mediator for a regular goal from views." in
+  Cmd.v
+    (Cmd.info "compose" ~doc)
+    Term.(
+      const compose $ regex_arg "goal"
+      $ Arg.(
+          value & opt_all string []
+          & info [ "view" ] ~docv:"REGEX" ~doc:"Available service (repeatable)."))
+
+(* ------------------------------------------------------------------ *)
+(* kprefix                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let kprefix regex_s =
+  match Regex.parse regex_s with
+  | exception Regex.Parse_error m ->
+    Fmt.epr "parse error: %s@." m;
+    1
+  | regex ->
+    let alphabet_size = alphabet_size_of [ regex ] in
+    let dfa = Dfa.of_nfa (Nfa.of_regex ~alphabet_size regex) in
+    (match Compose.k_prefix_bound dfa with
+    | Some k -> Fmt.pr "k-prefix recognizable with k = %d@." k
+    | None -> Fmt.pr "not k-prefix recognizable for any k@.");
+    0
+
+let kprefix_cmd =
+  let doc = "k-prefix recognizability of a regular language (Thm 5.1(4,5))." in
+  Cmd.v (Cmd.info "kprefix" ~doc) Term.(const kprefix $ regex_arg "regex")
+
+(* ------------------------------------------------------------------ *)
+(* analyze: a service from a textual specification                      *)
+(* ------------------------------------------------------------------ *)
+
+let analyze file messages =
+  match Sws_parser.parse_file file with
+  | exception Sws_parser.Parse_error m ->
+    Fmt.epr "parse error: %s@." m;
+    1
+  | exception Sws_pl.Ill_formed m ->
+    Fmt.epr "ill-formed service: %s@." m;
+    1
+  | sws ->
+    Fmt.pr "service: %d states over inputs {%s}; recursive: %b%s@."
+      (Sws_def.num_states (Sws_pl.def sws))
+      (String.concat ", " (Sws_pl.input_vars sws))
+      (Sws_pl.is_recursive sws)
+      (match Sws_pl.depth sws with
+      | Some d -> Printf.sprintf "; depth %d" d
+      | None -> "");
+    (match Decision.pl_non_emptiness sws with
+    | Decision.Yes w ->
+      Fmt.pr "non-emptiness: Yes — e.g. %d message(s):" (List.length w);
+      List.iter
+        (fun a ->
+          Fmt.pr " {%s}"
+            (String.concat "," (Proplogic.Prop.assignment_to_list a)))
+        w;
+      Fmt.pr "@."
+    | Decision.No -> Fmt.pr "non-emptiness: No — the service never acts@."
+    | Decision.Unknown m -> Fmt.pr "non-emptiness: unknown (%s)@." m);
+    if not (Sws_pl.is_recursive sws) then begin
+      match Decision.pl_nr_non_emptiness sws with
+      | Decision.Yes _ -> Fmt.pr "SAT procedure agrees: Yes@."
+      | Decision.No -> Fmt.pr "SAT procedure agrees: No@."
+      | Decision.Unknown _ -> ()
+    end;
+    if messages <> [] then begin
+      let inputs =
+        List.map
+          (fun m ->
+            Proplogic.Prop.assignment_of_list
+              (String.split_on_char ',' m |> List.filter (fun v -> v <> "")))
+          messages
+      in
+      Fmt.pr "run on the given sequence: %b@." (Sws_pl.run sws inputs)
+    end;
+    0
+
+let analyze_cmd =
+  let doc = "Analyze an SWS(PL, PL) textual specification (see Sws_parser)." in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(
+      const analyze
+      $ Arg.(
+          required
+          & opt (some file) None
+          & info [ "file" ] ~docv:"FILE" ~doc:"Specification file.")
+      $ Arg.(
+          value & opt_all string []
+          & info [ "message" ] ~docv:"VARS"
+              ~doc:"Input message as comma-separated true variables (repeatable, in order)."))
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "Synthesized Web services: runs, static analyses, composition." in
+  let info = Cmd.info "swscli" ~version:"1.0" ~doc in
+  Cmd.group info
+    [
+      run_travel_cmd; check_cmd; equivalence_cmd; compose_cmd; kprefix_cmd;
+      analyze_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

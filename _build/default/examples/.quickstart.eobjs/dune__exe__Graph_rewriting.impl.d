@@ -1,0 +1,1 @@
+examples/graph_rewriting.ml: Automata Datalog Dump Fmt Graphdb List Relational Rewriting

@@ -1,0 +1,1 @@
+examples/peer_session.ml: Dump Fmt List Peer Relational Sws Sws_data Sws_def

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Decision Fmt List Relational Sws Sws_data Sws_def

@@ -1,0 +1,1 @@
+examples/roman_composition.ml: Automata Compose Decision Fmt List Roman Sws Sws_def Sws_pl

@@ -1,0 +1,1 @@
+examples/roman_composition.mli:

@@ -1,0 +1,1 @@
+examples/travel_package.ml: Fmt List Relational Sws Sws_data Travel

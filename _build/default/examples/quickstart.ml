@@ -1,0 +1,91 @@
+(* Quickstart: define a small synthesized Web service, run it on a database
+   and an input sequence, inspect the execution tree, and ask the decision
+   procedures about it.
+
+     dune exec examples/quickstart.exe *)
+
+module R = Relational
+module Term = R.Term
+module Atom = R.Atom
+module Relation = R.Relation
+module Database = R.Database
+module Schema = R.Schema
+module Value = R.Value
+module Tuple = R.Tuple
+open Sws
+
+let v = Term.var
+let cq ?eqs ?neqs head body = R.Cq.make ?eqs ?neqs ~head ~body ()
+
+(* A product-availability service.  Local database: stock(product, depot).
+   Input: product ids the user asks about.  The service answers with
+   (product, depot) pairs for the requested products, checking two depots
+   in parallel and taking the union. *)
+let service =
+  (* phi routes the requested ids into both branches *)
+  let phi = Sws_data.Q_cq (cq [ v "p" ] [ Atom.make Sws_data.in_rel [ v "p" ] ]) in
+  (* each final state restricts to one depot *)
+  let depot_synth depot =
+    Sws_data.Q_cq
+      (cq
+         ~eqs:[ (v "d", Term.str depot) ]
+         [ v "p"; v "d" ]
+         [ Atom.make Sws_data.msg_rel [ v "p" ]; Atom.make "stock" [ v "p"; v "d" ] ])
+  in
+  let union =
+    Sws_data.Q_ucq
+      (R.Ucq.make
+         [
+           cq [ v "p"; v "d" ] [ Atom.make "act1" [ v "p"; v "d" ] ];
+           cq [ v "p"; v "d" ] [ Atom.make "act2" [ v "p"; v "d" ] ];
+         ])
+  in
+  Sws_data.make
+    ~db_schema:(Schema.of_list [ ("stock", 2) ])
+    ~in_arity:1 ~out_arity:2 ~start:"q0"
+    ~rules:
+      [
+        ("q0", { Sws_def.succs = [ ("east", phi); ("west", phi) ]; synth = union });
+        ("east", { Sws_def.succs = []; synth = depot_synth "east" });
+        ("west", { Sws_def.succs = []; synth = depot_synth "west" });
+      ]
+
+let db =
+  let row p d = Tuple.of_list [ Value.int p; Value.str d ] in
+  Database.set "stock"
+    (Relation.of_list 2 [ row 1 "east"; row 2 "west"; row 3 "east"; row 3 "west" ])
+    (Database.empty (Schema.of_list [ ("stock", 2) ]))
+
+let ask products =
+  Relation.of_list 1 (List.map (fun p -> Tuple.of_list [ Value.int p ]) products)
+
+let () =
+  Fmt.pr "== quickstart: a synthesized Web service ==@.@.";
+  Fmt.pr "service definition:@.%a@.@." Sws_data.pp service;
+
+  (* the root consumes I_1 and routes it; the depot leaves answer at
+     timestamp 2, so the session carries two messages *)
+  let inputs = [ ask [ 1; 3 ]; ask [] ] in
+  let out = Sws_data.run service db inputs in
+  Fmt.pr "tau(D, I) for I_1 = {1, 3}:@.  %a@.@." Relation.pp out;
+
+  let tree = Sws_data.run_tree service db inputs in
+  Fmt.pr "execution tree (%d nodes, depth %d):@.%a@."
+    (Sws_data.Run.size tree)
+    (Sws_data.Run.tree_depth tree)
+    (Sws_data.Run.pp Relation.pp Relation.pp)
+    tree;
+
+  (* static analysis: the service is nonrecursive and in SWS(CQ, UCQ), so
+     Table 1's decidable procedures apply *)
+  Fmt.pr "recursive: %b@." (Sws_data.is_recursive service);
+  (match Decision.cq_non_emptiness service with
+  | Decision.Yes (d, i, goal) ->
+    Fmt.pr "non-emptiness: Yes — witness database %d tuples, %d inputs, goal %a@."
+      (Database.total_tuples d) (List.length i) Tuple.pp goal
+  | Decision.No -> Fmt.pr "non-emptiness: No@."
+  | Decision.Unknown m -> Fmt.pr "non-emptiness: unknown (%s)@." m);
+
+  match Decision.cq_equivalence service service with
+  | Decision.Equivalent -> Fmt.pr "equivalence with itself: Equivalent@."
+  | _ -> Fmt.pr "equivalence with itself: unexpected@."

@@ -1,0 +1,81 @@
+(* Roman-model services (Section 3) and composition synthesis for them
+   (Theorem 5.3(2)): encode DFA services as SWS(PL, PL), then synthesize a
+   MDT(∨) mediator for a goal service via regular rewriting.
+
+     dune exec examples/roman_composition.exe *)
+
+module Regex = Automata.Regex
+module Nfa = Automata.Nfa
+module Dfa = Automata.Dfa
+module Word_gen = Automata.Word_gen
+open Sws
+
+(* Action alphabet of an e-bookshop: 0 = search, 1 = add-to-cart, 2 = pay *)
+let pp_actions ppf w =
+  let name = function 0 -> "search" | 1 -> "add" | _ -> "pay" in
+  Fmt.(list ~sep:(any ".") string) ppf (List.map name w)
+
+let nfa s = Nfa.of_regex ~alphabet_size:3 (Regex.parse s)
+
+let () =
+  Fmt.pr "== Roman-model services and MDT(∨) composition ==@.@.";
+
+  (* the goal: sessions that search, fill the cart, and pay:
+     (search add)+ pay *)
+  let goal = nfa "(ab)+c" in
+  Fmt.pr "goal service: (search.add)+ pay@.";
+
+  (* the goal as an SWS(PL, PL), per Section 3's f_tau *)
+  let goal_sws = Roman.to_sws_pl goal in
+  Fmt.pr "encoded as SWS(PL, PL): %d states, recursive = %b@."
+    (Sws_def.num_states (Sws_pl.def goal_sws))
+    (Sws_pl.is_recursive goal_sws);
+  List.iter
+    (fun w ->
+      Fmt.pr "  %-20s accepted: %b@." (Fmt.str "%a" pp_actions w)
+        (Sws_pl.run goal_sws (Roman.encode_input w)))
+    [ [ 0; 1; 2 ]; [ 0; 1; 0; 1; 2 ]; [ 0; 2 ]; [] ];
+  Fmt.pr "@.";
+
+  (* decision problems on the encoded service (Table 1, SWS(PL,PL) row) *)
+  (match Decision.pl_non_emptiness goal_sws with
+  | Decision.Yes w ->
+    Fmt.pr "non-emptiness: Yes (witness of %d messages)@." (List.length w)
+  | Decision.No -> Fmt.pr "non-emptiness: No@."
+  | Decision.Unknown m -> Fmt.pr "non-emptiness: %s@." m);
+
+  (* available component services *)
+  let components =
+    [ ("browse", nfa "ab"); ("checkout", nfa "c"); ("impulse", nfa "abc") ]
+  in
+  Fmt.pr "@.available services: browse = search.add, checkout = pay,@.";
+  Fmt.pr "                    impulse = search.add.pay@.@.";
+
+  (match Compose.compose_nfa_or ~goal ~components with
+  | Some { Compose.exact = true; mediator; component_names } ->
+    Fmt.pr "composition synthesis: an equivalent MDT(∨) mediator exists.@.";
+    Fmt.pr "mediator automaton: %d states over components %a@."
+      (Dfa.num_states mediator)
+      Fmt.(list ~sep:comma string)
+      component_names;
+    (* enumerate a few mediator plans *)
+    let plans =
+      List.filter (Dfa.accepts mediator)
+        (Word_gen.words_up_to ~alphabet_size:(List.length components) 3)
+    in
+    List.iter
+      (fun plan ->
+        Fmt.pr "  plan: %a@."
+          Fmt.(list ~sep:(any " ; ") string)
+          (List.map (fun i -> List.nth component_names i) plan))
+      plans
+  | Some { Compose.exact = false; _ } ->
+    Fmt.pr "only a maximally-contained mediator exists@."
+  | None -> Fmt.pr "no mediator at all@.");
+
+  (* a goal that cannot be composed: no available service can produce a
+     bare add action *)
+  Fmt.pr "@.goal pay.add from the same components:@.";
+  match Compose.compose_nfa_or ~goal:(nfa "cb") ~components with
+  | Some { Compose.exact; _ } -> Fmt.pr "  exact: %b@." exact
+  | None -> Fmt.pr "  no mediator@."

@@ -1,0 +1,81 @@
+(* The paper's running example (Figure 1, Examples 1.1, 2.1, 2.2, 5.1):
+   booking Disney World travel packages.
+
+     dune exec examples/travel_package.exe
+
+   Shows: the parallel SWS specification tau1 with deterministic synthesis
+   (tickets preferred over rental cars, booking deferred until the whole
+   package is satisfiable), the recursive variant tau2 with repeated
+   airfare inquiries, and the mediator pi1 composed from three available
+   services. *)
+
+module Relation = Relational.Relation
+open Sws
+
+let db =
+  Travel.catalog_db
+    ~airfares:[ (101, 300); (102, 500) ]
+    ~hotels:[ (201, 120); (202, 250) ]
+    ~tickets:[ (301, 80) ]
+    ~cars:[ (401, 60) ]
+
+let show label out = Fmt.pr "  %-34s %a@." label Relation.pp out
+
+let () =
+  Fmt.pr "== the travel-package service of Figure 1 ==@.@.";
+  Fmt.pr "tau1 (SWS specification, Figure 1(b)):@.%a@.@." Sws_data.pp Travel.tau1;
+
+  Fmt.pr "scenario outputs (airfare, hotel, ticket, car; '_' = don't care):@.";
+  show "full package, tickets win:"
+    (Travel.booked db (Travel.request ~air:[ 300 ] ~hotel:[ 120 ] ~ticket:[ 80 ] ~car:[ 60 ] ()));
+  show "no tickets at that price, car:"
+    (Travel.booked db (Travel.request ~air:[ 300 ] ~hotel:[ 120 ] ~ticket:[ 999 ] ~car:[ 60 ] ()));
+  show "no hotel: rollback, no booking:"
+    (Travel.booked db (Travel.request ~air:[ 300 ] ~hotel:[ 999 ] ~ticket:[ 80 ] ()));
+  Fmt.pr "@.";
+
+  (* the recursive variant: a failing airfare inquiry retried in the same
+     session (Example 2.1's tau2) *)
+  let first = Travel.request ~air:[ 999 ] ~hotel:[ 120 ] ~ticket:[ 80 ] () in
+  let retry = Travel.request ~air:[ 300 ] () in
+  Fmt.pr "tau2 (recursive): first inquiry asks airfare at 999 (absent),@.";
+  Fmt.pr "the second retries at 300:@.";
+  show "tau2 output:" (Sws_data.run Travel.tau2 db [ first; retry; retry ]);
+  Fmt.pr "tau2 recursive: %b; tau1 recursive: %b@.@."
+    (Sws_data.is_recursive Travel.tau2)
+    (Sws_data.is_recursive Travel.tau1);
+
+  (* the mediator of Example 5.1 over tau_a / tau_ht / tau_hc *)
+  Fmt.pr "pi1 (Example 5.1) coordinates three available services:@.";
+  let req = Travel.request ~air:[ 300 ] ~hotel:[ 120 ] ~ticket:[ 80 ] ~car:[ 60 ] () in
+  show "component tau_a:" (Sws_data.run Travel.tau_a db (Travel.session req));
+  show "component tau_ht:" (Sws_data.run Travel.tau_ht db (Travel.session req));
+  show "component tau_hc:" (Sws_data.run Travel.tau_hc db (Travel.session req));
+  show "pi1 output:" (Travel.booked_via_mediator db req);
+  show "tau1 output:" (Travel.booked db req);
+
+  (* the future-work extension (Section 6): aggregation with a cost model *)
+  Fmt.pr "@.minimum-cost packages (the paper's future-work extension):@.";
+  let req_multi =
+    Travel.request ~air:[ 300; 500 ] ~hotel:[ 120; 250 ] ~ticket:[ 80 ] ()
+  in
+  let all = Travel.booked_priced db req_multi in
+  Fmt.pr "  all priced packages (%d):@.    %a@." (Relation.cardinal all)
+    Relation.pp all;
+  let best = Travel.booked_min_cost db req_multi in
+  Fmt.pr "  cheapest package: %a (total %d)@." Relation.pp best
+    (Sws.Aggregate.total_cost Travel.package_cost best);
+
+  (* randomized equivalence check between pi1 and tau1 over catalogs *)
+  Fmt.pr "@.bounded equivalence check pi1 ≡ tau1 on crafted scenarios: %s@."
+    (if
+       List.for_all
+         (fun r -> Relation.equal (Travel.booked db r) (Travel.booked_via_mediator db r))
+         [
+           Travel.request ~air:[ 300 ] ~hotel:[ 120 ] ~ticket:[ 80 ] ~car:[ 60 ] ();
+           Travel.request ~air:[ 300 ] ~hotel:[ 120 ] ~car:[ 60 ] ();
+           Travel.request ~air:[ 500 ] ~hotel:[ 250 ] ~ticket:[ 80 ] ();
+           Travel.request ();
+         ]
+     then "agree"
+     else "DIFFER")

@@ -1,0 +1,1 @@
+lib/automata/afa.ml: Array Dfa Fmt Fun Int List Map Nfa Option Queue Set

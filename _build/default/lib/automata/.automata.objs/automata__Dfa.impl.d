@@ -1,0 +1,1 @@
+lib/automata/dfa.ml: Array Fmt Fun Hashtbl Int List Map Nfa Queue Set

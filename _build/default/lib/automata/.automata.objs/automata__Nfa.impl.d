@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Fmt Fun Hashtbl Int List Map Option Queue Regex Set

@@ -1,0 +1,1 @@
+lib/automata/regex.ml: Char Fmt List Printf String

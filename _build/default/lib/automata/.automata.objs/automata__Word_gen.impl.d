@@ -1,0 +1,1 @@
+lib/automata/word_gen.ml: Char Fmt Fun List Random

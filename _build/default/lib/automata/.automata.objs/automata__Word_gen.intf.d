@@ -1,0 +1,1 @@
+lib/automata/word_gen.mli: Fmt Random

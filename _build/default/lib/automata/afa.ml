@@ -1,0 +1,197 @@
+(* Alternating finite automata, with arbitrary (not necessarily positive)
+   Boolean transition conditions over states.  The paper's SWS(PL, PL)
+   non-emptiness lower bound is by reduction from AFA emptiness [32], and the
+   upper bound runs "along the same lines as AFA non-emptiness checking"
+   (Theorem 4.1(3)); Example 1.1's synthesis formulas negate successor
+   registers, so full Boolean conditions are needed.
+
+   Acceptance is by backward evaluation of truth vectors; the translation to
+   NFA goes through the vector DFA of the reversed language, built on the fly
+   over reachable vectors only. *)
+
+module Iset = Set.Make (Int)
+
+type form =
+  | Ftrue
+  | Ffalse
+  | State of int
+  | Fnot of form
+  | Fand of form * form
+  | For of form * form
+
+let fconj = function
+  | [] -> Ftrue
+  | f :: fs -> List.fold_left (fun acc g -> Fand (acc, g)) f fs
+
+let fdisj = function
+  | [] -> Ffalse
+  | f :: fs -> List.fold_left (fun acc g -> For (acc, g)) f fs
+
+let rec eval_form truth = function
+  | Ftrue -> true
+  | Ffalse -> false
+  | State q -> truth q
+  | Fnot f -> not (eval_form truth f)
+  | Fand (f, g) -> eval_form truth f && eval_form truth g
+  | For (f, g) -> eval_form truth f || eval_form truth g
+
+let rec form_states acc = function
+  | Ftrue | Ffalse -> acc
+  | State q -> Iset.add q acc
+  | Fnot f -> form_states acc f
+  | Fand (f, g) | For (f, g) -> form_states (form_states acc f) g
+
+type t = {
+  num_states : int;
+  alphabet_size : int;
+  start : int;
+  finals : Iset.t;
+  delta : form array array; (* delta.(q).(a) *)
+}
+
+let create ~alphabet_size ~start ~finals ~delta =
+  let num_states = Array.length delta in
+  if num_states = 0 then invalid_arg "Afa.create: no states";
+  Array.iter
+    (fun row ->
+      if Array.length row <> alphabet_size then
+        invalid_arg "Afa.create: row width differs from alphabet";
+      Array.iter
+        (fun f ->
+          Iset.iter
+            (fun q ->
+              if q < 0 || q >= num_states then
+                invalid_arg "Afa.create: state out of range in formula")
+            (form_states Iset.empty f))
+        row)
+    delta;
+  if start < 0 || start >= num_states then invalid_arg "Afa.create: bad start";
+  List.iter
+    (fun q ->
+      if q < 0 || q >= num_states then invalid_arg "Afa.create: bad final")
+    finals;
+  { num_states; alphabet_size; start; finals = Iset.of_list finals; delta }
+
+let num_states a = a.num_states
+let alphabet_size a = a.alphabet_size
+let start a = a.start
+let finals a = Iset.elements a.finals
+let delta a q s = a.delta.(q).(s)
+
+(* v_w(q) = "the suffix w is accepted from q"; computed right to left. *)
+let accepts a word =
+  let final_vector q = Iset.mem q a.finals in
+  let step symbol truth q = eval_form truth a.delta.(q).(symbol) in
+  let v =
+    List.fold_right (fun symbol truth -> step symbol truth) word final_vector
+  in
+  v a.start
+
+(* The vector DFA of the reversed language: states are truth vectors
+   (encoded as the set of true AFA states), the start vector marks the
+   finals, and reading symbol [s] rewrites vector v to
+   q |-> delta(q, s) evaluated under v.  It accepts rev(w) iff the AFA
+   accepts w.  Only reachable vectors are materialized. *)
+let reverse_vector_dfa a =
+  let module M = Map.Make (Iset) in
+  let truth_of set q = Iset.mem q set in
+  let step set s =
+    let truth = truth_of set in
+    let next = ref Iset.empty in
+    for q = 0 to a.num_states - 1 do
+      if eval_form truth a.delta.(q).(s) then next := Iset.add q !next
+    done;
+    !next
+  in
+  let start_set = a.finals in
+  let ids = ref (M.singleton start_set 0) in
+  let next_id = ref 1 in
+  let rows = ref [] in
+  let finals = ref [] in
+  let queue = Queue.create () in
+  Queue.add (start_set, 0) queue;
+  while not (Queue.is_empty queue) do
+    let set, i = Queue.pop queue in
+    if Iset.mem a.start set then finals := i :: !finals;
+    let row =
+      Array.init a.alphabet_size (fun s ->
+          let set' = step set s in
+          match M.find_opt set' !ids with
+          | Some j -> j
+          | None ->
+            let j = !next_id in
+            incr next_id;
+            ids := M.add set' j !ids;
+            Queue.add (set', j) queue;
+            j)
+    in
+    rows := (i, row) :: !rows
+  done;
+  let trans = Array.make !next_id [||] in
+  List.iter (fun (i, row) -> trans.(i) <- row) !rows;
+  Dfa.create ~alphabet_size:a.alphabet_size ~start:0 ~finals:!finals ~trans
+
+let to_nfa a = Nfa.reverse (Dfa.to_nfa (reverse_vector_dfa a))
+
+(* Emptiness coincides with emptiness of the reverse vector DFA, so no
+   reversal or second subset construction is needed.  This is the PSPACE-style
+   on-the-fly check of Theorem 4.1(3): only reachable vectors are explored. *)
+let is_empty a = Dfa.is_empty (reverse_vector_dfa a)
+
+(* A shortest accepted word, as a witness. *)
+let shortest_word a =
+  Option.map List.rev (Dfa.shortest_word (reverse_vector_dfa a))
+
+(* Embed an NFA (without epsilon transitions beyond its closure) as an AFA:
+   disjunction over successors. *)
+let of_nfa n =
+  let alphabet_size = Nfa.alphabet_size n in
+  (* introduce a fresh start to encode multiple NFA starts *)
+  let base = Nfa.num_states n in
+  let num = base + 1 in
+  let closure_of set = Nfa.eps_closure n set in
+  let start_closure = closure_of (Nfa.Iset.of_list (Nfa.starts n)) in
+  let nfa_finals = Nfa.Iset.of_list (Nfa.finals n) in
+  let succ_form source_set s =
+    let succ = Nfa.step n source_set s in
+    fdisj (List.map (fun q -> State q) (Nfa.Iset.elements succ))
+  in
+  let delta =
+    Array.init num (fun q ->
+        Array.init alphabet_size (fun s ->
+            if q = base then succ_form start_closure s
+            else succ_form (closure_of (Nfa.Iset.singleton q)) s))
+  in
+  let finals =
+    let base_finals =
+      List.filter
+        (fun q -> not (Nfa.Iset.is_empty
+                         (Nfa.Iset.inter (closure_of (Nfa.Iset.singleton q)) nfa_finals)))
+        (List.init base Fun.id)
+    in
+    if not (Nfa.Iset.is_empty (Nfa.Iset.inter start_closure nfa_finals)) then
+      base :: base_finals
+    else base_finals
+  in
+  create ~alphabet_size ~start:base ~finals ~delta
+
+let pp_form ppf f =
+  let rec go ppf = function
+    | Ftrue -> Fmt.string ppf "T"
+    | Ffalse -> Fmt.string ppf "F"
+    | State q -> Fmt.pf ppf "q%d" q
+    | Fnot f -> Fmt.pf ppf "~%a" atomic f
+    | Fand (f, g) -> Fmt.pf ppf "%a & %a" atomic f atomic g
+    | For (f, g) -> Fmt.pf ppf "%a | %a" atomic f atomic g
+  and atomic ppf f =
+    match f with
+    | Ftrue | Ffalse | State _ -> go ppf f
+    | _ -> Fmt.pf ppf "(%a)" go f
+  in
+  go ppf f
+
+let pp ppf a =
+  Fmt.pf ppf "AFA(states=%d, alphabet=%d, start=%d, finals=%a)" a.num_states
+    a.alphabet_size a.start
+    Fmt.(list ~sep:(any ",") int)
+    (finals a)

@@ -1,0 +1,246 @@
+(* Deterministic finite automata: complete transition matrices over the
+   integer alphabet.  DFAs are the Roman model's service specifications [6]
+   and the normal form behind the PL equivalence procedure. *)
+
+module Iset = Set.Make (Int)
+
+type t = {
+  alphabet_size : int;
+  start : int;
+  finals : Iset.t;
+  trans : int array array; (* trans.(q).(a) = successor *)
+}
+
+let create ~alphabet_size ~start ~finals ~trans =
+  let num_states = Array.length trans in
+  if num_states = 0 then invalid_arg "Dfa.create: no states";
+  Array.iter
+    (fun row ->
+      if Array.length row <> alphabet_size then
+        invalid_arg "Dfa.create: row width differs from alphabet";
+      Array.iter
+        (fun q ->
+          if q < 0 || q >= num_states then
+            invalid_arg "Dfa.create: successor out of range")
+        row)
+    trans;
+  if start < 0 || start >= num_states then invalid_arg "Dfa.create: bad start";
+  List.iter
+    (fun q ->
+      if q < 0 || q >= num_states then invalid_arg "Dfa.create: bad final")
+    finals;
+  { alphabet_size; start; finals = Iset.of_list finals; trans }
+
+let num_states d = Array.length d.trans
+let alphabet_size d = d.alphabet_size
+let start d = d.start
+let finals d = Iset.elements d.finals
+let is_final d q = Iset.mem q d.finals
+let delta d q a = d.trans.(q).(a)
+
+let run d word = List.fold_left (fun q a -> delta d q a) d.start word
+
+let accepts d word = is_final d (run d word)
+
+let complement d =
+  let all = List.init (num_states d) Fun.id in
+  {
+    d with
+    finals = Iset.of_list (List.filter (fun q -> not (is_final d q)) all);
+  }
+
+(* Pair construction; [keep] decides finality from the two components. *)
+let product keep d1 d2 =
+  if d1.alphabet_size <> d2.alphabet_size then
+    invalid_arg "Dfa.product: alphabet mismatch";
+  let n2 = num_states d2 in
+  let encode p q = (p * n2) + q in
+  let num = num_states d1 * n2 in
+  let trans =
+    Array.init num (fun code ->
+        let p = code / n2 and q = code mod n2 in
+        Array.init d1.alphabet_size (fun a ->
+            encode (delta d1 p a) (delta d2 q a)))
+  in
+  let finals =
+    List.concat_map
+      (fun p ->
+        List.filter_map
+          (fun q -> if keep (is_final d1 p) (is_final d2 q) then Some (encode p q) else None)
+          (List.init n2 Fun.id))
+      (List.init (num_states d1) Fun.id)
+  in
+  create ~alphabet_size:d1.alphabet_size ~start:(encode d1.start d2.start)
+    ~finals
+    ~trans
+
+let inter d1 d2 = product ( && ) d1 d2
+let union d1 d2 = product ( || ) d1 d2
+let diff d1 d2 = product (fun a b -> a && not b) d1 d2
+
+let reachable_states d =
+  let seen = Array.make (num_states d) false in
+  let rec go q =
+    if not seen.(q) then begin
+      seen.(q) <- true;
+      for a = 0 to d.alphabet_size - 1 do
+        go (delta d q a)
+      done
+    end
+  in
+  go d.start;
+  seen
+
+let is_empty d =
+  let reach = reachable_states d in
+  not (Iset.exists (fun q -> reach.(q)) d.finals)
+
+(* Shortest accepted word via BFS, as a witness for non-emptiness. *)
+let shortest_word d =
+  let n = num_states d in
+  let pred = Array.make n None in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  seen.(d.start) <- true;
+  Queue.add d.start queue;
+  let found = ref None in
+  while !found = None && not (Queue.is_empty queue) do
+    let q = Queue.pop queue in
+    if is_final d q then found := Some q
+    else
+      for a = 0 to d.alphabet_size - 1 do
+        let q' = delta d q a in
+        if not seen.(q') then begin
+          seen.(q') <- true;
+          pred.(q') <- Some (q, a);
+          Queue.add q' queue
+        end
+      done
+  done;
+  match !found with
+  | None -> None
+  | Some q ->
+    let rec back q acc =
+      match pred.(q) with
+      | None -> acc
+      | Some (p, a) -> back p (a :: acc)
+    in
+    Some (back q [])
+
+let contains d1 d2 = is_empty (diff d2 d1) (* L(d2) <= L(d1) *)
+
+let equivalent d1 d2 = is_empty (diff d1 d2) && is_empty (diff d2 d1)
+
+(* A word in L(d1) xor L(d2), when the two differ. *)
+let distinguishing_word d1 d2 =
+  match shortest_word (diff d1 d2) with
+  | Some w -> Some w
+  | None -> shortest_word (diff d2 d1)
+
+(* Moore's partition-refinement minimization (restricted to reachable
+   states).  Hopcroft would be asymptotically better; Moore is simple and
+   the automata here are modest. *)
+let minimize d =
+  let reach = reachable_states d in
+  let states = List.filter (fun q -> reach.(q)) (List.init (num_states d) Fun.id) in
+  let n = num_states d in
+  (* class_of.(q) = current block id *)
+  let class_of = Array.make n 0 in
+  List.iter (fun q -> class_of.(q) <- (if is_final d q then 1 else 0)) states;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* signature of q: (class, [class of delta q a]) *)
+    let signature q =
+      (class_of.(q), List.init d.alphabet_size (fun a -> class_of.(delta d q a)))
+    in
+    let tbl = Hashtbl.create 16 in
+    let next_id = ref 0 in
+    let new_class = Array.make n 0 in
+    List.iter
+      (fun q ->
+        let s = signature q in
+        let id =
+          match Hashtbl.find_opt tbl s with
+          | Some id -> id
+          | None ->
+            let id = !next_id in
+            incr next_id;
+            Hashtbl.add tbl s id;
+            id
+        in
+        new_class.(q) <- id)
+      states;
+    if List.exists (fun q -> new_class.(q) <> class_of.(q)) states then begin
+      changed := true;
+      List.iter (fun q -> class_of.(q) <- new_class.(q)) states
+    end
+  done;
+  let num_blocks =
+    1 + List.fold_left (fun m q -> max m class_of.(q)) 0 states
+  in
+  let repr = Array.make num_blocks (-1) in
+  List.iter (fun q -> if repr.(class_of.(q)) < 0 then repr.(class_of.(q)) <- q) states;
+  let trans =
+    Array.init num_blocks (fun b ->
+        Array.init d.alphabet_size (fun a -> class_of.(delta d repr.(b) a)))
+  in
+  let finals =
+    List.filter (fun b -> is_final d repr.(b)) (List.init num_blocks Fun.id)
+  in
+  create ~alphabet_size:d.alphabet_size ~start:class_of.(d.start) ~finals ~trans
+
+let to_nfa d =
+  let edges = ref [] in
+  for q = 0 to num_states d - 1 do
+    for a = 0 to d.alphabet_size - 1 do
+      edges := (q, a, delta d q a) :: !edges
+    done
+  done;
+  Nfa.create ~num_states:(num_states d) ~alphabet_size:d.alphabet_size
+    ~starts:[ d.start ] ~finals:(finals d) ~edges:!edges ~eps_edges:[]
+
+(* Subset construction, on the fly over reachable subsets only. *)
+let of_nfa n =
+  let module M = Map.Make (Nfa.Iset) in
+  let alphabet_size = Nfa.alphabet_size n in
+  let start_set = Nfa.eps_closure n (Nfa.Iset.of_list (Nfa.starts n)) in
+  let ids = ref (M.singleton start_set 0) in
+  let rows = ref [] in
+  let n_finals = Nfa.Iset.of_list (Nfa.finals n) in
+  let finals = ref [] in
+  let queue = Queue.create () in
+  Queue.add (start_set, 0) queue;
+  let next_id = ref 1 in
+  while not (Queue.is_empty queue) do
+    let set, i = Queue.pop queue in
+    if not (Nfa.Iset.is_empty (Nfa.Iset.inter set n_finals)) then
+      finals := i :: !finals;
+    let row =
+      Array.init alphabet_size (fun a ->
+          let set' = Nfa.step n set a in
+          match M.find_opt set' !ids with
+          | Some j -> j
+          | None ->
+            let j = !next_id in
+            incr next_id;
+            ids := M.add set' j !ids;
+            Queue.add (set', j) queue;
+            j)
+    in
+    rows := (i, row) :: !rows
+  done;
+  let num = !next_id in
+  let trans = Array.make num [||] in
+  List.iter (fun (i, row) -> trans.(i) <- row) !rows;
+  create ~alphabet_size ~start:0 ~finals:!finals ~trans
+
+let nfa_equivalent n1 n2 = equivalent (of_nfa n1) (of_nfa n2)
+
+let nfa_contains n1 n2 = contains (of_nfa n1) (of_nfa n2)
+
+let pp ppf d =
+  Fmt.pf ppf "DFA(states=%d, alphabet=%d, start=%d, finals=%a)" (num_states d)
+    d.alphabet_size d.start
+    Fmt.(list ~sep:(any ",") int)
+    (finals d)

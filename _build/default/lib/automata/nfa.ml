@@ -1,0 +1,385 @@
+(* Nondeterministic finite automata with epsilon transitions, over the
+   integer alphabet {0, ..., alphabet_size - 1}.  The FSA substrate for the
+   Roman model (Section 3) and the PL decision procedures (Theorem 4.1(3)). *)
+
+module Iset = Set.Make (Int)
+
+module Key = struct
+  type t = int * int
+
+  let compare = compare
+end
+
+module Kmap = Map.Make (Key)
+module Imap = Map.Make (Int)
+
+type t = {
+  num_states : int;
+  alphabet_size : int;
+  starts : Iset.t;
+  finals : Iset.t;
+  trans : Iset.t Kmap.t; (* (state, symbol) -> successors *)
+  eps : Iset.t Imap.t;   (* state -> epsilon successors *)
+}
+
+let create ~num_states ~alphabet_size ~starts ~finals ~edges ~eps_edges =
+  let check q =
+    if q < 0 || q >= num_states then invalid_arg "Nfa.create: state out of range"
+  in
+  List.iter check starts;
+  List.iter check finals;
+  let trans =
+    List.fold_left
+      (fun m (p, a, q) ->
+        check p;
+        check q;
+        if a < 0 || a >= alphabet_size then
+          invalid_arg "Nfa.create: symbol out of range";
+        let old = Option.value ~default:Iset.empty (Kmap.find_opt (p, a) m) in
+        Kmap.add (p, a) (Iset.add q old) m)
+      Kmap.empty edges
+  in
+  let eps =
+    List.fold_left
+      (fun m (p, q) ->
+        check p;
+        check q;
+        let old = Option.value ~default:Iset.empty (Imap.find_opt p m) in
+        Imap.add p (Iset.add q old) m)
+      Imap.empty eps_edges
+  in
+  {
+    num_states;
+    alphabet_size;
+    starts = Iset.of_list starts;
+    finals = Iset.of_list finals;
+    trans;
+    eps;
+  }
+
+let num_states n = n.num_states
+let alphabet_size n = n.alphabet_size
+let starts n = Iset.elements n.starts
+let finals n = Iset.elements n.finals
+
+let successors n p a =
+  Option.value ~default:Iset.empty (Kmap.find_opt (p, a) n.trans)
+
+let eps_successors n p = Option.value ~default:Iset.empty (Imap.find_opt p n.eps)
+
+let edges n =
+  Kmap.fold
+    (fun (p, a) qs acc -> Iset.fold (fun q acc -> (p, a, q) :: acc) qs acc)
+    n.trans []
+
+let eps_closure n set =
+  let rec go frontier closed =
+    if Iset.is_empty frontier then closed
+    else
+      let next =
+        Iset.fold
+          (fun p acc -> Iset.union acc (eps_successors n p))
+          frontier Iset.empty
+      in
+      let fresh = Iset.diff next closed in
+      go fresh (Iset.union closed fresh)
+  in
+  go set set
+
+let step n set a =
+  let post =
+    Iset.fold (fun p acc -> Iset.union acc (successors n p a)) set Iset.empty
+  in
+  eps_closure n post
+
+let accepts n word =
+  let final =
+    List.fold_left (fun set a -> step n set a) (eps_closure n n.starts) word
+  in
+  not (Iset.is_empty (Iset.inter final n.finals))
+
+(* Emptiness: BFS over all transitions (epsilon included). *)
+let is_empty n =
+  let rec go frontier seen =
+    if Iset.is_empty frontier then true
+    else if not (Iset.is_empty (Iset.inter frontier n.finals)) then false
+    else
+      let next = ref Iset.empty in
+      Iset.iter
+        (fun p ->
+          next := Iset.union !next (eps_successors n p);
+          for a = 0 to n.alphabet_size - 1 do
+            next := Iset.union !next (successors n p a)
+          done)
+        frontier;
+      let fresh = Iset.diff !next seen in
+      go fresh (Iset.union seen fresh)
+  in
+  go n.starts n.starts
+
+(* Shortest accepted word, if any: BFS producing a witness, used to report
+   counterexamples from the decision procedures. *)
+let shortest_word n =
+  if is_empty n then None
+  else begin
+    let module M = Map.Make (Iset) in
+    let start = eps_closure n n.starts in
+    let rec bfs frontier seen =
+      match
+        List.find_opt
+          (fun (set, _) -> not (Iset.is_empty (Iset.inter set n.finals)))
+          frontier
+      with
+      | Some (_, w) -> Some (List.rev w)
+      | None ->
+        let next, seen =
+          List.fold_left
+            (fun (next, seen) (set, w) ->
+              let rec try_syms a next seen =
+                if a >= n.alphabet_size then (next, seen)
+                else
+                  let set' = step n set a in
+                  if Iset.is_empty set' || M.mem set' seen then
+                    try_syms (a + 1) next seen
+                  else
+                    try_syms (a + 1)
+                      ((set', a :: w) :: next)
+                      (M.add set' () seen)
+              in
+              try_syms 0 next seen)
+            ([], seen) frontier
+        in
+        if next = [] then None else bfs (List.rev next) seen
+    in
+    bfs [ (start, []) ] (M.add start () M.empty)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Combinators (Thompson-style, with state renumbering)                *)
+(* ------------------------------------------------------------------ *)
+
+let shift k n =
+  {
+    n with
+    starts = Iset.map (( + ) k) n.starts;
+    finals = Iset.map (( + ) k) n.finals;
+    trans =
+      Kmap.fold
+        (fun (p, a) qs m -> Kmap.add (p + k, a) (Iset.map (( + ) k) qs) m)
+        n.trans Kmap.empty;
+    eps =
+      Imap.fold
+        (fun p qs m -> Imap.add (p + k) (Iset.map (( + ) k) qs) m)
+        n.eps Imap.empty;
+  }
+
+let union_maps t1 t2 =
+  Kmap.union (fun _ a b -> Some (Iset.union a b)) t1 t2
+
+let union_eps e1 e2 = Imap.union (fun _ a b -> Some (Iset.union a b)) e1 e2
+
+let empty alphabet_size =
+  create ~num_states:1 ~alphabet_size ~starts:[ 0 ] ~finals:[] ~edges:[]
+    ~eps_edges:[]
+
+let epsilon alphabet_size =
+  create ~num_states:1 ~alphabet_size ~starts:[ 0 ] ~finals:[ 0 ] ~edges:[]
+    ~eps_edges:[]
+
+let symbol alphabet_size a =
+  create ~num_states:2 ~alphabet_size ~starts:[ 0 ] ~finals:[ 1 ]
+    ~edges:[ (0, a, 1) ] ~eps_edges:[]
+
+let union n1 n2 =
+  if n1.alphabet_size <> n2.alphabet_size then
+    invalid_arg "Nfa.union: alphabet mismatch";
+  let n2' = shift n1.num_states n2 in
+  {
+    num_states = n1.num_states + n2.num_states;
+    alphabet_size = n1.alphabet_size;
+    starts = Iset.union n1.starts n2'.starts;
+    finals = Iset.union n1.finals n2'.finals;
+    trans = union_maps n1.trans n2'.trans;
+    eps = union_eps n1.eps n2'.eps;
+  }
+
+let concat n1 n2 =
+  if n1.alphabet_size <> n2.alphabet_size then
+    invalid_arg "Nfa.concat: alphabet mismatch";
+  let n2' = shift n1.num_states n2 in
+  let bridging =
+    Iset.fold
+      (fun f m ->
+        let old = Option.value ~default:Iset.empty (Imap.find_opt f m) in
+        Imap.add f (Iset.union old n2'.starts) m)
+      n1.finals Imap.empty
+  in
+  {
+    num_states = n1.num_states + n2.num_states;
+    alphabet_size = n1.alphabet_size;
+    starts = n1.starts;
+    finals = n2'.finals;
+    trans = union_maps n1.trans n2'.trans;
+    eps = union_eps (union_eps n1.eps n2'.eps) bridging;
+  }
+
+let star n =
+  (* fresh start state (index num_states) that is also final *)
+  let s = n.num_states in
+  let eps =
+    let to_starts =
+      Imap.singleton s n.starts
+    in
+    let back =
+      Iset.fold
+        (fun f m ->
+          let old = Option.value ~default:Iset.empty (Imap.find_opt f m) in
+          Imap.add f (Iset.add s old) m)
+        n.finals Imap.empty
+    in
+    union_eps (union_eps n.eps to_starts) back
+  in
+  {
+    num_states = n.num_states + 1;
+    alphabet_size = n.alphabet_size;
+    starts = Iset.singleton s;
+    finals = Iset.add s n.finals;
+    trans = n.trans;
+    eps;
+  }
+
+let of_regex ~alphabet_size r =
+  let rec go = function
+    | Regex.Empty -> empty alphabet_size
+    | Regex.Eps -> epsilon alphabet_size
+    | Regex.Sym a -> symbol alphabet_size a
+    | Regex.Alt (r, s) -> union (go r) (go s)
+    | Regex.Seq (r, s) -> concat (go r) (go s)
+    | Regex.Star r -> star (go r)
+  in
+  go r
+
+let reverse n =
+  {
+    n with
+    starts = n.finals;
+    finals = n.starts;
+    trans =
+      Kmap.fold
+        (fun (p, a) qs m ->
+          Iset.fold
+            (fun q m ->
+              let old =
+                Option.value ~default:Iset.empty (Kmap.find_opt (q, a) m)
+              in
+              Kmap.add (q, a) (Iset.add p old) m)
+            qs m)
+        n.trans Kmap.empty;
+    eps =
+      Imap.fold
+        (fun p qs m ->
+          Iset.fold
+            (fun q m ->
+              let old = Option.value ~default:Iset.empty (Imap.find_opt q m) in
+              Imap.add q (Iset.add p old) m)
+            qs m)
+        n.eps Imap.empty;
+  }
+
+(* Product intersection of epsilon-free views of the two automata. *)
+let inter n1 n2 =
+  if n1.alphabet_size <> n2.alphabet_size then
+    invalid_arg "Nfa.inter: alphabet mismatch";
+  let c1 = eps_closure n1 n1.starts and c2 = eps_closure n2 n2.starts in
+  (* explore reachable pairs of closed state sets? simpler: pairs of states on
+     closed successor relation *)
+  let key (p, q) = (p * n2.num_states) + q in
+  let tbl = Hashtbl.create 64 in
+  let edges = ref [] in
+  let finals = ref [] in
+  let starts = ref [] in
+  let id pair =
+    match Hashtbl.find_opt tbl (key pair) with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length tbl in
+      Hashtbl.add tbl (key pair) i;
+      i
+  in
+  let queue = Queue.create () in
+  let visit pair =
+    let k = key pair in
+    if not (Hashtbl.mem tbl k) then begin
+      let _ = id pair in
+      Queue.add pair queue
+    end
+  in
+  Iset.iter
+    (fun p -> Iset.iter (fun q -> visit (p, q)) c2)
+    c1;
+  Iset.iter (fun p -> Iset.iter (fun q -> starts := id (p, q) :: !starts) c2) c1;
+  while not (Queue.is_empty queue) do
+    let (p, q) = Queue.pop queue in
+    let i = id (p, q) in
+    if Iset.mem p n1.finals && Iset.mem q n2.finals then finals := i :: !finals;
+    for a = 0 to n1.alphabet_size - 1 do
+      let s1 = eps_closure n1 (successors n1 p a)
+      and s2 = eps_closure n2 (successors n2 q a) in
+      Iset.iter
+        (fun p' ->
+          Iset.iter
+            (fun q' ->
+              visit (p', q');
+              edges := (i, a, id (p', q')) :: !edges)
+            s2)
+        s1
+    done
+  done;
+  create
+    ~num_states:(max 1 (Hashtbl.length tbl))
+    ~alphabet_size:n1.alphabet_size ~starts:!starts ~finals:!finals
+    ~edges:!edges ~eps_edges:[]
+
+(* Epsilon removal: closed transitions and closure-adjusted finals.  The
+   result recognizes the same language with an empty eps map. *)
+let eps_free n =
+  let closure_of q = eps_closure n (Iset.singleton q) in
+  let edges = ref [] in
+  for p = 0 to n.num_states - 1 do
+    for a = 0 to n.alphabet_size - 1 do
+      Iset.iter
+        (fun q -> edges := (p, a, q) :: !edges)
+        (step n (closure_of p) a)
+    done
+  done;
+  let finals =
+    List.filter
+      (fun q -> not (Iset.is_empty (Iset.inter (closure_of q) n.finals)))
+      (List.init n.num_states Fun.id)
+  in
+  create ~num_states:n.num_states ~alphabet_size:n.alphabet_size
+    ~starts:(Iset.elements n.starts) ~finals ~edges:!edges ~eps_edges:[]
+
+(* Relabel symbols; [f a] lists the new symbols standing for [a]. *)
+let map_symbols ~alphabet_size f n =
+  let edges =
+    List.concat_map (fun (p, a, q) -> List.map (fun b -> (p, b, q)) (f a))
+      (edges n)
+  in
+  let eps_edges =
+    Imap.fold
+      (fun p qs acc -> Iset.fold (fun q acc -> (p, q) :: acc) qs acc)
+      n.eps []
+  in
+  create ~num_states:n.num_states ~alphabet_size
+    ~starts:(Iset.elements n.starts) ~finals:(Iset.elements n.finals) ~edges
+    ~eps_edges
+
+let pp ppf n =
+  Fmt.pf ppf "NFA(states=%d, alphabet=%d, starts=%a, finals=%a, edges=%d)"
+    n.num_states n.alphabet_size
+    Fmt.(list ~sep:(any ",") int)
+    (Iset.elements n.starts)
+    Fmt.(list ~sep:(any ",") int)
+    (Iset.elements n.finals)
+    (List.length (edges n))

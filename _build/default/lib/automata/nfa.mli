@@ -1,0 +1,51 @@
+(** Nondeterministic finite automata with epsilon transitions over the
+    integer alphabet [{0, ..., alphabet_size - 1}]. *)
+
+module Iset : Set.S with type elt = int
+
+type t
+
+val create :
+  num_states:int ->
+  alphabet_size:int ->
+  starts:int list ->
+  finals:int list ->
+  edges:(int * int * int) list ->
+  eps_edges:(int * int) list ->
+  t
+
+val num_states : t -> int
+val alphabet_size : t -> int
+val starts : t -> int list
+val finals : t -> int list
+val successors : t -> int -> int -> Iset.t
+val eps_successors : t -> int -> Iset.t
+val edges : t -> (int * int * int) list
+val eps_closure : t -> Iset.t -> Iset.t
+val step : t -> Iset.t -> int -> Iset.t
+val accepts : t -> int list -> bool
+val is_empty : t -> bool
+
+(** Shortest accepted word (BFS over the subset construction): the
+    counterexample witness reported by the decision procedures. *)
+val shortest_word : t -> int list option
+
+val empty : int -> t
+val epsilon : int -> t
+val symbol : int -> int -> t
+val union : t -> t -> t
+val concat : t -> t -> t
+val star : t -> t
+val of_regex : alphabet_size:int -> Regex.t -> t
+val reverse : t -> t
+
+(** Product intersection (epsilon-free on-the-fly construction). *)
+val inter : t -> t -> t
+
+(** Epsilon removal: same language, empty epsilon map. *)
+val eps_free : t -> t
+
+(** Relabel symbols; [f a] lists the new symbols standing for [a]. *)
+val map_symbols : alphabet_size:int -> (int -> int list) -> t -> t
+
+val pp : t Fmt.t

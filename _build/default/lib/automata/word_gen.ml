@@ -1,0 +1,27 @@
+(* Word generators for property tests and benches. *)
+
+let random_word rng ~alphabet_size ~max_len =
+  let len = Random.State.int rng (max_len + 1) in
+  List.init len (fun _ -> Random.State.int rng alphabet_size)
+
+(* All words over {0..alphabet_size-1} of length exactly n. *)
+let rec words_of_length ~alphabet_size n =
+  if n = 0 then [ [] ]
+  else
+    let shorter = words_of_length ~alphabet_size (n - 1) in
+    List.concat_map
+      (fun w -> List.init alphabet_size (fun a -> a :: w))
+      shorter
+
+(* All words of length at most n, shortest first. *)
+let words_up_to ~alphabet_size n =
+  List.concat_map (words_of_length ~alphabet_size) (List.init (n + 1) Fun.id)
+
+let pp_word ppf w =
+  if w = [] then Fmt.string ppf "<eps>"
+  else
+    List.iter
+      (fun a ->
+        if a >= 0 && a < 26 then Fmt.pf ppf "%c" (Char.chr (Char.code 'a' + a))
+        else Fmt.pf ppf "<%d>" a)
+      w

@@ -1,0 +1,11 @@
+(** Word generators for property tests and benches. *)
+
+val random_word : Random.State.t -> alphabet_size:int -> max_len:int -> int list
+
+(** All words of length exactly [n]. *)
+val words_of_length : alphabet_size:int -> int -> int list list
+
+(** All words of length at most [n], shortest first. *)
+val words_up_to : alphabet_size:int -> int -> int list list
+
+val pp_word : int list Fmt.t

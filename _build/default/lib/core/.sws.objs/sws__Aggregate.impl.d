@@ -1,0 +1,1 @@
+lib/core/aggregate.ml: Int List Relational Sws_data

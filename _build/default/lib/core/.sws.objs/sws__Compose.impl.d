@@ -1,0 +1,1 @@
+lib/core/compose.ml: Array Automata Bool Fmt Fun Int List Mediator Printf Relational Rewriting Set Sws_data Sws_def Sws_pl

@@ -1,0 +1,1 @@
+lib/core/compose.mli: Automata Fmt Mediator Relational Sws_data Sws_pl

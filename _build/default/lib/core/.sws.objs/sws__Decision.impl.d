@@ -1,0 +1,1 @@
+lib/core/decision.ml: Automata Cq Database List Printf Proplogic Relation Relational Schema Subst Sws_data Sws_pl Tuple Ucq Unfold Value

@@ -1,0 +1,1 @@
+lib/core/decision.mli: Proplogic Relational Sws_data Sws_pl

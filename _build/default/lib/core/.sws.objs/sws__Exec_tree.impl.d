@@ -1,0 +1,1 @@
+lib/core/exec_tree.ml: Array Fmt List Sws_def

@@ -1,0 +1,1 @@
+lib/core/guarded.ml: Int List Printf Relational Set String Sws_data Sws_def

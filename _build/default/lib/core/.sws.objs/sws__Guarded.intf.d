@@ -1,0 +1,1 @@
+lib/core/guarded.mli: Relational Set Sws_data

@@ -1,0 +1,1 @@
+lib/core/mediator.ml: Array List Printf Random Relational String Sws_data Sws_def

@@ -1,0 +1,1 @@
+lib/core/mediator.mli: Relational Sws_data Sws_def

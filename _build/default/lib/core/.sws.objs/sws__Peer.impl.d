@@ -1,0 +1,1 @@
+lib/core/peer.ml: List Printf Relational String Sws_data Sws_def

@@ -1,0 +1,1 @@
+lib/core/reductions.ml: Atom Automata Cq Database Datalog Fun Int List Printf Proplogic Relation Relational Schema Set Sws_data Sws_def Sws_pl Term Tuple Ucq

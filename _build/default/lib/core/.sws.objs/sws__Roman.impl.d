@@ -1,0 +1,1 @@
+lib/core/roman.ml: Atom Automata Cq Fun List Printf Proplogic Relational Schema Sws_data Sws_def Sws_pl Term Ucq

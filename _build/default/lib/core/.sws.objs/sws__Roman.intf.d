@@ -1,0 +1,1 @@
+lib/core/roman.mli: Automata Proplogic Relational Sws_data Sws_pl

@@ -1,0 +1,1 @@
+lib/core/sws_data.ml: Exec_tree Fmt List Option Printf Relational Sws_def

@@ -1,0 +1,1 @@
+lib/core/sws_data.mli: Exec_tree Fmt Relational Sws_def

@@ -1,0 +1,1 @@
+lib/core/sws_def.ml: Fmt Hashtbl List Map Printf String

@@ -1,0 +1,1 @@
+lib/core/sws_def.mli: Fmt

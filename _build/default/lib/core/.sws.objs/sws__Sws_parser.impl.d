@@ -1,0 +1,1 @@
+lib/core/sws_parser.ml: Buffer List Printf Proplogic String Sws_def Sws_pl

@@ -1,0 +1,1 @@
+lib/core/sws_pl.ml: Array Automata Exec_tree Fmt Hashtbl List Printf Proplogic String Sws_def

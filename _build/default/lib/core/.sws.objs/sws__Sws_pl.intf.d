@@ -1,0 +1,1 @@
+lib/core/sws_pl.mli: Automata Exec_tree Fmt Proplogic Sws_def

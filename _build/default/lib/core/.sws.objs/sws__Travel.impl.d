@@ -1,0 +1,1 @@
+lib/core/travel.ml: Aggregate Fun List Mediator Printf Relational Sws_data Sws_def

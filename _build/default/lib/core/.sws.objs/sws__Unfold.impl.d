@@ -1,0 +1,1 @@
+lib/core/unfold.ml: Fun List Map Printf Relational String Sws_data Sws_def

@@ -1,0 +1,1 @@
+lib/core/unfold.mli: Relational Sws_data

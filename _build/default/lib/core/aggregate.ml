@@ -1,0 +1,85 @@
+(* Aggregation and cost models over synthesized actions — the extension the
+   paper singles out as future work (Section 6: "extend SWS's by
+   incorporating aggregation and a cost model into action synthesis to
+   find, e.g., a travel package with minimum total cost").
+
+   The mechanism: a cost specification assigns each action tuple a cost
+   (a weighted sum over numeric columns, with don't-care markers counting
+   as zero), and an aggregating service applies an argmin / argmax / top-k
+   selection to its root register before the actions are committed.  This
+   keeps the paper's semantics intact — the underlying SWS still produces
+   the full action relation; aggregation is a deterministic synthesis step
+   at the commitment point, in the spirit of the deterministic synthesis
+   the model advocates. *)
+
+module R = Relational
+module Relation = R.Relation
+module Tuple = R.Tuple
+module Value = R.Value
+
+type cost_spec = {
+  weights : (int * int) list; (* (column, weight) *)
+  missing : int;              (* cost contribution of a non-numeric column *)
+}
+
+let uniform_columns columns = { weights = List.map (fun c -> (c, 1)) columns; missing = 0 }
+
+(* The cost of one action tuple under the specification. *)
+let tuple_cost spec tuple =
+  List.fold_left
+    (fun acc (column, weight) ->
+      match Tuple.get tuple column with
+      | Value.Int price -> acc + (weight * price)
+      | Value.Str _ -> acc + spec.missing)
+    0 spec.weights
+
+let costs spec rel =
+  Relation.fold (fun t acc -> (t, tuple_cost spec t) :: acc) rel []
+
+(* argmin/argmax selection: the tuples achieving the optimal cost.  The
+   result is deterministic (a set), as required of SWS synthesis. *)
+let select_opt better spec rel =
+  match costs spec rel with
+  | [] -> Relation.empty (Relation.arity rel)
+  | (t0, c0) :: rest ->
+    let best =
+      List.fold_left (fun best (_, c) -> if better c best then c else best) c0 rest
+    in
+    ignore t0;
+    List.fold_left
+      (fun acc (t, c) -> if c = best then Relation.add t acc else acc)
+      (Relation.empty (Relation.arity rel))
+      ((t0, c0) :: rest)
+
+let min_cost spec rel = select_opt ( < ) spec rel
+let max_cost spec rel = select_opt ( > ) spec rel
+
+(* The k cheapest tuples (ties broken by tuple order, deterministically). *)
+let cheapest_k spec k rel =
+  costs spec rel
+  |> List.sort (fun (t1, c1) (t2, c2) ->
+         match Int.compare c1 c2 with 0 -> Tuple.compare t1 t2 | c -> c)
+  |> List.filteri (fun i _ -> i < k)
+  |> List.fold_left (fun acc (t, _) -> Relation.add t acc) (Relation.empty (Relation.arity rel))
+
+(* Total cost of a relation: e.g. the budget a committed package needs. *)
+let total_cost spec rel =
+  Relation.fold (fun t acc -> acc + tuple_cost spec t) rel 0
+
+(* An aggregating service: the base SWS runs as usual; the aggregation is
+   applied to the root's action register at commitment. *)
+type t = {
+  base : Sws_data.t;
+  aggregate : Relation.t -> Relation.t;
+}
+
+let with_min_cost base spec = { base; aggregate = min_cost spec }
+let with_max_cost base spec = { base; aggregate = max_cost spec }
+let with_cheapest_k base spec k = { base; aggregate = cheapest_k spec k }
+
+let run t db inputs = t.aggregate (Sws_data.run t.base db inputs)
+
+(* Sessions commit aggregated actions. *)
+let run_sessions ?commit t db inputs =
+  let db', outs = Sws_data.run_sessions ?commit t.base db inputs in
+  (db', List.map t.aggregate outs)

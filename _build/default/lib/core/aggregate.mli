@@ -1,0 +1,50 @@
+(** Aggregation and cost models over synthesized actions — the extension
+    the paper lists as future work (Section 6: "find a travel package with
+    minimum total cost").
+
+    A cost specification assigns every action tuple a weighted sum over
+    its numeric columns; an aggregating service applies a deterministic
+    argmin / argmax / top-k selection to the root register at the
+    commitment point. *)
+
+type cost_spec = {
+  weights : (int * int) list;  (** (column, weight) pairs *)
+  missing : int;  (** contribution of a non-numeric column (don't-cares) *)
+}
+
+(** Weight 1 on each listed column, don't-cares cost 0. *)
+val uniform_columns : int list -> cost_spec
+
+val tuple_cost : cost_spec -> Relational.Tuple.t -> int
+
+(** The tuples achieving minimal cost (a set: deterministic synthesis). *)
+val min_cost : cost_spec -> Relational.Relation.t -> Relational.Relation.t
+
+val max_cost : cost_spec -> Relational.Relation.t -> Relational.Relation.t
+
+(** The k cheapest tuples, ties broken by tuple order. *)
+val cheapest_k : cost_spec -> int -> Relational.Relation.t -> Relational.Relation.t
+
+val total_cost : cost_spec -> Relational.Relation.t -> int
+
+(** An aggregating service: the base SWS plus a selection applied to its
+    root register at commitment. *)
+type t = {
+  base : Sws_data.t;
+  aggregate : Relational.Relation.t -> Relational.Relation.t;
+}
+
+val with_min_cost : Sws_data.t -> cost_spec -> t
+val with_max_cost : Sws_data.t -> cost_spec -> t
+val with_cheapest_k : Sws_data.t -> cost_spec -> int -> t
+
+val run :
+  t -> Relational.Database.t -> Relational.Relation.t list -> Relational.Relation.t
+
+(** Sessions commit aggregated actions. *)
+val run_sessions :
+  ?commit:(Relational.Database.t -> Relational.Relation.t -> Relational.Database.t) ->
+  t ->
+  Relational.Database.t ->
+  Relational.Relation.t list ->
+  Relational.Database.t * Relational.Relation.t list

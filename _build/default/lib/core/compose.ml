@@ -1,0 +1,421 @@
+(* Composition synthesis CP(G, M, C) (Section 5): given a goal service and a
+   set of available component services, decide whether some mediator over
+   the components is equivalent to the goal — and construct it when one
+   exists.
+
+   Decidable cases implemented exactly:
+
+   - PL classes with MDT(∨) mediators (Theorem 5.3(1, 2), and the k-prefix
+     machinery of Theorem 5.1(4, 5)): at the language level.  A component's
+     contribution to a mediator run is its minimal-prefix language ("the
+     corresponding NFAs stop processing the input the first time a final
+     state is encountered"), and an ∨-synthesis mediator denotes a regular
+     combination of component languages, so synthesis reduces to the CGLV
+     rewriting of the goal language over the component languages
+     (Rewriting.Regex_rewrite).  The returned rewriting DFA *is* the
+     mediator: its states are mediator states and its edges component
+     invocations, with disjunctive synthesis.
+
+   - MDT_b(PL) (Theorem 5.3(3)): bounded search over boolean combinations
+     (union, intersection, difference — the paper's "concatenation,
+     intersection and complementation") of concatenations of component
+     languages, checked exactly against the goal language.
+
+   - SWS_nr(CQ, UCQ) over query-shaped components (Theorem 5.1(3) and
+     Corollary 5.2's SWS_nr(CQ^r)): via equivalent query rewriting using
+     views (Rewriting.Bucket), then reified into an operational
+     MDT_nr(UCQ) mediator.
+
+   The undecidable rows (Theorem 5.1(1, 2)) get a bounded mediator search
+   that never claims completeness. *)
+
+module R = Relational
+module Nfa = Automata.Nfa
+module Dfa = Automata.Dfa
+module Regex_rewrite = Rewriting.Regex_rewrite
+module Bucket = Rewriting.Bucket
+module View = Rewriting.View
+module Expand = Rewriting.Expand
+
+(* ------------------------------------------------------------------ *)
+(* PL languages of services and components                              *)
+(* ------------------------------------------------------------------ *)
+
+let pl_language_nfa sws = Automata.Afa.to_nfa (Sws_pl.to_afa sws)
+
+(* Minimal-prefix language: words accepted with no accepted proper prefix.
+   A component invoked by a mediator runs to completion and hands control
+   back; it cannot un-consume input, so only its earliest acceptances
+   matter (the "stop at the first final state" subtlety in the proof of
+   Theorem 5.3(1)). *)
+let minimal_prefix_nfa nfa =
+  let dfa = Dfa.minimize (Dfa.of_nfa nfa) in
+  let num = Dfa.num_states dfa in
+  let alphabet_size = Dfa.alphabet_size dfa in
+  (* copy the DFA as an NFA but cut every edge leaving a final state *)
+  let edges = ref [] in
+  for q = 0 to num - 1 do
+    if not (Dfa.is_final dfa q) then
+      for a = 0 to alphabet_size - 1 do
+        edges := (q, a, Dfa.delta dfa q a) :: !edges
+      done
+  done;
+  Nfa.create ~num_states:num ~alphabet_size ~starts:[ Dfa.start dfa ]
+    ~finals:(Dfa.finals dfa) ~edges:!edges ~eps_edges:[]
+
+(* ------------------------------------------------------------------ *)
+(* k-prefix recognizable languages (Theorem 5.1(4, 5))                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A language is k-prefix recognizable when membership is determined by the
+   first k symbols.  On the minimal DFA: every state reachable by a word of
+   length k must accept everything or nothing.  [k_prefix_bound] returns
+   the least such k, or [None] when no k exists (some non-trivial state
+   recurs at unbounded depths). *)
+let k_prefix_bound dfa =
+  let dfa = Dfa.minimize dfa in
+  let num = Dfa.num_states dfa in
+  let trivial =
+    Array.init num (fun q ->
+        (* all states reachable from q share q's finality *)
+        let seen = Array.make num false in
+        let rec go p acc =
+          if seen.(p) then acc
+          else begin
+            seen.(p) <- true;
+            let acc = acc && Bool.equal (Dfa.is_final dfa p) (Dfa.is_final dfa q) in
+            if acc then
+              List.fold_left
+                (fun acc a -> go (Dfa.delta dfa p a) acc)
+                acc
+                (List.init (Dfa.alphabet_size dfa) Fun.id)
+            else false
+          end
+        in
+        go q true)
+  in
+  let module Iset = Set.Make (Int) in
+  let rec scan frontier k =
+    if k > num then None
+    else if Iset.for_all (fun q -> trivial.(q)) frontier then Some k
+    else
+      let next =
+        Iset.fold
+          (fun q acc ->
+            List.fold_left
+              (fun acc a -> Iset.add (Dfa.delta dfa q a) acc)
+              acc
+              (List.init (Dfa.alphabet_size dfa) Fun.id))
+          frontier Iset.empty
+      in
+      scan next (k + 1)
+  in
+  scan (Iset.singleton (Dfa.start dfa)) 0
+
+(* ------------------------------------------------------------------ *)
+(* MDT(∨) synthesis via regular rewriting (Theorem 5.3(1, 2))            *)
+(* ------------------------------------------------------------------ *)
+
+type pl_composition = {
+  mediator : Dfa.t;       (* over the component alphabet 0..m-1 *)
+  component_names : string list;
+  exact : bool;           (* equivalent (true) or merely maximal *)
+}
+
+(* Goal and components as languages; returns the mediator automaton when an
+   equivalent MDT(∨) mediator exists, and the maximally-contained one (or
+   None) otherwise. *)
+let compose_or_nfa ~goal ~components =
+  let views =
+    List.map (fun (_, nfa) -> minimal_prefix_nfa nfa) components
+  in
+  let names = List.map fst components in
+  match Regex_rewrite.rewrite ~target:goal ~views with
+  | Regex_rewrite.Exact m ->
+    Some { mediator = m; component_names = names; exact = true }
+  | Regex_rewrite.Maximal m ->
+    Some { mediator = m; component_names = names; exact = false }
+  | Regex_rewrite.Empty_rewriting -> None
+
+(* For PL *services* the composition equation carries a trailing closure: a
+   mediator whose last component has answered keeps its verdict however
+   much input follows, so its language is (∪ chains of minimal-prefix
+   component languages) · Σ*.  The rewriting target is therefore the
+   trailing core of the goal language, { w | w · Σ* ⊆ L(goal) } — on the
+   goal DFA, the states from which every reachable state accepts. *)
+let trailing_core_dfa dfa =
+  let dfa = Dfa.minimize dfa in
+  let num = Dfa.num_states dfa in
+  let accept_all q =
+    let seen = Array.make num false in
+    let rec go p =
+      if seen.(p) then true
+      else begin
+        seen.(p) <- true;
+        Dfa.is_final dfa p
+        && List.for_all
+             (fun a -> go (Dfa.delta dfa p a))
+             (List.init (Dfa.alphabet_size dfa) Fun.id)
+      end
+    in
+    go q
+  in
+  let finals = List.filter accept_all (List.init num Fun.id) in
+  let trans =
+    Array.init num (fun q ->
+        Array.init (Dfa.alphabet_size dfa) (fun a -> Dfa.delta dfa q a))
+  in
+  Dfa.create ~alphabet_size:(Dfa.alphabet_size dfa) ~start:(Dfa.start dfa)
+    ~finals ~trans
+
+let universal_nfa alphabet_size =
+  Nfa.create ~num_states:1 ~alphabet_size ~starts:[ 0 ] ~finals:[ 0 ]
+    ~edges:(List.init alphabet_size (fun a -> (0, a, 0)))
+    ~eps_edges:[]
+
+(* CP(SWS(PL, PL), MDT(∨), SWS(PL, PL)) with a PL goal service. *)
+let compose_pl_or ~goal ~components =
+  let goal_dfa = Dfa.of_nfa (pl_language_nfa goal) in
+  let alphabet_size = Dfa.alphabet_size goal_dfa in
+  let core = trailing_core_dfa goal_dfa in
+  let views =
+    List.map (fun (_, c) -> minimal_prefix_nfa (pl_language_nfa c)) components
+  in
+  let names = List.map fst components in
+  let m = Regex_rewrite.maximal_rewriting ~target:(Dfa.to_nfa core) ~views in
+  if Dfa.is_empty m && not (Dfa.is_empty goal_dfa) then None
+  else begin
+    let closed_expansion =
+      Nfa.concat (Regex_rewrite.expansion ~views m) (universal_nfa alphabet_size)
+    in
+    let exact = Dfa.equivalent (Dfa.of_nfa closed_expansion) goal_dfa in
+    Some { mediator = m; component_names = names; exact }
+  end
+
+(* CP(NFA/DFA, MDT(∨), SWS(PL, PL)): the Roman-model goals of
+   Theorem 5.3(2). *)
+let compose_nfa_or ~goal ~components = compose_or_nfa ~goal ~components
+
+(* ------------------------------------------------------------------ *)
+(* MDT_b(PL): bounded boolean-combination search (Theorem 5.3(3))        *)
+(* ------------------------------------------------------------------ *)
+
+type plan =
+  | Invoke of string               (* one component, to completion *)
+  | Chain of plan list             (* sequential invocation *)
+  | Union of plan * plan           (* disjunctive synthesis *)
+  | Inter of plan * plan           (* conjunctive synthesis *)
+  | Minus of plan * plan           (* synthesis with negation *)
+
+let rec pp_plan ppf = function
+  | Invoke n -> Fmt.string ppf n
+  | Chain ps -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " ; ") pp_plan) ps
+  | Union (a, b) -> Fmt.pf ppf "(%a | %a)" pp_plan a pp_plan b
+  | Inter (a, b) -> Fmt.pf ppf "(%a & %a)" pp_plan a pp_plan b
+  | Minus (a, b) -> Fmt.pf ppf "(%a \\ %a)" pp_plan a pp_plan b
+
+let rec plan_language ~env ~alphabet_size = function
+  | Invoke n -> List.assoc n env
+  | Chain ps ->
+    List.fold_left
+      (fun acc p ->
+        Dfa.of_nfa
+          (Nfa.concat (Dfa.to_nfa acc)
+             (Dfa.to_nfa (plan_language ~env ~alphabet_size p))))
+      (Dfa.of_nfa (Nfa.epsilon alphabet_size))
+      ps
+  | Union (a, b) ->
+    Dfa.union (plan_language ~env ~alphabet_size a) (plan_language ~env ~alphabet_size b)
+  | Inter (a, b) ->
+    Dfa.inter (plan_language ~env ~alphabet_size a) (plan_language ~env ~alphabet_size b)
+  | Minus (a, b) ->
+    Dfa.diff (plan_language ~env ~alphabet_size a) (plan_language ~env ~alphabet_size b)
+
+(* All nonempty component-name sequences of length <= b. *)
+let chains names b =
+  let rec of_length l =
+    if l = 0 then [ [] ]
+    else
+      let shorter = of_length (l - 1) in
+      List.concat_map (fun n -> List.map (fun c -> n :: c) shorter) names
+  in
+  List.concat_map (fun l -> of_length (l + 1)) (List.init b Fun.id)
+
+type bounded_result =
+  | Found of plan
+  | No_mediator_within_bound
+
+(* CP(SWS(PL,PL), MDT_b(PL), SWS(PL,PL)): each component is invoked a
+   bounded number of times and synthesis sizes are bounded — here realized
+   as chains of length <= bound combined by one boolean operation.  The
+   equivalence check against the goal language is exact (DFA equivalence),
+   so a [Found] answer is a real mediator and the search is complete over
+   the plan space it enumerates. *)
+let compose_mdtb ~goal ~components ~bound =
+  let env =
+    List.map (fun (n, c) -> (n, Dfa.minimize (Dfa.of_nfa (minimal_prefix_nfa c)))) components
+  in
+  let goal_dfa = Dfa.minimize (Dfa.of_nfa goal) in
+  let alphabet_size = Nfa.alphabet_size goal in
+  let base_chains =
+    chains (List.map fst components) bound
+    |> List.map (fun c -> Chain (List.map (fun n -> Invoke n) c))
+  in
+  let candidates =
+    base_chains
+    @ List.concat_map
+        (fun a ->
+          List.concat_map
+            (fun b -> [ Union (a, b); Inter (a, b); Minus (a, b) ])
+            base_chains)
+        base_chains
+  in
+  let matches plan =
+    try Dfa.equivalent (plan_language ~env ~alphabet_size plan) goal_dfa
+    with Not_found -> false
+  in
+  match List.find_opt matches candidates with
+  | Some plan -> Found plan
+  | None -> No_mediator_within_bound
+
+let compose_mdtb_pl ~goal ~components ~bound =
+  compose_mdtb ~goal:(pl_language_nfa goal)
+    ~components:(List.map (fun (n, c) -> (n, pl_language_nfa c)) components)
+    ~bound
+
+(* ------------------------------------------------------------------ *)
+(* SWS_nr(CQ, UCQ): composition via query rewriting (Theorem 5.1(3))     *)
+(* ------------------------------------------------------------------ *)
+
+(* A query-shaped component (the SWS_nr(CQ^r) of Corollary 5.2): a
+   single-state service whose synthesis evaluates a fixed query over the
+   local database.  Its run consumes one input message and returns the
+   query answer — exactly a materialized view. *)
+let query_service ~db_schema query =
+  let arity = R.Cq.head_arity query in
+  Sws_data.make ~db_schema ~in_arity:arity ~out_arity:arity ~start:"q0"
+    ~rules:[ ("q0", { Sws_def.succs = []; synth = Sws_data.Q_cq query }) ]
+
+type cq_composition = {
+  rewriting : R.Ucq.t;      (* over the view vocabulary *)
+  mediator_ops : Mediator.t list; (* one operational mediator per disjunct *)
+}
+
+(* Reify one conjunctive rewriting as an operational MDT_nr(UCQ) mediator:
+   q0 invokes one component per view atom; each q_i copies its message
+   (the component's answer) into its action register; the root synthesis
+   evaluates the rewriting disjunct over act1..actk. *)
+let reify_disjunct ~db_schema ~components (d : R.Cq.t) =
+  let succs =
+    List.mapi (fun i (a : R.Atom.t) -> (Printf.sprintf "q%d" (i + 1), a.rel))
+      d.R.Cq.body
+  in
+  let copy_rule arity =
+    let vars = List.init arity (fun i -> R.Term.var (Printf.sprintf "x%d" i)) in
+    {
+      Sws_def.succs = [];
+      synth = Sws_data.Q_cq (R.Cq.make ~head:vars ~body:[ R.Atom.make Sws_data.msg_rel vars ] ());
+    }
+  in
+  let finals =
+    List.mapi
+      (fun i (a : R.Atom.t) ->
+        let arity =
+          match List.assoc_opt a.rel components with
+          | Some svc -> Sws_data.out_arity svc
+          | None -> List.length a.args
+        in
+        (Printf.sprintf "q%d" (i + 1), copy_rule arity))
+      d.R.Cq.body
+  in
+  let synth =
+    (* the disjunct with its i-th view atom read from act_i *)
+    let body =
+      List.mapi
+        (fun i (a : R.Atom.t) -> R.Atom.make (Sws_data.act_rel i) a.args)
+        d.R.Cq.body
+    in
+    Sws_data.Q_cq (R.Cq.make ~neqs:d.R.Cq.neqs ~head:d.R.Cq.head ~body ())
+  in
+  Mediator.make ~db_schema ~arity:(R.Cq.head_arity d)
+    ~components:
+      (List.map (fun (name, service) -> { Mediator.name; service }) components)
+    ~start:"q0"
+    ~rules:(("q0", { Sws_def.succs = succs; synth }) :: finals)
+
+type cq_result =
+  | Cq_composed of cq_composition
+  | Cq_only_contained of R.Ucq.t
+  | Cq_no_mediator
+
+(* CP for a goal *query* (the unfolded goal service) over query-shaped
+   components.  [max_atoms] is the small-model bound on rewriting size. *)
+let compose_cq ?max_atoms ~db_schema ~components goal_query =
+  let views =
+    List.map (fun (name, q) -> View.make name q) components
+  in
+  match Bucket.equivalent_rewriting ?max_atoms views goal_query with
+  | Bucket.Equivalent rw ->
+    let services =
+      List.map (fun (name, q) -> (name, query_service ~db_schema q)) components
+    in
+    let mediators =
+      List.map (reify_disjunct ~db_schema ~components:services)
+        (R.Ucq.disjuncts rw)
+    in
+    Cq_composed { rewriting = rw; mediator_ops = mediators }
+  | Bucket.Only_contained rw -> Cq_only_contained rw
+  | Bucket.No_rewriting -> Cq_no_mediator
+
+(* ------------------------------------------------------------------ *)
+(* Bounded search for the undecidable rows (Theorem 5.1(1, 2))           *)
+(* ------------------------------------------------------------------ *)
+
+type search_result =
+  | Candidate of Mediator.t  (* agrees with the goal on all samples *)
+  | None_within_bound
+
+(* Enumerate small mediator shapes (single invocations and 2-chains with
+   copy synthesis) over the components and keep the first that matches the
+   goal on randomized instance samples.  Never claims completeness: the
+   exact problems are undecidable. *)
+let compose_bounded_search ?(samples = 60) ~db_schema ~goal ~components () =
+  let arity = Sws_data.out_arity goal in
+  let copy_vars = List.init arity (fun i -> R.Term.var (Printf.sprintf "x%d" i)) in
+  let copy_of rel =
+    Sws_data.Q_cq (R.Cq.make ~head:copy_vars ~body:[ R.Atom.make rel copy_vars ] ())
+  in
+  let single name =
+    Mediator.make ~db_schema ~arity
+      ~components:(List.map (fun (n, s) -> { Mediator.name = n; service = s }) components)
+      ~start:"q0"
+      ~rules:
+        [
+          ("q0", { Sws_def.succs = [ ("q1", name) ]; synth = copy_of (Sws_data.act_rel 0) });
+          ("q1", { Sws_def.succs = []; synth = copy_of Sws_data.msg_rel });
+        ]
+  in
+  let chain2 n1 n2 =
+    Mediator.make ~db_schema ~arity
+      ~components:(List.map (fun (n, s) -> { Mediator.name = n; service = s }) components)
+      ~start:"q0"
+      ~rules:
+        [
+          ("q0", { Sws_def.succs = [ ("q1", n1) ]; synth = copy_of (Sws_data.act_rel 0) });
+          ("q1", { Sws_def.succs = [ ("q2", n2) ]; synth = copy_of (Sws_data.act_rel 0) });
+          ("q2", { Sws_def.succs = []; synth = copy_of Sws_data.msg_rel });
+        ]
+  in
+  let names = List.map fst components in
+  let candidates =
+    List.map single names
+    @ List.concat_map (fun a -> List.map (fun b -> chain2 a b) names) names
+  in
+  let ok m =
+    match Mediator.equiv_check ~samples ~goal m with
+    | Mediator.Agree_on_samples _ -> true
+    | Mediator.Differ _ -> false
+  in
+  match List.find_opt ok candidates with
+  | Some m -> Candidate m
+  | None -> None_within_bound

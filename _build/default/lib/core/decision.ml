@@ -1,0 +1,421 @@
+(* The decision problems of Section 4 — non-emptiness, validation and
+   equivalence — for every SWS class of Table 1.
+
+   Exact procedures implement the algorithms sketched in the proofs of
+   Theorem 4.1:
+
+   - SWS(PL, PL): via the alternating-automaton translation (the emptiness
+     check explores reachable truth vectors on the fly — the PSPACE-style
+     algorithm); SWS_nr(PL, PL): SAT on the unfolded formula (NP / coNP).
+   - SWS_nr(CQ, UCQ): unfold to a UCQ with <> and use canonical databases
+     (non-emptiness), a small-model search (validation) and Klug-complete
+     containment (equivalence).
+   - recursive SWS(CQ, UCQ) validation/equivalence and everything for
+     SWS(FO, FO) are undecidable (Theorem 4.1(1,2)): those cells get
+     bounded semi-procedures that return [Unknown] instead of guessing.
+
+   Every positive answer carries a machine-checkable witness. *)
+
+module R = Relational
+module Prop = Proplogic.Prop
+module Sat = Proplogic.Sat
+module Afa = Automata.Afa
+module Dfa = Automata.Dfa
+
+type 'w outcome =
+  | Yes of 'w
+  | No
+  | Unknown of string
+
+type 'c equiv_outcome =
+  | Equivalent
+  | Inequivalent of 'c
+  | Equiv_unknown of string
+
+(* ------------------------------------------------------------------ *)
+(* SWS(PL, PL), recursive: automata-based, always decisive             *)
+(* ------------------------------------------------------------------ *)
+
+let decode_word sws word = List.map (Sws_pl.assignment_of_symbol sws) word
+
+(* Non-emptiness: is some input sequence answered with [true]? *)
+let pl_non_emptiness sws =
+  let afa = Sws_pl.to_afa sws in
+  match Afa.shortest_word afa with
+  | Some w -> Yes (decode_word sws w)
+  | None -> No
+
+(* Validation: for the PL class the output is one truth value.  O = true
+   coincides with non-emptiness (as the paper remarks); O = false asks for a
+   rejected sequence — note the empty sequence is always rejected, so the
+   interesting check is universality of the complement. *)
+let pl_validation sws ~output =
+  if output then pl_non_emptiness sws
+  else begin
+    let dfa = Dfa.of_nfa (Afa.to_nfa (Sws_pl.to_afa sws)) in
+    match Dfa.shortest_word (Dfa.complement dfa) with
+    | Some w -> Yes (decode_word sws w)
+    | None -> No
+  end
+
+(* Equivalence: same outputs on all databases (trivial here) and inputs,
+   i.e. language equivalence of the two translations.  The services must
+   agree on their input variables; re-declare them if needed. *)
+let pl_equivalence sws1 sws2 =
+  if Sws_pl.input_vars sws1 <> Sws_pl.input_vars sws2 then
+    invalid_arg "pl_equivalence: services declare different input variables";
+  let d1 = Dfa.of_nfa (Afa.to_nfa (Sws_pl.to_afa sws1)) in
+  let d2 = Dfa.of_nfa (Afa.to_nfa (Sws_pl.to_afa sws2)) in
+  match Dfa.distinguishing_word d1 d2 with
+  | None -> Equivalent
+  | Some w -> Inequivalent (decode_word sws1 w)
+
+(* ------------------------------------------------------------------ *)
+(* SWS_nr(PL, PL): SAT-based NP / coNP procedures                      *)
+(* ------------------------------------------------------------------ *)
+
+let require_nonrecursive_pl sws =
+  match Sws_pl.depth sws with
+  | Some d -> d
+  | None -> invalid_arg "this procedure expects a nonrecursive service"
+
+(* Decode a model of the unfolded formula into an input sequence. *)
+let decode_model sws ~n model =
+  List.init n (fun j ->
+      List.fold_left
+        (fun acc x ->
+          if Prop.assignment_mem (Sws_pl.timed_var x (j + 1)) model then
+            Prop.Sset.add x acc
+          else acc)
+        Prop.Sset.empty (Sws_pl.input_vars sws))
+
+(* The unfolded formula stabilizes once n exceeds the dependency depth, so
+   scanning n = 0 .. depth + 1 is a complete search. *)
+let pl_nr_non_emptiness sws =
+  let d = require_nonrecursive_pl sws in
+  let rec scan n =
+    if n > d + 1 then No
+    else
+      match Sat.solve (Sws_pl.unfold sws ~n) with
+      | Some model -> Yes (decode_model sws ~n model)
+      | None -> scan (n + 1)
+  in
+  scan 0
+
+let pl_nr_validation sws ~output =
+  let d = require_nonrecursive_pl sws in
+  let rec scan n =
+    if n > d + 1 then No
+    else
+      let f = Sws_pl.unfold sws ~n in
+      let goal = if output then f else Prop.Not f in
+      match Sat.solve goal with
+      | Some model -> Yes (decode_model sws ~n model)
+      | None -> scan (n + 1)
+  in
+  scan 0
+
+let pl_nr_equivalence sws1 sws2 =
+  let d1 = require_nonrecursive_pl sws1 and d2 = require_nonrecursive_pl sws2 in
+  if Sws_pl.input_vars sws1 <> Sws_pl.input_vars sws2 then
+    invalid_arg "pl_nr_equivalence: services declare different input variables";
+  let rec scan n =
+    if n > max d1 d2 + 1 then Equivalent
+    else
+      let f1 = Sws_pl.unfold sws1 ~n and f2 = Sws_pl.unfold sws2 ~n in
+      match Sat.solve (Prop.Not (Prop.Iff (f1, f2))) with
+      | Some model -> Inequivalent (decode_model sws1 ~n model)
+      | None -> scan (n + 1)
+  in
+  scan 0
+
+(* ------------------------------------------------------------------ *)
+(* Data-driven classes: unfolding-based procedures                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Split a database over the unfolded vocabulary back into (D, I). *)
+let split_witness sws ~n db =
+  let open R in
+  let d =
+    Database.fold
+      (fun name rel acc ->
+        if Schema.mem name (Sws_data.db_schema sws) then
+          Database.set name rel acc
+        else acc)
+      db
+      (Database.empty (Sws_data.db_schema sws))
+  in
+  let inputs =
+    List.init n (fun j ->
+        let name = Unfold.timed_in (j + 1) in
+        if Schema.mem name (Database.schema db) then Database.find name db
+        else Relation.empty (Sws_data.in_arity sws))
+  in
+  (d, inputs)
+
+(* The complete scan bound: depth + 1 for nonrecursive services (where the
+   unfolding stabilizes), the caller-supplied budget for recursive ones. *)
+let scan_bound sws ~max_n =
+  match Sws_data.depth sws with
+  | Some d -> (d + 1, true)
+  | None -> (max_n, false)
+
+(* Non-emptiness for SWS(CQ, UCQ): a disjunct of the unfolded UCQ with a
+   consistent partition yields a canonical-database witness. *)
+let cq_non_emptiness ?(max_n = 6) sws =
+  let bound, decisive = scan_bound sws ~max_n in
+  let schema_at n = Unfold.schema sws ~n in
+  let rec scan n =
+    if n > bound then
+      if decisive then No
+      else Unknown (Printf.sprintf "no witness with at most %d inputs" bound)
+    else begin
+      let q = Unfold.to_ucq sws ~n in
+      let witness =
+        List.find_map
+          (fun (d : R.Cq.t) ->
+            match R.Cq.partitions d with
+            | [] -> None
+            | subst :: _ ->
+              let db, goal = R.Cq.ground_under ~schema:(schema_at n) subst d in
+              Some (db, goal))
+          (R.Ucq.disjuncts q)
+      in
+      match witness with
+      | Some (db, goal) ->
+        let d, inputs = split_witness sws ~n db in
+        Yes (d, inputs, goal)
+      | None -> scan (n + 1)
+    end
+  in
+  scan 0
+
+(* Validation for SWS(CQ, UCQ): small-model search.  O = empty is witnessed
+   by the empty input sequence (rule (1)).  Otherwise each output tuple is
+   assigned to a disjunct and an identification pattern; the assembled
+   canonical database is kept only if it reproduces O exactly.  Sound and,
+   on the canonical candidate space, complete; recursive services and
+   exhausted budgets report [Unknown]. *)
+let cq_validation ?(max_n = 4) ?(max_assignments = 4096) sws ~output =
+  let open R in
+  if Relation.is_empty output then Yes (Database.empty (Sws_data.db_schema sws), [])
+  else begin
+    let bound, decisive = scan_bound sws ~max_n in
+    let tuples = Relation.to_list output in
+    let truncated = ref false in
+    let try_n n =
+      let q = Unfold.to_ucq sws ~n in
+      let schema = Unfold.schema sws ~n in
+      (* candidate groundings of one disjunct onto one output tuple *)
+      let groundings tuple =
+        List.concat_map
+          (fun (d : Cq.t) ->
+            List.filter_map
+              (fun subst ->
+                (* the partition must send the head exactly to [tuple] *)
+                let head_vals =
+                  List.map (Subst.apply_term_exn subst) d.Cq.head
+                in
+                (* frozen class representatives may be renamed to the output
+                   values they must equal *)
+                let rename =
+                  List.fold_left2
+                    (fun acc v target ->
+                      match acc with
+                      | None -> None
+                      | Some map ->
+                        if Value.equal v target then Some map
+                        else if Value.is_frozen v then
+                          match List.assoc_opt v map with
+                          | None -> Some ((v, target) :: map)
+                          | Some t when Value.equal t target -> Some map
+                          | Some _ -> None
+                        else None)
+                    (Some []) head_vals (Tuple.to_list tuple)
+                in
+                match rename with
+                | None -> None
+                | Some map ->
+                  let subst' =
+                    List.fold_left
+                      (fun s (x, v) ->
+                        let v' =
+                          match List.assoc_opt v map with
+                          | Some t -> t
+                          | None -> v
+                        in
+                        Subst.bind x v' s)
+                      Subst.empty (Subst.to_list subst)
+                  in
+                  let db, goal = Cq.ground_under ~schema subst' d in
+                  if Tuple.equal goal tuple then Some db else None)
+              (Cq.partitions d))
+          (Ucq.disjuncts q)
+      in
+      let per_tuple = List.map groundings tuples in
+      if List.exists (fun g -> g = []) per_tuple then None
+      else begin
+        let rec combine dbs = function
+          | [] -> [ dbs ]
+          | choices :: rest ->
+            List.concat_map (fun db -> combine (db :: dbs) rest) choices
+        in
+        let candidates = combine [] per_tuple in
+        let candidates =
+          if List.length candidates > max_assignments then begin
+            truncated := true;
+            List.filteri (fun i _ -> i < max_assignments) candidates
+          end
+          else candidates
+        in
+        List.find_map
+          (fun dbs ->
+            let db =
+              List.fold_left Database.merge (Database.empty schema) dbs
+            in
+            if Relation.equal (Ucq.eval q db) output then Some db else None)
+          candidates
+      end
+    in
+    let rec scan n =
+      if n > bound then
+        if decisive && not !truncated then
+          Unknown "no canonical witness; identifications outside the candidate space remain"
+        else Unknown (Printf.sprintf "no witness with at most %d inputs" bound)
+      else
+        match try_n n with
+        | Some db ->
+          let d, inputs = split_witness sws ~n db in
+          Yes (d, inputs)
+        | None -> scan (n + 1)
+    in
+    scan 1
+  end
+
+(* Equivalence for SWS(CQ, UCQ): Klug-complete containment of the two
+   unfoldings at every input length up to the stabilization bound.  On
+   failure, the counterexample is the canonical database of the failing
+   partition, split back into (D, I), plus the separating output tuple. *)
+let cq_equivalence ?(max_n = 4) sws1 sws2 =
+  let b1, dec1 = scan_bound sws1 ~max_n and b2, dec2 = scan_bound sws2 ~max_n in
+  let bound = max b1 b2 and decisive = dec1 && dec2 in
+  let rec scan n =
+    if n > bound then
+      if decisive then Equivalent
+      else Equiv_unknown (Printf.sprintf "agree on all inputs of length <= %d" bound)
+    else begin
+      let q1 = Unfold.to_ucq sws1 ~n and q2 = Unfold.to_ucq sws2 ~n in
+      match R.Ucq.inequivalence_witness q1 q2 with
+      | None -> scan (n + 1)
+      | Some (db, tuple) ->
+        let d, inputs = split_witness sws1 ~n db in
+        Inequivalent (d, inputs, tuple)
+    end
+  in
+  scan 0
+
+(* ------------------------------------------------------------------ *)
+(* SWS(FO, FO): bounded semi-procedures (the undecidable row)          *)
+(* ------------------------------------------------------------------ *)
+
+let fo_non_emptiness ?(max_n = 3) ?(max_dom = 3) ?(max_pool = 16) sws =
+  let bound, _ = scan_bound sws ~max_n in
+  let bound = min bound max_n in
+  let rec scan n too_large =
+    if n > bound then
+      Unknown
+        (if too_large then "model search space exceeded the pool bound"
+         else Printf.sprintf "no small model with at most %d inputs" bound)
+    else begin
+      let q = Unfold.to_fo sws ~n in
+      let sentence = R.Fo.exists_many q.R.Fo.head q.R.Fo.body in
+      match R.Fo.satisfiable_bounded ~max_dom ~max_pool sentence with
+      | R.Fo.Sat db ->
+        let d, inputs = split_witness sws ~n db in
+        Yes (d, inputs)
+      | R.Fo.Unsat_within_bounds -> scan (n + 1) too_large
+      | R.Fo.Search_too_large -> scan (n + 1) true
+    end
+  in
+  scan 0 false
+
+let fo_equivalence ?(max_n = 2) ?(max_dom = 2) ?(max_pool = 12) sws1 sws2 =
+  let bound = max_n in
+  let rec scan n =
+    if n > bound then
+      Equiv_unknown (Printf.sprintf "agree on all small models with <= %d inputs" bound)
+    else begin
+      let q1 = Unfold.to_fo sws1 ~n and q2 = Unfold.to_fo sws2 ~n in
+      let p1 = R.Fo.prefix_query "l_" q1 and p2 = R.Fo.prefix_query "r_" q2 in
+      let shared = List.init (List.length p1.R.Fo.head) (fun i -> Printf.sprintf "@w%d" i) in
+      let inst q =
+        R.Fo.subst_free
+          (List.map2 (fun x y -> (x, R.Term.var y)) q.R.Fo.head shared)
+          q.R.Fo.body
+      in
+      let differ =
+        R.Fo.exists_many shared
+          (R.Fo.disj
+             [
+               R.Fo.conj [ inst p1; R.Fo.Not (inst p2) ];
+               R.Fo.conj [ inst p2; R.Fo.Not (inst p1) ];
+             ])
+      in
+      match R.Fo.satisfiable_bounded ~max_dom ~max_pool differ with
+      | R.Fo.Sat db ->
+        let d, inputs = split_witness sws1 ~n db in
+        Inequivalent (d, inputs)
+      | R.Fo.Unsat_within_bounds | R.Fo.Search_too_large -> scan (n + 1)
+    end
+  in
+  scan 0
+
+let fo_validation ?(max_n = 3) ?(max_dom = 3) ?(max_pool = 16) sws ~output =
+  if R.Relation.is_empty output then
+    Yes (R.Database.empty (Sws_data.db_schema sws), [])
+  else begin
+    (* look for a model of "the unfolding contains each tuple of O and
+       nothing else"; expressible in FO since O is a concrete relation *)
+    let bound = max_n in
+    let rec scan n =
+      if n > bound then
+        Unknown (Printf.sprintf "no small model with at most %d inputs" bound)
+      else begin
+        let q = Unfold.to_fo sws ~n in
+        let ys = q.R.Fo.head in
+        let member =
+          R.Fo.disj
+            (List.map
+               (fun tup ->
+                 R.Fo.conj
+                   (List.map2
+                      (fun y v -> R.Fo.eq (R.Term.var y) (R.Term.const v))
+                      ys (R.Tuple.to_list tup)))
+               (R.Relation.to_list output))
+        in
+        let exact =
+          R.Fo.conj
+            [
+              (* every tuple of O is produced *)
+              R.Fo.conj
+                (List.map
+                   (fun tup ->
+                     R.Fo.subst_free
+                       (List.map2
+                          (fun y v -> (y, R.Term.const v))
+                          ys (R.Tuple.to_list tup))
+                       q.R.Fo.body)
+                   (R.Relation.to_list output));
+              (* nothing else is *)
+              R.Fo.forall_many ys (R.Fo.Implies (q.R.Fo.body, member));
+            ]
+        in
+        match R.Fo.satisfiable_bounded ~max_dom ~max_pool exact with
+        | R.Fo.Sat db ->
+          let d, inputs = split_witness sws ~n db in
+          Yes (d, inputs)
+        | R.Fo.Unsat_within_bounds | R.Fo.Search_too_large -> scan (n + 1)
+      end
+    in
+    scan 1
+  end

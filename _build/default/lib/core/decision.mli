@@ -1,0 +1,97 @@
+(** The decision problems of Section 4 — non-emptiness, validation and
+    equivalence — for every class of Table 1.
+
+    Decidable cells run the exact algorithms from Theorem 4.1's proofs;
+    undecidable cells get bounded semi-procedures that answer [Unknown]
+    rather than guess.  Positive answers carry machine-checkable
+    witnesses. *)
+
+type 'w outcome =
+  | Yes of 'w   (** with a witness *)
+  | No          (** decisively not (only from complete procedures) *)
+  | Unknown of string  (** semi-procedure budget exhausted *)
+
+type 'c equiv_outcome =
+  | Equivalent
+  | Inequivalent of 'c  (** with a distinguishing input *)
+  | Equiv_unknown of string
+
+(** {1 SWS(PL, PL) — automata-based, always decisive (pspace cells)} *)
+
+val pl_non_emptiness : Sws_pl.t -> Proplogic.Prop.assignment list outcome
+
+(** For PL the output is one truth value; [output = true] coincides with
+    non-emptiness (as Section 4 remarks), [output = false] searches the
+    complement. *)
+val pl_validation :
+  Sws_pl.t -> output:bool -> Proplogic.Prop.assignment list outcome
+
+(** Language equivalence of the AFA translations.  The services must
+    declare the same input variables. *)
+val pl_equivalence :
+  Sws_pl.t -> Sws_pl.t -> Proplogic.Prop.assignment list equiv_outcome
+
+(** {1 SWS_nr(PL, PL) — SAT-based (np / conp cells)} *)
+
+val pl_nr_non_emptiness : Sws_pl.t -> Proplogic.Prop.assignment list outcome
+val pl_nr_validation :
+  Sws_pl.t -> output:bool -> Proplogic.Prop.assignment list outcome
+
+val pl_nr_equivalence :
+  Sws_pl.t -> Sws_pl.t -> Proplogic.Prop.assignment list equiv_outcome
+
+(** {1 SWS(CQ, UCQ) — via the UCQ unfolding} *)
+
+(** Canonical-database search over the unfolding; complete (hence [No] is
+    decisive) for nonrecursive services, a semi-procedure bounded by
+    [max_n] inputs otherwise. *)
+val cq_non_emptiness :
+  ?max_n:int ->
+  Sws_data.t ->
+  (Relational.Database.t * Relational.Relation.t list * Relational.Tuple.t)
+  outcome
+
+(** Small-model search assembling canonical databases per output tuple;
+    sound, complete on the canonical candidate space. *)
+val cq_validation :
+  ?max_n:int ->
+  ?max_assignments:int ->
+  Sws_data.t ->
+  output:Relational.Relation.t ->
+  (Relational.Database.t * Relational.Relation.t list) outcome
+
+(** Klug-complete containment of the unfoldings at every input length up
+    to the stabilization bound; decisive for nonrecursive services.  The
+    counterexample is a concrete (D, I) plus the output tuple the two
+    services disagree on. *)
+val cq_equivalence :
+  ?max_n:int ->
+  Sws_data.t ->
+  Sws_data.t ->
+  (Relational.Database.t * Relational.Relation.t list * Relational.Tuple.t)
+  equiv_outcome
+
+(** {1 SWS(FO, FO) — bounded semi-procedures (undecidable row)} *)
+
+val fo_non_emptiness :
+  ?max_n:int ->
+  ?max_dom:int ->
+  ?max_pool:int ->
+  Sws_data.t ->
+  (Relational.Database.t * Relational.Relation.t list) outcome
+
+val fo_equivalence :
+  ?max_n:int ->
+  ?max_dom:int ->
+  ?max_pool:int ->
+  Sws_data.t ->
+  Sws_data.t ->
+  (Relational.Database.t * Relational.Relation.t list) equiv_outcome
+
+val fo_validation :
+  ?max_n:int ->
+  ?max_dom:int ->
+  ?max_pool:int ->
+  Sws_data.t ->
+  output:Relational.Relation.t ->
+  (Relational.Database.t * Relational.Relation.t list) outcome

@@ -1,0 +1,115 @@
+(* Execution trees and the one-sweep run relation of Section 2.
+
+   The engine is generic in the register semantics: SWS(PL, PL) runs with
+   Boolean registers, the data-driven classes with relations.  The run
+   follows the paper's step relation =>_(tau, D, I) exactly:
+
+   Generating.
+   (1) j > n, or Msg(v) empty (unless v is the root and I is nonempty):
+       Act(v) := empty.
+   (2) k > 0: spawn children u_1..u_k in parallel; Msg(u_i) :=
+       phi_i(D, I_j, Msg(v)), timestamp j + 1.
+
+   Gathering.
+   (3) k = 0: Act(v) := psi(D, I_j, Msg(v)).
+   (4) all children done: Act(v) := psi(Act(u_1), ..., Act(u_k)).
+
+   Trees are built eagerly (each node is visited at most twice, once to
+   generate and once to gather), and the full tree is returned so examples
+   and tests can inspect intermediate registers. *)
+
+module type SEMANTICS = sig
+  type db
+  type input        (* one input message I_j *)
+  type msg          (* contents of a message register Msg(q) *)
+  type act          (* contents of an action register Act(q) *)
+  type trans_query  (* the phi_i of transition rules *)
+  type synth_query  (* the psi of synthesis rules *)
+
+  val msg_is_empty : msg -> bool
+
+  val apply_trans : db -> input -> msg -> trans_query -> msg
+  (** phi(D, I_j, Msg(v)). *)
+
+  val synth_final : db -> input -> msg -> synth_query -> act
+  (** Rule (3): psi(D, I_j, Msg(v)) at a final state. *)
+
+  val synth_combine : act list -> synth_query -> act
+  (** Rule (4): psi(Act(u_1), ..., Act(u_k)). *)
+end
+
+module Make (S : SEMANTICS) = struct
+  type node = {
+    state : string;
+    timestamp : int;
+    msg : S.msg;
+    act : S.act;
+    children : node list;
+  }
+
+  type sws = (S.trans_query, S.synth_query) Sws_def.t
+
+  (* Build the execution tree for the given node top-down and return it with
+     its action register gathered.  [empty_act] is the value written by the
+     halting rule (1); it is a parameter because its shape (e.g. the arity of
+     the empty output relation) belongs to the particular service. *)
+  let rec build (sws : sws) db (inputs : S.input array) ~empty_act ~state
+      ~timestamp ~msg ~is_root =
+    let n = Array.length inputs in
+    let halted =
+      timestamp > n
+      || (S.msg_is_empty msg && not (is_root && n > 0))
+    in
+    if halted then
+      { state; timestamp; msg; act = empty_act; children = [] }
+    else begin
+      let input = inputs.(timestamp - 1) in
+      let rule = Sws_def.rule sws state in
+      match rule.Sws_def.succs with
+      | [] ->
+        let act = S.synth_final db input msg rule.Sws_def.synth in
+        { state; timestamp; msg; act; children = [] }
+      | succs ->
+        let children =
+          List.map
+            (fun (q, tq) ->
+              let child_msg = S.apply_trans db input msg tq in
+              build sws db inputs ~empty_act ~state:q
+                ~timestamp:(timestamp + 1) ~msg:child_msg ~is_root:false)
+            succs
+        in
+        let act =
+          S.synth_combine (List.map (fun c -> c.act) children) rule.Sws_def.synth
+        in
+        { state; timestamp; msg; act; children }
+    end
+
+  (* The run of the SWS on (D, I): the root carries the start state,
+     timestamp 1 and the empty message. *)
+  let run_tree sws db inputs ~initial_msg ~empty_act =
+    build sws db (Array.of_list inputs) ~empty_act ~state:(Sws_def.start sws)
+      ~timestamp:1 ~msg:initial_msg ~is_root:true
+
+  (* tau(D, I): the content of the root's action register. *)
+  let run sws db inputs ~initial_msg ~empty_act =
+    (run_tree sws db inputs ~initial_msg ~empty_act).act
+
+  let rec size node = 1 + List.fold_left (fun s c -> s + size c) 0 node.children
+
+  let rec tree_depth node =
+    1 + List.fold_left (fun d c -> max d (tree_depth c)) 0 node.children
+
+  (* The largest timestamp in the tree: a mediator resumes the input sequence
+     after the last message its component consumed (Section 5.1, case (2)). *)
+  let rec max_timestamp node =
+    List.fold_left (fun m c -> max m (max_timestamp c)) node.timestamp
+      node.children
+
+  let pp pp_msg pp_act ppf root =
+    let rec go indent ppf node =
+      Fmt.pf ppf "%s%s @@%d msg=%a act=%a@." indent node.state node.timestamp
+        pp_msg node.msg pp_act node.act;
+      List.iter (go (indent ^ "  ") ppf) node.children
+    in
+    go "" ppf root
+end

@@ -1,0 +1,274 @@
+(* Guarded automata, after Fu-Bultan-Su [15] as recast by Section 3 of the
+   paper ("Other models"): a Mealy-style machine whose transitions carry FO
+   guards over the local database and the current input, and whose taken
+   transitions emit actions via FO queries.  The Colombo model [5] extends
+   the same shape with world states; both are expressible as peers [13],
+   hence as recursive SWS(FO, FO) — this module gives the direct encoding.
+
+   Direct semantics: the automaton is nondeterministic, so a run tracks the
+   *set* of reachable control states; at each step the enabled transitions
+   from current states fire simultaneously, their action queries' answers
+   are unioned (the deterministic synthesis view of nondeterminism), and
+   the successor state set is collected.
+
+   Encoding: the same tagged-register scheme as the peer encoding — message
+   registers carry rows ('s', q, pads) for the current control states and
+   ('a', c̄) for the pending actions — except that the state rows are
+   *recomputed* rather than accumulated (control is non-monotone, unlike a
+   peer's grow-only state relation). *)
+
+module R = Relational
+module Fo = R.Fo
+module Term = R.Term
+module Atom = R.Atom
+module Schema = R.Schema
+module Relation = R.Relation
+module Database = R.Database
+module Value = R.Value
+module Tuple = R.Tuple
+
+type transition = {
+  source : int;
+  guard : Fo.formula; (* over db_schema and "in" (input_arity) *)
+  target : int;
+  action : Fo.t;      (* over the same vocabulary; head arity = out_arity *)
+}
+
+type t = {
+  db_schema : Schema.t;
+  num_states : int;
+  start : int;
+  input_arity : int;
+  out_arity : int;
+  transitions : transition list;
+}
+
+let input_rel = "in"
+
+let make ~db_schema ~num_states ~start ~input_arity ~out_arity ~transitions =
+  List.iter
+    (fun tr ->
+      if tr.source < 0 || tr.source >= num_states || tr.target < 0
+         || tr.target >= num_states
+      then invalid_arg "Guarded.make: state out of range";
+      if List.length tr.action.Fo.head <> out_arity then
+        invalid_arg "Guarded.make: action arity")
+    transitions;
+  if start < 0 || start >= num_states then invalid_arg "Guarded.make: start";
+  { db_schema; num_states; start; input_arity; out_arity; transitions }
+
+(* ------------------------------------------------------------------ *)
+(* Direct semantics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let step_db t db input =
+  let schema = Schema.add input_rel t.input_arity t.db_schema in
+  let base =
+    Database.fold (fun n r acc -> Database.set n r acc) db (Database.empty schema)
+  in
+  Database.set input_rel input base
+
+module Iset = Set.Make (Int)
+
+(* One step from a state set: the successor set and the emitted actions. *)
+let step t db states input =
+  let env = step_db t db input in
+  List.fold_left
+    (fun (next, out) tr ->
+      if Iset.mem tr.source states && Fo.sentence_holds env tr.guard then
+        (Iset.add tr.target next, Relation.union out (Fo.eval tr.action env))
+      else (next, out))
+    (Iset.empty, Relation.empty t.out_arity)
+    t.transitions
+
+(* Per-step outputs over an input sequence. *)
+let run t db inputs =
+  let _, outputs =
+    List.fold_left
+      (fun (states, outputs) input ->
+        let states', out = step t db states input in
+        (states', out :: outputs))
+      (Iset.singleton t.start, [])
+      inputs
+  in
+  List.rev outputs
+
+(* ------------------------------------------------------------------ *)
+(* Encoding into SWS(FO, FO)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let tag_state = Value.str "s"
+let tag_action = Value.str "a"
+let tag_data = Value.str "d"
+let tag_delim = Value.str "#"
+let tag_keepalive = Value.str "k"
+let pad_value = Value.str "_"
+
+let state_value q = Value.int q
+
+let width t = max 1 (max t.input_arity t.out_arity)
+
+let sws_in_arity t = 1 + width t
+
+(* Rewrite a guard/action body: "in" reads the 'd'-tagged input rows. *)
+let translate_body t body =
+  let w = width t in
+  Fo.map_relations
+    (fun a ->
+      if String.equal a.Atom.rel input_rel then
+        let pads = List.init (w - t.input_arity) (fun _ -> Term.const pad_value) in
+        Fo.Atom (Atom.make Sws_data.in_rel ((Term.const tag_data :: a.args) @ pads))
+      else Fo.Atom a)
+    body
+
+(* "the machine is in state q": at the root the state set is {start}
+   (register empty); below it is read from the 's'-tagged rows. *)
+let in_state t ~at_root q =
+  if at_root then
+    if q = t.start then Fo.True else Fo.False
+  else
+    Fo.atom Sws_data.msg_rel
+      (Term.const tag_state :: Term.const (state_value q)
+      :: List.init (width t - 1) (fun _ -> Term.const pad_value))
+
+let col i = Printf.sprintf "c%d" (i + 1)
+
+(* phi: recompute the register — state rows for targets of enabled
+   transitions, action rows for their emissions, plus the keepalive row
+   (an idle machine must not have its branch killed by rule (1)). *)
+let phi t ~at_root =
+  let w = width t in
+  let cols = List.init w col in
+  let head = "tag" :: cols in
+  let pads_from k =
+    Fo.conj
+      (List.filteri (fun i _ -> i >= k) cols
+      |> List.map (fun cname -> Fo.eq (Term.var cname) (Term.const pad_value)))
+  in
+  let state_row =
+    Fo.conj
+      [
+        Fo.eq (Term.var "tag") (Term.const tag_state);
+        Fo.disj
+          (List.map
+             (fun tr ->
+               Fo.conj
+                 [
+                   in_state t ~at_root tr.source;
+                   translate_body t tr.guard;
+                   Fo.eq (Term.var (col 0)) (Term.const (state_value tr.target));
+                 ])
+             t.transitions);
+        pads_from 1;
+      ]
+  in
+  let out_cols = List.filteri (fun i _ -> i < t.out_arity) cols in
+  let action_row =
+    Fo.conj
+      [
+        Fo.eq (Term.var "tag") (Term.const tag_action);
+        Fo.disj
+          (List.map
+             (fun tr ->
+               let inlined =
+                 Fo.subst_free
+                   (List.map2
+                      (fun x cname -> (x, Term.var cname))
+                      tr.action.Fo.head out_cols)
+                   (translate_body t tr.action.Fo.body)
+               in
+               Fo.conj [ in_state t ~at_root tr.source; translate_body t tr.guard; inlined ])
+             t.transitions);
+        pads_from t.out_arity;
+      ]
+  in
+  let keepalive_row =
+    Fo.conj [ Fo.eq (Term.var "tag") (Term.const tag_keepalive); pads_from 0 ]
+  in
+  Sws_data.Q_fo
+    (Fo.query head (Fo.disj [ state_row; action_row; keepalive_row ]))
+
+(* phi_f: release pending actions on the delimiter. *)
+let phi_f t =
+  let w = width t in
+  let cols = List.init w col in
+  let head = "tag" :: cols in
+  let delim_atom =
+    Fo.atom Sws_data.in_rel
+      (Term.const tag_delim :: List.init w (fun _ -> Term.const pad_value))
+  in
+  Sws_data.Q_fo
+    (Fo.query head
+       (Fo.conj
+          [
+            Fo.eq (Term.var "tag") (Term.const tag_action);
+            Fo.atom Sws_data.msg_rel (Term.const tag_action :: List.map Term.var cols);
+            delim_atom;
+          ]))
+
+let psi_qf t =
+  let w = width t in
+  let ys = List.init t.out_arity (fun i -> Printf.sprintf "y%d" (i + 1)) in
+  let pads = List.init (w - t.out_arity) (fun _ -> Term.const pad_value) in
+  Sws_data.Q_fo
+    (Fo.query ys
+       (Fo.atom Sws_data.msg_rel
+          ((Term.const tag_action :: List.map Term.var ys) @ pads)))
+
+let psi_union t =
+  let ys = List.init t.out_arity (fun i -> Printf.sprintf "y%d" (i + 1)) in
+  let tvars = List.map Term.var ys in
+  Sws_data.Q_fo
+    (Fo.query ys
+       (Fo.disj
+          [ Fo.atom (Sws_data.act_rel 0) tvars; Fo.atom (Sws_data.act_rel 1) tvars ]))
+
+let to_sws t =
+  Sws_data.make ~db_schema:t.db_schema ~in_arity:(sws_in_arity t)
+    ~out_arity:t.out_arity ~start:"q0"
+    ~rules:
+      [
+        ( "q0",
+          {
+            Sws_def.succs = [ ("qs", phi t ~at_root:true); ("qf", phi_f t) ];
+            synth = psi_union t;
+          } );
+        ( "qs",
+          {
+            Sws_def.succs = [ ("qs", phi t ~at_root:false); ("qf", phi_f t) ];
+            synth = psi_union t;
+          } );
+        ("qf", { Sws_def.succs = []; synth = psi_qf t });
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Input encoding (prefix replay, as for peers)                        *)
+(* ------------------------------------------------------------------ *)
+
+let encode_message t rel =
+  let w = width t in
+  Relation.fold
+    (fun tup acc ->
+      let padded =
+        (tag_data :: Tuple.to_list tup)
+        @ List.init (w - t.input_arity) (fun _ -> pad_value)
+      in
+      Relation.add (Tuple.of_list padded) acc)
+    rel
+    (Relation.empty (sws_in_arity t))
+
+let delimiter_message t =
+  let w = width t in
+  Relation.singleton (Tuple.of_list (tag_delim :: List.init w (fun _ -> pad_value)))
+
+let encode_sessions t inputs =
+  let encoded = List.map (encode_message t) inputs in
+  List.mapi
+    (fun j _ ->
+      List.filteri (fun i _ -> i <= j) encoded
+      @ [ delimiter_message t; delimiter_message t ])
+    inputs
+
+let run_encoded t db inputs =
+  let sws = to_sws t in
+  List.map (fun segment -> Sws_data.run sws db segment) (encode_sessions t inputs)

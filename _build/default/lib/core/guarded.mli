@@ -1,0 +1,65 @@
+(** Guarded automata [15] (Colombo-style services) and their encoding into
+    recursive SWS(FO, FO), per Section 3's "Other models".
+
+    A nondeterministic machine whose transitions carry FO guards over the
+    local database and the current input (relation ["in"]) and emit
+    actions via FO queries.  Runs track the set of reachable control
+    states; outputs of simultaneously enabled transitions are unioned. *)
+
+type transition = {
+  source : int;
+  guard : Relational.Fo.formula;  (** over the database schema and ["in"] *)
+  target : int;
+  action : Relational.Fo.t;  (** head arity = [out_arity] *)
+}
+
+type t
+
+val input_rel : string
+
+val make :
+  db_schema:Relational.Schema.t ->
+  num_states:int ->
+  start:int ->
+  input_arity:int ->
+  out_arity:int ->
+  transitions:transition list ->
+  t
+
+module Iset : Set.S with type elt = int
+
+(** One step from a state set: successors and emitted actions. *)
+val step :
+  t ->
+  Relational.Database.t ->
+  Iset.t ->
+  Relational.Relation.t ->
+  Iset.t * Relational.Relation.t
+
+(** Per-step outputs over an input sequence. *)
+val run :
+  t ->
+  Relational.Database.t ->
+  Relational.Relation.t list ->
+  Relational.Relation.t list
+
+(** The tagged-register encoding into recursive SWS(FO, FO): like the peer
+    encoding, except control-state rows are recomputed (non-monotone)
+    rather than accumulated. *)
+val to_sws : t -> Sws_data.t
+
+val width : t -> int
+val sws_in_arity : t -> int
+val encode_message : t -> Relational.Relation.t -> Relational.Relation.t
+val delimiter_message : t -> Relational.Relation.t
+
+(** Prefix-replay sessions, as for peers. *)
+val encode_sessions :
+  t -> Relational.Relation.t list -> Relational.Relation.t list list
+
+(** Must equal {!run} step by step (property-tested). *)
+val run_encoded :
+  t ->
+  Relational.Database.t ->
+  Relational.Relation.t list ->
+  Relational.Relation.t list

@@ -1,0 +1,198 @@
+(* SWS mediators (Definition 5.1): like SWS's, except that the transition
+   rules invoke component services as oracles,
+
+       q -> (q1, eval(tau_1)), ..., (qk, eval(tau_k))
+
+   and synthesis at a state with an empty rhs reads only the message
+   register (mediators redirect messages; they never touch databases or raw
+   inputs).  The run differs from an SWS run in cases (2) and (3) of the
+   step relation (Section 5.1):
+
+   (2) a child u_i carries the output of running tau_i to completion on the
+       *suffix* I_j..I_n, with tau_i's start register instantiated with
+       Msg(v); u_i's timestamp resumes after the last input message the
+       component actually consumed;
+   (3) at k = 0, Act(v) := psi(Msg(v)).
+
+   Components exchange messages through the mediator, so (as the paper
+   arranges by outer union) their input and output schemas must coincide:
+   we require in_arity = out_arity across all components. *)
+
+module R = Relational
+module Relation = R.Relation
+module Database = R.Database
+module Schema = R.Schema
+
+type component = {
+  name : string;
+  service : Sws_data.t;
+}
+
+type t = {
+  db_schema : Schema.t;
+  arity : int; (* shared R_in = R_out arity *)
+  components : component list;
+  def : (string, Sws_data.query) Sws_def.t;
+  (* transition payload: the invoked component's name *)
+}
+
+exception Ill_formed = Sws_def.Ill_formed
+
+let component t name =
+  match List.find_opt (fun c -> String.equal c.name name) t.components with
+  | Some c -> c
+  | None -> raise (Ill_formed (Printf.sprintf "unknown component %s" name))
+
+(* Register arities follow the paper's outer-union convention loosely: each
+   register carries its own arity (a component's output relation becomes the
+   child's message verbatim), and a halted node's empty action takes the
+   arity of its state's synthesis query.  Only the root synthesis is pinned
+   to the mediator's output arity. *)
+let make ~db_schema ~arity ~components ~start ~rules =
+  let t =
+    { db_schema; arity; components; def = Sws_def.make ~start ~rules }
+  in
+  Sws_def.fold_rules
+    (fun _q r () ->
+      List.iter (fun (_, cname) -> ignore (component t cname)) r.Sws_def.succs)
+    t.def ();
+  let root_rule = Sws_def.rule t.def start in
+  if Sws_data.query_arity root_rule.Sws_def.synth <> arity then
+    raise
+      (Ill_formed
+         (Printf.sprintf "root synthesis: arity %d, expected %d"
+            (Sws_data.query_arity root_rule.Sws_def.synth)
+            arity));
+  t
+
+let def t = t.def
+let is_recursive t = Sws_def.is_recursive t.def
+
+(* A mediator is nonrecursive when its own dependency graph is acyclic;
+   Section 2 notes its components may still be recursive. *)
+let is_nonrecursive t = not (is_recursive t)
+
+(* ------------------------------------------------------------------ *)
+(* Runs                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type node = {
+  state : string;
+  timestamp : int;
+  msg : Relation.t;
+  act : Relation.t;
+  children : node list;
+}
+
+(* Largest timestamp of a node that actually evaluated queries: halted
+   nodes consumed nothing, so they do not advance the resumption point. *)
+let rec max_active_timestamp ~n ~is_root (node : Sws_data.Run.node) =
+  let halted =
+    node.Sws_data.Run.timestamp > n
+    || (Relation.is_empty node.Sws_data.Run.msg && not (is_root && n > 0))
+  in
+  if halted then 0
+  else
+    List.fold_left
+      (fun m c -> max m (max_active_timestamp ~n ~is_root:false c))
+      node.Sws_data.Run.timestamp node.Sws_data.Run.children
+
+(* Halting differs from the SWS rule (1) by one step: a mediator's final
+   state reads only Msg(v) — never I_j (case (3) of Section 5.1) — so a
+   final node whose timestamp is n + 1 can still synthesize.  The strict
+   j > n reading would make the paper's own Example 5.1 output nothing:
+   when a component consumes the entire input, its parent's successor sits
+   at timestamp n + 1.  Spawning nodes at n + 1 are harmless: components
+   run on the empty suffix and return empty registers. *)
+let rec build t db (inputs : Relation.t array) ~state ~timestamp ~msg ~is_root =
+  let n = Array.length inputs in
+  let rule = Sws_def.rule t.def state in
+  let halted =
+    n = 0 || timestamp > n + 1
+    || (Relation.is_empty msg && not is_root)
+  in
+  if halted then
+    {
+      state;
+      timestamp;
+      msg;
+      act = Relation.empty (Sws_data.query_arity rule.Sws_def.synth);
+      children = [];
+    }
+  else begin
+    match rule.Sws_def.succs with
+    | [] ->
+      (* psi reads Msg(v) only *)
+      let schema = Schema.of_list [ (Sws_data.msg_rel, Relation.arity msg) ] in
+      let msg_db = Database.set Sws_data.msg_rel msg (Database.empty schema) in
+      let act = Sws_data.eval_query rule.Sws_def.synth msg_db in
+      { state; timestamp; msg; act; children = [] }
+    | succs ->
+      let children =
+        List.map
+          (fun (q_i, cname) ->
+            let c = component t cname in
+            let suffix =
+              Array.to_list (Array.sub inputs (timestamp - 1) (n - timestamp + 1))
+            in
+            let tree = Sws_data.run_tree ~initial_msg:msg c.service db suffix in
+            let child_msg = tree.Sws_data.Run.act in
+            (* local timestamps are relative to the suffix: local t is
+               global timestamp - 1 + t *)
+            let local_max =
+              max_active_timestamp ~n:(List.length suffix) ~is_root:true tree
+            in
+            let li = timestamp - 1 + local_max in
+            build t db inputs ~state:q_i ~timestamp:(li + 1) ~msg:child_msg
+              ~is_root:false)
+          succs
+      in
+      let act =
+        Sws_data.Sem.synth_combine
+          (List.map (fun c -> c.act) children)
+          rule.Sws_def.synth
+      in
+      { state; timestamp; msg; act; children }
+  end
+
+let run_tree t db inputs =
+  build t db (Array.of_list inputs) ~state:(Sws_def.start t.def) ~timestamp:1
+    ~msg:(Relation.empty t.arity) ~is_root:true
+
+(* pi(D, I). *)
+let run t db inputs = (run_tree t db inputs).act
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence with a goal SWS (bounded check)                         *)
+(* ------------------------------------------------------------------ *)
+
+type equiv_verdict =
+  | Agree_on_samples of int
+  | Differ of Database.t * Relation.t list
+
+(* pi ≡ tau demands equal outputs on every database and input sequence;
+   that inclusion of component runs makes the exact problem undecidable
+   already for CQ/UCQ (Theorem 5.1(2)), so the operational check here is a
+   randomized + exhaustive-small-instance search for counterexamples. *)
+let equiv_check ?(samples = 100) ?(seed = 42) ~goal t =
+  if Sws_data.out_arity goal <> t.arity then
+    invalid_arg "equiv_check: goal output arity mismatch";
+  let rng = Random.State.make [| seed |] in
+  let config =
+    { R.Instance_gen.domain_size = 3; tuples_per_relation = 3 }
+  in
+  let rec go i =
+    if i >= samples then Agree_on_samples samples
+    else begin
+      let db = R.Instance_gen.random_database ~config rng t.db_schema in
+      let len = Random.State.int rng 4 in
+      let inputs =
+        R.Instance_gen.random_input_sequence ~config rng
+          ~arity:(Sws_data.in_arity goal) ~length:len ~per_step:2
+      in
+      let out_pi = run t db inputs in
+      let out_tau = Sws_data.run goal db inputs in
+      if Relation.equal out_pi out_tau then go (i + 1) else Differ (db, inputs)
+    end
+  in
+  go 0

@@ -1,0 +1,63 @@
+(** SWS mediators (Definition 5.1): coordinate component services by
+    routing messages — transition rules invoke components as oracles,
+    [q -> (q1, eval(tau1)), ..., (qk, eval(tauk))], and synthesis at an
+    empty-rhs state reads only the message register.
+
+    Runs follow the modified step relation of Section 5.1: a child carries
+    the output of running its component to completion on the input
+    {e suffix} (with the component's start register instantiated to the
+    caller's [Msg(v)]), and timestamps resume after the last message the
+    component consumed.  One interpretation note, documented in the
+    implementation: final mediator nodes never read the input message, so
+    they may synthesize at timestamp [n + 1]; the strict rule-(1) reading
+    would silence the paper's own Example 5.1. *)
+
+type component = {
+  name : string;
+  service : Sws_data.t;
+}
+
+type t
+
+exception Ill_formed of string
+
+val component : t -> string -> component
+
+(** Register arities follow the outer-union convention loosely: each
+    register carries its own arity; only the root synthesis is pinned to
+    [arity]. *)
+val make :
+  db_schema:Relational.Schema.t ->
+  arity:int ->
+  components:component list ->
+  start:string ->
+  rules:(string * (string, Sws_data.query) Sws_def.rule) list ->
+  t
+
+val def : t -> (string, Sws_data.query) Sws_def.t
+val is_recursive : t -> bool
+
+(** The mediator's own dependency graph is acyclic (its components may
+    still be recursive — Section 2). *)
+val is_nonrecursive : t -> bool
+
+type node = {
+  state : string;
+  timestamp : int;
+  msg : Relational.Relation.t;
+  act : Relational.Relation.t;
+  children : node list;
+}
+
+val run_tree : t -> Relational.Database.t -> Relational.Relation.t list -> node
+
+(** pi(D, I): the root's action register. *)
+val run : t -> Relational.Database.t -> Relational.Relation.t list -> Relational.Relation.t
+
+type equiv_verdict =
+  | Agree_on_samples of int
+  | Differ of Relational.Database.t * Relational.Relation.t list
+
+(** Randomized counterexample search for [pi ≡ tau]: the exact problem is
+    undecidable already for CQ/UCQ components (Theorem 5.1(2)). *)
+val equiv_check : ?samples:int -> ?seed:int -> goal:Sws_data.t -> t -> equiv_verdict

@@ -1,0 +1,278 @@
+(* The peer model of Deutsch-Sui-Vianu-Zhou [13] and its encoding into
+   recursive SWS(FO, FO) (Section 3).
+
+   A peer here has a fixed local database D, one state relation "state"
+   accumulating derived facts, one input relation "in" per step, and two FO
+   rules evaluated at every step t on (D, S_{t-1}, I_t):
+
+       A_t = action_rule     (the actions / output messages of the step)
+       S_t = S_{t-1} ∪ state_rule
+
+   The paper's model also has queues and multiple relations; those are
+   outer-union encodable into this shape and we keep the single-relation
+   form for clarity.
+
+   Encoding f_tau: three states q0, qs, qf with
+
+       q0 -> (qs, phi), (qf, phi_f)        qs -> (qs, phi), (qf, phi_f)
+       qf -> .
+
+   R_in of the SWS is the tagged outer union (tag, c1..cw): message
+   registers simultaneously carry the running state relation (tag 's') and
+   the pending actions of the last step (tag 'a'); data inputs are tagged
+   'd' and the session delimiter '#'.  phi re-derives (S_t, A_t) from its
+   register and the current input; phi_f releases the pending actions when
+   the delimiter arrives; qf decodes them into R_out.
+
+   f_I: the paper replays prefixes, I_1, #, I_1, I_2, #, ...; each session
+   segment here is the prefix followed by the delimiter *twice* — rule (1)
+   of the run relation empties any node whose timestamp exceeds the input
+   length, so the node that evaluates qf's synthesis needs one padding
+   message after the delimiter (same device as in the Roman encoding). *)
+
+module R = Relational
+module Fo = R.Fo
+module Term = R.Term
+module Atom = R.Atom
+module Schema = R.Schema
+module Relation = R.Relation
+module Database = R.Database
+module Value = R.Value
+module Tuple = R.Tuple
+
+type t = {
+  db_schema : Schema.t;
+  state_arity : int;
+  input_arity : int;
+  out_arity : int;
+  state_rule : Fo.t;  (* head arity = state_arity; over db_schema, "state", "in" *)
+  action_rule : Fo.t; (* head arity = out_arity; over the same vocabulary *)
+}
+
+let state_rel = "state"
+let input_rel = "in"
+
+let make ~db_schema ~state_arity ~input_arity ~out_arity ~state_rule
+    ~action_rule =
+  if List.length state_rule.Fo.head <> state_arity then
+    invalid_arg "Peer.make: state rule arity";
+  if List.length action_rule.Fo.head <> out_arity then
+    invalid_arg "Peer.make: action rule arity";
+  { db_schema; state_arity; input_arity; out_arity; state_rule; action_rule }
+
+(* ------------------------------------------------------------------ *)
+(* Direct step semantics                                               *)
+(* ------------------------------------------------------------------ *)
+
+let step_db peer db state input =
+  let schema =
+    Schema.add state_rel peer.state_arity
+      (Schema.add input_rel peer.input_arity peer.db_schema)
+  in
+  let base =
+    Database.fold (fun n r acc -> Database.set n r acc) db (Database.empty schema)
+  in
+  Database.set state_rel state (Database.set input_rel input base)
+
+(* One step: the actions of the step and the grown state. *)
+let step peer db state input =
+  let env = step_db peer db state input in
+  let actions = Fo.eval peer.action_rule env in
+  let derived = Fo.eval peer.state_rule env in
+  (Relation.union state derived, actions)
+
+(* The per-step outputs of the peer on an input sequence. *)
+let run peer db inputs =
+  let _, outputs =
+    List.fold_left
+      (fun (state, outputs) input ->
+        let state', actions = step peer db state input in
+        (state', actions :: outputs))
+      (Relation.empty peer.state_arity, [])
+      inputs
+  in
+  List.rev outputs
+
+(* ------------------------------------------------------------------ *)
+(* Encoding into SWS(FO, FO)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let tag_state = Value.str "s"
+let tag_action = Value.str "a"
+let tag_data = Value.str "d"
+let tag_delim = Value.str "#"
+let tag_keepalive = Value.str "k"
+let pad_value = Value.str "_"
+
+let width peer = max peer.state_arity (max peer.input_arity peer.out_arity)
+
+let sws_in_arity peer = 1 + width peer
+
+(* Translate a peer rule body: state(x̄) reads the 's'-tagged rows of the
+   message register, in(ȳ) the 'd'-tagged rows of the input. *)
+let translate_rule_body peer body =
+  let w = width peer in
+  let retag target tag arity (a : Atom.t) =
+    let pads = List.init (w - arity) (fun _ -> Term.const pad_value) in
+    Fo.Atom (Atom.make target ((Term.const tag :: a.args) @ pads))
+  in
+  Fo.map_relations
+    (fun a ->
+      if String.equal a.Atom.rel state_rel then
+        retag Sws_data.msg_rel tag_state peer.state_arity a
+      else if String.equal a.Atom.rel input_rel then
+        retag Sws_data.in_rel tag_data peer.input_arity a
+      else Fo.Atom a)
+    body
+
+(* The rule head inlined at fresh column variables. *)
+let inline_rule peer (rule : Fo.t) cols =
+  let body = translate_rule_body peer rule.Fo.body in
+  let env =
+    List.map2 (fun x c -> (x, Term.var c)) rule.Fo.head cols
+  in
+  Fo.subst_free env body
+
+let col i = Printf.sprintf "c%d" (i + 1)
+
+(* phi: recompute the tagged register for the next level.  Row (tag, c̄) is
+   present when either
+     tag = 's' and c̄ is in S_{t-1} ∪ state_rule(D, S_{t-1}, I_t), or
+     tag = 'a' and c̄ is in action_rule(D, S_{t-1}, I_t),
+   with unused columns padded. *)
+let phi_qs peer =
+  let w = width peer in
+  let cols = List.init w col in
+  let head = "tag" :: cols in
+  let pads_from k =
+    Fo.conj
+      (List.filteri (fun i _ -> i >= k) cols
+      |> List.map (fun c -> Fo.eq (Term.var c) (Term.const pad_value)))
+  in
+  let state_cols = List.filteri (fun i _ -> i < peer.state_arity) cols in
+  let out_cols = List.filteri (fun i _ -> i < peer.out_arity) cols in
+  let old_state =
+    Fo.atom Sws_data.msg_rel
+      ((Term.const tag_state :: List.map Term.var state_cols)
+      @ List.init (w - peer.state_arity) (fun _ -> Term.const pad_value))
+  in
+  let state_row =
+    Fo.conj
+      [
+        Fo.eq (Term.var "tag") (Term.const tag_state);
+        Fo.disj [ old_state; inline_rule peer peer.state_rule state_cols ];
+        pads_from peer.state_arity;
+      ]
+  in
+  let action_row =
+    Fo.conj
+      [
+        Fo.eq (Term.var "tag") (Term.const tag_action);
+        inline_rule peer peer.action_rule out_cols;
+        pads_from peer.out_arity;
+      ]
+  in
+  (* A register with no state and no pending actions would be empty, and
+     rule (1) of the run relation kills nodes with empty message registers;
+     a constant keepalive row marks the register as meaningful instead. *)
+  let keepalive_row =
+    Fo.conj
+      (Fo.eq (Term.var "tag") (Term.const tag_keepalive) :: [ pads_from 0 ])
+  in
+  Sws_data.Q_fo
+    (Fo.query head (Fo.disj [ state_row; action_row; keepalive_row ]))
+
+(* phi_f: when the current input is the delimiter, forward the pending
+   'a'-rows; empty otherwise (so qf stays silent mid-session). *)
+let phi_qf peer =
+  let w = width peer in
+  let cols = List.init w col in
+  let head = "tag" :: cols in
+  let delim_atom =
+    Fo.atom Sws_data.in_rel
+      (Term.const tag_delim :: List.init w (fun _ -> Term.const pad_value))
+  in
+  let action_row =
+    Fo.conj
+      [
+        Fo.eq (Term.var "tag") (Term.const tag_action);
+        Fo.atom Sws_data.msg_rel (Term.const tag_action :: List.map Term.var cols);
+        delim_atom;
+      ]
+  in
+  Sws_data.Q_fo (Fo.query head action_row)
+
+(* qf's synthesis: decode the 'a'-rows into R_out. *)
+let psi_qf peer =
+  let w = width peer in
+  let ys = List.init peer.out_arity (fun i -> Printf.sprintf "y%d" (i + 1)) in
+  let pads = List.init (w - peer.out_arity) (fun _ -> Term.const pad_value) in
+  Sws_data.Q_fo
+    (Fo.query ys
+       (Fo.atom Sws_data.msg_rel
+          ((Term.const tag_action :: List.map Term.var ys) @ pads)))
+
+(* Internal synthesis: the union of the successors' actions. *)
+let psi_union peer =
+  let ys = List.init peer.out_arity (fun i -> Printf.sprintf "y%d" (i + 1)) in
+  let tvars = List.map Term.var ys in
+  Sws_data.Q_fo
+    (Fo.query ys
+       (Fo.disj
+          [ Fo.atom (Sws_data.act_rel 0) tvars; Fo.atom (Sws_data.act_rel 1) tvars ]))
+
+let to_sws peer =
+  let branch =
+    { Sws_def.succs = [ ("qs", phi_qs peer); ("qf", phi_qf peer) ];
+      synth = psi_union peer }
+  in
+  let qs_rule =
+    { Sws_def.succs = [ ("qs", phi_qs peer); ("qf", phi_qf peer) ];
+      synth = psi_union peer }
+  in
+  Sws_data.make ~db_schema:peer.db_schema ~in_arity:(sws_in_arity peer)
+    ~out_arity:peer.out_arity ~start:"q0"
+    ~rules:
+      [
+        ("q0", branch);
+        ("qs", qs_rule);
+        ("qf", { Sws_def.succs = []; synth = psi_qf peer });
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Input encoding f_I                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let encode_message peer rel =
+  let w = width peer in
+  Relation.fold
+    (fun tup acc ->
+      let padded =
+        (tag_data :: Tuple.to_list tup)
+        @ List.init (w - peer.input_arity) (fun _ -> pad_value)
+      in
+      Relation.add (Tuple.of_list padded) acc)
+    rel
+    (Relation.empty (sws_in_arity peer))
+
+let delimiter_message peer =
+  let w = width peer in
+  Relation.singleton
+    (Tuple.of_list (tag_delim :: List.init w (fun _ -> pad_value)))
+
+(* f_I: the prefix-replay encoding — one session segment per step j,
+   carrying I_1..I_j followed by the delimiter and its padding copy. *)
+let encode_sessions peer inputs =
+  let encoded = List.map (encode_message peer) inputs in
+  List.mapi
+    (fun j _ ->
+      List.filteri (fun i _ -> i <= j) encoded
+      @ [ delimiter_message peer; delimiter_message peer ])
+    inputs
+
+(* Run the encoded sessions through the SWS: the per-session outputs must
+   equal the direct per-step outputs of the peer (the Section 3 claim,
+   property-tested in the suite). *)
+let run_encoded peer db inputs =
+  let sws = to_sws peer in
+  List.map (fun segment -> Sws_data.run sws db segment) (encode_sessions peer inputs)

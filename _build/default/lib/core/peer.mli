@@ -1,0 +1,65 @@
+(** The peer model of Deutsch-Sui-Vianu-Zhou [13] and its encoding into
+    recursive SWS(FO, FO) (Section 3).
+
+    A peer has a fixed local database, one state relation accumulating
+    derived facts, one input relation per step, and two FO rules applied
+    at every step t on (D, S_{t-1}, I_t):
+    [A_t = action_rule] and [S_t = S_{t-1} ∪ state_rule]. *)
+
+type t
+
+(** The reserved relation names the rules may mention. *)
+val state_rel : string
+
+val input_rel : string
+
+val make :
+  db_schema:Relational.Schema.t ->
+  state_arity:int ->
+  input_arity:int ->
+  out_arity:int ->
+  state_rule:Relational.Fo.t ->
+  action_rule:Relational.Fo.t ->
+  t
+
+(** One step: the new state and the step's actions. *)
+val step :
+  t ->
+  Relational.Database.t ->
+  Relational.Relation.t ->
+  Relational.Relation.t ->
+  Relational.Relation.t * Relational.Relation.t
+
+(** Per-step outputs on an input sequence. *)
+val run :
+  t ->
+  Relational.Database.t ->
+  Relational.Relation.t list ->
+  Relational.Relation.t list
+
+(** f_tau: the three-state recursive SWS(FO, FO) whose message registers
+    carry the running state and pending actions in tagged, padded rows. *)
+val to_sws : t -> Sws_data.t
+
+(** Width of the tagged outer-union rows. *)
+val width : t -> int
+
+val sws_in_arity : t -> int
+
+(** Encode one input message as tagged rows. *)
+val encode_message : t -> Relational.Relation.t -> Relational.Relation.t
+
+val delimiter_message : t -> Relational.Relation.t
+
+(** f_I: one session segment per step j, carrying I_1..I_j plus the doubled
+    delimiter (prefix replay, Section 3). *)
+val encode_sessions :
+  t -> Relational.Relation.t list -> Relational.Relation.t list list
+
+(** Run the encoding session by session; must equal {!run} step by step
+    (the Section 3 claim, property-tested in the suite). *)
+val run_encoded :
+  t ->
+  Relational.Database.t ->
+  Relational.Relation.t list ->
+  Relational.Relation.t list

@@ -1,0 +1,37 @@
+(** Executable lower-bound reductions from the proofs of Theorem 4.1:
+    source-problem instances mapped to SWS's whose decision problems answer
+    them.  These are the Table 1 lower-bound workloads of the bench. *)
+
+(** SAT -> SWS_nr(PL, PL) non-emptiness: one final state evaluating the
+    formula on its first input message. *)
+val sws_of_sat : Proplogic.Prop.t -> Sws_pl.t
+
+(** AFA emptiness -> SWS(PL, PL) non-emptiness (AFA emptiness is
+    PSPACE-complete [32]): per-symbol indicator successors gate the AFA's
+    transition conditions, an end-marker successor encodes finality. *)
+val sws_of_afa : Automata.Afa.t -> Sws_pl.t
+
+(** The word encoding matching {!sws_of_afa}: one-hot letters plus the
+    doubled end marker. *)
+val encode_afa_word : int list -> Proplogic.Prop.assignment list
+
+(** Linear same-generation sirups [19] -> SWS(CQ, UCQ) non-emptiness:
+    backward chaining with one successor per edge pair; the service
+    produces output for some input length iff the sirup derives its goal
+    (the EXPTIME cell of Table 1). *)
+val sws_of_sg_sirup :
+  edges:(Relational.Value.t * Relational.Value.t) list ->
+  seed:Relational.Value.t * Relational.Value.t ->
+  goal:Relational.Value.t * Relational.Value.t ->
+  Sws_data.t
+
+(** Reference bottom-up answer for the same sirup, via the datalog engine. *)
+val sg_derives :
+  edges:(Relational.Value.t * Relational.Value.t) list ->
+  seed:Relational.Value.t * Relational.Value.t ->
+  goal:Relational.Value.t * Relational.Value.t ->
+  bool
+
+(** FO satisfiability -> SWS_nr(FO, FO) non-emptiness (Theorem 4.1(1)). *)
+val sws_of_fo_sentence :
+  db_schema:Relational.Schema.t -> Relational.Fo.formula -> Sws_data.t

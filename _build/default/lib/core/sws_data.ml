@@ -1,0 +1,242 @@
+(* Data-driven SWS's: the classes SWS(CQ, UCQ) and SWS(FO, FO) of the paper
+   (Section 2, Example 2.1).  Registers hold relations; transition and final
+   synthesis queries run over the local database plus two reserved relations
+
+       "in"   the current input message I_j          (schema R_in)
+       "msg"  the parent's message register Msg(q)   (schema R_in)
+
+   and an internal synthesis query runs over the action registers of the
+   successor states, exposed as "act1", ..., "actk" (schema R_out). *)
+
+module R = Relational
+module Cq = R.Cq
+module Ucq = R.Ucq
+module Fo = R.Fo
+module Schema = R.Schema
+module Database = R.Database
+module Relation = R.Relation
+
+let in_rel = "in"
+let msg_rel = "msg"
+let act_rel i = Printf.sprintf "act%d" (i + 1)
+
+type query =
+  | Q_cq of Cq.t
+  | Q_ucq of Ucq.t
+  | Q_fo of Fo.t
+
+let query_arity = function
+  | Q_cq q -> Cq.head_arity q
+  | Q_ucq q -> Ucq.arity q
+  | Q_fo q -> List.length q.Fo.head
+
+let query_schema = function
+  | Q_cq q -> Cq.schema_of q
+  | Q_ucq q -> Ucq.schema_of q
+  | Q_fo q -> Fo.schema_of q
+
+let eval_query q db =
+  match q with
+  | Q_cq q -> Cq.eval q db
+  | Q_ucq q -> Ucq.eval q db
+  | Q_fo q -> Fo.eval q db
+
+type t = {
+  db_schema : Schema.t;
+  in_arity : int;
+  out_arity : int;
+  def : (query, query) Sws_def.t;
+}
+
+exception Ill_formed = Sws_def.Ill_formed
+
+(* Well-formedness (Definition 2.1): transition queries map R, R_in, Msg(q)
+   to Msg(q_i); final synthesis maps R, R_in, Msg(q) to Act(q); internal
+   synthesis maps Act(q_1), ..., Act(q_k) to Act(q). *)
+let check t =
+  let data_schema =
+    Schema.add in_rel t.in_arity (Schema.add msg_rel t.in_arity t.db_schema)
+  in
+  let check_against ~allowed where q =
+    List.iter
+      (fun (name, arity) ->
+        match Schema.arity name allowed with
+        | Some a when a = arity -> ()
+        | Some a ->
+          raise
+            (Ill_formed
+               (Printf.sprintf "%s: relation %s used with arity %d, declared %d"
+                  where name arity a))
+        | None ->
+          raise
+            (Ill_formed
+               (Printf.sprintf "%s: relation %s not accessible here" where name)))
+      (Schema.to_list (query_schema q))
+  in
+  Sws_def.fold_rules
+    (fun qname (r : (query, query) Sws_def.rule) () ->
+      List.iter
+        (fun (_, phi) ->
+          let where = Printf.sprintf "transition query of %s" qname in
+          check_against ~allowed:data_schema where phi;
+          if query_arity phi <> t.in_arity then
+            raise
+              (Ill_formed
+                 (Printf.sprintf "%s: arity %d, message registers need %d"
+                    where (query_arity phi) t.in_arity)))
+        r.succs;
+      let where = Printf.sprintf "synthesis query of %s" qname in
+      if query_arity r.synth <> t.out_arity then
+        raise
+          (Ill_formed
+             (Printf.sprintf "%s: arity %d, action registers need %d" where
+                (query_arity r.synth) t.out_arity));
+      match r.succs with
+      | [] -> check_against ~allowed:data_schema where r.synth
+      | succs ->
+        let acts =
+          List.mapi (fun i _ -> (act_rel i, t.out_arity)) succs
+          |> Schema.of_list
+        in
+        check_against ~allowed:acts where r.synth)
+    t.def ()
+
+let make ~db_schema ~in_arity ~out_arity ~start ~rules =
+  let t =
+    { db_schema; in_arity; out_arity; def = Sws_def.make ~start ~rules }
+  in
+  check t;
+  t
+
+let def t = t.def
+let db_schema t = t.db_schema
+let in_arity t = t.in_arity
+let out_arity t = t.out_arity
+let is_recursive t = Sws_def.is_recursive t.def
+let depth t = Sws_def.depth t.def
+
+(* The language class the service belongs to: SWS(CQ, UCQ) when every
+   transition is a CQ and every synthesis a CQ or UCQ; SWS(FO, FO)
+   otherwise (Section 2, "SWS classes"). *)
+type lang_class = Class_cq_ucq | Class_fo
+
+let lang_class t =
+  let is_fo = function Q_fo _ -> true | Q_cq _ | Q_ucq _ -> false in
+  let any_fo =
+    Sws_def.fold_rules
+      (fun _ r acc ->
+        acc
+        || List.exists (fun (_, q) -> is_fo q) r.Sws_def.succs
+        || is_fo r.Sws_def.synth)
+      t.def false
+  in
+  if any_fo then Class_fo else Class_cq_ucq
+
+(* ------------------------------------------------------------------ *)
+(* Runs                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Sem = struct
+  type db = Database.t
+  type input = Relation.t
+  type msg = Relation.t
+  type act = Relation.t
+  type trans_query = query
+  type synth_query = query
+
+  let msg_is_empty = Relation.is_empty
+
+  let data_db db input msg =
+    let schema =
+      Schema.add in_rel (Relation.arity input)
+        (Schema.add msg_rel (Relation.arity msg) (Database.schema db))
+    in
+    let with_data =
+      Database.fold (fun n r acc -> Database.set n r acc) db (Database.empty schema)
+    in
+    Database.set in_rel input (Database.set msg_rel msg with_data)
+
+  let apply_trans db input msg q = eval_query q (data_db db input msg)
+  let synth_final db input msg q = eval_query q (data_db db input msg)
+
+  let synth_combine acts q =
+    let schema =
+      List.mapi (fun i r -> (act_rel i, Relation.arity r)) acts
+      |> Schema.of_list
+    in
+    let db =
+      List.fold_left
+        (fun (db, i) r -> (Database.set (act_rel i) r db, i + 1))
+        (Database.empty schema, 0) acts
+      |> fst
+    in
+    eval_query q db
+end
+
+module Run = Exec_tree.Make (Sem)
+
+(* [initial_msg] instantiates the start state's message register: the
+   mediator semantics of Section 5.1 hands a component its caller's Msg(v)
+   this way.  Default: the empty register of Definition 2.1. *)
+let run_tree ?initial_msg t db inputs =
+  Run.run_tree t.def db inputs
+    ~initial_msg:(Option.value ~default:(Relation.empty t.in_arity) initial_msg)
+    ~empty_act:(Relation.empty t.out_arity)
+
+(* tau(D, I): the output relation gathered at the root. *)
+let run ?initial_msg t db inputs =
+  Run.run t.def db inputs
+    ~initial_msg:(Option.value ~default:(Relation.empty t.in_arity) initial_msg)
+    ~empty_act:(Relation.empty t.out_arity)
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The session delimiter '#' (Section 2, "An overview"): a singleton input
+   message carrying the reserved value "#" in every column. *)
+let delimiter_value = R.Value.str "#"
+
+let delimiter in_arity =
+  Relation.singleton
+    (R.Tuple.of_list (List.init in_arity (fun _ -> delimiter_value)))
+
+let is_delimiter rel =
+  Relation.cardinal rel = 1
+  && Relation.for_all
+       (fun tup -> R.Tuple.exists (R.Value.equal delimiter_value) tup)
+       rel
+
+(* Treat a long input sequence as consecutive sessions: actions are
+   committed (via [commit]) whenever the delimiter is encountered; the local
+   database stays fixed within a session.  Returns the per-session outputs
+   and the final database. *)
+let run_sessions ?(commit = fun db _out -> db) t db inputs =
+  let flush (db, outputs) session =
+    let out = run t db (List.rev session) in
+    (commit db out, out :: outputs)
+  in
+  let rec go db outputs session = function
+    | [] ->
+      let db, outputs =
+        if session = [] then (db, outputs) else flush (db, outputs) session
+      in
+      (db, List.rev outputs)
+    | i :: rest ->
+      if is_delimiter i then
+        let db, outputs = flush (db, outputs) session in
+        go db outputs [] rest
+      else go db outputs (i :: session) rest
+  in
+  go db [] [] inputs
+
+let pp_query ppf = function
+  | Q_cq q -> Cq.pp ppf q
+  | Q_ucq q -> Ucq.pp ppf q
+  | Q_fo q -> Fo.pp ppf q
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>R = %a, in/%d, out/%d@ %a@]" Schema.pp t.db_schema
+    t.in_arity t.out_arity
+    (Sws_def.pp pp_query pp_query)
+    t.def

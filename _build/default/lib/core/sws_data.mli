@@ -1,0 +1,104 @@
+(** Data-driven SWS's: the classes SWS(CQ, UCQ) and SWS(FO, FO) of the
+    paper (Section 2, Example 2.1).  Registers hold relations; transition
+    and final synthesis queries run over the local database plus the
+    reserved relations {!in_rel} (the current input message) and
+    {!msg_rel} (the parent's register), both of schema R_in; internal
+    synthesis runs over the successors' registers {!act_rel}[ i], of
+    schema R_out. *)
+
+(** Reserved relation names. *)
+val in_rel : string
+
+val msg_rel : string
+val act_rel : int -> string
+
+type query =
+  | Q_cq of Relational.Cq.t
+  | Q_ucq of Relational.Ucq.t
+  | Q_fo of Relational.Fo.t
+
+val query_arity : query -> int
+val query_schema : query -> Relational.Schema.t
+val eval_query : query -> Relational.Database.t -> Relational.Relation.t
+
+type t
+
+exception Ill_formed of string
+
+(** Checks Definition 2.1 plus the schema discipline above. *)
+val make :
+  db_schema:Relational.Schema.t ->
+  in_arity:int ->
+  out_arity:int ->
+  start:string ->
+  rules:(string * (query, query) Sws_def.rule) list ->
+  t
+
+val def : t -> (query, query) Sws_def.t
+val db_schema : t -> Relational.Schema.t
+val in_arity : t -> int
+val out_arity : t -> int
+val is_recursive : t -> bool
+val depth : t -> int option
+
+(** SWS(CQ, UCQ) when every transition is a CQ and every synthesis CQ/UCQ;
+    SWS(FO, FO) otherwise. *)
+type lang_class = Class_cq_ucq | Class_fo
+
+val lang_class : t -> lang_class
+
+(** Run semantics (the [Exec_tree] engine over relational registers). *)
+module Sem : sig
+  type db = Relational.Database.t
+  type input = Relational.Relation.t
+  type msg = Relational.Relation.t
+  type act = Relational.Relation.t
+  type trans_query = query
+  type synth_query = query
+
+  val msg_is_empty : msg -> bool
+  val data_db : db -> input -> msg -> Relational.Database.t
+  val apply_trans : db -> input -> msg -> trans_query -> msg
+  val synth_final : db -> input -> msg -> synth_query -> act
+  val synth_combine : act list -> synth_query -> act
+end
+
+module Run : module type of Exec_tree.Make (Sem)
+
+(** [initial_msg] instantiates the start state's register — how a mediator
+    hands a component its own Msg(v) (Section 5.1).  Default: empty. *)
+val run_tree :
+  ?initial_msg:Relational.Relation.t ->
+  t ->
+  Relational.Database.t ->
+  Relational.Relation.t list ->
+  Run.node
+
+(** tau(D, I): the root's action register. *)
+val run :
+  ?initial_msg:Relational.Relation.t ->
+  t ->
+  Relational.Database.t ->
+  Relational.Relation.t list ->
+  Relational.Relation.t
+
+(** {1 Sessions}  (Section 2, "An overview") *)
+
+val delimiter_value : Relational.Value.t
+
+(** The session delimiter [#]: a singleton message of [#] values. *)
+val delimiter : int -> Relational.Relation.t
+
+val is_delimiter : Relational.Relation.t -> bool
+
+(** Split the sequence at delimiters, run each session, and commit its
+    actions via [commit] (default: keep the database unchanged). *)
+val run_sessions :
+  ?commit:(Relational.Database.t -> Relational.Relation.t -> Relational.Database.t) ->
+  t ->
+  Relational.Database.t ->
+  Relational.Relation.t list ->
+  Relational.Database.t * Relational.Relation.t list
+
+val pp_query : query Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,133 @@
+(* The shape shared by every SWS class (Definition 2.1): a finite set of
+   states, each with one transition rule
+
+       q -> (q1, phi_1), ..., (qk, phi_k)
+
+   and one synthesis rule  Act(q) <- psi.  The rule payloads (the queries
+   phi_i and psi) are type parameters; SWS(PL, PL) instantiates them with
+   propositional formulas and the data-driven classes with CQ/UCQ/FO
+   queries.  This module also owns the dependency graph and the
+   recursive/nonrecursive classification (Section 2, "SWS classes"). *)
+
+module Smap = Map.Make (String)
+
+type ('tq, 'sq) rule = {
+  succs : (string * 'tq) list; (* successor state and its transition query *)
+  synth : 'sq;
+}
+
+type ('tq, 'sq) t = {
+  start : string;
+  rules : ('tq, 'sq) rule Smap.t;
+}
+
+exception Ill_formed of string
+
+let make ~start ~rules =
+  let map =
+    List.fold_left
+      (fun m (q, rule) ->
+        if Smap.mem q m then
+          raise (Ill_formed (Printf.sprintf "duplicate rules for state %s" q))
+        else Smap.add q rule m)
+      Smap.empty rules
+  in
+  let check_state q =
+    if not (Smap.mem q map) then
+      raise (Ill_formed (Printf.sprintf "undefined successor state %s" q))
+  in
+  Smap.iter
+    (fun _ rule -> List.iter (fun (q, _) -> check_state q) rule.succs)
+    map;
+  check_state start;
+  (* Definition 2.1: the start state does not appear in the rhs of any rule. *)
+  Smap.iter
+    (fun q rule ->
+      List.iter
+        (fun (q', _) ->
+          if String.equal q' start then
+            raise
+              (Ill_formed
+                 (Printf.sprintf "start state %s appears in the rhs of %s" start q)))
+        rule.succs)
+    map;
+  { start; rules = map }
+
+let start s = s.start
+
+let rule s q =
+  match Smap.find_opt q s.rules with
+  | Some r -> r
+  | None -> raise (Ill_formed (Printf.sprintf "unknown state %s" q))
+
+let states s = List.map fst (Smap.bindings s.rules)
+
+let num_states s = Smap.cardinal s.rules
+
+(* Successors in the dependency graph G_tau. *)
+let successors s q = List.map fst (rule s q).succs
+
+(* An SWS is recursive iff its dependency graph is cyclic. *)
+let is_recursive s =
+  let color = Hashtbl.create 16 in (* 1 = on stack, 2 = done *)
+  let rec visit q =
+    match Hashtbl.find_opt color q with
+    | Some 1 -> true
+    | Some _ -> false
+    | None ->
+      Hashtbl.add color q 1;
+      let cyclic = List.exists visit (successors s q) in
+      Hashtbl.replace color q 2;
+      cyclic
+  in
+  List.exists visit (states s)
+
+(* Longest path from the start in the dependency graph of a nonrecursive
+   SWS: bounds the execution-tree depth, hence the number of inputs the
+   service can consume in one session. *)
+let depth s =
+  if is_recursive s then None
+  else begin
+    let memo = Hashtbl.create 16 in
+    let rec go q =
+      match Hashtbl.find_opt memo q with
+      | Some d -> d
+      | None ->
+        let d =
+          match successors s q with
+          | [] -> 0
+          | qs -> 1 + List.fold_left (fun m q' -> max m (go q')) 0 qs
+        in
+        Hashtbl.add memo q d;
+        d
+    in
+    Some (go s.start)
+  end
+
+(* Map the rule payloads, keeping the graph. *)
+let map_rules f_trans f_synth s =
+  {
+    s with
+    rules =
+      Smap.map
+        (fun r ->
+          {
+            succs = List.map (fun (q, tq) -> (q, f_trans tq)) r.succs;
+            synth = f_synth r.synth;
+          })
+        s.rules;
+  }
+
+let fold_rules f s init =
+  Smap.fold (fun q r acc -> f q r acc) s.rules init
+
+let pp pp_tq pp_sq ppf s =
+  let pp_rule ppf (q, r) =
+    let pp_succ ppf (q', tq) = Fmt.pf ppf "(%s, %a)" q' pp_tq tq in
+    Fmt.pf ppf "%s -> %a.  Act(%s) <- %a" q
+      Fmt.(list ~sep:(any ", ") pp_succ)
+      r.succs q pp_sq r.synth
+  in
+  Fmt.pf ppf "@[<v>start: %s@ %a@]" s.start
+    Fmt.(list ~sep:cut pp_rule)
+    (Smap.bindings s.rules)

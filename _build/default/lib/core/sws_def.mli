@@ -1,0 +1,41 @@
+(** The shape shared by every SWS class (Definition 2.1): states with one
+    transition rule [q -> (q1, phi1), ..., (qk, phik)] and one synthesis
+    rule [Act(q) <- psi] each.  The rule payloads are type parameters:
+    [SWS(PL, PL)] instantiates them with propositional formulas, the
+    data-driven classes with CQ/UCQ/FO queries. *)
+
+type ('tq, 'sq) rule = {
+  succs : (string * 'tq) list;  (** successors with their transition queries *)
+  synth : 'sq;  (** the synthesis query psi *)
+}
+
+type ('tq, 'sq) t
+
+exception Ill_formed of string
+
+(** Checks: unique rules per state, defined successors, and that the start
+    state appears in no rule's right-hand side (Definition 2.1). *)
+val make : start:string -> rules:(string * ('tq, 'sq) rule) list -> ('tq, 'sq) t
+
+val start : ('tq, 'sq) t -> string
+val rule : ('tq, 'sq) t -> string -> ('tq, 'sq) rule
+val states : ('tq, 'sq) t -> string list
+val num_states : ('tq, 'sq) t -> int
+
+(** Successors in the dependency graph [G_tau]. *)
+val successors : ('tq, 'sq) t -> string -> string list
+
+(** An SWS is recursive iff its dependency graph is cyclic (Section 2). *)
+val is_recursive : ('tq, 'sq) t -> bool
+
+(** Longest dependency path from the start; [None] for recursive services.
+    Bounds the execution-tree depth of a nonrecursive service. *)
+val depth : ('tq, 'sq) t -> int option
+
+val map_rules :
+  ('tq -> 'tq2) -> ('sq -> 'sq2) -> ('tq, 'sq) t -> ('tq2, 'sq2) t
+
+val fold_rules :
+  (string -> ('tq, 'sq) rule -> 'acc -> 'acc) -> ('tq, 'sq) t -> 'acc -> 'acc
+
+val pp : 'tq Fmt.t -> 'sq Fmt.t -> ('tq, 'sq) t Fmt.t

@@ -1,0 +1,155 @@
+(* A textual format for SWS(PL, PL) specifications, for the CLI and for
+   keeping services in files.  Example (the Figure 1(b) skeleton):
+
+       # the travel service
+       inputs: a h t c
+       start: q0
+       q0 -> (qa, T), (qh, T), (qt, T), (qc, T) ; act1 & act2 & (act3 | (~act3 & act4))
+       qa -> ; a
+       qh -> ; h
+       qt -> ; t
+       qc -> ; c
+
+   One rule per line: [state -> successors ; synthesis], where successors
+   is a comma-separated list of [(state, formula)] (empty for a final
+   state) and the synthesis is a propositional formula in the syntax of
+   {!Proplogic.Prop_parser}.  Lines whose first non-blank character is '#'
+   are comments; blank lines are ignored. *)
+
+module Prop = Proplogic.Prop
+module Prop_parser = Proplogic.Prop_parser
+
+exception Parse_error of string
+
+let fail line msg = raise (Parse_error (Printf.sprintf "line %d: %s" line msg))
+
+let strip = String.trim
+
+(* Split on a separator character occurring at parenthesis depth zero. *)
+let split_top ~on s =
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      if c = '(' then incr depth else if c = ')' then decr depth;
+      if c = on && !depth = 0 then begin
+        parts := Buffer.contents buf :: !parts;
+        Buffer.clear buf
+      end
+      else Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  List.rev !parts
+
+let parse_formula line what src =
+  match Prop_parser.parse (strip src) with
+  | f -> f
+  | exception Prop_parser.Parse_error m ->
+    fail line (Printf.sprintf "in %s %S: %s" what src m)
+
+(* "(state, formula)" — the comma sits at depth 1, so a depth-0 split of
+   the successor list keeps each pair intact. *)
+let parse_successor line s =
+  let s = strip s in
+  if String.length s < 2 || s.[0] <> '(' || s.[String.length s - 1] <> ')' then
+    fail line (Printf.sprintf "expected (state, formula), got %S" s);
+  let inner = String.sub s 1 (String.length s - 2) in
+  match String.index_opt inner ',' with
+  | None -> fail line (Printf.sprintf "expected (state, formula), got %S" s)
+  | Some ci ->
+    let state = strip (String.sub inner 0 ci) in
+    let formula_src = String.sub inner (ci + 1) (String.length inner - ci - 1) in
+    (state, parse_formula line "transition formula" formula_src)
+
+let parse_rule line s =
+  match String.index_opt s ';' with
+  | None -> fail line "missing ';' before the synthesis formula"
+  | Some si ->
+    let head = String.sub s 0 si in
+    let synth =
+      parse_formula line "synthesis formula"
+        (String.sub s (si + 1) (String.length s - si - 1))
+    in
+    (* the first "->" separates the state name from the successors;
+       formulas inside successor pairs are parenthesized, so this is
+       unambiguous *)
+    let arrow =
+      let rec find i =
+        if i + 1 >= String.length head then None
+        else if head.[i] = '-' && head.[i + 1] = '>' then Some i
+        else find (i + 1)
+      in
+      find 0
+    in
+    (match arrow with
+    | None -> fail line "missing '->'"
+    | Some ai ->
+      let state = strip (String.sub head 0 ai) in
+      let succs_src = strip (String.sub head (ai + 2) (String.length head - ai - 2)) in
+      let succs =
+        if succs_src = "" then []
+        else List.map (parse_successor line) (split_top ~on:',' succs_src)
+      in
+      (state, { Sws_def.succs; synth }))
+
+(* Parse a full specification.  Raises {!Parse_error} or
+   [Sws_pl.Ill_formed]. *)
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  let directive prefix s =
+    if String.length s >= String.length prefix
+       && String.equal (String.sub s 0 (String.length prefix)) prefix
+    then Some (strip (String.sub s (String.length prefix) (String.length s - String.length prefix)))
+    else None
+  in
+  let inputs = ref None in
+  let start = ref None in
+  let rules = ref [] in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let s = strip raw in
+      if s = "" || s.[0] = '#' then ()
+      else
+        match directive "inputs:" s with
+        | Some vars ->
+          inputs := Some (String.split_on_char ' ' vars |> List.filter (fun v -> v <> ""))
+        | None -> (
+          match directive "start:" s with
+          | Some q -> start := Some q
+          | None -> rules := parse_rule line s :: !rules))
+    lines;
+  match !inputs, !start with
+  | None, _ -> raise (Parse_error "missing 'inputs:' line")
+  | _, None -> raise (Parse_error "missing 'start:' line")
+  | Some input_vars, Some start ->
+    Sws_pl.make ~input_vars ~start ~rules:(List.rev !rules)
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let source = really_input_string ic n in
+  close_in ic;
+  parse source
+
+(* Render a service back into the textual format (parse/print round-trips
+   are property-tested). *)
+let print sws =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "inputs: %s\n" (String.concat " " (Sws_pl.input_vars sws)));
+  Buffer.add_string buf
+    (Printf.sprintf "start: %s\n" (Sws_def.start (Sws_pl.def sws)));
+  Sws_def.fold_rules
+    (fun q (r : (Sws_pl.query, Sws_pl.query) Sws_def.rule) () ->
+      let succs =
+        String.concat ", "
+          (List.map
+             (fun (q', f) -> Printf.sprintf "(%s, %s)" q' (Prop.to_string f))
+             r.Sws_def.succs)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s -> %s ; %s\n" q succs (Prop.to_string r.Sws_def.synth)))
+    (Sws_pl.def sws) ();
+  Buffer.contents buf

@@ -1,0 +1,262 @@
+(* SWS(PL, PL): synthesized Web services that are not data-driven
+   (Section 2, "SWS classes").  The local database is empty, an input
+   message is a truth assignment over the service's input variables,
+   message and action registers hold a single truth value, and all rule
+   queries are propositional formulas:
+
+   - a transition query phi_i is a formula over the input variables and the
+     reserved variable "@msg" standing for the parent's message register;
+   - the synthesis query of a final state (empty rhs) is a formula over the
+     input variables and "@msg";
+   - the synthesis query of an internal state with k successors is a formula
+     over the reserved variables "act1", ..., "actk".
+
+   This mirrors Figure 1(b): each state keeps its truth value in a register
+   and a parent's value is a Boolean function of its successors' values
+   (e.g. X3 = Y1 \/ (~Y1 /\ Y2)). *)
+
+module Prop = Proplogic.Prop
+module Afa = Automata.Afa
+
+let msg_var = "@msg"
+
+let act_var i = Printf.sprintf "act%d" (i + 1)
+
+type query = Prop.t
+
+type t = {
+  input_vars : string list;
+  def : (query, query) Sws_def.t;
+}
+
+exception Ill_formed = Sws_def.Ill_formed
+
+let check_vars ~allowed where f =
+  List.iter
+    (fun x ->
+      if not (List.mem x allowed) then
+        raise
+          (Ill_formed
+             (Printf.sprintf "variable %s not allowed in %s" x where)))
+    (Prop.vars f)
+
+let make ~input_vars ~start ~rules =
+  let def = Sws_def.make ~start ~rules in
+  let t = { input_vars; def } in
+  let env_vars = msg_var :: input_vars in
+  Sws_def.fold_rules
+    (fun q (r : (query, query) Sws_def.rule) () ->
+      List.iter
+        (fun (_, phi) ->
+          check_vars ~allowed:env_vars
+            (Printf.sprintf "transition query of %s" q)
+            phi)
+        r.succs;
+      match r.succs with
+      | [] ->
+        check_vars ~allowed:env_vars
+          (Printf.sprintf "final synthesis query of %s" q)
+          r.synth
+      | succs ->
+        let acts = List.mapi (fun i _ -> act_var i) succs in
+        check_vars ~allowed:acts
+          (Printf.sprintf "synthesis query of %s" q)
+          r.synth)
+    def ();
+  t
+
+let def t = t.def
+let input_vars t = t.input_vars
+let is_recursive t = Sws_def.is_recursive t.def
+let depth t = Sws_def.depth t.def
+
+(* ------------------------------------------------------------------ *)
+(* Runs                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Sem = struct
+  type db = unit
+  type input = Prop.assignment
+  type msg = bool
+  type act = bool
+  type trans_query = query
+  type synth_query = query
+
+  let msg_is_empty m = not m
+
+  let env input msg =
+    if msg then Prop.Sset.add msg_var input else input
+
+  let apply_trans () input msg f = Prop.eval (env input msg) f
+  let synth_final () input msg f = Prop.eval (env input msg) f
+
+  let synth_combine acts f =
+    let assignment =
+      List.fold_left
+        (fun a (i, v) -> if v then Prop.Sset.add (act_var i) a else a)
+        Prop.Sset.empty
+        (List.mapi (fun i v -> (i, v)) acts)
+    in
+    Prop.eval assignment f
+end
+
+module Run = Exec_tree.Make (Sem)
+
+let run_tree t inputs =
+  Run.run_tree t.def () inputs ~initial_msg:false ~empty_act:false
+
+(* tau(D, I) for the PL class: a single truth value. *)
+let run t inputs = Run.run t.def () inputs ~initial_msg:false ~empty_act:false
+
+(* ------------------------------------------------------------------ *)
+(* Symbol encoding: assignments over the input variables as an integer
+   alphabet (bitmask in the order of [input_vars]).                    *)
+(* ------------------------------------------------------------------ *)
+
+let alphabet_size t = 1 lsl List.length t.input_vars
+
+let assignment_of_symbol t s =
+  List.fold_left
+    (fun (a, i) x ->
+      ((if s land (1 lsl i) <> 0 then Prop.Sset.add x a else a), i + 1))
+    (Prop.Sset.empty, 0) t.input_vars
+  |> fst
+
+let symbol_of_assignment t a =
+  List.fold_left
+    (fun (s, i) x ->
+      ((if Prop.assignment_mem x a then s lor (1 lsl i) else s), i + 1))
+    (0, 0) t.input_vars
+  |> fst
+
+let accepts_word t word =
+  run t (List.map (assignment_of_symbol t) word)
+
+(* ------------------------------------------------------------------ *)
+(* Translation to alternating automata                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The AFA of the service's language (sequences with output true).  States
+   are (SWS state, message bit) pairs: the message bit is the only extra
+   run-time state a node carries.  From an alive pair on symbol a:
+
+   - a final SWS state contributes the constant psi(a, m) (its value ignores
+     the rest of the sequence);
+   - an internal state contributes psi with act_i replaced by the pair state
+     (q_i, phi_i(a, m)).
+
+   Dead pairs (non-root, message false) have constant-false transitions, and
+   no state is AFA-final: a node whose timestamp exceeds the input length
+   gets the empty action (rule (1)), i.e. value false on the empty suffix.
+   The start pair is (q0, false): the root proceeds despite its empty
+   message when the input is nonempty. *)
+let to_afa t =
+  let states = Sws_def.states t.def in
+  let index =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun i q -> Hashtbl.add tbl q i) states;
+    fun q -> Hashtbl.find tbl q
+  in
+  let pair_id q m = (2 * index q) + if m then 1 else 0 in
+  let num = 2 * List.length states in
+  let alphabet_size = alphabet_size t in
+  let start_name = Sws_def.start t.def in
+  let rec form_of_prop ~env = function
+    (* env maps a variable to an AFA literal *)
+    | Prop.True -> Afa.Ftrue
+    | Prop.False -> Afa.Ffalse
+    | Prop.Var x -> env x
+    | Prop.Not f -> Afa.Fnot (form_of_prop ~env f)
+    | Prop.And (f, g) -> Afa.Fand (form_of_prop ~env f, form_of_prop ~env g)
+    | Prop.Or (f, g) -> Afa.For (form_of_prop ~env f, form_of_prop ~env g)
+    | Prop.Implies (f, g) ->
+      Afa.For (Afa.Fnot (form_of_prop ~env f), form_of_prop ~env g)
+    | Prop.Iff (f, g) ->
+      let a = form_of_prop ~env f and b = form_of_prop ~env g in
+      Afa.For (Afa.Fand (a, b), Afa.Fand (Afa.Fnot a, Afa.Fnot b))
+  in
+  let delta =
+    Array.init num (fun code ->
+        let q = List.nth states (code / 2) in
+        let m = code mod 2 = 1 in
+        let alive = m || String.equal q start_name in
+        Array.init alphabet_size (fun s ->
+            if not alive then Afa.Ffalse
+            else begin
+              let a = assignment_of_symbol t s in
+              let env_bool = Sem.env a m in
+              let rule = Sws_def.rule t.def q in
+              match rule.Sws_def.succs with
+              | [] ->
+                if Prop.eval env_bool rule.Sws_def.synth then Afa.Ftrue
+                else Afa.Ffalse
+              | succs ->
+                let child i (q_i, phi_i) =
+                  let m_i = Prop.eval env_bool phi_i in
+                  (act_var i, Afa.State (pair_id q_i m_i))
+                in
+                let mapping = List.mapi child succs in
+                let env x =
+                  match List.assoc_opt x mapping with
+                  | Some f -> f
+                  | None -> Afa.Ffalse (* unreachable: checked by [make] *)
+                in
+                form_of_prop ~env rule.Sws_def.synth
+            end))
+  in
+  Afa.create ~alphabet_size ~start:(pair_id start_name false) ~finals:[] ~delta
+
+(* ------------------------------------------------------------------ *)
+(* Nonrecursive unfolding to a single formula                          *)
+(* ------------------------------------------------------------------ *)
+
+let timed_var x j = Printf.sprintf "%s@%d" x j
+
+(* [unfold t ~n] is a propositional formula over variables "x@j"
+   (input variable x at step j, 1-based) that is true exactly on the
+   n-step input sequences with output true.  Only defined for
+   nonrecursive services; this is the reduction behind the NP / coNP
+   bounds of Theorem 4.1(3). *)
+let unfold t ~n =
+  if is_recursive t then invalid_arg "Sws_pl.unfold: recursive service";
+  let time_subst j msg_formula =
+    List.fold_left
+      (fun m x -> Prop.Smap.add x (Prop.Var (timed_var x j)) m)
+      (Prop.Smap.singleton msg_var msg_formula)
+      t.input_vars
+  in
+  let rec value q j msg_formula ~is_root =
+    if j > n then Prop.False
+    else begin
+      let rule = Sws_def.rule t.def q in
+      let inner =
+        match rule.Sws_def.succs with
+        | [] -> Prop.subst (time_subst j msg_formula) rule.Sws_def.synth
+        | succs ->
+          let act_map =
+            List.mapi
+              (fun i (q_i, phi_i) ->
+                let child_msg = Prop.subst (time_subst j msg_formula) phi_i in
+                (act_var i, value q_i (j + 1) child_msg ~is_root:false))
+              succs
+          in
+          Prop.subst
+            (List.fold_left
+               (fun m (x, f) -> Prop.Smap.add x f m)
+               Prop.Smap.empty act_map)
+            rule.Sws_def.synth
+      in
+      let guarded =
+        if is_root then inner else Prop.And (msg_formula, inner)
+      in
+      Prop.simplify guarded
+    end
+  in
+  value (Sws_def.start t.def) 1 Prop.False ~is_root:true
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>input vars: %a@ %a@]"
+    Fmt.(list ~sep:(any ", ") string)
+    t.input_vars
+    (Sws_def.pp Prop.pp Prop.pp)
+    t.def

@@ -1,0 +1,507 @@
+(* The paper's running example, end to end (Figure 1, Examples 1.1, 2.1,
+   2.2 and 5.1): the Disney World travel-package service.
+
+   Local database R:    ra/rh/rt/rc (id, price) for airfares, hotels,
+                        Disney tickets and rental cars.
+   Input schema R_in:   (tag, budget) with tag in {'a','h','t','c'} — a user
+                        requirement per category (matching is by price =
+                        budget; the model has no arithmetic order).
+   External schema R_out: (airfare, hotel, ticket, car) with the unused
+                        column carrying the don't-care marker '_' in partial
+                        tuples, as in Example 2.1's don't-care arguments.
+
+   tau1 checks airfare, hotel, tickets and cars in parallel and commits to
+   tickets over cars deterministically:
+       psi0 = act_a  /\  act_h  /\  (act_t  \/  (no act_t /\ act_c)).
+   The preference needs negation, so tau1 is in SWS(FO, FO) — exactly why
+   the paper's Example 2.1 writes psi0 with a negated existential.
+
+   Timestamps: the root consumes I_1 and the four leaves consume their
+   message registers at timestamp 2, so a session needs two input messages;
+   [request] replicates the requirement message accordingly.  (The paper's
+   Example 2.2 labels the leaves with ts = 1, but its Section 2 run relation
+   gives children timestamp j + 1; we follow the run relation.) *)
+
+module R = Relational
+module Term = R.Term
+module Atom = R.Atom
+module Fo = R.Fo
+module Schema = R.Schema
+module Relation = R.Relation
+module Database = R.Database
+module Value = R.Value
+module Tuple = R.Tuple
+
+let db_schema =
+  Schema.of_list [ ("ra", 2); ("rh", 2); ("rt", 2); ("rc", 2) ]
+
+let tag_air = Value.str "a"
+let tag_hotel = Value.str "h"
+let tag_ticket = Value.str "t"
+let tag_car = Value.str "c"
+let dont_care = Value.str "_"
+
+let v = Term.var
+let c = Term.const
+
+let cq ?eqs ?neqs head body = R.Cq.make ?eqs ?neqs ~head ~body ()
+
+(* phi_x: select this category's requirements from the input. *)
+let select_tag tag =
+  Sws_data.Q_cq
+    (cq
+       ~eqs:[ (v "tag", c tag) ]
+       [ v "tag"; v "b" ]
+       [ Atom.make Sws_data.in_rel [ v "tag"; v "b" ] ])
+
+(* psi for a category leaf: look the requirement up in the catalog and emit
+   a partial R_out tuple with don't-cares elsewhere. *)
+let leaf_synth ~catalog ~column tag =
+  let out_col i = if i = column then v "id" else c dont_care in
+  Sws_data.Q_cq
+    (cq
+       [ out_col 0; out_col 1; out_col 2; out_col 3 ]
+       [
+         Atom.make Sws_data.msg_rel [ c tag; v "b" ];
+         Atom.make catalog [ v "id"; v "b" ];
+       ])
+
+(* psi0 of Example 2.1: conjunctive on airfare and hotel, deterministic
+   preference of tickets over cars. *)
+let psi0 =
+  let act i col var =
+    let arg j = if j = col then v var else v (Printf.sprintf "d%d%d" i j) in
+    Fo.exists_many
+      (List.filter_map
+         (fun j -> if j = col then None else Some (Printf.sprintf "d%d%d" i j))
+         [ 0; 1; 2; 3 ])
+      (Fo.atom (Sws_data.act_rel i) [ arg 0; arg 1; arg 2; arg 3 ])
+  in
+  let no_ticket =
+    Fo.Not
+      (Fo.exists_many [ "u0"; "u1"; "u2"; "u3" ]
+         (Fo.atom (Sws_data.act_rel 2) [ v "u0"; v "u1"; v "u2"; v "u3" ]))
+  in
+  Sws_data.Q_fo
+    (Fo.query [ "xa"; "xh"; "xt"; "xc" ]
+       (Fo.conj
+          [
+            act 0 0 "xa";
+            act 1 1 "xh";
+            Fo.disj
+              [
+                Fo.conj [ act 2 2 "xt"; Fo.eq (v "xc") (c dont_care) ];
+                Fo.conj
+                  [ no_ticket; act 3 3 "xc"; Fo.eq (v "xt") (c dont_care) ];
+              ];
+          ]))
+
+(* tau1 (Example 2.1). *)
+let tau1 =
+  Sws_data.make ~db_schema ~in_arity:2 ~out_arity:4 ~start:"q0"
+    ~rules:
+      [
+        ( "q0",
+          {
+            Sws_def.succs =
+              [
+                ("qa", select_tag tag_air);
+                ("qh", select_tag tag_hotel);
+                ("qt", select_tag tag_ticket);
+                ("qc", select_tag tag_car);
+              ];
+            synth = psi0;
+          } );
+        ("qa", { Sws_def.succs = []; synth = leaf_synth ~catalog:"ra" ~column:0 tag_air });
+        ("qh", { Sws_def.succs = []; synth = leaf_synth ~catalog:"rh" ~column:1 tag_hotel });
+        ("qt", { Sws_def.succs = []; synth = leaf_synth ~catalog:"rt" ~column:2 tag_ticket });
+        ("qc", { Sws_def.succs = []; synth = leaf_synth ~catalog:"rc" ~column:3 tag_car });
+      ]
+
+(* tau2 (Example 2.1, continued): repeated airfare inquiries.  The airfare
+   branch becomes a recursive chain preferring the answer for the *latest*
+   inquiry: psi'_a = act_qa \/ (no act_qa /\ act_qf). *)
+let prefer_first =
+  let xs = List.init 4 (fun j -> Printf.sprintf "x%d" j) in
+  let act i = Fo.atom (Sws_data.act_rel i) (List.map v xs) in
+  let act0_any =
+    Fo.exists_many [ "u0"; "u1"; "u2"; "u3" ]
+      (Fo.atom (Sws_data.act_rel 0) [ v "u0"; v "u1"; v "u2"; v "u3" ])
+  in
+  Sws_data.Q_fo
+    (Fo.query xs (Fo.disj [ act 0; Fo.conj [ Fo.Not act0_any; act 1 ] ]))
+
+let tau2 =
+  Sws_data.make ~db_schema ~in_arity:2 ~out_arity:4 ~start:"q0"
+    ~rules:
+      [
+        ( "q0",
+          {
+            Sws_def.succs =
+              [
+                ("qa", select_tag tag_air);
+                ("qh", select_tag tag_hotel);
+                ("qt", select_tag tag_ticket);
+                ("qc", select_tag tag_car);
+              ];
+            synth = psi0;
+          } );
+        ( "qa",
+          {
+            Sws_def.succs = [ ("qa", select_tag tag_air); ("qf", select_tag tag_air) ];
+            synth = prefer_first;
+          } );
+        ("qf", { Sws_def.succs = []; synth = leaf_synth ~catalog:"ra" ~column:0 tag_air });
+        ("qh", { Sws_def.succs = []; synth = leaf_synth ~catalog:"rh" ~column:1 tag_hotel });
+        ("qt", { Sws_def.succs = []; synth = leaf_synth ~catalog:"rt" ~column:2 tag_ticket });
+        ("qc", { Sws_def.succs = []; synth = leaf_synth ~catalog:"rc" ~column:3 tag_car });
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* The priced variant: aggregation-ready packages                      *)
+(* ------------------------------------------------------------------ *)
+
+(* tau1 with prices carried into the output — R_out is (airfare_id,
+   airfare_price, hotel_id, hotel_price, ticket_id, ticket_price, car_id,
+   car_price) — so a cost model can rank complete packages.  This is the
+   substrate for the paper's future-work extension (Section 6: travel
+   packages with minimum total cost), exercised through [Aggregate]. *)
+
+let priced_width = 8
+
+let leaf_synth_priced ~catalog ~column tag =
+  let out_col i =
+    if i = 2 * column then v "id"
+    else if i = (2 * column) + 1 then v "b"
+    else c dont_care
+  in
+  Sws_data.Q_cq
+    (cq
+       (List.init priced_width out_col)
+       [
+         Atom.make Sws_data.msg_rel [ c tag; v "b" ];
+         Atom.make catalog [ v "id"; v "b" ];
+       ])
+
+let psi0_priced =
+  (* one (id, price) head-variable pair per category, in column order *)
+  let head =
+    List.concat_map
+      (fun cat -> [ Printf.sprintf "id%d" cat; Printf.sprintf "pr%d" cat ])
+      [ 0; 1; 2; 3 ]
+  in
+  let act i cat =
+    let arg j =
+      if j = 2 * cat then v (Printf.sprintf "id%d" cat)
+      else if j = (2 * cat) + 1 then v (Printf.sprintf "pr%d" cat)
+      else v (Printf.sprintf "g%d%d" i j)
+    in
+    Fo.exists_many
+      (List.filter_map
+         (fun j ->
+           if j = 2 * cat || j = (2 * cat) + 1 then None
+           else Some (Printf.sprintf "g%d%d" i j))
+         (List.init priced_width Fun.id))
+      (Fo.atom (Sws_data.act_rel i) (List.init priced_width arg))
+  in
+  let no_ticket =
+    let us = List.init priced_width (fun i -> Printf.sprintf "u%d" i) in
+    Fo.Not (Fo.exists_many us (Fo.atom (Sws_data.act_rel 2) (List.map v us)))
+  in
+  let dc x = Fo.eq (v x) (c dont_care) in
+  Sws_data.Q_fo
+    (Fo.query head
+       (Fo.conj
+          [
+            act 0 0;
+            act 1 1;
+            Fo.disj
+              [
+                Fo.conj [ act 2 2; dc "id3"; dc "pr3" ];
+                Fo.conj [ no_ticket; act 3 3; dc "id2"; dc "pr2" ];
+              ];
+          ]))
+
+let tau1_priced =
+  Sws_data.make ~db_schema ~in_arity:2 ~out_arity:priced_width ~start:"q0"
+    ~rules:
+      [
+        ( "q0",
+          {
+            Sws_def.succs =
+              [
+                ("qa", select_tag tag_air);
+                ("qh", select_tag tag_hotel);
+                ("qt", select_tag tag_ticket);
+                ("qc", select_tag tag_car);
+              ];
+            synth = psi0_priced;
+          } );
+        ("qa", { Sws_def.succs = []; synth = leaf_synth_priced ~catalog:"ra" ~column:0 tag_air });
+        ("qh", { Sws_def.succs = []; synth = leaf_synth_priced ~catalog:"rh" ~column:1 tag_hotel });
+        ("qt", { Sws_def.succs = []; synth = leaf_synth_priced ~catalog:"rt" ~column:2 tag_ticket });
+        ("qc", { Sws_def.succs = []; synth = leaf_synth_priced ~catalog:"rc" ~column:3 tag_car });
+      ]
+
+(* The package cost model: the sum of the price columns (don't-cares,
+   e.g. the unused local arrangement, cost nothing). *)
+let package_cost = Aggregate.uniform_columns [ 1; 3; 5; 7 ]
+
+(* The future-work service: the cheapest complete packages. *)
+let tau1_min_cost = Aggregate.with_min_cost tau1_priced package_cost
+
+(* ------------------------------------------------------------------ *)
+(* The FSA-style sequential variant (Figure 1(a))                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Figure 1(a) imposes a temporal order: airfare, then hotel, then the
+   local arrangement.  As an SWS that is a left-spine tree — each stage
+   spawns its category leaf and the rest of the chain — so the execution
+   tree is deep (depth 5) and a session needs five input messages, versus
+   tau1's constant depth 2 and two messages.  This pair is the Figure 1
+   benchmark: same outputs, different temporal shape. *)
+let psi0_seq =
+  (* act1 = this stage's leaf, act2 = the rest of the chain; the stage
+     joins its own partial tuple onto whatever the suffix produced *)
+  Sws_data.Q_fo
+    (Fo.query [ "xa"; "xh"; "xt"; "xc" ]
+       (Fo.conj
+          [
+            Fo.exists_many [ "da1"; "da2"; "da3" ]
+              (Fo.atom (Sws_data.act_rel 0) [ v "xa"; v "da1"; v "da2"; v "da3" ]);
+            Fo.atom (Sws_data.act_rel 1) [ v "ya"; v "xh"; v "xt"; v "xc" ]
+            |> Fo.exists_many [ "ya" ];
+          ]))
+
+let hotel_then_local =
+  (* hotel stage: joins the hotel leaf with the local-arrangement stage *)
+  Sws_data.Q_fo
+    (Fo.query [ "xa"; "xh"; "xt"; "xc" ]
+       (Fo.conj
+          [
+            Fo.eq (v "xa") (c dont_care);
+            Fo.exists_many [ "dh0"; "dh2"; "dh3" ]
+              (Fo.atom (Sws_data.act_rel 0) [ v "dh0"; v "xh"; v "dh2"; v "dh3" ]);
+            Fo.exists_many [ "dl0"; "dl1" ]
+              (Fo.atom (Sws_data.act_rel 1) [ v "dl0"; v "dl1"; v "xt"; v "xc" ]);
+          ]))
+
+let local_choice =
+  (* the deterministic ticket-over-car choice, at the end of the chain *)
+  let has_ticket =
+    Fo.exists_many [ "u0"; "u1"; "u2"; "u3" ]
+      (Fo.atom (Sws_data.act_rel 0) [ v "u0"; v "u1"; v "u2"; v "u3" ])
+  in
+  Sws_data.Q_fo
+    (Fo.query [ "xa"; "xh"; "xt"; "xc" ]
+       (Fo.conj
+          [
+            Fo.eq (v "xa") (c dont_care);
+            Fo.eq (v "xh") (c dont_care);
+            Fo.disj
+              [
+                Fo.conj
+                  [
+                    Fo.exists_many [ "t0"; "t1"; "t3" ]
+                      (Fo.atom (Sws_data.act_rel 0) [ v "t0"; v "t1"; v "xt"; v "t3" ]);
+                    Fo.eq (v "xc") (c dont_care);
+                  ];
+                Fo.conj
+                  [
+                    Fo.Not has_ticket;
+                    Fo.exists_many [ "c0"; "c1"; "c2" ]
+                      (Fo.atom (Sws_data.act_rel 1) [ v "c0"; v "c1"; v "c2"; v "xc" ]);
+                    Fo.eq (v "xt") (c dont_care);
+                  ];
+              ];
+          ]))
+
+(* keep the whole requirement message flowing down the chain *)
+let select_all =
+  Sws_data.Q_cq
+    (cq [ v "tag"; v "b" ] [ Atom.make Sws_data.in_rel [ v "tag"; v "b" ] ])
+
+let tau1_sequential =
+  Sws_data.make ~db_schema ~in_arity:2 ~out_arity:4 ~start:"q0"
+    ~rules:
+      [
+        ( "q0",
+          {
+            Sws_def.succs = [ ("qa", select_tag tag_air); ("rest_h", select_all) ];
+            synth = psi0_seq;
+          } );
+        ( "rest_h",
+          {
+            Sws_def.succs = [ ("qh", select_tag tag_hotel); ("rest_l", select_all) ];
+            synth = hotel_then_local;
+          } );
+        ( "rest_l",
+          {
+            Sws_def.succs = [ ("qt", select_tag tag_ticket); ("qc", select_tag tag_car) ];
+            synth = local_choice;
+          } );
+        ("qa", { Sws_def.succs = []; synth = leaf_synth ~catalog:"ra" ~column:0 tag_air });
+        ("qh", { Sws_def.succs = []; synth = leaf_synth ~catalog:"rh" ~column:1 tag_hotel });
+        ("qt", { Sws_def.succs = []; synth = leaf_synth ~catalog:"rt" ~column:2 tag_ticket });
+        ("qc", { Sws_def.succs = []; synth = leaf_synth ~catalog:"rc" ~column:3 tag_car });
+      ]
+
+(* A sequential session needs one message per chain level. *)
+let session_sequential req = [ req; req; req; req ]
+
+let booked_sequential db req = Sws_data.run tau1_sequential db (session_sequential req)
+
+(* ------------------------------------------------------------------ *)
+(* The mediator pi1 of Example 5.1                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Component services: tau_a books flights; tau_ht hotels and tickets;
+   tau_hc hotels and cars.  Each runs the corresponding leaves of tau1 and
+   unions the partial tuples. *)
+let union_acts n =
+  let vars = List.init 4 (fun j -> Printf.sprintf "x%d" j) in
+  Sws_data.Q_fo
+    (Fo.query vars
+       (Fo.disj
+          (List.init n (fun i -> Fo.atom (Sws_data.act_rel i) (List.map v vars)))))
+
+let tau_a =
+  Sws_data.make ~db_schema ~in_arity:2 ~out_arity:4 ~start:"q0"
+    ~rules:
+      [
+        ("q0", { Sws_def.succs = [ ("qa", select_tag tag_air) ]; synth = union_acts 1 });
+        ("qa", { Sws_def.succs = []; synth = leaf_synth ~catalog:"ra" ~column:0 tag_air });
+      ]
+
+let two_leaf_component ~tag2 ~catalog2 ~column2 =
+  Sws_data.make ~db_schema ~in_arity:2 ~out_arity:4 ~start:"q0"
+    ~rules:
+      [
+        ( "q0",
+          {
+            Sws_def.succs =
+              [ ("qh", select_tag tag_hotel); ("q2", select_tag tag2) ];
+            synth = union_acts 2;
+          } );
+        ("qh", { Sws_def.succs = []; synth = leaf_synth ~catalog:"rh" ~column:1 tag_hotel });
+        ("q2", { Sws_def.succs = []; synth = leaf_synth ~catalog:catalog2 ~column:column2 tag2 });
+      ]
+
+let tau_ht = two_leaf_component ~tag2:tag_ticket ~catalog2:"rt" ~column2:2
+let tau_hc = two_leaf_component ~tag2:tag_car ~catalog2:"rc" ~column2:3
+
+(* psi1 of Example 5.1: airfare from tau_a; hotel plus local arrangement
+   from tau_ht if it found tickets, else from tau_hc — in favor of Disney
+   tickets. *)
+let psi1 =
+  let pick i col var =
+    let arg j = if j = col then v var else v (Printf.sprintf "e%d%d" i j) in
+    Fo.exists_many
+      (List.filter_map
+         (fun j -> if j = col then None else Some (Printf.sprintf "e%d%d" i j))
+         [ 0; 1; 2; 3 ])
+      (Fo.atom (Sws_data.act_rel i) [ arg 0; arg 1; arg 2; arg 3 ])
+  in
+  (* act2 = tau_ht, act3 = tau_hc (0-indexed: act_rel 1, act_rel 2) *)
+  let ht_has_ticket =
+    Fo.exists_many [ "w0"; "w1"; "w3" ]
+      (Fo.conj
+         [
+           Fo.atom (Sws_data.act_rel 1) [ v "w0"; v "w1"; v "wt"; v "w3" ];
+           Fo.neq (v "wt") (c dont_care);
+         ])
+    |> Fo.exists_many [ "wt" ]
+  in
+  (* unlike tau1's per-category registers, a component's register mixes
+     hotel rows with local-arrangement rows, so each picked column must be
+     a real value, not the don't-care marker *)
+  let real x = Fo.neq (v x) (c dont_care) in
+  Sws_data.Q_fo
+    (Fo.query [ "xa"; "xh"; "xt"; "xc" ]
+       (Fo.conj
+          [
+            pick 0 0 "xa";
+            real "xa";
+            Fo.disj
+              [
+                Fo.conj
+                  [
+                    ht_has_ticket;
+                    pick 1 1 "xh";
+                    real "xh";
+                    pick 1 2 "xt";
+                    real "xt";
+                    Fo.eq (v "xc") (c dont_care);
+                  ];
+                Fo.conj
+                  [
+                    Fo.Not ht_has_ticket;
+                    pick 2 1 "xh";
+                    real "xh";
+                    pick 2 3 "xc";
+                    real "xc";
+                    Fo.eq (v "xt") (c dont_care);
+                  ];
+              ];
+          ]))
+
+let union_msg =
+  let vars = List.init 4 (fun j -> Printf.sprintf "x%d" j) in
+  Sws_data.Q_cq (cq (List.map v vars) [ Atom.make Sws_data.msg_rel (List.map v vars) ])
+
+let pi1 =
+  Mediator.make ~db_schema ~arity:4
+    ~components:
+      [
+        { Mediator.name = "tau_a"; service = tau_a };
+        { Mediator.name = "tau_ht"; service = tau_ht };
+        { Mediator.name = "tau_hc"; service = tau_hc };
+      ]
+    ~start:"q1"
+    ~rules:
+      [
+        ( "q1",
+          {
+            Sws_def.succs =
+              [ ("qa", "tau_a"); ("qht", "tau_ht"); ("qhc", "tau_hc") ];
+            synth = psi1;
+          } );
+        ("qa", { Sws_def.succs = []; synth = union_msg });
+        ("qht", { Sws_def.succs = []; synth = union_msg });
+        ("qhc", { Sws_def.succs = []; synth = union_msg });
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Workload helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let catalog_db ~airfares ~hotels ~tickets ~cars =
+  let rel rows =
+    Relation.of_list 2
+      (List.map
+         (fun (id, price) -> Tuple.of_list [ Value.int id; Value.int price ])
+         rows)
+  in
+  Database.of_list db_schema
+    [ ("ra", rel airfares); ("rh", rel hotels); ("rt", rel tickets); ("rc", rel cars) ]
+
+(* A requirement message: one row per requested category. *)
+let request ?(air = []) ?(hotel = []) ?(ticket = []) ?(car = []) () =
+  let rows tag budgets =
+    List.map (fun b -> Tuple.of_list [ tag; Value.int b ]) budgets
+  in
+  Relation.of_list 2
+    (rows tag_air air @ rows tag_hotel hotel @ rows tag_ticket ticket
+   @ rows tag_car car)
+
+(* A complete session for tau1: the requirement message, twice (root and
+   leaves). *)
+let session req = [ req; req ]
+
+let booked db req = Sws_data.run tau1 db (session req)
+
+let booked_priced db req = Sws_data.run tau1_priced db (session req)
+
+let booked_min_cost db req = Aggregate.run tau1_min_cost db (session req)
+
+let booked_via_mediator db req = Mediator.run pi1 db (session req)

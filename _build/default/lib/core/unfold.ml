@@ -1,0 +1,287 @@
+(* Unfolding a data-driven SWS at a fixed input length n into a single
+   query over the vocabulary  R ∪ { in@1, ..., in@n }.
+
+   The run relation consumes one input message per tree level, so for a
+   *fixed* n even a recursive SWS unfolds to a finite query (the tree depth
+   is capped by rule (1): nodes with timestamp beyond n halt with the empty
+   action).  This single observation drives most decision procedures of
+   Section 4:
+
+   - SWS(CQ, UCQ) unfolds to a UCQ with <> (possibly exponentially larger:
+     these are the PSPACE / NEXPTIME / coNEXPTIME cells of Table 1);
+   - SWS(FO, FO) unfolds to an FO query (whose satisfiability is then
+     undecidable, matching the FO row of Table 1).
+
+   Halting rule (1) also empties any non-root node whose message register is
+   empty, so every unfolded disjunct is guarded by a nonemptiness witness of
+   its node's own message query. *)
+
+module R = Relational
+module Cq = R.Cq
+module Ucq = R.Ucq
+module Fo = R.Fo
+module Term = R.Term
+module Atom = R.Atom
+module Schema = R.Schema
+module Smap = Map.Make (String)
+
+let timed_in j = Printf.sprintf "in@%d" j
+
+(* The unfolded vocabulary. *)
+let schema sws ~n =
+  List.fold_left
+    (fun s j -> Schema.add (timed_in (j + 1)) (Sws_data.in_arity sws) s)
+    (Sws_data.db_schema sws)
+    (List.init n Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* UCQ unfolding (class SWS(CQ, UCQ))                                  *)
+(* ------------------------------------------------------------------ *)
+
+exception Not_ucq
+
+let ucq_of_query = function
+  | Sws_data.Q_cq q -> Ucq.of_cq q
+  | Sws_data.Q_ucq q -> q
+  | Sws_data.Q_fo _ -> raise Not_ucq
+
+let fresh_counter = ref 0
+
+let fresh_prefix () =
+  incr fresh_counter;
+  Printf.sprintf "u%d_" !fresh_counter
+
+(* Substitute, inside one CQ, every atom of relations bound in [env] by the
+   corresponding UCQ: each such atom independently picks a disjunct of its
+   definition (renamed apart), unifying the disjunct's head with the atom's
+   arguments.  Unification is by equalities, resolved by [Cq.make];
+   disjunct choices that identify distinct constants vanish. *)
+let substitute_atoms (cq : Cq.t) (env : Ucq.t Smap.t) : Cq.t list =
+  let rec go atoms_todo kept_atoms eqs neqs =
+    match atoms_todo with
+    | [] -> (
+      match Cq.make ~eqs ~neqs ~head:cq.Cq.head ~body:kept_atoms () with
+      | q -> [ q ]
+      | exception Cq.Unsatisfiable -> [])
+    | (a : Atom.t) :: rest -> (
+      match Smap.find_opt a.rel env with
+      | None -> go rest (a :: kept_atoms) eqs neqs
+      | Some defn ->
+        List.concat_map
+          (fun disjunct ->
+            let d = Cq.rename (fresh_prefix ()) disjunct in
+            let eqs' = List.map2 (fun h t -> (h, t)) d.Cq.head a.args in
+            go rest
+              (List.rev_append d.Cq.body kept_atoms)
+              (eqs' @ eqs) (List.rev_append d.Cq.neqs neqs))
+          (Ucq.disjuncts defn))
+  in
+  go cq.Cq.body [] [] cq.Cq.neqs
+
+let substitute_ucq (u : Ucq.t) env =
+  let disjuncts =
+    List.concat_map (fun d -> substitute_atoms d env) (Ucq.disjuncts u)
+  in
+  match disjuncts with
+  | [] -> Ucq.make_empty (Ucq.arity u)
+  | ds -> Ucq.make ds
+
+(* Rename the reserved "in" relation to its timed copy. *)
+let retime_cq j (cq : Cq.t) =
+  let body =
+    List.map
+      (fun (a : Atom.t) ->
+        if String.equal a.rel Sws_data.in_rel then { a with rel = timed_in j }
+        else a)
+      cq.Cq.body
+  in
+  Cq.make ~neqs:cq.Cq.neqs ~head:cq.Cq.head ~body ()
+
+let retime_ucq j u = Ucq.make (List.map (retime_cq j) (Ucq.disjuncts u))
+
+(* Conjoin a nonemptiness witness of [m] onto every disjunct of [u]:
+   rule (1) makes a node's value empty whenever its message register is. *)
+let guard_nonempty (u : Ucq.t) (m : Ucq.t) =
+  let disjuncts =
+    List.concat_map
+      (fun (d : Cq.t) ->
+        List.filter_map
+          (fun (g : Cq.t) ->
+            let g = Cq.rename (fresh_prefix ()) g in
+            match
+              Cq.make
+                ~neqs:(d.Cq.neqs @ g.Cq.neqs)
+                ~head:d.Cq.head
+                ~body:(d.Cq.body @ g.Cq.body)
+                ()
+            with
+            | q -> Some q
+            | exception Cq.Unsatisfiable -> None)
+          (Ucq.disjuncts m))
+      (Ucq.disjuncts u)
+  in
+  match disjuncts with
+  | [] -> Ucq.make_empty (Ucq.arity u)
+  | ds -> Ucq.make ds
+
+(* The value of node (q, j) as a UCQ, where [m] is the node's own message
+   query (None at the root, whose empty register does not halt it). *)
+let rec act_ucq sws ~n q j (m : Ucq.t option) : Ucq.t =
+  let out_arity = Sws_data.out_arity sws in
+  if j > n then Ucq.make_empty out_arity
+  else begin
+    let rule = Sws_def.rule (Sws_data.def sws) q in
+    let msg_env =
+      match m with
+      | None ->
+        (* the root's register is empty: "msg" atoms can never match *)
+        Smap.singleton Sws_data.msg_rel (Ucq.make_empty (Sws_data.in_arity sws))
+      | Some m -> Smap.singleton Sws_data.msg_rel m
+    in
+    let inner =
+      match rule.Sws_def.succs with
+      | [] ->
+        let psi = retime_ucq j (ucq_of_query rule.Sws_def.synth) in
+        substitute_ucq psi msg_env
+      | succs ->
+        let child_env =
+          List.mapi
+            (fun i (q_i, phi_i) ->
+              let m_i =
+                substitute_ucq (retime_ucq j (ucq_of_query phi_i)) msg_env
+              in
+              (Sws_data.act_rel i, act_ucq sws ~n q_i (j + 1) (Some m_i)))
+            succs
+          |> List.fold_left (fun env (k, v) -> Smap.add k v env) Smap.empty
+        in
+        substitute_ucq (ucq_of_query rule.Sws_def.synth) child_env
+    in
+    match m with
+    | None -> inner
+    | Some m -> guard_nonempty inner m
+  end
+
+(* tau unfolded at input length n, as a UCQ over R ∪ {in@j}.  Raises
+   [Not_ucq] on services with FO rules. *)
+let to_ucq sws ~n =
+  act_ucq sws ~n (Sws_def.start (Sws_data.def sws)) 1 None
+
+(* ------------------------------------------------------------------ *)
+(* FO unfolding (any data-driven SWS)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec fo_of_query = function
+  | Sws_data.Q_fo q -> q
+  | Sws_data.Q_cq q ->
+    let head_vars = List.mapi (fun i _ -> Printf.sprintf "@h%d" i) q.Cq.head in
+    let eqs =
+      List.map2 (fun x t -> Fo.eq (Term.var x) t) head_vars q.Cq.head
+    in
+    let body_atoms = List.map (fun a -> Fo.Atom a) q.Cq.body in
+    let neqs = List.map (fun (a, b) -> Fo.neq a b) q.Cq.neqs in
+    let exist_vars =
+      Cq.vars q
+    in
+    Fo.query head_vars
+      (Fo.exists_many exist_vars (Fo.conj (eqs @ body_atoms @ neqs)))
+  | Sws_data.Q_ucq u ->
+    let arity = Ucq.arity u in
+    let head_vars = List.init arity (fun i -> Printf.sprintf "@h%d" i) in
+    let disjuncts =
+      List.map
+        (fun d ->
+          let fo = fo_of_query (Sws_data.Q_cq d) in
+          (* unify the per-disjunct head with the shared one *)
+          Fo.subst_free
+            (List.map2 (fun x y -> (x, Term.var y)) fo.Fo.head head_vars)
+            fo.Fo.body)
+        (Ucq.disjuncts u)
+    in
+    Fo.query head_vars (Fo.disj disjuncts)
+
+(* Replace atoms over [env]-bound relations by their FO definitions. *)
+let substitute_fo (f : Fo.formula) (env : Fo.t Smap.t) =
+  Fo.map_relations
+    (fun a ->
+      match Smap.find_opt a.Atom.rel env with
+      | None -> Fo.Atom a
+      | Some defn ->
+        let d = Fo.prefix_query (fresh_prefix ()) defn in
+        Fo.subst_free (List.map2 (fun x t -> (x, t)) d.Fo.head a.Atom.args) d.Fo.body)
+    f
+
+let retime_fo j (f : Fo.formula) =
+  Fo.map_relations
+    (fun a ->
+      if String.equal a.Atom.rel Sws_data.in_rel then
+        Fo.Atom { a with Atom.rel = timed_in j }
+      else Fo.Atom a)
+    f
+
+(* ∃z̄. m(z̄): the guard of rule (1). *)
+let nonempty_guard (m : Fo.t) =
+  let d = Fo.prefix_query (fresh_prefix ()) m in
+  Fo.exists_many d.Fo.head d.Fo.body
+
+let rec act_fo sws ~n q j (m : Fo.t option) : Fo.t =
+  let out_arity = Sws_data.out_arity sws in
+  let out_head = List.init out_arity (fun i -> Printf.sprintf "y%d" i) in
+  if j > n then Fo.query out_head Fo.False
+  else begin
+    let rule = Sws_def.rule (Sws_data.def sws) q in
+    let in_arity = Sws_data.in_arity sws in
+    let msg_env =
+      let defn =
+        match m with
+        | None ->
+          Fo.query (List.init in_arity (fun i -> Printf.sprintf "z%d" i)) Fo.False
+        | Some m -> m
+      in
+      Smap.singleton Sws_data.msg_rel defn
+    in
+    let inner =
+      match rule.Sws_def.succs with
+      | [] ->
+        let psi = fo_of_query rule.Sws_def.synth in
+        Fo.query psi.Fo.head (substitute_fo (retime_fo j psi.Fo.body) msg_env)
+      | succs ->
+        let child_env =
+          List.mapi
+            (fun i (q_i, phi_i) ->
+              let phi = fo_of_query phi_i in
+              let m_i =
+                Fo.query phi.Fo.head
+                  (substitute_fo (retime_fo j phi.Fo.body) msg_env)
+              in
+              (Sws_data.act_rel i, act_fo sws ~n q_i (j + 1) (Some m_i)))
+            succs
+          |> List.fold_left (fun env (k, v) -> Smap.add k v env) Smap.empty
+        in
+        let psi = fo_of_query rule.Sws_def.synth in
+        Fo.query psi.Fo.head (substitute_fo psi.Fo.body child_env)
+    in
+    match m with
+    | None -> inner
+    | Some m ->
+      Fo.query inner.Fo.head (Fo.And (nonempty_guard m, inner.Fo.body))
+  end
+
+(* tau unfolded at input length n, as an FO query over R ∪ {in@j}. *)
+let to_fo sws ~n =
+  act_fo sws ~n (Sws_def.start (Sws_data.def sws)) 1 None
+
+(* ------------------------------------------------------------------ *)
+(* Running the unfolded query (cross-validation for tests)             *)
+(* ------------------------------------------------------------------ *)
+
+(* Lay out (D, I) as a single database over the unfolded vocabulary. *)
+let timed_database sws ~n db inputs =
+  let s = schema sws ~n in
+  let base =
+    R.Database.fold (fun name rel acc -> R.Database.set name rel acc) db
+      (R.Database.empty s)
+  in
+  List.fold_left
+    (fun (acc, j) input -> (R.Database.set (timed_in j) input acc, j + 1))
+    (base, 1) inputs
+  |> fst

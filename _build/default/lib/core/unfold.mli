@@ -1,0 +1,32 @@
+(** Unfolding a data-driven SWS at a fixed input length n into one query
+    over the vocabulary [R ∪ { in@1, ..., in@n }].
+
+    The run relation consumes one input message per tree level, so for a
+    fixed n even a recursive SWS unfolds to a finite query; this drives the
+    decision procedures of Section 4.  Rule (1)'s empty-register halting is
+    compiled in as nonemptiness guards on every non-root node. *)
+
+(** The timed copy of the input relation at step [j] (1-based). *)
+val timed_in : int -> string
+
+(** The unfolded vocabulary: the service's R plus the timed inputs. *)
+val schema : Sws_data.t -> n:int -> Relational.Schema.t
+
+exception Not_ucq
+
+(** tau at input length n as a UCQ with [<>]; raises {!Not_ucq} on
+    services with FO rules.  Worst-case exponential in n — these are the
+    PSPACE / NEXPTIME / coNEXPTIME cells of Table 1. *)
+val to_ucq : Sws_data.t -> n:int -> Relational.Ucq.t
+
+(** tau at input length n as an FO query (any data-driven service). *)
+val to_fo : Sws_data.t -> n:int -> Relational.Fo.t
+
+(** Lay (D, I) out as one database over the unfolded vocabulary, for
+    cross-validating the unfolding against direct runs. *)
+val timed_database :
+  Sws_data.t ->
+  n:int ->
+  Relational.Database.t ->
+  Relational.Relation.t list ->
+  Relational.Database.t

@@ -1,0 +1,1 @@
+lib/datalog/dl.ml: Fmt List Printf Relational String

@@ -1,0 +1,1 @@
+lib/datalog/inverse_rules.ml: Dl List Printf Relational Seminaive

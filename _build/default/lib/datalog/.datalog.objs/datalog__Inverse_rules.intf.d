@@ -1,0 +1,1 @@
+lib/datalog/inverse_rules.mli: Dl Relational

@@ -1,0 +1,1 @@
+lib/datalog/seminaive.ml: Dl Fun List Option Relational String

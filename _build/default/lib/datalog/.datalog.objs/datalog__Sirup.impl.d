@@ -1,0 +1,1 @@
+lib/datalog/sirup.ml: Dl List Random Relational Schema Seminaive

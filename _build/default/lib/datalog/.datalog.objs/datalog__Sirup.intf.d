@@ -1,0 +1,1 @@
+lib/datalog/sirup.mli: Dl Random Relational

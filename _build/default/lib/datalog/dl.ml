@@ -1,0 +1,101 @@
+(* Positive datalog over the relational substrate.  Two uses in the paper:
+   the EXPTIME lower bound for SWS(CQ, UCQ) non-emptiness is by reduction
+   from single-rule datalog programs (sirups, [19]), and the
+   maximally-contained rewriting algorithm behind Corollary 5.2 is
+   Duschka-Genesereth's inverse-rule datalog [14].
+
+   Head terms may be Skolem terms (function symbols applied to body
+   variables): exactly what inverse rules need.  Skolem terms are evaluated
+   injectively by encoding them as string values, so the plain bottom-up
+   engine handles them unchanged. *)
+
+module Term = Relational.Term
+module Atom = Relational.Atom
+module Value = Relational.Value
+
+type hterm =
+  | T of Term.t
+  | Skolem of string * string list (* f(x1, ..., xk), the xi body variables *)
+
+type rule = {
+  head_rel : string;
+  head_args : hterm list;
+  body : Atom.t list;
+}
+
+type t = {
+  rules : rule list;
+}
+
+exception Unsafe_rule of string
+
+let check_rule r =
+  let bound =
+    List.concat_map Atom.vars r.body |> List.sort_uniq String.compare
+  in
+  let check_var x =
+    if not (List.mem x bound) then
+      raise
+        (Unsafe_rule
+           (Printf.sprintf "variable %s of head %s not bound by the body" x
+              r.head_rel))
+  in
+  List.iter
+    (function
+      | T (Term.Var x) -> check_var x
+      | T (Term.Const _) -> ()
+      | Skolem (_, xs) -> List.iter check_var xs)
+    r.head_args
+
+let rule head_rel head_args body =
+  let r = { head_rel; head_args; body } in
+  check_rule r;
+  r
+
+(* Convenience constructor for ordinary (skolem-free) rules. *)
+let plain_rule head_rel args body = rule head_rel (List.map (fun t -> T t) args) body
+
+let make rules = { rules }
+
+let rules p = p.rules
+
+let idb_relations p =
+  List.map (fun r -> r.head_rel) p.rules |> List.sort_uniq String.compare
+
+let edb_relations p =
+  let idb = idb_relations p in
+  List.concat_map (fun r -> List.map (fun a -> a.Atom.rel) r.body) p.rules
+  |> List.sort_uniq String.compare
+  |> List.filter (fun n -> not (List.mem n idb))
+
+let schema_of p =
+  List.fold_left
+    (fun s r ->
+      let s = Relational.Schema.add r.head_rel (List.length r.head_args) s in
+      List.fold_left
+        (fun s a -> Relational.Schema.add a.Atom.rel (Atom.arity a) s)
+        s r.body)
+    Relational.Schema.empty p.rules
+
+(* Injective encoding of a Skolem term as a string value. *)
+let skolem_value f args =
+  Value.str
+    (Printf.sprintf "%s(%s)" f (String.concat "," (List.map Value.to_string args)))
+
+let is_skolem_value = function
+  | Value.Str s -> String.contains s '('
+  | Value.Int _ -> false
+
+let pp_hterm ppf = function
+  | T t -> Term.pp ppf t
+  | Skolem (f, xs) ->
+    Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(any ", ") string) xs
+
+let pp_rule ppf r =
+  Fmt.pf ppf "%s(%a) :- %a" r.head_rel
+    Fmt.(list ~sep:(any ", ") pp_hterm)
+    r.head_args
+    Fmt.(list ~sep:(any ", ") Atom.pp)
+    r.body
+
+let pp ppf p = Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_rule) p.rules

@@ -1,0 +1,41 @@
+(** Positive datalog over the relational substrate: sirups for the EXPTIME
+    lower bound of Theorem 4.1(2), and the rule language of the
+    Duschka-Genesereth inverse-rule rewriting (Corollary 5.2).
+
+    Head terms may be Skolem terms — function symbols applied to body
+    variables — evaluated injectively as encoded string values, so the
+    plain bottom-up engine handles them unchanged. *)
+
+type hterm =
+  | T of Relational.Term.t
+  | Skolem of string * string list  (** f(x1, ..., xk) over body variables *)
+
+type rule = {
+  head_rel : string;
+  head_args : hterm list;
+  body : Relational.Atom.t list;
+}
+
+type t
+
+exception Unsafe_rule of string
+
+(** Checks safety: every head variable is bound by the body. *)
+val rule : string -> hterm list -> Relational.Atom.t list -> rule
+
+(** Skolem-free rules. *)
+val plain_rule : string -> Relational.Term.t list -> Relational.Atom.t list -> rule
+
+val make : rule list -> t
+val rules : t -> rule list
+val idb_relations : t -> string list
+val edb_relations : t -> string list
+val schema_of : t -> Relational.Schema.t
+
+(** Injective string encoding of a ground Skolem term. *)
+val skolem_value : string -> Relational.Value.t list -> Relational.Value.t
+
+val is_skolem_value : Relational.Value.t -> bool
+val pp_hterm : hterm Fmt.t
+val pp_rule : rule Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,164 @@
+(* Bottom-up datalog evaluation: naive and semi-naive fixpoints.  The naive
+   variant re-derives everything each round; semi-naive joins each rule once
+   per body position against the per-round delta.  Both are exposed because
+   the gap between them is one of the DESIGN.md ablations. *)
+
+module Atom = Relational.Atom
+module Term = Relational.Term
+module Cq = Relational.Cq
+module Relation = Relational.Relation
+module Database = Relational.Database
+module Schema = Relational.Schema
+module Subst = Relational.Subst
+module Tuple = Relational.Tuple
+
+(* Evaluate one rule body against [db] and return the derived head tuples. *)
+let derive_rule db (r : Dl.rule) =
+  let head_cq_vars =
+    (* fetch all body variables so Skolem heads can be built from them *)
+    List.concat_map Atom.vars r.body |> List.sort_uniq String.compare
+  in
+  let cq =
+    Cq.make ~head:(List.map Term.var head_cq_vars) ~body:r.body ()
+  in
+  let substs = Cq.eval_substs cq db in
+  List.map
+    (fun subst ->
+      Tuple.of_list
+        (List.map
+           (function
+             | Dl.T t -> Subst.apply_term_exn subst t
+             | Dl.Skolem (f, xs) ->
+               Dl.skolem_value f
+                 (List.map
+                    (fun x -> Subst.apply_term_exn subst (Term.var x))
+                    xs))
+           r.head_args))
+    substs
+
+let full_schema program edb =
+  Schema.union (Dl.schema_of program) (Database.schema edb)
+
+(* Naive fixpoint: iterate all rules until nothing new is derived. *)
+let eval_naive program edb =
+  let schema = full_schema program edb in
+  let start =
+    Database.fold (fun n r db -> Database.set n r db) edb (Database.empty schema)
+  in
+  let rec round db =
+    let db', grew =
+      List.fold_left
+        (fun (db, grew) rule ->
+          List.fold_left
+            (fun (db, grew) tuple ->
+              let rel = Database.find rule.Dl.head_rel db in
+              if Relation.mem tuple rel then (db, grew)
+              else (Database.set rule.Dl.head_rel (Relation.add tuple rel) db, true))
+            (db, grew) (derive_rule db rule))
+        (db, false) (Dl.rules program)
+    in
+    if grew then round db' else db'
+  in
+  round start
+
+(* Semi-naive: per round, evaluate each rule once per body position with that
+   position restricted to the previous round's delta (via a shadow
+   "relation@delta" renaming). *)
+let delta_name n = n ^ "@delta"
+
+let eval_seminaive program edb =
+  let schema0 = full_schema program edb in
+  let idb = Dl.idb_relations program in
+  let schema =
+    List.fold_left
+      (fun s n -> Schema.add (delta_name n) (Schema.arity_exn n schema0) s)
+      schema0 idb
+  in
+  let with_deltas db deltas =
+    List.fold_left (fun db (n, r) -> Database.set (delta_name n) r db) db deltas
+  in
+  let start =
+    Database.fold (fun n r db -> Database.set n r db) edb (Database.empty schema)
+  in
+  (* Round zero: plain evaluation of every rule on the EDB. *)
+  let initial_facts rule = derive_rule start rule in
+  let add_facts (db, deltas) rel tuples =
+    List.fold_left
+      (fun (db, deltas) tuple ->
+        let current = Database.find rel db in
+        if Relation.mem tuple current then (db, deltas)
+        else
+          let deltas =
+            let old =
+              Option.value
+                ~default:(Relation.empty (Tuple.arity tuple))
+                (List.assoc_opt rel deltas)
+            in
+            (rel, Relation.add tuple old) :: List.remove_assoc rel deltas
+          in
+          (Database.set rel (Relation.add tuple current) db, deltas))
+      (db, deltas) tuples
+  in
+  let db, deltas =
+    List.fold_left
+      (fun acc rule -> add_facts acc rule.Dl.head_rel (initial_facts rule))
+      (start, []) (Dl.rules program)
+  in
+  let rec round db deltas =
+    if deltas = [] then db
+    else begin
+      let db_with = with_deltas db deltas in
+      let delta_rels = List.map fst deltas in
+      let db', deltas' =
+        List.fold_left
+          (fun acc rule ->
+            (* one variant per body position mentioning a changed relation *)
+            let variants =
+              List.mapi
+                (fun i (a : Atom.t) ->
+                  if List.mem a.rel delta_rels then
+                    Some
+                      {
+                        rule with
+                        Dl.body =
+                          List.mapi
+                            (fun j (b : Atom.t) ->
+                              if i = j then { b with rel = delta_name b.rel }
+                              else b)
+                            rule.Dl.body;
+                      }
+                  else None)
+                rule.Dl.body
+              |> List.filter_map Fun.id
+            in
+            List.fold_left
+              (fun acc variant ->
+                add_facts acc rule.Dl.head_rel (derive_rule db_with variant))
+              acc variants)
+          (db, []) (Dl.rules program)
+      in
+      round db' deltas'
+    end
+  in
+  let result = round db deltas in
+  (* hide the shadow delta relations in the result *)
+  Database.fold
+    (fun n r acc ->
+      if String.length n > 6 && String.sub n (String.length n - 6) 6 = "@delta"
+      then acc
+      else Database.set n r acc)
+    result
+    (Database.empty schema0)
+
+let eval ?(strategy = `Seminaive) program edb =
+  match strategy with
+  | `Naive -> eval_naive program edb
+  | `Seminaive -> eval_seminaive program edb
+
+(* Answer a query (an IDB relation name) and drop Skolem-carrying tuples:
+   certain answers only. *)
+let certain_answers ?strategy program edb goal =
+  let db = eval ?strategy program edb in
+  Relation.filter
+    (fun t -> not (Tuple.exists Dl.is_skolem_value t))
+    (Database.find goal db)

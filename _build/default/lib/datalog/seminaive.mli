@@ -1,0 +1,22 @@
+(** Bottom-up datalog evaluation: naive and semi-naive fixpoints (the gap
+    between them is one of the DESIGN.md ablations). *)
+
+(** The least fixpoint over the EDB: the returned database contains both
+    the EDB and the derived IDB relations. *)
+val eval :
+  ?strategy:[ `Naive | `Seminaive ] ->
+  Dl.t ->
+  Relational.Database.t ->
+  Relational.Database.t
+
+val eval_naive : Dl.t -> Relational.Database.t -> Relational.Database.t
+val eval_seminaive : Dl.t -> Relational.Database.t -> Relational.Database.t
+
+(** The goal relation with Skolem-carrying tuples dropped: certain answers
+    only (the inverse-rules use). *)
+val certain_answers :
+  ?strategy:[ `Naive | `Seminaive ] ->
+  Dl.t ->
+  Relational.Database.t ->
+  string ->
+  Relational.Relation.t

@@ -1,0 +1,1 @@
+lib/graphdb/crpq.ml: Atom Automata Cq Fmt Hashtbl Lgraph List Map Printf Relational Rpq String Subst Term

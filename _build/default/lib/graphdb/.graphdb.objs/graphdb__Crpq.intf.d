@@ -1,0 +1,1 @@
+lib/graphdb/crpq.mli: Fmt Lgraph Relational Rpq

@@ -1,0 +1,1 @@
+lib/graphdb/lgraph.ml: Fmt Fun Hashtbl Int List Option Printf Random Relational Set

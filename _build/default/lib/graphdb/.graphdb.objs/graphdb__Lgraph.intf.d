@@ -1,0 +1,1 @@
+lib/graphdb/lgraph.mli: Fmt Int Random Relational Set

@@ -1,0 +1,1 @@
+lib/graphdb/rpq.ml: Automata Fmt Fun Hashtbl Int Lgraph List Queue Set

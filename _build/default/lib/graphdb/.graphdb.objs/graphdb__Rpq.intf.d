@@ -1,0 +1,1 @@
+lib/graphdb/rpq.mli: Automata Fmt Int Lgraph Set

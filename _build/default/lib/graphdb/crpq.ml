@@ -1,0 +1,248 @@
+(* Conjunctive 2-way regular path queries (C2RPQ) and their unions (UC2RPQ),
+   the query class of Corollary 5.2.  An atom x --R--> y asserts an R-path
+   between the node variables; a C2RPQ is a conjunction of atoms with a
+   distinguished head; a UC2RPQ is a union.
+
+   Evaluation joins per-atom RPQ answer sets.  Full UC2RPQ containment is
+   2EXPTIME [Calvanese-De Giacomo-Vardi 2005]; here we provide (a) the exact
+   test for single-atom queries via language containment and (b) a bounded
+   expansion test for the general case: each RPQ atom is unfolded into all
+   path shapes up to a given length and the resulting UCQs are compared.
+   Direction (⊇ refuted) is sound at any bound; completeness holds in the
+   limit, and the bound is explicit in the API. *)
+
+module Regex = Automata.Regex
+module Nfa = Automata.Nfa
+module Word_gen = Automata.Word_gen
+
+type atom = {
+  src : string;  (* node variable *)
+  dst : string;
+  rpq : Rpq.t;
+}
+
+type t = {
+  head : string list; (* answer variables *)
+  atoms : atom list;
+}
+
+type ucrpq = t list
+
+let atom src rpq dst = { src; dst; rpq }
+
+let make ~head ~atoms =
+  let vars = List.concat_map (fun a -> [ a.src; a.dst ]) atoms in
+  List.iter
+    (fun x ->
+      if not (List.mem x vars) then
+        invalid_arg (Printf.sprintf "Crpq.make: unsafe head variable %s" x))
+    head;
+  { head; atoms }
+
+let vars q =
+  List.concat_map (fun a -> [ a.src; a.dst ]) q.atoms
+  |> List.sort_uniq String.compare
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Smap = Map.Make (String)
+
+let eval g q =
+  (* accumulate consistent assignments of node variables *)
+  let extend env x v =
+    match Smap.find_opt x env with
+    | None -> Some (Smap.add x v env)
+    | Some v' -> if v = v' then Some env else None
+  in
+  let rec go atoms envs =
+    match atoms with
+    | [] -> envs
+    | a :: rest ->
+      let pairs = Rpq.eval g a.rpq in
+      let envs' =
+        List.concat_map
+          (fun env ->
+            List.filter_map
+              (fun (u, v) ->
+                match extend env a.src u with
+                | None -> None
+                | Some env -> extend env a.dst v)
+              pairs)
+          envs
+      in
+      go rest envs'
+  in
+  let envs = go q.atoms [ Smap.empty ] in
+  List.map (fun env -> List.map (fun x -> Smap.find x env) q.head) envs
+  |> List.sort_uniq compare
+
+let eval_union g qs = List.concat_map (eval g) qs |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* Containment                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Exact for single-atom C2RPQs whose head is (src, dst): containment of the
+   path languages. *)
+let single_atom_contained q1 q2 =
+  match q1.atoms, q2.atoms with
+  | [ a1 ], [ a2 ]
+    when q1.head = [ a1.src; a1.dst ] && q2.head = [ a2.src; a2.dst ] ->
+    Some (Rpq.contained_in a1.rpq a2.rpq)
+  | _ -> None
+
+(* Expand an RPQ atom into CQ path shapes: for each word w = s1...sm of the
+   path language with m <= bound, a chain of edge atoms through fresh middle
+   variables (inverse symbols flip the edge direction). *)
+let expansions_of_atom ~bound counter a =
+  let num_labels = Rpq.num_labels a.rpq in
+  let nfa = Rpq.to_nfa a.rpq in
+  let words =
+    List.filter (Nfa.accepts nfa)
+      (Word_gen.words_up_to ~alphabet_size:(2 * num_labels) bound)
+  in
+  let open Relational in
+  List.map
+    (fun w ->
+      let fresh () =
+        incr counter;
+        Printf.sprintf "@m%d" !counter
+      in
+      let rec chain prev = function
+        | [] -> ([], prev)
+        | s :: rest ->
+          let next = if rest = [] then a.dst else fresh () in
+          let edge =
+            if s < num_labels then
+              Atom.make (Lgraph.label_relation_name s)
+                [ Term.var prev; Term.var next ]
+            else
+              Atom.make (Lgraph.label_relation_name (s - num_labels))
+                [ Term.var next; Term.var prev ]
+          in
+          let rest_atoms, last = chain next rest in
+          (edge :: rest_atoms, last)
+      in
+      match w with
+      | [] -> ([], Some (a.src, a.dst)) (* empty word: src = dst *)
+      | _ ->
+        let atoms, _ = chain a.src w in
+        (atoms, None))
+    words
+
+(* All bounded CQ expansions of a C2RPQ: the cross product of per-atom
+   expansions; empty-word expansions contribute variable equalities. *)
+let expansions ~bound q =
+  let counter = ref 0 in
+  let per_atom = List.map (expansions_of_atom ~bound counter) q.atoms in
+  let rec cross = function
+    | [] -> [ ([], []) ]
+    | choices :: rest ->
+      let tails = cross rest in
+      List.concat_map
+        (fun (atoms, eq) ->
+          List.map
+            (fun (t_atoms, t_eqs) ->
+              ( atoms @ t_atoms,
+                match eq with Some e -> e :: t_eqs | None -> t_eqs ))
+            tails)
+        choices
+    in
+  let open Relational in
+  List.filter_map
+    (fun (atoms, eqs) ->
+      let eqs =
+        List.map (fun (x, y) -> (Term.var x, Term.var y)) eqs
+      in
+      match
+        Cq.make ~eqs ~head:(List.map Term.var q.head) ~body:atoms ()
+      with
+      | q -> Some q
+      | exception Cq.Unsafe _ -> None
+      | exception Cq.Unsatisfiable -> None)
+    (cross per_atom)
+
+(* The canonical graph of a CQ expansion: freeze variables to node ids and
+   read the edge atoms off as labeled edges. *)
+let canonical_graph ~num_labels cq =
+  let open Relational in
+  let subst, _ = Cq.freeze cq in
+  let node_ids = Hashtbl.create 16 in
+  let node_of v =
+    match Hashtbl.find_opt node_ids v with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length node_ids in
+      Hashtbl.add node_ids v i;
+      i
+  in
+  let edges =
+    List.filter_map
+      (fun (a : Atom.t) ->
+        match a.args with
+        | [ u; v ] ->
+          let scan_label name =
+            (* relation names are "e<label>" per Lgraph *)
+            int_of_string (String.sub name 1 (String.length name - 1))
+          in
+          Some
+            ( node_of (Subst.apply_term_exn subst u),
+              scan_label a.rel,
+              node_of (Subst.apply_term_exn subst v) )
+        | _ -> None)
+      cq.Cq.body
+  in
+  let head_nodes =
+    List.map (fun t -> node_of (Subst.apply_term_exn subst t)) cq.Cq.head
+  in
+  (* isolated head nodes (from empty-word expansions) are registered above *)
+  ( Lgraph.create ~num_nodes:(max 1 (Hashtbl.length node_ids)) ~num_labels
+      ~edges,
+    head_nodes )
+
+(* Bounded containment q1 ⊆ ∪ q2s:
+   - exact (language containment) in the single-atom case;
+   - otherwise, test every canonical graph of an expansion of q1 with paths
+     up to [bound]: the right-hand union is evaluated *exactly* on the
+     canonical graph, so a failure is a genuine counterexample graph
+     (Not_contained is definitive), while success at the bound only says no
+     small counterexample exists. *)
+type verdict =
+  | Contained
+  | Not_contained
+  | No_counterexample_up_to of int
+
+let num_labels_of q =
+  match q.atoms with
+  | a :: _ -> Rpq.num_labels a.rpq
+  | [] -> 1
+
+let contained_bounded ~bound q1 q2s =
+  let exact =
+    match q2s with
+    | [ q2 ] -> single_atom_contained q1 q2
+    | _ -> None
+  in
+  match exact with
+  | Some true -> Contained
+  | Some false -> Not_contained
+  | None ->
+    let num_labels = num_labels_of q1 in
+    let e1 = expansions ~bound q1 in
+    let ok cq =
+      let graph, head_nodes = canonical_graph ~num_labels cq in
+      List.mem head_nodes (eval_union graph q2s)
+    in
+    if List.for_all ok e1 then No_counterexample_up_to bound
+    else Not_contained
+
+let pp_atom ppf a = Fmt.pf ppf "%s -[%a]-> %s" a.src Regex.pp (Rpq.regex a.rpq) a.dst
+
+let pp ppf q =
+  Fmt.pf ppf "ans(%a) :- %a"
+    Fmt.(list ~sep:(any ", ") string)
+    q.head
+    Fmt.(list ~sep:(any ", ") pp_atom)
+    q.atoms

@@ -1,0 +1,48 @@
+(** Conjunctive 2-way regular path queries (C2RPQ) and their unions
+    (UC2RPQ) — the query class of Corollary 5.2.
+
+    Evaluation joins per-atom RPQ answers.  Full UC2RPQ containment is
+    2EXPTIME [Calvanese-De Giacomo-Vardi 2005]; here: an exact test for
+    single-atom queries (language containment), and a bounded canonical-
+    graph test for the general case whose negative answers are genuine
+    counterexample graphs. *)
+
+type atom = {
+  src : string;  (** node variable *)
+  dst : string;
+  rpq : Rpq.t;
+}
+
+type t = {
+  head : string list;  (** answer variables *)
+  atoms : atom list;
+}
+
+type ucrpq = t list
+
+val atom : string -> Rpq.t -> string -> atom
+
+(** Checks head-variable safety. *)
+val make : head:string list -> atoms:atom list -> t
+
+val vars : t -> string list
+
+(** Answer tuples (lists of node ids, in head order). *)
+val eval : Lgraph.t -> t -> int list list
+
+val eval_union : Lgraph.t -> ucrpq -> int list list
+
+(** CQ expansions with path shapes up to [bound] per atom. *)
+val expansions : bound:int -> t -> Relational.Cq.t list
+
+type verdict =
+  | Contained                     (** exact (single-atom case) *)
+  | Not_contained                 (** witnessed by a counterexample graph *)
+  | No_counterexample_up_to of int  (** consistent with containment so far *)
+
+(** Bounded containment [q1 ⊆ ∪ q2s]: the right-hand union is evaluated
+    exactly on each canonical graph of a bounded expansion of [q1]. *)
+val contained_bounded : bound:int -> t -> ucrpq -> verdict
+
+val pp_atom : atom Fmt.t
+val pp : t Fmt.t

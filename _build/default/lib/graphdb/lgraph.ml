@@ -1,0 +1,83 @@
+(* Edge-labeled directed graphs: the semistructured databases on which
+   2-way regular path queries run (Section 5.2, Corollary 5.2).  The paper
+   encodes such a database as a collection of binary relations for edges
+   along with their inverses; here labels are integers 0..num_labels-1 and
+   the inverse of label a is addressed as a + num_labels. *)
+
+module Iset = Set.Make (Int)
+
+type t = {
+  num_nodes : int;
+  num_labels : int;
+  edges : (int * int * int) list; (* (source, label, target) *)
+  fwd : (int * int, Iset.t) Hashtbl.t;
+  bwd : (int * int, Iset.t) Hashtbl.t;
+}
+
+let create ~num_nodes ~num_labels ~edges =
+  List.iter
+    (fun (u, a, v) ->
+      if u < 0 || u >= num_nodes || v < 0 || v >= num_nodes then
+        invalid_arg "Lgraph.create: node out of range";
+      if a < 0 || a >= num_labels then
+        invalid_arg "Lgraph.create: label out of range")
+    edges;
+  let fwd = Hashtbl.create 64 and bwd = Hashtbl.create 64 in
+  let add tbl k v =
+    let old = Option.value ~default:Iset.empty (Hashtbl.find_opt tbl k) in
+    Hashtbl.replace tbl k (Iset.add v old)
+  in
+  List.iter
+    (fun (u, a, v) ->
+      add fwd (u, a) v;
+      add bwd (v, a) u)
+    edges;
+  { num_nodes; num_labels; edges; fwd; bwd }
+
+let num_nodes g = g.num_nodes
+let num_labels g = g.num_labels
+let edges g = g.edges
+
+(* Successors of node [u] via symbol [s] of the doubled alphabet: labels
+   0..k-1 follow edges forward, labels k..2k-1 follow them backward. *)
+let move g u s =
+  if s < g.num_labels then
+    Option.value ~default:Iset.empty (Hashtbl.find_opt g.fwd (u, s))
+  else
+    Option.value ~default:Iset.empty (Hashtbl.find_opt g.bwd (u, s - g.num_labels))
+
+let inverse_symbol g s =
+  if s < g.num_labels then s + g.num_labels else s - g.num_labels
+
+(* View the graph as a relational database: one binary relation "e<a>" per
+   label, so CQ machinery can run over it (used by Corollary 5.2's CQ
+   views). *)
+let label_relation_name a = Printf.sprintf "e%d" a
+
+let to_database g =
+  let schema =
+    List.fold_left
+      (fun s a -> Relational.Schema.add (label_relation_name a) 2 s)
+      Relational.Schema.empty
+      (List.init g.num_labels Fun.id)
+  in
+  List.fold_left
+    (fun db (u, a, v) ->
+      Relational.Database.add_tuple (label_relation_name a)
+        (Relational.Tuple.of_list [ Relational.Value.int u; Relational.Value.int v ])
+        db)
+    (Relational.Database.empty schema)
+    g.edges
+
+let random rng ~num_nodes ~num_labels ~num_edges =
+  let edges =
+    List.init num_edges (fun _ ->
+        ( Random.State.int rng num_nodes,
+          Random.State.int rng num_labels,
+          Random.State.int rng num_nodes ))
+  in
+  create ~num_nodes ~num_labels ~edges
+
+let pp ppf g =
+  Fmt.pf ppf "Graph(nodes=%d, labels=%d, edges=%d)" g.num_nodes g.num_labels
+    (List.length g.edges)

@@ -1,0 +1,29 @@
+(** Edge-labeled directed graphs: the semistructured databases of
+    Section 5.2.  Labels are integers [0..num_labels-1]; the inverse of
+    label [a] is addressed as [a + num_labels] (the doubled alphabet). *)
+
+module Iset : Set.S with type elt = int and type t = Set.Make(Int).t
+
+type t
+
+val create : num_nodes:int -> num_labels:int -> edges:(int * int * int) list -> t
+val num_nodes : t -> int
+val num_labels : t -> int
+val edges : t -> (int * int * int) list
+
+(** Successors of a node via a doubled-alphabet symbol (forward or
+    inverse). *)
+val move : t -> int -> int -> Iset.t
+
+val inverse_symbol : t -> int -> int
+
+(** One binary relation ["e<label>"] per label: the graph as a relational
+    database, so CQ machinery can run over it (Corollary 5.2's views). *)
+val label_relation_name : int -> string
+
+val to_database : t -> Relational.Database.t
+
+val random :
+  Random.State.t -> num_nodes:int -> num_labels:int -> num_edges:int -> t
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/proplogic/cnf.ml: Bool Fmt List Printf Prop String

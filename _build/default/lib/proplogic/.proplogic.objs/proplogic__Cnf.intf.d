@@ -1,0 +1,1 @@
+lib/proplogic/cnf.mli: Fmt Prop

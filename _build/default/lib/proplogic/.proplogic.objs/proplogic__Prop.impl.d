@@ -1,0 +1,1 @@
+lib/proplogic/prop.ml: Bool Fmt List Map Set String

@@ -1,0 +1,1 @@
+lib/proplogic/prop.mli: Fmt Map Set

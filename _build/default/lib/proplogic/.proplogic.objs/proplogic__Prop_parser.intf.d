@@ -1,0 +1,1 @@
+lib/proplogic/prop_parser.mli: Prop

@@ -1,0 +1,1 @@
+lib/proplogic/sat.ml: Bool Cnf Hashtbl List Map Option Prop String

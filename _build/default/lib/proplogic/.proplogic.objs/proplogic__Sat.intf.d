@@ -1,0 +1,1 @@
+lib/proplogic/sat.mli: Cnf Map Prop String

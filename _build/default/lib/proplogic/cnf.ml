@@ -1,0 +1,136 @@
+(* Conversion of propositional formulas to clausal form.  Two routes:
+   - [of_prop_distrib]: textbook NNF + distribution, equivalence-preserving
+     but worst-case exponential;
+   - [tseitin]: linear-size equisatisfiable transformation introducing fresh
+     definition variables (prefixed "@t"), used by the SAT-based decision
+     procedures for SWS_nr(PL, PL) (Theorem 4.1(3)). *)
+
+type lit = {
+  var : string;
+  sign : bool;
+}
+
+type clause = lit list
+
+type t = clause list
+
+let pos var = { var; sign = true }
+let neg var = { var; sign = false }
+let negate l = { l with sign = not l.sign }
+
+let lit_compare a b =
+  let c = String.compare a.var b.var in
+  if c <> 0 then c else Bool.compare a.sign b.sign
+
+(* Negation normal form over {And, Or, Not, Var, True, False}. *)
+let rec nnf = function
+  | Prop.True -> Prop.True
+  | Prop.False -> Prop.False
+  | Prop.Var x -> Prop.Var x
+  | Prop.Implies (g, h) -> nnf (Prop.Or (Prop.Not g, h))
+  | Prop.Iff (g, h) ->
+    nnf (Prop.And (Prop.Implies (g, h), Prop.Implies (h, g)))
+  | Prop.And (g, h) -> Prop.And (nnf g, nnf h)
+  | Prop.Or (g, h) -> Prop.Or (nnf g, nnf h)
+  | Prop.Not g -> (
+    match g with
+    | Prop.True -> Prop.False
+    | Prop.False -> Prop.True
+    | Prop.Var x -> Prop.Not (Prop.Var x)
+    | Prop.Not h -> nnf h
+    | Prop.And (h, k) -> Prop.Or (nnf (Prop.Not h), nnf (Prop.Not k))
+    | Prop.Or (h, k) -> Prop.And (nnf (Prop.Not h), nnf (Prop.Not k))
+    | Prop.Implies (h, k) -> nnf (Prop.And (h, Prop.Not k))
+    | Prop.Iff (h, k) -> nnf (Prop.Or (Prop.And (h, Prop.Not k), Prop.And (Prop.Not h, k))))
+
+let of_prop_distrib f =
+  let rec clauses = function
+    | Prop.True -> []
+    | Prop.False -> [ [] ]
+    | Prop.Var x -> [ [ pos x ] ]
+    | Prop.Not (Prop.Var x) -> [ [ neg x ] ]
+    | Prop.And (g, h) -> clauses g @ clauses h
+    | Prop.Or (g, h) ->
+      let cg = clauses g and ch = clauses h in
+      List.concat_map (fun c -> List.map (fun d -> c @ d) ch) cg
+    | _ -> invalid_arg "Cnf.of_prop_distrib: not in NNF"
+  in
+  clauses (nnf f)
+
+let fresh_counter = ref 0
+
+let fresh_def_var () =
+  incr fresh_counter;
+  Printf.sprintf "@t%d" !fresh_counter
+
+(* Tseitin: return (literal standing for f, defining clauses). *)
+let tseitin f =
+  let clauses = ref [] in
+  let emit c = clauses := c :: !clauses in
+  let define_binary mk g h =
+    let x = fresh_def_var () in
+    mk x g h;
+    pos x
+  in
+  let rec go = function
+    | Prop.True ->
+      let x = fresh_def_var () in
+      emit [ pos x ];
+      pos x
+    | Prop.False ->
+      let x = fresh_def_var () in
+      emit [ neg x ];
+      pos x
+    | Prop.Var v -> pos v
+    | Prop.Not g ->
+      let lg = go g in
+      negate lg
+    | Prop.And (g, h) ->
+      let lg = go g and lh = go h in
+      define_binary
+        (fun x lg_ lh_ ->
+          ignore lg_;
+          ignore lh_;
+          (* x <-> lg /\ lh *)
+          emit [ neg x; lg ];
+          emit [ neg x; lh ];
+          emit [ pos x; negate lg; negate lh ])
+        lg lh
+    | Prop.Or (g, h) ->
+      let lg = go g and lh = go h in
+      define_binary
+        (fun x _ _ ->
+          (* x <-> lg \/ lh *)
+          emit [ neg x; lg; lh ];
+          emit [ pos x; negate lg ];
+          emit [ pos x; negate lh ])
+        lg lh
+    | Prop.Implies (g, h) -> go (Prop.Or (Prop.Not g, h))
+    | Prop.Iff (g, h) ->
+      go (Prop.And (Prop.Implies (g, h), Prop.Implies (h, g)))
+  in
+  let root = go f in
+  (root, !clauses)
+
+(* Equisatisfiable CNF of f: Tseitin clauses plus the unit root clause. *)
+let of_prop_equisat f =
+  let root, clauses = tseitin f in
+  [ root ] :: clauses
+
+let vars cnf =
+  List.concat_map (fun c -> List.map (fun l -> l.var) c) cnf
+  |> List.sort_uniq String.compare
+
+let eval a cnf =
+  List.for_all
+    (fun clause ->
+      List.exists
+        (fun l -> Bool.equal (Prop.assignment_mem l.var a) l.sign)
+        clause)
+    cnf
+
+let pp_lit ppf l = Fmt.pf ppf "%s%s" (if l.sign then "" else "~") l.var
+
+let pp ppf cnf =
+  let pp_clause ppf c = Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " | ") pp_lit) c in
+  Fmt.pf ppf "%a" Fmt.(list ~sep:(any " & ") pp_clause) cnf

@@ -1,0 +1,34 @@
+(** Clausal form for propositional formulas: NNF + distribution
+    (equivalence-preserving, exponential) and Tseitin (linear,
+    equisatisfiable). *)
+
+type lit = {
+  var : string;
+  sign : bool;
+}
+
+type clause = lit list
+type t = clause list
+
+val pos : string -> lit
+val neg : string -> lit
+val negate : lit -> lit
+val lit_compare : lit -> lit -> int
+
+(** Negation normal form over [{And, Or, Not-of-var}]. *)
+val nnf : Prop.t -> Prop.t
+
+(** Equivalence-preserving CNF via distribution (worst-case exponential). *)
+val of_prop_distrib : Prop.t -> t
+
+(** Tseitin transform: the literal standing for the formula plus the defining
+    clauses.  Fresh variables are prefixed ["@t"]. *)
+val tseitin : Prop.t -> lit * t
+
+(** Equisatisfiable CNF: Tseitin clauses plus the root unit clause. *)
+val of_prop_equisat : Prop.t -> t
+
+val vars : t -> string list
+val eval : Prop.assignment -> t -> bool
+val pp_lit : lit Fmt.t
+val pp : t Fmt.t

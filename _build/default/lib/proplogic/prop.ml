@@ -1,0 +1,140 @@
+(* Propositional logic (the language PL of the paper).  Used for the
+   transition and synthesis rules of SWS(PL, PL) services: input messages are
+   truth assignments, registers carry a single truth value, and synthesis
+   rules combine the Boolean action registers of successor states (Section 2,
+   "SWS classes"). *)
+
+module Sset = Set.Make (String)
+module Smap = Map.Make (String)
+
+type t =
+  | True
+  | False
+  | Var of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+
+let var x = Var x
+
+let conj = function
+  | [] -> True
+  | f :: fs -> List.fold_left (fun acc g -> And (acc, g)) f fs
+
+let disj = function
+  | [] -> False
+  | f :: fs -> List.fold_left (fun acc g -> Or (acc, g)) f fs
+
+let rec vars_acc f acc =
+  match f with
+  | True | False -> acc
+  | Var x -> Sset.add x acc
+  | Not g -> vars_acc g acc
+  | And (g, h) | Or (g, h) | Implies (g, h) | Iff (g, h) ->
+    vars_acc g (vars_acc h acc)
+
+let vars f = Sset.elements (vars_acc f Sset.empty)
+
+(* Assignments are sets of the variables that are true, exactly as the paper
+   represents input messages of SWS(PL, PL). *)
+type assignment = Sset.t
+
+let assignment_of_list l = Sset.of_list l
+let assignment_to_list a = Sset.elements a
+let assignment_mem x a = Sset.mem x a
+
+let rec eval a = function
+  | True -> true
+  | False -> false
+  | Var x -> Sset.mem x a
+  | Not g -> not (eval a g)
+  | And (g, h) -> eval a g && eval a h
+  | Or (g, h) -> eval a g || eval a h
+  | Implies (g, h) -> (not (eval a g)) || eval a h
+  | Iff (g, h) -> Bool.equal (eval a g) (eval a h)
+
+(* All assignments over a fixed variable list, in a stable order. *)
+let all_assignments xs =
+  List.fold_left
+    (fun acc x ->
+      List.concat_map (fun a -> [ a; Sset.add x a ]) acc)
+    [ Sset.empty ] xs
+
+(* Substitute formulas for variables: the engine of synthesis-rule
+   composition, where Act(q) is a formula over the successor registers. *)
+let rec subst env = function
+  | True -> True
+  | False -> False
+  | Var x as f -> ( match Smap.find_opt x env with Some g -> g | None -> f)
+  | Not g -> Not (subst env g)
+  | And (g, h) -> And (subst env g, subst env h)
+  | Or (g, h) -> Or (subst env g, subst env h)
+  | Implies (g, h) -> Implies (subst env g, subst env h)
+  | Iff (g, h) -> Iff (subst env g, subst env h)
+
+(* Light constant propagation: keeps unfolded SWS formulas small. *)
+let rec simplify = function
+  | True -> True
+  | False -> False
+  | Var x -> Var x
+  | Not g -> (
+    match simplify g with
+    | True -> False
+    | False -> True
+    | Not h -> h
+    | h -> Not h)
+  | And (g, h) -> (
+    match simplify g, simplify h with
+    | False, _ | _, False -> False
+    | True, f | f, True -> f
+    | g, h -> And (g, h))
+  | Or (g, h) -> (
+    match simplify g, simplify h with
+    | True, _ | _, True -> True
+    | False, f | f, False -> f
+    | g, h -> Or (g, h))
+  | Implies (g, h) -> (
+    match simplify g, simplify h with
+    | False, _ -> True
+    | True, f -> f
+    | _, True -> True
+    | g, False -> simplify (Not g)
+    | g, h -> Implies (g, h))
+  | Iff (g, h) -> (
+    match simplify g, simplify h with
+    | True, f | f, True -> f
+    | False, f | f, False -> simplify (Not f)
+    | g, h -> Iff (g, h))
+
+let rec size = function
+  | True | False | Var _ -> 1
+  | Not g -> 1 + size g
+  | And (g, h) | Or (g, h) | Implies (g, h) | Iff (g, h) -> 1 + size g + size h
+
+(* A formula is positive when it never negates a variable: the transition
+   condition format of alternating automata (Section 1, Example 1.1 allows
+   negated successor registers, so AFA-style SWS's use full PL). *)
+let rec is_positive = function
+  | True | False | Var _ -> true
+  | Not _ -> false
+  | And (g, h) | Or (g, h) -> is_positive g && is_positive h
+  | Implies _ | Iff _ -> false
+
+let rec pp ppf = function
+  | True -> Fmt.string ppf "T"
+  | False -> Fmt.string ppf "F"
+  | Var x -> Fmt.string ppf x
+  | Not g -> Fmt.pf ppf "~%a" pp_atomic g
+  | And (g, h) -> Fmt.pf ppf "%a & %a" pp_atomic g pp_atomic h
+  | Or (g, h) -> Fmt.pf ppf "%a | %a" pp_atomic g pp_atomic h
+  | Implies (g, h) -> Fmt.pf ppf "%a -> %a" pp_atomic g pp_atomic h
+  | Iff (g, h) -> Fmt.pf ppf "%a <-> %a" pp_atomic g pp_atomic h
+
+and pp_atomic ppf f =
+  match f with
+  | True | False | Var _ -> pp ppf f
+  | _ -> Fmt.pf ppf "(%a)" pp f
+
+let to_string f = Fmt.str "%a" pp f

@@ -1,0 +1,48 @@
+(** Propositional logic (the language PL of the paper), used by
+    [SWS(PL, PL)] services where registers carry truth values and inputs are
+    truth assignments. *)
+
+module Sset : Set.S with type elt = string
+module Smap : Map.S with type key = string
+
+type t =
+  | True
+  | False
+  | Var of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+
+val var : string -> t
+val conj : t list -> t
+val disj : t list -> t
+val vars : t -> string list
+
+(** An assignment is the set of true variables, exactly as the paper encodes
+    input messages of [SWS(PL, PL)]. *)
+type assignment = Sset.t
+
+val assignment_of_list : string list -> assignment
+val assignment_to_list : assignment -> string list
+val assignment_mem : string -> assignment -> bool
+val eval : assignment -> t -> bool
+
+(** All [2^n] assignments over the given variables. *)
+val all_assignments : string list -> assignment list
+
+(** Substitute formulas for variables (synthesis-rule composition). *)
+val subst : t Smap.t -> t -> t
+
+(** Constant propagation and double-negation elimination. *)
+val simplify : t -> t
+
+val size : t -> int
+
+(** No negation over variables: the positive-Boolean-formula fragment used by
+    alternating automata transitions. *)
+val is_positive : t -> bool
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,131 @@
+(* A parser for propositional formulas, used by the textual SWS(PL, PL)
+   specification format.
+
+   Grammar (loosest to tightest):  iff: imp ("<->" imp)*
+                                   imp: or ("->" imp)?        (right assoc)
+                                   or:  and ("|" and)*
+                                   and: neg ("&" neg)*
+                                   neg: "~" neg | atom
+                                   atom: "T" | "F" | ident | "(" iff ")"
+   Identifiers are [A-Za-z0-9_@#]+ (so the reserved "@msg", "act1" and
+   "#end" are ordinary variables). *)
+
+exception Parse_error of string
+
+type token =
+  | Tvar of string
+  | Ttrue
+  | Tfalse
+  | Tnot
+  | Tand
+  | Tor
+  | Timp
+  | Tiff
+  | Tlpar
+  | Trpar
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '@' || c = '#'
+
+let tokenize input =
+  let n = String.length input in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match input.[i] with
+      | ' ' | '\t' -> go (i + 1) acc
+      | '~' -> go (i + 1) (Tnot :: acc)
+      | '&' -> go (i + 1) (Tand :: acc)
+      | '|' -> go (i + 1) (Tor :: acc)
+      | '(' -> go (i + 1) (Tlpar :: acc)
+      | ')' -> go (i + 1) (Trpar :: acc)
+      | '-' ->
+        if i + 1 < n && input.[i + 1] = '>' then go (i + 2) (Timp :: acc)
+        else raise (Parse_error "expected '->'")
+      | '<' ->
+        if i + 2 < n && input.[i + 1] = '-' && input.[i + 2] = '>' then
+          go (i + 3) (Tiff :: acc)
+        else raise (Parse_error "expected '<->'")
+      | c when is_ident_char c ->
+        let j = ref i in
+        while !j < n && is_ident_char input.[!j] do
+          incr j
+        done;
+        let word = String.sub input i (!j - i) in
+        let token =
+          match word with "T" -> Ttrue | "F" -> Tfalse | _ -> Tvar word
+        in
+        go !j (token :: acc)
+      | c -> raise (Parse_error (Printf.sprintf "unexpected '%c'" c))
+  in
+  go 0 []
+
+let parse input =
+  let tokens = ref (tokenize input) in
+  let peek () = match !tokens with t :: _ -> Some t | [] -> None in
+  let advance () = match !tokens with _ :: rest -> tokens := rest | [] -> () in
+  let expect t name =
+    if peek () = Some t then advance ()
+    else raise (Parse_error (Printf.sprintf "expected %s" name))
+  in
+  let rec iff () =
+    let left = imp () in
+    if peek () = Some Tiff then begin
+      advance ();
+      Prop.Iff (left, iff ())
+    end
+    else left
+  and imp () =
+    let left = or_ () in
+    if peek () = Some Timp then begin
+      advance ();
+      Prop.Implies (left, imp ())
+    end
+    else left
+  and or_ () =
+    let rec go acc =
+      if peek () = Some Tor then begin
+        advance ();
+        go (Prop.Or (acc, and_ ()))
+      end
+      else acc
+    in
+    go (and_ ())
+  and and_ () =
+    let rec go acc =
+      if peek () = Some Tand then begin
+        advance ();
+        go (Prop.And (acc, neg ()))
+      end
+      else acc
+    in
+    go (neg ())
+  and neg () =
+    match peek () with
+    | Some Tnot ->
+      advance ();
+      Prop.Not (neg ())
+    | _ -> atom ()
+  and atom () =
+    match peek () with
+    | Some Ttrue ->
+      advance ();
+      Prop.True
+    | Some Tfalse ->
+      advance ();
+      Prop.False
+    | Some (Tvar x) ->
+      advance ();
+      Prop.Var x
+    | Some Tlpar ->
+      advance ();
+      let f = iff () in
+      expect Trpar "')'";
+      f
+    | _ -> raise (Parse_error "expected a formula")
+  in
+  let f = iff () in
+  if !tokens <> [] then raise (Parse_error "trailing input") else f

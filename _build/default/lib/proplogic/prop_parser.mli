@@ -1,0 +1,7 @@
+(** Parser for propositional formulas: variables, [T]/[F], [~], [&], [|],
+    [->], [<->] and parentheses.  Identifiers may contain [@] and [#], so
+    the reserved register variables parse as ordinary variables. *)
+
+exception Parse_error of string
+
+val parse : string -> Prop.t

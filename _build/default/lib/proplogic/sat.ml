@@ -1,0 +1,154 @@
+(* A DPLL SAT solver: unit propagation, pure-literal elimination and
+   most-occurrences branching.  This is the workhorse behind the NP / coNP
+   procedures for SWS_nr(PL, PL) in Theorem 4.1(3): non-emptiness and
+   validation reduce to SAT, equivalence to UNSAT of a difference formula. *)
+
+module Smap = Map.Make (String)
+
+(* Simplify a clause set under the partial assignment extension x := value:
+   drop satisfied clauses, shrink falsified literals; [None] when a clause
+   becomes empty (conflict). *)
+let assign x value clauses =
+  let rec on_clause acc = function
+    | [] -> Some (List.rev acc)
+    | (l : Cnf.lit) :: rest ->
+      if String.equal l.var x then
+        if Bool.equal l.sign value then None (* clause satisfied: drop *)
+        else on_clause acc rest
+      else on_clause (l :: acc) rest
+  in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | c :: rest -> (
+      match on_clause [] c with
+      | None -> go acc rest
+      | Some [] -> None
+      | Some c' -> go (c' :: acc) rest)
+  in
+  go [] clauses
+
+let find_unit clauses =
+  List.find_map (function [ (l : Cnf.lit) ] -> Some l | _ -> None) clauses
+
+let find_pure clauses =
+  let polarity = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (l : Cnf.lit) ->
+          match Hashtbl.find_opt polarity l.var with
+          | None -> Hashtbl.add polarity l.var (Some l.sign)
+          | Some (Some s) when Bool.equal s l.sign -> ()
+          | Some (Some _) -> Hashtbl.replace polarity l.var None
+          | Some None -> ())
+        c)
+    clauses;
+  Hashtbl.fold
+    (fun var pol acc ->
+      match acc, pol with
+      | Some _, _ -> acc
+      | None, Some sign -> Some ({ var; sign } : Cnf.lit)
+      | None, None -> acc)
+    polarity None
+
+let branch_var clauses =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (l : Cnf.lit) ->
+          let n = Option.value ~default:0 (Hashtbl.find_opt counts l.var) in
+          Hashtbl.replace counts l.var (n + 1))
+        c)
+    clauses;
+  Hashtbl.fold
+    (fun var n acc ->
+      match acc with
+      | Some (_, m) when m >= n -> acc
+      | _ -> Some (var, n))
+    counts None
+  |> Option.map fst
+
+let solve_cnf clauses =
+  let rec dpll model clauses =
+    match clauses with
+    | [] -> Some model
+    | _ -> (
+      match find_unit clauses with
+      | Some l -> set model l clauses
+      | None -> (
+        match find_pure clauses with
+        | Some l -> set model l clauses
+        | None -> (
+          match branch_var clauses with
+          | None -> Some model (* no variables left; no empty clause *)
+          | Some x -> (
+            match set model (Cnf.pos x) clauses with
+            | Some m -> Some m
+            | None -> set model (Cnf.neg x) clauses))))
+  and set model (l : Cnf.lit) clauses =
+    match assign l.var l.sign clauses with
+    | None -> None
+    | Some clauses' -> dpll (Smap.add l.var l.sign model) clauses'
+  in
+  if List.exists (fun c -> c = []) clauses then None
+  else dpll Smap.empty clauses
+
+let model_to_assignment m =
+  Smap.fold
+    (fun x v acc -> if v then Prop.Sset.add x acc else acc)
+    m Prop.Sset.empty
+
+(* Restrict a model to the original (non-Tseitin) variables of interest. *)
+let restrict vars a =
+  Prop.Sset.filter (fun x -> List.mem x vars) a
+
+let solve f =
+  match solve_cnf (Cnf.of_prop_equisat f) with
+  | None -> None
+  | Some m -> Some (restrict (Prop.vars f) (model_to_assignment m))
+
+let satisfiable f = Option.is_some (solve f)
+
+let valid f = not (satisfiable (Prop.Not f))
+
+let implies f g = valid (Prop.Implies (f, g))
+
+let equivalent f g = valid (Prop.Iff (f, g))
+
+(* Enumerate all models of f over exactly the given variable list, by
+   repeatedly blocking the projection of each found model. *)
+let all_models ~over f =
+  let rec go blocked acc =
+    let g = Prop.conj (f :: blocked) in
+    match solve g with
+    | None -> List.rev acc
+    | Some a ->
+      let a = restrict over a in
+      let blocking =
+        Prop.disj
+          (List.map
+             (fun x ->
+               if Prop.Sset.mem x a then Prop.Not (Prop.Var x) else Prop.Var x)
+             over)
+      in
+      go (blocking :: blocked) (a :: acc)
+  in
+  (* A model not mentioning some variable of [over] stands for several total
+     assignments; blocking on all of [over] keeps the enumeration exact
+     because the blocked formula forbids only the projected model. *)
+  let totalize a =
+    (* expand to all completions over [over] *)
+    let rec expand xs a =
+      match xs with
+      | [] -> [ a ]
+      | x :: rest ->
+        if Prop.Sset.mem x a then expand rest a
+        else expand rest a @ expand rest (Prop.Sset.add x a)
+    in
+    expand over a
+  in
+  go [] []
+  |> List.concat_map (fun a ->
+         List.filter (fun total -> Prop.eval total f) (totalize a))
+  |> List.sort_uniq Prop.Sset.compare

@@ -1,0 +1,17 @@
+(** A DPLL SAT solver (unit propagation, pure literals, most-occurrences
+    branching): the engine behind the NP / coNP decision procedures for
+    [SWS_nr(PL, PL)] (Theorem 4.1(3)). *)
+
+val solve_cnf : Cnf.t -> bool Map.Make(String).t option
+
+(** Satisfying assignment restricted to the formula's own variables, via
+    Tseitin. *)
+val solve : Prop.t -> Prop.assignment option
+
+val satisfiable : Prop.t -> bool
+val valid : Prop.t -> bool
+val implies : Prop.t -> Prop.t -> bool
+val equivalent : Prop.t -> Prop.t -> bool
+
+(** All total models over exactly [over], by model blocking. *)
+val all_models : over:string list -> Prop.t -> Prop.assignment list

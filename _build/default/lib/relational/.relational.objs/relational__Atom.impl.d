@@ -1,0 +1,1 @@
+lib/relational/atom.ml: Fmt List String Term

@@ -1,0 +1,1 @@
+lib/relational/cq.ml: Atom Database Fmt List Map Option Printf Relation Schema String Subst Term Tuple Value

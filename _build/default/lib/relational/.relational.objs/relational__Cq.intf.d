@@ -1,0 +1,1 @@
+lib/relational/cq.mli: Atom Database Fmt Map Relation Schema String Subst Term Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/fo.ml: Atom Database Fmt List Printf Relation Schema String Subst Term Tuple Value

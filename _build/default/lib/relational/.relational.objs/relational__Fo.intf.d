@@ -1,0 +1,1 @@
+lib/relational/fo.mli: Atom Database Fmt Relation Schema Subst Term Value

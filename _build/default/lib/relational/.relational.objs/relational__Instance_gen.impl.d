@@ -1,0 +1,1 @@
+lib/relational/instance_gen.ml: Database List Random Relation Schema Tuple Value

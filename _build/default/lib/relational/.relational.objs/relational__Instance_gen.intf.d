@@ -1,0 +1,1 @@
+lib/relational/instance_gen.mli: Database Random Relation Schema Tuple Value

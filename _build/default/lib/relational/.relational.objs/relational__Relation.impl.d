@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Array Fmt Int List Printf Set Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/subst.ml: Fmt List Map String Term Value

@@ -1,0 +1,1 @@
+lib/relational/subst.mli: Fmt Term Value

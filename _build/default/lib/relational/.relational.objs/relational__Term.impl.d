@@ -1,0 +1,1 @@
+lib/relational/term.ml: Fmt Set String Value

@@ -1,0 +1,1 @@
+lib/relational/ucq.mli: Cq Database Fmt Relation Schema Tuple

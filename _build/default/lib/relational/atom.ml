@@ -1,0 +1,27 @@
+(* Relational atoms R(t1, ..., tk) appearing in query bodies. *)
+
+type t = {
+  rel : string;
+  args : Term.t list;
+}
+
+let make rel args = { rel; args }
+
+let arity a = List.length a.args
+
+let vars a =
+  List.filter_map (function Term.Var x -> Some x | Term.Const _ -> None) a.args
+
+let constants a =
+  List.filter_map (function Term.Const v -> Some v | Term.Var _ -> None) a.args
+
+let map_terms f a = { a with args = List.map f a.args }
+
+let equal a b = String.equal a.rel b.rel && List.equal Term.equal a.args b.args
+
+let compare a b =
+  let c = String.compare a.rel b.rel in
+  if c <> 0 then c else List.compare Term.compare a.args b.args
+
+let pp ppf a =
+  Fmt.pf ppf "%s(%a)" a.rel Fmt.(list ~sep:(any ", ") Term.pp) a.args

@@ -1,0 +1,15 @@
+(** Relational atoms [R(t1, ..., tk)] appearing in query bodies. *)
+
+type t = {
+  rel : string;
+  args : Term.t list;
+}
+
+val make : string -> Term.t list -> t
+val arity : t -> int
+val vars : t -> string list
+val constants : t -> Value.t list
+val map_terms : (Term.t -> Term.t) -> t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t

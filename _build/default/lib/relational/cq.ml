@@ -1,0 +1,354 @@
+(* Conjunctive queries with equality and inequality (the language CQ of the
+   paper, Section 2).  A query is
+
+       head(x1, ..., xn) :- A1, ..., Am, t1 <> t1', ..., tk <> tk'
+
+   Equalities are normalized away at construction time by substitution.
+   Containment with inequalities uses Klug's technique: instead of the single
+   Chandra-Merlin canonical database, one canonical database per partition of
+   the query's terms consistent with its inequalities. *)
+
+module Smap = Map.Make (String)
+
+type t = {
+  head : Term.t list;
+  body : Atom.t list;
+  neqs : (Term.t * Term.t) list;
+}
+
+exception Unsatisfiable
+
+exception Unsafe of string
+
+let body_vars body =
+  List.concat_map Atom.vars body |> List.sort_uniq String.compare
+
+let term_vars ts =
+  List.filter_map (function Term.Var x -> Some x | Term.Const _ -> None) ts
+
+let vars q =
+  body_vars q.body
+  @ term_vars q.head
+  @ term_vars (List.concat_map (fun (a, b) -> [ a; b ]) q.neqs)
+  |> List.sort_uniq String.compare
+
+let constants q =
+  let of_terms ts =
+    List.filter_map (function Term.Const v -> Some v | Term.Var _ -> None) ts
+  in
+  List.concat_map Atom.constants q.body
+  @ of_terms q.head
+  @ of_terms (List.concat_map (fun (a, b) -> [ a; b ]) q.neqs)
+  |> List.sort_uniq Value.compare
+
+(* Solve a set of equalities into a variable-to-term substitution (a simple
+   union-find by repeated rewriting).  Raises [Unsatisfiable] on c = c'. *)
+let solve_eqs eqs =
+  let rec add subst = function
+    | [] -> subst
+    | (a, b) :: rest ->
+      let resolve t =
+        match t with
+        | Term.Var x -> ( match Smap.find_opt x subst with Some t' -> t' | None -> t)
+        | Term.Const _ -> t
+      in
+      let a = resolve a and b = resolve b in
+      if Term.equal a b then add subst rest
+      else begin
+        match a, b with
+        | Term.Const _, Term.Const _ -> raise Unsatisfiable
+        | Term.Var x, t | t, Term.Var x ->
+          let replace u = if Term.equal u (Term.Var x) then t else u in
+          let subst = Smap.map replace subst in
+          add (Smap.add x t subst) rest
+      end
+  in
+  add Smap.empty eqs
+
+let apply_var_subst subst q =
+  let on_term = function
+    | Term.Var x as t -> ( match Smap.find_opt x subst with Some t' -> t' | None -> t)
+    | Term.Const _ as t -> t
+  in
+  {
+    head = List.map on_term q.head;
+    body = List.map (Atom.map_terms on_term) q.body;
+    neqs = List.map (fun (a, b) -> (on_term a, on_term b)) q.neqs;
+  }
+
+let check_safety q =
+  let bound = body_vars q.body in
+  let check_term where t =
+    match t with
+    | Term.Const _ -> ()
+    | Term.Var x ->
+      if not (List.mem x bound) then
+        raise (Unsafe (Printf.sprintf "variable %s in %s not bound by body" x where))
+  in
+  List.iter (check_term "head") q.head;
+  List.iter
+    (fun (a, b) ->
+      check_term "inequality" a;
+      check_term "inequality" b)
+    q.neqs
+
+let make ?(eqs = []) ?(neqs = []) ~head ~body () =
+  let q = { head; body; neqs } in
+  let q = if eqs = [] then q else apply_var_subst (solve_eqs eqs) q in
+  check_safety q;
+  q
+
+let head_arity q = List.length q.head
+
+let rename prefix q =
+  let on_term = function
+    | Term.Var x -> Term.Var (prefix ^ x)
+    | Term.Const _ as t -> t
+  in
+  {
+    head = List.map on_term q.head;
+    body = List.map (Atom.map_terms on_term) q.body;
+    neqs = List.map (fun (a, b) -> (on_term a, on_term b)) q.neqs;
+  }
+
+let schema_of q =
+  List.fold_left
+    (fun s a -> Schema.add a.Atom.rel (Atom.arity a) s)
+    Schema.empty q.body
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let unify_args subst args tuple =
+  let rec go subst args i =
+    match args with
+    | [] -> Some subst
+    | Term.Const v :: rest ->
+      if Value.equal v (Tuple.get tuple i) then go subst rest (i + 1) else None
+    | Term.Var x :: rest -> (
+      match Subst.extend x (Tuple.get tuple i) subst with
+      | Some subst -> go subst rest (i + 1)
+      | None -> None)
+  in
+  go subst args 0
+
+let atom_matches db subst atom =
+  let rel = Database.find atom.Atom.rel db in
+  Relation.fold
+    (fun tuple acc ->
+      match unify_args subst atom.Atom.args tuple with
+      | Some s -> s :: acc
+      | None -> acc)
+    rel []
+
+let neqs_hold subst neqs =
+  List.for_all
+    (fun (a, b) ->
+      match Subst.apply_term subst a, Subst.apply_term subst b with
+      | Some va, Some vb -> not (Value.equal va vb)
+      | _ -> true (* unbound: cannot refute yet *))
+    neqs
+
+let bound_var_count subst atom =
+  List.length (List.filter (fun x -> Subst.mem x subst) (Atom.vars atom))
+
+(* Greedy sideways-information-passing: always expand the atom with the most
+   already-bound variables (breaking ties towards smaller relations), so joins
+   stay selective.  [`Naive] keeps the textual atom order; the difference is
+   one of the ablations in bench/. *)
+type strategy = [ `Greedy | `Naive ]
+
+let eval_substs ?(strategy = `Greedy) q db =
+  let pick subst atoms =
+    match strategy, atoms with
+    | _, [] -> None
+    | `Naive, a :: rest -> Some (a, rest)
+    | `Greedy, _ ->
+      let score a =
+        ( -bound_var_count subst a,
+          Relation.cardinal (Database.find a.Atom.rel db) )
+      in
+      let best =
+        List.fold_left
+          (fun acc a ->
+            match acc with
+            | None -> Some a
+            | Some b -> if score a < score b then Some a else acc)
+          None atoms
+      in
+      Option.map
+        (fun b -> (b, List.filter (fun a -> not (a == b)) atoms))
+        best
+  in
+  let rec search subst atoms acc =
+    if not (neqs_hold subst q.neqs) then acc
+    else
+      match pick subst atoms with
+      | None -> if neqs_hold subst q.neqs then subst :: acc else acc
+      | Some (atom, rest) ->
+        List.fold_left
+          (fun acc subst' -> search subst' rest acc)
+          acc
+          (atom_matches db subst atom)
+  in
+  search Subst.empty q.body []
+
+let eval ?strategy q db =
+  let substs = eval_substs ?strategy q db in
+  List.fold_left
+    (fun rel subst ->
+      let tuple =
+        Tuple.of_list (List.map (Subst.apply_term_exn subst) q.head)
+      in
+      Relation.add tuple rel)
+    (Relation.empty (head_arity q))
+    substs
+
+(* ------------------------------------------------------------------ *)
+(* Canonical databases and containment                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Freeze the query: map each variable to a fresh labelled null and read the
+   body off as a database (the Chandra-Merlin canonical database). *)
+let freeze q =
+  let subst =
+    List.fold_left
+      (fun s x -> Subst.bind x (Value.fresh ()) s)
+      Subst.empty (vars q)
+  in
+  (subst, q)
+
+let ground_under ~schema subst q =
+  let db =
+    List.fold_left
+      (fun db atom ->
+        let tuple =
+          Tuple.of_list (List.map (Subst.apply_term_exn subst) atom.Atom.args)
+        in
+        Database.add_tuple atom.Atom.rel tuple db)
+      (Database.empty schema) q.body
+  in
+  let goal = Tuple.of_list (List.map (Subst.apply_term_exn subst) q.head) in
+  (db, goal)
+
+(* All partitions of the query's variables into equivalence classes, where a
+   class may be identified with one of the query's constants; distinct
+   constants are never identified.  Each partition is returned as a valuation
+   of the variables (class representatives are the constant, or a fresh
+   labelled null), filtered for consistency with the query's inequalities.
+   This is Klug's complete test set for containment of CQs with <>. *)
+let partitions q =
+  let xs = vars q in
+  let consts = constants q in
+  let rec go xs classes subst acc =
+    match xs with
+    | [] ->
+      let ok =
+        List.for_all
+          (fun (a, b) ->
+            let va = Subst.apply_term_exn subst a
+            and vb = Subst.apply_term_exn subst b in
+            not (Value.equal va vb))
+          q.neqs
+      in
+      if ok then subst :: acc else acc
+    | x :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc repr -> go rest classes (Subst.bind x repr subst) acc)
+          acc classes
+      in
+      let fresh = Value.fresh () in
+      go rest (fresh :: classes) (Subst.bind x fresh subst) acc
+  in
+  go xs consts Subst.empty []
+
+let combined_schema q1 q2s =
+  List.fold_left
+    (fun s q -> Schema.union s (schema_of q))
+    (schema_of q1) q2s
+
+(* [contained_in_many q qs]: is q contained in the union of the queries [qs]?
+   Complete for CQs with <> (Klug).  When neither side uses <>, a single
+   canonical database suffices; we special-case that for speed. *)
+let contained_in_many q1 q2s =
+  let q2s = List.filter (fun q2 -> head_arity q2 = head_arity q1) q2s in
+  if q2s = [] then
+    (* Containment in the empty union holds only if q1 is unsatisfiable. *)
+    partitions q1 = []
+  else begin
+    let schema = combined_schema q1 q2s in
+    let check subst =
+      let db, goal = ground_under ~schema subst q1 in
+      List.exists (fun q2 -> Relation.mem goal (eval q2 db)) q2s
+    in
+    let no_neqs = q1.neqs = [] && List.for_all (fun q -> q.neqs = []) q2s in
+    if no_neqs then
+      let subst, _ = freeze q1 in
+      check subst
+    else List.for_all check (partitions q1)
+  end
+
+let contained_in q1 q2 = contained_in_many q1 [ q2 ]
+
+(* A database on which q1 produces a tuple that no query of [q2s] does:
+   the canonical database of the first failing partition. *)
+let non_containment_witness q1 q2s =
+  let q2s = List.filter (fun q2 -> head_arity q2 = head_arity q1) q2s in
+  let schema = combined_schema q1 q2s in
+  let refutes subst =
+    let db, goal = ground_under ~schema subst q1 in
+    if List.exists (fun q2 -> Relation.mem goal (eval q2 db)) q2s then None
+    else Some (db, goal)
+  in
+  List.find_map refutes (partitions q1)
+
+(* Sound but incomplete in the presence of <>: single frozen database only.
+   Exposed for the containment ablation. *)
+let contained_in_frozen_only q1 q2 =
+  if head_arity q1 <> head_arity q2 then false
+  else
+    let schema = combined_schema q1 [ q2 ] in
+    let subst, _ = freeze q1 in
+    let db, goal = ground_under ~schema subst q1 in
+    Relation.mem goal (eval q2 db)
+
+let equivalent q1 q2 = contained_in q1 q2 && contained_in q2 q1
+
+(* Core computation: greedily drop redundant body atoms while the query stays
+   equivalent.  Safety is preserved by refusing drops that unbind head or
+   inequality variables. *)
+let minimize q =
+  let needed = term_vars q.head @ term_vars (List.concat_map (fun (a, b) -> [ a; b ]) q.neqs) in
+  let safe_without body =
+    let bound = body_vars body in
+    List.for_all (fun x -> List.mem x bound) needed
+  in
+  let rec drop_one kept = function
+    | [] -> None
+    | atom :: rest ->
+      let body' = List.rev_append kept rest in
+      if body' <> [] && safe_without body' then begin
+        let q' = { q with body = body' } in
+        if equivalent q q' then Some q' else drop_one (atom :: kept) rest
+      end
+      else drop_one (atom :: kept) rest
+  in
+  let rec fix q =
+    match drop_one [] q.body with
+    | Some q' -> fix q'
+    | None -> q
+  in
+  fix q
+
+let pp ppf q =
+  let pp_neq ppf (a, b) = Fmt.pf ppf "%a <> %a" Term.pp a Term.pp b in
+  Fmt.pf ppf "ans(%a) :- %a%s%a"
+    Fmt.(list ~sep:(any ", ") Term.pp)
+    q.head
+    Fmt.(list ~sep:(any ", ") Atom.pp)
+    q.body
+    (if q.neqs = [] then "" else ", ")
+    Fmt.(list ~sep:(any ", ") pp_neq)
+    q.neqs

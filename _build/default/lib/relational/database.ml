@@ -1,0 +1,69 @@
+(* Database instances: a named collection of relations conforming to a
+   schema.  Relations absent from the map are empty. *)
+
+module Smap = Map.Make (String)
+
+type t = {
+  schema : Schema.t;
+  relations : Relation.t Smap.t;
+}
+
+let empty schema = { schema; relations = Smap.empty }
+
+let schema db = db.schema
+
+let find name db =
+  match Smap.find_opt name db.relations with
+  | Some r -> r
+  | None -> Relation.empty (Schema.arity_exn name db.schema)
+
+let set name rel db =
+  let arity = Schema.arity_exn name db.schema in
+  if Relation.arity rel <> arity then
+    invalid_arg
+      (Printf.sprintf "Database.set: %s expects arity %d, got %d" name arity
+         (Relation.arity rel));
+  { db with relations = Smap.add name rel db.relations }
+
+let add_tuple name t db = set name (Relation.add t (find name db)) db
+
+let of_list schema l =
+  List.fold_left (fun db (name, rel) -> set name rel db) (empty schema) l
+
+let fold f db init =
+  List.fold_left
+    (fun acc name -> f name (find name db) acc)
+    init (Schema.names db.schema)
+
+let is_empty db =
+  Smap.for_all (fun _ r -> Relation.is_empty r) db.relations
+
+let total_tuples db = fold (fun _ r acc -> acc + Relation.cardinal r) db 0
+
+let equal a b =
+  Schema.equal a.schema b.schema
+  && List.for_all
+       (fun name -> Relation.equal (find name a) (find name b))
+       (Schema.names a.schema)
+
+(* The active domain: every value occurring in some relation of [db]. *)
+let active_domain db =
+  fold (fun _ r acc -> List.rev_append (Relation.values r) acc) db []
+  |> List.sort_uniq Value.compare
+
+let merge a b =
+  let schema = Schema.union (schema a) (schema b) in
+  let db = empty schema in
+  let db = fold (fun name r acc -> set name (Relation.union r (find name acc)) acc) a db in
+  fold (fun name r acc -> set name (Relation.union r (find name acc)) acc) b db
+
+let pp ppf db =
+  let pp_one ppf (name, rel) = Fmt.pf ppf "%s = %a" name Relation.pp rel in
+  let bindings =
+    List.filter_map
+      (fun name ->
+        let r = find name db in
+        if Relation.is_empty r then None else Some (name, r))
+      (Schema.names db.schema)
+  in
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_one) bindings

@@ -1,0 +1,28 @@
+(** Database instances over a {!Schema.t}: named finite relations.
+
+    Relations not explicitly set are empty.  Arities are enforced. *)
+
+type t
+
+val empty : Schema.t -> t
+val schema : t -> Schema.t
+
+(** [find name db] is the instance of [name]; empty if never set.  Fails if
+    [name] is not in the schema. *)
+val find : string -> t -> Relation.t
+
+val set : string -> Relation.t -> t -> t
+val add_tuple : string -> Tuple.t -> t -> t
+val of_list : Schema.t -> (string * Relation.t) list -> t
+val fold : (string -> Relation.t -> 'a -> 'a) -> t -> 'a -> 'a
+val is_empty : t -> bool
+val total_tuples : t -> int
+val equal : t -> t -> bool
+
+(** Every value occurring in some relation, sorted. *)
+val active_domain : t -> Value.t list
+
+(** Union of two databases, relation by relation; schemas are unioned. *)
+val merge : t -> t -> t
+
+val pp : t Fmt.t

@@ -1,0 +1,504 @@
+(* First-order logic over relational vocabularies (the language FO of the
+   paper).  Evaluation uses active-domain semantics: quantifiers range over
+   the values occurring in the database, the formula's constants, and any
+   extra values supplied by the caller.  This matches the data-driven
+   transducer models of [2, 12, 13, 29] that SWS(FO, FO) captures.
+
+   FO satisfiability is undecidable (Trakhtenbrot); [satisfiable_bounded]
+   is the bounded semi-procedure used for the undecidable cells of Table 1. *)
+
+type formula =
+  | True
+  | False
+  | Atom of Atom.t
+  | Eq of Term.t * Term.t
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Implies of formula * formula
+  | Exists of string * formula
+  | Forall of string * formula
+
+type t = {
+  head : string list; (* free variables, in answer order *)
+  body : formula;
+}
+
+let atom rel args = Atom (Atom.make rel args)
+let eq a b = Eq (a, b)
+let neq a b = Not (Eq (a, b))
+
+let conj = function
+  | [] -> True
+  | f :: fs -> List.fold_left (fun acc g -> And (acc, g)) f fs
+
+let disj = function
+  | [] -> False
+  | f :: fs -> List.fold_left (fun acc g -> Or (acc, g)) f fs
+
+let exists_many xs f = List.fold_right (fun x g -> Exists (x, g)) xs f
+let forall_many xs f = List.fold_right (fun x g -> Forall (x, g)) xs f
+
+let query head body = { head; body }
+
+let rec free_vars_formula bound f acc =
+  let term t acc =
+    match t with
+    | Term.Var x -> if List.mem x bound then acc else x :: acc
+    | Term.Const _ -> acc
+  in
+  match f with
+  | True | False -> acc
+  | Atom a -> List.fold_left (fun acc t -> term t acc) acc a.Atom.args
+  | Eq (a, b) -> term a (term b acc)
+  | Not g -> free_vars_formula bound g acc
+  | And (g, h) | Or (g, h) | Implies (g, h) ->
+    free_vars_formula bound g (free_vars_formula bound h acc)
+  | Exists (x, g) | Forall (x, g) -> free_vars_formula (x :: bound) g acc
+
+let free_vars f = free_vars_formula [] f [] |> List.sort_uniq String.compare
+
+let rec constants_formula f acc =
+  let term t acc =
+    match t with Term.Const v -> v :: acc | Term.Var _ -> acc
+  in
+  match f with
+  | True | False -> acc
+  | Atom a -> List.fold_left (fun acc t -> term t acc) acc a.Atom.args
+  | Eq (a, b) -> term a (term b acc)
+  | Not g -> constants_formula g acc
+  | And (g, h) | Or (g, h) | Implies (g, h) ->
+    constants_formula g (constants_formula h acc)
+  | Exists (_, g) | Forall (_, g) -> constants_formula g acc
+
+let constants f = constants_formula f [] |> List.sort_uniq Value.compare
+
+let rec schema_of_formula f s =
+  match f with
+  | True | False | Eq _ -> s
+  | Atom a -> Schema.add a.Atom.rel (Atom.arity a) s
+  | Not g -> schema_of_formula g s
+  | And (g, h) | Or (g, h) | Implies (g, h) ->
+    schema_of_formula g (schema_of_formula h s)
+  | Exists (_, g) | Forall (_, g) -> schema_of_formula g s
+
+let schema_of q = schema_of_formula q.body Schema.empty
+
+(* Substitute terms for free variables; stops at binders of the same name.
+   No capture avoidance: callers must keep replacement terms clear of bound
+   variable names (asserted below for variables). *)
+let rec subst_free env f =
+  let on_term = function
+    | Term.Var x as t -> (
+      match List.assoc_opt x env with Some t' -> t' | None -> t)
+    | Term.Const _ as t -> t
+  in
+  match f with
+  | True | False -> f
+  | Atom a -> Atom (Atom.map_terms on_term a)
+  | Eq (a, b) -> Eq (on_term a, on_term b)
+  | Not g -> Not (subst_free env g)
+  | And (g, h) -> And (subst_free env g, subst_free env h)
+  | Or (g, h) -> Or (subst_free env g, subst_free env h)
+  | Implies (g, h) -> Implies (subst_free env g, subst_free env h)
+  | Exists (x, g) | Forall (x, g) ->
+    let env = List.remove_assoc x env in
+    List.iter
+      (fun (_, t) ->
+        match t with
+        | Term.Var y ->
+          if String.equal y x then
+            invalid_arg "Fo.subst_free: replacement would be captured"
+        | Term.Const _ -> ())
+      env;
+    let g' = subst_free env g in
+    (match f with
+    | Exists _ -> Exists (x, g')
+    | Forall _ -> Forall (x, g')
+    | _ -> assert false)
+
+(* Prefix every variable name (free and bound alike): renames a formula
+   apart before inlining it into another one. *)
+let rec prefix_vars p = function
+  | True -> True
+  | False -> False
+  | Atom a ->
+    Atom
+      (Atom.map_terms
+         (function Term.Var x -> Term.Var (p ^ x) | Term.Const _ as t -> t)
+         a)
+  | Eq (a, b) ->
+    let on_term = function
+      | Term.Var x -> Term.Var (p ^ x)
+      | Term.Const _ as t -> t
+    in
+    Eq (on_term a, on_term b)
+  | Not g -> Not (prefix_vars p g)
+  | And (g, h) -> And (prefix_vars p g, prefix_vars p h)
+  | Or (g, h) -> Or (prefix_vars p g, prefix_vars p h)
+  | Implies (g, h) -> Implies (prefix_vars p g, prefix_vars p h)
+  | Exists (x, g) -> Exists (p ^ x, prefix_vars p g)
+  | Forall (x, g) -> Forall (p ^ x, prefix_vars p g)
+
+let prefix_query p q =
+  { head = List.map (fun x -> p ^ x) q.head; body = prefix_vars p q.body }
+
+(* Rename relation symbols throughout a formula. *)
+let rec map_relations rename = function
+  | True -> True
+  | False -> False
+  | Atom a -> rename a
+  | Eq (a, b) -> Eq (a, b)
+  | Not g -> Not (map_relations rename g)
+  | And (g, h) -> And (map_relations rename g, map_relations rename h)
+  | Or (g, h) -> Or (map_relations rename g, map_relations rename h)
+  | Implies (g, h) -> Implies (map_relations rename g, map_relations rename h)
+  | Exists (x, g) -> Exists (x, map_relations rename g)
+  | Forall (x, g) -> Forall (x, map_relations rename g)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let domain_of ?(extra = []) db f =
+  Database.active_domain db @ constants f @ extra
+  |> List.sort_uniq Value.compare
+
+(* Existential blocks are evaluated atom-driven where possible: for
+   Exists x1..xk (A /\ rest) with A a relational atom, candidate bindings
+   for the xi occurring in A are read off A's relation instead of scanning
+   the whole active domain per variable.  This is sound for active-domain
+   semantics (every relation value is in the domain) and turns the nested
+   quantifiers produced by query composition into indexed joins. *)
+let rec holds db dom env f =
+  let value t =
+    match t with
+    | Term.Const v -> v
+    | Term.Var x -> (
+      match Subst.find x env with
+      | Some v -> v
+      | None -> invalid_arg (Printf.sprintf "Fo.holds: free variable %s" x))
+  in
+  match f with
+  | True -> true
+  | False -> false
+  | Atom a ->
+    let tuple = Tuple.of_list (List.map value a.Atom.args) in
+    Relation.mem tuple (Database.find a.Atom.rel db)
+  | Eq (a, b) -> Value.equal (value a) (value b)
+  | Not g -> not (holds db dom env g)
+  | And (g, h) -> holds db dom env g && holds db dom env h
+  | Or (g, h) -> holds db dom env g || holds db dom env h
+  | Implies (g, h) -> (not (holds db dom env g)) || holds db dom env h
+  | Exists (x, g) -> exists_block db dom env [ x ] g
+  | Forall (x, g) -> List.for_all (fun v -> holds db dom (Subst.bind x v env) g) dom
+
+and exists_block db dom env xs g =
+  match g with
+  | Exists (y, h) -> exists_block db dom env (y :: xs) h
+  | _ -> (
+    (* the quantifier shadows any outer binding of the same name *)
+    let env = List.fold_left (fun e x -> Subst.remove x e) env xs in
+    let rec flatten acc = function
+      | And (a, b) -> flatten (flatten acc a) b
+      | f -> f :: acc
+    in
+    let conjuncts = flatten [] g in
+    (* a driving atom: every argument is a constant, a bound variable, or
+       one of the existential variables *)
+    let drivable (c : formula) =
+      match c with
+      | Atom a ->
+        List.for_all
+          (function
+            | Term.Const _ -> true
+            | Term.Var x -> Subst.mem x env || List.mem x xs)
+          a.Atom.args
+      | _ -> false
+    in
+    match List.partition drivable conjuncts with
+    | Atom a :: other_atoms, rest ->
+      let rest = other_atoms @ rest in
+      let rel = Database.find a.Atom.rel db in
+      let match_tuple tuple =
+        let rec unify env args i =
+          match args with
+          | [] -> Some env
+          | Term.Const v :: tl ->
+            if Value.equal v (Tuple.get tuple i) then unify env tl (i + 1)
+            else None
+          | Term.Var x :: tl -> (
+            match Subst.extend x (Tuple.get tuple i) env with
+            | Some env -> unify env tl (i + 1)
+            | None -> None)
+        in
+        unify env a.Atom.args 0
+      in
+      let continue env' =
+        let bound_now = fun x -> Subst.mem x env' in
+        let remaining = List.filter (fun x -> not (bound_now x)) xs in
+        let body =
+          match rest with [] -> True | c :: cs -> List.fold_left (fun f g -> And (f, g)) c cs
+        in
+        match remaining with
+        | [] -> holds db dom env' body
+        | _ -> exists_block db dom env' remaining body
+      in
+      Relation.exists
+        (fun tuple ->
+          match match_tuple tuple with
+          | Some env' -> continue env'
+          | None -> false)
+        rel
+    | _ -> (
+      (* no driving atom: fall back to the domain scan, one variable at a
+         time (re-entering the optimization for the remainder) *)
+      match xs with
+      | [] -> holds db dom env g
+      | x :: rest ->
+        List.exists
+          (fun v ->
+            let env' = Subst.bind x v env in
+            match rest with
+            | [] -> holds db dom env' g
+            | _ -> exists_block db dom env' rest g)
+          dom))
+
+let sentence_holds ?extra db f =
+  match free_vars f with
+  | [] -> holds db (domain_of ?extra db f) Subst.empty f
+  | x :: _ -> invalid_arg (Printf.sprintf "Fo.sentence_holds: free variable %s" x)
+
+(* Reference evaluator: enumerate all head assignments over the active
+   domain.  Kept as the oracle the optimized evaluator is tested against. *)
+let eval_naive ?extra q db =
+  let dom = domain_of ?extra db q.body in
+  let rec assignments env = function
+    | [] -> if holds db dom env q.body then [ env ] else []
+    | x :: rest ->
+      List.concat_map (fun v -> assignments (Subst.bind x v env) rest) dom
+  in
+  List.fold_left
+    (fun rel env ->
+      let tuple =
+        Tuple.of_list
+          (List.map
+             (fun x ->
+               match Subst.find x env with
+               | Some v -> v
+               | None -> invalid_arg "Fo.eval: unbound head variable")
+             q.head)
+      in
+      Relation.add tuple rel)
+    (Relation.empty (List.length q.head))
+    (assignments Subst.empty q.head)
+
+(* Optimized evaluator: an all-solutions search over the head variables
+   that (1) drives bindings off relational atoms, (2) splits top-level
+   disjunctions, (3) evaluates fully-bound conjuncts eagerly to prune,
+   (4) hoists positive existential conjuncts into the search
+   (∃z.φ ∧ ψ ≡ ∃z'.(φ ∧ ψ) for fresh z'), and (5) falls back to the
+   domain scan variable by variable.  Same active-domain semantics as
+   [eval_naive]; property-tested against it. *)
+let hoist_counter = ref 0
+
+let eval ?extra q db =
+  let dom = domain_of ?extra db q.body in
+  let results = ref (Relation.empty (List.length q.head)) in
+  let emit env =
+    let tuple =
+      Tuple.of_list
+        (List.map
+           (fun x ->
+             match Subst.find x env with
+             | Some v -> v
+             | None -> invalid_arg "Fo.eval: unbound head variable")
+           q.head)
+    in
+    results := Relation.add tuple !results
+  in
+  let rec flatten acc = function
+    | And (a, b) -> flatten (flatten acc a) b
+    | True -> acc
+    | f -> f :: acc
+  in
+  let ready env c =
+    List.for_all (fun x -> Subst.mem x env) (free_vars c)
+  in
+  let drivable env xs (c : formula) =
+    match c with
+    | Atom a ->
+      List.for_all
+        (function
+          | Term.Const _ -> true
+          | Term.Var x -> Subst.mem x env || List.mem x xs)
+        a.Atom.args
+    | _ -> false
+  in
+  let rec search env xs conjuncts =
+    (* prune on fully bound conjuncts first *)
+    let rec filter_ready kept = function
+      | [] -> Some (List.rev kept)
+      | c :: rest ->
+        if ready env c then
+          if holds db dom env c then filter_ready kept rest else None
+        else filter_ready (c :: kept) rest
+    in
+    match filter_ready [] conjuncts with
+    | None -> ()
+    | Some conjuncts -> (
+      match xs with
+      | [] ->
+        (* safety: with all head variables bound, every conjunct is ready *)
+        if conjuncts = [] then emit env
+      | _ -> (
+        match List.partition (drivable env xs) conjuncts with
+        | (Atom a :: later_atoms), rest ->
+          let rest = later_atoms @ rest in
+          let rel = Database.find a.Atom.rel db in
+          Relation.iter
+            (fun tuple ->
+              let rec unify env args i =
+                match args with
+                | [] -> Some env
+                | Term.Const v :: tl ->
+                  if Value.equal v (Tuple.get tuple i) then unify env tl (i + 1)
+                  else None
+                | Term.Var x :: tl -> (
+                  match Subst.extend x (Tuple.get tuple i) env with
+                  | Some env -> unify env tl (i + 1)
+                  | None -> None)
+              in
+              match unify env a.Atom.args 0 with
+              | Some env' ->
+                let xs' = List.filter (fun x -> not (Subst.mem x env')) xs in
+                search env' xs' rest
+              | None -> ())
+            rel
+        | _, conjuncts -> (
+          (* split a disjunction if one is available *)
+          let rec find_or prefix = function
+            | [] -> None
+            | Or (p, q) :: rest -> Some (p, q, List.rev_append prefix rest)
+            | c :: rest -> find_or (c :: prefix) rest
+          in
+          match find_or [] conjuncts with
+          | Some (p, q, others) ->
+            search env xs (flatten others p);
+            search env xs (flatten others q)
+          | None -> (
+            (* hoist a positive existential conjunct into the search *)
+            let rec find_exists prefix = function
+              | [] -> None
+              | (Exists _ as e) :: rest -> Some (e, List.rev_append prefix rest)
+              | c :: rest -> find_exists (c :: prefix) rest
+            in
+            match find_exists [] conjuncts with
+            | Some (e, others) ->
+              let rec strip acc = function
+                | Exists (x, g) -> strip (x :: acc) g
+                | g -> (acc, g)
+              in
+              let zs, body = strip [] e in
+              let renaming =
+                List.map
+                  (fun z ->
+                    incr hoist_counter;
+                    (z, Printf.sprintf "@ex%d" !hoist_counter))
+                  zs
+              in
+              let body =
+                subst_free
+                  (List.map (fun (z, z') -> (z, Term.Var z')) renaming)
+                  body
+              in
+              search env (List.map snd renaming @ xs) (flatten others body)
+            | None -> (
+              match xs with
+              | [] -> ()
+              | x :: rest ->
+                List.iter
+                  (fun v -> search (Subst.bind x v env) rest conjuncts)
+                  dom)))))
+  in
+  search Subst.empty q.head (flatten [] q.body);
+  !results
+
+(* ------------------------------------------------------------------ *)
+(* Bounded satisfiability (semi-procedure)                             *)
+(* ------------------------------------------------------------------ *)
+
+type sat_result =
+  | Sat of Database.t
+  | Unsat_within_bounds
+  | Search_too_large
+
+(* Enumerate all databases over domains {1..k} for k <= max_dom (always
+   including the formula's constants) and test the sentence on each.  The
+   search space is the powerset of the candidate tuple pool, so a pool-size
+   guard keeps the procedure honest: exceeding it reports Search_too_large
+   rather than silently truncating. *)
+let satisfiable_bounded ?(max_dom = 3) ?(max_pool = 18) sentence =
+  let schema = schema_of_formula sentence Schema.empty in
+  let consts = constants sentence in
+  let rec tuples_over dom arity =
+    if arity = 0 then [ [] ]
+    else
+      let rest = tuples_over dom (arity - 1) in
+      List.concat_map (fun v -> List.map (fun t -> v :: t) rest) dom
+  in
+  let try_domain k =
+    let dom =
+      consts @ List.init k (fun i -> Value.int (i + 1))
+      |> List.sort_uniq Value.compare
+    in
+    let pool =
+      List.concat_map
+        (fun (rel, arity) ->
+          List.map (fun t -> (rel, Tuple.of_list t)) (tuples_over dom arity))
+        (Schema.to_list schema)
+    in
+    if List.length pool > max_pool then Error `Too_large
+    else begin
+      let rec search db = function
+        | [] -> if sentence_holds ~extra:dom db sentence then Some db else None
+        | (rel, t) :: rest -> (
+          match search db rest with
+          | Some db -> Some db
+          | None -> search (Database.add_tuple rel t db) rest)
+      in
+      match search (Database.empty schema) pool with
+      | Some db -> Ok db
+      | None -> Error `Unsat
+    end
+  in
+  let rec go k too_large =
+    if k > max_dom then
+      if too_large then Search_too_large else Unsat_within_bounds
+    else
+      match try_domain k with
+      | Ok db -> Sat db
+      | Error `Too_large -> go (k + 1) true
+      | Error `Unsat -> go (k + 1) too_large
+  in
+  go 1 false
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp_formula ppf = function
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Atom a -> Atom.pp ppf a
+  | Eq (a, b) -> Fmt.pf ppf "%a = %a" Term.pp a Term.pp b
+  | Not (Eq (a, b)) -> Fmt.pf ppf "%a <> %a" Term.pp a Term.pp b
+  | Not g -> Fmt.pf ppf "~(%a)" pp_formula g
+  | And (g, h) -> Fmt.pf ppf "(%a /\\ %a)" pp_formula g pp_formula h
+  | Or (g, h) -> Fmt.pf ppf "(%a \\/ %a)" pp_formula g pp_formula h
+  | Implies (g, h) -> Fmt.pf ppf "(%a -> %a)" pp_formula g pp_formula h
+  | Exists (x, g) -> Fmt.pf ppf "(exists %s. %a)" x pp_formula g
+  | Forall (x, g) -> Fmt.pf ppf "(forall %s. %a)" x pp_formula g
+
+let pp ppf q =
+  Fmt.pf ppf "ans(%a) :- %a" Fmt.(list ~sep:(any ", ") string) q.head pp_formula q.body

@@ -1,0 +1,72 @@
+(** First-order logic over relational vocabularies (the language FO of the
+    paper), with active-domain evaluation and a bounded satisfiability
+    semi-procedure (Trakhtenbrot's theorem rules out a full one). *)
+
+type formula =
+  | True
+  | False
+  | Atom of Atom.t
+  | Eq of Term.t * Term.t
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Implies of formula * formula
+  | Exists of string * formula
+  | Forall of string * formula
+
+type t = {
+  head : string list;  (** free variables, in answer order *)
+  body : formula;
+}
+
+val atom : string -> Term.t list -> formula
+val eq : Term.t -> Term.t -> formula
+val neq : Term.t -> Term.t -> formula
+val conj : formula list -> formula
+val disj : formula list -> formula
+val exists_many : string list -> formula -> formula
+val forall_many : string list -> formula -> formula
+val query : string list -> formula -> t
+
+val free_vars : formula -> string list
+val constants : formula -> Value.t list
+val schema_of : t -> Schema.t
+
+(** Substitute terms for free variables (no capture: fails if a replacement
+    variable would be captured by a binder). *)
+val subst_free : (string * Term.t) list -> formula -> formula
+
+(** Rewrite every atom (e.g. to rename or re-pad relations). *)
+val map_relations : (Atom.t -> formula) -> formula -> formula
+
+(** Prefix every variable (free and bound): renames a formula apart. *)
+val prefix_vars : string -> formula -> formula
+
+val prefix_query : string -> t -> t
+
+(** [holds db dom env f] evaluates [f] with quantifiers ranging over [dom]. *)
+val holds : Database.t -> Value.t list -> Subst.t -> formula -> bool
+
+(** Active-domain truth of a sentence; [extra] widens the quantifier domain. *)
+val sentence_holds : ?extra:Value.t list -> Database.t -> formula -> bool
+
+(** Active-domain answer relation of the query: an all-solutions search
+    that drives bindings off relational atoms, splits disjunctions and
+    prunes on fully bound conjuncts. *)
+val eval : ?extra:Value.t list -> t -> Database.t -> Relation.t
+
+(** Reference evaluator enumerating the full active-domain product; the
+    oracle that {!eval} is property-tested against. *)
+val eval_naive : ?extra:Value.t list -> t -> Database.t -> Relation.t
+
+type sat_result =
+  | Sat of Database.t
+  | Unsat_within_bounds
+  | Search_too_large
+
+(** Exhaustive search for a finite model over domains of size [<= max_dom];
+    a candidate-tuple-pool guard ([max_pool]) keeps the search honest. *)
+val satisfiable_bounded : ?max_dom:int -> ?max_pool:int -> formula -> sat_result
+
+val pp_formula : formula Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,41 @@
+(* Random database instances: the synthetic-workload generator used by tests
+   and by the bench harness (the paper has no datasets; the model observes
+   databases only through queries, so random instances exercise the same code
+   paths as "real" services would). *)
+
+type config = {
+  domain_size : int;   (* values are Int 0 .. Int (domain_size - 1) *)
+  tuples_per_relation : int;
+}
+
+let default = { domain_size = 8; tuples_per_relation = 12 }
+
+let random_value rng config = Value.int (Random.State.int rng config.domain_size)
+
+let random_tuple rng config arity =
+  Tuple.of_list (List.init arity (fun _ -> random_value rng config))
+
+let random_relation rng config arity =
+  let rec go rel n =
+    if n = 0 then rel else go (Relation.add (random_tuple rng config arity) rel) (n - 1)
+  in
+  go (Relation.empty arity) config.tuples_per_relation
+
+let random_database ?(config = default) rng schema =
+  List.fold_left
+    (fun db (name, arity) ->
+      Database.set name (random_relation rng config arity) db)
+    (Database.empty schema) (Schema.to_list schema)
+
+(* A timestamped input sequence I = I_1, ..., I_n encoded as in the paper:
+   R_in carries a timestamp attribute ts in the first column. *)
+let random_input_sequence ?(config = default) rng ~arity ~length ~per_step =
+  List.init length (fun j ->
+      let rec go rel n =
+        if n = 0 then rel
+        else
+          let payload = List.init arity (fun _ -> random_value rng config) in
+          go (Relation.add (Tuple.of_list payload) rel) (n - 1)
+      in
+      ignore j;
+      go (Relation.empty arity) per_step)

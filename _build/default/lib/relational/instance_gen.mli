@@ -1,0 +1,24 @@
+(** Random database instances: the synthetic-workload generator (the paper
+    has no datasets; the model observes databases only through queries). *)
+
+type config = {
+  domain_size : int;  (** values are [Int 0 .. Int (domain_size - 1)] *)
+  tuples_per_relation : int;
+}
+
+val default : config
+
+val random_value : Random.State.t -> config -> Value.t
+val random_tuple : Random.State.t -> config -> int -> Tuple.t
+val random_relation : Random.State.t -> config -> int -> Relation.t
+val random_database : ?config:config -> Random.State.t -> Schema.t -> Database.t
+
+(** A timestamped input sequence I_1, ..., I_length with [per_step] tuples
+    per message. *)
+val random_input_sequence :
+  ?config:config ->
+  Random.State.t ->
+  arity:int ->
+  length:int ->
+  per_step:int ->
+  Relation.t list

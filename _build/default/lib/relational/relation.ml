@@ -1,0 +1,107 @@
+(* Finite relations: sets of tuples of a fixed arity.  These are the contents
+   of local databases, message registers Msg(q) and action registers Act(q)
+   (Section 2 of the paper). *)
+
+module Tuple_set = Set.Make (Tuple)
+
+type t = {
+  arity : int;
+  tuples : Tuple_set.t;
+}
+
+exception Arity_mismatch of string
+
+let check_arity op arity t =
+  if Tuple.arity t <> arity then
+    raise
+      (Arity_mismatch
+         (Printf.sprintf "%s: expected arity %d, got tuple of arity %d" op
+            arity (Tuple.arity t)))
+
+let empty arity = { arity; tuples = Tuple_set.empty }
+
+let is_empty r = Tuple_set.is_empty r.tuples
+
+let arity r = r.arity
+
+let cardinal r = Tuple_set.cardinal r.tuples
+
+let mem t r = Tuple_set.mem t r.tuples
+
+let add t r =
+  check_arity "add" r.arity t;
+  { r with tuples = Tuple_set.add t r.tuples }
+
+let remove t r = { r with tuples = Tuple_set.remove t r.tuples }
+
+let of_list arity ts = List.fold_left (fun r t -> add t r) (empty arity) ts
+
+let to_list r = Tuple_set.elements r.tuples
+
+let singleton t = { arity = Tuple.arity t; tuples = Tuple_set.singleton t }
+
+let fold f r init = Tuple_set.fold f r.tuples init
+
+let iter f r = Tuple_set.iter f r.tuples
+
+let filter p r = { r with tuples = Tuple_set.filter p r.tuples }
+
+let exists p r = Tuple_set.exists p r.tuples
+
+let for_all p r = Tuple_set.for_all p r.tuples
+
+let equal a b = a.arity = b.arity && Tuple_set.equal a.tuples b.tuples
+
+let compare a b =
+  let c = Int.compare a.arity b.arity in
+  if c <> 0 then c else Tuple_set.compare a.tuples b.tuples
+
+let subset a b = a.arity = b.arity && Tuple_set.subset a.tuples b.tuples
+
+let union a b =
+  if a.arity <> b.arity then raise (Arity_mismatch "union")
+  else { a with tuples = Tuple_set.union a.tuples b.tuples }
+
+let inter a b =
+  if a.arity <> b.arity then raise (Arity_mismatch "inter")
+  else { a with tuples = Tuple_set.inter a.tuples b.tuples }
+
+let diff a b =
+  if a.arity <> b.arity then raise (Arity_mismatch "diff")
+  else { a with tuples = Tuple_set.diff a.tuples b.tuples }
+
+let product a b =
+  let tuples =
+    Tuple_set.fold
+      (fun ta acc ->
+        Tuple_set.fold
+          (fun tb acc -> Tuple_set.add (Tuple.append ta tb) acc)
+          b.tuples acc)
+      a.tuples Tuple_set.empty
+  in
+  { arity = a.arity + b.arity; tuples }
+
+let project positions r =
+  let tuples =
+    Tuple_set.fold
+      (fun t acc -> Tuple_set.add (Tuple.project positions t) acc)
+      r.tuples Tuple_set.empty
+  in
+  { arity = List.length positions; tuples }
+
+let select p r = filter p r
+
+let map_tuples f r =
+  fold (fun t acc -> add (f t) acc) r (empty r.arity)
+
+(* All values occurring in the relation: part of the active domain. *)
+let values r =
+  fold
+    (fun t acc -> Array.fold_left (fun acc v -> v :: acc) acc t)
+    r []
+  |> List.sort_uniq Value.compare
+
+let pp ppf r =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any "; ") Tuple.pp) (to_list r)
+
+let to_string r = Fmt.str "%a" pp r

@@ -1,0 +1,43 @@
+(** Finite relations: sets of tuples of a fixed arity.
+
+    These are the contents of local databases, message registers [Msg(q)] and
+    action registers [Act(q)] of an SWS (paper, Section 2). *)
+
+type t
+
+exception Arity_mismatch of string
+
+val empty : int -> t
+val is_empty : t -> bool
+val arity : t -> int
+val cardinal : t -> int
+val mem : Tuple.t -> t -> bool
+
+(** Raises {!Arity_mismatch} when the tuple arity differs. *)
+val add : Tuple.t -> t -> t
+
+val remove : Tuple.t -> t -> t
+val of_list : int -> Tuple.t list -> t
+val to_list : t -> Tuple.t list
+val singleton : Tuple.t -> t
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Tuple.t -> unit) -> t -> unit
+val filter : (Tuple.t -> bool) -> t -> t
+val exists : (Tuple.t -> bool) -> t -> bool
+val for_all : (Tuple.t -> bool) -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val subset : t -> t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val product : t -> t -> t
+val project : int list -> t -> t
+val select : (Tuple.t -> bool) -> t -> t
+val map_tuples : (Tuple.t -> Tuple.t) -> t -> t
+
+(** Sorted list of the distinct values occurring in the relation. *)
+val values : t -> Value.t list
+
+val pp : t Fmt.t
+val to_string : t -> string

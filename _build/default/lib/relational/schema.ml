@@ -1,0 +1,44 @@
+(* Relational schemas: a finite map from relation names to arities.  The paper
+   works with three schemas: R (local database), R_in (input messages, with a
+   timestamp attribute) and R_out (output actions). *)
+
+module Smap = Map.Make (String)
+
+type t = int Smap.t
+
+let empty = Smap.empty
+
+let add name arity schema =
+  if arity < 0 then invalid_arg "Schema.add: negative arity";
+  Smap.add name arity schema
+
+let of_list l = List.fold_left (fun s (n, a) -> add n a s) empty l
+
+let to_list s = Smap.bindings s
+
+let arity name s = Smap.find_opt name s
+
+let arity_exn name s =
+  match Smap.find_opt name s with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Schema: unknown relation %s" name)
+
+let mem name s = Smap.mem name s
+
+let names s = List.map fst (Smap.bindings s)
+
+let union a b =
+  Smap.union
+    (fun name x y ->
+      if x = y then Some x
+      else
+        invalid_arg
+          (Printf.sprintf "Schema.union: relation %s has arities %d and %d"
+             name x y))
+    a b
+
+let equal = Smap.equal Int.equal
+
+let pp ppf s =
+  let pp_one ppf (n, a) = Fmt.pf ppf "%s/%d" n a in
+  Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any "; ") pp_one) (to_list s)

@@ -1,0 +1,21 @@
+(** Relational schemas: finite maps from relation names to arities.
+
+    The paper uses three schemas: [R] (local database), [R_in] (input
+    messages, including a timestamp attribute) and [R_out] (actions). *)
+
+type t
+
+val empty : t
+val add : string -> int -> t -> t
+val of_list : (string * int) list -> t
+val to_list : t -> (string * int) list
+val arity : string -> t -> int option
+val arity_exn : string -> t -> int
+val mem : string -> t -> bool
+val names : t -> string list
+
+(** Union of two schemas; fails if a shared name has different arities. *)
+val union : t -> t -> t
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

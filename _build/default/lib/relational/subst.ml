@@ -1,0 +1,42 @@
+(* Substitutions mapping variable names to data values: the valuations found
+   when evaluating query bodies against a database. *)
+
+module Smap = Map.Make (String)
+
+type t = Value.t Smap.t
+
+let empty = Smap.empty
+
+let find x s = Smap.find_opt x s
+
+let bind x v s = Smap.add x v s
+
+let remove x s = Smap.remove x s
+
+let mem x s = Smap.mem x s
+
+let of_list l = List.fold_left (fun s (x, v) -> bind x v s) empty l
+
+let to_list s = Smap.bindings s
+
+(* Extend [s] with [x -> v]; [None] when [x] is already bound to a different
+   value.  This is the single point where join consistency is enforced. *)
+let extend x v s =
+  match Smap.find_opt x s with
+  | None -> Some (Smap.add x v s)
+  | Some v' -> if Value.equal v v' then Some s else None
+
+let apply_term s = function
+  | Term.Const v -> Some v
+  | Term.Var x -> find x s
+
+let apply_term_exn s t =
+  match apply_term s t with
+  | Some v -> v
+  | None -> invalid_arg "Subst.apply_term_exn: unbound variable"
+
+let equal = Smap.equal Value.equal
+
+let pp ppf s =
+  let pp_one ppf (x, v) = Fmt.pf ppf "%s:=%a" x Value.pp v in
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") pp_one) (to_list s)

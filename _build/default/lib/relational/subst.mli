@@ -1,0 +1,22 @@
+(** Substitutions from variable names to data values. *)
+
+type t
+
+val empty : t
+val find : string -> t -> Value.t option
+val bind : string -> Value.t -> t -> t
+val remove : string -> t -> t
+val mem : string -> t -> bool
+val of_list : (string * Value.t) list -> t
+val to_list : t -> (string * Value.t) list
+
+(** [extend x v s] is [Some] of [s] extended with [x -> v], or [None] when
+    [x] is already bound to a different value. *)
+val extend : string -> Value.t -> t -> t option
+
+(** [apply_term s t] evaluates [t] under [s]; [None] on an unbound variable. *)
+val apply_term : t -> Term.t -> Value.t option
+
+val apply_term_exn : t -> Term.t -> Value.t
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,31 @@
+(* Terms of query atoms: variables or constants from the data domain. *)
+
+type t =
+  | Var of string
+  | Const of Value.t
+
+let var x = Var x
+let const v = Const v
+let int i = Const (Value.int i)
+let str s = Const (Value.str s)
+
+let compare a b =
+  match a, b with
+  | Var x, Var y -> String.compare x y
+  | Const x, Const y -> Value.compare x y
+  | Var _, Const _ -> -1
+  | Const _, Var _ -> 1
+
+let equal a b = compare a b = 0
+
+let is_var = function Var _ -> true | Const _ -> false
+
+let pp ppf = function
+  | Var x -> Fmt.string ppf x
+  | Const v -> Fmt.pf ppf "'%a'" Value.pp v
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,19 @@
+(** Terms of query atoms: variables or constants. *)
+
+type t =
+  | Var of string
+  | Const of Value.t
+
+val var : string -> t
+val const : Value.t -> t
+
+(** [int i] and [str s] are constant-term shorthands. *)
+val int : int -> t
+
+val str : string -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_var : t -> bool
+val pp : t Fmt.t
+
+module Set : Set.S with type elt = t

@@ -1,0 +1,40 @@
+(* Tuples of data values.  Represented as immutable arrays; the comparison is
+   lexicographic so tuples can live in sets and maps. *)
+
+type t = Value.t array
+
+let arity = Array.length
+
+let of_list = Array.of_list
+let to_list = Array.to_list
+
+let make = Array.of_list
+
+let get = Array.get
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else
+    let rec go i =
+      if i = la then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let equal a b = compare a b = 0
+
+let append = Array.append
+
+let project positions t = Array.map (fun i -> t.(i)) (Array.of_list positions)
+
+let map = Array.map
+
+let exists = Array.exists
+
+let pp ppf t =
+  Fmt.pf ppf "(%a)" Fmt.(array ~sep:(any ", ") Value.pp) t
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,21 @@
+(** Tuples of data values, ordered lexicographically. *)
+
+type t = Value.t array
+
+val arity : t -> int
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+val make : Value.t list -> t
+val get : t -> int -> Value.t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val append : t -> t -> t
+
+(** [project positions t] keeps the components of [t] at the given 0-based
+    [positions], in order (positions may repeat). *)
+val project : int list -> t -> t
+
+val map : (Value.t -> Value.t) -> t -> t
+val exists : (Value.t -> bool) -> t -> bool
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,40 @@
+(* Data values from the infinite domain [D] of the paper (Section 2).
+   Databases, input messages and actions all range over this domain. *)
+
+type t =
+  | Int of int
+  | Str of string
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Int.compare x y
+  | Str x, Str y -> String.compare x y
+  | Int _, Str _ -> -1
+  | Str _, Int _ -> 1
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int x -> Hashtbl.hash (0, x)
+  | Str s -> Hashtbl.hash (1, s)
+
+let int i = Int i
+let str s = Str s
+
+let pp ppf = function
+  | Int i -> Fmt.int ppf i
+  | Str s -> Fmt.string ppf s
+
+let to_string v = Fmt.str "%a" pp v
+
+(* A supply of values guaranteed fresh w.r.t. any finite set: used to freeze
+   variables when building canonical databases. *)
+let fresh =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Str (Printf.sprintf "@f%d" !counter)
+
+let is_frozen = function
+  | Str s -> String.length s > 1 && s.[0] = '@'
+  | Int _ -> false

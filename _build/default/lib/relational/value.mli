@@ -1,0 +1,23 @@
+(** Data values from the infinite domain [D] of the paper (Section 2). *)
+
+type t =
+  | Int of int
+  | Str of string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val int : int -> t
+val str : string -> t
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+(** [fresh ()] returns a value distinct from every value returned so far and
+    from every "ordinary" value; used to freeze variables into labelled nulls
+    when building canonical databases. *)
+val fresh : unit -> t
+
+(** [is_frozen v] holds iff [v] was produced by {!fresh}. *)
+val is_frozen : t -> bool

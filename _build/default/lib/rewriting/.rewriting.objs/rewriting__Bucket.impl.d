@@ -1,0 +1,1 @@
+lib/rewriting/bucket.ml: Expand List Map Option Relational String View

@@ -1,0 +1,1 @@
+lib/rewriting/bucket.mli: Relational View

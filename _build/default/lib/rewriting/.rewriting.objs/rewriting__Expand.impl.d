@@ -1,0 +1,1 @@
+lib/rewriting/expand.ml: List Map Printf Relational String View

@@ -1,0 +1,1 @@
+lib/rewriting/expand.mli: Relational View

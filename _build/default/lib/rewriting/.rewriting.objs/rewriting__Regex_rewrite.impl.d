@@ -1,0 +1,1 @@
+lib/rewriting/regex_rewrite.ml: Automata Fun Hashtbl List Queue

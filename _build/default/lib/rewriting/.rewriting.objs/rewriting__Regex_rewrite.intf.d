@@ -1,0 +1,1 @@
+lib/rewriting/regex_rewrite.mli: Automata

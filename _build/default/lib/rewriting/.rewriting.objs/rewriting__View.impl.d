@@ -1,0 +1,1 @@
+lib/rewriting/view.ml: Datalog Fmt List Relational

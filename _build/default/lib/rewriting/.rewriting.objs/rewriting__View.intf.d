@@ -1,0 +1,1 @@
+lib/rewriting/view.mli: Datalog Fmt Relational

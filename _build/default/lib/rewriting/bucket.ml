@@ -1,0 +1,131 @@
+(* Equivalent and maximally-contained rewritings of UCQ(<>) queries using CQ
+   views, in the style of the bucket algorithm [23] with a completeness check
+   on top.  Theorem 5.1(3) reduces CP(SWS_nr(CQ,UCQ), MDT_nr(UCQ),
+   SWS_nr(CQ,UCQ)) to exactly this rewriting problem, with a small-model
+   bound on the rewriting size; [max_atoms] is that bound's knob.
+
+   The search: candidate view atoms for a disjunct q are images of view heads
+   under containment mappings of the view body into q's body; conjunctions of
+   candidates whose expansion is contained in the goal are sound; the union
+   of all sound conjunctions is the maximally-contained rewriting, and it is
+   an equivalent rewriting iff it also contains the goal. *)
+
+module Term = Relational.Term
+module Atom = Relational.Atom
+module Cq = Relational.Cq
+module Ucq = Relational.Ucq
+module Smap = Map.Make (String)
+
+(* All containment mappings (view variables -> goal terms) embedding the
+   atoms of [body] into atoms of [target]. *)
+let rec mappings env body target =
+  match body with
+  | [] -> [ env ]
+  | (va : Atom.t) :: rest ->
+    List.concat_map
+      (fun (qa : Atom.t) ->
+        if (not (String.equal va.rel qa.rel)) || Atom.arity va <> Atom.arity qa
+        then []
+        else
+          let rec unify env vs qs =
+            match vs, qs with
+            | [], [] -> Some env
+            | v :: vs, q :: qs -> (
+              match v with
+              | Term.Const c -> (
+                match q with
+                | Term.Const c' when Relational.Value.equal c c' ->
+                  unify env vs qs
+                | _ -> None)
+              | Term.Var x -> (
+                match Smap.find_opt x env with
+                | Some t when Term.equal t q -> unify env vs qs
+                | Some _ -> None
+                | None -> unify (Smap.add x q env) vs qs))
+            | _ -> None
+          in
+          match unify env va.args qa.args with
+          | Some env -> mappings env rest target
+          | None -> [])
+      target
+
+(* Candidate view atoms for one goal disjunct. *)
+let candidates views (q : Cq.t) =
+  List.concat_map
+    (fun v ->
+      let defn = View.definition v in
+      List.filter_map
+        (fun env ->
+          let arg x =
+            match Smap.find_opt x env with
+            | Some t -> Some t
+            | None -> None
+          in
+          let args = List.map arg (View.head_vars v) in
+          if List.for_all Option.is_some args then
+            Some (Atom.make (View.name v) (List.map Option.get args))
+          else None)
+        (mappings Smap.empty defn.Cq.body q.Cq.body))
+    views
+  |> List.sort_uniq Atom.compare
+
+let rec combinations k items =
+  if k = 0 then [ [] ]
+  else
+    match items with
+    | [] -> []
+    | x :: rest ->
+      List.map (fun c -> x :: c) (combinations (k - 1) rest)
+      @ combinations k rest
+
+let conjunctions_up_to max_atoms items =
+  List.concat_map (fun k -> combinations k items) (List.init max_atoms (fun i -> i + 1))
+
+(* Conjunctive rewriting candidates for a disjunct: conjunctions of candidate
+   atoms carrying over the goal head and inequalities (when still safe). *)
+let conjunctive_candidates ?(max_atoms = 3) views (q : Cq.t) =
+  let atoms = candidates views q in
+  List.filter_map
+    (fun body ->
+      match Cq.make ~neqs:q.Cq.neqs ~head:q.Cq.head ~body () with
+      | r -> Some r
+      | exception Cq.Unsafe _ -> None)
+    (conjunctions_up_to max_atoms atoms)
+
+(* Sound candidates: those whose expansion is contained in the goal. *)
+let sound_candidates ?max_atoms views goal =
+  List.concat_map
+    (fun q ->
+      List.filter
+        (fun r ->
+          match Expand.expand_cq views r with
+          | e -> Cq.contained_in_many e (Ucq.disjuncts goal)
+          | exception Cq.Unsafe _ -> false)
+        (conjunctive_candidates ?max_atoms views q))
+    (Ucq.disjuncts goal)
+  |> List.sort_uniq compare
+
+(* The union of all sound candidates: contained in the goal by construction,
+   and maximal among rewritings of at most [max_atoms] view atoms per
+   disjunct. *)
+let maximally_contained ?max_atoms views goal =
+  match sound_candidates ?max_atoms views goal with
+  | [] -> Ucq.make_empty (Ucq.arity goal)
+  | cs -> Ucq.make cs
+
+type result =
+  | Equivalent of Relational.Ucq.t
+  | Only_contained of Relational.Ucq.t
+  | No_rewriting
+
+(* Equivalent rewriting: the maximally-contained rewriting is equivalent iff
+   it also contains the goal; no rewriting of bounded size exists otherwise.
+   (The paper's small-model property makes this complete once [max_atoms]
+   reaches the bound.) *)
+let equivalent_rewriting ?max_atoms views goal =
+  let mc = maximally_contained ?max_atoms views goal in
+  if Ucq.disjuncts mc = [] then No_rewriting
+  else
+    let expansion = Expand.expand_ucq views mc in
+    if Ucq.contained_in goal expansion then Equivalent (Ucq.minimize mc)
+    else Only_contained (Ucq.minimize mc)

@@ -1,0 +1,28 @@
+(** Equivalent and maximally-contained rewritings of UCQ(<>) queries using
+    CQ views, bucket-style [23]: candidate view atoms arise from
+    containment mappings of view bodies into goal disjuncts; the union of
+    all sound candidate conjunctions is maximally contained, and it is an
+    equivalent rewriting iff it also contains the goal.  [max_atoms] plays
+    the small-model bound of Theorem 5.1(3). *)
+
+(** Candidate view atoms for one goal disjunct. *)
+val candidates : View.t list -> Relational.Cq.t -> Relational.Atom.t list
+
+val conjunctive_candidates :
+  ?max_atoms:int -> View.t list -> Relational.Cq.t -> Relational.Cq.t list
+
+(** Candidates whose expansion is contained in the goal. *)
+val sound_candidates :
+  ?max_atoms:int -> View.t list -> Relational.Ucq.t -> Relational.Cq.t list
+
+(** The union of all sound candidates (empty union when there are none). *)
+val maximally_contained :
+  ?max_atoms:int -> View.t list -> Relational.Ucq.t -> Relational.Ucq.t
+
+type result =
+  | Equivalent of Relational.Ucq.t
+  | Only_contained of Relational.Ucq.t
+  | No_rewriting
+
+val equivalent_rewriting :
+  ?max_atoms:int -> View.t list -> Relational.Ucq.t -> result

@@ -1,0 +1,50 @@
+(* Expansion of rewritings: replace each view atom by a freshly renamed copy
+   of the view's definition body, identifying the definition's head variables
+   with the atom's arguments.  The expansion of a rewriting is what must be
+   equivalent to the goal query (Section 5.2). *)
+
+module Term = Relational.Term
+module Atom = Relational.Atom
+module Cq = Relational.Cq
+module Ucq = Relational.Ucq
+module Smap = Map.Make (String)
+
+exception Unknown_view of string
+
+let find_view views name =
+  match List.find_opt (fun v -> View.name v = name) views with
+  | Some v -> v
+  | None -> raise (Unknown_view name)
+
+(* Expand one view atom, using [index] to freshen existential variables. *)
+let expand_atom views index (a : Atom.t) =
+  let v = find_view views a.rel in
+  let defn = View.definition v in
+  if List.length a.args <> Cq.head_arity defn then
+    invalid_arg (Printf.sprintf "Expand: arity mismatch on view %s" a.rel);
+  let head_vars = View.head_vars v in
+  let head_subst =
+    List.fold_left2 (fun m x t -> Smap.add x t m) Smap.empty head_vars a.args
+  in
+  let freshen x =
+    match Smap.find_opt x head_subst with
+    | Some t -> t
+    | None -> Term.var (Printf.sprintf "@e%d_%s" index x)
+  in
+  let on_term = function
+    | Term.Var x -> freshen x
+    | Term.Const _ as t -> t
+  in
+  let body = List.map (Atom.map_terms on_term) defn.Cq.body in
+  let neqs = List.map (fun (s, t) -> (on_term s, on_term t)) defn.Cq.neqs in
+  (body, neqs)
+
+(* Expansion of a conjunctive rewriting (a CQ over the view vocabulary). *)
+let expand_cq views (r : Cq.t) =
+  let parts = List.mapi (fun i a -> expand_atom views i a) r.Cq.body in
+  let body = List.concat_map fst parts in
+  let neqs = r.Cq.neqs @ List.concat_map snd parts in
+  Cq.make ~neqs ~head:r.Cq.head ~body ()
+
+(* Expansion of a UCQ rewriting. *)
+let expand_ucq views r = Ucq.make (List.map (expand_cq views) (Ucq.disjuncts r))

@@ -1,0 +1,13 @@
+(** Expansion of rewritings: replace view atoms by freshly renamed copies
+    of the view definitions.  The expansion is what must be equivalent to
+    the goal query (Section 5.2). *)
+
+exception Unknown_view of string
+
+val find_view : View.t list -> string -> View.t
+
+(** Expand one conjunctive rewriting (a CQ over the view vocabulary) into
+    a CQ over the base vocabulary. *)
+val expand_cq : View.t list -> Relational.Cq.t -> Relational.Cq.t
+
+val expand_ucq : View.t list -> Relational.Ucq.t -> Relational.Ucq.t

@@ -1,0 +1,45 @@
+(* CQ view definitions for answering-queries-using-views, the machinery the
+   paper connects composition synthesis to (Section 5.2): component services
+   play the role of views, mediators the role of rewritings. *)
+
+module Term = Relational.Term
+module Cq = Relational.Cq
+module Schema = Relational.Schema
+module Database = Relational.Database
+
+type t = {
+  name : string;
+  definition : Cq.t; (* over the base schema; head terms must be variables *)
+}
+
+let make name definition =
+  List.iter
+    (function
+      | Term.Var _ -> ()
+      | Term.Const _ -> invalid_arg "View.make: constant in view head")
+    definition.Cq.head;
+  { name; definition }
+
+let name v = v.name
+let definition v = v.definition
+let arity v = Cq.head_arity v.definition
+
+let head_vars v =
+  List.filter_map
+    (function Term.Var x -> Some x | Term.Const _ -> None)
+    v.definition.Cq.head
+
+(* Schema of the view vocabulary. *)
+let schema views =
+  List.fold_left (fun s v -> Schema.add v.name (arity v) s) Schema.empty views
+
+(* Materialize all views over a base database. *)
+let materialize views base =
+  List.fold_left
+    (fun db v -> Database.set v.name (Cq.eval v.definition base) db)
+    (Database.empty (schema views))
+    views
+
+let to_inverse_view v = Datalog.Inverse_rules.view v.name v.definition
+
+let pp ppf v = Fmt.pf ppf "%s := %a" v.name Cq.pp v.definition

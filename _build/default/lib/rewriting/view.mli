@@ -1,0 +1,22 @@
+(** CQ view definitions for answering queries using views — the machinery
+    composition synthesis reduces to (Section 5.2): components play views,
+    mediators play rewritings. *)
+
+type t
+
+(** Head terms must be variables. *)
+val make : string -> Relational.Cq.t -> t
+
+val name : t -> string
+val definition : t -> Relational.Cq.t
+val arity : t -> int
+val head_vars : t -> string list
+
+(** Schema of the view vocabulary. *)
+val schema : t list -> Relational.Schema.t
+
+(** Materialize every view over a base database. *)
+val materialize : t list -> Relational.Database.t -> Relational.Database.t
+
+val to_inverse_view : t -> Datalog.Inverse_rules.view
+val pp : t Fmt.t

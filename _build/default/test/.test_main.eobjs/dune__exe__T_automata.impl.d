@@ -1,0 +1,1 @@
+test/t_automata.ml: Alcotest Automata Bool List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/t_compose.ml: Alcotest Automata Compose Decision Fmt List Mediator Printf Proplogic QCheck QCheck_alcotest Random Reductions Relational Rewriting String Sws Sws_data Sws_def Sws_pl

@@ -1,0 +1,1 @@
+test/t_datalog.ml: Alcotest Datalog List QCheck QCheck_alcotest Random Relational

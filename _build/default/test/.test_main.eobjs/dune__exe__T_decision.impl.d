@@ -1,0 +1,1 @@
+test/t_decision.ml: Alcotest Decision List Printf Proplogic QCheck QCheck_alcotest Random Reductions Relational Sws Sws_data Sws_def Sws_pl

@@ -1,0 +1,1 @@
+test/t_edge.ml: Alcotest Automata Fmt List Peer Printf Proplogic QCheck QCheck_alcotest Random Reductions Relational Sws Sws_data Sws_def Sws_pl

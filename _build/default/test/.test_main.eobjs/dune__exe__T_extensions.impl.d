@@ -1,0 +1,1 @@
+test/t_extensions.ml: Aggregate Alcotest Guarded List Printf QCheck QCheck_alcotest Random Relational Sws Sws_data Travel

@@ -1,0 +1,1 @@
+test/t_graphdb.ml: Alcotest Automata Graphdb List Relational

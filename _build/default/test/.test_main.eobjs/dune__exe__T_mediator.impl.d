@@ -1,0 +1,1 @@
+test/t_mediator.ml: Alcotest Compose List Mediator Printf Relational Sws Sws_data Sws_def

@@ -1,0 +1,1 @@
+test/t_more.ml: Aggregate Alcotest Automata Compose Decision List Mediator Proplogic Reductions Relational Sws Sws_data Sws_def Sws_pl Travel

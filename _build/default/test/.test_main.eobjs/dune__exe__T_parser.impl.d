@@ -1,0 +1,1 @@
+test/t_parser.ml: Alcotest Bool Decision List Printf Proplogic QCheck QCheck_alcotest Random Sws Sws_def Sws_parser Sws_pl

@@ -1,0 +1,1 @@
+test/t_peer.ml: Alcotest List Peer Printf QCheck QCheck_alcotest Relational Sws Sws_data

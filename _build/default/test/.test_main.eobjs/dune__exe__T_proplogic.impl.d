@@ -1,0 +1,1 @@
+test/t_proplogic.ml: Alcotest Bool List Option Proplogic QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/t_reductions.ml: Alcotest Automata Bool Decision Fmt List Printf Proplogic QCheck QCheck_alcotest Random Reductions Relational Sws Sws_pl

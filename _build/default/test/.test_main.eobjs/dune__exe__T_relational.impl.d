@@ -1,0 +1,1 @@
+test/t_relational.ml: Alcotest List Printf QCheck QCheck_alcotest Random Relational

@@ -1,0 +1,1 @@
+test/t_rewriting.ml: Alcotest Automata List QCheck QCheck_alcotest Relational Rewriting

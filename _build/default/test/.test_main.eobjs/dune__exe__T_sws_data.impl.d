@@ -1,0 +1,1 @@
+test/t_sws_data.ml: Alcotest List Random Relational Sws Sws_data Sws_def Unfold

@@ -1,0 +1,1 @@
+test/t_sws_pl.ml: Alcotest Automata Bool Fmt Fun List Option Proplogic QCheck QCheck_alcotest Relational Roman Sws Sws_data Sws_def Sws_pl

@@ -1,0 +1,1 @@
+test/t_travel.ml: Alcotest List Relational Sws Sws_data Travel

@@ -1,0 +1,162 @@
+(* Tests for the automata substrate: regexes, NFA/DFA constructions and
+   decision procedures, and alternating automata. *)
+
+module Regex = Automata.Regex
+module Nfa = Automata.Nfa
+module Dfa = Automata.Dfa
+module Afa = Automata.Afa
+module Word_gen = Automata.Word_gen
+
+let check = Alcotest.(check bool)
+
+let nfa_of s = Nfa.of_regex ~alphabet_size:3 (Regex.parse s)
+
+let all_words n = Word_gen.words_up_to ~alphabet_size:3 n
+
+let test_regex_parse () =
+  check "matches" true (Regex.matches (Regex.parse "(ab)*c") [ 0; 1; 0; 1; 2 ]);
+  check "no match" false (Regex.matches (Regex.parse "(ab)*c") [ 0; 1; 0 ]);
+  check "alt" true (Regex.matches (Regex.parse "a|b") [ 1 ]);
+  check "plus" false (Regex.matches (Regex.parse "a+") []);
+  check "opt" true (Regex.matches (Regex.parse "a?") []);
+  check "empty lang" false (Regex.matches (Regex.parse "0") []);
+  check "eps" true (Regex.matches (Regex.parse "1") []);
+  Alcotest.check_raises "unbalanced" (Regex.Parse_error "expected ')'")
+    (fun () -> ignore (Regex.parse "(ab"))
+
+(* Thompson NFA agrees with the Brzozowski-derivative matcher. *)
+let prop_nfa_matches_derivative =
+  let gen = QCheck.Gen.oneofl [ "(ab)*c"; "a|bc"; "(a|b)*"; "ab+c?"; "((a|b)c)*"; "a*b*c*" ] in
+  QCheck.Test.make ~count:30 ~name:"thompson nfa = derivative matcher"
+    (QCheck.make gen)
+    (fun s ->
+      let r = Regex.parse s in
+      let nfa = Nfa.of_regex ~alphabet_size:3 r in
+      List.for_all (fun w -> Bool.equal (Regex.matches r w) (Nfa.accepts nfa w)) (all_words 5))
+
+let test_subset_construction () =
+  let nfa = nfa_of "(a|b)*abb" in
+  let dfa = Dfa.of_nfa nfa in
+  List.iter
+    (fun w -> check "dfa = nfa" (Nfa.accepts nfa w) (Dfa.accepts dfa w))
+    (all_words 6)
+
+let test_minimize () =
+  let dfa = Dfa.of_nfa (nfa_of "(a|b)*abb") in
+  let m = Dfa.minimize dfa in
+  check "minimized equivalent" true (Dfa.equivalent dfa m);
+  check "minimized smaller or equal" true (Dfa.num_states m <= Dfa.num_states dfa);
+  (* the canonical (a|b)*abb minimal DFA has 4 states, plus the dead state
+     absorbing the unused third letter of our alphabet *)
+  Alcotest.(check int) "5 states" 5 (Dfa.num_states m)
+
+let test_boolean_ops () =
+  let d1 = Dfa.of_nfa (nfa_of "a*") and d2 = Dfa.of_nfa (nfa_of "(aa)*") in
+  check "inter = (aa)*" true (Dfa.equivalent (Dfa.inter d1 d2) d2);
+  check "union = a*" true (Dfa.equivalent (Dfa.union d1 d2) d1);
+  check "d2 <= d1" true (Dfa.contains d1 d2);
+  check "not d1 <= d2" false (Dfa.contains d2 d1);
+  let odd_a = Dfa.diff d1 d2 in
+  check "a in diff" true (Dfa.accepts odd_a [ 0 ]);
+  check "aa not in diff" false (Dfa.accepts odd_a [ 0; 0 ])
+
+let test_witness_words () =
+  let d = Dfa.of_nfa (nfa_of "ab(a|b)") in
+  (match Dfa.shortest_word d with
+  | Some w ->
+    check "witness accepted" true (Dfa.accepts d w);
+    Alcotest.(check int) "length 3" 3 (List.length w)
+  | None -> Alcotest.fail "expected a witness");
+  check "distinguishing exists" true
+    (Option.is_some
+       (Dfa.distinguishing_word (Dfa.of_nfa (nfa_of "a")) (Dfa.of_nfa (nfa_of "b"))))
+
+let test_nfa_ops () =
+  let u = Nfa.union (nfa_of "ab") (nfa_of "ba") in
+  check "union l" true (Nfa.accepts u [ 0; 1 ]);
+  check "union r" true (Nfa.accepts u [ 1; 0 ]);
+  check "union no" false (Nfa.accepts u [ 0; 0 ]);
+  let c = Nfa.concat (nfa_of "a*") (nfa_of "b") in
+  check "concat" true (Nfa.accepts c [ 0; 0; 1 ]);
+  check "concat no" false (Nfa.accepts c [ 0; 0 ]);
+  let r = Nfa.reverse (nfa_of "ab") in
+  check "reverse" true (Nfa.accepts r [ 1; 0 ]);
+  let i = Nfa.inter (nfa_of "a*b*") (nfa_of "(ab)*") in
+  (* intersection: eps and ab *)
+  check "inter eps" true (Nfa.accepts i []);
+  check "inter ab" true (Nfa.accepts i [ 0; 1 ]);
+  check "inter abab" false (Nfa.accepts i [ 0; 1; 0; 1 ]);
+  check "inter empty check" false (Nfa.is_empty i)
+
+(* AFA: intersection is expressible with a conjunction of two states. *)
+let test_afa_conjunction () =
+  (* state 0: start; delta(0, a) = 1 /\ 2 where state 1 tracks "ends after
+     even count of a" and 2 tracks "saw no b"... keep it simple: start goes
+     to (1 and 2); 1 accepts exactly "a"; 2 accepts exactly "a". *)
+  let delta =
+    [|
+      [| Afa.Fand (Afa.State 1, Afa.State 2); Afa.Ffalse |];
+      [| Afa.State 3; Afa.Ffalse |];
+      [| Afa.State 3; Afa.Ffalse |];
+      [| Afa.Ffalse; Afa.Ffalse |];
+    |]
+  in
+  let afa = Afa.create ~alphabet_size:2 ~start:0 ~finals:[ 3 ] ~delta in
+  check "aa accepted" true (Afa.accepts afa [ 0; 0 ]);
+  check "a rejected" false (Afa.accepts afa [ 0 ]);
+  check "ab rejected" false (Afa.accepts afa [ 0; 1 ])
+
+(* AFA with negation: a single self-negating state accepts exactly the
+   even-length words (v_{aw}(s) = ~v_w(s), v_eps(s) = true). *)
+let test_afa_negation () =
+  let delta = [| [| Afa.Fnot (Afa.State 0) |] |] in
+  let afa = Afa.create ~alphabet_size:1 ~start:0 ~finals:[ 0 ] ~delta in
+  check "eps accepted" true (Afa.accepts afa []);
+  check "odd rejected" false (Afa.accepts afa [ 0 ]);
+  check "even accepted" true (Afa.accepts afa [ 0; 0 ]);
+  check "nonempty" false (Afa.is_empty afa);
+  (* the NFA translation preserves the (non-monotone) language *)
+  let nfa = Afa.to_nfa afa in
+  List.iter
+    (fun w ->
+      check "to_nfa agrees" (Afa.accepts afa w) (Automata.Nfa.accepts nfa w))
+    (Word_gen.words_up_to ~alphabet_size:1 6)
+
+let prop_afa_nfa_roundtrip =
+  let gen = QCheck.Gen.oneofl [ "(ab)*"; "a|b"; "a*b"; "(a|b)*a"; "ab|ba" ] in
+  QCheck.Test.make ~count:20 ~name:"afa of_nfa/to_nfa preserves language"
+    (QCheck.make gen)
+    (fun s ->
+      let nfa = Nfa.of_regex ~alphabet_size:2 (Regex.parse s) in
+      let afa = Afa.of_nfa nfa in
+      let back = Afa.to_nfa afa in
+      List.for_all
+        (fun w ->
+          let d = Nfa.accepts nfa w in
+          Bool.equal d (Afa.accepts afa w) && Bool.equal d (Nfa.accepts back w))
+        (Word_gen.words_up_to ~alphabet_size:2 5))
+
+let test_afa_emptiness_witness () =
+  let nfa = nfa_of "ab*c" in
+  let afa = Afa.of_nfa nfa in
+  check "nonempty" false (Afa.is_empty afa);
+  match Afa.shortest_word afa with
+  | Some w ->
+    check "witness accepted" true (Nfa.accepts nfa w);
+    Alcotest.(check int) "shortest is ac" 2 (List.length w)
+  | None -> Alcotest.fail "expected witness"
+
+let suite =
+  [
+    Alcotest.test_case "regex parse" `Quick test_regex_parse;
+    QCheck_alcotest.to_alcotest prop_nfa_matches_derivative;
+    Alcotest.test_case "subset construction" `Quick test_subset_construction;
+    Alcotest.test_case "minimize" `Quick test_minimize;
+    Alcotest.test_case "boolean ops" `Quick test_boolean_ops;
+    Alcotest.test_case "witness words" `Quick test_witness_words;
+    Alcotest.test_case "nfa ops" `Quick test_nfa_ops;
+    Alcotest.test_case "afa conjunction" `Quick test_afa_conjunction;
+    Alcotest.test_case "afa negation" `Quick test_afa_negation;
+    QCheck_alcotest.to_alcotest prop_afa_nfa_roundtrip;
+    Alcotest.test_case "afa emptiness witness" `Quick test_afa_emptiness_witness;
+  ]

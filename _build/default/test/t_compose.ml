@@ -1,0 +1,290 @@
+(* Tests for composition synthesis (Section 5): the language-level PL
+   cases (MDT(∨) via regular rewriting, MDT_b via bounded boolean plans,
+   k-prefix recognizability) and the CQ/UCQ case via query rewriting. *)
+
+module R = Relational
+module Term = R.Term
+module Atom = R.Atom
+module Relation = R.Relation
+module Regex = Automata.Regex
+module Nfa = Automata.Nfa
+module Dfa = Automata.Dfa
+module Word_gen = Automata.Word_gen
+open Sws
+
+let check = Alcotest.(check bool)
+let nfa s = Nfa.of_regex ~alphabet_size:2 (Regex.parse s)
+
+(* ------------------------------------------------------------------ *)
+(* k-prefix recognizability                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_k_prefix_bound () =
+  (* membership decided by the first symbol: a(a|b)* *)
+  let d1 = Dfa.of_nfa (nfa "a(a|b)*") in
+  Alcotest.(check (option int)) "k = 1" (Some 1) (Compose.k_prefix_bound d1);
+  (* decided by the first two symbols *)
+  let d2 = Dfa.of_nfa (nfa "ab(a|b)*") in
+  Alcotest.(check (option int)) "k = 2" (Some 2) (Compose.k_prefix_bound d2);
+  (* everything: k = 0 *)
+  let d0 = Dfa.of_nfa (nfa "(a|b)*") in
+  Alcotest.(check (option int)) "k = 0" (Some 0) (Compose.k_prefix_bound d0);
+  (* parity of b's: never prefix-recognizable *)
+  let dp = Dfa.of_nfa (nfa "a*(ba*ba*)*") in
+  Alcotest.(check (option int)) "no k" None (Compose.k_prefix_bound dp)
+
+(* Nonrecursive PL services define k-prefix recognizable languages
+   (Theorem 5.1(4)): depth bounds k. *)
+let test_nr_service_prefix_recognizable () =
+  let sws = Reductions.sws_of_sat (Proplogic.Prop.var "x") in
+  let dfa = Dfa.of_nfa (Compose.pl_language_nfa sws) in
+  match Compose.k_prefix_bound dfa with
+  | Some k -> check "k bounded by depth+1" true (k <= 1)
+  | None -> Alcotest.fail "nonrecursive service must be prefix-recognizable"
+
+(* ------------------------------------------------------------------ *)
+(* Minimal-prefix component languages                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_minimal_prefix () =
+  let m = Compose.minimal_prefix_nfa (nfa "a|ab") in
+  check "a kept" true (Nfa.accepts m [ 0 ]);
+  check "ab dropped (a is a prefix)" false (Nfa.accepts m [ 0; 1 ]);
+  let m2 = Compose.minimal_prefix_nfa (nfa "a*b") in
+  check "b kept" true (Nfa.accepts m2 [ 1 ]);
+  check "ab kept (no accepted prefix)" true (Nfa.accepts m2 [ 0; 1 ])
+
+(* ------------------------------------------------------------------ *)
+(* MDT(∨): synthesis via regular rewriting                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_compose_or_exact () =
+  (* goal (ab)* from component ab *)
+  match Compose.compose_nfa_or ~goal:(nfa "(ab)*") ~components:[ ("c_ab", nfa "ab") ] with
+  | Some { Compose.exact = true; mediator; _ } ->
+    check "mediator accepts V*" true
+      (List.for_all (fun k -> Dfa.accepts mediator (List.init k (fun _ -> 0))) [ 0; 1; 2; 3 ])
+  | _ -> Alcotest.fail "expected an exact composition"
+
+let test_compose_or_two_components () =
+  (* goal (ab|ba)*: needs both components *)
+  match
+    Compose.compose_nfa_or ~goal:(nfa "(ab|ba)*")
+      ~components:[ ("c_ab", nfa "ab"); ("c_ba", nfa "ba") ]
+  with
+  | Some { Compose.exact = true; mediator; _ } ->
+    check "mixed plan accepted" true (Dfa.accepts mediator [ 0; 1; 0 ])
+  | _ -> Alcotest.fail "expected an exact composition"
+
+let test_compose_or_impossible () =
+  (* goal requires the letter b; only an a-component available *)
+  match Compose.compose_nfa_or ~goal:(nfa "ab") ~components:[ ("c_a", nfa "a") ] with
+  | None -> ()
+  | Some { Compose.exact; _ } -> check "not exact" false exact
+
+(* PL goal service end-to-end: the sequential check "x in the first
+   message, then y in the second" composed from two one-step checkers
+   (the Figure 1(a)-style decomposition). *)
+let test_compose_or_pl_goal () =
+  let module Prop = Proplogic.Prop in
+  let goal =
+    Sws_pl.make ~input_vars:[ "x"; "y" ] ~start:"q0"
+      ~rules:
+        [
+          ( "q0",
+            { Sws_def.succs = [ ("q1", Prop.var "x") ]; synth = Prop.var "act1" } );
+          ("q1", { Sws_def.succs = []; synth = Prop.var "y" });
+        ]
+  in
+  let check_first var =
+    Sws_pl.make ~input_vars:[ "x"; "y" ] ~start:"q0"
+      ~rules:[ ("q0", { Sws_def.succs = []; synth = Prop.var var }) ]
+  in
+  match
+    Compose.compose_pl_or ~goal
+      ~components:[ ("check_x", check_first "x"); ("check_y", check_first "y") ]
+  with
+  | Some { Compose.exact = true; mediator; _ } ->
+    (* the mediator must be check_x then check_y: word [0; 1] *)
+    check "x;y plan" true (Dfa.accepts mediator [ 0; 1 ]);
+    check "not y;x" false (Dfa.accepts mediator [ 1; 0 ])
+  | Some { Compose.exact = false; _ } -> Alcotest.fail "expected exactness"
+  | None -> Alcotest.fail "expected a composition"
+
+(* ------------------------------------------------------------------ *)
+(* MDT_b(PL): bounded boolean plans                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_compose_mdtb () =
+  (* goal = ab followed by ba *)
+  (match
+     Compose.compose_mdtb ~goal:(nfa "abba")
+       ~components:[ ("c_ab", nfa "ab"); ("c_ba", nfa "ba") ]
+       ~bound:2
+   with
+  | Compose.Found plan ->
+    check "chain found" true
+      (String.length (Fmt.str "%a" Compose.pp_plan plan) > 0)
+  | Compose.No_mediator_within_bound -> Alcotest.fail "expected a chain plan");
+  (* goal needing intersection: words in both a(a|b) and (a|b)a = aa *)
+  (match
+     Compose.compose_mdtb ~goal:(nfa "aa")
+       ~components:[ ("c1", nfa "a(a|b)"); ("c2", nfa "(a|b)a") ]
+       ~bound:1
+   with
+  | Compose.Found _ -> ()
+  | Compose.No_mediator_within_bound -> Alcotest.fail "expected a boolean plan");
+  (* impossible within the bound *)
+  match
+    Compose.compose_mdtb ~goal:(nfa "ababab")
+      ~components:[ ("c_ab", nfa "ab") ]
+      ~bound:2
+  with
+  | Compose.No_mediator_within_bound -> ()
+  | Compose.Found _ -> Alcotest.fail "three invocations cannot fit in bound 2"
+
+(* ------------------------------------------------------------------ *)
+(* CQ/UCQ composition via view rewriting                                *)
+(* ------------------------------------------------------------------ *)
+
+let v = Term.var
+let cq ?eqs ?neqs head body = R.Cq.make ?eqs ?neqs ~head ~body ()
+
+let db_schema = R.Schema.of_list [ ("r", 2); ("s", 2) ]
+
+let test_compose_cq () =
+  let goal =
+    R.Ucq.of_cq
+      (cq [ v "a"; v "c" ] [ Atom.make "r" [ v "a"; v "b" ]; Atom.make "s" [ v "b"; v "c" ] ])
+  in
+  let components =
+    [
+      ("vr", cq [ v "x"; v "y" ] [ Atom.make "r" [ v "x"; v "y" ] ]);
+      ("vs", cq [ v "x"; v "y" ] [ Atom.make "s" [ v "x"; v "y" ] ]);
+    ]
+  in
+  match Compose.compose_cq ~db_schema ~components goal with
+  | Compose.Cq_composed { rewriting; mediator_ops } ->
+    check "rewriting expands to goal" true
+      (R.Ucq.equivalent
+         (Rewriting.Expand.expand_ucq
+            (List.map (fun (n, q) -> Rewriting.View.make n q) components)
+            rewriting)
+         goal);
+    (* the reified mediators jointly agree with a goal query service *)
+    let goal_svc = Compose.query_service ~db_schema (List.hd (R.Ucq.disjuncts goal)) in
+    List.iter
+      (fun m ->
+        match Mediator.equiv_check ~samples:100 ~goal:goal_svc m with
+        | Mediator.Agree_on_samples _ -> ()
+        | Mediator.Differ _ -> Alcotest.fail "reified mediator differs from goal")
+      mediator_ops
+  | _ -> Alcotest.fail "expected a composition"
+
+let test_compose_cq_impossible () =
+  (* the goal projects r's first column; only s is available *)
+  let goal = R.Ucq.of_cq (cq [ v "x" ] [ Atom.make "r" [ v "x"; v "y" ] ]) in
+  let components = [ ("vs", cq [ v "x"; v "y" ] [ Atom.make "s" [ v "x"; v "y" ] ]) ] in
+  match Compose.compose_cq ~db_schema ~components goal with
+  | Compose.Cq_no_mediator -> ()
+  | _ -> Alcotest.fail "no mediator can exist"
+
+(* ------------------------------------------------------------------ *)
+(* Bounded search for the undecidable rows                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bounded_search () =
+  let svc_r =
+    Compose.query_service ~db_schema (cq [ v "x"; v "y" ] [ Atom.make "r" [ v "x"; v "y" ] ])
+  in
+  let goal = svc_r in
+  match
+    Compose.compose_bounded_search ~db_schema ~goal
+      ~components:[ ("vr", svc_r) ] ()
+  with
+  | Compose.Candidate _ -> ()
+  | Compose.None_within_bound -> Alcotest.fail "identity composition exists"
+
+(* Soundness property: every plan of a synthesized MDT(∨) mediator expands
+   inside the goal, and when the result is exact the expansion covers it. *)
+let prop_compose_or_sound =
+  let cases =
+    [
+      ("(ab)*", [ "ab" ]);
+      ("(ab|ba)*", [ "ab"; "ba" ]);
+      ("a(a|b)*", [ "a"; "b" ]);
+      ("abab", [ "ab" ]);
+      ("ab|ba", [ "ab" ]);
+    ]
+  in
+  QCheck.Test.make ~count:20 ~name:"MDT(or) synthesis is sound and tight"
+    (QCheck.make (QCheck.Gen.oneofl cases))
+    (fun (goal_s, views_s) ->
+      let goal = nfa goal_s in
+      let components = List.mapi (fun i s -> (Printf.sprintf "c%d" i, nfa s)) views_s in
+      match Compose.compose_nfa_or ~goal ~components with
+      | None -> true
+      | Some { Compose.mediator; exact; _ } ->
+        let views = List.map (fun (_, n) -> Compose.minimal_prefix_nfa n) components in
+        let e = Rewriting.Regex_rewrite.expansion ~views mediator in
+        let sound = Dfa.nfa_contains goal e in
+        let tight = (not exact) || Dfa.nfa_contains e goal in
+        sound && tight)
+
+(* Witness validity: non-emptiness witnesses of random tree-shaped CQ/UCQ
+   services really drive the service to the reported output tuple. *)
+let prop_cq_witness_valid =
+  let v = R.Term.var in
+  let cqm ?eqs ?neqs head body = R.Cq.make ?eqs ?neqs ~head ~body () in
+  QCheck.Test.make ~count:25 ~name:"cq non-emptiness witnesses replay"
+    (QCheck.make (QCheck.Gen.int_bound 100000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let depth = 1 + Random.State.int rng 3 in
+      let phi = Sws_data.Q_cq (cqm [ v "x" ] [ Atom.make "in" [ v "x" ] ]) in
+      let leaf =
+        Sws_data.Q_cq
+          (cqm [ v "x"; v "y" ]
+             [ Atom.make "msg" [ v "x" ]; Atom.make "r" [ v "x"; v "y" ] ])
+      in
+      let union2 =
+        Sws_data.Q_ucq
+          (R.Ucq.make
+             [
+               cqm [ v "x"; v "y" ] [ Atom.make "act1" [ v "x"; v "y" ] ];
+               cqm [ v "x"; v "y" ] [ Atom.make "act2" [ v "x"; v "y" ] ];
+             ])
+      in
+      let rec rules level =
+        let name = Printf.sprintf "n%d" level in
+        if level = depth then [ (name, { Sws_def.succs = []; synth = leaf }) ]
+        else
+          let child = Printf.sprintf "n%d" (level + 1) in
+          (name, { Sws_def.succs = [ (child, phi); (child, phi) ]; synth = union2 })
+          :: rules (level + 1)
+      in
+      let svc =
+        Sws_data.make ~db_schema:(R.Schema.of_list [ ("r", 2) ]) ~in_arity:1
+          ~out_arity:2 ~start:"n0" ~rules:(rules 0)
+      in
+      match Decision.cq_non_emptiness svc with
+      | Decision.Yes (db, inputs, goal) ->
+        Relation.mem goal (Sws_data.run svc db inputs)
+      | _ -> false)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_compose_or_sound;
+    QCheck_alcotest.to_alcotest prop_cq_witness_valid;
+    Alcotest.test_case "k-prefix bound" `Quick test_k_prefix_bound;
+    Alcotest.test_case "nr service prefix-recognizable" `Quick test_nr_service_prefix_recognizable;
+    Alcotest.test_case "minimal prefix" `Quick test_minimal_prefix;
+    Alcotest.test_case "compose or exact" `Quick test_compose_or_exact;
+    Alcotest.test_case "compose or two components" `Quick test_compose_or_two_components;
+    Alcotest.test_case "compose or impossible" `Quick test_compose_or_impossible;
+    Alcotest.test_case "compose or pl goal" `Slow test_compose_or_pl_goal;
+    Alcotest.test_case "compose mdtb" `Quick test_compose_mdtb;
+    Alcotest.test_case "compose cq" `Quick test_compose_cq;
+    Alcotest.test_case "compose cq impossible" `Quick test_compose_cq_impossible;
+    Alcotest.test_case "bounded search" `Quick test_bounded_search;
+  ]

@@ -1,0 +1,204 @@
+(* Tests for the extensions: the cost-model aggregation the paper lists as
+   future work (Section 6), and the guarded-automata model of Section 3's
+   "Other models" with its SWS(FO, FO) encoding. *)
+
+module R = Relational
+module Fo = R.Fo
+module Term = R.Term
+module Relation = R.Relation
+module Tuple = R.Tuple
+module Value = R.Value
+module Schema = R.Schema
+open Sws
+
+let check = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let db =
+  Travel.catalog_db
+    ~airfares:[ (101, 300); (102, 500) ]
+    ~hotels:[ (201, 120); (202, 250) ]
+    ~tickets:[ (301, 80) ]
+    ~cars:[ (401, 60) ]
+
+let test_priced_packages () =
+  (* two airfares and two hotels match: four complete packages *)
+  let req =
+    Travel.request ~air:[ 300; 500 ] ~hotel:[ 120; 250 ] ~ticket:[ 80 ] ()
+  in
+  let all = Travel.booked_priced db req in
+  Alcotest.(check int) "four packages" 4 (Relation.cardinal all);
+  (* every package carries its prices in the odd columns *)
+  check "prices present" true
+    (Relation.for_all
+       (fun t ->
+         Value.equal (Tuple.get t 1) (Value.int 300)
+         || Value.equal (Tuple.get t 1) (Value.int 500))
+       all)
+
+let test_min_cost_package () =
+  let req =
+    Travel.request ~air:[ 300; 500 ] ~hotel:[ 120; 250 ] ~ticket:[ 80 ] ()
+  in
+  let best = Travel.booked_min_cost db req in
+  Alcotest.(check int) "unique argmin" 1 (Relation.cardinal best);
+  let t = List.hd (Relation.to_list best) in
+  check "cheapest airfare" true (Value.equal (Tuple.get t 0) (Value.int 101));
+  check "cheapest hotel" true (Value.equal (Tuple.get t 2) (Value.int 201));
+  Alcotest.(check int) "total cost 500"
+    500
+    (Aggregate.total_cost Travel.package_cost best)
+
+let test_min_cost_respects_preference () =
+  (* the ticket-over-car preference happens before cost selection: even a
+     cheaper car never displaces an available ticket *)
+  let req =
+    Travel.request ~air:[ 300 ] ~hotel:[ 120 ] ~ticket:[ 80 ] ~car:[ 60 ] ()
+  in
+  let best = Travel.booked_min_cost db req in
+  check "ticket chosen" true
+    (Relation.for_all
+       (fun t -> Value.equal (Tuple.get t 4) (Value.int 301))
+       best)
+
+let test_aggregate_operators () =
+  let spec = Aggregate.uniform_columns [ 0 ] in
+  let rel =
+    Relation.of_list 1
+      [ Tuple.of_list [ Value.int 5 ]; Tuple.of_list [ Value.int 2 ];
+        Tuple.of_list [ Value.int 9 ] ]
+  in
+  check "min" true
+    (Relation.equal (Aggregate.min_cost spec rel)
+       (Relation.of_list 1 [ Tuple.of_list [ Value.int 2 ] ]));
+  check "max" true
+    (Relation.equal (Aggregate.max_cost spec rel)
+       (Relation.of_list 1 [ Tuple.of_list [ Value.int 9 ] ]));
+  Alcotest.(check int) "cheapest-2 size" 2
+    (Relation.cardinal (Aggregate.cheapest_k spec 2 rel));
+  check "empty stays empty" true
+    (Relation.is_empty (Aggregate.min_cost spec (Relation.empty 1)));
+  Alcotest.(check int) "total" 16 (Aggregate.total_cost spec rel)
+
+(* ------------------------------------------------------------------ *)
+(* Guarded automata                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A two-state order workflow: state 0 (open) accepts items present in the
+   catalog and stays open; a "checkout" input (the reserved id 0) moves to
+   state 1 (closed), emitting nothing; in the closed state further inputs
+   emit a rejection marker. *)
+let order_machine =
+  let v = Term.var in
+  let db_schema = Schema.of_list [ ("catalog", 1) ] in
+  let accept =
+    {
+      Guarded.source = 0;
+      guard =
+        Fo.Exists
+          ("x", Fo.conj [ Fo.atom "in" [ v "x" ]; Fo.atom "catalog" [ v "x" ] ]);
+      target = 0;
+      action =
+        Fo.query [ "x" ]
+          (Fo.conj [ Fo.atom "in" [ v "x" ]; Fo.atom "catalog" [ v "x" ] ]);
+    }
+  in
+  let checkout =
+    {
+      Guarded.source = 0;
+      guard = Fo.atom "in" [ Term.int 0 ];
+      target = 1;
+      action = Fo.query [ "x" ] (Fo.conj [ Fo.atom "in" [ v "x" ]; Fo.False ]);
+    }
+  in
+  let reject =
+    {
+      Guarded.source = 1;
+      guard = Fo.Exists ("x", Fo.atom "in" [ v "x" ]);
+      target = 1;
+      action =
+        Fo.query [ "x" ]
+          (Fo.conj [ Fo.atom "in" [ v "x" ]; Fo.eq (v "x") (Term.int 99) ]);
+    }
+  in
+  Guarded.make ~db_schema ~num_states:2 ~start:0 ~input_arity:1 ~out_arity:1
+    ~transitions:[ accept; checkout; reject ]
+
+let order_db =
+  List.fold_left
+    (fun db i -> R.Database.add_tuple "catalog" (Tuple.of_list [ Value.int i ]) db)
+    (R.Database.empty (Schema.of_list [ ("catalog", 1) ]))
+    [ 1; 2; 3 ]
+
+let msg ints = Relation.of_list 1 (List.map (fun i -> Tuple.of_list [ Value.int i ]) ints)
+
+let test_guarded_direct () =
+  let outs = Guarded.run order_machine order_db [ msg [ 1; 9 ]; msg [ 0 ]; msg [ 2; 99 ] ] in
+  (match outs with
+  | [ o1; o2; o3 ] ->
+    check "step1 accepts catalog item" true (Relation.equal o1 (msg [ 1 ]));
+    check "step2 checkout emits nothing" true (Relation.is_empty o2);
+    check "step3 rejects" true (Relation.equal o3 (msg [ 99 ]))
+  | _ -> Alcotest.fail "three steps expected");
+  (* nondeterministic overlap: input {0, 1} enables both accept and
+     checkout; states fork and outputs union *)
+  let outs2 = Guarded.run order_machine order_db [ msg [ 0; 1 ]; msg [ 2; 99 ] ] in
+  match outs2 with
+  | [ o1; o2 ] ->
+    check "fork outputs union" true (Relation.equal o1 (msg [ 1 ]));
+    check "both branches live" true (Relation.equal o2 (msg [ 2; 99 ]))
+  | _ -> Alcotest.fail "two steps expected"
+
+let test_guarded_encoding_agrees () =
+  let cases =
+    [
+      [ msg [ 1; 9 ]; msg [ 0 ]; msg [ 2; 99 ] ];
+      [ msg [ 0; 1 ]; msg [ 2; 99 ] ];
+      [ msg []; msg [ 3 ] ];
+      [ msg [ 0 ]; msg [ 0 ] ];
+    ]
+  in
+  List.iter
+    (fun inputs ->
+      let direct = Guarded.run order_machine order_db inputs in
+      let encoded = Guarded.run_encoded order_machine order_db inputs in
+      List.iteri
+        (fun i (d, e) ->
+          check (Printf.sprintf "step %d" (i + 1)) true (Relation.equal d e))
+        (List.combine direct encoded))
+    cases
+
+let prop_guarded_encoding =
+  QCheck.Test.make ~count:25 ~name:"guarded encoding agrees with direct runs"
+    (QCheck.make (QCheck.Gen.int_bound 100000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let inputs =
+        List.init
+          (1 + Random.State.int rng 3)
+          (fun _ ->
+            msg (List.init (Random.State.int rng 3) (fun _ -> Random.State.int rng 4)))
+      in
+      let direct = Guarded.run order_machine order_db inputs in
+      let encoded = Guarded.run_encoded order_machine order_db inputs in
+      List.for_all2 Relation.equal direct encoded)
+
+let test_guarded_sws_class () =
+  let sws = Guarded.to_sws order_machine in
+  check "recursive" true (Sws_data.is_recursive sws);
+  check "FO class" true (Sws_data.lang_class sws = Sws_data.Class_fo)
+
+let suite =
+  [
+    Alcotest.test_case "priced packages" `Quick test_priced_packages;
+    Alcotest.test_case "min-cost package" `Quick test_min_cost_package;
+    Alcotest.test_case "min-cost respects preference" `Quick test_min_cost_respects_preference;
+    Alcotest.test_case "aggregate operators" `Quick test_aggregate_operators;
+    Alcotest.test_case "guarded direct" `Quick test_guarded_direct;
+    Alcotest.test_case "guarded encoding agrees" `Quick test_guarded_encoding_agrees;
+    QCheck_alcotest.to_alcotest prop_guarded_encoding;
+    Alcotest.test_case "guarded sws class" `Quick test_guarded_sws_class;
+  ]

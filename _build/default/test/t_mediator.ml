@@ -1,0 +1,150 @@
+(* Tests for SWS mediators (Definition 5.1): runs with component oracles,
+   suffix consumption, and the bounded equivalence check. *)
+
+module R = Relational
+module Term = R.Term
+module Atom = R.Atom
+module Relation = R.Relation
+module Database = R.Database
+module Schema = R.Schema
+module Value = R.Value
+module Tuple = R.Tuple
+open Sws
+
+let check = Alcotest.(check bool)
+let v = Term.var
+let cq ?eqs ?neqs head body = R.Cq.make ?eqs ?neqs ~head ~body ()
+
+let db_schema = Schema.of_list [ ("r", 2); ("s", 2) ]
+
+(* Component services, each a query service over one base relation. *)
+let svc_r =
+  Compose.query_service ~db_schema (cq [ v "x"; v "y" ] [ Atom.make "r" [ v "x"; v "y" ] ])
+
+let svc_s =
+  Compose.query_service ~db_schema (cq [ v "x"; v "y" ] [ Atom.make "s" [ v "x"; v "y" ] ])
+
+let components = [ { Mediator.name = "vr"; service = svc_r }; { Mediator.name = "vs"; service = svc_s } ]
+
+let copy_msg arity =
+  let vars = List.init arity (fun i -> v (Printf.sprintf "x%d" i)) in
+  Sws_data.Q_cq (cq vars [ Atom.make Sws_data.msg_rel vars ])
+
+(* A mediator joining the two components: answers r ⋈ s. *)
+let join_mediator =
+  let synth =
+    Sws_data.Q_cq
+      (cq [ v "a"; v "c" ]
+         [ Atom.make "act1" [ v "a"; v "b" ]; Atom.make "act2" [ v "b"; v "c" ] ])
+  in
+  Mediator.make ~db_schema ~arity:2 ~components ~start:"q0"
+    ~rules:
+      [
+        ("q0", { Sws_def.succs = [ ("q1", "vr"); ("q2", "vs") ]; synth });
+        ("q1", { Sws_def.succs = []; synth = copy_msg 2 });
+        ("q2", { Sws_def.succs = []; synth = copy_msg 2 });
+      ]
+
+let mk_db r_rows s_rows =
+  let rel rows =
+    Relation.of_list 2
+      (List.map (fun (a, b) -> Tuple.of_list [ Value.int a; Value.int b ]) rows)
+  in
+  Database.set "s" (rel s_rows) (Database.set "r" (rel r_rows) (Database.empty db_schema))
+
+let some_inputs n =
+  List.init n (fun _ -> Relation.singleton (Tuple.of_list [ Value.int 0; Value.int 0 ]))
+
+let test_join_mediator_run () =
+  let db = mk_db [ (1, 2); (5, 6) ] [ (2, 3) ] in
+  (* the two components run in parallel on the same suffix, so a single
+     input message suffices *)
+  let out = Mediator.run join_mediator db (some_inputs 1) in
+  check "join computed" true
+    (Relation.equal out (Relation.singleton (Tuple.of_list [ Value.int 1; Value.int 3 ])));
+  check "longer inputs agree" true
+    (Relation.equal out (Mediator.run join_mediator db (some_inputs 3)));
+  check "empty on empty input" true
+    (Relation.is_empty (Mediator.run join_mediator db []))
+
+(* The join mediator is equivalent to the goal service computing the same
+   join directly, given enough input messages; the bounded check agrees. *)
+let join_goal =
+  Compose.query_service ~db_schema
+    (cq [ v "a"; v "c" ] [ Atom.make "r" [ v "a"; v "b" ]; Atom.make "s" [ v "b"; v "c" ] ])
+
+let test_equiv_check () =
+  (match Mediator.equiv_check ~samples:200 ~goal:join_goal join_mediator with
+  | Mediator.Agree_on_samples _ -> ()
+  | Mediator.Differ (db, inputs) ->
+    Alcotest.failf "spurious counterexample: |D|=%d, |I|=%d"
+      (Database.total_tuples db) (List.length inputs));
+  (* and the check does find counterexamples when services differ *)
+  match Mediator.equiv_check ~samples:200 ~goal:svc_s join_mediator with
+  | Mediator.Differ (db, inputs) ->
+    check "counterexample real" false
+      (Relation.equal (Mediator.run join_mediator db inputs) (Sws_data.run svc_s db inputs))
+  | Mediator.Agree_on_samples _ -> Alcotest.fail "join is not the s view"
+
+(* A single-component pass-through mediator is equivalent to its component. *)
+let test_passthrough_equiv () =
+  let m =
+    Mediator.make ~db_schema ~arity:2 ~components ~start:"q0"
+      ~rules:
+        [
+          ( "q0",
+            {
+              Sws_def.succs = [ ("q1", "vr") ];
+              synth =
+                Sws_data.Q_cq (cq [ v "x"; v "y" ] [ Atom.make "act1" [ v "x"; v "y" ] ]);
+            } );
+          ("q1", { Sws_def.succs = []; synth = copy_msg 2 });
+        ]
+  in
+  match Mediator.equiv_check ~samples:150 ~goal:svc_r m with
+  | Mediator.Agree_on_samples _ -> ()
+  | Mediator.Differ _ -> Alcotest.fail "pass-through should agree with its component"
+
+(* Suffix consumption: a chain of two components advances the timestamp so
+   the second component sees the remaining input only. *)
+let echo_service =
+  (* echoes its first input message *)
+  let copy_in =
+    Sws_data.Q_cq (cq [ v "x"; v "y" ] [ Atom.make Sws_data.in_rel [ v "x"; v "y" ] ])
+  in
+  Sws_data.make ~db_schema ~in_arity:2 ~out_arity:2 ~start:"q0"
+    ~rules:[ ("q0", { Sws_def.succs = []; synth = copy_in }) ]
+
+let test_suffix_consumption () =
+  let m =
+    Mediator.make ~db_schema ~arity:2
+      ~components:[ { Mediator.name = "echo"; service = echo_service } ]
+      ~start:"q0"
+      ~rules:
+        [
+          ( "q0",
+            {
+              Sws_def.succs = [ ("q1", "echo") ];
+              synth = Sws_data.Q_cq (cq [ v "x"; v "y" ] [ Atom.make "act1" [ v "x"; v "y" ] ]);
+            } );
+          ( "q1",
+            {
+              Sws_def.succs = [ ("q2", "echo") ];
+              synth = Sws_data.Q_cq (cq [ v "x"; v "y" ] [ Atom.make "act1" [ v "x"; v "y" ] ]);
+            } );
+          ("q2", { Sws_def.succs = []; synth = copy_msg 2 });
+        ]
+  in
+  let msg i = Relation.singleton (Tuple.of_list [ Value.int i; Value.int i ]) in
+  let db = mk_db [] [] in
+  (* the first echo consumes I_1, the second I_2: output echoes I_2 *)
+  let out = Mediator.run m db [ msg 1; msg 2; msg 3 ] in
+  check "second message echoed" true (Relation.equal out (msg 2))
+
+let suite =
+  [
+    Alcotest.test_case "join mediator run" `Quick test_join_mediator_run;
+    Alcotest.test_case "equiv check distinguishes" `Quick test_equiv_check;
+    Alcotest.test_case "passthrough equivalent" `Quick test_passthrough_equiv;
+    Alcotest.test_case "suffix consumption" `Quick test_suffix_consumption;
+  ]

@@ -1,0 +1,104 @@
+(* Tests for the textual formats: propositional formulas and SWS(PL, PL)
+   specifications, including print/parse round-trips. *)
+
+module Prop = Proplogic.Prop
+module Prop_parser = Proplogic.Prop_parser
+open Sws
+
+let check = Alcotest.(check bool)
+
+let test_prop_parser () =
+  let assignments = Prop.all_assignments [ "x"; "y"; "z" ] in
+  let same src f =
+    let parsed = Prop_parser.parse src in
+    List.iter
+      (fun a -> check src (Prop.eval a f) (Prop.eval a parsed))
+      assignments
+  in
+  same "x & y | z" (Prop.Or (Prop.And (Prop.var "x", Prop.var "y"), Prop.var "z"));
+  same "~x -> y" (Prop.Implies (Prop.Not (Prop.var "x"), Prop.var "y"));
+  same "x <-> (y | ~z)" (Prop.Iff (Prop.var "x", Prop.Or (Prop.var "y", Prop.Not (Prop.var "z"))));
+  same "T & F | x" (Prop.Or (Prop.And (Prop.True, Prop.False), Prop.var "x"));
+  (* right associativity of implication *)
+  same "x -> y -> z" (Prop.Implies (Prop.var "x", Prop.Implies (Prop.var "y", Prop.var "z")));
+  (* reserved-looking identifiers parse as variables *)
+  (match Prop_parser.parse "@msg & act1 & #end" with
+  | Prop.And (Prop.And (Prop.Var "@msg", Prop.Var "act1"), Prop.Var "#end") -> ()
+  | _ -> Alcotest.fail "reserved identifiers");
+  Alcotest.check_raises "trailing" (Prop_parser.Parse_error "trailing input")
+    (fun () -> ignore (Prop_parser.parse "x y"))
+
+let prop_roundtrip =
+  let rec random_formula rng depth =
+    if depth = 0 then
+      match Random.State.int rng 4 with
+      | 0 -> Prop.True
+      | 1 -> Prop.False
+      | _ -> Prop.var (Printf.sprintf "v%d" (Random.State.int rng 3))
+    else
+      match Random.State.int rng 5 with
+      | 0 -> Prop.Not (random_formula rng (depth - 1))
+      | 1 -> Prop.And (random_formula rng (depth - 1), random_formula rng (depth - 1))
+      | 2 -> Prop.Or (random_formula rng (depth - 1), random_formula rng (depth - 1))
+      | 3 -> Prop.Implies (random_formula rng (depth - 1), random_formula rng (depth - 1))
+      | _ -> Prop.Iff (random_formula rng (depth - 1), random_formula rng (depth - 1))
+  in
+  QCheck.Test.make ~count:100 ~name:"prop print/parse round-trip"
+    (QCheck.make (QCheck.Gen.int_bound 100000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let f = random_formula rng 4 in
+      let f' = Prop_parser.parse (Prop.to_string f) in
+      List.for_all
+        (fun a -> Bool.equal (Prop.eval a f) (Prop.eval a f'))
+        (Prop.all_assignments [ "v0"; "v1"; "v2" ]))
+
+let travel_spec =
+  {|# Figure 1(b), boolean skeleton
+inputs: a h t c
+start: q0
+q0 -> (qa, T), (qh, T), (qt, T), (qc, T) ; act1 & act2 & (act3 | (~act3 & act4))
+qa -> ; a
+qh -> ; h
+qt -> ; t
+qc -> ; c
+|}
+
+let test_spec_parse () =
+  let sws = Sws_parser.parse travel_spec in
+  check "nonrecursive" false (Sws_pl.is_recursive sws);
+  Alcotest.(check int) "five states" 5 (Sws_def.num_states (Sws_pl.def sws));
+  let run l =
+    Sws_pl.run sws [ Prop.assignment_of_list []; Prop.assignment_of_list l ]
+  in
+  check "full package" true (run [ "a"; "h"; "t" ]);
+  check "car fallback" true (run [ "a"; "h"; "c" ]);
+  check "no hotel" false (run [ "a"; "t" ])
+
+let test_spec_roundtrip () =
+  let sws = Sws_parser.parse travel_spec in
+  let sws' = Sws_parser.parse (Sws_parser.print sws) in
+  check "round-trip equivalent" true
+    (Decision.pl_equivalence sws sws' = Decision.Equivalent)
+
+let test_spec_errors () =
+  let expect_error src =
+    match Sws_parser.parse src with
+    | exception Sws_parser.Parse_error _ -> ()
+    | exception Sws_pl.Ill_formed _ -> ()
+    | _ -> Alcotest.fail "expected a parse failure"
+  in
+  expect_error "start: q0\nq0 -> ; T";            (* missing inputs *)
+  expect_error "inputs: x\nq0 -> ; T";            (* missing start *)
+  expect_error "inputs: x\nstart: q0\nq0 ; T";    (* missing arrow *)
+  expect_error "inputs: x\nstart: q0\nq0 -> (q1, x) ; act1"; (* undefined succ *)
+  expect_error "inputs: x\nstart: q0\nq0 -> ; y"  (* undeclared variable *)
+
+let suite =
+  [
+    Alcotest.test_case "prop parser" `Quick test_prop_parser;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    Alcotest.test_case "spec parse" `Quick test_spec_parse;
+    Alcotest.test_case "spec round-trip" `Quick test_spec_roundtrip;
+    Alcotest.test_case "spec errors" `Quick test_spec_errors;
+  ]

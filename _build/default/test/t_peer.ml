@@ -1,0 +1,103 @@
+(* Tests for the peer model of [13] and its SWS(FO, FO) encoding: the
+   Section 3 claim is that the encoded service, run on the prefix-replay
+   input f_I(I), produces the same output as the peer at every step. *)
+
+module R = Relational
+module Fo = R.Fo
+module Term = R.Term
+module Schema = R.Schema
+module Relation = R.Relation
+module Database = R.Database
+module Value = R.Value
+module Tuple = R.Tuple
+open Sws
+
+let rel_of_ints arity rows =
+  R.Relation.of_list arity
+    (List.map (fun row -> Tuple.of_list (List.map Value.int row)) rows)
+
+(* A tiny e-commerce peer: the database holds a catalog price(p, v); inputs
+   are order requests order(p); the state accumulates seen orders; actions
+   confirm an order the first time its product appears in the catalog. *)
+let shop_peer =
+  let db_schema = Schema.of_list [ ("price", 2) ] in
+  let state_rule =
+    (* remember every ordered product *)
+    Fo.query [ "p" ] (Fo.atom "in" [ Term.var "p" ])
+  in
+  let action_rule =
+    (* confirm products that are ordered now, in the catalog, and new *)
+    Fo.query [ "p" ]
+      (Fo.conj
+         [
+           Fo.atom "in" [ Term.var "p" ];
+           Fo.Exists ("v", Fo.atom "price" [ Term.var "p"; Term.var "v" ]);
+           Fo.Not (Fo.atom "state" [ Term.var "p" ]);
+         ])
+  in
+  Peer.make ~db_schema ~state_arity:1 ~input_arity:1 ~out_arity:1 ~state_rule
+    ~action_rule
+
+let shop_db =
+  Database.set "price"
+    (rel_of_ints 2 [ [ 1; 10 ]; [ 2; 20 ]; [ 3; 30 ] ])
+    (Database.empty (Schema.of_list [ ("price", 2) ]))
+
+let orders rows = List.map (fun ps -> rel_of_ints 1 (List.map (fun p -> [ p ]) ps)) rows
+
+let test_direct_run () =
+  let outputs = Peer.run shop_peer shop_db (orders [ [ 1 ]; [ 1; 2 ]; [ 9 ] ]) in
+  let expect = [ [ [ 1 ] ]; [ [ 2 ] ]; [] ] in
+  List.iter2
+    (fun out rows ->
+      Alcotest.(check bool)
+        "step output" true
+        (Relation.equal out (rel_of_ints 1 rows)))
+    outputs expect
+
+let test_encoding_matches_direct () =
+  let inputs = orders [ [ 1 ]; [ 1; 2 ]; [ 9 ]; [ 3; 1 ] ] in
+  let direct = Peer.run shop_peer shop_db inputs in
+  let encoded = Peer.run_encoded shop_peer shop_db inputs in
+  Alcotest.(check int) "same length" (List.length direct) (List.length encoded);
+  List.iteri
+    (fun i (d, e) ->
+      Alcotest.(check bool) (Printf.sprintf "step %d" (i + 1)) true (Relation.equal d e))
+    (List.combine direct encoded)
+
+let test_encoded_sws_class () =
+  let sws = Peer.to_sws shop_peer in
+  Alcotest.(check bool) "recursive" true (Sws_data.is_recursive sws);
+  Alcotest.(check bool)
+    "FO class" true
+    (Sws_data.lang_class sws = Sws_data.Class_fo)
+
+(* Property: on random catalogs and random order streams, the encoding
+   agrees with the direct semantics step by step. *)
+let prop_encoding_agrees =
+  let gen =
+    QCheck.Gen.(
+      let* catalog = list_size (int_range 0 4) (pair (int_range 0 3) (int_range 0 3)) in
+      let* steps = list_size (int_range 1 3) (list_size (int_range 0 2) (int_range 0 4)) in
+      return (catalog, steps))
+  in
+  QCheck.Test.make ~count:40 ~name:"peer encoding agrees with direct runs"
+    (QCheck.make gen)
+    (fun (catalog, steps) ->
+      let db =
+        Database.set "price"
+          (rel_of_ints 2 (List.map (fun (p, v) -> [ p; v ]) catalog))
+          (Database.empty (Schema.of_list [ ("price", 2) ]))
+      in
+      let inputs = orders steps in
+      let direct = Peer.run shop_peer db inputs in
+      let encoded = Peer.run_encoded shop_peer db inputs in
+      List.for_all2 Relation.equal direct encoded)
+
+let suite =
+  [
+    Alcotest.test_case "direct run" `Quick test_direct_run;
+    Alcotest.test_case "encoding matches direct" `Quick test_encoding_matches_direct;
+    Alcotest.test_case "encoded class" `Quick test_encoded_sws_class;
+    QCheck_alcotest.to_alcotest prop_encoding_agrees;
+  ]

@@ -1,0 +1,106 @@
+(* Tests for propositional logic: evaluation, CNF conversions, DPLL. *)
+
+module Prop = Proplogic.Prop
+module Cnf = Proplogic.Cnf
+module Sat = Proplogic.Sat
+
+let check = Alcotest.(check bool)
+let v = Prop.var
+
+let random_formula rng vars =
+  let rec go depth =
+    if depth = 0 || Random.State.int rng 3 = 0 then
+      match Random.State.int rng 4 with
+      | 0 -> Prop.True
+      | 1 -> Prop.False
+      | _ -> v (List.nth vars (Random.State.int rng (List.length vars)))
+    else
+      match Random.State.int rng 5 with
+      | 0 -> Prop.Not (go (depth - 1))
+      | 1 -> Prop.And (go (depth - 1), go (depth - 1))
+      | 2 -> Prop.Or (go (depth - 1), go (depth - 1))
+      | 3 -> Prop.Implies (go (depth - 1), go (depth - 1))
+      | _ -> Prop.Iff (go (depth - 1), go (depth - 1))
+  in
+  go 3
+
+let vars3 = [ "p"; "q"; "r" ]
+
+let test_eval () =
+  let f = Prop.Implies (v "p", Prop.And (v "q", Prop.Not (v "r"))) in
+  check "p false" true (Prop.eval (Prop.assignment_of_list []) f);
+  check "p q" true (Prop.eval (Prop.assignment_of_list [ "p"; "q" ]) f);
+  check "p only" false (Prop.eval (Prop.assignment_of_list [ "p" ]) f);
+  check "p q r" false (Prop.eval (Prop.assignment_of_list [ "p"; "q"; "r" ]) f)
+
+let test_simplify_sound () =
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 200 do
+    let f = random_formula rng vars3 in
+    let s = Prop.simplify f in
+    List.iter
+      (fun a -> check "simplify" (Prop.eval a f) (Prop.eval a s))
+      (Prop.all_assignments vars3)
+  done
+
+let test_cnf_distrib_equivalent () =
+  let rng = Random.State.make [| 8 |] in
+  for _ = 1 to 100 do
+    let f = random_formula rng vars3 in
+    let cnf = Cnf.of_prop_distrib f in
+    List.iter
+      (fun a -> check "distrib CNF" (Prop.eval a f) (Cnf.eval a cnf))
+      (Prop.all_assignments vars3)
+  done
+
+let test_dpll_vs_truth_table () =
+  let rng = Random.State.make [| 9 |] in
+  for _ = 1 to 200 do
+    let f = random_formula rng vars3 in
+    let brute =
+      List.exists (fun a -> Prop.eval a f) (Prop.all_assignments vars3)
+    in
+    check "dpll = brute force" brute (Sat.satisfiable f);
+    (* when satisfiable, the model really satisfies *)
+    match Sat.solve f with
+    | Some a -> check "model satisfies" true (Prop.eval a f)
+    | None -> check "unsat agrees" false brute
+  done
+
+let test_equivalence () =
+  check "de morgan" true
+    (Sat.equivalent
+       (Prop.Not (Prop.And (v "p", v "q")))
+       (Prop.Or (Prop.Not (v "p"), Prop.Not (v "q"))));
+  check "not equivalent" false (Sat.equivalent (v "p") (v "q"));
+  check "implies" true (Sat.implies (Prop.And (v "p", v "q")) (v "p"));
+  check "valid" true (Sat.valid (Prop.Or (v "p", Prop.Not (v "p"))))
+
+let test_all_models () =
+  let f = Prop.Or (v "p", v "q") in
+  let models = Sat.all_models ~over:[ "p"; "q" ] f in
+  Alcotest.(check int) "three models" 3 (List.length models);
+  List.iter (fun a -> check "each model satisfies" true (Prop.eval a f)) models
+
+let prop_tseitin_equisat =
+  let gen = QCheck.Gen.int_bound 100000 in
+  QCheck.Test.make ~count:100 ~name:"tseitin preserves satisfiability"
+    (QCheck.make gen)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let f = random_formula rng vars3 in
+      let brute =
+        List.exists (fun a -> Prop.eval a f) (Prop.all_assignments vars3)
+      in
+      Bool.equal brute (Option.is_some (Sat.solve_cnf (Cnf.of_prop_equisat f))))
+
+let suite =
+  [
+    Alcotest.test_case "eval" `Quick test_eval;
+    Alcotest.test_case "simplify sound" `Quick test_simplify_sound;
+    Alcotest.test_case "distrib cnf equivalent" `Quick test_cnf_distrib_equivalent;
+    Alcotest.test_case "dpll vs truth table" `Quick test_dpll_vs_truth_table;
+    Alcotest.test_case "equivalence" `Quick test_equivalence;
+    Alcotest.test_case "all models" `Quick test_all_models;
+    QCheck_alcotest.to_alcotest prop_tseitin_equisat;
+  ]

@@ -1,0 +1,144 @@
+(* Tests for the lower-bound reductions of Theorem 4.1: each reduction must
+   translate instances faithfully (source answer = target answer). *)
+
+module Prop = Proplogic.Prop
+module Sat = Proplogic.Sat
+module Afa = Automata.Afa
+module Nfa = Automata.Nfa
+module Regex = Automata.Regex
+module Word_gen = Automata.Word_gen
+module R = Relational
+open Sws
+
+let check = Alcotest.(check bool)
+let v = Prop.var
+
+let test_sat_reduction () =
+  let f_sat = Prop.And (Prop.Or (v "x", v "y"), Prop.Not (v "x")) in
+  let f_unsat = Prop.And (v "x", Prop.Not (v "x")) in
+  check "sat -> nonempty" true
+    (match Decision.pl_nr_non_emptiness (Reductions.sws_of_sat f_sat) with
+    | Decision.Yes _ -> true
+    | _ -> false);
+  check "unsat -> empty" true
+    (Decision.pl_nr_non_emptiness (Reductions.sws_of_sat f_unsat) = Decision.No)
+
+let prop_sat_reduction_faithful =
+  let rec random_formula rng depth =
+    if depth = 0 then v (Printf.sprintf "x%d" (Random.State.int rng 3))
+    else
+      match Random.State.int rng 4 with
+      | 0 -> Prop.Not (random_formula rng (depth - 1))
+      | 1 -> Prop.And (random_formula rng (depth - 1), random_formula rng (depth - 1))
+      | 2 -> Prop.Or (random_formula rng (depth - 1), random_formula rng (depth - 1))
+      | _ -> v (Printf.sprintf "x%d" (Random.State.int rng 3))
+  in
+  QCheck.Test.make ~count:60 ~name:"SAT reduction is faithful"
+    (QCheck.make (QCheck.Gen.int_bound 100000))
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let f = random_formula rng 3 in
+      let reduced =
+        match Decision.pl_nr_non_emptiness (Reductions.sws_of_sat f) with
+        | Decision.Yes _ -> true
+        | _ -> false
+      in
+      Bool.equal (Sat.satisfiable f) reduced)
+
+(* AFA reduction: acceptance word by word, and emptiness. *)
+let afa_samples =
+  [ "(ab)*"; "a*b"; "ab|ba"; "(a|b)*a"; "0" ]
+
+let test_afa_reduction_words () =
+  List.iter
+    (fun s ->
+      let nfa = Nfa.of_regex ~alphabet_size:2 (Regex.parse s) in
+      let afa = Afa.of_nfa nfa in
+      let sws = Reductions.sws_of_afa afa in
+      List.iter
+        (fun w ->
+          check
+            (Fmt.str "%s on %a" s Word_gen.pp_word w)
+            (Afa.accepts afa w)
+            (Sws_pl.run sws (Reductions.encode_afa_word w)))
+        (Word_gen.words_up_to ~alphabet_size:2 4))
+    afa_samples
+
+let test_afa_reduction_emptiness () =
+  List.iter
+    (fun s ->
+      let nfa = Nfa.of_regex ~alphabet_size:2 (Regex.parse s) in
+      let afa = Afa.of_nfa nfa in
+      let sws = Reductions.sws_of_afa afa in
+      let sws_nonempty =
+        match Decision.pl_non_emptiness sws with
+        | Decision.Yes _ -> true
+        | _ -> false
+      in
+      check (Fmt.str "emptiness for %s" s) (not (Afa.is_empty afa)) sws_nonempty)
+    afa_samples
+
+(* An alternating AFA (conjunction) goes through the reduction too. *)
+let test_afa_reduction_alternation () =
+  let delta =
+    [|
+      [| Afa.Fand (Afa.State 1, Afa.State 2); Afa.Ffalse |];
+      [| Afa.State 3; Afa.Ffalse |];
+      [| Afa.State 3; Afa.Ffalse |];
+      [| Afa.Ffalse; Afa.Ffalse |];
+    |]
+  in
+  let afa = Afa.create ~alphabet_size:2 ~start:0 ~finals:[ 3 ] ~delta in
+  let sws = Reductions.sws_of_afa afa in
+  List.iter
+    (fun w ->
+      check
+        (Fmt.str "alternation on %a" Word_gen.pp_word w)
+        (Afa.accepts afa w)
+        (Sws_pl.run sws (Reductions.encode_afa_word w)))
+    (Word_gen.words_up_to ~alphabet_size:2 4)
+
+(* Sirup reduction: backward-chaining SWS agrees with bottom-up datalog. *)
+let test_sirup_reduction () =
+  let i = R.Value.int in
+  let cases =
+    [
+      (* cycle: goal reachable *)
+      ([ (i 1, i 0); (i 0, i 1) ], (i 0, i 0), (i 1, i 1));
+      (* no edges: goal = seed only *)
+      ([], (i 0, i 0), (i 1, i 1));
+      (* line graph *)
+      ([ (i 1, i 0); (i 2, i 1) ], (i 0, i 0), (i 2, i 2));
+      ([ (i 1, i 0); (i 2, i 1) ], (i 0, i 0), (i 1, i 2));
+    ]
+  in
+  List.iter
+    (fun (edges, seed, goal) ->
+      let expected = Reductions.sg_derives ~edges ~seed ~goal in
+      let sws = Reductions.sws_of_sg_sirup ~edges ~seed ~goal in
+      let via_sws =
+        match Decision.cq_non_emptiness ~max_n:5 sws with
+        | Decision.Yes _ -> true
+        | _ -> false
+      in
+      check "sirup reduction faithful" expected via_sws)
+    cases
+
+let test_fo_reduction () =
+  let sentence = R.Fo.Exists ("x", R.Fo.atom "u" [ R.Term.var "x" ]) in
+  let svc =
+    Reductions.sws_of_fo_sentence ~db_schema:(R.Schema.of_list [ ("u", 1) ]) sentence
+  in
+  check "fo reduction sat" true
+    (match Decision.fo_non_emptiness svc with Decision.Yes _ -> true | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "sat reduction" `Quick test_sat_reduction;
+    QCheck_alcotest.to_alcotest prop_sat_reduction_faithful;
+    Alcotest.test_case "afa reduction words" `Quick test_afa_reduction_words;
+    Alcotest.test_case "afa reduction emptiness" `Quick test_afa_reduction_emptiness;
+    Alcotest.test_case "afa reduction alternation" `Quick test_afa_reduction_alternation;
+    Alcotest.test_case "sirup reduction" `Slow test_sirup_reduction;
+    Alcotest.test_case "fo reduction" `Quick test_fo_reduction;
+  ]

@@ -1,0 +1,158 @@
+(* Tests for data-driven SWS's: direct runs, sessions, and the unfolding to
+   UCQ / FO queries (run vs unfolded query on random instances). *)
+
+module R = Relational
+module Cq = R.Cq
+module Ucq = R.Ucq
+module Fo = R.Fo
+module Term = R.Term
+module Atom = R.Atom
+module Schema = R.Schema
+module Relation = R.Relation
+module Database = R.Database
+module Value = R.Value
+module Tuple = R.Tuple
+open Sws
+
+let v = Term.var
+
+let cq ?eqs ?neqs head body = Cq.make ?eqs ?neqs ~head ~body ()
+
+(* A two-branch join service: the root routes the input to two finalists
+   that look the ordered pair up in r from either end; their answers are
+   unioned.  in/1, out/2, R = { r/2 }. *)
+let pair_service =
+  let phi = Sws_data.Q_cq (cq [ v "x" ] [ Atom.make "in" [ v "x" ] ]) in
+  let psi_a =
+    Sws_data.Q_cq
+      (cq [ v "x"; v "y" ] [ Atom.make "msg" [ v "x" ]; Atom.make "r" [ v "x"; v "y" ] ])
+  in
+  let psi_b =
+    Sws_data.Q_cq
+      (cq [ v "x"; v "y" ] [ Atom.make "msg" [ v "y" ]; Atom.make "r" [ v "x"; v "y" ] ])
+  in
+  let psi_union =
+    Sws_data.Q_ucq
+      (Ucq.make
+         [
+           cq [ v "x"; v "y" ] [ Atom.make "act1" [ v "x"; v "y" ] ];
+           cq [ v "x"; v "y" ] [ Atom.make "act2" [ v "x"; v "y" ] ];
+         ])
+  in
+  Sws_data.make
+    ~db_schema:(Schema.of_list [ ("r", 2) ])
+    ~in_arity:1 ~out_arity:2 ~start:"q0"
+    ~rules:
+      [
+        ("q0", { Sws_def.succs = [ ("qa", phi); ("qb", phi) ]; synth = psi_union });
+        ("qa", { Sws_def.succs = []; synth = psi_a });
+        ("qb", { Sws_def.succs = []; synth = psi_b });
+      ]
+
+(* A recursive service in the style of tau_2 (Example 2.1): the answer for
+   the *latest* input that matches r is preferred; here simplified to a
+   chain that unions every level's lookup. *)
+let chain_service =
+  let phi = Sws_data.Q_cq (cq [ v "x" ] [ Atom.make "in" [ v "x" ] ]) in
+  let psi_f =
+    Sws_data.Q_cq
+      (cq [ v "x"; v "y" ] [ Atom.make "msg" [ v "x" ]; Atom.make "r" [ v "x"; v "y" ] ])
+  in
+  let psi_union =
+    Sws_data.Q_ucq
+      (Ucq.make
+         [
+           cq [ v "x"; v "y" ] [ Atom.make "act1" [ v "x"; v "y" ] ];
+           cq [ v "x"; v "y" ] [ Atom.make "act2" [ v "x"; v "y" ] ];
+         ])
+  in
+  Sws_data.make
+    ~db_schema:(Schema.of_list [ ("r", 2) ])
+    ~in_arity:1 ~out_arity:2 ~start:"q0"
+    ~rules:
+      [
+        ("q0", { Sws_def.succs = [ ("qa", phi); ("qf", phi) ]; synth = psi_union });
+        ("qa", { Sws_def.succs = [ ("qa", phi); ("qf", phi) ]; synth = psi_union });
+        ("qf", { Sws_def.succs = []; synth = psi_f });
+      ]
+
+let db_of_pairs pairs =
+  Database.set "r"
+    (Relation.of_list 2
+       (List.map (fun (a, b) -> Tuple.of_list [ Value.int a; Value.int b ]) pairs))
+    (Database.empty (Schema.of_list [ ("r", 2) ]))
+
+let input_of_ints ns =
+  Relation.of_list 1 (List.map (fun x -> Tuple.of_list [ Value.int x ]) ns)
+
+let test_pair_run () =
+  let db = db_of_pairs [ (1, 2); (3, 4) ] in
+  (* the root routes I_1 into the finalists' message registers; the second
+     message only has to exist for the finalists' timestamps to be in range *)
+  let out = Sws_data.run pair_service db [ input_of_ints [ 1; 4 ]; input_of_ints [ 0 ] ] in
+  let expected =
+    Relation.of_list 2
+      [
+        Tuple.of_list [ Value.int 1; Value.int 2 ];
+        Tuple.of_list [ Value.int 3; Value.int 4 ];
+      ]
+  in
+  Alcotest.(check bool) "both lookups" true (Relation.equal out expected);
+  Alcotest.(check bool)
+    "empty on empty input" true
+    (Relation.is_empty (Sws_data.run pair_service db []))
+
+let test_classes () =
+  Alcotest.(check bool)
+    "pair is CQ/UCQ" true
+    (Sws_data.lang_class pair_service = Sws_data.Class_cq_ucq);
+  Alcotest.(check bool) "pair nonrecursive" false (Sws_data.is_recursive pair_service);
+  Alcotest.(check bool) "chain recursive" true (Sws_data.is_recursive chain_service)
+
+let test_sessions () =
+  let db = db_of_pairs [ (1, 2) ] in
+  let delim = Sws_data.delimiter 1 in
+  let _db', outs =
+    Sws_data.run_sessions pair_service db
+      [ input_of_ints [ 1 ]; input_of_ints [ 0 ]; delim; input_of_ints [ 9 ]; input_of_ints [ 0 ] ]
+  in
+  Alcotest.(check int) "two sessions" 2 (List.length outs);
+  Alcotest.(check bool) "first finds" true (not (Relation.is_empty (List.nth outs 0)));
+  Alcotest.(check bool) "second misses" true (Relation.is_empty (List.nth outs 1))
+
+(* The key cross-validation: direct run = unfolded query, on random
+   instances, for both the UCQ and the FO unfolding, on both services. *)
+let random_instance rng =
+  let pairs =
+    List.init (Random.State.int rng 5) (fun _ ->
+        (Random.State.int rng 3, Random.State.int rng 3))
+  in
+  let n = Random.State.int rng 4 in
+  let inputs =
+    List.init n (fun _ ->
+        input_of_ints (List.init (Random.State.int rng 3) (fun _ -> Random.State.int rng 3)))
+  in
+  (db_of_pairs pairs, inputs)
+
+let unfold_agrees sws rng () =
+  for _ = 1 to 60 do
+    let db, inputs = random_instance rng in
+    let n = List.length inputs in
+    let direct = Sws_data.run sws db inputs in
+    let timed = Unfold.timed_database sws ~n db inputs in
+    let via_ucq = Ucq.eval (Unfold.to_ucq sws ~n) timed in
+    let via_fo = Fo.eval (Unfold.to_fo sws ~n) timed in
+    Alcotest.(check bool) "ucq unfold" true (Relation.equal direct via_ucq);
+    Alcotest.(check bool) "fo unfold" true (Relation.equal direct via_fo)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "pair run" `Quick test_pair_run;
+    Alcotest.test_case "classes" `Quick test_classes;
+    Alcotest.test_case "sessions" `Quick test_sessions;
+    Alcotest.test_case "unfold agrees (pair)" `Quick
+      (unfold_agrees pair_service (Random.State.make [| 11 |]));
+    Alcotest.test_case "unfold agrees (chain)" `Slow
+      (unfold_agrees chain_service (Random.State.make [| 12 |]));
+  ]

@@ -1,0 +1,213 @@
+(* Tests for SWS(PL, PL): runs, the AFA translation, the nonrecursive
+   unfolding, and the Roman-model encoding. *)
+
+module Prop = Proplogic.Prop
+module Sat = Proplogic.Sat
+module Afa = Automata.Afa
+module Nfa = Automata.Nfa
+module Dfa = Automata.Dfa
+module Word_gen = Automata.Word_gen
+open Sws
+
+let check = Alcotest.(check bool)
+
+(* Figure 1(b)-shaped service: the start checks airfare, hotel and the
+   "local" pair (ticket preferred over car) in parallel.
+   X = X1 /\ X2 /\ X3 with X3 = Y1 \/ (~Y1 /\ Y2). *)
+let travel_pl =
+  let v = Prop.var in
+  let final synth = { Sws_def.succs = []; synth } in
+  Sws_pl.make
+    ~input_vars:[ "a"; "h"; "t"; "c" ]
+    ~start:"q0"
+    ~rules:
+      [
+        ( "q0",
+          {
+            Sws_def.succs =
+              [
+                ("qa", Prop.True); ("qh", Prop.True); ("qt", Prop.True); ("qc", Prop.True);
+              ];
+            synth =
+              Prop.conj
+                [
+                  v "act1";
+                  v "act2";
+                  Prop.Or (v "act3", Prop.And (Prop.Not (v "act3"), v "act4"));
+                ];
+          } );
+        ("qa", final (v "a"));
+        ("qh", final (v "h"));
+        ("qt", final (v "t"));
+        ("qc", final (v "c"));
+      ]
+
+let assignment = Prop.assignment_of_list
+
+(* Inputs: the root consumes I_1; the leaves consume I_2. *)
+let travel_inputs l = [ assignment []; assignment l ]
+
+let test_travel_run () =
+  check "all found" true (Sws_pl.run travel_pl (travel_inputs [ "a"; "h"; "t" ]));
+  check "car fallback" true (Sws_pl.run travel_pl (travel_inputs [ "a"; "h"; "c" ]));
+  check "no hotel" false (Sws_pl.run travel_pl (travel_inputs [ "a"; "t" ]));
+  check "no local" false (Sws_pl.run travel_pl (travel_inputs [ "a"; "h" ]));
+  check "too short" false (Sws_pl.run travel_pl [ assignment [ "a" ] ]);
+  check "empty input" false (Sws_pl.run travel_pl [])
+
+let test_travel_not_recursive () =
+  check "nonrecursive" false (Sws_pl.is_recursive travel_pl);
+  Alcotest.(check (option int)) "depth" (Some 1) (Sws_pl.depth travel_pl)
+
+(* A recursive service: odd number of 'x' inputs so far, in AFA style. *)
+let parity_pl =
+  let v = Prop.var in
+  Sws_pl.make ~input_vars:[ "x" ] ~start:"q0"
+    ~rules:
+      [
+        ( "q0",
+          {
+            Sws_def.succs = [ ("even", Prop.True) ];
+            synth = v "act1";
+          } );
+        ( "even",
+          {
+            Sws_def.succs = [ ("even", Prop.Not (v Sws_pl.msg_var)); ("stop", v "@msg") ];
+            synth = Prop.Or (v "act1", v "act2");
+          } );
+        ("stop", { Sws_def.succs = []; synth = v Sws_pl.msg_var });
+      ]
+
+let test_recursive_flag () = check "recursive" true (Sws_pl.is_recursive parity_pl)
+
+(* AFA translation agrees with direct runs on all short words. *)
+let afa_agrees name sws max_len () =
+  let afa = Sws_pl.to_afa sws in
+  List.iter
+    (fun w ->
+      let direct = Sws_pl.accepts_word sws w in
+      let via_afa = Afa.accepts afa w in
+      check
+        (Fmt.str "%s on %a" name Word_gen.pp_word w)
+        direct via_afa)
+    (Word_gen.words_up_to ~alphabet_size:(Sws_pl.alphabet_size sws) max_len)
+
+(* Nonrecursive unfolding agrees with direct runs. *)
+let test_unfold_agrees () =
+  let d = Option.get (Sws_pl.depth travel_pl) in
+  List.iter
+    (fun n ->
+      let formula = Sws_pl.unfold travel_pl ~n in
+      (* check on all assignments of the timed variables *)
+      let timed_vars =
+        List.concat_map
+          (fun j -> List.map (fun x -> Sws_pl.timed_var x j) (Sws_pl.input_vars travel_pl))
+          (List.init n (fun i -> i + 1))
+      in
+      List.iter
+        (fun a ->
+          let inputs =
+            List.init n (fun j ->
+                List.fold_left
+                  (fun acc x ->
+                    if Prop.assignment_mem (Sws_pl.timed_var x (j + 1)) a then
+                      Prop.Sset.add x acc
+                    else acc)
+                  Prop.Sset.empty (Sws_pl.input_vars travel_pl))
+          in
+          check
+            (Fmt.str "unfold n=%d" n)
+            (Sws_pl.run travel_pl inputs)
+            (Prop.eval a formula))
+        (Prop.all_assignments timed_vars))
+    [ 0; 1; d + 1 ]
+
+(* Roman encoding: language preserved. *)
+let test_roman_pl () =
+  (* DFA over {a, b}: words with an even number of 'b' ending in 'a' *)
+  let dfa =
+    Dfa.create ~alphabet_size:2 ~start:0 ~finals:[ 1 ]
+      ~trans:[| [| 1; 2 |]; [| 1; 2 |]; [| 3; 0 |]; [| 3; 0 |] |]
+  in
+  let sws = Roman.dfa_to_sws_pl dfa in
+  check "roman sws is recursive" true (Sws_pl.is_recursive sws);
+  List.iter
+    (fun w ->
+      check
+        (Fmt.str "roman %a" Word_gen.pp_word w)
+        (Dfa.accepts dfa w)
+        (Sws_pl.run sws (Roman.encode_input w)))
+    (Word_gen.words_up_to ~alphabet_size:2 5)
+
+let test_roman_cq () =
+  let dfa =
+    Dfa.create ~alphabet_size:2 ~start:0 ~finals:[ 0 ]
+      ~trans:[| [| 1; 0 |]; [| 0; 1 |] |]
+  in
+  let nfa = Dfa.to_nfa dfa in
+  let sws = Roman.to_sws_cq nfa in
+  let empty_db = Relational.Database.empty (Sws_data.db_schema sws) in
+  List.iter
+    (fun w ->
+      let out = Sws_data.run sws empty_db (Roman.encode_input_cq w) in
+      check
+        (Fmt.str "roman-cq %a" Word_gen.pp_word w)
+        (Dfa.accepts dfa w)
+        (not (Relational.Relation.is_empty out)))
+    (Word_gen.words_up_to ~alphabet_size:2 4)
+
+(* QCheck: random NFAs round-trip through the PL encoding. *)
+let random_nfa_gen =
+  QCheck.Gen.(
+    let* num_states = int_range 1 4 in
+    let* num_edges = int_range 0 8 in
+    let* edges =
+      list_repeat num_edges
+        (triple (int_bound (num_states - 1)) (int_bound 1) (int_bound (num_states - 1)))
+    in
+    let* finals = list_repeat num_states bool in
+    let finals =
+      List.filteri (fun i _ -> List.nth finals i) (List.init num_states Fun.id)
+    in
+    return
+      (Nfa.create ~num_states ~alphabet_size:2 ~starts:[ 0 ] ~finals ~edges
+         ~eps_edges:[]))
+
+let prop_roman_preserves_language =
+  QCheck.Test.make ~count:60 ~name:"roman encoding preserves the language"
+    (QCheck.make random_nfa_gen)
+    (fun nfa ->
+      let sws = Roman.to_sws_pl nfa in
+      List.for_all
+        (fun w ->
+          Bool.equal (Nfa.accepts nfa w) (Sws_pl.run sws (Roman.encode_input w)))
+        (Word_gen.words_up_to ~alphabet_size:2 4))
+
+(* Regression: Thompson-constructed NFAs carry epsilon transitions; the
+   Roman encoding must remove them first. *)
+let test_roman_epsilon () =
+  let nfa =
+    Nfa.of_regex ~alphabet_size:2 (Automata.Regex.parse "(ab)+")
+  in
+  let sws = Roman.to_sws_pl nfa in
+  List.iter
+    (fun w ->
+      check
+        (Fmt.str "thompson %a" Word_gen.pp_word w)
+        (Nfa.accepts nfa w)
+        (Sws_pl.run sws (Roman.encode_input w)))
+    (Word_gen.words_up_to ~alphabet_size:2 5)
+
+let suite =
+  [
+    Alcotest.test_case "roman epsilon regression" `Quick test_roman_epsilon;
+    Alcotest.test_case "travel run" `Quick test_travel_run;
+    Alcotest.test_case "travel nonrecursive" `Quick test_travel_not_recursive;
+    Alcotest.test_case "parity recursive" `Quick test_recursive_flag;
+    Alcotest.test_case "afa agrees (travel)" `Quick (afa_agrees "travel" travel_pl 2);
+    Alcotest.test_case "afa agrees (parity)" `Quick (afa_agrees "parity" parity_pl 5);
+    Alcotest.test_case "unfold agrees" `Slow test_unfold_agrees;
+    Alcotest.test_case "roman dfa -> sws(pl,pl)" `Quick test_roman_pl;
+    Alcotest.test_case "roman nfa -> sws(cq,ucq)" `Quick test_roman_cq;
+    QCheck_alcotest.to_alcotest prop_roman_preserves_language;
+  ]

@@ -1,0 +1,152 @@
+(* Integration tests: the paper's running travel-package example end to
+   end — tau1's deterministic synthesis (Examples 1.1 / 2.1 / 2.2), the
+   recursive tau2, and the mediator pi1 of Example 5.1. *)
+
+module R = Relational
+module Relation = R.Relation
+module Tuple = R.Tuple
+module Value = R.Value
+open Sws
+
+let check = Alcotest.(check bool)
+
+let db =
+  Travel.catalog_db
+    ~airfares:[ (101, 300); (102, 500) ]
+    ~hotels:[ (201, 120) ]
+    ~tickets:[ (301, 80) ]
+    ~cars:[ (401, 60) ]
+
+let row a h t c =
+  Tuple.of_list
+    [
+      (match a with Some id -> Value.int id | None -> Travel.dont_care);
+      (match h with Some id -> Value.int id | None -> Travel.dont_care);
+      (match t with Some id -> Value.int id | None -> Travel.dont_care);
+      (match c with Some id -> Value.int id | None -> Travel.dont_care);
+    ]
+
+let test_ticket_preferred () =
+  (* airfare + hotel + both ticket and car available: tickets win (the
+     deterministic commitment of Example 1.1, condition (a) over (b)) *)
+  let req =
+    Travel.request ~air:[ 300 ] ~hotel:[ 120 ] ~ticket:[ 80 ] ~car:[ 60 ] ()
+  in
+  let out = Travel.booked db req in
+  check "ticket booked" true
+    (Relation.mem (row (Some 101) (Some 201) (Some 301) None) out);
+  check "no car row" true
+    (Relation.for_all
+       (fun tup -> Value.equal (Tuple.get tup 3) Travel.dont_care)
+       out)
+
+let test_car_fallback () =
+  (* no ticket at the requested price: fall back to the rental car *)
+  let req =
+    Travel.request ~air:[ 300 ] ~hotel:[ 120 ] ~ticket:[ 999 ] ~car:[ 60 ] ()
+  in
+  let out = Travel.booked db req in
+  check "car booked" true
+    (Relation.mem (row (Some 101) (Some 201) None (Some 401)) out)
+
+let test_conjunctive_failure () =
+  (* no hotel at the requested price: the whole package fails (rollback
+     semantics: nothing is committed, Example 1.1 condition 2) *)
+  let req = Travel.request ~air:[ 300 ] ~hotel:[ 999 ] ~ticket:[ 80 ] () in
+  check "nothing booked" true (Relation.is_empty (Travel.booked db req));
+  (* likewise when the airfare is missing *)
+  let req2 = Travel.request ~hotel:[ 120 ] ~ticket:[ 80 ] () in
+  check "no airfare, nothing booked" true (Relation.is_empty (Travel.booked db req2))
+
+let test_tau1_class_and_shape () =
+  check "tau1 nonrecursive" false (Sws_data.is_recursive Travel.tau1);
+  check "tau1 is FO" true (Sws_data.lang_class Travel.tau1 = Sws_data.Class_fo);
+  check "tau2 recursive" true (Sws_data.is_recursive Travel.tau2)
+
+let test_tau2_latest_inquiry () =
+  (* tau2: the recursive airfare chain prefers the latest inquiry it can
+     satisfy.  Sessions: I_1 routes all categories, deeper inputs re-ask
+     for airfare. *)
+  let first = Travel.request ~air:[ 999 ] ~hotel:[ 120 ] ~ticket:[ 80 ] () in
+  let second = Travel.request ~air:[ 300 ] () in
+  (* chain: root consumes I_1; qa chain consumes I_2 onwards *)
+  let out = Sws_data.run Travel.tau2 db [ first; second; second ] in
+  check "retry satisfied" true
+    (Relation.mem (row (Some 101) (Some 201) (Some 301) None) out)
+
+let test_mediator_agrees () =
+  (* pi1 produces the same packages as tau1 on crafted scenarios,
+     conditions (a)-(c) of Example 5.1 holding by construction *)
+  List.iter
+    (fun req ->
+      let direct = Travel.booked db req in
+      let via = Travel.booked_via_mediator db req in
+      check "pi1 = tau1" true (Relation.equal direct via))
+    [
+      Travel.request ~air:[ 300 ] ~hotel:[ 120 ] ~ticket:[ 80 ] ~car:[ 60 ] ();
+      Travel.request ~air:[ 300 ] ~hotel:[ 120 ] ~ticket:[ 999 ] ~car:[ 60 ] ();
+      Travel.request ~air:[ 300 ] ~hotel:[ 999 ] ~ticket:[ 80 ] ();
+      Travel.request ();
+      Travel.request ~air:[ 300; 500 ] ~hotel:[ 120 ] ~car:[ 60 ] ();
+    ]
+
+let test_execution_tree_shape () =
+  (* Figure 1(b): the root spawns the four category branches in parallel;
+     the execution tree has depth 2 and five nodes *)
+  let req = Travel.request ~air:[ 300 ] ~hotel:[ 120 ] ~ticket:[ 80 ] () in
+  let tree = Sws_data.run_tree Travel.tau1 db (Travel.session req) in
+  Alcotest.(check int) "five nodes" 5 (Sws_data.Run.size tree);
+  Alcotest.(check int) "depth two" 2 (Sws_data.Run.tree_depth tree)
+
+(* Figure 1: the sequential FSA-style variant produces the same packages
+   as the parallel SWS, but needs a deeper tree and more messages. *)
+let test_sequential_variant () =
+  List.iter
+    (fun req ->
+      check "seq = parallel" true
+        (Relation.equal (Travel.booked db req) (Travel.booked_sequential db req)))
+    [
+      Travel.request ~air:[ 300 ] ~hotel:[ 120 ] ~ticket:[ 80 ] ~car:[ 60 ] ();
+      Travel.request ~air:[ 300 ] ~hotel:[ 120 ] ~car:[ 60 ] ();
+      Travel.request ~air:[ 300 ] ~hotel:[ 999 ] ~ticket:[ 80 ] ();
+      Travel.request ();
+    ];
+  let req = Travel.request ~air:[ 300 ] ~hotel:[ 120 ] ~ticket:[ 80 ] () in
+  let seq_tree =
+    Sws_data.run_tree Travel.tau1_sequential db (Travel.session_sequential req)
+  in
+  let par_tree = Sws_data.run_tree Travel.tau1 db (Travel.session req) in
+  check "sequential is deeper" true
+    (Sws_data.Run.tree_depth seq_tree > Sws_data.Run.tree_depth par_tree)
+
+(* The FO unfolding of the real (negation-carrying) tau1 agrees with its
+   direct runs: the strongest exercise of Unfold.to_fo in the suite. *)
+let test_tau1_fo_unfold () =
+  List.iter
+    (fun req ->
+      let inputs = Travel.session req in
+      let n = List.length inputs in
+      let direct = Sws_data.run Travel.tau1 db inputs in
+      let q = Sws.Unfold.to_fo Travel.tau1 ~n in
+      let timed = Sws.Unfold.timed_database Travel.tau1 ~n db inputs in
+      Alcotest.(check bool)
+        "fo unfold agrees" true
+        (Relation.equal direct (R.Fo.eval q timed)))
+    [
+      Travel.request ~air:[ 300 ] ~hotel:[ 120 ] ~ticket:[ 80 ] ~car:[ 60 ] ();
+      Travel.request ~air:[ 300 ] ~hotel:[ 120 ] ~car:[ 60 ] ();
+      Travel.request ~air:[ 300 ] ~hotel:[ 999 ] ~ticket:[ 80 ] ();
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "sequential variant" `Quick test_sequential_variant;
+    Alcotest.test_case "tau1 fo unfold" `Slow test_tau1_fo_unfold;
+    Alcotest.test_case "ticket preferred" `Quick test_ticket_preferred;
+    Alcotest.test_case "car fallback" `Quick test_car_fallback;
+    Alcotest.test_case "conjunctive failure" `Quick test_conjunctive_failure;
+    Alcotest.test_case "classes and shape" `Quick test_tau1_class_and_shape;
+    Alcotest.test_case "tau2 latest inquiry" `Quick test_tau2_latest_inquiry;
+    Alcotest.test_case "mediator pi1 agrees" `Quick test_mediator_agrees;
+    Alcotest.test_case "execution tree shape" `Quick test_execution_tree_shape;
+  ]

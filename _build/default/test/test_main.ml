@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "sws"
+    [
+      ("relational", T_relational.suite);
+      ("proplogic", T_proplogic.suite);
+      ("automata", T_automata.suite);
+      ("graphdb", T_graphdb.suite);
+      ("datalog", T_datalog.suite);
+      ("rewriting", T_rewriting.suite);
+      ("sws_pl", T_sws_pl.suite);
+      ("peer", T_peer.suite);
+      ("sws_data", T_sws_data.suite);
+      ("decision", T_decision.suite);
+      ("mediator", T_mediator.suite);
+      ("compose", T_compose.suite);
+      ("travel", T_travel.suite);
+      ("extensions", T_extensions.suite);
+      ("edge", T_edge.suite);
+      ("parser", T_parser.suite);
+      ("more", T_more.suite);
+      ("reductions", T_reductions.suite);
+    ]
