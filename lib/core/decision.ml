@@ -196,7 +196,7 @@ let cq_non_emptiness ?(max_n = 6) sws =
    canonical database is kept only if it reproduces O exactly.  Sound and,
    on the canonical candidate space, complete; recursive services and
    exhausted budgets report [Unknown]. *)
-let cq_validation ?(max_n = 4) ?(max_assignments = 4096) sws ~output =
+let cq_validation ?(max_n = 4) ?(max_assignments = 4096) ?strategy sws ~output =
   let open R in
   if Relation.is_empty output then Yes (Database.empty (Sws_data.db_schema sws), [])
   else begin
@@ -273,7 +273,8 @@ let cq_validation ?(max_n = 4) ?(max_assignments = 4096) sws ~output =
             let db =
               List.fold_left Database.merge (Database.empty schema) dbs
             in
-            if Relation.equal (Ucq.eval q db) output then Some db else None)
+            if Relation.equal (Ucq.eval ?strategy q db) output then Some db
+            else None)
           candidates
       end
     in

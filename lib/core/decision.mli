@@ -52,10 +52,13 @@ val cq_non_emptiness :
   outcome
 
 (** Small-model search assembling canonical databases per output tuple;
-    sound, complete on the canonical candidate space. *)
+    sound, complete on the canonical candidate space.  [strategy] picks the
+    join algorithm used to re-evaluate the unfolding against each candidate
+    database (default: the index-backed join). *)
 val cq_validation :
   ?max_n:int ->
   ?max_assignments:int ->
+  ?strategy:Relational.Cq.strategy ->
   Sws_data.t ->
   output:Relational.Relation.t ->
   (Relational.Database.t * Relational.Relation.t list) outcome

@@ -12,8 +12,10 @@ module Schema = Relational.Schema
 module Subst = Relational.Subst
 module Tuple = Relational.Tuple
 
+module Smap = Map.Make (String)
+
 (* Evaluate one rule body against [db] and return the derived head tuples. *)
-let derive_rule db (r : Dl.rule) =
+let derive_rule ?strategy db (r : Dl.rule) =
   let head_cq_vars =
     (* fetch all body variables so Skolem heads can be built from them *)
     List.concat_map Atom.vars r.body |> List.sort_uniq String.compare
@@ -21,7 +23,7 @@ let derive_rule db (r : Dl.rule) =
   let cq =
     Cq.make ~head:(List.map Term.var head_cq_vars) ~body:r.body ()
   in
-  let substs = Cq.eval_substs cq db in
+  let substs = Cq.eval_substs ?strategy cq db in
   List.map
     (fun subst ->
       Tuple.of_list
@@ -40,7 +42,7 @@ let full_schema program edb =
   Schema.union (Dl.schema_of program) (Database.schema edb)
 
 (* Naive fixpoint: iterate all rules until nothing new is derived. *)
-let eval_naive program edb =
+let eval_naive ?cq_strategy program edb =
   let schema = full_schema program edb in
   let start =
     Database.fold (fun n r db -> Database.set n r db) edb (Database.empty schema)
@@ -54,7 +56,7 @@ let eval_naive program edb =
               let rel = Database.find rule.Dl.head_rel db in
               if Relation.mem tuple rel then (db, grew)
               else (Database.set rule.Dl.head_rel (Relation.add tuple rel) db, true))
-            (db, grew) (derive_rule db rule))
+            (db, grew) (derive_rule ?strategy:cq_strategy db rule))
         (db, false) (Dl.rules program)
     in
     if grew then round db' else db'
@@ -66,7 +68,7 @@ let eval_naive program edb =
    "relation@delta" renaming). *)
 let delta_name n = n ^ "@delta"
 
-let eval_seminaive program edb =
+let eval_seminaive ?cq_strategy program edb =
   let schema0 = full_schema program edb in
   let idb = Dl.idb_relations program in
   let schema =
@@ -74,14 +76,17 @@ let eval_seminaive program edb =
       (fun s n -> Schema.add (delta_name n) (Schema.arity_exn n schema0) s)
       schema0 idb
   in
+  (* Deltas are a string-keyed map, so per-tuple bookkeeping is O(log r) in
+     the number of changed relations instead of the O(r) assoc-list scans
+     (which made every round quadratic in the delta size). *)
   let with_deltas db deltas =
-    List.fold_left (fun db (n, r) -> Database.set (delta_name n) r db) db deltas
+    Smap.fold (fun n r db -> Database.set (delta_name n) r db) deltas db
   in
   let start =
     Database.fold (fun n r db -> Database.set n r db) edb (Database.empty schema)
   in
   (* Round zero: plain evaluation of every rule on the EDB. *)
-  let initial_facts rule = derive_rule start rule in
+  let initial_facts rule = derive_rule ?strategy:cq_strategy start rule in
   let add_facts (db, deltas) rel tuples =
     List.fold_left
       (fun (db, deltas) tuple ->
@@ -89,12 +94,11 @@ let eval_seminaive program edb =
         if Relation.mem tuple current then (db, deltas)
         else
           let deltas =
-            let old =
-              Option.value
-                ~default:(Relation.empty (Tuple.arity tuple))
-                (List.assoc_opt rel deltas)
-            in
-            (rel, Relation.add tuple old) :: List.remove_assoc rel deltas
+            Smap.update rel
+              (function
+                | None -> Some (Relation.singleton tuple)
+                | Some old -> Some (Relation.add tuple old))
+              deltas
           in
           (Database.set rel (Relation.add tuple current) db, deltas))
       (db, deltas) tuples
@@ -102,13 +106,12 @@ let eval_seminaive program edb =
   let db, deltas =
     List.fold_left
       (fun acc rule -> add_facts acc rule.Dl.head_rel (initial_facts rule))
-      (start, []) (Dl.rules program)
+      (start, Smap.empty) (Dl.rules program)
   in
   let rec round db deltas =
-    if deltas = [] then db
+    if Smap.is_empty deltas then db
     else begin
       let db_with = with_deltas db deltas in
-      let delta_rels = List.map fst deltas in
       let db', deltas' =
         List.fold_left
           (fun acc rule ->
@@ -116,7 +119,7 @@ let eval_seminaive program edb =
             let variants =
               List.mapi
                 (fun i (a : Atom.t) ->
-                  if List.mem a.rel delta_rels then
+                  if Smap.mem a.rel deltas then
                     Some
                       {
                         rule with
@@ -133,9 +136,10 @@ let eval_seminaive program edb =
             in
             List.fold_left
               (fun acc variant ->
-                add_facts acc rule.Dl.head_rel (derive_rule db_with variant))
+                add_facts acc rule.Dl.head_rel
+                  (derive_rule ?strategy:cq_strategy db_with variant))
               acc variants)
-          (db, []) (Dl.rules program)
+          (db, Smap.empty) (Dl.rules program)
       in
       round db' deltas'
     end
@@ -150,15 +154,15 @@ let eval_seminaive program edb =
     result
     (Database.empty schema0)
 
-let eval ?(strategy = `Seminaive) program edb =
+let eval ?(strategy = `Seminaive) ?cq_strategy program edb =
   match strategy with
-  | `Naive -> eval_naive program edb
-  | `Seminaive -> eval_seminaive program edb
+  | `Naive -> eval_naive ?cq_strategy program edb
+  | `Seminaive -> eval_seminaive ?cq_strategy program edb
 
 (* Answer a query (an IDB relation name) and drop Skolem-carrying tuples:
    certain answers only. *)
-let certain_answers ?strategy program edb goal =
-  let db = eval ?strategy program edb in
+let certain_answers ?strategy ?cq_strategy program edb goal =
+  let db = eval ?strategy ?cq_strategy program edb in
   Relation.filter
     (fun t -> not (Tuple.exists Dl.is_skolem_value t))
     (Database.find goal db)

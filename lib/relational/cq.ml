@@ -142,6 +142,42 @@ let atom_matches db subst atom =
       | None -> acc)
     rel []
 
+(* Positions of [atom] whose value is already determined — a constant
+   argument, or a variable bound by [subst] — with the determined values.
+   These form the probe key into the index. *)
+let determined_positions subst atom =
+  let rec go i args acc =
+    match args with
+    | [] -> List.rev acc
+    | Term.Const v :: rest -> go (i + 1) rest ((i, v) :: acc)
+    | Term.Var x :: rest -> (
+      match Subst.find x subst with
+      | Some v -> go (i + 1) rest ((i, v) :: acc)
+      | None -> go (i + 1) rest acc)
+  in
+  go 0 atom.Atom.args []
+
+(* Index-backed variant of [atom_matches]: probe the per-database hash index
+   on the atom's determined positions instead of folding the full relation.
+   [unify_args] still runs on the probed tuples, to bind the free positions
+   and enforce repeated-variable constraints the key cannot express. *)
+let atom_matches_indexed db subst atom =
+  match determined_positions subst atom with
+  | [] -> atom_matches db subst atom
+  | bound ->
+    let rel = Database.find atom.Atom.rel db in
+    let positions = List.map fst bound and key = List.map snd bound in
+    let tuples =
+      Index.probe (Database.index_store db) ~name:atom.Atom.rel rel ~positions
+        key
+    in
+    List.fold_left
+      (fun acc tuple ->
+        match unify_args subst atom.Atom.args tuple with
+        | Some s -> s :: acc
+        | None -> acc)
+      [] tuples
+
 let neqs_hold subst neqs =
   List.for_all
     (fun (a, b) ->
@@ -155,16 +191,28 @@ let bound_var_count subst atom =
 
 (* Greedy sideways-information-passing: always expand the atom with the most
    already-bound variables (breaking ties towards smaller relations), so joins
-   stay selective.  [`Naive] keeps the textual atom order; the difference is
-   one of the ablations in bench/. *)
-type strategy = [ `Greedy | `Naive ]
+   stay selective.  [`Indexed] keeps the greedy atom order but answers each
+   expansion with a hash-index probe instead of a full relation scan;
+   [`Naive] keeps the textual atom order.  The gaps between the three are
+   ablations in bench/. *)
+type strategy = [ `Greedy | `Indexed | `Naive ]
 
-let eval_substs ?(strategy = `Greedy) q db =
+(* Remove exactly the first occurrence (physically) of [b].  A plain
+   [List.filter] on physical inequality would drop *every* occurrence at
+   once when a body atom is shared, silently shortening the join. *)
+let remove_one_atom b atoms =
+  let rec go = function
+    | [] -> []
+    | a :: rest -> if a == b then rest else a :: go rest
+  in
+  go atoms
+
+let eval_substs ?(strategy = `Indexed) q db =
   let pick subst atoms =
     match strategy, atoms with
     | _, [] -> None
     | `Naive, a :: rest -> Some (a, rest)
-    | `Greedy, _ ->
+    | (`Greedy | `Indexed), _ ->
       let score a =
         ( -bound_var_count subst a,
           Relation.cardinal (Database.find a.Atom.rel db) )
@@ -177,9 +225,12 @@ let eval_substs ?(strategy = `Greedy) q db =
             | Some b -> if score a < score b then Some a else acc)
           None atoms
       in
-      Option.map
-        (fun b -> (b, List.filter (fun a -> not (a == b)) atoms))
-        best
+      Option.map (fun b -> (b, remove_one_atom b atoms)) best
+  in
+  let matches =
+    match strategy with
+    | `Indexed -> atom_matches_indexed
+    | `Greedy | `Naive -> atom_matches
   in
   let rec search subst atoms acc =
     if not (neqs_hold subst q.neqs) then acc
@@ -190,7 +241,7 @@ let eval_substs ?(strategy = `Greedy) q db =
         List.fold_left
           (fun acc subst' -> search subst' rest acc)
           acc
-          (atom_matches db subst atom)
+          (matches db subst atom)
   in
   search Subst.empty q.body []
 

@@ -38,13 +38,22 @@ val apply_var_subst : Term.t Map.Make(String).t -> t -> t
 (** Schema induced by the body atoms. *)
 val schema_of : t -> Schema.t
 
-type strategy = [ `Greedy | `Naive ]
+(** [`Indexed] (the default) is greedy sideways-information-passing with
+    hash-index probes against the database's {!Index} store; [`Greedy] is the
+    same join order over full relation scans; [`Naive] scans in textual atom
+    order.  All three return the same relations. *)
+type strategy = [ `Greedy | `Indexed | `Naive ]
 
 (** All satisfying valuations of the body over [db]. *)
 val eval_substs : ?strategy:strategy -> t -> Database.t -> Subst.t list
 
 (** The answer relation of the query over [db]. *)
 val eval : ?strategy:strategy -> t -> Database.t -> Relation.t
+
+(** Remove exactly the first (physical) occurrence of the atom.  Exposed for
+    white-box regression testing of the join loop's atom bookkeeping: a
+    duplicated body atom must be consumed one occurrence at a time. *)
+val remove_one_atom : Atom.t -> Atom.t list -> Atom.t list
 
 (** Freeze variables to labelled nulls (Chandra-Merlin canonical database
     valuation). *)

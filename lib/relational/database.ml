@@ -6,9 +6,15 @@ module Smap = Map.Make (String)
 type t = {
   schema : Schema.t;
   relations : Relation.t Smap.t;
+  index : Index.t;
+      (* Shared across functional updates of this database: staleness is
+         per-relation via Relation.stamp, so an update to one relation keeps
+         every other relation's cached indexes valid. *)
 }
 
-let empty schema = { schema; relations = Smap.empty }
+let empty schema = { schema; relations = Smap.empty; index = Index.create () }
+
+let index_store db = db.index
 
 let schema db = db.schema
 

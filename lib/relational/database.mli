@@ -7,6 +7,11 @@ type t
 val empty : Schema.t -> t
 val schema : t -> Schema.t
 
+(** The database's lazily-populated index cache (see {!Index}).  Shared by
+    all functional updates of this value; correctness is maintained through
+    {!Relation.stamp} staleness checks. *)
+val index_store : t -> Index.t
+
 (** [find name db] is the instance of [name]; empty if never set.  Fails if
     [name] is not in the schema. *)
 val find : string -> t -> Relation.t

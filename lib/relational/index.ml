@@ -1,0 +1,76 @@
+(* Hash indexes over relations, keyed on subsets of argument positions.
+
+   Joins in [Cq.eval_substs] repeatedly ask "which tuples of R agree with the
+   current binding on these positions?".  The naive answer folds over the
+   whole relation once per candidate binding; this layer answers it with one
+   hash probe against a table built once per (relation value, position set).
+
+   Tables are built lazily: the first probe for a (name, positions) pair pays
+   one O(|R|) pass, every later probe is O(#matches).  A store is carried by
+   each [Database.t] and shared across its functional updates; staleness is
+   detected per relation via {!Relation.stamp}, so updating one relation
+   never invalidates the cached indexes of the others (this is what keeps
+   semi-naive datalog rounds fast: the EDB indexes survive every round). *)
+
+type key = Value.t list
+
+module Key_tbl = Hashtbl.Make (struct
+  type t = key
+
+  let equal = List.equal Value.equal
+
+  let hash k = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 k
+end)
+
+(* One indexed view of one relation value: tuples grouped by their values at
+   [positions]. *)
+type table = Tuple.t list Key_tbl.t
+
+(* All indexed views of the relation currently named [name]; dropped
+   wholesale when the relation's stamp moves. *)
+type entry = {
+  stamp : int;
+  tables : (int list, table) Hashtbl.t;
+}
+
+type t = (string, entry) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let key_of positions tuple = List.map (fun i -> Tuple.get tuple i) positions
+
+let build_table rel positions : table =
+  let table = Key_tbl.create (max 16 (Relation.cardinal rel)) in
+  Relation.iter
+    (fun tuple ->
+      let k = key_of positions tuple in
+      let prev = Option.value ~default:[] (Key_tbl.find_opt table k) in
+      Key_tbl.replace table k (tuple :: prev))
+    rel;
+  table
+
+let entry_for store name rel =
+  match Hashtbl.find_opt store name with
+  | Some e when e.stamp = Relation.stamp rel -> e
+  | _ ->
+    let e = { stamp = Relation.stamp rel; tables = Hashtbl.create 4 } in
+    Hashtbl.replace store name e;
+    e
+
+let table_for store ~name rel ~positions =
+  let entry = entry_for store name rel in
+  match Hashtbl.find_opt entry.tables positions with
+  | Some table -> table
+  | None ->
+    let table = build_table rel positions in
+    Hashtbl.replace entry.tables positions table;
+    table
+
+let probe store ~name rel ~positions key =
+  if positions = [] then Relation.to_list rel
+  else
+    let table = table_for store ~name rel ~positions in
+    Option.value ~default:[] (Key_tbl.find_opt table key)
+
+let cached_tables store =
+  Hashtbl.fold (fun _ e acc -> acc + Hashtbl.length e.tables) store 0

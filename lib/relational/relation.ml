@@ -7,6 +7,11 @@ module Tuple_set = Set.Make (Tuple)
 type t = {
   arity : int;
   tuples : Tuple_set.t;
+  size : int;
+      (* |tuples|, maintained so [cardinal] is O(1): the greedy join planner
+         scores every candidate atom by relation size at every search node,
+         and Set.cardinal's O(n) walk made that scoring quadratic. *)
+  stamp : int;
 }
 
 exception Arity_mismatch of string
@@ -18,33 +23,51 @@ let check_arity op arity t =
          (Printf.sprintf "%s: expected arity %d, got tuple of arity %d" op
             arity (Tuple.arity t)))
 
-let empty arity = { arity; tuples = Tuple_set.empty }
+(* Every structurally-new relation value gets a fresh stamp, so caches (the
+   Index layer) can detect staleness by an integer comparison instead of a
+   set comparison.  Two relations with equal tuple sets but different stamps
+   are still [equal]; the stamp is an identity, not part of the value. *)
+let stamp_counter = ref 0
+
+let build_sized arity tuples size =
+  incr stamp_counter;
+  { arity; tuples; size; stamp = !stamp_counter }
+
+let build arity tuples = build_sized arity tuples (Tuple_set.cardinal tuples)
+
+let stamp r = r.stamp
+
+let empty arity = build_sized arity Tuple_set.empty 0
 
 let is_empty r = Tuple_set.is_empty r.tuples
 
 let arity r = r.arity
 
-let cardinal r = Tuple_set.cardinal r.tuples
+let cardinal r = r.size
 
 let mem t r = Tuple_set.mem t r.tuples
 
 let add t r =
   check_arity "add" r.arity t;
-  { r with tuples = Tuple_set.add t r.tuples }
+  let tuples = Tuple_set.add t r.tuples in
+  if tuples == r.tuples then r else build_sized r.arity tuples (r.size + 1)
 
-let remove t r = { r with tuples = Tuple_set.remove t r.tuples }
+let remove t r =
+  check_arity "remove" r.arity t;
+  let tuples = Tuple_set.remove t r.tuples in
+  if tuples == r.tuples then r else build_sized r.arity tuples (r.size - 1)
 
 let of_list arity ts = List.fold_left (fun r t -> add t r) (empty arity) ts
 
 let to_list r = Tuple_set.elements r.tuples
 
-let singleton t = { arity = Tuple.arity t; tuples = Tuple_set.singleton t }
+let singleton t = build_sized (Tuple.arity t) (Tuple_set.singleton t) 1
 
 let fold f r init = Tuple_set.fold f r.tuples init
 
 let iter f r = Tuple_set.iter f r.tuples
 
-let filter p r = { r with tuples = Tuple_set.filter p r.tuples }
+let filter p r = build r.arity (Tuple_set.filter p r.tuples)
 
 let exists p r = Tuple_set.exists p r.tuples
 
@@ -60,15 +83,15 @@ let subset a b = a.arity = b.arity && Tuple_set.subset a.tuples b.tuples
 
 let union a b =
   if a.arity <> b.arity then raise (Arity_mismatch "union")
-  else { a with tuples = Tuple_set.union a.tuples b.tuples }
+  else build a.arity (Tuple_set.union a.tuples b.tuples)
 
 let inter a b =
   if a.arity <> b.arity then raise (Arity_mismatch "inter")
-  else { a with tuples = Tuple_set.inter a.tuples b.tuples }
+  else build a.arity (Tuple_set.inter a.tuples b.tuples)
 
 let diff a b =
   if a.arity <> b.arity then raise (Arity_mismatch "diff")
-  else { a with tuples = Tuple_set.diff a.tuples b.tuples }
+  else build a.arity (Tuple_set.diff a.tuples b.tuples)
 
 let product a b =
   let tuples =
@@ -79,7 +102,7 @@ let product a b =
           b.tuples acc)
       a.tuples Tuple_set.empty
   in
-  { arity = a.arity + b.arity; tuples }
+  build (a.arity + b.arity) tuples
 
 let project positions r =
   let tuples =
@@ -87,7 +110,7 @@ let project positions r =
       (fun t acc -> Tuple_set.add (Tuple.project positions t) acc)
       r.tuples Tuple_set.empty
   in
-  { arity = List.length positions; tuples }
+  build (List.length positions) tuples
 
 let select p r = filter p r
 

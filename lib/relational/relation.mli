@@ -13,9 +13,17 @@ val arity : t -> int
 val cardinal : t -> int
 val mem : Tuple.t -> t -> bool
 
+(** A per-value identity: every structurally-new relation carries a fresh
+    stamp, unchanged tuple sets keep theirs.  {!Index} keys its cached hash
+    indexes on it to detect staleness in O(1); it is not part of the value
+    ({!equal} and {!compare} ignore it). *)
+val stamp : t -> int
+
 (** Raises {!Arity_mismatch} when the tuple arity differs. *)
 val add : Tuple.t -> t -> t
 
+(** Raises {!Arity_mismatch} when the tuple arity differs (aligned with
+    {!add}: a wrong-arity removal is a bug, not a no-op). *)
 val remove : Tuple.t -> t -> t
 val of_list : int -> Tuple.t list -> t
 val to_list : t -> Tuple.t list

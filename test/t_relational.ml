@@ -26,6 +26,88 @@ let db_r rows =
 
 let check = Alcotest.(check bool)
 
+(* Regression: [remove] must enforce the arity check exactly like [add]; a
+   wrong-arity removal used to silently no-op. *)
+let test_remove_arity_checked () =
+  let a = rel 2 [ [ 1; 2 ] ] in
+  check "same-arity remove works" true
+    (Relation.is_empty (Relation.remove (tup [ 1; 2 ]) a));
+  check "remove of absent tuple is a no-op" true
+    (Relation.equal a (Relation.remove (tup [ 9; 9 ]) a));
+  Alcotest.check_raises "wrong-arity remove raises"
+    (Relation.Arity_mismatch "remove: expected arity 2, got tuple of arity 1")
+    (fun () -> ignore (Relation.remove (tup [ 1 ]) a))
+
+(* Regression: the greedy join loop used to drop a chosen atom with
+   [List.filter (fun a -> not (a == b))], which removes *every* physical
+   occurrence at once — a body with a shared duplicated atom lost all its
+   copies in one step.  [remove_one_atom] must consume exactly one. *)
+let test_duplicate_atom_removed_once () =
+  let a = Atom.make "r" [ v "x"; v "y" ] in
+  Alcotest.(check int) "one of two shared occurrences survives" 1
+    (List.length (Cq.remove_one_atom a [ a; a ]));
+  Alcotest.(check int) "two of three shared occurrences survive" 2
+    (List.length (Cq.remove_one_atom a [ a; a; a ]));
+  let b = Atom.make "r" [ v "x"; v "y" ] in
+  check "structurally equal but distinct atoms untouched" true
+    (Cq.remove_one_atom a [ b; a; b ] = [ b; b ]);
+  (* end-to-end: a query whose body shares one atom twice evaluates the
+     same under every strategy and matches the deduplicated query *)
+  let db = db_r [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 1 ] ] in
+  let dup = cq [ v "x" ] [ a; a ] in
+  let single = cq [ v "x" ] [ a ] in
+  let expected = Cq.eval single db in
+  List.iter
+    (fun s -> check "duplicated body atom" true (Relation.equal (Cq.eval ~strategy:s dup db) expected))
+    [ `Naive; `Greedy; `Indexed ]
+
+(* Property: the three join strategies are answer-equivalent on randomized
+   CQ/database instances (the indexed path is an optimization, never a
+   semantics change). *)
+let prop_strategies_agree =
+  let gen = QCheck.Gen.int_bound 100000 in
+  QCheck.Test.make ~count:120 ~name:"naive = greedy = indexed CQ evaluation"
+    (QCheck.make gen)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let var_of n = v (Printf.sprintf "v%d" n) in
+      let term () =
+        if Random.State.int rng 5 = 0 then i (Random.State.int rng 4)
+        else var_of (Random.State.int rng 4)
+      in
+      let atom () =
+        if Random.State.bool rng then Atom.make "r" [ term (); term () ]
+        else Atom.make "s" [ term (); term (); term () ]
+      in
+      let rec body n = if n = 0 then [] else atom () :: body (n - 1) in
+      let body = body (1 + Random.State.int rng 3) in
+      let head_pool = List.concat_map Atom.vars body in
+      if head_pool = [] then true
+      else begin
+        let head =
+          [ v (List.nth head_pool (Random.State.int rng (List.length head_pool))) ]
+        in
+        let neqs =
+          if Random.State.int rng 3 = 0 && List.length head_pool > 1 then
+            [ (v (List.nth head_pool 0), v (List.nth head_pool 1)) ]
+          else []
+        in
+        let q = cq ~neqs head body in
+        let schema = Schema.of_list [ ("r", 2); ("s", 3) ] in
+        let config =
+          {
+            R.Instance_gen.domain_size = 1 + Random.State.int rng 5;
+            tuples_per_relation = Random.State.int rng 12;
+          }
+        in
+        let db = R.Instance_gen.random_database ~config rng schema in
+        let reference = Cq.eval ~strategy:`Naive q db in
+        Relation.equal reference (Cq.eval ~strategy:`Greedy q db)
+        && Relation.equal reference (Cq.eval ~strategy:`Indexed q db)
+        (* a second indexed run hits the warm per-database index cache *)
+        && Relation.equal reference (Cq.eval ~strategy:`Indexed q db)
+      end)
+
 let test_relation_algebra () =
   let a = rel 2 [ [ 1; 2 ]; [ 3; 4 ] ] and b = rel 2 [ [ 3; 4 ]; [ 5; 6 ] ] in
   check "union card" true (Relation.cardinal (Relation.union a b) = 3);
@@ -255,6 +337,10 @@ let suite =
   [
     QCheck_alcotest.to_alcotest prop_fo_eval_agrees;
     Alcotest.test_case "relation algebra" `Quick test_relation_algebra;
+    Alcotest.test_case "remove arity checked" `Quick test_remove_arity_checked;
+    Alcotest.test_case "duplicate atom removed once" `Quick
+      test_duplicate_atom_removed_once;
+    QCheck_alcotest.to_alcotest prop_strategies_agree;
     Alcotest.test_case "cq eval" `Quick test_cq_eval;
     Alcotest.test_case "cq unsat eqs" `Quick test_cq_unsat_eqs;
     Alcotest.test_case "cq safety" `Quick test_cq_safety;
