@@ -218,7 +218,10 @@ let table1_cq_rec () =
          in
          ( Printf.sprintf "%d nodes, %d edges" num_nodes (List.length edges),
            measure ~repeats:1 (fun () ->
-               ignore (Decision.cq_non_emptiness ~max_n:(num_nodes + 1) sws)) ))
+               ignore
+                 (Decision.cq_non_emptiness
+                    ~budget:(Engine.Budget.of_depth (num_nodes + 1))
+                    sws)) ))
        sizes);
   series "reference: bottom-up datalog on the same sirups (semi-naive)"
     (List.map
@@ -307,7 +310,7 @@ let table2_mdtb () =
                ignore
                  (Compose.compose_mdtb ~goal
                     ~components:[ ("c_ab", nfa2 "ab"); ("c_ba", nfa2 "ba") ]
-                    ~bound:b)) ))
+                    ~budget:(Engine.Budget.of_depth b) ())) ))
        (if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ]));
   series "plan search vs number of components (bound 2)"
     (List.map
@@ -317,7 +320,9 @@ let table2_mdtb () =
          in
          ( Printf.sprintf "%d components" m,
            measure (fun () ->
-               ignore (Compose.compose_mdtb ~goal:(nfa2 "abba") ~components:comps ~bound:2)) ))
+               ignore
+                 (Compose.compose_mdtb ~goal:(nfa2 "abba") ~components:comps
+                    ~budget:(Engine.Budget.of_depth 2) ())) ))
        (if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ]))
 
 let table2_cq () =
@@ -390,8 +395,9 @@ let table2_undecidable () =
          ( Printf.sprintf "%d components" m,
            measure (fun () ->
                ignore
-                 (Compose.compose_bounded_search ~samples:20 ~db_schema
-                    ~goal:svc ~components:comps ())) ))
+                 (Compose.compose_bounded_search
+                    ~budget:(Engine.Budget.of_nodes 20) ~db_schema ~goal:svc
+                    ~components:comps ())) ))
        (if quick then [ 1; 2 ] else [ 1; 2; 3 ]))
 
 (* ------------------------------------------------------------------ *)
@@ -568,6 +574,79 @@ let join_strategy_ablation () =
       n (ms_of "indexed") (ms_of "greedy")
       (ms_of "indexed" < ms_of "greedy")
   | [] -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: engine caches (incremental unfolding + automata chain)     *)
+(* ------------------------------------------------------------------ *)
+
+(* The shared-kernel caches, measured on the workloads they were built
+   for.  (a) Iterative deepening over a binary-tree service: depth-n
+   re-derives every depth-(n-1) subtree, and the twin successors make the
+   uncached tree exponential while the memo store collapses it.  (b) The
+   repeated-determinization workload of pl_validation / pl_equivalence:
+   uncached, every call walks to_afa -> to_nfa -> of_nfa again.  Both are
+   toggled with [Engine.set_caching], same code path otherwise; the stats
+   counters confirm the hits are real. *)
+let engine_cache_ablation () =
+  header "Ablation: engine caches — incremental unfolding and automata memoization";
+  let deepen sws d () =
+    Unfold.clear_caches ();
+    for n = 1 to d + 1 do
+      ignore (Unfold.to_ucq sws ~n)
+    done
+  in
+  let unfold_depths = if quick then [ 6; 8 ] else [ 6; 8; 10 ] in
+  List.iter
+    (fun d ->
+      let sws = tree_service d in
+      Engine.set_caching true;
+      let cached = measure (deepen sws d) in
+      Engine.set_caching false;
+      let uncached = measure (deepen sws d) in
+      Engine.set_caching true;
+      let stats = Engine.Stats.create () in
+      Unfold.clear_caches ();
+      for n = 1 to d + 1 do
+        ignore (Unfold.to_ucq ~stats sws ~n)
+      done;
+      row
+        "unfolding, tree depth %2d (n = 1..%2d): cached %8.3f ms vs uncached %8.3f ms — %5.1fx (%d hits / %d misses)"
+        d (d + 1) cached uncached (uncached /. cached)
+        (Engine.Stats.unfold_cache_hits stats)
+        (Engine.Stats.unfold_cache_misses stats))
+    unfold_depths;
+  let redeterminize sws () =
+    Sws_pl.clear_cache sws;
+    for _ = 1 to 3 do
+      ignore (Decision.pl_validation sws ~output:false);
+      ignore (Decision.pl_equivalence sws sws)
+    done
+  in
+  let automata_ks = if quick then [ 8 ] else [ 8; 10; 12 ] in
+  List.iter
+    (fun k ->
+      let sws = Reductions.sws_of_afa (Afa.of_nfa (kth_from_end_nfa k)) in
+      Engine.set_caching true;
+      let cached = measure (redeterminize sws) in
+      Engine.set_caching false;
+      let uncached = measure (redeterminize sws) in
+      Engine.set_caching true;
+      let stats = Engine.Stats.create () in
+      Sws_pl.clear_cache sws;
+      redeterminize sws ();
+      ignore stats;
+      let stats = Engine.Stats.create () in
+      Sws_pl.clear_cache sws;
+      for _ = 1 to 3 do
+        ignore (Decision.pl_validation ~stats sws ~output:false);
+        ignore (Decision.pl_equivalence ~stats sws sws)
+      done;
+      row
+        "automata chain, k = %2d (3x valid.+equiv.): cached %8.3f ms vs uncached %8.3f ms — %5.1fx (%d hits / %d misses)"
+        k cached uncached (uncached /. cached)
+        (Engine.Stats.automata_cache_hits stats)
+        (Engine.Stats.automata_cache_misses stats))
+    automata_ks
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (DESIGN.md section 5)                                      *)
@@ -755,6 +834,7 @@ let () =
   table2_undecidable ();
   figure1 ();
   join_strategy_ablation ();
+  engine_cache_ablation ();
   ablations ();
   bechamel_section ();
   Fmt.pr "@.done.@."

@@ -19,6 +19,21 @@ open Cmdliner
 let alphabet_size_of regexes =
   List.fold_left (fun m r -> max m (Regex.max_symbol r + 1)) 1 regexes
 
+(* --stats: reset the global sink before the command, print it after. *)
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print engine counters after the command: nodes expanded, SAT \
+           calls, cache hits/misses, per-phase timings.")
+
+let with_stats enabled f =
+  Engine.Stats.reset Engine.Stats.global;
+  let code = f () in
+  if enabled then Fmt.pr "%a@." Engine.Stats.pp Engine.Stats.global;
+  code
+
 (* ------------------------------------------------------------------ *)
 (* run-travel                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -63,7 +78,8 @@ let regex_arg name =
     & info [ name ] ~docv:"REGEX"
         ~doc:"Regular expression over letters a..z ('0' empty, '1' epsilon).")
 
-let check regex_s =
+let check stats regex_s =
+  with_stats stats @@ fun () ->
   match Regex.parse regex_s with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -79,22 +95,26 @@ let check regex_s =
     (match Decision.pl_non_emptiness sws with
     | Decision.Yes w -> Fmt.pr "non-emptiness: Yes (witness: %d messages)@." (List.length w)
     | Decision.No -> Fmt.pr "non-emptiness: No@."
-    | Decision.Unknown m -> Fmt.pr "non-emptiness: unknown (%s)@." m);
+    | Decision.Exhausted e ->
+      Fmt.pr "non-emptiness: exhausted (%a)@." Engine.pp_exhausted e);
     (match Decision.pl_validation sws ~output:false with
     | Decision.Yes _ -> Fmt.pr "validation (output false): Yes@."
     | Decision.No -> Fmt.pr "validation (output false): No@."
-    | Decision.Unknown m -> Fmt.pr "validation: unknown (%s)@." m);
+    | Decision.Exhausted e ->
+      Fmt.pr "validation: exhausted (%a)@." Engine.pp_exhausted e);
     0
 
 let check_cmd =
   let doc = "Decision problems for a Roman-model service given as a regex." in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const check $ regex_arg "regex")
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const check $ stats_flag $ regex_arg "regex")
 
 (* ------------------------------------------------------------------ *)
 (* equivalence                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let equivalence left right =
+let equivalence stats left right =
+  with_stats stats @@ fun () ->
   match Regex.parse left, Regex.parse right with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -108,20 +128,22 @@ let equivalence left right =
     | Decision.Inequivalent w ->
       Fmt.pr "inequivalent (distinguishing sequence of %d messages)@."
         (List.length w)
-    | Decision.Equiv_unknown m -> Fmt.pr "unknown: %s@." m);
+    | Decision.Equiv_exhausted e ->
+      Fmt.pr "exhausted: %a@." Engine.pp_exhausted e);
     0
 
 let equivalence_cmd =
   let doc = "Equivalence of two Roman-model services (as regexes)." in
   Cmd.v
     (Cmd.info "equivalence" ~doc)
-    Term.(const equivalence $ regex_arg "left" $ regex_arg "right")
+    Term.(const equivalence $ stats_flag $ regex_arg "left" $ regex_arg "right")
 
 (* ------------------------------------------------------------------ *)
 (* compose                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let compose goal views =
+let compose stats goal views =
+  with_stats stats @@ fun () ->
   match Regex.parse goal, List.map Regex.parse views with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -166,7 +188,7 @@ let compose_cmd =
   Cmd.v
     (Cmd.info "compose" ~doc)
     Term.(
-      const compose $ regex_arg "goal"
+      const compose $ stats_flag $ regex_arg "goal"
       $ Arg.(
           value & opt_all string []
           & info [ "view" ] ~docv:"REGEX" ~doc:"Available service (repeatable)."))
@@ -175,7 +197,8 @@ let compose_cmd =
 (* kprefix                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let kprefix regex_s =
+let kprefix stats regex_s =
+  with_stats stats @@ fun () ->
   match Regex.parse regex_s with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -190,13 +213,15 @@ let kprefix regex_s =
 
 let kprefix_cmd =
   let doc = "k-prefix recognizability of a regular language (Thm 5.1(4,5))." in
-  Cmd.v (Cmd.info "kprefix" ~doc) Term.(const kprefix $ regex_arg "regex")
+  Cmd.v (Cmd.info "kprefix" ~doc)
+    Term.(const kprefix $ stats_flag $ regex_arg "regex")
 
 (* ------------------------------------------------------------------ *)
 (* analyze: a service from a textual specification                      *)
 (* ------------------------------------------------------------------ *)
 
-let analyze file messages =
+let analyze stats file messages =
+  with_stats stats @@ fun () ->
   match Sws_parser.parse_file file with
   | exception Sws_parser.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -222,12 +247,13 @@ let analyze file messages =
         w;
       Fmt.pr "@."
     | Decision.No -> Fmt.pr "non-emptiness: No — the service never acts@."
-    | Decision.Unknown m -> Fmt.pr "non-emptiness: unknown (%s)@." m);
+    | Decision.Exhausted e ->
+      Fmt.pr "non-emptiness: exhausted (%a)@." Engine.pp_exhausted e);
     if not (Sws_pl.is_recursive sws) then begin
       match Decision.pl_nr_non_emptiness sws with
       | Decision.Yes _ -> Fmt.pr "SAT procedure agrees: Yes@."
       | Decision.No -> Fmt.pr "SAT procedure agrees: No@."
-      | Decision.Unknown _ -> ()
+      | Decision.Exhausted _ -> ()
     end;
     if messages <> [] then begin
       let inputs =
@@ -245,7 +271,7 @@ let analyze_cmd =
   let doc = "Analyze an SWS(PL, PL) textual specification (see Sws_parser)." in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(
-      const analyze
+      const analyze $ stats_flag
       $ Arg.(
           required
           & opt (some file) None

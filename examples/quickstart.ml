@@ -84,7 +84,8 @@ let () =
     Fmt.pr "non-emptiness: Yes — witness database %d tuples, %d inputs, goal %a@."
       (Database.total_tuples d) (List.length i) Tuple.pp goal
   | Decision.No -> Fmt.pr "non-emptiness: No@."
-  | Decision.Unknown m -> Fmt.pr "non-emptiness: unknown (%s)@." m);
+  | Decision.Exhausted e ->
+    Fmt.pr "non-emptiness: exhausted (%a)@." Sws.Engine.pp_exhausted e);
 
   match Decision.cq_equivalence service service with
   | Decision.Equivalent -> Fmt.pr "equivalence with itself: Equivalent@."

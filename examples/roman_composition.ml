@@ -42,7 +42,8 @@ let () =
   | Decision.Yes w ->
     Fmt.pr "non-emptiness: Yes (witness of %d messages)@." (List.length w)
   | Decision.No -> Fmt.pr "non-emptiness: No@."
-  | Decision.Unknown m -> Fmt.pr "non-emptiness: %s@." m);
+  | Decision.Exhausted e ->
+    Fmt.pr "non-emptiness: exhausted (%a)@." Sws.Engine.pp_exhausted e);
 
   (* available component services *)
   let components =

@@ -41,7 +41,7 @@ module Expand = Rewriting.Expand
 (* PL languages of services and components                              *)
 (* ------------------------------------------------------------------ *)
 
-let pl_language_nfa sws = Automata.Afa.to_nfa (Sws_pl.to_afa sws)
+let pl_language_nfa ?stats sws = Sws_pl.language_nfa ?stats sws
 
 (* Minimal-prefix language: words accepted with no accepted proper prefix.
    A component invoked by a mediator runs to completion and hands control
@@ -243,15 +243,21 @@ let chains names b =
 
 type bounded_result =
   | Found of plan
-  | No_mediator_within_bound
+  | No_mediator_within_bound of Engine.exhausted
 
 (* CP(SWS(PL,PL), MDT_b(PL), SWS(PL,PL)): each component is invoked a
    bounded number of times and synthesis sizes are bounded — here realized
-   as chains of length <= bound combined by one boolean operation.  The
-   equivalence check against the goal language is exact (DFA equivalence),
-   so a [Found] answer is a real mediator and the search is complete over
-   the plan space it enumerates. *)
-let compose_mdtb ~goal ~components ~bound =
+   as chains of length <= the budget's depth combined by one boolean
+   operation.  The equivalence check against the goal language is exact
+   (DFA equivalence), so a [Found] answer is a real mediator and the
+   search is complete over the plan space it enumerates; each candidate
+   plan costs one budget node. *)
+let compose_mdtb ?stats ?(budget = Engine.Budget.of_depth 2) ~goal ~components
+    () =
+  let bound =
+    match budget.Engine.Budget.max_depth with Some d -> d | None -> 2
+  in
+  let meter = Engine.Meter.create ?stats budget in
   let env =
     List.map (fun (n, c) -> (n, Dfa.minimize (Dfa.of_nfa (minimal_prefix_nfa c)))) components
   in
@@ -274,14 +280,27 @@ let compose_mdtb ~goal ~components ~bound =
     try Dfa.equivalent (plan_language ~env ~alphabet_size plan) goal_dfa
     with Not_found -> false
   in
-  match List.find_opt matches candidates with
-  | Some plan -> Found plan
-  | None -> No_mediator_within_bound
+  let rec search = function
+    | [] ->
+      No_mediator_within_bound
+        (Engine.Meter.exhaust meter ~depth_reached:bound ~limit:`Candidates
+           (Printf.sprintf
+              "no boolean combination of chains of length <= %d matches \
+               the goal"
+              bound))
+    | plan :: rest -> (
+      match Engine.Meter.check meter ~depth:bound with
+      | Error e -> No_mediator_within_bound e
+      | Ok () ->
+        Engine.Meter.tick meter;
+        if matches plan then Found plan else search rest)
+  in
+  search candidates
 
-let compose_mdtb_pl ~goal ~components ~bound =
-  compose_mdtb ~goal:(pl_language_nfa goal)
-    ~components:(List.map (fun (n, c) -> (n, pl_language_nfa c)) components)
-    ~bound
+let compose_mdtb_pl ?stats ?budget ~goal ~components () =
+  compose_mdtb ?stats ?budget ~goal:(pl_language_nfa ?stats goal)
+    ~components:(List.map (fun (n, c) -> (n, pl_language_nfa ?stats c)) components)
+    ()
 
 (* ------------------------------------------------------------------ *)
 (* SWS_nr(CQ, UCQ): composition via query rewriting (Theorem 5.1(3))     *)
@@ -373,13 +392,16 @@ let compose_cq ?max_atoms ~db_schema ~components goal_query =
 
 type search_result =
   | Candidate of Mediator.t  (* agrees with the goal on all samples *)
-  | None_within_bound
+  | None_within_bound of Engine.exhausted
 
 (* Enumerate small mediator shapes (single invocations and 2-chains with
    copy synthesis) over the components and keep the first that matches the
-   goal on randomized instance samples.  Never claims completeness: the
-   exact problems are undecidable. *)
-let compose_bounded_search ?(samples = 60) ~db_schema ~goal ~components () =
+   goal on randomized instance samples.  The budget governs each
+   candidate's [Mediator.equiv_check] (default: 60 samples, replacing the
+   old [samples] integer).  Never claims completeness: the exact problems
+   are undecidable. *)
+let compose_bounded_search ?stats ?(budget = Engine.Budget.of_nodes 60)
+    ~db_schema ~goal ~components () =
   let arity = Sws_data.out_arity goal in
   let copy_vars = List.init arity (fun i -> R.Term.var (Printf.sprintf "x%d" i)) in
   let copy_of rel =
@@ -412,10 +434,19 @@ let compose_bounded_search ?(samples = 60) ~db_schema ~goal ~components () =
     @ List.concat_map (fun a -> List.map (fun b -> chain2 a b) names) names
   in
   let ok m =
-    match Mediator.equiv_check ~samples ~goal m with
+    match Mediator.equiv_check ?stats ~budget ~goal m with
     | Mediator.Agree_on_samples _ -> true
     | Mediator.Differ _ -> false
   in
   match List.find_opt ok candidates with
   | Some m -> Candidate m
-  | None -> None_within_bound
+  | None ->
+    None_within_bound
+      {
+        Engine.limit = `Candidates;
+        depth_reached = 2;
+        nodes_expanded = List.length candidates;
+        message =
+          "no single-invocation or 2-chain mediator agreed with the goal \
+           on the sampled instances";
+      }

@@ -13,8 +13,10 @@
     - the undecidable rows get a bounded search that never claims
       completeness. *)
 
-(** The language of a PL service: input sequences answered [true]. *)
-val pl_language_nfa : Sws_pl.t -> Automata.Nfa.t
+(** The language of a PL service: input sequences answered [true].
+    Served from the service's memoized automata chain
+    ({!Sws_pl.language_nfa}). *)
+val pl_language_nfa : ?stats:Engine.Stats.t -> Sws_pl.t -> Automata.Nfa.t
 
 (** Words accepted with no accepted proper prefix: how a component invoked
     by a mediator consumes input ("stop at the first final state"). *)
@@ -72,18 +74,28 @@ val plan_language :
 
 type bounded_result =
   | Found of plan
-  | No_mediator_within_bound
+  | No_mediator_within_bound of Engine.exhausted
+      (** the plan space or the budget ran out first *)
 
 (** CP(·, MDT_b(PL), ·): exact DFA equivalence over the enumerated plan
-    space (each component invoked at most [bound] times per chain). *)
+    space.  The budget's depth is the chain-length bound (default 2,
+    replacing the old [bound] integer); each candidate plan costs one
+    budget node. *)
 val compose_mdtb :
+  ?stats:Engine.Stats.t ->
+  ?budget:Engine.Budget.t ->
   goal:Automata.Nfa.t ->
   components:(string * Automata.Nfa.t) list ->
-  bound:int ->
+  unit ->
   bounded_result
 
 val compose_mdtb_pl :
-  goal:Sws_pl.t -> components:(string * Sws_pl.t) list -> bound:int -> bounded_result
+  ?stats:Engine.Stats.t ->
+  ?budget:Engine.Budget.t ->
+  goal:Sws_pl.t ->
+  components:(string * Sws_pl.t) list ->
+  unit ->
+  bounded_result
 
 (** A query-shaped component (the SWS_nr(CQ^r) of Corollary 5.2): one
     state whose synthesis evaluates a fixed CQ over the local database. *)
@@ -111,11 +123,14 @@ val compose_cq :
 
 type search_result =
   | Candidate of Mediator.t  (** agrees with the goal on all samples *)
-  | None_within_bound
+  | None_within_bound of Engine.exhausted
 
-(** Bounded mediator search for the undecidable rows of Table 2. *)
+(** Bounded mediator search for the undecidable rows of Table 2.  The
+    budget governs each candidate's {!Mediator.equiv_check} (default:
+    60 samples, replacing the old [samples] integer). *)
 val compose_bounded_search :
-  ?samples:int ->
+  ?stats:Engine.Stats.t ->
+  ?budget:Engine.Budget.t ->
   db_schema:Relational.Schema.t ->
   goal:Sws_data.t ->
   components:(string * Sws_data.t) list ->

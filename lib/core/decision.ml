@@ -12,7 +12,13 @@
      containment (equivalence).
    - recursive SWS(CQ, UCQ) validation/equivalence and everything for
      SWS(FO, FO) are undecidable (Theorem 4.1(1,2)): those cells get
-     bounded semi-procedures that return [Unknown] instead of guessing.
+     bounded semi-procedures that report a structured [Exhausted] instead
+     of guessing.
+
+   All bounded scans run on the shared kernel (Engine.scan): one Budget
+   vocabulary, one exhaustion report, one stats sink.  Budgets are checked
+   between depths, never mid-depth, so a [No] / [Equivalent] from a
+   decisive bound is always a full search of every depth it covers.
 
    Every positive answer carries a machine-checkable witness. *)
 
@@ -25,12 +31,12 @@ module Dfa = Automata.Dfa
 type 'w outcome =
   | Yes of 'w
   | No
-  | Unknown of string
+  | Exhausted of Engine.exhausted
 
 type 'c equiv_outcome =
   | Equivalent
   | Inequivalent of 'c
-  | Equiv_unknown of string
+  | Equiv_exhausted of Engine.exhausted
 
 (* ------------------------------------------------------------------ *)
 (* SWS(PL, PL), recursive: automata-based, always decisive             *)
@@ -39,8 +45,8 @@ type 'c equiv_outcome =
 let decode_word sws word = List.map (Sws_pl.assignment_of_symbol sws) word
 
 (* Non-emptiness: is some input sequence answered with [true]? *)
-let pl_non_emptiness sws =
-  let afa = Sws_pl.to_afa sws in
+let pl_non_emptiness ?stats sws =
+  let afa = Sws_pl.to_afa ?stats sws in
   match Afa.shortest_word afa with
   | Some w -> Yes (decode_word sws w)
   | None -> No
@@ -49,10 +55,10 @@ let pl_non_emptiness sws =
    coincides with non-emptiness (as the paper remarks); O = false asks for a
    rejected sequence — note the empty sequence is always rejected, so the
    interesting check is universality of the complement. *)
-let pl_validation sws ~output =
-  if output then pl_non_emptiness sws
+let pl_validation ?stats sws ~output =
+  if output then pl_non_emptiness ?stats sws
   else begin
-    let dfa = Dfa.of_nfa (Afa.to_nfa (Sws_pl.to_afa sws)) in
+    let dfa = Sws_pl.language_dfa ?stats sws in
     match Dfa.shortest_word (Dfa.complement dfa) with
     | Some w -> Yes (decode_word sws w)
     | None -> No
@@ -61,11 +67,11 @@ let pl_validation sws ~output =
 (* Equivalence: same outputs on all databases (trivial here) and inputs,
    i.e. language equivalence of the two translations.  The services must
    agree on their input variables; re-declare them if needed. *)
-let pl_equivalence sws1 sws2 =
+let pl_equivalence ?stats sws1 sws2 =
   if Sws_pl.input_vars sws1 <> Sws_pl.input_vars sws2 then
     invalid_arg "pl_equivalence: services declare different input variables";
-  let d1 = Dfa.of_nfa (Afa.to_nfa (Sws_pl.to_afa sws1)) in
-  let d2 = Dfa.of_nfa (Afa.to_nfa (Sws_pl.to_afa sws2)) in
+  let d1 = Sws_pl.language_dfa ?stats sws1 in
+  let d2 = Sws_pl.language_dfa ?stats sws2 in
   match Dfa.distinguishing_word d1 d2 with
   | None -> Equivalent
   | Some w -> Inequivalent (decode_word sws1 w)
@@ -89,45 +95,55 @@ let decode_model sws ~n model =
           else acc)
         Prop.Sset.empty (Sws_pl.input_vars sws))
 
+let solve_counted ?(stats = Engine.Stats.global) f =
+  Engine.Stats.sat_call stats;
+  Sat.solve f
+
 (* The unfolded formula stabilizes once n exceeds the dependency depth, so
    scanning n = 0 .. depth + 1 is a complete search. *)
-let pl_nr_non_emptiness sws =
+let pl_nr_non_emptiness ?stats sws =
   let d = require_nonrecursive_pl sws in
-  let rec scan n =
-    if n > d + 1 then No
-    else
-      match Sat.solve (Sws_pl.unfold sws ~n) with
-      | Some model -> Yes (decode_model sws ~n model)
-      | None -> scan (n + 1)
-  in
-  scan 0
+  match
+    Engine.scan ?stats ~decisive_bound:(d + 1) (fun meter n ->
+        Engine.Meter.tick meter;
+        match solve_counted ?stats (Sws_pl.unfold sws ~n) with
+        | Some model -> Some (decode_model sws ~n model)
+        | None -> None)
+  with
+  | Engine.Found w -> Yes w
+  | Engine.Completed _ -> No
+  | Engine.Exhausted e -> Exhausted e
 
-let pl_nr_validation sws ~output =
+let pl_nr_validation ?stats sws ~output =
   let d = require_nonrecursive_pl sws in
-  let rec scan n =
-    if n > d + 1 then No
-    else
-      let f = Sws_pl.unfold sws ~n in
-      let goal = if output then f else Prop.Not f in
-      match Sat.solve goal with
-      | Some model -> Yes (decode_model sws ~n model)
-      | None -> scan (n + 1)
-  in
-  scan 0
+  match
+    Engine.scan ?stats ~decisive_bound:(d + 1) (fun meter n ->
+        Engine.Meter.tick meter;
+        let f = Sws_pl.unfold sws ~n in
+        let goal = if output then f else Prop.Not f in
+        match solve_counted ?stats goal with
+        | Some model -> Some (decode_model sws ~n model)
+        | None -> None)
+  with
+  | Engine.Found w -> Yes w
+  | Engine.Completed _ -> No
+  | Engine.Exhausted e -> Exhausted e
 
-let pl_nr_equivalence sws1 sws2 =
+let pl_nr_equivalence ?stats sws1 sws2 =
   let d1 = require_nonrecursive_pl sws1 and d2 = require_nonrecursive_pl sws2 in
   if Sws_pl.input_vars sws1 <> Sws_pl.input_vars sws2 then
     invalid_arg "pl_nr_equivalence: services declare different input variables";
-  let rec scan n =
-    if n > max d1 d2 + 1 then Equivalent
-    else
-      let f1 = Sws_pl.unfold sws1 ~n and f2 = Sws_pl.unfold sws2 ~n in
-      match Sat.solve (Prop.Not (Prop.Iff (f1, f2))) with
-      | Some model -> Inequivalent (decode_model sws1 ~n model)
-      | None -> scan (n + 1)
-  in
-  scan 0
+  match
+    Engine.scan ?stats ~decisive_bound:(max d1 d2 + 1) (fun meter n ->
+        Engine.Meter.tick meter;
+        let f1 = Sws_pl.unfold sws1 ~n and f2 = Sws_pl.unfold sws2 ~n in
+        match solve_counted ?stats (Prop.Not (Prop.Iff (f1, f2))) with
+        | Some model -> Some (decode_model sws1 ~n model)
+        | None -> None)
+  with
+  | Engine.Found w -> Inequivalent w
+  | Engine.Completed _ -> Equivalent
+  | Engine.Exhausted e -> Equiv_exhausted e
 
 (* ------------------------------------------------------------------ *)
 (* Data-driven classes: unfolding-based procedures                     *)
@@ -153,58 +169,65 @@ let split_witness sws ~n db =
   in
   (d, inputs)
 
-(* The complete scan bound: depth + 1 for nonrecursive services (where the
-   unfolding stabilizes), the caller-supplied budget for recursive ones. *)
-let scan_bound sws ~max_n =
-  match Sws_data.depth sws with
-  | Some d -> (d + 1, true)
-  | None -> (max_n, false)
+(* Nonrecursive services stabilize at depth + 1, so their scans complete
+   there and the default budget is unlimited; recursive services fall back
+   to [default] unless the caller supplies a budget. *)
+let scan_limits sws ~budget ~default =
+  let decisive_bound = Option.map (fun d -> d + 1) (Sws_data.depth sws) in
+  let budget =
+    match budget with
+    | Some b -> b
+    | None -> (
+      match decisive_bound with
+      | Some _ -> Engine.Budget.unlimited
+      | None -> default)
+  in
+  (decisive_bound, budget)
 
 (* Non-emptiness for SWS(CQ, UCQ): a disjunct of the unfolded UCQ with a
    consistent partition yields a canonical-database witness. *)
-let cq_non_emptiness ?(max_n = 6) sws =
-  let bound, decisive = scan_bound sws ~max_n in
+let cq_non_emptiness ?stats ?budget sws =
+  let decisive_bound, budget =
+    scan_limits sws ~budget ~default:(Engine.Budget.of_depth 6)
+  in
   let schema_at n = Unfold.schema sws ~n in
-  let rec scan n =
-    if n > bound then
-      if decisive then No
-      else Unknown (Printf.sprintf "no witness with at most %d inputs" bound)
-    else begin
-      let q = Unfold.to_ucq sws ~n in
-      let witness =
+  match
+    Engine.scan ?stats ~budget ?decisive_bound (fun meter n ->
+        let q = Unfold.to_ucq ?stats sws ~n in
         List.find_map
           (fun (d : R.Cq.t) ->
+            Engine.Meter.tick meter;
             match R.Cq.partitions d with
             | [] -> None
             | subst :: _ ->
               let db, goal = R.Cq.ground_under ~schema:(schema_at n) subst d in
-              Some (db, goal))
-          (R.Ucq.disjuncts q)
-      in
-      match witness with
-      | Some (db, goal) ->
-        let d, inputs = split_witness sws ~n db in
-        Yes (d, inputs, goal)
-      | None -> scan (n + 1)
-    end
-  in
-  scan 0
+              let dd, inputs = split_witness sws ~n db in
+              Some (dd, inputs, goal))
+          (R.Ucq.disjuncts q))
+  with
+  | Engine.Found w -> Yes w
+  | Engine.Completed _ -> No
+  | Engine.Exhausted e -> Exhausted e
 
 (* Validation for SWS(CQ, UCQ): small-model search.  O = empty is witnessed
    by the empty input sequence (rule (1)).  Otherwise each output tuple is
    assigned to a disjunct and an identification pattern; the assembled
    canonical database is kept only if it reproduces O exactly.  Sound and,
    on the canonical candidate space, complete; recursive services and
-   exhausted budgets report [Unknown]. *)
-let cq_validation ?(max_n = 4) ?(max_assignments = 4096) ?strategy sws ~output =
+   exhausted budgets report a structured [Exhausted]. *)
+let cq_validation ?stats ?budget ?(max_assignments = 4096) ?strategy sws
+    ~output =
   let open R in
-  if Relation.is_empty output then Yes (Database.empty (Sws_data.db_schema sws), [])
+  if Relation.is_empty output then
+    Yes (Database.empty (Sws_data.db_schema sws), [])
   else begin
-    let bound, decisive = scan_bound sws ~max_n in
+    let decisive_bound, budget =
+      scan_limits sws ~budget ~default:(Engine.Budget.of_depth 4)
+    in
     let tuples = Relation.to_list output in
     let truncated = ref false in
-    let try_n n =
-      let q = Unfold.to_ucq sws ~n in
+    let try_n meter n =
+      let q = Unfold.to_ucq ?stats sws ~n in
       let schema = Unfold.schema sws ~n in
       (* candidate groundings of one disjunct onto one output tuple *)
       let groundings tuple =
@@ -270,6 +293,7 @@ let cq_validation ?(max_n = 4) ?(max_assignments = 4096) ?strategy sws ~output =
         in
         List.find_map
           (fun dbs ->
+            Engine.Meter.tick meter;
             let db =
               List.fold_left Database.merge (Database.empty schema) dbs
             in
@@ -278,145 +302,189 @@ let cq_validation ?(max_n = 4) ?(max_assignments = 4096) ?strategy sws ~output =
           candidates
       end
     in
-    let rec scan n =
-      if n > bound then
-        if decisive && not !truncated then
-          Unknown "no canonical witness; identifications outside the candidate space remain"
-        else Unknown (Printf.sprintf "no witness with at most %d inputs" bound)
-      else
-        match try_n n with
-        | Some db ->
-          let d, inputs = split_witness sws ~n db in
-          Yes (d, inputs)
-        | None -> scan (n + 1)
-    in
-    scan 1
+    match
+      Engine.scan ?stats ~budget ?decisive_bound ~start:1 (fun meter n ->
+          match try_n meter n with
+          | Some db ->
+            let d, inputs = split_witness sws ~n db in
+            Some (d, inputs)
+          | None -> None)
+    with
+    | Engine.Found w -> Yes w
+    | Engine.Exhausted e -> Exhausted e
+    | Engine.Completed bound ->
+      (* the complete scan finished without a canonical witness: the
+         candidate space, not the budget, is what ran out *)
+      let message =
+        if !truncated then
+          Printf.sprintf
+            "canonical search truncated at %d assignments per input length"
+            max_assignments
+        else
+          "no canonical witness; identifications outside the candidate \
+           space remain"
+      in
+      Exhausted
+        {
+          Engine.limit = `Candidates;
+          depth_reached = bound;
+          nodes_expanded = 0;
+          message;
+        }
   end
 
 (* Equivalence for SWS(CQ, UCQ): Klug-complete containment of the two
    unfoldings at every input length up to the stabilization bound.  On
    failure, the counterexample is the canonical database of the failing
    partition, split back into (D, I), plus the separating output tuple. *)
-let cq_equivalence ?(max_n = 4) sws1 sws2 =
-  let b1, dec1 = scan_bound sws1 ~max_n and b2, dec2 = scan_bound sws2 ~max_n in
-  let bound = max b1 b2 and decisive = dec1 && dec2 in
-  let rec scan n =
-    if n > bound then
-      if decisive then Equivalent
-      else Equiv_unknown (Printf.sprintf "agree on all inputs of length <= %d" bound)
-    else begin
-      let q1 = Unfold.to_ucq sws1 ~n and q2 = Unfold.to_ucq sws2 ~n in
-      match R.Ucq.inequivalence_witness q1 q2 with
-      | None -> scan (n + 1)
-      | Some (db, tuple) ->
-        let d, inputs = split_witness sws1 ~n db in
-        Inequivalent (d, inputs, tuple)
-    end
+let cq_equivalence ?stats ?budget sws1 sws2 =
+  let b1, bu1 =
+    scan_limits sws1 ~budget ~default:(Engine.Budget.of_depth 4)
   in
-  scan 0
+  let b2, bu2 =
+    scan_limits sws2 ~budget ~default:(Engine.Budget.of_depth 4)
+  in
+  let decisive_bound =
+    match (b1, b2) with Some a, Some b -> Some (max a b) | _ -> None
+  in
+  let budget = Engine.Budget.combine bu1 bu2 in
+  let stats_sink =
+    match stats with Some s -> s | None -> Engine.Stats.global
+  in
+  match
+    Engine.scan ?stats ~budget ?decisive_bound (fun meter n ->
+        Engine.Meter.tick meter;
+        Engine.Stats.hom_check stats_sink;
+        let q1 = Unfold.to_ucq ?stats sws1 ~n
+        and q2 = Unfold.to_ucq ?stats sws2 ~n in
+        match R.Ucq.inequivalence_witness q1 q2 with
+        | None -> None
+        | Some (db, tuple) ->
+          let d, inputs = split_witness sws1 ~n db in
+          Some (d, inputs, tuple))
+  with
+  | Engine.Found w -> Inequivalent w
+  | Engine.Completed _ -> Equivalent
+  | Engine.Exhausted e -> Equiv_exhausted e
 
 (* ------------------------------------------------------------------ *)
 (* SWS(FO, FO): bounded semi-procedures (the undecidable row)          *)
 (* ------------------------------------------------------------------ *)
 
-let fo_non_emptiness ?(max_n = 3) ?(max_dom = 3) ?(max_pool = 16) sws =
-  let bound, _ = scan_bound sws ~max_n in
-  let bound = min bound max_n in
-  let rec scan n too_large =
-    if n > bound then
-      Unknown
-        (if too_large then "model search space exceeded the pool bound"
-         else Printf.sprintf "no small model with at most %d inputs" bound)
-    else begin
-      let q = Unfold.to_fo sws ~n in
-      let sentence = R.Fo.exists_many q.R.Fo.head q.R.Fo.body in
-      match R.Fo.satisfiable_bounded ~max_dom ~max_pool sentence with
-      | R.Fo.Sat db ->
-        let d, inputs = split_witness sws ~n db in
-        Yes (d, inputs)
-      | R.Fo.Unsat_within_bounds -> scan (n + 1) too_large
-      | R.Fo.Search_too_large -> scan (n + 1) true
-    end
-  in
-  scan 0 false
+(* Bounded model search is incomplete even for nonrecursive services, so
+   these scans never complete decisively: running out of depths is
+   reported as exhaustion with a small-model caveat in the message. *)
+let fo_exhausted e ~too_large =
+  {
+    e with
+    Engine.message =
+      (if too_large then
+         e.Engine.message ^ "; model search space exceeded the pool bound"
+       else e.Engine.message ^ " (small-model search only)");
+  }
 
-let fo_equivalence ?(max_n = 2) ?(max_dom = 2) ?(max_pool = 12) sws1 sws2 =
-  let bound = max_n in
-  let rec scan n =
-    if n > bound then
-      Equiv_unknown (Printf.sprintf "agree on all small models with <= %d inputs" bound)
-    else begin
-      let q1 = Unfold.to_fo sws1 ~n and q2 = Unfold.to_fo sws2 ~n in
-      let p1 = R.Fo.prefix_query "l_" q1 and p2 = R.Fo.prefix_query "r_" q2 in
-      let shared = List.init (List.length p1.R.Fo.head) (fun i -> Printf.sprintf "@w%d" i) in
-      let inst q =
-        R.Fo.subst_free
-          (List.map2 (fun x y -> (x, R.Term.var y)) q.R.Fo.head shared)
-          q.R.Fo.body
-      in
-      let differ =
-        R.Fo.exists_many shared
-          (R.Fo.disj
-             [
-               R.Fo.conj [ inst p1; R.Fo.Not (inst p2) ];
-               R.Fo.conj [ inst p2; R.Fo.Not (inst p1) ];
-             ])
-      in
-      match R.Fo.satisfiable_bounded ~max_dom ~max_pool differ with
-      | R.Fo.Sat db ->
-        let d, inputs = split_witness sws1 ~n db in
-        Inequivalent (d, inputs)
-      | R.Fo.Unsat_within_bounds | R.Fo.Search_too_large -> scan (n + 1)
-    end
-  in
-  scan 0
+let fo_non_emptiness ?stats ?(budget = Engine.Budget.of_depth 3) ?(max_dom = 3)
+    ?(max_pool = 16) sws =
+  let too_large = ref false in
+  match
+    Engine.scan ?stats ~budget (fun meter n ->
+        Engine.Meter.tick meter;
+        let q = Unfold.to_fo ?stats sws ~n in
+        let sentence = R.Fo.exists_many q.R.Fo.head q.R.Fo.body in
+        match R.Fo.satisfiable_bounded ~max_dom ~max_pool sentence with
+        | R.Fo.Sat db ->
+          let d, inputs = split_witness sws ~n db in
+          Some (d, inputs)
+        | R.Fo.Unsat_within_bounds -> None
+        | R.Fo.Search_too_large ->
+          too_large := true;
+          None)
+  with
+  | Engine.Found w -> Yes w
+  | Engine.Completed _ -> assert false (* no decisive bound *)
+  | Engine.Exhausted e -> Exhausted (fo_exhausted e ~too_large:!too_large)
 
-let fo_validation ?(max_n = 3) ?(max_dom = 3) ?(max_pool = 16) sws ~output =
+let fo_equivalence ?stats ?(budget = Engine.Budget.of_depth 2) ?(max_dom = 2)
+    ?(max_pool = 12) sws1 sws2 =
+  match
+    Engine.scan ?stats ~budget (fun meter n ->
+        Engine.Meter.tick meter;
+        let q1 = Unfold.to_fo ?stats sws1 ~n
+        and q2 = Unfold.to_fo ?stats sws2 ~n in
+        let p1 = R.Fo.prefix_query "l_" q1 and p2 = R.Fo.prefix_query "r_" q2 in
+        let shared =
+          List.init (List.length p1.R.Fo.head) (fun i ->
+              Printf.sprintf "@w%d" i)
+        in
+        let inst q =
+          R.Fo.subst_free
+            (List.map2 (fun x y -> (x, R.Term.var y)) q.R.Fo.head shared)
+            q.R.Fo.body
+        in
+        let differ =
+          R.Fo.exists_many shared
+            (R.Fo.disj
+               [
+                 R.Fo.conj [ inst p1; R.Fo.Not (inst p2) ];
+                 R.Fo.conj [ inst p2; R.Fo.Not (inst p1) ];
+               ])
+        in
+        match R.Fo.satisfiable_bounded ~max_dom ~max_pool differ with
+        | R.Fo.Sat db ->
+          let d, inputs = split_witness sws1 ~n db in
+          Some (d, inputs)
+        | R.Fo.Unsat_within_bounds | R.Fo.Search_too_large -> None)
+  with
+  | Engine.Found w -> Inequivalent w
+  | Engine.Completed _ -> assert false (* no decisive bound *)
+  | Engine.Exhausted e -> Equiv_exhausted (fo_exhausted e ~too_large:false)
+
+let fo_validation ?stats ?(budget = Engine.Budget.of_depth 3) ?(max_dom = 3)
+    ?(max_pool = 16) sws ~output =
   if R.Relation.is_empty output then
     Yes (R.Database.empty (Sws_data.db_schema sws), [])
   else begin
     (* look for a model of "the unfolding contains each tuple of O and
        nothing else"; expressible in FO since O is a concrete relation *)
-    let bound = max_n in
-    let rec scan n =
-      if n > bound then
-        Unknown (Printf.sprintf "no small model with at most %d inputs" bound)
-      else begin
-        let q = Unfold.to_fo sws ~n in
-        let ys = q.R.Fo.head in
-        let member =
-          R.Fo.disj
-            (List.map
-               (fun tup ->
-                 R.Fo.conj
-                   (List.map2
-                      (fun y v -> R.Fo.eq (R.Term.var y) (R.Term.const v))
-                      ys (R.Tuple.to_list tup)))
-               (R.Relation.to_list output))
-        in
-        let exact =
-          R.Fo.conj
-            [
-              (* every tuple of O is produced *)
-              R.Fo.conj
-                (List.map
-                   (fun tup ->
-                     R.Fo.subst_free
-                       (List.map2
-                          (fun y v -> (y, R.Term.const v))
-                          ys (R.Tuple.to_list tup))
-                       q.R.Fo.body)
-                   (R.Relation.to_list output));
-              (* nothing else is *)
-              R.Fo.forall_many ys (R.Fo.Implies (q.R.Fo.body, member));
-            ]
-        in
-        match R.Fo.satisfiable_bounded ~max_dom ~max_pool exact with
-        | R.Fo.Sat db ->
-          let d, inputs = split_witness sws ~n db in
-          Yes (d, inputs)
-        | R.Fo.Unsat_within_bounds | R.Fo.Search_too_large -> scan (n + 1)
-      end
-    in
-    scan 1
+    match
+      Engine.scan ?stats ~budget ~start:1 (fun meter n ->
+          Engine.Meter.tick meter;
+          let q = Unfold.to_fo ?stats sws ~n in
+          let ys = q.R.Fo.head in
+          let member =
+            R.Fo.disj
+              (List.map
+                 (fun tup ->
+                   R.Fo.conj
+                     (List.map2
+                        (fun y v -> R.Fo.eq (R.Term.var y) (R.Term.const v))
+                        ys (R.Tuple.to_list tup)))
+                 (R.Relation.to_list output))
+          in
+          let exact =
+            R.Fo.conj
+              [
+                (* every tuple of O is produced *)
+                R.Fo.conj
+                  (List.map
+                     (fun tup ->
+                       R.Fo.subst_free
+                         (List.map2
+                            (fun y v -> (y, R.Term.const v))
+                            ys (R.Tuple.to_list tup))
+                         q.R.Fo.body)
+                     (R.Relation.to_list output));
+                (* nothing else is *)
+                R.Fo.forall_many ys (R.Fo.Implies (q.R.Fo.body, member));
+              ]
+          in
+          match R.Fo.satisfiable_bounded ~max_dom ~max_pool exact with
+          | R.Fo.Sat db ->
+            let d, inputs = split_witness sws ~n db in
+            Some (d, inputs)
+          | R.Fo.Unsat_within_bounds | R.Fo.Search_too_large -> None)
+    with
+    | Engine.Found w -> Yes w
+    | Engine.Completed _ -> assert false (* no decisive bound *)
+    | Engine.Exhausted e -> Exhausted (fo_exhausted e ~too_large:false)
   end

@@ -2,61 +2,88 @@
     equivalence — for every class of Table 1.
 
     Decidable cells run the exact algorithms from Theorem 4.1's proofs;
-    undecidable cells get bounded semi-procedures that answer [Unknown]
-    rather than guess.  Positive answers carry machine-checkable
-    witnesses. *)
+    undecidable cells get bounded semi-procedures that report a structured
+    {!Engine.exhausted} rather than guess.  Positive answers carry
+    machine-checkable witnesses.
+
+    Every bounded procedure takes its limits from one shared
+    {!Engine.Budget.t} (replacing the old per-procedure [max_n] integers)
+    and counts work into an {!Engine.Stats.t} sink (default: the global
+    sink).  Budgets are enforced between input lengths, never mid-length,
+    so decisive [No] / [Equivalent] answers always reflect a complete
+    search of every length they cover. *)
 
 type 'w outcome =
   | Yes of 'w   (** with a witness *)
   | No          (** decisively not (only from complete procedures) *)
-  | Unknown of string  (** semi-procedure budget exhausted *)
+  | Exhausted of Engine.exhausted
+      (** the budget or the candidate space ran out first *)
 
 type 'c equiv_outcome =
   | Equivalent
   | Inequivalent of 'c  (** with a distinguishing input *)
-  | Equiv_unknown of string
+  | Equiv_exhausted of Engine.exhausted
 
 (** {1 SWS(PL, PL) — automata-based, always decisive (pspace cells)} *)
 
-val pl_non_emptiness : Sws_pl.t -> Proplogic.Prop.assignment list outcome
+val pl_non_emptiness :
+  ?stats:Engine.Stats.t -> Sws_pl.t -> Proplogic.Prop.assignment list outcome
 
 (** For PL the output is one truth value; [output = true] coincides with
     non-emptiness (as Section 4 remarks), [output = false] searches the
     complement. *)
 val pl_validation :
-  Sws_pl.t -> output:bool -> Proplogic.Prop.assignment list outcome
+  ?stats:Engine.Stats.t ->
+  Sws_pl.t ->
+  output:bool ->
+  Proplogic.Prop.assignment list outcome
 
 (** Language equivalence of the AFA translations.  The services must
     declare the same input variables. *)
 val pl_equivalence :
-  Sws_pl.t -> Sws_pl.t -> Proplogic.Prop.assignment list equiv_outcome
+  ?stats:Engine.Stats.t ->
+  Sws_pl.t ->
+  Sws_pl.t ->
+  Proplogic.Prop.assignment list equiv_outcome
 
 (** {1 SWS_nr(PL, PL) — SAT-based (np / conp cells)} *)
 
-val pl_nr_non_emptiness : Sws_pl.t -> Proplogic.Prop.assignment list outcome
+val pl_nr_non_emptiness :
+  ?stats:Engine.Stats.t -> Sws_pl.t -> Proplogic.Prop.assignment list outcome
+
 val pl_nr_validation :
-  Sws_pl.t -> output:bool -> Proplogic.Prop.assignment list outcome
+  ?stats:Engine.Stats.t ->
+  Sws_pl.t ->
+  output:bool ->
+  Proplogic.Prop.assignment list outcome
 
 val pl_nr_equivalence :
-  Sws_pl.t -> Sws_pl.t -> Proplogic.Prop.assignment list equiv_outcome
+  ?stats:Engine.Stats.t ->
+  Sws_pl.t ->
+  Sws_pl.t ->
+  Proplogic.Prop.assignment list equiv_outcome
 
 (** {1 SWS(CQ, UCQ) — via the UCQ unfolding} *)
 
 (** Canonical-database search over the unfolding; complete (hence [No] is
-    decisive) for nonrecursive services, a semi-procedure bounded by
-    [max_n] inputs otherwise. *)
+    decisive) for nonrecursive services, a budget-bounded semi-procedure
+    otherwise (default budget: 6 input lengths). *)
 val cq_non_emptiness :
-  ?max_n:int ->
+  ?stats:Engine.Stats.t ->
+  ?budget:Engine.Budget.t ->
   Sws_data.t ->
   (Relational.Database.t * Relational.Relation.t list * Relational.Tuple.t)
   outcome
 
 (** Small-model search assembling canonical databases per output tuple;
-    sound, complete on the canonical candidate space.  [strategy] picks the
-    join algorithm used to re-evaluate the unfolding against each candidate
-    database (default: the index-backed join). *)
+    sound, complete on the canonical candidate space (default budget for
+    recursive services: 4 input lengths).  [max_assignments] bounds the
+    candidate space itself, not the scan, and so stays a plain integer.
+    [strategy] picks the join algorithm used to re-evaluate the unfolding
+    against each candidate database (default: the index-backed join). *)
 val cq_validation :
-  ?max_n:int ->
+  ?stats:Engine.Stats.t ->
+  ?budget:Engine.Budget.t ->
   ?max_assignments:int ->
   ?strategy:Relational.Cq.strategy ->
   Sws_data.t ->
@@ -64,27 +91,35 @@ val cq_validation :
   (Relational.Database.t * Relational.Relation.t list) outcome
 
 (** Klug-complete containment of the unfoldings at every input length up
-    to the stabilization bound; decisive for nonrecursive services.  The
+    to the stabilization bound; decisive for nonrecursive services
+    (default budget for recursive pairs: 4 input lengths).  The
     counterexample is a concrete (D, I) plus the output tuple the two
     services disagree on. *)
 val cq_equivalence :
-  ?max_n:int ->
+  ?stats:Engine.Stats.t ->
+  ?budget:Engine.Budget.t ->
   Sws_data.t ->
   Sws_data.t ->
   (Relational.Database.t * Relational.Relation.t list * Relational.Tuple.t)
   equiv_outcome
 
-(** {1 SWS(FO, FO) — bounded semi-procedures (undecidable row)} *)
+(** {1 SWS(FO, FO) — bounded semi-procedures (undecidable row)}
+
+    [max_dom] / [max_pool] bound the finite-model search space (semantic
+    candidate bounds, kept as integers); the scan over input lengths is
+    governed by [budget] (defaults: 3 / 2 / 3 lengths). *)
 
 val fo_non_emptiness :
-  ?max_n:int ->
+  ?stats:Engine.Stats.t ->
+  ?budget:Engine.Budget.t ->
   ?max_dom:int ->
   ?max_pool:int ->
   Sws_data.t ->
   (Relational.Database.t * Relational.Relation.t list) outcome
 
 val fo_equivalence :
-  ?max_n:int ->
+  ?stats:Engine.Stats.t ->
+  ?budget:Engine.Budget.t ->
   ?max_dom:int ->
   ?max_pool:int ->
   Sws_data.t ->
@@ -92,7 +127,8 @@ val fo_equivalence :
   (Relational.Database.t * Relational.Relation.t list) equiv_outcome
 
 val fo_validation :
-  ?max_n:int ->
+  ?stats:Engine.Stats.t ->
+  ?budget:Engine.Budget.t ->
   ?max_dom:int ->
   ?max_pool:int ->
   Sws_data.t ->

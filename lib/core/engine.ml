@@ -1,0 +1,240 @@
+(* The shared search kernel: budgets, structured exhaustion, stats and the
+   iterative-deepening driver used by every bounded procedure (Decision,
+   Compose, Mediator, Peer).  See engine.mli for the contract. *)
+
+(* ------------------------------------------------------------------ *)
+(* Budgets                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Budget = struct
+  type t = {
+    max_depth : int option;
+    max_nodes : int option;
+    deadline_s : float option;
+  }
+
+  let unlimited = { max_depth = None; max_nodes = None; deadline_s = None }
+  let of_depth d = { unlimited with max_depth = Some d }
+  let of_nodes n = { unlimited with max_nodes = Some n }
+  let of_seconds s = { unlimited with deadline_s = Some s }
+
+  let make ?max_depth ?max_nodes ?deadline_s () =
+    { max_depth; max_nodes; deadline_s }
+
+  let min_opt a b =
+    match a, b with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (min a b)
+
+  let combine a b =
+    {
+      max_depth = min_opt a.max_depth b.max_depth;
+      max_nodes = min_opt a.max_nodes b.max_nodes;
+      deadline_s = min_opt a.deadline_s b.deadline_s;
+    }
+
+  let is_unlimited t =
+    t.max_depth = None && t.max_nodes = None && t.deadline_s = None
+
+  let pp ppf t =
+    let part name pp_v = Option.map (fun v -> (name, Fmt.str "%a" pp_v v)) in
+    let parts =
+      List.filter_map Fun.id
+        [
+          part "depth" Fmt.int t.max_depth;
+          part "nodes" Fmt.int t.max_nodes;
+          part "deadline" (Fmt.fmt "%.3gs") t.deadline_s;
+        ]
+    in
+    match parts with
+    | [] -> Fmt.string ppf "unlimited"
+    | parts ->
+      Fmt.(list ~sep:(any ", ") (pair ~sep:(any "<=") string string)) ppf parts
+end
+
+(* ------------------------------------------------------------------ *)
+(* Structured exhaustion                                               *)
+(* ------------------------------------------------------------------ *)
+
+type limit = [ `Depth | `Nodes | `Deadline | `Candidates ]
+
+type exhausted = {
+  limit : limit;
+  depth_reached : int;
+  nodes_expanded : int;
+  message : string;
+}
+
+let pp_limit ppf = function
+  | `Depth -> Fmt.string ppf "depth"
+  | `Nodes -> Fmt.string ppf "nodes"
+  | `Deadline -> Fmt.string ppf "deadline"
+  | `Candidates -> Fmt.string ppf "candidates"
+
+let pp_exhausted ppf e =
+  Fmt.pf ppf "%s [%a limit; depth %d, %d nodes]" e.message pp_limit e.limit
+    e.depth_reached e.nodes_expanded
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Stats = struct
+  type t = {
+    mutable nodes_expanded : int;
+    mutable sat_calls : int;
+    mutable hom_checks : int;
+    mutable unfold_cache_hits : int;
+    mutable unfold_cache_misses : int;
+    mutable automata_cache_hits : int;
+    mutable automata_cache_misses : int;
+    mutable phases : (string * float) list;  (* reversed first-use order *)
+  }
+
+  let create () =
+    {
+      nodes_expanded = 0;
+      sat_calls = 0;
+      hom_checks = 0;
+      unfold_cache_hits = 0;
+      unfold_cache_misses = 0;
+      automata_cache_hits = 0;
+      automata_cache_misses = 0;
+      phases = [];
+    }
+
+  let global = create ()
+
+  let reset t =
+    t.nodes_expanded <- 0;
+    t.sat_calls <- 0;
+    t.hom_checks <- 0;
+    t.unfold_cache_hits <- 0;
+    t.unfold_cache_misses <- 0;
+    t.automata_cache_hits <- 0;
+    t.automata_cache_misses <- 0;
+    t.phases <- []
+
+  let node ?(count = 1) t = t.nodes_expanded <- t.nodes_expanded + count
+  let sat_call t = t.sat_calls <- t.sat_calls + 1
+  let hom_check t = t.hom_checks <- t.hom_checks + 1
+  let unfold_hit t = t.unfold_cache_hits <- t.unfold_cache_hits + 1
+  let unfold_miss t = t.unfold_cache_misses <- t.unfold_cache_misses + 1
+  let automata_hit t = t.automata_cache_hits <- t.automata_cache_hits + 1
+
+  let automata_miss t =
+    t.automata_cache_misses <- t.automata_cache_misses + 1
+
+  let add_phase t name dt =
+    let rec bump = function
+      | [] -> [ (name, dt) ]
+      | (n, acc) :: rest when String.equal n name -> (n, acc +. dt) :: rest
+      | entry :: rest -> entry :: bump rest
+    in
+    t.phases <- bump t.phases
+
+  let time t name f =
+    let t0 = Sys.time () in
+    Fun.protect ~finally:(fun () -> add_phase t name (Sys.time () -. t0)) f
+
+  let nodes_expanded t = t.nodes_expanded
+  let sat_calls t = t.sat_calls
+  let hom_checks t = t.hom_checks
+  let unfold_cache_hits t = t.unfold_cache_hits
+  let unfold_cache_misses t = t.unfold_cache_misses
+  let automata_cache_hits t = t.automata_cache_hits
+  let automata_cache_misses t = t.automata_cache_misses
+  let phases t = List.rev t.phases
+
+  let pp ppf t =
+    Fmt.pf ppf
+      "@[<v>nodes expanded:       %d@ sat calls:            %d@ \
+       containment checks:   %d@ unfold cache:         %d hits / %d misses@ \
+       automata cache:       %d hits / %d misses" t.nodes_expanded t.sat_calls
+      t.hom_checks t.unfold_cache_hits t.unfold_cache_misses
+      t.automata_cache_hits t.automata_cache_misses;
+    List.iter
+      (fun (name, dt) -> Fmt.pf ppf "@ phase %-15s %.3fms" name (dt *. 1000.))
+      (phases t);
+    Fmt.pf ppf "@]"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Metering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Meter = struct
+  type t = {
+    budget : Budget.t;
+    stats : Stats.t;
+    started_at : float;  (* Sys.time at creation, for the deadline *)
+    mutable nodes : int;
+  }
+
+  let create ?(stats = Stats.global) budget =
+    { budget; stats; started_at = Sys.time (); nodes = 0 }
+
+  let tick ?(cost = 1) t =
+    t.nodes <- t.nodes + cost;
+    Stats.node ~count:cost t.stats
+
+  let nodes t = t.nodes
+
+  let exhaust t ~depth_reached ~limit message =
+    { limit; depth_reached; nodes_expanded = t.nodes; message }
+
+  let check t ~depth =
+    match t.budget.Budget.max_depth with
+    | Some d when depth > d ->
+      Error
+        (exhaust t ~depth_reached:(depth - 1) ~limit:`Depth
+           (Printf.sprintf "depth budget exhausted after n = %d" (depth - 1)))
+    | _ -> (
+      match t.budget.Budget.max_nodes with
+      | Some n when t.nodes >= n ->
+        Error
+          (exhaust t ~depth_reached:(max 0 (depth - 1)) ~limit:`Nodes
+             (Printf.sprintf "node budget exhausted after %d nodes" t.nodes))
+      | _ -> (
+        match t.budget.Budget.deadline_s with
+        | Some s when Sys.time () -. t.started_at >= s ->
+          Error
+            (exhaust t ~depth_reached:(max 0 (depth - 1)) ~limit:`Deadline
+               (Printf.sprintf "deadline of %.3gs exceeded" s))
+        | _ -> Ok ()))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Cache switch                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let caching = ref true
+let caching_enabled () = !caching
+let set_caching b = caching := b
+
+(* ------------------------------------------------------------------ *)
+(* The iterative-deepening driver                                      *)
+(* ------------------------------------------------------------------ *)
+
+type 'a scan_outcome =
+  | Found of 'a
+  | Completed of int
+  | Exhausted of exhausted
+
+let scan ?(stats = Stats.global) ?(budget = Budget.unlimited) ?decisive_bound
+    ?(start = 0) probe =
+  if decisive_bound = None && Budget.is_unlimited budget then
+    invalid_arg "Engine.scan: unbounded search (no decisive bound, no budget)";
+  let meter = Meter.create ~stats budget in
+  let rec go n =
+    match decisive_bound with
+    | Some b when n > b -> Completed b
+    | _ -> (
+      match Meter.check meter ~depth:n with
+      | Error e -> Exhausted e
+      | Ok () -> (
+        match probe meter n with
+        | Some x -> Found x
+        | None -> go (n + 1)))
+  in
+  go start

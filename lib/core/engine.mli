@@ -1,0 +1,168 @@
+(** The shared search kernel behind every bounded procedure in the system.
+
+    All Table 1 / Table 2 procedures are bounded explorations — depth-scanned
+    unfoldings in {!Decision}, chain/boolean-combination search in
+    {!Compose}, randomized equivalence in {!Mediator}, encoded-run agreement
+    in {!Peer}.  This module gives them one budget vocabulary
+    ({!Budget.t}), one structured exhaustion report ({!exhausted}), one
+    instrumentation sink ({!Stats}) and one iterative-deepening driver
+    ({!scan}), so no module hand-rolls its own [max_n : int] again. *)
+
+(** {1 Budgets} *)
+
+module Budget : sig
+  (** A composable resource envelope for a search.  Every component is
+      optional; an absent component never trips.  [max_depth] bounds the
+      scan parameter (input length, chain length, ...), [max_nodes] the
+      number of candidates expanded (disjuncts grounded, plans checked,
+      samples drawn, ...), and [deadline_s] the CPU seconds the search may
+      consume, measured from {!Meter.create} via [Sys.time] (a portable
+      stand-in for a monotonic clock — no extra dependency). *)
+  type t = {
+    max_depth : int option;
+    max_nodes : int option;
+    deadline_s : float option;
+  }
+
+  (** No limit at all.  Only safe together with a decisive bound. *)
+  val unlimited : t
+
+  val of_depth : int -> t
+  val of_nodes : int -> t
+  val of_seconds : float -> t
+
+  val make :
+    ?max_depth:int -> ?max_nodes:int -> ?deadline_s:float -> unit -> t
+
+  (** Pointwise minimum: the combined budget trips when either does. *)
+  val combine : t -> t -> t
+
+  val is_unlimited : t -> bool
+  val pp : t Fmt.t
+end
+
+(** {1 Structured exhaustion} *)
+
+(** Which component of the budget tripped.  [`Candidates] marks a search
+    that ran out of things to try rather than out of budget — the candidate
+    space itself was exhausted without a decisive answer (e.g. the
+    canonical-database space of validation, or the plan space of the
+    bounded composition search). *)
+type limit = [ `Depth | `Nodes | `Deadline | `Candidates ]
+
+(** What a semi-procedure reports instead of a bare [Unknown of string]:
+    which limit tripped and how far the search got before it did. *)
+type exhausted = {
+  limit : limit;
+  depth_reached : int;  (** last scan depth fully explored *)
+  nodes_expanded : int;  (** candidates expanded across all depths *)
+  message : string;  (** human-readable summary for CLIs and logs *)
+}
+
+val pp_limit : limit Fmt.t
+val pp_exhausted : exhausted Fmt.t
+
+(** {1 Instrumentation} *)
+
+module Stats : sig
+  (** A mutable counter sink threaded through the procedures.  Every
+      instrumented entry point takes [?stats] and defaults to {!global},
+      so casual callers get aggregate numbers for free (surfaced by
+      [swscli --stats]) and benchmarks can isolate a fresh sink. *)
+  type t
+
+  val create : unit -> t
+
+  (** The default sink. *)
+  val global : t
+
+  val reset : t -> unit
+
+  (** {2 Counter bumps (used by the instrumented modules)} *)
+
+  val node : ?count:int -> t -> unit
+  val sat_call : t -> unit
+  val hom_check : t -> unit
+  val unfold_hit : t -> unit
+  val unfold_miss : t -> unit
+  val automata_hit : t -> unit
+  val automata_miss : t -> unit
+
+  (** [time t phase f] runs [f] and adds its CPU time to [phase]'s bucket. *)
+  val time : t -> string -> (unit -> 'a) -> 'a
+
+  (** {2 Readers} *)
+
+  val nodes_expanded : t -> int
+  val sat_calls : t -> int
+  val hom_checks : t -> int
+  val unfold_cache_hits : t -> int
+  val unfold_cache_misses : t -> int
+  val automata_cache_hits : t -> int
+  val automata_cache_misses : t -> int
+
+  (** Accumulated CPU seconds per phase, in first-use order. *)
+  val phases : t -> (string * float) list
+
+  val pp : t Fmt.t
+end
+
+(** {1 Metering} *)
+
+module Meter : sig
+  (** A running search's position against its budget.  Create one per
+      top-level procedure call; [tick] it per candidate expanded; [check]
+      it before starting a new depth. *)
+  type t
+
+  val create : ?stats:Stats.t -> Budget.t -> t
+
+  (** Count [cost] candidates (default 1) against the node budget, and
+      mirror them into the meter's stats sink. *)
+  val tick : ?cost:int -> t -> unit
+
+  val nodes : t -> int
+
+  (** [check m ~depth] is [Error e] as soon as starting work at [depth]
+      would exceed the budget — depth first, then nodes, then deadline. *)
+  val check : t -> depth:int -> (unit, exhausted) result
+
+  (** Build an {!exhausted} report at the meter's current node count, for
+      procedures whose candidate space ran dry ([`Candidates]) or that
+      detect a trip mid-depth. *)
+  val exhaust : t -> depth_reached:int -> limit:limit -> string -> exhausted
+end
+
+(** {1 Cache switch}
+
+    One global toggle for the memoization layers ({!Unfold}'s incremental
+    unfolding store and {!Sws_pl}'s automata chain), so the benchmark can
+    measure cached vs uncached on identical code paths. *)
+
+val caching_enabled : unit -> bool
+val set_caching : bool -> unit
+
+(** {1 The iterative-deepening driver} *)
+
+type 'a scan_outcome =
+  | Found of 'a  (** the probe answered at some depth *)
+  | Completed of int
+      (** every depth up to the decisive bound was searched — a complete
+          procedure may now answer [No] / [Equivalent] *)
+  | Exhausted of exhausted
+
+(** [scan ?stats ?budget ?decisive_bound ?start probe] runs
+    [probe meter n] for n = [start], [start]+1, ... until the probe
+    answers, the decisive bound completes, or the budget trips.  The probe
+    shares one meter across depths, so node and deadline budgets apply to
+    the whole scan; it should [Meter.tick] per candidate it expands.
+
+    Raises [Invalid_argument] when neither [decisive_bound] nor any budget
+    component bounds the scan (the search could never terminate). *)
+val scan :
+  ?stats:Stats.t ->
+  ?budget:Budget.t ->
+  ?decisive_bound:int ->
+  ?start:int ->
+  (Meter.t -> int -> 'a option) ->
+  'a scan_outcome

@@ -1,0 +1,92 @@
+(** Execution trees and the one-sweep run relation of Section 2, generic
+    in the register semantics: SWS(PL, PL) instantiates it with Boolean
+    registers, the data-driven classes with relations.
+
+    The run follows the paper's step relation =>_(tau, D, I) exactly:
+
+    - Generating.  (1) timestamp j > n, or Msg(v) empty (unless v is the
+      root and I is nonempty): Act(v) := empty.  (2) k > 0: spawn children
+      u_1..u_k with Msg(u_i) := phi_i(D, I_j, Msg(v)) at timestamp j + 1.
+    - Gathering.  (3) k = 0: Act(v) := psi(D, I_j, Msg(v)).  (4) all
+      children done: Act(v) := psi(Act(u_1), ..., Act(u_k)).
+
+    Trees are built eagerly and returned whole so examples and tests can
+    inspect intermediate registers. *)
+
+(** What a particular SWS class must provide: the register value types and
+    the three query-evaluation hooks of the step relation. *)
+module type SEMANTICS = sig
+  type db
+  type input        (* one input message I_j *)
+  type msg          (* contents of a message register Msg(q) *)
+  type act          (* contents of an action register Act(q) *)
+  type trans_query  (* the phi_i of transition rules *)
+  type synth_query  (* the psi of synthesis rules *)
+
+  val msg_is_empty : msg -> bool
+
+  val apply_trans : db -> input -> msg -> trans_query -> msg
+  (** phi(D, I_j, Msg(v)). *)
+
+  val synth_final : db -> input -> msg -> synth_query -> act
+  (** Rule (3): psi(D, I_j, Msg(v)) at a final state. *)
+
+  val synth_combine : act list -> synth_query -> act
+  (** Rule (4): psi(Act(u_1), ..., Act(u_k)). *)
+end
+
+module Make (S : SEMANTICS) : sig
+  type node = {
+    state : string;
+    timestamp : int;
+    msg : S.msg;
+    act : S.act;
+    children : node list;
+  }
+
+  type sws = (S.trans_query, S.synth_query) Sws_def.t
+
+  (** Build one subtree top-down and gather its action register.
+      [empty_act] is the value written by the halting rule (1); its shape
+      (e.g. the arity of an empty output relation) belongs to the
+      particular service. *)
+  val build :
+    sws ->
+    S.db ->
+    S.input array ->
+    empty_act:S.act ->
+    state:string ->
+    timestamp:int ->
+    msg:S.msg ->
+    is_root:bool ->
+    node
+
+  (** The run of the SWS on (D, I): the root carries the start state,
+      timestamp 1 and [initial_msg]. *)
+  val run_tree :
+    sws ->
+    S.db ->
+    S.input list ->
+    initial_msg:S.msg ->
+    empty_act:S.act ->
+    node
+
+  (** tau(D, I): the content of the root's action register. *)
+  val run :
+    sws ->
+    S.db ->
+    S.input list ->
+    initial_msg:S.msg ->
+    empty_act:S.act ->
+    S.act
+
+  val size : node -> int
+  val tree_depth : node -> int
+
+  (** The largest timestamp in the tree: a mediator resumes the input
+      sequence after the last message its component consumed
+      (Section 5.1, case (2)). *)
+  val max_timestamp : node -> int
+
+  val pp : S.msg Fmt.t -> S.act Fmt.t -> node Fmt.t
+end

@@ -173,17 +173,22 @@ type equiv_verdict =
 (* pi ≡ tau demands equal outputs on every database and input sequence;
    that inclusion of component runs makes the exact problem undecidable
    already for CQ/UCQ (Theorem 5.1(2)), so the operational check here is a
-   randomized + exhaustive-small-instance search for counterexamples. *)
-let equiv_check ?(samples = 100) ?(seed = 42) ~goal t =
+   randomized search for counterexamples.  One sample costs one budget
+   node; the default budget replaces the old [samples = 100]. *)
+let equiv_check ?stats ?(budget = Engine.Budget.of_nodes 100) ?(seed = 42)
+    ~goal t =
   if Sws_data.out_arity goal <> t.arity then
     invalid_arg "equiv_check: goal output arity mismatch";
+  let meter = Engine.Meter.create ?stats budget in
   let rng = Random.State.make [| seed |] in
   let config =
     { R.Instance_gen.domain_size = 3; tuples_per_relation = 3 }
   in
   let rec go i =
-    if i >= samples then Agree_on_samples samples
-    else begin
+    match Engine.Meter.check meter ~depth:i with
+    | Error _ -> Agree_on_samples (Engine.Meter.nodes meter)
+    | Ok () ->
+      Engine.Meter.tick meter;
       let db = R.Instance_gen.random_database ~config rng t.db_schema in
       let len = Random.State.int rng 4 in
       let inputs =
@@ -193,6 +198,5 @@ let equiv_check ?(samples = 100) ?(seed = 42) ~goal t =
       let out_pi = run t db inputs in
       let out_tau = Sws_data.run goal db inputs in
       if Relation.equal out_pi out_tau then go (i + 1) else Differ (db, inputs)
-    end
   in
   go 0

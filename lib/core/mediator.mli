@@ -59,5 +59,14 @@ type equiv_verdict =
   | Differ of Relational.Database.t * Relational.Relation.t list
 
 (** Randomized counterexample search for [pi ≡ tau]: the exact problem is
-    undecidable already for CQ/UCQ components (Theorem 5.1(2)). *)
-val equiv_check : ?samples:int -> ?seed:int -> goal:Sws_data.t -> t -> equiv_verdict
+    undecidable already for CQ/UCQ components (Theorem 5.1(2)).  One sample
+    costs one budget node (default budget: 100 nodes, replacing the old
+    [samples] integer); [Agree_on_samples k] reports the number actually
+    run before the budget stopped the search. *)
+val equiv_check :
+  ?stats:Engine.Stats.t ->
+  ?budget:Engine.Budget.t ->
+  ?seed:int ->
+  goal:Sws_data.t ->
+  t ->
+  equiv_verdict

@@ -276,3 +276,39 @@ let encode_sessions peer inputs =
 let run_encoded peer db inputs =
   let sws = to_sws peer in
   List.map (fun segment -> Sws_data.run sws db segment) (encode_sessions peer inputs)
+
+(* ------------------------------------------------------------------ *)
+(* Budgeted agreement check                                            *)
+(* ------------------------------------------------------------------ *)
+
+type agreement_verdict =
+  | Agree_within_budget of Engine.exhausted
+  | Disagree of Database.t * Relation.t list
+
+(* Randomized cross-validation of the Section 3 encoding: [run] and
+   [run_encoded] must produce the same per-step outputs on every instance.
+   One sample costs one budget node; the returned [exhausted] record says
+   how many samples the budget allowed before stopping the search for a
+   counterexample. *)
+let agreement_check ?stats ?(budget = Engine.Budget.of_nodes 40) ?(seed = 7)
+    peer =
+  let meter = Engine.Meter.create ?stats budget in
+  let rng = Random.State.make [| seed |] in
+  let config = { R.Instance_gen.domain_size = 3; tuples_per_relation = 2 } in
+  let rec go i =
+    match Engine.Meter.check meter ~depth:i with
+    | Error e -> Agree_within_budget e
+    | Ok () ->
+      Engine.Meter.tick meter;
+      let db = R.Instance_gen.random_database ~config rng peer.db_schema in
+      let len = Random.State.int rng 4 in
+      let inputs =
+        R.Instance_gen.random_input_sequence ~config rng
+          ~arity:peer.input_arity ~length:len ~per_step:2
+      in
+      let direct = run peer db inputs in
+      let encoded = run_encoded peer db inputs in
+      if List.for_all2 Relation.equal direct encoded then go (i + 1)
+      else Disagree (db, inputs)
+  in
+  go 0

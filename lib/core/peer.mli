@@ -63,3 +63,19 @@ val run_encoded :
   Relational.Database.t ->
   Relational.Relation.t list ->
   Relational.Relation.t list
+
+type agreement_verdict =
+  | Agree_within_budget of Engine.exhausted
+      (** no counterexample before the budget ran out; the record says how
+          many samples were checked *)
+  | Disagree of Relational.Database.t * Relational.Relation.t list
+
+(** Randomized cross-validation of the Section 3 encoding: {!run} vs
+    {!run_encoded} on random instances.  One sample costs one budget node
+    (default budget: 40 nodes). *)
+val agreement_check :
+  ?stats:Engine.Stats.t ->
+  ?budget:Engine.Budget.t ->
+  ?seed:int ->
+  t ->
+  agreement_verdict

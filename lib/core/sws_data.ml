@@ -42,11 +42,21 @@ let eval_query q db =
   | Q_fo q -> Fo.eval q db
 
 type t = {
+  stamp : int;
   db_schema : Schema.t;
   in_arity : int;
   out_arity : int;
   def : (query, query) Sws_def.t;
 }
+
+(* Services are immutable, so a creation stamp identifies one for the
+   lifetime of the program: the memoization stores in Unfold key their
+   entries on it, exactly like Index keys on Relation stamps. *)
+let next_stamp = ref 0
+
+let fresh_stamp () =
+  incr next_stamp;
+  !next_stamp
 
 exception Ill_formed = Sws_def.Ill_formed
 
@@ -103,11 +113,18 @@ let check t =
 
 let make ~db_schema ~in_arity ~out_arity ~start ~rules =
   let t =
-    { db_schema; in_arity; out_arity; def = Sws_def.make ~start ~rules }
+    {
+      stamp = fresh_stamp ();
+      db_schema;
+      in_arity;
+      out_arity;
+      def = Sws_def.make ~start ~rules;
+    }
   in
   check t;
   t
 
+let stamp t = t.stamp
 let def t = t.def
 let db_schema t = t.db_schema
 let in_arity t = t.in_arity

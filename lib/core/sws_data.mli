@@ -34,6 +34,11 @@ val make :
   rules:(string * (query, query) Sws_def.rule) list ->
   t
 
+(** A unique creation stamp: services are immutable, so the stamp
+    identifies one for the lifetime of the program.  {!Unfold}'s
+    memoization stores key on it (the {!Relational.Index} pattern). *)
+val stamp : t -> int
+
 val def : t -> (query, query) Sws_def.t
 val db_schema : t -> Relational.Schema.t
 val in_arity : t -> int

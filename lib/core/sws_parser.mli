@@ -1,0 +1,27 @@
+(** A concrete syntax for SWS(PL, PL) services, round-tripping with
+    {!print}.  The format is line-oriented ([#] starts a comment):
+
+    {v
+    inputs: x y
+    start: q0
+    q0 -> (q1, x | @msg), (q2, ~y) ; act1 & act2
+    q1 -> ; x
+    q2 -> ; @msg
+    v}
+
+    A rule is [state -> successors ; synthesis]; a successor is
+    [(state, transition formula)]; an empty successor list marks a final
+    state.  Formulas use the [Proplogic.Prop_parser] syntax with the
+    reserved variables of {!Sws_pl} ([@msg], [act1], [act2], ...). *)
+
+exception Parse_error of string
+
+(** Parse a whole service description; raises {!Parse_error} with a
+    line-numbered message on malformed input. *)
+val parse : string -> Sws_pl.t
+
+val parse_file : string -> Sws_pl.t
+
+(** Pretty-print a service back to the concrete syntax, such that
+    [parse (print sws)] succeeds and defines the same service. *)
+val print : Sws_pl.t -> string

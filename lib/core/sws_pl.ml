@@ -24,10 +24,29 @@ let act_var i = Printf.sprintf "act%d" (i + 1)
 
 type query = Prop.t
 
+(* The to_afa -> to_nfa -> of_nfa chain is deterministic in the (immutable)
+   service, so each service value carries one lazily filled slot per stage:
+   pl_validation, pl_equivalence and Compose.pl_language_nfa stop paying
+   for the same exponential constructions twice.  [Engine.set_caching
+   false] bypasses the slots (reads and writes) for ablations. *)
+type automata_cache = {
+  mutable afa : Automata.Afa.t option;
+  mutable nfa : Automata.Nfa.t option;
+  mutable dfa : Automata.Dfa.t option;
+}
+
 type t = {
+  stamp : int;
   input_vars : string list;
   def : (query, query) Sws_def.t;
+  cache : automata_cache;
 }
+
+let next_stamp = ref 0
+
+let fresh_stamp () =
+  incr next_stamp;
+  !next_stamp
 
 exception Ill_formed = Sws_def.Ill_formed
 
@@ -42,7 +61,14 @@ let check_vars ~allowed where f =
 
 let make ~input_vars ~start ~rules =
   let def = Sws_def.make ~start ~rules in
-  let t = { input_vars; def } in
+  let t =
+    {
+      stamp = fresh_stamp ();
+      input_vars;
+      def;
+      cache = { afa = None; nfa = None; dfa = None };
+    }
+  in
   let env_vars = msg_var :: input_vars in
   Sws_def.fold_rules
     (fun q (r : (query, query) Sws_def.rule) () ->
@@ -65,6 +91,7 @@ let make ~input_vars ~start ~rules =
     def ();
   t
 
+let stamp t = t.stamp
 let def t = t.def
 let input_vars t = t.input_vars
 let is_recursive t = Sws_def.is_recursive t.def
@@ -150,7 +177,7 @@ let accepts_word t word =
    gets the empty action (rule (1)), i.e. value false on the empty suffix.
    The start pair is (q0, false): the root proceeds despite its empty
    message when the input is nonempty. *)
-let to_afa t =
+let build_afa t =
   let states = Sws_def.states t.def in
   let index =
     let tbl = Hashtbl.create 16 in
@@ -205,6 +232,45 @@ let to_afa t =
             end))
   in
   Afa.create ~alphabet_size ~start:(pair_id start_name false) ~finals:[] ~delta
+
+(* One memoized stage of the automata chain. *)
+let cached ?(stats = Engine.Stats.global) ~get ~set build t =
+  if not (Engine.caching_enabled ()) then build t
+  else
+    match get t.cache with
+    | Some v ->
+      Engine.Stats.automata_hit stats;
+      v
+    | None ->
+      Engine.Stats.automata_miss stats;
+      let v = build t in
+      set t.cache (Some v);
+      v
+
+let to_afa ?stats t =
+  cached ?stats
+    ~get:(fun c -> c.afa)
+    ~set:(fun c v -> c.afa <- v)
+    build_afa t
+
+let language_nfa ?stats t =
+  cached ?stats
+    ~get:(fun c -> c.nfa)
+    ~set:(fun c v -> c.nfa <- v)
+    (fun t -> Automata.Afa.to_nfa (to_afa ?stats t))
+    t
+
+let language_dfa ?stats t =
+  cached ?stats
+    ~get:(fun c -> c.dfa)
+    ~set:(fun c v -> c.dfa <- v)
+    (fun t -> Automata.Dfa.of_nfa (language_nfa ?stats t))
+    t
+
+let clear_cache t =
+  t.cache.afa <- None;
+  t.cache.nfa <- None;
+  t.cache.dfa <- None
 
 (* ------------------------------------------------------------------ *)
 (* Nonrecursive unfolding to a single formula                          *)

@@ -32,6 +32,9 @@ val make :
   rules:(string * (query, query) Sws_def.rule) list ->
   t
 
+(** A unique creation stamp (services are immutable). *)
+val stamp : t -> int
+
 val def : t -> (query, query) Sws_def.t
 val input_vars : t -> string list
 val is_recursive : t -> bool
@@ -70,8 +73,22 @@ val accepts_word : t -> int list -> bool
 (** The alternating automaton of the service's language (sequences with
     output true): states are (SWS state, message bit) pairs; see the
     implementation for the construction.  Drives the PSPACE procedures of
-    Theorem 4.1(3). *)
-val to_afa : t -> Automata.Afa.t
+    Theorem 4.1(3).
+
+    Memoized per service (together with {!language_nfa} and
+    {!language_dfa}, forming the to_afa → to_nfa → of_nfa chain), unless
+    [Engine.set_caching false]; cache traffic is counted into [stats]
+    (default: the global sink). *)
+val to_afa : ?stats:Engine.Stats.t -> t -> Automata.Afa.t
+
+(** [Afa.to_nfa] of {!to_afa}, memoized per service. *)
+val language_nfa : ?stats:Engine.Stats.t -> t -> Automata.Nfa.t
+
+(** [Dfa.of_nfa] of {!language_nfa}, memoized per service. *)
+val language_dfa : ?stats:Engine.Stats.t -> t -> Automata.Dfa.t
+
+(** Drop this service's memoized automata. *)
+val clear_cache : t -> unit
 
 (** {1 Nonrecursive unfolding} *)
 

@@ -1,0 +1,100 @@
+(** The paper's running example, end to end (Figure 1, Examples 1.1, 2.1,
+    2.2 and 5.1): the Disney World travel-package service.
+
+    - Local database R: [ra]/[rh]/[rt]/[rc] (id, price) for airfares,
+      hotels, Disney tickets and rental cars;
+    - input schema R_in: (tag, budget) with tag in ['a'|'h'|'t'|'c'];
+    - external schema R_out: (airfare, hotel, ticket, car), with unused
+      columns carrying the don't-care marker ['_'] as in Example 2.1. *)
+
+val db_schema : Relational.Schema.t
+
+(** The category tags of the input rows and the don't-care marker. *)
+val tag_air : Relational.Value.t
+
+val tag_hotel : Relational.Value.t
+val tag_ticket : Relational.Value.t
+val tag_car : Relational.Value.t
+val dont_care : Relational.Value.t
+
+(** tau1 (Example 2.1): checks all four categories in parallel, commits
+    to tickets over cars.  The preference needs negation, so tau1 is in
+    SWS(FO, FO). *)
+val tau1 : Sws_data.t
+
+(** tau2 (Example 2.1, continued): tau1 with a recursive airfare chain
+    preferring the answer for the latest inquiry. *)
+val tau2 : Sws_data.t
+
+(** {1 The priced variant (Section 6's future-work substrate)} *)
+
+(** R_out of {!tau1_priced}: one (id, price) column pair per category. *)
+val priced_width : int
+
+val tau1_priced : Sws_data.t
+
+(** The package cost model: the sum of the price columns. *)
+val package_cost : Aggregate.cost_spec
+
+(** The cheapest complete packages ({!tau1_priced} under
+    {!package_cost}). *)
+val tau1_min_cost : Aggregate.t
+
+(** {1 The FSA-style sequential variant (Figure 1(a))} *)
+
+(** tau1 as a left-spine chain — airfare, then hotel, then the local
+    arrangement — so the execution tree is deep (depth 5) where tau1's is
+    constant (depth 2).  The Figure 1 benchmark pair. *)
+val tau1_sequential : Sws_data.t
+
+(** One message per chain level. *)
+val session_sequential :
+  Relational.Relation.t -> Relational.Relation.t list
+
+val booked_sequential :
+  Relational.Database.t -> Relational.Relation.t -> Relational.Relation.t
+
+(** {1 The mediator pi1 of Example 5.1} *)
+
+(** tau_a books flights; tau_ht hotels and tickets; tau_hc hotels and
+    cars. *)
+val tau_a : Sws_data.t
+
+val tau_ht : Sws_data.t
+val tau_hc : Sws_data.t
+
+val pi1 : Mediator.t
+
+(** {1 Workload helpers} *)
+
+val catalog_db :
+  airfares:(int * int) list ->
+  hotels:(int * int) list ->
+  tickets:(int * int) list ->
+  cars:(int * int) list ->
+  Relational.Database.t
+
+(** A requirement message: one row per requested category budget. *)
+val request :
+  ?air:int list ->
+  ?hotel:int list ->
+  ?ticket:int list ->
+  ?car:int list ->
+  unit ->
+  Relational.Relation.t
+
+(** A complete session for tau1: the requirement message twice (root and
+    leaves). *)
+val session : Relational.Relation.t -> Relational.Relation.t list
+
+val booked :
+  Relational.Database.t -> Relational.Relation.t -> Relational.Relation.t
+
+val booked_priced :
+  Relational.Database.t -> Relational.Relation.t -> Relational.Relation.t
+
+val booked_min_cost :
+  Relational.Database.t -> Relational.Relation.t -> Relational.Relation.t
+
+val booked_via_mediator :
+  Relational.Database.t -> Relational.Relation.t -> Relational.Relation.t

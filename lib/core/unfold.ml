@@ -14,7 +14,18 @@
 
    Halting rule (1) also empties any non-root node whose message register is
    empty, so every unfolded disjunct is guarded by a nonemptiness witness of
-   its node's own message query. *)
+   its node's own message query.
+
+   Memoization.  The UCQ unfolding carries an incremental store keyed on the
+   service's creation stamp (the Relational.Index pattern).  A node's value
+   is determined by (state, level, message construction, cutoff), where the
+   message construction is interned structurally — so the identical twin
+   subtrees of wide services collapse, and a nonrecursive subtree that fits
+   entirely below the input length is reused verbatim when n grows (depth-n
+   unfolding reuses depth-(n-1) work).  Reusing a cached value is sound
+   because every *use* of a node's value renames it apart (substitute_atoms
+   and guard_nonempty rename each borrowed disjunct with a fresh prefix
+   private to the current top-level call). *)
 
 module R = Relational
 module Cq = R.Cq
@@ -45,18 +56,31 @@ let ucq_of_query = function
   | Sws_data.Q_ucq q -> q
   | Sws_data.Q_fo _ -> raise Not_ucq
 
-let fresh_counter = ref 0
+(* Freshness is scoped to one top-level unfolding: every call starts its
+   own counter, so repeated calls produce identical (not merely
+   alpha-equivalent) queries.  A cached value built under an earlier
+   counter can never collide with this call's names, because it only ever
+   enters a new query through a rename that puts this call's own fresh
+   prefix in front of all its variables. *)
+type ctx = {
+  fresh : unit -> string;
+  stats : Engine.Stats.t;
+}
 
-let fresh_prefix () =
-  incr fresh_counter;
-  Printf.sprintf "u%d_" !fresh_counter
+let make_ctx ?(stats = Engine.Stats.global) () =
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "u%d_" !counter
+  in
+  { fresh; stats }
 
 (* Substitute, inside one CQ, every atom of relations bound in [env] by the
    corresponding UCQ: each such atom independently picks a disjunct of its
    definition (renamed apart), unifying the disjunct's head with the atom's
    arguments.  Unification is by equalities, resolved by [Cq.make];
    disjunct choices that identify distinct constants vanish. *)
-let substitute_atoms (cq : Cq.t) (env : Ucq.t Smap.t) : Cq.t list =
+let substitute_atoms ctx (cq : Cq.t) (env : Ucq.t Smap.t) : Cq.t list =
   let rec go atoms_todo kept_atoms eqs neqs =
     match atoms_todo with
     | [] -> (
@@ -69,7 +93,7 @@ let substitute_atoms (cq : Cq.t) (env : Ucq.t Smap.t) : Cq.t list =
       | Some defn ->
         List.concat_map
           (fun disjunct ->
-            let d = Cq.rename (fresh_prefix ()) disjunct in
+            let d = Cq.rename (ctx.fresh ()) disjunct in
             let eqs' = List.map2 (fun h t -> (h, t)) d.Cq.head a.args in
             go rest
               (List.rev_append d.Cq.body kept_atoms)
@@ -78,9 +102,9 @@ let substitute_atoms (cq : Cq.t) (env : Ucq.t Smap.t) : Cq.t list =
   in
   go cq.Cq.body [] [] cq.Cq.neqs
 
-let substitute_ucq (u : Ucq.t) env =
+let substitute_ucq ctx (u : Ucq.t) env =
   let disjuncts =
-    List.concat_map (fun d -> substitute_atoms d env) (Ucq.disjuncts u)
+    List.concat_map (fun d -> substitute_atoms ctx d env) (Ucq.disjuncts u)
   in
   match disjuncts with
   | [] -> Ucq.make_empty (Ucq.arity u)
@@ -101,13 +125,13 @@ let retime_ucq j u = Ucq.make (List.map (retime_cq j) (Ucq.disjuncts u))
 
 (* Conjoin a nonemptiness witness of [m] onto every disjunct of [u]:
    rule (1) makes a node's value empty whenever its message register is. *)
-let guard_nonempty (u : Ucq.t) (m : Ucq.t) =
+let guard_nonempty ctx (u : Ucq.t) (m : Ucq.t) =
   let disjuncts =
     List.concat_map
       (fun (d : Cq.t) ->
         List.filter_map
           (fun (g : Cq.t) ->
-            let g = Cq.rename (fresh_prefix ()) g in
+            let g = Cq.rename (ctx.fresh ()) g in
             match
               Cq.make
                 ~neqs:(d.Cq.neqs @ g.Cq.neqs)
@@ -124,47 +148,154 @@ let guard_nonempty (u : Ucq.t) (m : Ucq.t) =
   | [] -> Ucq.make_empty (Ucq.arity u)
   | ds -> Ucq.make ds
 
+(* ------------------------------------------------------------------ *)
+(* The incremental store                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Longest successor chain below each state: [Some d] when every path from
+   the state is finite, [None] for states on or reaching a cycle.  A node
+   (q, j) whose whole subtree fits below the input length (j + d <= n)
+   unfolds to an n-independent value. *)
+let state_depths def =
+  let memo : (string, int option) Hashtbl.t = Hashtbl.create 16 in
+  let rec go q visiting =
+    match Hashtbl.find_opt memo q with
+    | Some d -> d
+    | None ->
+      if List.mem q visiting then None
+      else begin
+        let rule = Sws_def.rule def q in
+        let d =
+          List.fold_left
+            (fun acc (q', _) ->
+              match (acc, go q' (q :: visiting)) with
+              | Some a, Some b -> Some (max a (b + 1))
+              | _ -> None)
+            (Some 0) rule.Sws_def.succs
+        in
+        Hashtbl.replace memo q d;
+        d
+      end
+  in
+  List.iter (fun q -> ignore (go q [])) (Sws_def.states def);
+  memo
+
+(* Message registers interned by construction: two nodes whose registers
+   were built from the same (parent register, level, transition query) hold
+   structurally interchangeable values, whatever fresh names each build
+   drew.  Id 0 is the root's empty register.  Keys carry the service stamp
+   so distinct services never share ids by accident. *)
+let msg_ids : (int * int * int * Sws_data.query, int) Hashtbl.t =
+  Hashtbl.create 251
+
+let next_msg_id = ref 0
+
+let intern_msg ~stamp ~parent ~level phi =
+  let key = (stamp, parent, level, phi) in
+  match Hashtbl.find_opt msg_ids key with
+  | Some id -> id
+  | None ->
+    incr next_msg_id;
+    Hashtbl.replace msg_ids key !next_msg_id;
+    !next_msg_id
+
+(* Node values, keyed (stamp, state, level, message id, cutoff): cutoff is
+   [-1] for n-independent entries (reusable at every sufficient n, the
+   depth-(n-1) -> depth-n increment) and the concrete n otherwise. *)
+let memo : (int * string * int * int * int, Ucq.t) Hashtbl.t =
+  Hashtbl.create 251
+
+let max_memo_entries = 4096
+
+let clear_caches () =
+  Hashtbl.reset msg_ids;
+  Hashtbl.reset memo;
+  next_msg_id := 0
+
+(* The two tables reference each other's ids, so they are only ever
+   trimmed together. *)
+let maybe_trim () =
+  if Hashtbl.length memo > max_memo_entries then clear_caches ()
+
+let cutoff depths q j ~n =
+  match Hashtbl.find_opt depths q with
+  | Some (Some d) when j + d <= n -> -1
+  | _ -> n
+
 (* The value of node (q, j) as a UCQ, where [m] is the node's own message
-   query (None at the root, whose empty register does not halt it). *)
-let rec act_ucq sws ~n q j (m : Ucq.t option) : Ucq.t =
+   query (None at the root, whose empty register does not halt it).  The
+   lazy message is only forced on a store miss: a hit skips the whole
+   subtree, message construction included. *)
+let rec act_ucq ctx sws depths ~n q j ~m_id (m : Ucq.t option Lazy.t) : Ucq.t =
   let out_arity = Sws_data.out_arity sws in
   if j > n then Ucq.make_empty out_arity
   else begin
-    let rule = Sws_def.rule (Sws_data.def sws) q in
-    let msg_env =
-      match m with
-      | None ->
-        (* the root's register is empty: "msg" atoms can never match *)
-        Smap.singleton Sws_data.msg_rel (Ucq.make_empty (Sws_data.in_arity sws))
-      | Some m -> Smap.singleton Sws_data.msg_rel m
-    in
-    let inner =
-      match rule.Sws_def.succs with
-      | [] ->
-        let psi = retime_ucq j (ucq_of_query rule.Sws_def.synth) in
-        substitute_ucq psi msg_env
-      | succs ->
-        let child_env =
-          List.mapi
-            (fun i (q_i, phi_i) ->
-              let m_i =
-                substitute_ucq (retime_ucq j (ucq_of_query phi_i)) msg_env
-              in
-              (Sws_data.act_rel i, act_ucq sws ~n q_i (j + 1) (Some m_i)))
-            succs
-          |> List.fold_left (fun env (k, v) -> Smap.add k v env) Smap.empty
-        in
-        substitute_ucq (ucq_of_query rule.Sws_def.synth) child_env
-    in
-    match m with
-    | None -> inner
-    | Some m -> guard_nonempty inner m
+    let caching = Engine.caching_enabled () in
+    let stamp = Sws_data.stamp sws in
+    let key = (stamp, q, j, m_id, cutoff depths q j ~n) in
+    match if caching then Hashtbl.find_opt memo key else None with
+    | Some v ->
+      Engine.Stats.unfold_hit ctx.stats;
+      v
+    | None ->
+      if caching then Engine.Stats.unfold_miss ctx.stats;
+      Engine.Stats.node ctx.stats;
+      let m = Lazy.force m in
+      let rule = Sws_def.rule (Sws_data.def sws) q in
+      let msg_env =
+        match m with
+        | None ->
+          (* the root's register is empty: "msg" atoms can never match *)
+          Smap.singleton Sws_data.msg_rel
+            (Ucq.make_empty (Sws_data.in_arity sws))
+        | Some m -> Smap.singleton Sws_data.msg_rel m
+      in
+      let inner =
+        match rule.Sws_def.succs with
+        | [] ->
+          let psi = retime_ucq j (ucq_of_query rule.Sws_def.synth) in
+          substitute_ucq ctx psi msg_env
+        | succs ->
+          let child_env =
+            List.mapi
+              (fun i (q_i, phi_i) ->
+                let child_id =
+                  if caching then
+                    intern_msg ~stamp ~parent:m_id ~level:j phi_i
+                  else 0
+                in
+                let m_i =
+                  lazy
+                    (Some
+                       (substitute_ucq ctx
+                          (retime_ucq j (ucq_of_query phi_i))
+                          msg_env))
+                in
+                ( Sws_data.act_rel i,
+                  act_ucq ctx sws depths ~n q_i (j + 1) ~m_id:child_id m_i ))
+              succs
+            |> List.fold_left (fun env (k, v) -> Smap.add k v env) Smap.empty
+          in
+          substitute_ucq ctx (ucq_of_query rule.Sws_def.synth) child_env
+      in
+      let v =
+        match m with
+        | None -> inner
+        | Some m -> guard_nonempty ctx inner m
+      in
+      if caching then Hashtbl.replace memo key v;
+      v
   end
 
 (* tau unfolded at input length n, as a UCQ over R ∪ {in@j}.  Raises
    [Not_ucq] on services with FO rules. *)
-let to_ucq sws ~n =
-  act_ucq sws ~n (Sws_def.start (Sws_data.def sws)) 1 None
+let to_ucq ?stats sws ~n =
+  let ctx = make_ctx ?stats () in
+  maybe_trim ();
+  let depths = state_depths (Sws_data.def sws) in
+  act_ucq ctx sws depths ~n
+    (Sws_def.start (Sws_data.def sws))
+    1 ~m_id:0 (lazy None)
 
 (* ------------------------------------------------------------------ *)
 (* FO unfolding (any data-driven SWS)                                  *)
@@ -200,13 +331,13 @@ let rec fo_of_query = function
     Fo.query head_vars (Fo.disj disjuncts)
 
 (* Replace atoms over [env]-bound relations by their FO definitions. *)
-let substitute_fo (f : Fo.formula) (env : Fo.t Smap.t) =
+let substitute_fo ctx (f : Fo.formula) (env : Fo.t Smap.t) =
   Fo.map_relations
     (fun a ->
       match Smap.find_opt a.Atom.rel env with
       | None -> Fo.Atom a
       | Some defn ->
-        let d = Fo.prefix_query (fresh_prefix ()) defn in
+        let d = Fo.prefix_query (ctx.fresh ()) defn in
         Fo.subst_free (List.map2 (fun x t -> (x, t)) d.Fo.head a.Atom.args) d.Fo.body)
     f
 
@@ -219,15 +350,16 @@ let retime_fo j (f : Fo.formula) =
     f
 
 (* ∃z̄. m(z̄): the guard of rule (1). *)
-let nonempty_guard (m : Fo.t) =
-  let d = Fo.prefix_query (fresh_prefix ()) m in
+let nonempty_guard ctx (m : Fo.t) =
+  let d = Fo.prefix_query (ctx.fresh ()) m in
   Fo.exists_many d.Fo.head d.Fo.body
 
-let rec act_fo sws ~n q j (m : Fo.t option) : Fo.t =
+let rec act_fo ctx sws ~n q j (m : Fo.t option) : Fo.t =
   let out_arity = Sws_data.out_arity sws in
   let out_head = List.init out_arity (fun i -> Printf.sprintf "y%d" i) in
   if j > n then Fo.query out_head Fo.False
   else begin
+    Engine.Stats.node ctx.stats;
     let rule = Sws_def.rule (Sws_data.def sws) q in
     let in_arity = Sws_data.in_arity sws in
     let msg_env =
@@ -243,7 +375,8 @@ let rec act_fo sws ~n q j (m : Fo.t option) : Fo.t =
       match rule.Sws_def.succs with
       | [] ->
         let psi = fo_of_query rule.Sws_def.synth in
-        Fo.query psi.Fo.head (substitute_fo (retime_fo j psi.Fo.body) msg_env)
+        Fo.query psi.Fo.head
+          (substitute_fo ctx (retime_fo j psi.Fo.body) msg_env)
       | succs ->
         let child_env =
           List.mapi
@@ -251,24 +384,25 @@ let rec act_fo sws ~n q j (m : Fo.t option) : Fo.t =
               let phi = fo_of_query phi_i in
               let m_i =
                 Fo.query phi.Fo.head
-                  (substitute_fo (retime_fo j phi.Fo.body) msg_env)
+                  (substitute_fo ctx (retime_fo j phi.Fo.body) msg_env)
               in
-              (Sws_data.act_rel i, act_fo sws ~n q_i (j + 1) (Some m_i)))
+              (Sws_data.act_rel i, act_fo ctx sws ~n q_i (j + 1) (Some m_i)))
             succs
           |> List.fold_left (fun env (k, v) -> Smap.add k v env) Smap.empty
         in
         let psi = fo_of_query rule.Sws_def.synth in
-        Fo.query psi.Fo.head (substitute_fo psi.Fo.body child_env)
+        Fo.query psi.Fo.head (substitute_fo ctx psi.Fo.body child_env)
     in
     match m with
     | None -> inner
     | Some m ->
-      Fo.query inner.Fo.head (Fo.And (nonempty_guard m, inner.Fo.body))
+      Fo.query inner.Fo.head (Fo.And (nonempty_guard ctx m, inner.Fo.body))
   end
 
 (* tau unfolded at input length n, as an FO query over R ∪ {in@j}. *)
-let to_fo sws ~n =
-  act_fo sws ~n (Sws_def.start (Sws_data.def sws)) 1 None
+let to_fo ?stats sws ~n =
+  let ctx = make_ctx ?stats () in
+  act_fo ctx sws ~n (Sws_def.start (Sws_data.def sws)) 1 None
 
 (* ------------------------------------------------------------------ *)
 (* Running the unfolded query (cross-validation for tests)             *)

@@ -4,7 +4,15 @@
     The run relation consumes one input message per tree level, so for a
     fixed n even a recursive SWS unfolds to a finite query; this drives the
     decision procedures of Section 4.  Rule (1)'s empty-register halting is
-    compiled in as nonemptiness guards on every non-root node. *)
+    compiled in as nonemptiness guards on every non-root node.
+
+    Freshness is scoped per top-level call: two identical calls return
+    identical (not merely alpha-equivalent) queries.  The UCQ unfolding
+    memoizes node values in a store keyed on the service's creation stamp
+    — identical twin subtrees collapse within one unfolding, and depth-n
+    reuses the n-independent subtrees of depth-(n-1) — unless caching is
+    disabled via [Engine.set_caching].  Cache traffic and nodes expanded
+    are counted into [stats] (default: [Engine.Stats.global]). *)
 
 (** The timed copy of the input relation at step [j] (1-based). *)
 val timed_in : int -> string
@@ -17,10 +25,14 @@ exception Not_ucq
 (** tau at input length n as a UCQ with [<>]; raises {!Not_ucq} on
     services with FO rules.  Worst-case exponential in n — these are the
     PSPACE / NEXPTIME / coNEXPTIME cells of Table 1. *)
-val to_ucq : Sws_data.t -> n:int -> Relational.Ucq.t
+val to_ucq : ?stats:Engine.Stats.t -> Sws_data.t -> n:int -> Relational.Ucq.t
 
 (** tau at input length n as an FO query (any data-driven service). *)
-val to_fo : Sws_data.t -> n:int -> Relational.Fo.t
+val to_fo : ?stats:Engine.Stats.t -> Sws_data.t -> n:int -> Relational.Fo.t
+
+(** Drop every memoized unfolding (the store also trims itself when it
+    grows past a fixed bound). *)
+val clear_caches : unit -> unit
 
 (** Lay (D, I) out as one database over the unfolded vocabulary, for
     cross-validating the unfolding against direct runs. *)

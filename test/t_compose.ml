@@ -120,27 +120,28 @@ let test_compose_mdtb () =
   (match
      Compose.compose_mdtb ~goal:(nfa "abba")
        ~components:[ ("c_ab", nfa "ab"); ("c_ba", nfa "ba") ]
-       ~bound:2
+       ~budget:(Sws.Engine.Budget.of_depth 2) ()
    with
   | Compose.Found plan ->
     check "chain found" true
       (String.length (Fmt.str "%a" Compose.pp_plan plan) > 0)
-  | Compose.No_mediator_within_bound -> Alcotest.fail "expected a chain plan");
+  | Compose.No_mediator_within_bound _ -> Alcotest.fail "expected a chain plan");
   (* goal needing intersection: words in both a(a|b) and (a|b)a = aa *)
   (match
      Compose.compose_mdtb ~goal:(nfa "aa")
        ~components:[ ("c1", nfa "a(a|b)"); ("c2", nfa "(a|b)a") ]
-       ~bound:1
+       ~budget:(Sws.Engine.Budget.of_depth 1) ()
    with
   | Compose.Found _ -> ()
-  | Compose.No_mediator_within_bound -> Alcotest.fail "expected a boolean plan");
+  | Compose.No_mediator_within_bound _ -> Alcotest.fail "expected a boolean plan");
   (* impossible within the bound *)
   match
     Compose.compose_mdtb ~goal:(nfa "ababab")
       ~components:[ ("c_ab", nfa "ab") ]
-      ~bound:2
+      ~budget:(Sws.Engine.Budget.of_depth 2) ()
   with
-  | Compose.No_mediator_within_bound -> ()
+  | Compose.No_mediator_within_bound e ->
+    check "plan space ran dry" true (e.Sws.Engine.limit = `Candidates)
   | Compose.Found _ -> Alcotest.fail "three invocations cannot fit in bound 2"
 
 (* ------------------------------------------------------------------ *)
@@ -175,7 +176,8 @@ let test_compose_cq () =
     let goal_svc = Compose.query_service ~db_schema (List.hd (R.Ucq.disjuncts goal)) in
     List.iter
       (fun m ->
-        match Mediator.equiv_check ~samples:100 ~goal:goal_svc m with
+        match Mediator.equiv_check ~budget:(Sws.Engine.Budget.of_nodes 100)
+           ~goal:goal_svc m with
         | Mediator.Agree_on_samples _ -> ()
         | Mediator.Differ _ -> Alcotest.fail "reified mediator differs from goal")
       mediator_ops
@@ -203,7 +205,7 @@ let test_bounded_search () =
       ~components:[ ("vr", svc_r) ] ()
   with
   | Compose.Candidate _ -> ()
-  | Compose.None_within_bound -> Alcotest.fail "identity composition exists"
+  | Compose.None_within_bound _ -> Alcotest.fail "identity composition exists"
 
 (* Soundness property: every plan of a synthesized MDT(∨) mediator expands
    inside the goal, and when the result is exact the expansion covers it. *)

@@ -195,7 +195,8 @@ let test_cq_validation () =
     check "witness gives exactly O" true
       (Relation.equal (Sws_data.run lookup_service db inputs) o)
   | Decision.No -> Alcotest.fail "should be achievable"
-  | Decision.Unknown m -> Alcotest.fail ("unexpected unknown: " ^ m)
+  | Decision.Exhausted e ->
+    Alcotest.fail ("unexpected exhaustion: " ^ e.Sws.Engine.message)
 
 (* Recursive CQ service: the semi-procedure finds witnesses but cannot
    conclude emptiness. *)
@@ -224,7 +225,7 @@ let test_recursive_scan () =
           ("qa", { Sws_def.succs = []; synth = psi });
         ]
   in
-  match Decision.cq_non_emptiness ~max_n:4 svc with
+  match Decision.cq_non_emptiness ~budget:(Sws.Engine.Budget.of_depth 4) svc with
   | Decision.Yes (db, inputs, goal) ->
     check "recursive witness" true (Relation.mem goal (Sws_data.run svc db inputs))
   | _ -> Alcotest.fail "expected a witness"
@@ -250,7 +251,7 @@ let test_fo_procedures () =
   in
   let svc_bad = Reductions.sws_of_fo_sentence ~db_schema:(R.Schema.of_list [ ("u", 1) ]) bad in
   match Decision.fo_non_emptiness svc_bad with
-  | Decision.Unknown _ -> ()
+  | Decision.Exhausted _ -> ()
   | Decision.Yes _ -> Alcotest.fail "unsatisfiable sentence given a witness"
   | Decision.No -> Alcotest.fail "the semi-procedure never answers No"
 

@@ -74,13 +74,15 @@ let join_goal =
     (cq [ v "a"; v "c" ] [ Atom.make "r" [ v "a"; v "b" ]; Atom.make "s" [ v "b"; v "c" ] ])
 
 let test_equiv_check () =
-  (match Mediator.equiv_check ~samples:200 ~goal:join_goal join_mediator with
+  (match Mediator.equiv_check ~budget:(Sws.Engine.Budget.of_nodes 200)
+     ~goal:join_goal join_mediator with
   | Mediator.Agree_on_samples _ -> ()
   | Mediator.Differ (db, inputs) ->
     Alcotest.failf "spurious counterexample: |D|=%d, |I|=%d"
       (Database.total_tuples db) (List.length inputs));
   (* and the check does find counterexamples when services differ *)
-  match Mediator.equiv_check ~samples:200 ~goal:svc_s join_mediator with
+  match Mediator.equiv_check ~budget:(Sws.Engine.Budget.of_nodes 200) ~goal:svc_s
+      join_mediator with
   | Mediator.Differ (db, inputs) ->
     check "counterexample real" false
       (Relation.equal (Mediator.run join_mediator db inputs) (Sws_data.run svc_s db inputs))
@@ -101,7 +103,7 @@ let test_passthrough_equiv () =
           ("q1", { Sws_def.succs = []; synth = copy_msg 2 });
         ]
   in
-  match Mediator.equiv_check ~samples:150 ~goal:svc_r m with
+  match Mediator.equiv_check ~budget:(Sws.Engine.Budget.of_nodes 150) ~goal:svc_r m with
   | Mediator.Agree_on_samples _ -> ()
   | Mediator.Differ _ -> Alcotest.fail "pass-through should agree with its component"
 

@@ -67,7 +67,7 @@ let test_cq_validation_multi () =
   | Decision.Yes (db, inputs) ->
     check "multi-tuple exact" true (Relation.equal (Sws_data.run svc db inputs) o)
   | Decision.No -> Alcotest.fail "achievable output"
-  | Decision.Unknown m -> Alcotest.fail ("unknown: " ^ m)
+  | Decision.Exhausted e -> Alcotest.fail ("exhausted: " ^ e.Sws.Engine.message)
 
 (* ------------------------------------------------------------------ *)
 (* Composition corner cases                                            *)

@@ -117,7 +117,7 @@ let test_sirup_reduction () =
       let expected = Reductions.sg_derives ~edges ~seed ~goal in
       let sws = Reductions.sws_of_sg_sirup ~edges ~seed ~goal in
       let via_sws =
-        match Decision.cq_non_emptiness ~max_n:5 sws with
+        match Decision.cq_non_emptiness ~budget:(Sws.Engine.Budget.of_depth 5) sws with
         | Decision.Yes _ -> true
         | _ -> false
       in

@@ -10,6 +10,7 @@ let () =
       ("sws_pl", T_sws_pl.suite);
       ("peer", T_peer.suite);
       ("sws_data", T_sws_data.suite);
+      ("engine", T_engine.suite);
       ("decision", T_decision.suite);
       ("mediator", T_mediator.suite);
       ("compose", T_compose.suite);
