@@ -11,8 +11,19 @@
    on-the-fly vector exploration, the EXPTIME cell through an exponential
    unfolding).  EXPERIMENTS.md records the paper-vs-measured reading.
 
-     dune exec bench/main.exe            full run
-     dune exec bench/main.exe -- quick   smaller sweeps
+     dune exec bench/main.exe                          full run
+     dune exec bench/main.exe -- quick                 smaller sweeps
+     dune exec bench/main.exe -- overhead              tracing-overhead
+                                                       section only
+     dune exec bench/main.exe -- --json FILE           also write a
+                                                       machine-readable report
+
+   With [--json FILE] every printed series also lands in a JSON report
+   (schema below) carrying per-point medians, the engine counter deltas
+   observed while measuring (node counts, SAT calls, cache hits/misses and
+   the derived hit rates), the tracing-overhead comparison and the span
+   latency histograms of the traced run — the artifact CI uploads as
+   BENCH_pr3.json.
 
    The final section registers one Bechamel micro-benchmark per table, as a
    stable timing reference for the headline operations. *)
@@ -27,19 +38,31 @@ open Sws
 
 let quick = Array.exists (String.equal "quick") Sys.argv
 
+(* "overhead" runs only the tracing-overhead section — the quick way to
+   re-check the <= 5% contract without the full sweep *)
+let overhead_only = Array.exists (String.equal "overhead") Sys.argv
+
+let json_path =
+  let rec find = function
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
 (* ------------------------------------------------------------------ *)
 (* Timing helpers                                                      *)
 (* ------------------------------------------------------------------ *)
 
-(* Wall-clock timing on the OS monotonic clock.  [Sys.time] measures process
-   CPU time at a coarse resolution, which both under-counts anything that
-   blocks and quantizes the fast end of the series; CLOCK_MONOTONIC in
-   nanoseconds is what the growth curves need. *)
+(* Wall-clock timing on the OS monotonic clock ([Obs.Clock], shared with
+   the engine's meter and the trace timestamps).  [Sys.time] measures
+   process CPU time at a coarse resolution, which both under-counts
+   anything that blocks and quantizes the fast end of the series;
+   CLOCK_MONOTONIC in nanoseconds is what the growth curves need. *)
 let time_ms f =
-  let t0 = Monotonic_clock.now () in
+  let t0 = Obs.Clock.now_ns () in
   let result = f () in
-  let t1 = Monotonic_clock.now () in
-  (result, Int64.to_float (Int64.sub t1 t0) /. 1e6)
+  (result, Obs.Clock.ns_to_ms (Obs.Clock.elapsed_ns t0))
 
 let median xs =
   let sorted = List.sort Float.compare xs in
@@ -48,16 +71,132 @@ let median xs =
   else if n mod 2 = 1 then List.nth sorted (n / 2)
   else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable report                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Each [measure] call leaves the engine-counter delta it observed in a
+   queue; [series] pairs the queued deltas with its rows by position when
+   the arithmetic works out (one [measure] per row, evaluated in order,
+   which holds for every table/figure series below) and drops them
+   otherwise (the ablation sections measure outside series rows).  The
+   queue is cleared at every [header] and [series] so a mismatch never
+   leaks counters across sections. *)
+module Report = struct
+  type point = {
+    label : string;
+    median_ms : float;
+    repeats : int;
+    counters : (string * int) list option;
+  }
+
+  type series = { s_name : string; points : point list }
+  type section = { title : string; mutable series_rev : series list }
+
+  let sections_rev : section list ref = ref []
+  let pending : ((string * int) list * int) Queue.t = Queue.create ()
+
+  let open_section title =
+    Queue.clear pending;
+    sections_rev := { title; series_rev = [] } :: !sections_rev
+
+  let add_series name rows =
+    let deltas = List.of_seq (Queue.to_seq pending) in
+    Queue.clear pending;
+    let points =
+      if List.length deltas = List.length rows then
+        List.map2
+          (fun (label, ms) (delta, repeats) ->
+            (* the delta spans all repeats; report the per-run average *)
+            let per_run =
+              List.map (fun (k, v) -> (k, v / max repeats 1)) delta
+            in
+            { label; median_ms = ms; repeats; counters = Some per_run })
+          rows deltas
+      else
+        List.map
+          (fun (label, ms) ->
+            { label; median_ms = ms; repeats = 0; counters = None })
+          rows
+    in
+    match !sections_rev with
+    | [] -> ()
+    | s :: _ -> s.series_rev <- { s_name = name; points } :: s.series_rev
+
+  let hit_rate counters layer =
+    let get k = Option.value ~default:0 (List.assoc_opt k counters) in
+    let hits = get (layer ^ "_cache_hits") and misses = get (layer ^ "_cache_misses") in
+    if hits + misses = 0 then None
+    else Some (float_of_int hits /. float_of_int (hits + misses))
+
+  let point_to_json p =
+    let open Obs.Json in
+    let base =
+      [ ("label", String p.label); ("median_ms", Float p.median_ms) ]
+    in
+    let extra =
+      match p.counters with
+      | None -> []
+      | Some cs ->
+        let rates =
+          List.filter_map
+            (fun layer ->
+              Option.map
+                (fun r -> (layer ^ "_cache_hit_rate", Float r))
+                (hit_rate cs layer))
+            [ "unfold"; "automata" ]
+        in
+        [ ("repeats", Int p.repeats);
+          ("counters", Obj (List.map (fun (k, v) -> (k, Int v)) cs)) ]
+        @ rates
+    in
+    Obj (base @ extra)
+
+  let to_json ~mode ~tracing ~histograms =
+    let open Obs.Json in
+    let sections =
+      List.rev_map
+        (fun s ->
+          Obj
+            [ ("title", String s.title);
+              ( "series",
+                List
+                  (List.rev_map
+                     (fun sr ->
+                       Obj
+                         [ ("name", String sr.s_name);
+                           ("points", List (List.map point_to_json sr.points));
+                         ])
+                     s.series_rev) );
+            ])
+        !sections_rev
+    in
+    Obj
+      [ ("schema_version", Int 1);
+        ("suite", String "sws-bench");
+        ("mode", String mode);
+        ("sections", List sections);
+        ("tracing_overhead", tracing);
+        ("histograms", histograms);
+      ]
+end
+
 let measure ?(repeats = 3) f =
+  let before = Engine.Stats.snapshot Engine.Stats.global in
   let times = List.init repeats (fun _ -> snd (time_ms f)) in
+  Queue.push
+    (Engine.Stats.delta ~before Engine.Stats.global, repeats)
+    Report.pending;
   median times
 
 let header title =
+  Report.open_section title;
   Fmt.pr "@.=== %s ===@." title
 
 let row fmt = Fmt.pr ("  " ^^ fmt ^^ "@.")
 
 let series name pairs =
+  Report.add_series name pairs;
   Fmt.pr "@.-- %s --@." name;
   Fmt.pr "  %-28s %12s@." "instance" "time (ms)";
   List.iter (fun (label, ms) -> Fmt.pr "  %-28s %12.3f@." label ms) pairs
@@ -761,6 +900,69 @@ let ablations () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Tracing overhead: same workload with the sink absent vs installed    *)
+(* ------------------------------------------------------------------ *)
+
+(* The observability contract (DESIGN.md): with no session installed,
+   [Obs.Trace.emit]/[span] are one ref read and a branch, so a traced
+   build must run the decision procedures at parity.  This section times
+   an identical PSPACE workload both ways and reports the relative
+   overhead; EXPERIMENTS.md records the <= 5% acceptance line.  The
+   enabled run's span histograms are what the JSON report exports. *)
+let tracing_json = ref Obs.Json.Null
+let histograms_json = ref Obs.Json.Null
+
+let tracing_overhead () =
+  header "Tracing overhead: event sink disabled vs enabled (same workload)";
+  let k = if quick then 8 else 10 in
+  let sws = Reductions.sws_of_afa (Afa.of_nfa (kth_from_end_nfa k)) in
+  let workload () =
+    Sws_pl.clear_cache sws;
+    ignore (Decision.pl_validation sws ~output:false);
+    ignore (Decision.pl_non_emptiness sws)
+  in
+  workload () (* warm up allocators and minor heap before either arm *);
+  let repeats = if quick then 5 else 9 in
+  (* interleave the arms pairwise: with this workload in the seconds
+     range, clock/GC drift across two back-to-back blocks would swamp
+     the effect being measured *)
+  let disabled = ref [] and enabled = ref [] and last = ref None in
+  for _ = 1 to repeats do
+    disabled := snd (time_ms workload) :: !disabled;
+    let session = Obs.Trace.install () in
+    enabled := snd (time_ms workload) :: !enabled;
+    Obs.Trace.uninstall ();
+    last := Some session
+  done;
+  let session = Option.get !last in
+  let disabled_ms = median !disabled and enabled_ms = median !enabled in
+  let overhead_pct = (enabled_ms -. disabled_ms) /. disabled_ms *. 100. in
+  row "workload: pl_validation + pl_non_emptiness, k = %d, %d repeats" k
+    repeats;
+  row "tracing disabled: %8.3f ms   enabled: %8.3f ms   overhead: %+.1f%%"
+    disabled_ms enabled_ms overhead_pct;
+  row "events recorded per enabled run: %d (%d dropped)"
+    (Obs.Trace.event_count session)
+    (Obs.Trace.dropped session);
+  let open Obs.Json in
+  tracing_json :=
+    Obj
+      [ ("workload", String "pl_validation+pl_non_emptiness");
+        ("k", Int k);
+        ("repeats", Int repeats);
+        ("disabled_ms", Float disabled_ms);
+        ("enabled_ms", Float enabled_ms);
+        ("overhead_pct", Float overhead_pct);
+        ("events_per_run", Int (Obs.Trace.event_count session));
+        ("dropped", Int (Obs.Trace.dropped session));
+      ];
+  histograms_json :=
+    Obj
+      (List.map
+         (fun (name, h) -> (name, Obs.Trace.Hist.to_json h))
+         (Obs.Trace.histograms session))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table / figure                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -820,21 +1022,38 @@ let bechamel_section () =
 
 let () =
   Fmt.pr "SWS benchmark harness — reproducing Table 1, Table 2 and Figure 1 shapes@.";
-  Fmt.pr "(mode: %s)@." (if quick then "quick" else "full");
-  table1_pl_nr ();
-  table1_pl_rec ();
-  table1_cq_nr ();
-  table1_cq_rec ();
-  table1_fo ();
-  table2_mdt_or ();
-  table2_mdtb ();
-  table2_cq ();
-  table2_prefix ();
-  table2_uc2rpq ();
-  table2_undecidable ();
-  figure1 ();
-  join_strategy_ablation ();
-  engine_cache_ablation ();
-  ablations ();
-  bechamel_section ();
+  Fmt.pr "(mode: %s)@."
+    (if overhead_only then "overhead only" else if quick then "quick" else "full");
+  if not overhead_only then begin
+    table1_pl_nr ();
+    table1_pl_rec ();
+    table1_cq_nr ();
+    table1_cq_rec ();
+    table1_fo ();
+    table2_mdt_or ();
+    table2_mdtb ();
+    table2_cq ();
+    table2_prefix ();
+    table2_uc2rpq ();
+    table2_undecidable ();
+    figure1 ();
+    join_strategy_ablation ();
+    engine_cache_ablation ();
+    ablations ()
+  end;
+  tracing_overhead ();
+  if not overhead_only then bechamel_section ();
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    let report =
+      Report.to_json
+        ~mode:(if quick then "quick" else "full")
+        ~tracing:!tracing_json ~histograms:!histograms_json
+    in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Obs.Json.to_channel oc report);
+    Fmt.pr "@.report: %s@." path);
   Fmt.pr "@.done.@."

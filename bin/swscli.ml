@@ -28,10 +28,34 @@ let stats_flag =
           "Print engine counters after the command: nodes expanded, SAT \
            calls, cache hits/misses, per-phase timings.")
 
-let with_stats enabled f =
+(* --trace FILE: install a tracing session for the command and export it
+   in Chrome trace_event format. *)
+let trace_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a structured trace of the command (spans, budget events, \
+           cache hits, latency histograms) and write it to $(docv) in \
+           Chrome trace_event JSON — load it in chrome://tracing or \
+           ui.perfetto.dev.")
+
+let with_obs ~stats ~trace f =
   Engine.Stats.reset Engine.Stats.global;
+  Obs.Trace.clear_provenances ();
+  let session = Option.map (fun _ -> Obs.Trace.install ()) trace in
   let code = f () in
-  if enabled then Fmt.pr "%a@." Engine.Stats.pp Engine.Stats.global;
+  (match trace, session with
+  | Some path, Some t ->
+    Obs.Trace.uninstall ();
+    Obs.Trace.write_chrome t path;
+    Fmt.pr "trace: %d events written to %s%s@." (Obs.Trace.event_count t) path
+      (match Obs.Trace.dropped t with
+      | 0 -> ""
+      | d -> Printf.sprintf " (%d oldest dropped)" d)
+  | _ -> ());
+  if stats then Fmt.pr "%a@." Engine.Stats.pp Engine.Stats.global;
   code
 
 (* ------------------------------------------------------------------ *)
@@ -78,8 +102,8 @@ let regex_arg name =
     & info [ name ] ~docv:"REGEX"
         ~doc:"Regular expression over letters a..z ('0' empty, '1' epsilon).")
 
-let check stats regex_s =
-  with_stats stats @@ fun () ->
+let check stats trace regex_s =
+  with_obs ~stats ~trace @@ fun () ->
   match Regex.parse regex_s with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -107,14 +131,14 @@ let check stats regex_s =
 let check_cmd =
   let doc = "Decision problems for a Roman-model service given as a regex." in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const check $ stats_flag $ regex_arg "regex")
+    Term.(const check $ stats_flag $ trace_flag $ regex_arg "regex")
 
 (* ------------------------------------------------------------------ *)
 (* equivalence                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let equivalence stats left right =
-  with_stats stats @@ fun () ->
+let equivalence stats trace left right =
+  with_obs ~stats ~trace @@ fun () ->
   match Regex.parse left, Regex.parse right with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -136,14 +160,16 @@ let equivalence_cmd =
   let doc = "Equivalence of two Roman-model services (as regexes)." in
   Cmd.v
     (Cmd.info "equivalence" ~doc)
-    Term.(const equivalence $ stats_flag $ regex_arg "left" $ regex_arg "right")
+    Term.(
+      const equivalence $ stats_flag $ trace_flag $ regex_arg "left"
+      $ regex_arg "right")
 
 (* ------------------------------------------------------------------ *)
 (* compose                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let compose stats goal views =
-  with_stats stats @@ fun () ->
+let compose stats trace goal views =
+  with_obs ~stats ~trace @@ fun () ->
   match Regex.parse goal, List.map Regex.parse views with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -188,7 +214,7 @@ let compose_cmd =
   Cmd.v
     (Cmd.info "compose" ~doc)
     Term.(
-      const compose $ stats_flag $ regex_arg "goal"
+      const compose $ stats_flag $ trace_flag $ regex_arg "goal"
       $ Arg.(
           value & opt_all string []
           & info [ "view" ] ~docv:"REGEX" ~doc:"Available service (repeatable)."))
@@ -197,8 +223,8 @@ let compose_cmd =
 (* kprefix                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let kprefix stats regex_s =
-  with_stats stats @@ fun () ->
+let kprefix stats trace regex_s =
+  with_obs ~stats ~trace @@ fun () ->
   match Regex.parse regex_s with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -214,14 +240,14 @@ let kprefix stats regex_s =
 let kprefix_cmd =
   let doc = "k-prefix recognizability of a regular language (Thm 5.1(4,5))." in
   Cmd.v (Cmd.info "kprefix" ~doc)
-    Term.(const kprefix $ stats_flag $ regex_arg "regex")
+    Term.(const kprefix $ stats_flag $ trace_flag $ regex_arg "regex")
 
 (* ------------------------------------------------------------------ *)
 (* analyze: a service from a textual specification                      *)
 (* ------------------------------------------------------------------ *)
 
-let analyze stats file messages =
-  with_stats stats @@ fun () ->
+let analyze stats trace file messages =
+  with_obs ~stats ~trace @@ fun () ->
   match Sws_parser.parse_file file with
   | exception Sws_parser.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -271,7 +297,7 @@ let analyze_cmd =
   let doc = "Analyze an SWS(PL, PL) textual specification (see Sws_parser)." in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(
-      const analyze $ stats_flag
+      const analyze $ stats_flag $ trace_flag
       $ Arg.(
           required
           & opt (some file) None
@@ -282,6 +308,47 @@ let analyze_cmd =
               ~doc:"Input message as comma-separated true variables (repeatable, in order)."))
 
 (* ------------------------------------------------------------------ *)
+(* explain: run the decision procedures and report their provenance     *)
+(* ------------------------------------------------------------------ *)
+
+let explain stats trace json regex_s =
+  with_obs ~stats ~trace @@ fun () ->
+  match Regex.parse regex_s with
+  | exception Regex.Parse_error m ->
+    Fmt.epr "parse error: %s@." m;
+    1
+  | regex ->
+    let alphabet_size = alphabet_size_of [ regex ] in
+    let sws = Roman.to_sws_pl (Nfa.of_regex ~alphabet_size regex) in
+    ignore (Decision.pl_non_emptiness sws);
+    ignore (Decision.pl_validation sws ~output:false);
+    if not (Sws_pl.is_recursive sws) then
+      ignore (Decision.pl_nr_non_emptiness sws);
+    let provs = List.rev (Obs.Trace.provenances ()) in
+    if json then
+      Fmt.pr "%s@."
+        (Obs.Json.to_string
+           (Obs.Json.List (List.map Obs.Trace.provenance_to_json provs)))
+    else
+      List.iter (fun p -> Fmt.pr "%a@." Obs.Trace.pp_provenance p) provs;
+    0
+
+let explain_cmd =
+  let doc =
+    "Run the decision procedures for a Roman-model service and print each \
+     run's provenance record: outcome (decided answer, witness depth, or \
+     tripped limit), depths scanned, counter deltas and duration."
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(
+      const explain $ stats_flag $ trace_flag
+      $ Arg.(
+          value & flag
+          & info [ "json" ]
+              ~doc:"Print the provenance records as a JSON array.")
+      $ regex_arg "regex")
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "Synthesized Web services: runs, static analyses, composition." in
@@ -289,7 +356,7 @@ let main_cmd =
   Cmd.group info
     [
       run_travel_cmd; check_cmd; equivalence_cmd; compose_cmd; kprefix_cmd;
-      analyze_cmd;
+      analyze_cmd; explain_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

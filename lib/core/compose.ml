@@ -173,8 +173,15 @@ let universal_nfa alphabet_size =
     ~edges:(List.init alphabet_size (fun a -> (0, a, 0)))
     ~eps_edges:[]
 
+(* Provenance outcome for the synthesis entry points: "did a mediator come
+   out" is the decision the caller sees. *)
+let compose_outcome found = Obs.Trace.Decided found
+
 (* CP(SWS(PL, PL), MDT(∨), SWS(PL, PL)) with a PL goal service. *)
 let compose_pl_or ~goal ~components =
+  Engine.run ~name:"compose_pl_or"
+    ~outcome:(fun r -> compose_outcome (Option.is_some r))
+  @@ fun () ->
   let goal_dfa = Dfa.of_nfa (pl_language_nfa goal) in
   let alphabet_size = Dfa.alphabet_size goal_dfa in
   let core = trailing_core_dfa goal_dfa in
@@ -194,7 +201,10 @@ let compose_pl_or ~goal ~components =
 
 (* CP(NFA/DFA, MDT(∨), SWS(PL, PL)): the Roman-model goals of
    Theorem 5.3(2). *)
-let compose_nfa_or ~goal ~components = compose_or_nfa ~goal ~components
+let compose_nfa_or ~goal ~components =
+  Engine.run ~name:"compose_nfa_or"
+    ~outcome:(fun r -> compose_outcome (Option.is_some r))
+  @@ fun () -> compose_or_nfa ~goal ~components
 
 (* ------------------------------------------------------------------ *)
 (* MDT_b(PL): bounded boolean-combination search (Theorem 5.3(3))        *)
@@ -254,6 +264,11 @@ type bounded_result =
    plan costs one budget node. *)
 let compose_mdtb ?stats ?(budget = Engine.Budget.of_depth 2) ~goal ~components
     () =
+  Engine.run ?stats ~name:"compose_mdtb"
+    ~outcome:(function
+      | Found _ -> Obs.Trace.Decided true
+      | No_mediator_within_bound e -> Obs.Trace.Tripped e.Engine.limit)
+  @@ fun () ->
   let bound =
     match budget.Engine.Budget.max_depth with Some d -> d | None -> 2
   in
@@ -370,6 +385,11 @@ type cq_result =
 (* CP for a goal *query* (the unfolded goal service) over query-shaped
    components.  [max_atoms] is the small-model bound on rewriting size. *)
 let compose_cq ?max_atoms ~db_schema ~components goal_query =
+  Engine.run ~name:"compose_cq"
+    ~outcome:(function
+      | Cq_composed _ -> Obs.Trace.Decided true
+      | Cq_only_contained _ | Cq_no_mediator -> Obs.Trace.Decided false)
+  @@ fun () ->
   let views =
     List.map (fun (name, q) -> View.make name q) components
   in
@@ -402,6 +422,11 @@ type search_result =
    are undecidable. *)
 let compose_bounded_search ?stats ?(budget = Engine.Budget.of_nodes 60)
     ~db_schema ~goal ~components () =
+  Engine.run ?stats ~name:"compose_bounded_search"
+    ~outcome:(function
+      | Candidate _ -> Obs.Trace.Decided true
+      | None_within_bound e -> Obs.Trace.Tripped e.Engine.limit)
+  @@ fun () ->
   let arity = Sws_data.out_arity goal in
   let copy_vars = List.init arity (fun i -> R.Term.var (Printf.sprintf "x%d" i)) in
   let copy_of rel =

@@ -44,8 +44,20 @@ type 'c equiv_outcome =
 
 let decode_word sws word = List.map (Sws_pl.assignment_of_symbol sws) word
 
+(* Provenance outcome extractors shared by the decisive procedures. *)
+let run_outcome = function
+  | Yes _ -> Obs.Trace.Decided true
+  | No -> Obs.Trace.Decided false
+  | Exhausted e -> Obs.Trace.Tripped e.Engine.limit
+
+let run_equiv_outcome = function
+  | Equivalent -> Obs.Trace.Decided true
+  | Inequivalent _ -> Obs.Trace.Decided false
+  | Equiv_exhausted e -> Obs.Trace.Tripped e.Engine.limit
+
 (* Non-emptiness: is some input sequence answered with [true]? *)
 let pl_non_emptiness ?stats sws =
+  Engine.run ?stats ~name:"pl_non_emptiness" ~outcome:run_outcome @@ fun () ->
   let afa = Sws_pl.to_afa ?stats sws in
   match Afa.shortest_word afa with
   | Some w -> Yes (decode_word sws w)
@@ -56,7 +68,13 @@ let pl_non_emptiness ?stats sws =
    rejected sequence — note the empty sequence is always rejected, so the
    interesting check is universality of the complement. *)
 let pl_validation ?stats sws ~output =
-  if output then pl_non_emptiness ?stats sws
+  Engine.run ?stats ~name:"pl_validation" ~outcome:run_outcome @@ fun () ->
+  if output then begin
+    let afa = Sws_pl.to_afa ?stats sws in
+    match Afa.shortest_word afa with
+    | Some w -> Yes (decode_word sws w)
+    | None -> No
+  end
   else begin
     let dfa = Sws_pl.language_dfa ?stats sws in
     match Dfa.shortest_word (Dfa.complement dfa) with
@@ -70,6 +88,8 @@ let pl_validation ?stats sws ~output =
 let pl_equivalence ?stats sws1 sws2 =
   if Sws_pl.input_vars sws1 <> Sws_pl.input_vars sws2 then
     invalid_arg "pl_equivalence: services declare different input variables";
+  Engine.run ?stats ~name:"pl_equivalence" ~outcome:run_equiv_outcome
+  @@ fun () ->
   let d1 = Sws_pl.language_dfa ?stats sws1 in
   let d2 = Sws_pl.language_dfa ?stats sws2 in
   match Dfa.distinguishing_word d1 d2 with
@@ -104,7 +124,8 @@ let solve_counted ?(stats = Engine.Stats.global) f =
 let pl_nr_non_emptiness ?stats sws =
   let d = require_nonrecursive_pl sws in
   match
-    Engine.scan ?stats ~decisive_bound:(d + 1) (fun meter n ->
+    Engine.scan ?stats ~decisive_bound:(d + 1) ~name:"pl_nr_non_emptiness"
+      (fun meter n ->
         Engine.Meter.tick meter;
         match solve_counted ?stats (Sws_pl.unfold sws ~n) with
         | Some model -> Some (decode_model sws ~n model)
@@ -117,7 +138,8 @@ let pl_nr_non_emptiness ?stats sws =
 let pl_nr_validation ?stats sws ~output =
   let d = require_nonrecursive_pl sws in
   match
-    Engine.scan ?stats ~decisive_bound:(d + 1) (fun meter n ->
+    Engine.scan ?stats ~decisive_bound:(d + 1) ~name:"pl_nr_validation"
+      (fun meter n ->
         Engine.Meter.tick meter;
         let f = Sws_pl.unfold sws ~n in
         let goal = if output then f else Prop.Not f in
@@ -134,7 +156,8 @@ let pl_nr_equivalence ?stats sws1 sws2 =
   if Sws_pl.input_vars sws1 <> Sws_pl.input_vars sws2 then
     invalid_arg "pl_nr_equivalence: services declare different input variables";
   match
-    Engine.scan ?stats ~decisive_bound:(max d1 d2 + 1) (fun meter n ->
+    Engine.scan ?stats ~decisive_bound:(max d1 d2 + 1)
+      ~name:"pl_nr_equivalence" (fun meter n ->
         Engine.Meter.tick meter;
         let f1 = Sws_pl.unfold sws1 ~n and f2 = Sws_pl.unfold sws2 ~n in
         match solve_counted ?stats (Prop.Not (Prop.Iff (f1, f2))) with
@@ -192,7 +215,8 @@ let cq_non_emptiness ?stats ?budget sws =
   in
   let schema_at n = Unfold.schema sws ~n in
   match
-    Engine.scan ?stats ~budget ?decisive_bound (fun meter n ->
+    Engine.scan ?stats ~budget ?decisive_bound ~name:"cq_non_emptiness"
+      (fun meter n ->
         let q = Unfold.to_ucq ?stats sws ~n in
         List.find_map
           (fun (d : R.Cq.t) ->
@@ -303,7 +327,8 @@ let cq_validation ?stats ?budget ?(max_assignments = 4096) ?strategy sws
       end
     in
     match
-      Engine.scan ?stats ~budget ?decisive_bound ~start:1 (fun meter n ->
+      Engine.scan ?stats ~budget ?decisive_bound ~start:1
+        ~name:"cq_validation" (fun meter n ->
           match try_n meter n with
           | Some db ->
             let d, inputs = split_witness sws ~n db in
@@ -314,7 +339,10 @@ let cq_validation ?stats ?budget ?(max_assignments = 4096) ?strategy sws
     | Engine.Exhausted e -> Exhausted e
     | Engine.Completed bound ->
       (* the complete scan finished without a canonical witness: the
-         candidate space, not the budget, is what ran out *)
+         candidate space, not the budget, is what ran out — rewrite the
+         scan's provenance record to say so *)
+      Obs.Trace.amend_last_provenance (fun p ->
+          { p with Obs.Trace.outcome = Obs.Trace.Tripped `Candidates });
       let message =
         if !truncated then
           Printf.sprintf
@@ -352,7 +380,8 @@ let cq_equivalence ?stats ?budget sws1 sws2 =
     match stats with Some s -> s | None -> Engine.Stats.global
   in
   match
-    Engine.scan ?stats ~budget ?decisive_bound (fun meter n ->
+    Engine.scan ?stats ~budget ?decisive_bound ~name:"cq_equivalence"
+      (fun meter n ->
         Engine.Meter.tick meter;
         Engine.Stats.hom_check stats_sink;
         let q1 = Unfold.to_ucq ?stats sws1 ~n
@@ -387,7 +416,7 @@ let fo_non_emptiness ?stats ?(budget = Engine.Budget.of_depth 3) ?(max_dom = 3)
     ?(max_pool = 16) sws =
   let too_large = ref false in
   match
-    Engine.scan ?stats ~budget (fun meter n ->
+    Engine.scan ?stats ~budget ~name:"fo_non_emptiness" (fun meter n ->
         Engine.Meter.tick meter;
         let q = Unfold.to_fo ?stats sws ~n in
         let sentence = R.Fo.exists_many q.R.Fo.head q.R.Fo.body in
@@ -407,7 +436,7 @@ let fo_non_emptiness ?stats ?(budget = Engine.Budget.of_depth 3) ?(max_dom = 3)
 let fo_equivalence ?stats ?(budget = Engine.Budget.of_depth 2) ?(max_dom = 2)
     ?(max_pool = 12) sws1 sws2 =
   match
-    Engine.scan ?stats ~budget (fun meter n ->
+    Engine.scan ?stats ~budget ~name:"fo_equivalence" (fun meter n ->
         Engine.Meter.tick meter;
         let q1 = Unfold.to_fo ?stats sws1 ~n
         and q2 = Unfold.to_fo ?stats sws2 ~n in
@@ -447,7 +476,8 @@ let fo_validation ?stats ?(budget = Engine.Budget.of_depth 3) ?(max_dom = 3)
     (* look for a model of "the unfolding contains each tuple of O and
        nothing else"; expressible in FO since O is a concrete relation *)
     match
-      Engine.scan ?stats ~budget ~start:1 (fun meter n ->
+      Engine.scan ?stats ~budget ~start:1 ~name:"fo_validation"
+        (fun meter n ->
           Engine.Meter.tick meter;
           let q = Unfold.to_fo ?stats sws ~n in
           let ys = q.R.Fo.head in

@@ -115,15 +115,38 @@ module Stats = struct
     t.automata_cache_misses <- 0;
     t.phases <- []
 
-  let node ?(count = 1) t = t.nodes_expanded <- t.nodes_expanded + count
-  let sat_call t = t.sat_calls <- t.sat_calls + 1
-  let hom_check t = t.hom_checks <- t.hom_checks + 1
-  let unfold_hit t = t.unfold_cache_hits <- t.unfold_cache_hits + 1
-  let unfold_miss t = t.unfold_cache_misses <- t.unfold_cache_misses + 1
-  let automata_hit t = t.automata_cache_hits <- t.automata_cache_hits + 1
+  (* The counter bumps are also the single trace-emission point: every
+     instrumented module already routes its interesting moments through
+     Stats, so emitting here gives complete traces with no extra call
+     sites (and no double counting). *)
+
+  let node ?(count = 1) t =
+    t.nodes_expanded <- t.nodes_expanded + count;
+    Obs.Trace.emit Obs.Trace.Candidate_expanded
+
+  let sat_call t =
+    t.sat_calls <- t.sat_calls + 1;
+    Obs.Trace.emit Obs.Trace.Sat_call
+
+  let hom_check t =
+    t.hom_checks <- t.hom_checks + 1;
+    Obs.Trace.emit Obs.Trace.Hom_check
+
+  let unfold_hit t =
+    t.unfold_cache_hits <- t.unfold_cache_hits + 1;
+    Obs.Trace.emit (Obs.Trace.Cache { layer = "unfold"; hit = true })
+
+  let unfold_miss t =
+    t.unfold_cache_misses <- t.unfold_cache_misses + 1;
+    Obs.Trace.emit (Obs.Trace.Cache { layer = "unfold"; hit = false })
+
+  let automata_hit t =
+    t.automata_cache_hits <- t.automata_cache_hits + 1;
+    Obs.Trace.emit (Obs.Trace.Cache { layer = "automata"; hit = true })
 
   let automata_miss t =
-    t.automata_cache_misses <- t.automata_cache_misses + 1
+    t.automata_cache_misses <- t.automata_cache_misses + 1;
+    Obs.Trace.emit (Obs.Trace.Cache { layer = "automata"; hit = false })
 
   let add_phase t name dt =
     let rec bump = function
@@ -134,8 +157,12 @@ module Stats = struct
     t.phases <- bump t.phases
 
   let time t name f =
-    let t0 = Sys.time () in
-    Fun.protect ~finally:(fun () -> add_phase t name (Sys.time () -. t0)) f
+    let t0 = Obs.Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        add_phase t name
+          (Int64.to_float (Obs.Clock.elapsed_ns t0) /. 1e9))
+      f
 
   let nodes_expanded t = t.nodes_expanded
   let sat_calls t = t.sat_calls
@@ -145,6 +172,38 @@ module Stats = struct
   let automata_cache_hits t = t.automata_cache_hits
   let automata_cache_misses t = t.automata_cache_misses
   let phases t = List.rev t.phases
+
+  let merge a b =
+    let m = create () in
+    m.nodes_expanded <- a.nodes_expanded + b.nodes_expanded;
+    m.sat_calls <- a.sat_calls + b.sat_calls;
+    m.hom_checks <- a.hom_checks + b.hom_checks;
+    m.unfold_cache_hits <- a.unfold_cache_hits + b.unfold_cache_hits;
+    m.unfold_cache_misses <- a.unfold_cache_misses + b.unfold_cache_misses;
+    m.automata_cache_hits <- a.automata_cache_hits + b.automata_cache_hits;
+    m.automata_cache_misses <- a.automata_cache_misses + b.automata_cache_misses;
+    List.iter (fun (n, dt) -> add_phase m n dt) (phases a);
+    List.iter (fun (n, dt) -> add_phase m n dt) (phases b);
+    m
+
+  let snapshot t =
+    [
+      ("nodes_expanded", t.nodes_expanded);
+      ("sat_calls", t.sat_calls);
+      ("hom_checks", t.hom_checks);
+      ("unfold_cache_hits", t.unfold_cache_hits);
+      ("unfold_cache_misses", t.unfold_cache_misses);
+      ("automata_cache_hits", t.automata_cache_hits);
+      ("automata_cache_misses", t.automata_cache_misses);
+    ]
+
+  let delta ~before t =
+    List.map
+      (fun (k, v) ->
+        match List.assoc_opt k before with
+        | Some v0 -> (k, v - v0)
+        | None -> (k, v))
+      (snapshot t)
 
   let pp ppf t =
     Fmt.pf ppf
@@ -167,20 +226,22 @@ module Meter = struct
   type t = {
     budget : Budget.t;
     stats : Stats.t;
-    started_at : float;  (* Sys.time at creation, for the deadline *)
+    started_ns : int64;  (* Obs.Clock.now_ns at creation, for the deadline *)
     mutable nodes : int;
   }
 
   let create ?(stats = Stats.global) budget =
-    { budget; stats; started_at = Sys.time (); nodes = 0 }
+    { budget; stats; started_ns = Obs.Clock.now_ns (); nodes = 0 }
 
   let tick ?(cost = 1) t =
     t.nodes <- t.nodes + cost;
     Stats.node ~count:cost t.stats
 
   let nodes t = t.nodes
+  let elapsed_s t = Int64.to_float (Obs.Clock.elapsed_ns t.started_ns) /. 1e9
 
   let exhaust t ~depth_reached ~limit message =
+    Obs.Trace.emit (Obs.Trace.Budget_tripped limit);
     { limit; depth_reached; nodes_expanded = t.nodes; message }
 
   let check t ~depth =
@@ -197,7 +258,7 @@ module Meter = struct
              (Printf.sprintf "node budget exhausted after %d nodes" t.nodes))
       | _ -> (
         match t.budget.Budget.deadline_s with
-        | Some s when Sys.time () -. t.started_at >= s ->
+        | Some s when elapsed_s t >= s ->
           Error
             (exhaust t ~depth_reached:(max 0 (depth - 1)) ~limit:`Deadline
                (Printf.sprintf "deadline of %.3gs exceeded" s))
@@ -221,11 +282,33 @@ type 'a scan_outcome =
   | Completed of int
   | Exhausted of exhausted
 
+(* ------------------------------------------------------------------ *)
+(* Provenance                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(stats = Stats.global) ~name ~outcome f =
+  let before = Stats.snapshot stats in
+  let t0 = Obs.Clock.now_ns () in
+  let v = Obs.Trace.span name f in
+  Obs.Trace.record_provenance
+    {
+      Obs.Trace.procedure = name;
+      outcome = outcome v;
+      first_depth = 0;
+      last_depth = 0;
+      counters = Stats.delta ~before stats;
+      duration_ns = Obs.Clock.elapsed_ns t0;
+    };
+  v
+
 let scan ?(stats = Stats.global) ?(budget = Budget.unlimited) ?decisive_bound
-    ?(start = 0) probe =
+    ?(start = 0) ?(name = "scan") probe =
   if decisive_bound = None && Budget.is_unlimited budget then
     invalid_arg "Engine.scan: unbounded search (no decisive bound, no budget)";
+  let before = Stats.snapshot stats in
+  let t0 = Obs.Clock.now_ns () in
   let meter = Meter.create ~stats budget in
+  let last_depth = ref (start - 1) in
   let rec go n =
     match decisive_bound with
     | Some b when n > b -> Completed b
@@ -233,8 +316,28 @@ let scan ?(stats = Stats.global) ?(budget = Budget.unlimited) ?decisive_bound
       match Meter.check meter ~depth:n with
       | Error e -> Exhausted e
       | Ok () -> (
+        last_depth := n;
+        Obs.Trace.emit (Obs.Trace.Depth_started n);
         match probe meter n with
-        | Some x -> Found x
+        | Some x ->
+          Obs.Trace.emit Obs.Trace.Witness_found;
+          Found x
         | None -> go (n + 1)))
   in
-  go start
+  let result = Obs.Trace.span name (fun () -> go start) in
+  let outcome =
+    match result with
+    | Found _ -> Obs.Trace.Found_at !last_depth
+    | Completed b -> Obs.Trace.Completed b
+    | Exhausted e -> Obs.Trace.Tripped e.limit
+  in
+  Obs.Trace.record_provenance
+    {
+      Obs.Trace.procedure = name;
+      outcome;
+      first_depth = start;
+      last_depth = !last_depth;
+      counters = Stats.delta ~before stats;
+      duration_ns = Obs.Clock.elapsed_ns t0;
+    };
+  result

@@ -15,9 +15,9 @@ module Budget : sig
       optional; an absent component never trips.  [max_depth] bounds the
       scan parameter (input length, chain length, ...), [max_nodes] the
       number of candidates expanded (disjuncts grounded, plans checked,
-      samples drawn, ...), and [deadline_s] the CPU seconds the search may
-      consume, measured from {!Meter.create} via [Sys.time] (a portable
-      stand-in for a monotonic clock — no extra dependency). *)
+      samples drawn, ...), and [deadline_s] the wall-clock seconds the
+      search may consume, measured from {!Meter.create} on the shared
+      monotonic clock ([Obs.Clock]). *)
   type t = {
     max_depth : int option;
     max_nodes : int option;
@@ -68,7 +68,12 @@ module Stats : sig
   (** A mutable counter sink threaded through the procedures.  Every
       instrumented entry point takes [?stats] and defaults to {!global},
       so casual callers get aggregate numbers for free (surfaced by
-      [swscli --stats]) and benchmarks can isolate a fresh sink. *)
+      [swscli --stats]) and benchmarks can isolate a fresh sink.
+
+      The counter bumps double as the system's trace-emission points:
+      each bump forwards a typed [Obs.Trace] event to the current tracing
+      session (a no-op when tracing is off), so modules instrumented for
+      stats are traced for free and events are never double-counted. *)
   type t
 
   val create : unit -> t
@@ -88,7 +93,8 @@ module Stats : sig
   val automata_hit : t -> unit
   val automata_miss : t -> unit
 
-  (** [time t phase f] runs [f] and adds its CPU time to [phase]'s bucket. *)
+  (** [time t phase f] runs [f] and adds its wall-clock time (monotonic,
+      via [Obs.Clock]) to [phase]'s bucket. *)
   val time : t -> string -> (unit -> 'a) -> 'a
 
   (** {2 Readers} *)
@@ -101,8 +107,20 @@ module Stats : sig
   val automata_cache_hits : t -> int
   val automata_cache_misses : t -> int
 
-  (** Accumulated CPU seconds per phase, in first-use order. *)
+  (** Accumulated wall-clock seconds per phase, in first-use order. *)
   val phases : t -> (string * float) list
+
+  (** {2 Combining and snapshotting}
+
+      [merge a b] is a fresh sink holding the pointwise sums — for
+      combining per-run sinks into one report.  [snapshot] freezes the
+      counters as a stable-keyed assoc list; [delta ~before t] subtracts a
+      snapshot, giving the counter movement attributable to one run (the
+      [counters] field of a provenance record). *)
+
+  val merge : t -> t -> t
+  val snapshot : t -> (string * int) list
+  val delta : before:(string * int) list -> t -> (string * int) list
 
   val pp : t Fmt.t
 end
@@ -129,7 +147,9 @@ module Meter : sig
 
   (** Build an {!exhausted} report at the meter's current node count, for
       procedures whose candidate space ran dry ([`Candidates]) or that
-      detect a trip mid-depth. *)
+      detect a trip mid-depth.  Also emits [Obs.Trace.Budget_tripped] to
+      the current tracing session, so every trip — whether from [check] or
+      hand-built — shows up in traces exactly once. *)
   val exhaust : t -> depth_reached:int -> limit:limit -> string -> exhausted
 end
 
@@ -151,11 +171,32 @@ type 'a scan_outcome =
           procedure may now answer [No] / [Equivalent] *)
   | Exhausted of exhausted
 
-(** [scan ?stats ?budget ?decisive_bound ?start probe] runs
+(** {1 Run provenance}
+
+    [run ~name ~outcome f] wraps a procedure body that does not go through
+    {!scan} (the decisive automata procedures, the samplers): it runs [f]
+    inside an [Obs.Trace] span and records an [Obs.Trace.provenance] with
+    the counter deltas attributable to the call.  Provenance is recorded
+    even when tracing is off — it is a few words per run — and is read
+    back via [Obs.Trace.last_provenance] or [swscli explain]. *)
+val run :
+  ?stats:Stats.t ->
+  name:string ->
+  outcome:('a -> Obs.Trace.outcome) ->
+  (unit -> 'a) ->
+  'a
+
+(** [scan ?stats ?budget ?decisive_bound ?start ?name probe] runs
     [probe meter n] for n = [start], [start]+1, ... until the probe
     answers, the decisive bound completes, or the budget trips.  The probe
     shares one meter across depths, so node and deadline budgets apply to
     the whole scan; it should [Meter.tick] per candidate it expands.
+
+    Each depth entered emits [Obs.Trace.Depth_started]; a decisive probe
+    answer emits [Witness_found]; a trip emits [Budget_tripped] (via
+    {!Meter.exhaust}).  On return, a provenance record named [name]
+    (default ["scan"]) is stored with the scanned depth range, outcome
+    and counter deltas.
 
     Raises [Invalid_argument] when neither [decisive_bound] nor any budget
     component bounds the scan (the search could never terminate). *)
@@ -164,5 +205,6 @@ val scan :
   ?budget:Budget.t ->
   ?decisive_bound:int ->
   ?start:int ->
+  ?name:string ->
   (Meter.t -> int -> 'a option) ->
   'a scan_outcome

@@ -179,6 +179,11 @@ let equiv_check ?stats ?(budget = Engine.Budget.of_nodes 100) ?(seed = 42)
     ~goal t =
   if Sws_data.out_arity goal <> t.arity then
     invalid_arg "equiv_check: goal output arity mismatch";
+  Engine.run ?stats ~name:"mediator_equiv_check"
+    ~outcome:(function
+      | Agree_on_samples _ -> Obs.Trace.Decided true
+      | Differ _ -> Obs.Trace.Decided false)
+  @@ fun () ->
   let meter = Engine.Meter.create ?stats budget in
   let rng = Random.State.make [| seed |] in
   let config =

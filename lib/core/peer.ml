@@ -292,6 +292,11 @@ type agreement_verdict =
    counterexample. *)
 let agreement_check ?stats ?(budget = Engine.Budget.of_nodes 40) ?(seed = 7)
     peer =
+  Engine.run ?stats ~name:"peer_agreement_check"
+    ~outcome:(function
+      | Agree_within_budget _ -> Obs.Trace.Decided true
+      | Disagree _ -> Obs.Trace.Decided false)
+  @@ fun () ->
   let meter = Engine.Meter.create ?stats budget in
   let rng = Random.State.make [| seed |] in
   let config = { R.Instance_gen.domain_size = 3; tuples_per_relation = 2 } in

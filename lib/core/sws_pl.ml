@@ -233,9 +233,12 @@ let build_afa t =
   in
   Afa.create ~alphabet_size ~start:(pair_id start_name false) ~finals:[] ~delta
 
-(* One memoized stage of the automata chain. *)
-let cached ?(stats = Engine.Stats.global) ~get ~set build t =
-  if not (Engine.caching_enabled ()) then build t
+(* One memoized stage of the automata chain.  [name] labels the build in
+   traces: each uncached construction appears as one span and feeds the
+   per-stage latency histogram. *)
+let cached ?(stats = Engine.Stats.global) ~name ~get ~set build t =
+  if not (Engine.caching_enabled ()) then
+    Obs.Trace.span name (fun () -> build t)
   else
     match get t.cache with
     | Some v ->
@@ -243,25 +246,25 @@ let cached ?(stats = Engine.Stats.global) ~get ~set build t =
       v
     | None ->
       Engine.Stats.automata_miss stats;
-      let v = build t in
+      let v = Obs.Trace.span name (fun () -> build t) in
       set t.cache (Some v);
       v
 
 let to_afa ?stats t =
-  cached ?stats
+  cached ?stats ~name:"afa_build"
     ~get:(fun c -> c.afa)
     ~set:(fun c v -> c.afa <- v)
     build_afa t
 
 let language_nfa ?stats t =
-  cached ?stats
+  cached ?stats ~name:"nfa_build"
     ~get:(fun c -> c.nfa)
     ~set:(fun c v -> c.nfa <- v)
     (fun t -> Automata.Afa.to_nfa (to_afa ?stats t))
     t
 
 let language_dfa ?stats t =
-  cached ?stats
+  cached ?stats ~name:"dfa_build"
     ~get:(fun c -> c.dfa)
     ~set:(fun c v -> c.dfa <- v)
     (fun t -> Automata.Dfa.of_nfa (language_nfa ?stats t))

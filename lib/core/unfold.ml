@@ -290,6 +290,7 @@ let rec act_ucq ctx sws depths ~n q j ~m_id (m : Ucq.t option Lazy.t) : Ucq.t =
 (* tau unfolded at input length n, as a UCQ over R ∪ {in@j}.  Raises
    [Not_ucq] on services with FO rules. *)
 let to_ucq ?stats sws ~n =
+  Obs.Trace.span "unfold_ucq" @@ fun () ->
   let ctx = make_ctx ?stats () in
   maybe_trim ();
   let depths = state_depths (Sws_data.def sws) in
@@ -401,6 +402,7 @@ let rec act_fo ctx sws ~n q j (m : Fo.t option) : Fo.t =
 
 (* tau unfolded at input length n, as an FO query over R ∪ {in@j}. *)
 let to_fo ?stats sws ~n =
+  Obs.Trace.span "unfold_fo" @@ fun () ->
   let ctx = make_ctx ?stats () in
   act_fo ctx sws ~n (Sws_def.start (Sws_data.def sws)) 1 None
 

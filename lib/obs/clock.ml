@@ -1,0 +1,8 @@
+(* See clock.mli.  Monotonic_clock is bechamel's thin binding over
+   clock_gettime(CLOCK_MONOTONIC) (mach_absolute_time on macOS); the
+   package is already a bench dependency, so this adds no new install. *)
+
+let now_ns () = Monotonic_clock.now ()
+let now_s () = Int64.to_float (now_ns ()) /. 1e9
+let elapsed_ns since = Int64.sub (now_ns ()) since
+let ns_to_ms ns = Int64.to_float ns /. 1e6

@@ -1,0 +1,22 @@
+(** The one monotonic clock of the system.
+
+    [Sys.time] measures process CPU seconds at a coarse quantum: it
+    under-counts anything that blocks and quantizes fast measurements to
+    zero, which made the old [Engine.Meter] deadline a stand-in.  Every
+    timing consumer — the meter's deadline, the trace layer's span
+    timestamps, the benchmark's growth series — now reads the same
+    CLOCK_MONOTONIC nanosecond source, so their numbers are mutually
+    comparable. *)
+
+(** Nanoseconds on the OS monotonic clock.  Only differences are
+    meaningful; the origin is unspecified (typically boot time). *)
+val now_ns : unit -> int64
+
+(** [now_s] is {!now_ns} in seconds, for deadline arithmetic. *)
+val now_s : unit -> float
+
+(** Nanoseconds elapsed since an earlier {!now_ns} reading. *)
+val elapsed_ns : int64 -> int64
+
+(** Convert a nanosecond duration to milliseconds. *)
+val ns_to_ms : int64 -> float

@@ -1,0 +1,39 @@
+(** A minimal JSON tree, serializer and parser.
+
+    The container pins no JSON library, and the observability layer needs
+    both directions: the trace exporters and the bench report *write*
+    JSON, and the test suite and CI *parse* it back to check the output is
+    well-formed and round-trips.  This module is deliberately small: no
+    streaming, no numbers beyond OCaml [int]/[float], object keys kept in
+    insertion order. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact serialization (no insignificant whitespace), with full string
+    escaping.  Floats print via ["%.17g"] so parsing them back is exact;
+    non-finite floats serialize as [null] (JSON has no representation). *)
+val to_string : t -> string
+
+(** [to_channel oc j] writes {!to_string} followed by a newline. *)
+val to_channel : out_channel -> t -> unit
+
+val pp : t Fmt.t
+
+(** Parse one JSON value (leading/trailing whitespace allowed).
+    [Error msg] carries a position-annotated message. *)
+val of_string : string -> (t, string) result
+
+(** {2 Accessors (total; [None] on shape mismatch)} *)
+
+val member : string -> t -> t option
+val to_list_opt : t -> t list option
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+val to_string_opt : t -> string option

@@ -1,0 +1,365 @@
+(* See trace.mli. *)
+
+type limit = [ `Depth | `Nodes | `Deadline | `Candidates ]
+
+type event =
+  | Depth_started of int
+  | Candidate_expanded
+  | Cache of { layer : string; hit : bool }
+  | Sat_call
+  | Hom_check
+  | Budget_tripped of limit
+  | Witness_found
+  | Span_begin of string
+  | Span_end of string
+
+let limit_to_string : limit -> string = function
+  | `Depth -> "depth"
+  | `Nodes -> "nodes"
+  | `Deadline -> "deadline"
+  | `Candidates -> "candidates"
+
+let event_name = function
+  | Depth_started _ -> "depth_started"
+  | Candidate_expanded -> "candidate_expanded"
+  | Cache _ -> "cache"
+  | Sat_call -> "sat_call"
+  | Hom_check -> "hom_check"
+  | Budget_tripped _ -> "budget_tripped"
+  | Witness_found -> "witness_found"
+  | Span_begin _ -> "span_begin"
+  | Span_end _ -> "span_end"
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Hist = struct
+  (* 63 buckets cover the whole non-negative int range on 64-bit:
+     bucket 0 = [0,2), bucket i = [2^i, 2^(i+1)) for i >= 1. *)
+  let n_buckets = 63
+
+  type t = { counts : int array; mutable count : int; mutable sum_ns : int }
+
+  let create () = { counts = Array.make n_buckets 0; count = 0; sum_ns = 0 }
+
+  let bucket_index n =
+    if n < 2 then 0
+    else begin
+      let i = ref 0 and v = ref n in
+      while !v > 1 do
+        incr i;
+        v := !v lsr 1
+      done;
+      !i
+    end
+
+  let bucket_bounds i =
+    if i <= 0 then (0, 2)
+    else
+      let lo = 1 lsl i in
+      (* [1 lsl 62] already overflows to [min_int]: the top representable
+         bucket is 61 and it includes [max_int] itself *)
+      let hi = if i >= 61 then max_int else 1 lsl (i + 1) in
+      (lo, hi)
+
+  let observe t ns =
+    let ns = if ns < 0 then 0 else ns in
+    t.counts.(bucket_index ns) <- t.counts.(bucket_index ns) + 1;
+    t.count <- t.count + 1;
+    t.sum_ns <- t.sum_ns + ns
+
+  let count t = t.count
+  let sum_ns t = t.sum_ns
+
+  let buckets t =
+    let acc = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if t.counts.(i) > 0 then acc := (i, t.counts.(i)) :: !acc
+    done;
+    !acc
+
+  let merge a b =
+    let m = create () in
+    Array.iteri (fun i c -> m.counts.(i) <- c + b.counts.(i)) a.counts;
+    m.count <- a.count + b.count;
+    m.sum_ns <- a.sum_ns + b.sum_ns;
+    m
+
+  let to_json t =
+    Json.Obj
+      [
+        ("count", Json.Int t.count);
+        ("sum_ns", Json.Int t.sum_ns);
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (i, c) ->
+                 let lo, _ = bucket_bounds i in
+                 Json.Obj
+                   [
+                     ("index", Json.Int i);
+                     ("lo_ns", Json.Int lo);
+                     ("count", Json.Int c);
+                   ])
+               (buckets t)) );
+      ]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type entry = { at_ns : int64; ev : event }
+
+type t = {
+  session_start_ns : int64;
+  capacity : int;
+  buf : entry option array;
+  mutable next : int; (* next write slot *)
+  mutable length : int; (* entries currently stored, <= capacity *)
+  mutable dropped_events : int;
+  hists : (string, Hist.t) Hashtbl.t;
+}
+
+let default_capacity = 65_536
+
+let make capacity =
+  let capacity = max 1 capacity in
+  {
+    session_start_ns = Clock.now_ns ();
+    capacity;
+    buf = Array.make capacity None;
+    next = 0;
+    length = 0;
+    dropped_events = 0;
+    hists = Hashtbl.create 16;
+  }
+
+let current : t option ref = ref None
+
+let install ?(capacity = default_capacity) () =
+  let t = make capacity in
+  current := Some t;
+  t
+
+let uninstall () = current := None
+let enabled () = !current <> None
+
+let with_session ?capacity f =
+  let t = install ?capacity () in
+  Fun.protect ~finally:uninstall (fun () ->
+      let v = f () in
+      (v, t))
+
+let record t at_ns ev =
+  if t.length = t.capacity then t.dropped_events <- t.dropped_events + 1
+  else t.length <- t.length + 1;
+  t.buf.(t.next) <- Some { at_ns; ev };
+  t.next <- (t.next + 1) mod t.capacity
+
+let emit ev =
+  match !current with
+  | None -> ()
+  | Some t -> record t (Clock.now_ns ()) ev
+
+let hist_for t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+    let h = Hist.create () in
+    Hashtbl.add t.hists name h;
+    h
+
+let observe name ns =
+  match !current with
+  | None -> ()
+  | Some t -> Hist.observe (hist_for t name) ns
+
+let span name f =
+  match !current with
+  | None -> f ()
+  | Some t ->
+    let t0 = Clock.now_ns () in
+    record t t0 (Span_begin name);
+    let finish () =
+      let t1 = Clock.now_ns () in
+      record t t1 (Span_end name);
+      Hist.observe (hist_for t name) (Int64.to_int (Int64.sub t1 t0))
+    in
+    (match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e)
+
+let events t =
+  (* oldest-first: when full the oldest entry sits at [next] *)
+  let out = ref [] in
+  let start = if t.length = t.capacity then t.next else 0 in
+  for i = t.length - 1 downto 0 do
+    match t.buf.((start + i) mod t.capacity) with
+    | Some e -> out := (e.at_ns, e.ev) :: !out
+    | None -> ()
+  done;
+  !out
+
+let event_count t = t.length
+let dropped t = t.dropped_events
+let start_ns t = t.session_start_ns
+
+let histograms t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.hists []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Provenance                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type outcome =
+  | Decided of bool
+  | Found_at of int
+  | Completed of int
+  | Tripped of limit
+
+type provenance = {
+  procedure : string;
+  outcome : outcome;
+  first_depth : int;
+  last_depth : int;
+  counters : (string * int) list;
+  duration_ns : int64;
+}
+
+let keep_provenances = 64
+
+(* newest first, truncated to [keep_provenances] *)
+let provenance_log : provenance list ref = ref []
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: xs -> x :: take (n - 1) xs
+
+let record_provenance p = provenance_log := take keep_provenances (p :: !provenance_log)
+
+let last_provenance () =
+  match !provenance_log with [] -> None | p :: _ -> Some p
+
+let provenances () = !provenance_log
+
+let amend_last_provenance f =
+  match !provenance_log with [] -> () | p :: rest -> provenance_log := f p :: rest
+
+let clear_provenances () = provenance_log := []
+
+let outcome_to_string = function
+  | Decided b -> Printf.sprintf "decided:%b" b
+  | Found_at d -> Printf.sprintf "found_at:%d" d
+  | Completed d -> Printf.sprintf "completed:%d" d
+  | Tripped l -> Printf.sprintf "tripped:%s" (limit_to_string l)
+
+let outcome_to_json = function
+  | Decided b -> Json.Obj [ ("kind", Json.String "decided"); ("value", Json.Bool b) ]
+  | Found_at d -> Json.Obj [ ("kind", Json.String "found_at"); ("depth", Json.Int d) ]
+  | Completed d ->
+    Json.Obj [ ("kind", Json.String "completed"); ("depth", Json.Int d) ]
+  | Tripped l ->
+    Json.Obj
+      [ ("kind", Json.String "tripped"); ("limit", Json.String (limit_to_string l)) ]
+
+let provenance_to_json p =
+  Json.Obj
+    [
+      ("procedure", Json.String p.procedure);
+      ("outcome", outcome_to_json p.outcome);
+      ("first_depth", Json.Int p.first_depth);
+      ("last_depth", Json.Int p.last_depth);
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) p.counters) );
+      ("duration_ms", Json.Float (Clock.ns_to_ms p.duration_ns));
+    ]
+
+let pp_provenance ppf p =
+  Fmt.pf ppf "@[<v>%s: %s (depths %d..%d, %.3f ms)@,%a@]" p.procedure
+    (outcome_to_string p.outcome)
+    p.first_depth p.last_depth
+    (Clock.ns_to_ms p.duration_ns)
+    Fmt.(list ~sep:(any "@,") (pair ~sep:(any "=") string int))
+    p.counters
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let event_args = function
+  | Depth_started d -> [ ("depth", Json.Int d) ]
+  | Cache { layer; hit } -> [ ("layer", Json.String layer); ("hit", Json.Bool hit) ]
+  | Budget_tripped l -> [ ("limit", Json.String (limit_to_string l)) ]
+  | Candidate_expanded | Sat_call | Hom_check | Witness_found | Span_begin _
+  | Span_end _ ->
+    []
+
+let us_since t at_ns =
+  Int64.to_float (Int64.sub at_ns t.session_start_ns) /. 1e3
+
+let to_chrome t =
+  let trace_event (at_ns, ev) =
+    let ts = ("ts", Json.Float (us_since t at_ns)) in
+    let common = [ ("pid", Json.Int 1); ("tid", Json.Int 1); ts ] in
+    match ev with
+    | Span_begin name ->
+      Json.Obj
+        (("name", Json.String name) :: ("ph", Json.String "B") :: common)
+    | Span_end name ->
+      Json.Obj
+        (("name", Json.String name) :: ("ph", Json.String "E") :: common)
+    | ev ->
+      let args = event_args ev in
+      Json.Obj
+        (("name", Json.String (event_name ev))
+        :: ("ph", Json.String "i")
+        :: ("s", Json.String "t")
+        :: common
+        @ if args = [] then [] else [ ("args", Json.Obj args) ])
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map trace_event (events t)));
+      ("displayTimeUnit", Json.String "ms");
+      ("dropped", Json.Int t.dropped_events);
+      ( "histograms",
+        Json.Obj (List.map (fun (k, h) -> (k, Hist.to_json h)) (histograms t)) );
+      ("provenance", Json.List (List.map provenance_to_json (provenances ())));
+    ]
+
+let to_jsonl t =
+  List.map
+    (fun (at_ns, ev) ->
+      let base =
+        [
+          ("ts_us", Json.Float (us_since t at_ns));
+          ("event", Json.String (event_name ev));
+        ]
+      in
+      let extra =
+        match ev with
+        | Span_begin name | Span_end name -> [ ("span", Json.String name) ]
+        | ev -> event_args ev
+      in
+      Json.to_string (Json.Obj (base @ extra)))
+    (events t)
+
+let write_chrome t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Json.to_channel oc (to_chrome t))
+
+let write_jsonl t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (fun line -> output_string oc line; output_char oc '\n') (to_jsonl t))

@@ -246,6 +246,7 @@ let eval_substs ?(strategy = `Indexed) q db =
   search Subst.empty q.body []
 
 let eval ?strategy q db =
+  Obs.Trace.span "cq_eval" @@ fun () ->
   let substs = eval_substs ?strategy q db in
   List.fold_left
     (fun rel subst ->
@@ -324,6 +325,7 @@ let combined_schema q1 q2s =
    Complete for CQs with <> (Klug).  When neither side uses <>, a single
    canonical database suffices; we special-case that for speed. *)
 let contained_in_many q1 q2s =
+  Obs.Trace.span "cq_containment" @@ fun () ->
   let q2s = List.filter (fun q2 -> head_arity q2 = head_arity q1) q2s in
   if q2s = [] then
     (* Containment in the empty union holds only if q1 is unsatisfiable. *)

@@ -60,8 +60,11 @@ let entry_for store name rel =
 let table_for store ~name rel ~positions =
   let entry = entry_for store name rel in
   match Hashtbl.find_opt entry.tables positions with
-  | Some table -> table
+  | Some table ->
+    Obs.Trace.emit (Obs.Trace.Cache { layer = "index"; hit = true });
+    table
   | None ->
+    Obs.Trace.emit (Obs.Trace.Cache { layer = "index"; hit = false });
     let table = build_table rel positions in
     Hashtbl.replace entry.tables positions table;
     table

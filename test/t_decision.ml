@@ -255,16 +255,32 @@ let test_fo_procedures () =
   | Decision.Yes _ -> Alcotest.fail "unsatisfiable sentence given a witness"
   | Decision.No -> Alcotest.fail "the semi-procedure never answers No"
 
+(* Same auto-reset discipline as T_engine: the procedures under test bump
+   [Engine.Stats.global] and append global provenance records; each case
+   starts and leaves both clean. *)
+let reset_global (name, speed, run) =
+  ( name,
+    speed,
+    fun args ->
+      Engine.Stats.reset Engine.Stats.global;
+      Obs.Trace.clear_provenances ();
+      Fun.protect
+        ~finally:(fun () ->
+          Engine.Stats.reset Engine.Stats.global;
+          Obs.Trace.clear_provenances ())
+        (fun () -> run args) )
+
 let suite =
-  [
-    Alcotest.test_case "pl non-emptiness" `Quick test_pl_non_emptiness;
-    Alcotest.test_case "pl validation" `Quick test_pl_validation;
-    Alcotest.test_case "pl equivalence" `Quick test_pl_equivalence;
-    QCheck_alcotest.to_alcotest prop_nr_procedures_agree;
-    QCheck_alcotest.to_alcotest prop_nr_equivalence_agree;
-    Alcotest.test_case "cq non-emptiness" `Quick test_cq_non_emptiness;
-    Alcotest.test_case "cq equivalence" `Quick test_cq_equivalence;
-    Alcotest.test_case "cq validation" `Quick test_cq_validation;
-    Alcotest.test_case "recursive scan" `Quick test_recursive_scan;
-    Alcotest.test_case "fo procedures" `Quick test_fo_procedures;
-  ]
+  List.map reset_global
+    [
+      Alcotest.test_case "pl non-emptiness" `Quick test_pl_non_emptiness;
+      Alcotest.test_case "pl validation" `Quick test_pl_validation;
+      Alcotest.test_case "pl equivalence" `Quick test_pl_equivalence;
+      QCheck_alcotest.to_alcotest prop_nr_procedures_agree;
+      QCheck_alcotest.to_alcotest prop_nr_equivalence_agree;
+      Alcotest.test_case "cq non-emptiness" `Quick test_cq_non_emptiness;
+      Alcotest.test_case "cq equivalence" `Quick test_cq_equivalence;
+      Alcotest.test_case "cq validation" `Quick test_cq_validation;
+      Alcotest.test_case "recursive scan" `Quick test_recursive_scan;
+      Alcotest.test_case "fo procedures" `Quick test_fo_procedures;
+    ]

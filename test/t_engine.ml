@@ -14,6 +14,23 @@ open Sws
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
+(* The decision procedures default their counters into
+   [Engine.Stats.global] and their provenance into the global trace ring;
+   reset both around every case so no test can observe state accumulated
+   by an earlier one (and alcotest's shuffled or filtered runs stay
+   deterministic). *)
+let reset_global (name, speed, run) =
+  ( name,
+    speed,
+    fun args ->
+      Engine.Stats.reset Engine.Stats.global;
+      Obs.Trace.clear_provenances ();
+      Fun.protect
+        ~finally:(fun () ->
+          Engine.Stats.reset Engine.Stats.global;
+          Obs.Trace.clear_provenances ())
+        (fun () -> run args) )
+
 (* ------------------------------------------------------------------ *)
 (* Budget algebra                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -262,17 +279,47 @@ let test_automata_cache_stats () =
   check "rebuild misses" true (Engine.Stats.automata_cache_misses fresh > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Stats snapshots and merging                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_merge () =
+  let a = Engine.Stats.create () in
+  let b = Engine.Stats.create () in
+  Engine.Stats.node ~count:3 a;
+  Engine.Stats.sat_call a;
+  Engine.Stats.node b;
+  Engine.Stats.unfold_hit b;
+  let m = Engine.Stats.merge a b in
+  check_int "merged nodes" 4 (Engine.Stats.nodes_expanded m);
+  check_int "merged sat calls" 1 (Engine.Stats.sat_calls m);
+  check_int "merged unfold hits" 1 (Engine.Stats.unfold_cache_hits m);
+  (* merge must not alias its inputs *)
+  Engine.Stats.node m;
+  check_int "inputs unchanged" 3 (Engine.Stats.nodes_expanded a);
+  (* snapshot/delta: the delta of a run is exactly what the run did *)
+  let before = Engine.Stats.snapshot a in
+  Engine.Stats.node ~count:2 a;
+  Engine.Stats.hom_check a;
+  let d = Engine.Stats.delta ~before a in
+  check_int "delta nodes" 2 (List.assoc "nodes_expanded" d);
+  check_int "delta hom checks" 1 (List.assoc "hom_checks" d);
+  check_int "delta sat calls" 0 (List.assoc "sat_calls" d)
+
+(* ------------------------------------------------------------------ *)
 
 let suite =
-  [
-    Alcotest.test_case "budget algebra" `Quick test_budget;
-    Alcotest.test_case "meter limits" `Quick test_meter;
-    Alcotest.test_case "scan driver" `Quick test_scan;
-    QCheck_alcotest.to_alcotest prop_starved_non_emptiness;
-    QCheck_alcotest.to_alcotest prop_starved_equivalence;
-    Alcotest.test_case "generous budget agrees" `Quick
-      test_generous_budget_agrees;
-    Alcotest.test_case "unfold determinism" `Quick test_unfold_deterministic;
-    Alcotest.test_case "unfold cache stats" `Quick test_unfold_cache_stats;
-    Alcotest.test_case "automata cache stats" `Quick test_automata_cache_stats;
-  ]
+  List.map reset_global
+    [
+      Alcotest.test_case "budget algebra" `Quick test_budget;
+      Alcotest.test_case "meter limits" `Quick test_meter;
+      Alcotest.test_case "scan driver" `Quick test_scan;
+      QCheck_alcotest.to_alcotest prop_starved_non_emptiness;
+      QCheck_alcotest.to_alcotest prop_starved_equivalence;
+      Alcotest.test_case "generous budget agrees" `Quick
+        test_generous_budget_agrees;
+      Alcotest.test_case "unfold determinism" `Quick test_unfold_deterministic;
+      Alcotest.test_case "unfold cache stats" `Quick test_unfold_cache_stats;
+      Alcotest.test_case "automata cache stats" `Quick
+        test_automata_cache_stats;
+      Alcotest.test_case "stats merge and delta" `Quick test_stats_merge;
+    ]

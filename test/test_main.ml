@@ -11,6 +11,7 @@ let () =
       ("peer", T_peer.suite);
       ("sws_data", T_sws_data.suite);
       ("engine", T_engine.suite);
+      ("trace", T_trace.suite);
       ("decision", T_decision.suite);
       ("mediator", T_mediator.suite);
       ("compose", T_compose.suite);
