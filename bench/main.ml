@@ -23,7 +23,7 @@
    observed while measuring (node counts, SAT calls, cache hits/misses and
    the derived hit rates), the tracing-overhead comparison and the span
    latency histograms of the traced run — the artifact CI uploads as
-   BENCH_pr3.json.
+   BENCH_pr3.json (and BENCH_pr4.json for the representation PR).
 
    The final section registers one Bechamel micro-benchmark per table, as a
    stable timing reference for the headline operations. *)
@@ -788,6 +788,60 @@ let engine_cache_ablation () =
     automata_ks
 
 (* ------------------------------------------------------------------ *)
+(* Ablation: interned representation (DESIGN.md section 4e)             *)
+(* ------------------------------------------------------------------ *)
+
+(* The PR-1 CQ-evaluation and PR-2 subset-construction series, re-run so
+   the report carries the representation gauges next to the timings: the
+   [measure] counter deltas now include [interner_size] (distinct values
+   hash-consed during the row) and [bitset_allocs] (state-set word arrays
+   materialized).  The before/after reading against the pre-interning
+   build lives in EXPERIMENTS.md; this section is the "after" artifact. *)
+let representation_ablation () =
+  header "Ablation: interned representation — packed tuples and bit-set state sets";
+  (* Subset construction on the 2^k family: the workload that keys hash
+     tables on whole state sets, where Bitset's cached hash and O(words)
+     equality replace Set.Make(Int)'s per-element walk. *)
+  let subset_ks = if quick then [ 8; 10 ] else [ 8; 10; 12; 14 ] in
+  series "subset construction (k-th-symbol-from-end family)"
+    (List.map
+       (fun k ->
+         let n = kth_from_end_nfa k in
+         ( Printf.sprintf "k = %d (2^%d DFA states)" k k,
+           measure (fun () -> ignore (Dfa.of_nfa n)) ))
+       subset_ks);
+  series "PL language equivalence (NFA vs itself, product of determinizations)"
+    (List.map
+       (fun k ->
+         let n = kth_from_end_nfa k in
+         ( Printf.sprintf "k = %d" k,
+           measure (fun () -> ignore (Dfa.nfa_equivalent n n)) ))
+       (if quick then [ 8 ] else [ 8; 10; 12 ]));
+  (* The PR-1 join series under interned tuples: id-level probes against
+     the same line-graph family as the join-strategy ablation. *)
+  let v = R.Term.var in
+  let chain_q len =
+    R.Cq.make
+      ~head:[ v "x0"; v (Printf.sprintf "x%d" len) ]
+      ~body:
+        (List.init len (fun i ->
+             R.Atom.make "e"
+               [ v (Printf.sprintf "x%d" i); v (Printf.sprintf "x%d" (i + 1)) ]))
+      ()
+  in
+  let q = chain_q 4 in
+  series "4-chain CQ on interned tuples (largest line graphs)"
+    (List.map
+       (fun n ->
+         let db = line_graph_db n in
+         ( Printf.sprintf "%d edges, indexed" n,
+           measure (fun () -> ignore (R.Cq.eval ~strategy:`Indexed q db)) ))
+       (if quick then [ 400 ] else [ 400; 1600 ]));
+  row "process gauges: interner size %d values, bitset allocations %d"
+    (R.Value.interner_size ())
+    (Repr.Bitset.allocations ())
+
+(* ------------------------------------------------------------------ *)
 (* Ablations (DESIGN.md section 5)                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1039,6 +1093,7 @@ let () =
     figure1 ();
     join_strategy_ablation ();
     engine_cache_ablation ();
+    representation_ablation ();
     ablations ()
   end;
   tracing_overhead ();

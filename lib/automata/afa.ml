@@ -88,23 +88,26 @@ let accepts a word =
   v a.start
 
 (* The vector DFA of the reversed language: states are truth vectors
-   (encoded as the set of true AFA states), the start vector marks the
+   (encoded as the bit set of true AFA states), the start vector marks the
    finals, and reading symbol [s] rewrites vector v to
    q |-> delta(q, s) evaluated under v.  It accepts rev(w) iff the AFA
-   accepts w.  Only reachable vectors are materialized. *)
+   accepts w.  Only reachable vectors are materialized; the reachable-vector
+   table is a hash table over packed bit sets — this lookup dominates the
+   PSPACE-style exploration of Theorem 4.1(3). *)
 let reverse_vector_dfa a =
-  let module M = Map.Make (Iset) in
-  let truth_of set q = Iset.mem q set in
+  let module Bs = Repr.Bitset in
+  let module H = Hashtbl.Make (Repr.Bitset) in
   let step set s =
-    let truth = truth_of set in
-    let next = ref Iset.empty in
+    let truth q = Bs.mem q set in
+    let next = ref Bs.empty in
     for q = 0 to a.num_states - 1 do
-      if eval_form truth a.delta.(q).(s) then next := Iset.add q !next
+      if eval_form truth a.delta.(q).(s) then next := Bs.add q !next
     done;
     !next
   in
-  let start_set = a.finals in
-  let ids = ref (M.singleton start_set 0) in
+  let start_set = Bs.of_list (Iset.elements a.finals) in
+  let ids = H.create 256 in
+  H.replace ids start_set 0;
   let next_id = ref 1 in
   let rows = ref [] in
   let finals = ref [] in
@@ -112,16 +115,16 @@ let reverse_vector_dfa a =
   Queue.add (start_set, 0) queue;
   while not (Queue.is_empty queue) do
     let set, i = Queue.pop queue in
-    if Iset.mem a.start set then finals := i :: !finals;
+    if Bs.mem a.start set then finals := i :: !finals;
     let row =
       Array.init a.alphabet_size (fun s ->
           let set' = step set s in
-          match M.find_opt set' !ids with
+          match H.find_opt ids set' with
           | Some j -> j
           | None ->
             let j = !next_id in
             incr next_id;
-            ids := M.add set' j !ids;
+            H.replace ids set' j;
             Queue.add (set', j) queue;
             j)
     in
@@ -149,9 +152,8 @@ let of_nfa n =
   (* introduce a fresh start to encode multiple NFA starts *)
   let base = Nfa.num_states n in
   let num = base + 1 in
-  let closure_of set = Nfa.eps_closure n set in
-  let start_closure = closure_of (Nfa.Iset.of_list (Nfa.starts n)) in
-  let nfa_finals = Nfa.Iset.of_list (Nfa.finals n) in
+  let start_closure = Nfa.eps_closure n (Nfa.start_set n) in
+  let nfa_finals = Nfa.final_set n in
   let succ_form source_set s =
     let succ = Nfa.step n source_set s in
     fdisj (List.map (fun q -> State q) (Nfa.Iset.elements succ))
@@ -160,17 +162,15 @@ let of_nfa n =
     Array.init num (fun q ->
         Array.init alphabet_size (fun s ->
             if q = base then succ_form start_closure s
-            else succ_form (closure_of (Nfa.Iset.singleton q)) s))
+            else succ_form (Nfa.closure_of_state n q) s))
   in
   let finals =
     let base_finals =
       List.filter
-        (fun q -> not (Nfa.Iset.is_empty
-                         (Nfa.Iset.inter (closure_of (Nfa.Iset.singleton q)) nfa_finals)))
+        (fun q -> Nfa.Iset.intersects (Nfa.closure_of_state n q) nfa_finals)
         (List.init base Fun.id)
     in
-    if not (Nfa.Iset.is_empty (Nfa.Iset.inter start_closure nfa_finals)) then
-      base :: base_finals
+    if Nfa.Iset.intersects start_closure nfa_finals then base :: base_finals
     else base_finals
   in
   create ~alphabet_size ~start:base ~finals ~delta

@@ -200,31 +200,34 @@ let to_nfa d =
   Nfa.create ~num_states:(num_states d) ~alphabet_size:d.alphabet_size
     ~starts:[ d.start ] ~finals:(finals d) ~edges:!edges ~eps_edges:[]
 
-(* Subset construction, on the fly over reachable subsets only. *)
+(* Subset construction, on the fly over reachable subsets only.  The
+   frontier is keyed on whole NFA state sets: a hash table over packed bit
+   sets (cached hash, word-wise equality) instead of a balanced map under a
+   set-of-int comparison — this lookup dominates the construction. *)
 let of_nfa n =
-  let module M = Map.Make (Nfa.Iset) in
+  let module H = Hashtbl.Make (Repr.Bitset) in
   let alphabet_size = Nfa.alphabet_size n in
-  let start_set = Nfa.eps_closure n (Nfa.Iset.of_list (Nfa.starts n)) in
-  let ids = ref (M.singleton start_set 0) in
+  let start_set = Nfa.eps_closure n (Nfa.start_set n) in
+  let ids = H.create 256 in
+  H.replace ids start_set 0;
   let rows = ref [] in
-  let n_finals = Nfa.Iset.of_list (Nfa.finals n) in
+  let n_finals = Nfa.final_set n in
   let finals = ref [] in
   let queue = Queue.create () in
   Queue.add (start_set, 0) queue;
   let next_id = ref 1 in
   while not (Queue.is_empty queue) do
     let set, i = Queue.pop queue in
-    if not (Nfa.Iset.is_empty (Nfa.Iset.inter set n_finals)) then
-      finals := i :: !finals;
+    if Nfa.Iset.intersects set n_finals then finals := i :: !finals;
     let row =
       Array.init alphabet_size (fun a ->
           let set' = Nfa.step n set a in
-          match M.find_opt set' !ids with
+          match H.find_opt ids set' with
           | Some j -> j
           | None ->
             let j = !next_id in
             incr next_id;
-            ids := M.add set' j !ids;
+            H.replace ids set' j;
             Queue.add (set', j) queue;
             j)
     in

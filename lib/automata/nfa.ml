@@ -1,26 +1,36 @@
 (* Nondeterministic finite automata with epsilon transitions, over the
    integer alphabet {0, ..., alphabet_size - 1}.  The FSA substrate for the
-   Roman model (Section 3) and the PL decision procedures (Theorem 4.1(3)). *)
+   Roman model (Section 3) and the PL decision procedures (Theorem 4.1(3)).
 
-module Iset = Set.Make (Int)
+   State sets are packed bit sets ({!Repr.Bitset}) and the transition
+   function is a dense array indexed by [state * alphabet_size + symbol], so
+   stepping a set is a handful of word-level unions instead of a map lookup
+   per (state, symbol) pair under polymorphic compare.  Per-state epsilon
+   closures are memoized in the automaton (computed once, reused by every
+   [eps_closure]/[step]/subset-construction call on it). *)
 
-module Key = struct
-  type t = int * int
-
-  let compare = compare
-end
-
-module Kmap = Map.Make (Key)
-module Imap = Map.Make (Int)
+module Iset = Repr.Bitset
 
 type t = {
   num_states : int;
   alphabet_size : int;
   starts : Iset.t;
   finals : Iset.t;
-  trans : Iset.t Kmap.t; (* (state, symbol) -> successors *)
-  eps : Iset.t Imap.t;   (* state -> epsilon successors *)
+  trans : Iset.t array; (* trans.(q * alphabet_size + a) = successors *)
+  eps : Iset.t array;   (* eps.(q) = epsilon successors *)
+  closures : Iset.t option array; (* memo: per-state epsilon closure *)
 }
+
+let wrap ~num_states ~alphabet_size ~starts ~finals ~trans ~eps =
+  {
+    num_states;
+    alphabet_size;
+    starts;
+    finals;
+    trans;
+    eps;
+    closures = Array.make num_states None;
+  }
 
 let create ~num_states ~alphabet_size ~starts ~finals ~edges ~eps_edges =
   let check q =
@@ -28,63 +38,66 @@ let create ~num_states ~alphabet_size ~starts ~finals ~edges ~eps_edges =
   in
   List.iter check starts;
   List.iter check finals;
-  let trans =
-    List.fold_left
-      (fun m (p, a, q) ->
-        check p;
-        check q;
-        if a < 0 || a >= alphabet_size then
-          invalid_arg "Nfa.create: symbol out of range";
-        let old = Option.value ~default:Iset.empty (Kmap.find_opt (p, a) m) in
-        Kmap.add (p, a) (Iset.add q old) m)
-      Kmap.empty edges
-  in
-  let eps =
-    List.fold_left
-      (fun m (p, q) ->
-        check p;
-        check q;
-        let old = Option.value ~default:Iset.empty (Imap.find_opt p m) in
-        Imap.add p (Iset.add q old) m)
-      Imap.empty eps_edges
-  in
-  {
-    num_states;
-    alphabet_size;
-    starts = Iset.of_list starts;
-    finals = Iset.of_list finals;
-    trans;
-    eps;
-  }
+  let trans = Array.make (num_states * alphabet_size) Iset.empty in
+  List.iter
+    (fun (p, a, q) ->
+      check p;
+      check q;
+      if a < 0 || a >= alphabet_size then
+        invalid_arg "Nfa.create: symbol out of range";
+      let k = (p * alphabet_size) + a in
+      trans.(k) <- Iset.add q trans.(k))
+    edges;
+  let eps = Array.make num_states Iset.empty in
+  List.iter
+    (fun (p, q) ->
+      check p;
+      check q;
+      eps.(p) <- Iset.add q eps.(p))
+    eps_edges;
+  wrap ~num_states ~alphabet_size ~starts:(Iset.of_list starts)
+    ~finals:(Iset.of_list finals) ~trans ~eps
 
 let num_states n = n.num_states
 let alphabet_size n = n.alphabet_size
 let starts n = Iset.elements n.starts
 let finals n = Iset.elements n.finals
+let start_set n = n.starts
+let final_set n = n.finals
 
-let successors n p a =
-  Option.value ~default:Iset.empty (Kmap.find_opt (p, a) n.trans)
+let successors n p a = n.trans.((p * n.alphabet_size) + a)
 
-let eps_successors n p = Option.value ~default:Iset.empty (Imap.find_opt p n.eps)
+let eps_successors n p = n.eps.(p)
 
 let edges n =
-  Kmap.fold
-    (fun (p, a) qs acc -> Iset.fold (fun q acc -> (p, a, q) :: acc) qs acc)
-    n.trans []
+  let acc = ref [] in
+  for p = n.num_states - 1 downto 0 do
+    for a = n.alphabet_size - 1 downto 0 do
+      Iset.iter (fun q -> acc := (p, a, q) :: !acc) (successors n p a)
+    done
+  done;
+  !acc
+
+(* Memoized per-state epsilon closure (includes the state itself). *)
+let closure_of_state n q =
+  match n.closures.(q) with
+  | Some c -> c
+  | None ->
+    let rec go frontier closed =
+      if Iset.is_empty frontier then closed
+      else
+        let next =
+          Iset.fold (fun p acc -> Iset.union acc n.eps.(p)) frontier Iset.empty
+        in
+        let fresh = Iset.diff next closed in
+        go fresh (Iset.union closed fresh)
+    in
+    let c = go (Iset.singleton q) (Iset.singleton q) in
+    n.closures.(q) <- Some c;
+    c
 
 let eps_closure n set =
-  let rec go frontier closed =
-    if Iset.is_empty frontier then closed
-    else
-      let next =
-        Iset.fold
-          (fun p acc -> Iset.union acc (eps_successors n p))
-          frontier Iset.empty
-      in
-      let fresh = Iset.diff next closed in
-      go fresh (Iset.union closed fresh)
-  in
-  go set set
+  Iset.fold (fun q acc -> Iset.union acc (closure_of_state n q)) set Iset.empty
 
 let step n set a =
   let post =
@@ -96,18 +109,18 @@ let accepts n word =
   let final =
     List.fold_left (fun set a -> step n set a) (eps_closure n n.starts) word
   in
-  not (Iset.is_empty (Iset.inter final n.finals))
+  Iset.intersects final n.finals
 
 (* Emptiness: BFS over all transitions (epsilon included). *)
 let is_empty n =
   let rec go frontier seen =
     if Iset.is_empty frontier then true
-    else if not (Iset.is_empty (Iset.inter frontier n.finals)) then false
+    else if Iset.intersects frontier n.finals then false
     else
       let next = ref Iset.empty in
       Iset.iter
         (fun p ->
-          next := Iset.union !next (eps_successors n p);
+          next := Iset.union !next n.eps.(p);
           for a = 0 to n.alphabet_size - 1 do
             next := Iset.union !next (successors n p a)
           done)
@@ -117,66 +130,47 @@ let is_empty n =
   in
   go n.starts n.starts
 
-(* Shortest accepted word, if any: BFS producing a witness, used to report
+(* Shortest accepted word, if any: BFS over the subset construction keyed on
+   whole state sets (cached Bitset hash), producing a witness used to report
    counterexamples from the decision procedures. *)
 let shortest_word n =
   if is_empty n then None
   else begin
-    let module M = Map.Make (Iset) in
+    let module H = Hashtbl.Make (Repr.Bitset) in
     let start = eps_closure n n.starts in
-    let rec bfs frontier seen =
+    let seen = H.create 64 in
+    H.replace seen start ();
+    let rec bfs frontier =
       match
-        List.find_opt
-          (fun (set, _) -> not (Iset.is_empty (Iset.inter set n.finals)))
-          frontier
+        List.find_opt (fun (set, _) -> Iset.intersects set n.finals) frontier
       with
       | Some (_, w) -> Some (List.rev w)
       | None ->
-        let next, seen =
+        let next =
           List.fold_left
-            (fun (next, seen) (set, w) ->
-              let rec try_syms a next seen =
-                if a >= n.alphabet_size then (next, seen)
+            (fun next (set, w) ->
+              let rec try_syms a next =
+                if a >= n.alphabet_size then next
                 else
                   let set' = step n set a in
-                  if Iset.is_empty set' || M.mem set' seen then
-                    try_syms (a + 1) next seen
-                  else
-                    try_syms (a + 1)
-                      ((set', a :: w) :: next)
-                      (M.add set' () seen)
+                  if Iset.is_empty set' || H.mem seen set' then
+                    try_syms (a + 1) next
+                  else begin
+                    H.replace seen set' ();
+                    try_syms (a + 1) ((set', a :: w) :: next)
+                  end
               in
-              try_syms 0 next seen)
-            ([], seen) frontier
+              try_syms 0 next)
+            [] frontier
         in
-        if next = [] then None else bfs (List.rev next) seen
+        if next = [] then None else bfs (List.rev next)
     in
-    bfs [ (start, []) ] (M.add start () M.empty)
+    bfs [ (start, []) ]
   end
 
 (* ------------------------------------------------------------------ *)
 (* Combinators (Thompson-style, with state renumbering)                *)
 (* ------------------------------------------------------------------ *)
-
-let shift k n =
-  {
-    n with
-    starts = Iset.map (( + ) k) n.starts;
-    finals = Iset.map (( + ) k) n.finals;
-    trans =
-      Kmap.fold
-        (fun (p, a) qs m -> Kmap.add (p + k, a) (Iset.map (( + ) k) qs) m)
-        n.trans Kmap.empty;
-    eps =
-      Imap.fold
-        (fun p qs m -> Imap.add (p + k) (Iset.map (( + ) k) qs) m)
-        n.eps Imap.empty;
-  }
-
-let union_maps t1 t2 =
-  Kmap.union (fun _ a b -> Some (Iset.union a b)) t1 t2
-
-let union_eps e1 e2 = Imap.union (fun _ a b -> Some (Iset.union a b)) e1 e2
 
 let empty alphabet_size =
   create ~num_states:1 ~alphabet_size ~starts:[ 0 ] ~finals:[] ~edges:[]
@@ -190,63 +184,53 @@ let symbol alphabet_size a =
   create ~num_states:2 ~alphabet_size ~starts:[ 0 ] ~finals:[ 1 ]
     ~edges:[ (0, a, 1) ] ~eps_edges:[]
 
+(* Lay the rows of [n1] and [n2] side by side, states of [n2] renumbered
+   upwards by [n1.num_states]. *)
+let juxtapose n1 n2 =
+  let k = n1.num_states in
+  let num = n1.num_states + n2.num_states in
+  let a_sz = n1.alphabet_size in
+  let trans = Array.make (num * a_sz) Iset.empty in
+  Array.blit n1.trans 0 trans 0 (Array.length n1.trans);
+  Array.iteri (fun i s -> trans.((k * a_sz) + i) <- Iset.shift k s) n2.trans;
+  let eps = Array.make num Iset.empty in
+  Array.blit n1.eps 0 eps 0 k;
+  Array.iteri (fun i s -> eps.(k + i) <- Iset.shift k s) n2.eps;
+  (num, trans, eps)
+
 let union n1 n2 =
   if n1.alphabet_size <> n2.alphabet_size then
     invalid_arg "Nfa.union: alphabet mismatch";
-  let n2' = shift n1.num_states n2 in
-  {
-    num_states = n1.num_states + n2.num_states;
-    alphabet_size = n1.alphabet_size;
-    starts = Iset.union n1.starts n2'.starts;
-    finals = Iset.union n1.finals n2'.finals;
-    trans = union_maps n1.trans n2'.trans;
-    eps = union_eps n1.eps n2'.eps;
-  }
+  let k = n1.num_states in
+  let num, trans, eps = juxtapose n1 n2 in
+  wrap ~num_states:num ~alphabet_size:n1.alphabet_size
+    ~starts:(Iset.union n1.starts (Iset.shift k n2.starts))
+    ~finals:(Iset.union n1.finals (Iset.shift k n2.finals))
+    ~trans ~eps
 
 let concat n1 n2 =
   if n1.alphabet_size <> n2.alphabet_size then
     invalid_arg "Nfa.concat: alphabet mismatch";
-  let n2' = shift n1.num_states n2 in
-  let bridging =
-    Iset.fold
-      (fun f m ->
-        let old = Option.value ~default:Iset.empty (Imap.find_opt f m) in
-        Imap.add f (Iset.union old n2'.starts) m)
-      n1.finals Imap.empty
-  in
-  {
-    num_states = n1.num_states + n2.num_states;
-    alphabet_size = n1.alphabet_size;
-    starts = n1.starts;
-    finals = n2'.finals;
-    trans = union_maps n1.trans n2'.trans;
-    eps = union_eps (union_eps n1.eps n2'.eps) bridging;
-  }
+  let k = n1.num_states in
+  let num, trans, eps = juxtapose n1 n2 in
+  let starts2 = Iset.shift k n2.starts in
+  Iset.iter (fun f -> eps.(f) <- Iset.union eps.(f) starts2) n1.finals;
+  wrap ~num_states:num ~alphabet_size:n1.alphabet_size ~starts:n1.starts
+    ~finals:(Iset.shift k n2.finals) ~trans ~eps
 
 let star n =
   (* fresh start state (index num_states) that is also final *)
   let s = n.num_states in
-  let eps =
-    let to_starts =
-      Imap.singleton s n.starts
-    in
-    let back =
-      Iset.fold
-        (fun f m ->
-          let old = Option.value ~default:Iset.empty (Imap.find_opt f m) in
-          Imap.add f (Iset.add s old) m)
-        n.finals Imap.empty
-    in
-    union_eps (union_eps n.eps to_starts) back
-  in
-  {
-    num_states = n.num_states + 1;
-    alphabet_size = n.alphabet_size;
-    starts = Iset.singleton s;
-    finals = Iset.add s n.finals;
-    trans = n.trans;
-    eps;
-  }
+  let num = n.num_states + 1 in
+  let a_sz = n.alphabet_size in
+  let trans = Array.make (num * a_sz) Iset.empty in
+  Array.blit n.trans 0 trans 0 (Array.length n.trans);
+  let eps = Array.make num Iset.empty in
+  Array.blit n.eps 0 eps 0 n.num_states;
+  eps.(s) <- n.starts;
+  Iset.iter (fun f -> eps.(f) <- Iset.add s eps.(f)) n.finals;
+  wrap ~num_states:num ~alphabet_size:a_sz ~starts:(Iset.singleton s)
+    ~finals:(Iset.add s n.finals) ~trans ~eps
 
 let of_regex ~alphabet_size r =
   let rec go = function
@@ -260,39 +244,30 @@ let of_regex ~alphabet_size r =
   go r
 
 let reverse n =
-  {
-    n with
-    starts = n.finals;
-    finals = n.starts;
-    trans =
-      Kmap.fold
-        (fun (p, a) qs m ->
-          Iset.fold
-            (fun q m ->
-              let old =
-                Option.value ~default:Iset.empty (Kmap.find_opt (q, a) m)
-              in
-              Kmap.add (q, a) (Iset.add p old) m)
-            qs m)
-        n.trans Kmap.empty;
-    eps =
-      Imap.fold
-        (fun p qs m ->
-          Iset.fold
-            (fun q m ->
-              let old = Option.value ~default:Iset.empty (Imap.find_opt q m) in
-              Imap.add q (Iset.add p old) m)
-            qs m)
-        n.eps Imap.empty;
-  }
+  let a_sz = n.alphabet_size in
+  let trans = Array.make (n.num_states * a_sz) Iset.empty in
+  Array.iteri
+    (fun i qs ->
+      let p = i / a_sz and a = i mod a_sz in
+      Iset.iter
+        (fun q ->
+          let k = (q * a_sz) + a in
+          trans.(k) <- Iset.add p trans.(k))
+        qs)
+    n.trans;
+  let eps = Array.make n.num_states Iset.empty in
+  Array.iteri
+    (fun p qs -> Iset.iter (fun q -> eps.(q) <- Iset.add p eps.(q)) qs)
+    n.eps;
+  wrap ~num_states:n.num_states ~alphabet_size:a_sz ~starts:n.finals
+    ~finals:n.starts ~trans ~eps
 
 (* Product intersection of epsilon-free views of the two automata. *)
 let inter n1 n2 =
   if n1.alphabet_size <> n2.alphabet_size then
     invalid_arg "Nfa.inter: alphabet mismatch";
   let c1 = eps_closure n1 n1.starts and c2 = eps_closure n2 n2.starts in
-  (* explore reachable pairs of closed state sets? simpler: pairs of states on
-     closed successor relation *)
+  (* explore reachable pairs of states on the closed successor relation *)
   let key (p, q) = (p * n2.num_states) + q in
   let tbl = Hashtbl.create 64 in
   let edges = ref [] in
@@ -314,12 +289,10 @@ let inter n1 n2 =
       Queue.add pair queue
     end
   in
-  Iset.iter
-    (fun p -> Iset.iter (fun q -> visit (p, q)) c2)
-    c1;
+  Iset.iter (fun p -> Iset.iter (fun q -> visit (p, q)) c2) c1;
   Iset.iter (fun p -> Iset.iter (fun q -> starts := id (p, q) :: !starts) c2) c1;
   while not (Queue.is_empty queue) do
-    let (p, q) = Queue.pop queue in
+    let p, q = Queue.pop queue in
     let i = id (p, q) in
     if Iset.mem p n1.finals && Iset.mem q n2.finals then finals := i :: !finals;
     for a = 0 to n1.alphabet_size - 1 do
@@ -343,18 +316,17 @@ let inter n1 n2 =
 (* Epsilon removal: closed transitions and closure-adjusted finals.  The
    result recognizes the same language with an empty eps map. *)
 let eps_free n =
-  let closure_of q = eps_closure n (Iset.singleton q) in
   let edges = ref [] in
   for p = 0 to n.num_states - 1 do
     for a = 0 to n.alphabet_size - 1 do
       Iset.iter
         (fun q -> edges := (p, a, q) :: !edges)
-        (step n (closure_of p) a)
+        (step n (closure_of_state n p) a)
     done
   done;
   let finals =
     List.filter
-      (fun q -> not (Iset.is_empty (Iset.inter (closure_of q) n.finals)))
+      (fun q -> Iset.intersects (closure_of_state n q) n.finals)
       (List.init n.num_states Fun.id)
   in
   create ~num_states:n.num_states ~alphabet_size:n.alphabet_size
@@ -366,14 +338,13 @@ let map_symbols ~alphabet_size f n =
     List.concat_map (fun (p, a, q) -> List.map (fun b -> (p, b, q)) (f a))
       (edges n)
   in
-  let eps_edges =
-    Imap.fold
-      (fun p qs acc -> Iset.fold (fun q acc -> (p, q) :: acc) qs acc)
-      n.eps []
-  in
+  let eps_edges = ref [] in
+  Array.iteri
+    (fun p qs -> Iset.iter (fun q -> eps_edges := (p, q) :: !eps_edges) qs)
+    n.eps;
   create ~num_states:n.num_states ~alphabet_size
     ~starts:(Iset.elements n.starts) ~finals:(Iset.elements n.finals) ~edges
-    ~eps_edges
+    ~eps_edges:!eps_edges
 
 let pp ppf n =
   Fmt.pf ppf "NFA(states=%d, alphabet=%d, starts=%a, finals=%a, edges=%d)"

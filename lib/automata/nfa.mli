@@ -1,7 +1,11 @@
 (** Nondeterministic finite automata with epsilon transitions over the
-    integer alphabet [{0, ..., alphabet_size - 1}]. *)
+    integer alphabet [{0, ..., alphabet_size - 1}].
 
-module Iset : Set.S with type elt = int
+    State sets are packed bit sets ({!Repr.Bitset}); [Iset] is an alias, so
+    existing [Nfa.Iset.mem]/[iter]/[elements] call sites read unchanged.
+    Per-state epsilon closures are memoized inside each automaton. *)
+
+module Iset = Repr.Bitset
 
 type t
 
@@ -18,9 +22,18 @@ val num_states : t -> int
 val alphabet_size : t -> int
 val starts : t -> int list
 val finals : t -> int list
+
+(** The start/final state sets without list conversion. *)
+val start_set : t -> Iset.t
+
+val final_set : t -> Iset.t
 val successors : t -> int -> int -> Iset.t
 val eps_successors : t -> int -> Iset.t
 val edges : t -> (int * int * int) list
+
+(** Epsilon closure of one state (memoized per automaton). *)
+val closure_of_state : t -> int -> Iset.t
+
 val eps_closure : t -> Iset.t -> Iset.t
 val step : t -> Iset.t -> int -> Iset.t
 val accepts : t -> int list -> bool

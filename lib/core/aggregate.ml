@@ -30,7 +30,7 @@ let tuple_cost spec tuple =
     (fun acc (column, weight) ->
       match Tuple.get tuple column with
       | Value.Int price -> acc + (weight * price)
-      | Value.Str _ -> acc + spec.missing)
+      | Value.Str _ | Value.Frozen _ -> acc + spec.missing)
     0 spec.weights
 
 let costs spec rel =

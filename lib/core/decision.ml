@@ -253,6 +253,10 @@ let cq_validation ?stats ?budget ?(max_assignments = 4096) ?strategy sws
     let try_n meter n =
       let q = Unfold.to_ucq ?stats sws ~n in
       let schema = Unfold.schema sws ~n in
+      (* one null supply across every partition grounded at this depth:
+         candidate databases from different disjuncts/tuples are merged
+         below, so their labelled nulls must stay pairwise distinct *)
+      let supply = Value.Fresh.supply () in
       (* candidate groundings of one disjunct onto one output tuple *)
       let groundings tuple =
         List.concat_map
@@ -296,7 +300,7 @@ let cq_validation ?stats ?budget ?(max_assignments = 4096) ?strategy sws
                   in
                   let db, goal = Cq.ground_under ~schema subst' d in
                   if Tuple.equal goal tuple then Some db else None)
-              (Cq.partitions d))
+              (Cq.partitions ~supply d))
           (Ucq.disjuncts q)
       in
       let per_tuple = List.map groundings tuples in

@@ -186,6 +186,10 @@ module Stats = struct
     List.iter (fun (n, dt) -> add_phase m n dt) (phases b);
     m
 
+  (* The last two entries are process-wide representation gauges, read at
+     snapshot time rather than counted per sink: [delta ~before] then
+     reports the interner growth and bit-set churn attributable to one
+     run, with no extra emission points. *)
   let snapshot t =
     [
       ("nodes_expanded", t.nodes_expanded);
@@ -195,6 +199,8 @@ module Stats = struct
       ("unfold_cache_misses", t.unfold_cache_misses);
       ("automata_cache_hits", t.automata_cache_hits);
       ("automata_cache_misses", t.automata_cache_misses);
+      ("interner_size", Relational.Value.interner_size ());
+      ("bitset_allocs", Repr.Bitset.allocations ());
     ]
 
   let delta ~before t =
@@ -212,6 +218,9 @@ module Stats = struct
        automata cache:       %d hits / %d misses" t.nodes_expanded t.sat_calls
       t.hom_checks t.unfold_cache_hits t.unfold_cache_misses
       t.automata_cache_hits t.automata_cache_misses;
+    Fmt.pf ppf "@ interner size:       %d@ bitset allocations:   %d"
+      (Relational.Value.interner_size ())
+      (Repr.Bitset.allocations ());
     List.iter
       (fun (name, dt) -> Fmt.pf ppf "@ phase %-15s %.3fms" name (dt *. 1000.))
       (phases t);

@@ -116,7 +116,10 @@ module Stats : sig
       combining per-run sinks into one report.  [snapshot] freezes the
       counters as a stable-keyed assoc list; [delta ~before t] subtracts a
       snapshot, giving the counter movement attributable to one run (the
-      [counters] field of a provenance record). *)
+      [counters] field of a provenance record).  Snapshots also carry the
+      process-wide representation gauges ([interner_size],
+      [bitset_allocs]), so a delta reports the interner growth and
+      bit-set churn of the run. *)
 
   val merge : t -> t -> t
   val snapshot : t -> (string * int) list

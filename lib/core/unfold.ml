@@ -185,6 +185,10 @@ let state_depths def =
    structurally interchangeable values, whatever fresh names each build
    drew.  Id 0 is the root's empty register.  Keys carry the service stamp
    so distinct services never share ids by accident. *)
+(* The key carries a whole [Sws_data.query], so this table keeps the
+   polymorphic hash: equality must be structural on the query term, and a
+   handwritten deep hash would re-state [Hashtbl.hash] without being any
+   cheaper.  Queries come from service definitions, so keys stay small. *)
 let msg_ids : (int * int * int * Sws_data.query, int) Hashtbl.t =
   Hashtbl.create 251
 
@@ -201,21 +205,36 @@ let intern_msg ~stamp ~parent ~level phi =
 
 (* Node values, keyed (stamp, state, level, message id, cutoff): cutoff is
    [-1] for n-independent entries (reusable at every sufficient n, the
-   depth-(n-1) -> depth-n increment) and the concrete n otherwise. *)
-let memo : (int * string * int * int * int, Ucq.t) Hashtbl.t =
-  Hashtbl.create 251
+   depth-(n-1) -> depth-n increment) and the concrete n otherwise.  The key
+   is flat, so the table is monomorphic: equality short-circuits on the int
+   fields before touching the state name, and the hash mixes the fields
+   directly instead of walking a boxed tuple polymorphically. *)
+module Node_key = struct
+  type t = int * string * int * int * int
+
+  let equal (s1, q1, j1, m1, c1) (s2, q2, j2, m2, c2) =
+    s1 = s2 && j1 = j2 && m1 = m2 && c1 = c2 && String.equal q1 q2
+
+  let hash (s, q, j, m, c) =
+    let mix h x = ((h * 31) + x) land max_int in
+    mix (mix (mix (mix (String.hash q) s) j) m) c
+end
+
+module Node_tbl = Hashtbl.Make (Node_key)
+
+let memo : Ucq.t Node_tbl.t = Node_tbl.create 251
 
 let max_memo_entries = 4096
 
 let clear_caches () =
   Hashtbl.reset msg_ids;
-  Hashtbl.reset memo;
+  Node_tbl.reset memo;
   next_msg_id := 0
 
 (* The two tables reference each other's ids, so they are only ever
    trimmed together. *)
 let maybe_trim () =
-  if Hashtbl.length memo > max_memo_entries then clear_caches ()
+  if Node_tbl.length memo > max_memo_entries then clear_caches ()
 
 let cutoff depths q j ~n =
   match Hashtbl.find_opt depths q with
@@ -233,7 +252,7 @@ let rec act_ucq ctx sws depths ~n q j ~m_id (m : Ucq.t option Lazy.t) : Ucq.t =
     let caching = Engine.caching_enabled () in
     let stamp = Sws_data.stamp sws in
     let key = (stamp, q, j, m_id, cutoff depths q j ~n) in
-    match if caching then Hashtbl.find_opt memo key else None with
+    match if caching then Node_tbl.find_opt memo key else None with
     | Some v ->
       Engine.Stats.unfold_hit ctx.stats;
       v
@@ -283,7 +302,7 @@ let rec act_ucq ctx sws depths ~n q j ~m_id (m : Ucq.t option Lazy.t) : Ucq.t =
         | None -> inner
         | Some m -> guard_nonempty ctx inner m
       in
-      if caching then Hashtbl.replace memo key v;
+      if caching then Node_tbl.replace memo key v;
       v
   end
 

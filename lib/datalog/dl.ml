@@ -84,7 +84,7 @@ let skolem_value f args =
 
 let is_skolem_value = function
   | Value.Str s -> String.contains s '('
-  | Value.Int _ -> false
+  | Value.Int _ | Value.Frozen _ -> false
 
 let pp_hterm ppf = function
   | T t -> Term.pp ppf t

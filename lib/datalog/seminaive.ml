@@ -12,9 +12,20 @@ module Schema = Relational.Schema
 module Subst = Relational.Subst
 module Tuple = Relational.Tuple
 
+module Value = Relational.Value
+
 module Smap = Map.Make (String)
 
-(* Evaluate one rule body against [db] and return the derived head tuples. *)
+(* Evaluate one rule body against [db] and return the derived head tuples,
+   in interned form.  Staying at the id level matters for the fixpoint: the
+   old value-level path re-interned every derived tuple three times (the
+   [mem] check, the database [add] and the delta [add]), and those hashtable
+   probes dominated the transitive-closure benchmarks. *)
+let find_id_exn x subst =
+  match Subst.find_id x subst with
+  | Some id -> id
+  | None -> invalid_arg ("derive_rule: unbound head variable " ^ x)
+
 let derive_rule ?strategy db (r : Dl.rule) =
   let head_cq_vars =
     (* fetch all body variables so Skolem heads can be built from them *)
@@ -24,18 +35,29 @@ let derive_rule ?strategy db (r : Dl.rule) =
     Cq.make ~head:(List.map Term.var head_cq_vars) ~body:r.body ()
   in
   let substs = Cq.eval_substs ?strategy cq db in
+  (* Constants are interned once per rule evaluation, not once per subst. *)
+  let compiled =
+    List.map
+      (function
+        | Dl.T (Term.Const v) -> `Id (Value.id v)
+        | Dl.T (Term.Var x) -> `Var x
+        | Dl.Skolem (f, xs) -> `Skolem (f, xs))
+      r.head_args
+  in
   List.map
     (fun subst ->
-      Tuple.of_list
+      Repr.Ituple.of_list
         (List.map
            (function
-             | Dl.T t -> Subst.apply_term_exn subst t
-             | Dl.Skolem (f, xs) ->
-               Dl.skolem_value f
-                 (List.map
-                    (fun x -> Subst.apply_term_exn subst (Term.var x))
-                    xs))
-           r.head_args))
+             | `Id id -> id
+             | `Var x -> find_id_exn x subst
+             | `Skolem (f, xs) ->
+               (* Skolem terms mint genuinely new values, so this is the one
+                  place the fixpoint still touches the interner. *)
+               Value.id
+                 (Dl.skolem_value f
+                    (List.map (fun x -> Value.of_id (find_id_exn x subst)) xs)))
+           compiled))
     substs
 
 let full_schema program edb =
@@ -52,10 +74,12 @@ let eval_naive ?cq_strategy program edb =
       List.fold_left
         (fun (db, grew) rule ->
           List.fold_left
-            (fun (db, grew) tuple ->
+            (fun (db, grew) it ->
               let rel = Database.find rule.Dl.head_rel db in
-              if Relation.mem tuple rel then (db, grew)
-              else (Database.set rule.Dl.head_rel (Relation.add tuple rel) db, true))
+              if Relation.mem_interned it rel then (db, grew)
+              else
+                ( Database.set rule.Dl.head_rel (Relation.add_interned it rel) db,
+                  true ))
             (db, grew) (derive_rule ?strategy:cq_strategy db rule))
         (db, false) (Dl.rules program)
     in
@@ -89,18 +113,21 @@ let eval_seminaive ?cq_strategy program edb =
   let initial_facts rule = derive_rule ?strategy:cq_strategy start rule in
   let add_facts (db, deltas) rel tuples =
     List.fold_left
-      (fun (db, deltas) tuple ->
+      (fun (db, deltas) it ->
         let current = Database.find rel db in
-        if Relation.mem tuple current then (db, deltas)
+        if Relation.mem_interned it current then (db, deltas)
         else
           let deltas =
             Smap.update rel
               (function
-                | None -> Some (Relation.singleton tuple)
-                | Some old -> Some (Relation.add tuple old))
+                | None ->
+                  Some
+                    (Relation.add_interned it
+                       (Relation.empty (Repr.Ituple.arity it)))
+                | Some old -> Some (Relation.add_interned it old))
               deltas
           in
-          (Database.set rel (Relation.add tuple current) db, deltas))
+          (Database.set rel (Relation.add_interned it current) db, deltas))
       (db, deltas) tuples
   in
   let db, deltas =

@@ -120,74 +120,124 @@ let schema_of q =
 (* Evaluation                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let unify_args subst args tuple =
-  let rec go subst args i =
-    match args with
-    | [] -> Some subst
-    | Term.Const v :: rest ->
-      if Value.equal v (Tuple.get tuple i) then go subst rest (i + 1) else None
-    | Term.Var x :: rest -> (
-      match Subst.extend x (Tuple.get tuple i) subst with
-      | Some subst -> go subst rest (i + 1)
+(* The evaluator runs at the id level: atoms are precompiled once per call
+   into arrays of interned-constant ids and variable names, tuples stay
+   packed ({!Repr.Ituple}), and unification compares ints.  Externing back to
+   [Value.t] happens only at the [Subst] boundary for callers. *)
+type iarg =
+  | Ic of int (* interned constant *)
+  | Iv of string
+
+(* One body atom of the query plan: the atom, its compiled argument array,
+   and its variables (for the greedy bound-variable scoring). *)
+type plan_atom = {
+  atom : Atom.t;
+  iargs : iarg array;
+  avars : string list;
+}
+
+let compile_atom atom =
+  {
+    atom;
+    iargs =
+      Array.of_list
+        (List.map
+           (function
+             | Term.Const v -> Ic (Value.id v)
+             | Term.Var x -> Iv x)
+           atom.Atom.args);
+    avars = Atom.vars atom;
+  }
+
+(* Top-level rather than nested in [unify_iargs]: a nested [rec go] closes
+   over [iargs]/[it]/[n] and so allocates a closure per candidate tuple,
+   which the scan join pays millions of times per query. *)
+let rec unify_loop subst iargs it i n =
+  if i = n then Some subst
+  else
+    match iargs.(i) with
+    | Ic id ->
+      if Repr.Ituple.get it i = id then unify_loop subst iargs it (i + 1) n
+      else None
+    | Iv x -> (
+      match Subst.extend_id x (Repr.Ituple.get it i) subst with
+      | Some subst -> unify_loop subst iargs it (i + 1) n
       | None -> None)
+
+let unify_iargs subst iargs it =
+  unify_loop subst iargs it 0 (Array.length iargs)
+
+let atom_matches db subst pa =
+  let rel = Database.find pa.atom.Atom.rel db in
+  let arr = Relation.scan_array rel in
+  let n = Array.length arr in
+  let iargs = pa.iargs in
+  let m = Array.length iargs in
+  let rec go i acc =
+    if i = n then acc
+    else
+      match unify_loop subst iargs arr.(i) 0 m with
+      | Some s -> go (i + 1) (s :: acc)
+      | None -> go (i + 1) acc
   in
-  go subst args 0
+  go 0 []
 
-let atom_matches db subst atom =
-  let rel = Database.find atom.Atom.rel db in
-  Relation.fold
-    (fun tuple acc ->
-      match unify_args subst atom.Atom.args tuple with
-      | Some s -> s :: acc
-      | None -> acc)
-    rel []
-
-(* Positions of [atom] whose value is already determined — a constant
-   argument, or a variable bound by [subst] — with the determined values.
+(* Positions of the atom whose id is already determined — a constant
+   argument, or a variable bound by [subst] — with the determined ids.
    These form the probe key into the index. *)
-let determined_positions subst atom =
-  let rec go i args acc =
-    match args with
-    | [] -> List.rev acc
-    | Term.Const v :: rest -> go (i + 1) rest ((i, v) :: acc)
-    | Term.Var x :: rest -> (
-      match Subst.find x subst with
-      | Some v -> go (i + 1) rest ((i, v) :: acc)
-      | None -> go (i + 1) rest acc)
+let determined_positions subst pa =
+  let n = Array.length pa.iargs in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match pa.iargs.(i) with
+      | Ic id -> go (i + 1) ((i, id) :: acc)
+      | Iv x -> (
+        match Subst.find_id x subst with
+        | Some id -> go (i + 1) ((i, id) :: acc)
+        | None -> go (i + 1) acc)
   in
-  go 0 atom.Atom.args []
+  go 0 []
 
 (* Index-backed variant of [atom_matches]: probe the per-database hash index
    on the atom's determined positions instead of folding the full relation.
-   [unify_args] still runs on the probed tuples, to bind the free positions
+   [unify_iargs] still runs on the probed tuples, to bind the free positions
    and enforce repeated-variable constraints the key cannot express. *)
-let atom_matches_indexed db subst atom =
-  match determined_positions subst atom with
-  | [] -> atom_matches db subst atom
+let atom_matches_indexed db subst pa =
+  match determined_positions subst pa with
+  | [] -> atom_matches db subst pa
   | bound ->
-    let rel = Database.find atom.Atom.rel db in
+    let rel = Database.find pa.atom.Atom.rel db in
     let positions = List.map fst bound and key = List.map snd bound in
     let tuples =
-      Index.probe (Database.index_store db) ~name:atom.Atom.rel rel ~positions
-        key
+      Index.probe (Database.index_store db) ~name:pa.atom.Atom.rel rel
+        ~positions key
     in
     List.fold_left
-      (fun acc tuple ->
-        match unify_args subst atom.Atom.args tuple with
+      (fun acc it ->
+        match unify_iargs subst pa.iargs it with
         | Some s -> s :: acc
         | None -> acc)
       [] tuples
 
+let compile_term = function
+  | Term.Const v -> Ic (Value.id v)
+  | Term.Var x -> Iv x
+
+let iarg_id subst = function
+  | Ic id -> Some id
+  | Iv x -> Subst.find_id x subst
+
 let neqs_hold subst neqs =
   List.for_all
     (fun (a, b) ->
-      match Subst.apply_term subst a, Subst.apply_term subst b with
-      | Some va, Some vb -> not (Value.equal va vb)
+      match iarg_id subst a, iarg_id subst b with
+      | Some ia, Some ib -> ia <> ib
       | _ -> true (* unbound: cannot refute yet *))
     neqs
 
-let bound_var_count subst atom =
-  List.length (List.filter (fun x -> Subst.mem x subst) (Atom.vars atom))
+let bound_var_count subst pa =
+  List.length (List.filter (fun x -> Subst.mem x subst) pa.avars)
 
 (* Greedy sideways-information-passing: always expand the atom with the most
    already-bound variables (breaking ties towards smaller relations), so joins
@@ -207,7 +257,19 @@ let remove_one_atom b atoms =
   in
   go atoms
 
+(* [remove_one_atom] works on plan atoms too: the plan list preserves the
+   physical identity of its records, so the same first-occurrence discipline
+   applies. *)
+let remove_one_plan b atoms =
+  let rec go = function
+    | [] -> []
+    | a :: rest -> if a == b then rest else a :: go rest
+  in
+  go atoms
+
 let eval_substs ?(strategy = `Indexed) q db =
+  let plan = List.map compile_atom q.body in
+  let neqs = List.map (fun (a, b) -> (compile_term a, compile_term b)) q.neqs in
   let pick subst atoms =
     match strategy, atoms with
     | _, [] -> None
@@ -215,7 +277,7 @@ let eval_substs ?(strategy = `Indexed) q db =
     | (`Greedy | `Indexed), _ ->
       let score a =
         ( -bound_var_count subst a,
-          Relation.cardinal (Database.find a.Atom.rel db) )
+          Relation.cardinal (Database.find a.atom.Atom.rel db) )
       in
       let best =
         List.fold_left
@@ -225,7 +287,7 @@ let eval_substs ?(strategy = `Indexed) q db =
             | Some b -> if score a < score b then Some a else acc)
           None atoms
       in
-      Option.map (fun b -> (b, remove_one_atom b atoms)) best
+      Option.map (fun b -> (b, remove_one_plan b atoms)) best
   in
   let matches =
     match strategy with
@@ -233,27 +295,35 @@ let eval_substs ?(strategy = `Indexed) q db =
     | `Greedy | `Naive -> atom_matches
   in
   let rec search subst atoms acc =
-    if not (neqs_hold subst q.neqs) then acc
+    if not (neqs_hold subst neqs) then acc
     else
       match pick subst atoms with
-      | None -> if neqs_hold subst q.neqs then subst :: acc else acc
+      | None -> if neqs_hold subst neqs then subst :: acc else acc
       | Some (atom, rest) ->
         List.fold_left
           (fun acc subst' -> search subst' rest acc)
           acc
           (matches db subst atom)
   in
-  search Subst.empty q.body []
+  search Subst.empty plan []
 
 let eval ?strategy q db =
   Obs.Trace.span "cq_eval" @@ fun () ->
   let substs = eval_substs ?strategy q db in
+  (* head compiled once; answer tuples are assembled directly from ids *)
+  let head = Array.of_list (List.map compile_term q.head) in
   List.fold_left
     (fun rel subst ->
-      let tuple =
-        Tuple.of_list (List.map (Subst.apply_term_exn subst) q.head)
+      let ids =
+        Array.map
+          (fun a ->
+            match iarg_id subst a with
+            | Some id -> id
+            | None ->
+              invalid_arg "Cq.eval: unbound head variable (unsafe query)")
+          head
       in
-      Relation.add tuple rel)
+      Relation.add_interned (Repr.Ituple.of_array ids) rel)
     (Relation.empty (head_arity q))
     substs
 
@@ -262,26 +332,42 @@ let eval ?strategy q db =
 (* ------------------------------------------------------------------ *)
 
 (* Freeze the query: map each variable to a fresh labelled null and read the
-   body off as a database (the Chandra-Merlin canonical database). *)
-let freeze q =
+   body off as a database (the Chandra-Merlin canonical database).  The
+   supply defaults to a private one per call; callers that merge canonical
+   databases from several freezes must pass a shared supply so nulls stay
+   pairwise distinct. *)
+let freeze ?supply q =
+  let supply =
+    match supply with Some s -> s | None -> Value.Fresh.supply ()
+  in
   let subst =
     List.fold_left
-      (fun s x -> Subst.bind x (Value.fresh ()) s)
+      (fun s x -> Subst.bind x (Value.Fresh.next supply) s)
       Subst.empty (vars q)
   in
   (subst, q)
 
 let ground_under ~schema subst q =
+  (* ground at the id level: the substitution already stores ids, so atoms
+     become interned tuples without a Value round trip per argument *)
+  let term_id = function
+    | Term.Const v -> Value.id v
+    | Term.Var x -> (
+      match Subst.find_id x subst with
+      | Some i -> i
+      | None -> invalid_arg "Subst.apply_term_exn: unbound variable")
+  in
+  let tuple_of args = Repr.Ituple.of_list (List.map term_id args) in
   let db =
     List.fold_left
       (fun db atom ->
-        let tuple =
-          Tuple.of_list (List.map (Subst.apply_term_exn subst) atom.Atom.args)
-        in
-        Database.add_tuple atom.Atom.rel tuple db)
+        let rel = Database.find atom.Atom.rel db in
+        Database.set atom.Atom.rel
+          (Relation.add_interned (tuple_of atom.Atom.args) rel)
+          db)
       (Database.empty schema) q.body
   in
-  let goal = Tuple.of_list (List.map (Subst.apply_term_exn subst) q.head) in
+  let goal = Tuple.extern (tuple_of q.head) in
   (db, goal)
 
 (* All partitions of the query's variables into equivalence classes, where a
@@ -289,30 +375,28 @@ let ground_under ~schema subst q =
    constants are never identified.  Each partition is returned as a valuation
    of the variables (class representatives are the constant, or a fresh
    labelled null), filtered for consistency with the query's inequalities.
-   This is Klug's complete test set for containment of CQs with <>. *)
-let partitions q =
+   This is Klug's complete test set for containment of CQs with <>.  As with
+   {!freeze}, the supply defaults to a private one per call. *)
+let partitions ?supply q =
+  let supply =
+    match supply with Some s -> s | None -> Value.Fresh.supply ()
+  in
   let xs = vars q in
-  let consts = constants q in
+  let consts = List.map Value.id (constants q) in
+  let neqs = List.map (fun (a, b) -> (compile_term a, compile_term b)) q.neqs in
+  (* classes and bindings are ids throughout; with every variable bound at a
+     leaf, [neqs_hold] decides each inequality by one int comparison *)
   let rec go xs classes subst acc =
     match xs with
-    | [] ->
-      let ok =
-        List.for_all
-          (fun (a, b) ->
-            let va = Subst.apply_term_exn subst a
-            and vb = Subst.apply_term_exn subst b in
-            not (Value.equal va vb))
-          q.neqs
-      in
-      if ok then subst :: acc else acc
+    | [] -> if neqs_hold subst neqs then subst :: acc else acc
     | x :: rest ->
       let acc =
         List.fold_left
-          (fun acc repr -> go rest classes (Subst.bind x repr subst) acc)
+          (fun acc repr -> go rest classes (Subst.bind_id x repr subst) acc)
           acc classes
       in
-      let fresh = Value.fresh () in
-      go rest (fresh :: classes) (Subst.bind x fresh subst) acc
+      let fresh = Value.id (Value.Fresh.next supply) in
+      go rest (fresh :: classes) (Subst.bind_id x fresh subst) acc
   in
   go xs consts Subst.empty []
 
@@ -332,15 +416,17 @@ let contained_in_many q1 q2s =
     partitions q1 = []
   else begin
     let schema = combined_schema q1 q2s in
+    (* one supply across every canonical database built in this test *)
+    let supply = Value.Fresh.supply () in
     let check subst =
       let db, goal = ground_under ~schema subst q1 in
       List.exists (fun q2 -> Relation.mem goal (eval q2 db)) q2s
     in
     let no_neqs = q1.neqs = [] && List.for_all (fun q -> q.neqs = []) q2s in
     if no_neqs then
-      let subst, _ = freeze q1 in
+      let subst, _ = freeze ~supply q1 in
       check subst
-    else List.for_all check (partitions q1)
+    else List.for_all check (partitions ~supply q1)
   end
 
 let contained_in q1 q2 = contained_in_many q1 [ q2 ]

@@ -56,16 +56,17 @@ val eval : ?strategy:strategy -> t -> Database.t -> Relation.t
 val remove_one_atom : Atom.t -> Atom.t list -> Atom.t list
 
 (** Freeze variables to labelled nulls (Chandra-Merlin canonical database
-    valuation). *)
-val freeze : t -> Subst.t * t
+    valuation).  [supply] defaults to a private supply per call; pass a
+    shared one when canonical databases from several freezes are merged. *)
+val freeze : ?supply:Value.Fresh.supply -> t -> Subst.t * t
 
 (** [ground_under ~schema subst q] is the canonical database of [q] under the
     valuation [subst], together with the frozen head tuple. *)
 val ground_under : schema:Schema.t -> Subst.t -> t -> Database.t * Tuple.t
 
 (** All valuations arising from partitions of the query's variables consistent
-    with its inequalities (Klug's test set). *)
-val partitions : t -> Subst.t list
+    with its inequalities (Klug's test set).  [supply] as in {!freeze}. *)
+val partitions : ?supply:Value.Fresh.supply -> t -> Subst.t list
 
 (** [contained_in_many q qs]: is [q] contained in the union of [qs]?
     Complete for CQs with [<>]. *)

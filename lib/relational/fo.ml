@@ -164,34 +164,71 @@ let domain_of ?(extra = []) db f =
   Database.active_domain db @ constants f @ extra
   |> List.sort_uniq Value.compare
 
+(* Evaluation works at the id level throughout: the quantifier domain is a
+   list of interned ids, environments bind ids ({!Subst} stores them that
+   way), and atoms unify against [Relation]'s interned tuples directly —
+   no [Value.t] is materialized, and join consistency is an int comparison.
+   The public [holds] converts its domain once at entry. *)
+
+(* An atom argument, resolved for unification: a constant's id or a
+   variable name.  Computed once per atom, not once per tuple. *)
+type arg_spec =
+  | Cid of int
+  | Avar of string
+
+let arg_specs args =
+  Array.of_list
+    (List.map
+       (function
+         | Term.Const v -> Cid (Value.id v)
+         | Term.Var x -> Avar x)
+       args)
+
+(* Unify an interned tuple against the specs under [env]. *)
+let unify_specs specs env tuple =
+  let n = Array.length specs in
+  let rec go env i =
+    if i >= n then Some env
+    else
+      match specs.(i) with
+      | Cid c ->
+        if Repr.Ituple.get tuple i = c then go env (i + 1) else None
+      | Avar x -> (
+        match Subst.extend_id x (Repr.Ituple.get tuple i) env with
+        | Some env -> go env (i + 1)
+        | None -> None)
+  in
+  go env 0
+
 (* Existential blocks are evaluated atom-driven where possible: for
    Exists x1..xk (A /\ rest) with A a relational atom, candidate bindings
    for the xi occurring in A are read off A's relation instead of scanning
    the whole active domain per variable.  This is sound for active-domain
    semantics (every relation value is in the domain) and turns the nested
    quantifiers produced by query composition into indexed joins. *)
-let rec holds db dom env f =
-  let value t =
+let rec holds_ids db dom env f =
+  let term_id t =
     match t with
-    | Term.Const v -> v
+    | Term.Const v -> Value.id v
     | Term.Var x -> (
-      match Subst.find x env with
-      | Some v -> v
+      match Subst.find_id x env with
+      | Some i -> i
       | None -> invalid_arg (Printf.sprintf "Fo.holds: free variable %s" x))
   in
   match f with
   | True -> true
   | False -> false
   | Atom a ->
-    let tuple = Tuple.of_list (List.map value a.Atom.args) in
-    Relation.mem tuple (Database.find a.Atom.rel db)
-  | Eq (a, b) -> Value.equal (value a) (value b)
-  | Not g -> not (holds db dom env g)
-  | And (g, h) -> holds db dom env g && holds db dom env h
-  | Or (g, h) -> holds db dom env g || holds db dom env h
-  | Implies (g, h) -> (not (holds db dom env g)) || holds db dom env h
+    let it = Repr.Ituple.of_list (List.map term_id a.Atom.args) in
+    Relation.mem_interned it (Database.find a.Atom.rel db)
+  | Eq (a, b) -> term_id a = term_id b
+  | Not g -> not (holds_ids db dom env g)
+  | And (g, h) -> holds_ids db dom env g && holds_ids db dom env h
+  | Or (g, h) -> holds_ids db dom env g || holds_ids db dom env h
+  | Implies (g, h) -> (not (holds_ids db dom env g)) || holds_ids db dom env h
   | Exists (x, g) -> exists_block db dom env [ x ] g
-  | Forall (x, g) -> List.for_all (fun v -> holds db dom (Subst.bind x v env) g) dom
+  | Forall (x, g) ->
+    List.for_all (fun i -> holds_ids db dom (Subst.bind_id x i env) g) dom
 
 and exists_block db dom env xs g =
   match g with
@@ -220,20 +257,7 @@ and exists_block db dom env xs g =
     | Atom a :: other_atoms, rest ->
       let rest = other_atoms @ rest in
       let rel = Database.find a.Atom.rel db in
-      let match_tuple tuple =
-        let rec unify env args i =
-          match args with
-          | [] -> Some env
-          | Term.Const v :: tl ->
-            if Value.equal v (Tuple.get tuple i) then unify env tl (i + 1)
-            else None
-          | Term.Var x :: tl -> (
-            match Subst.extend x (Tuple.get tuple i) env with
-            | Some env -> unify env tl (i + 1)
-            | None -> None)
-        in
-        unify env a.Atom.args 0
-      in
+      let specs = arg_specs a.Atom.args in
       let continue env' =
         let bound_now = fun x -> Subst.mem x env' in
         let remaining = List.filter (fun x -> not (bound_now x)) xs in
@@ -241,12 +265,12 @@ and exists_block db dom env xs g =
           match rest with [] -> True | c :: cs -> List.fold_left (fun f g -> And (f, g)) c cs
         in
         match remaining with
-        | [] -> holds db dom env' body
+        | [] -> holds_ids db dom env' body
         | _ -> exists_block db dom env' remaining body
       in
-      Relation.exists
+      Relation.exists_interned
         (fun tuple ->
-          match match_tuple tuple with
+          match unify_specs specs env tuple with
           | Some env' -> continue env'
           | None -> false)
         rel
@@ -254,15 +278,17 @@ and exists_block db dom env xs g =
       (* no driving atom: fall back to the domain scan, one variable at a
          time (re-entering the optimization for the remainder) *)
       match xs with
-      | [] -> holds db dom env g
+      | [] -> holds_ids db dom env g
       | x :: rest ->
         List.exists
-          (fun v ->
-            let env' = Subst.bind x v env in
+          (fun i ->
+            let env' = Subst.bind_id x i env in
             match rest with
-            | [] -> holds db dom env' g
+            | [] -> holds_ids db dom env' g
             | _ -> exists_block db dom env' rest g)
           dom))
+
+let holds db dom env f = holds_ids db (List.map Value.id dom) env f
 
 let sentence_holds ?extra db f =
   match free_vars f with
@@ -271,25 +297,24 @@ let sentence_holds ?extra db f =
 
 (* Reference evaluator: enumerate all head assignments over the active
    domain.  Kept as the oracle the optimized evaluator is tested against. *)
+let head_tuple head env =
+  Repr.Ituple.of_list
+    (List.map
+       (fun x ->
+         match Subst.find_id x env with
+         | Some i -> i
+         | None -> invalid_arg "Fo.eval: unbound head variable")
+       head)
+
 let eval_naive ?extra q db =
-  let dom = domain_of ?extra db q.body in
+  let dom = List.map Value.id (domain_of ?extra db q.body) in
   let rec assignments env = function
-    | [] -> if holds db dom env q.body then [ env ] else []
+    | [] -> if holds_ids db dom env q.body then [ env ] else []
     | x :: rest ->
-      List.concat_map (fun v -> assignments (Subst.bind x v env) rest) dom
+      List.concat_map (fun i -> assignments (Subst.bind_id x i env) rest) dom
   in
   List.fold_left
-    (fun rel env ->
-      let tuple =
-        Tuple.of_list
-          (List.map
-             (fun x ->
-               match Subst.find x env with
-               | Some v -> v
-               | None -> invalid_arg "Fo.eval: unbound head variable")
-             q.head)
-      in
-      Relation.add tuple rel)
+    (fun rel env -> Relation.add_interned (head_tuple q.head env) rel)
     (Relation.empty (List.length q.head))
     (assignments Subst.empty q.head)
 
@@ -303,19 +328,10 @@ let eval_naive ?extra q db =
 let hoist_counter = ref 0
 
 let eval ?extra q db =
-  let dom = domain_of ?extra db q.body in
+  let dom = List.map Value.id (domain_of ?extra db q.body) in
   let results = ref (Relation.empty (List.length q.head)) in
   let emit env =
-    let tuple =
-      Tuple.of_list
-        (List.map
-           (fun x ->
-             match Subst.find x env with
-             | Some v -> v
-             | None -> invalid_arg "Fo.eval: unbound head variable")
-           q.head)
-    in
-    results := Relation.add tuple !results
+    results := Relation.add_interned (head_tuple q.head env) !results
   in
   let rec flatten acc = function
     | And (a, b) -> flatten (flatten acc a) b
@@ -341,7 +357,7 @@ let eval ?extra q db =
       | [] -> Some (List.rev kept)
       | c :: rest ->
         if ready env c then
-          if holds db dom env c then filter_ready kept rest else None
+          if holds_ids db dom env c then filter_ready kept rest else None
         else filter_ready (c :: kept) rest
     in
     match filter_ready [] conjuncts with
@@ -356,20 +372,10 @@ let eval ?extra q db =
         | (Atom a :: later_atoms), rest ->
           let rest = later_atoms @ rest in
           let rel = Database.find a.Atom.rel db in
-          Relation.iter
+          let specs = arg_specs a.Atom.args in
+          Relation.iter_interned
             (fun tuple ->
-              let rec unify env args i =
-                match args with
-                | [] -> Some env
-                | Term.Const v :: tl ->
-                  if Value.equal v (Tuple.get tuple i) then unify env tl (i + 1)
-                  else None
-                | Term.Var x :: tl -> (
-                  match Subst.extend x (Tuple.get tuple i) env with
-                  | Some env -> unify env tl (i + 1)
-                  | None -> None)
-              in
-              match unify env a.Atom.args 0 with
+              match unify_specs specs env tuple with
               | Some env' ->
                 let xs' = List.filter (fun x -> not (Subst.mem x env')) xs in
                 search env' xs' rest
@@ -418,7 +424,7 @@ let eval ?extra q db =
               | [] -> ()
               | x :: rest ->
                 List.iter
-                  (fun v -> search (Subst.bind x v env) rest conjuncts)
+                  (fun i -> search (Subst.bind_id x i env) rest conjuncts)
                   dom)))))
   in
   search Subst.empty q.head (flatten [] q.body);

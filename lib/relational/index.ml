@@ -5,6 +5,10 @@
    whole relation once per candidate binding; this layer answers it with one
    hash probe against a table built once per (relation value, position set).
 
+   Keys and bucket contents are interned: a key is the id list of the values
+   at the probed positions, buckets hold packed {!Repr.Ituple}s, so building
+   a table never externs and probing hashes a few ints.
+
    Tables are built lazily: the first probe for a (name, positions) pair pays
    one O(|R|) pass, every later probe is O(#matches).  A store is carried by
    each [Database.t] and shared across its functional updates; staleness is
@@ -12,19 +16,19 @@
    never invalidates the cached indexes of the others (this is what keeps
    semi-naive datalog rounds fast: the EDB indexes survive every round). *)
 
-type key = Value.t list
+type key = int list
 
 module Key_tbl = Hashtbl.Make (struct
   type t = key
 
-  let equal = List.equal Value.equal
+  let equal = List.equal Int.equal
 
-  let hash k = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 k
+  let hash k = List.fold_left (fun acc id -> (acc * 31) + id) 17 k
 end)
 
-(* One indexed view of one relation value: tuples grouped by their values at
+(* One indexed view of one relation value: tuples grouped by their ids at
    [positions]. *)
-type table = Tuple.t list Key_tbl.t
+type table = Repr.Ituple.t list Key_tbl.t
 
 (* All indexed views of the relation currently named [name]; dropped
    wholesale when the relation's stamp moves. *)
@@ -37,15 +41,15 @@ type t = (string, entry) Hashtbl.t
 
 let create () : t = Hashtbl.create 16
 
-let key_of positions tuple = List.map (fun i -> Tuple.get tuple i) positions
-
 let build_table rel positions : table =
   let table = Key_tbl.create (max 16 (Relation.cardinal rel)) in
-  Relation.iter
-    (fun tuple ->
-      let k = key_of positions tuple in
+  (* hoisted once per table build, reused for every tuple *)
+  let pos = Array.of_list positions in
+  Relation.iter_interned
+    (fun it ->
+      let k = Array.to_list (Array.map (fun i -> Repr.Ituple.get it i) pos) in
       let prev = Option.value ~default:[] (Key_tbl.find_opt table k) in
-      Key_tbl.replace table k (tuple :: prev))
+      Key_tbl.replace table k (it :: prev))
     rel;
   table
 
@@ -70,7 +74,7 @@ let table_for store ~name rel ~positions =
     table
 
 let probe store ~name rel ~positions key =
-  if positions = [] then Relation.to_list rel
+  if positions = [] then Relation.fold_interned (fun it acc -> it :: acc) rel []
   else
     let table = table_for store ~name rel ~positions in
     Option.value ~default:[] (Key_tbl.find_opt table key)

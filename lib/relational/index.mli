@@ -1,21 +1,23 @@
 (** Lazily-built hash indexes over relations, keyed on argument positions.
 
-    A store memoizes, per relation name, tables mapping the values at a set
-    of positions to the tuples carrying them.  Staleness is detected through
-    {!Relation.stamp}, so a store can be shared across functional updates of
-    a {!Database.t}: only relations that actually changed are re-indexed. *)
+    A store memoizes, per relation name, tables mapping the interned ids at
+    a set of positions to the (interned) tuples carrying them.  Staleness is
+    detected through {!Relation.stamp}, so a store can be shared across
+    functional updates of a {!Database.t}: only relations that actually
+    changed are re-indexed. *)
 
 type t
 
 val create : unit -> t
 
 (** [probe store ~name rel ~positions key] is every tuple of [rel] whose
-    values at [positions] (0-based, strictly increasing) equal [key],
-    building and caching the index for [(name, positions)] on first use.
-    With [positions = []] it degrades to the full tuple list. *)
+    value ids at [positions] (0-based, strictly increasing) equal [key]
+    (a {!Value.id} list), building and caching the index for
+    [(name, positions)] on first use.  With [positions = []] it degrades to
+    the full tuple list (unspecified order). *)
 val probe :
-  t -> name:string -> Relation.t -> positions:int list -> Value.t list ->
-  Tuple.t list
+  t -> name:string -> Relation.t -> positions:int list -> int list ->
+  Repr.Ituple.t list
 
 (** Number of distinct index tables currently cached (for tests/stats). *)
 val cached_tables : t -> int

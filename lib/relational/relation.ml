@@ -1,27 +1,41 @@
 (* Finite relations: sets of tuples of a fixed arity.  These are the contents
    of local databases, message registers Msg(q) and action registers Act(q)
-   (Section 2 of the paper). *)
+   (Section 2 of the paper).
 
-module Tuple_set = Set.Make (Tuple)
+   Internally a relation stores interned tuples ({!Repr.Ituple}) in a
+   persistent map from tuple hash to bucket: membership is one map lookup
+   plus an id-array walk instead of a balanced-tree descent with element-wise
+   [Value.compare] at every node.  Persistence matters — semi-naive datalog
+   keeps many functional versions of each delta alive per round — which is
+   why this is a hash-bucketed [Map.Make (Int)] rather than a mutable
+   hashtable.  The public interface still speaks [Tuple.t]; [to_list] sorts,
+   so printed output and list-returning call sites stay deterministic. *)
+
+module Imap = Map.Make (Int)
 
 type t = {
   arity : int;
-  tuples : Tuple_set.t;
+  buckets : Repr.Ituple.t list Imap.t; (* Ituple.hash -> tuples with it *)
   size : int;
       (* |tuples|, maintained so [cardinal] is O(1): the greedy join planner
          scores every candidate atom by relation size at every search node,
-         and Set.cardinal's O(n) walk made that scoring quadratic. *)
+         and a full walk would make that scoring quadratic. *)
   stamp : int;
+  mutable scan : Repr.Ituple.t array option;
+      (* memoized packed iteration order.  The scan join re-walks the same
+         relation value once per outer binding, and walking the bucket map
+         costs two extra calls per element over an array walk; the record is
+         otherwise immutable, so the memo is safe to fill at first use. *)
 }
 
 exception Arity_mismatch of string
 
-let check_arity op arity t =
-  if Tuple.arity t <> arity then
+let check_arity op arity k =
+  if k <> arity then
     raise
       (Arity_mismatch
          (Printf.sprintf "%s: expected arity %d, got tuple of arity %d" op
-            arity (Tuple.arity t)))
+            arity k))
 
 (* Every structurally-new relation value gets a fresh stamp, so caches (the
    Index layer) can detect staleness by an integer comparison instead of a
@@ -29,88 +43,174 @@ let check_arity op arity t =
    are still [equal]; the stamp is an identity, not part of the value. *)
 let stamp_counter = ref 0
 
-let build_sized arity tuples size =
+let build_sized arity buckets size =
   incr stamp_counter;
-  { arity; tuples; size; stamp = !stamp_counter }
-
-let build arity tuples = build_sized arity tuples (Tuple_set.cardinal tuples)
+  { arity; buckets; size; stamp = !stamp_counter; scan = None }
 
 let stamp r = r.stamp
 
-let empty arity = build_sized arity Tuple_set.empty 0
+let empty arity = build_sized arity Imap.empty 0
 
-let is_empty r = Tuple_set.is_empty r.tuples
+let is_empty r = r.size = 0
 
 let arity r = r.arity
 
 let cardinal r = r.size
 
-let mem t r = Tuple_set.mem t r.tuples
+let bucket_of it r =
+  Option.value ~default:[] (Imap.find_opt (Repr.Ituple.hash it) r.buckets)
 
-let add t r =
-  check_arity "add" r.arity t;
-  let tuples = Tuple_set.add t r.tuples in
-  if tuples == r.tuples then r else build_sized r.arity tuples (r.size + 1)
+let mem_interned it r = List.exists (Repr.Ituple.equal it) (bucket_of it r)
 
-let remove t r =
-  check_arity "remove" r.arity t;
-  let tuples = Tuple_set.remove t r.tuples in
-  if tuples == r.tuples then r else build_sized r.arity tuples (r.size - 1)
+let mem t r = mem_interned (Tuple.intern t) r
+
+let add_interned it r =
+  check_arity "add" r.arity (Repr.Ituple.arity it);
+  let bucket = bucket_of it r in
+  if List.exists (Repr.Ituple.equal it) bucket then r
+  else
+    build_sized r.arity
+      (Imap.add (Repr.Ituple.hash it) (it :: bucket) r.buckets)
+      (r.size + 1)
+
+let add t r = add_interned (Tuple.intern t) r
+
+let remove_interned it r =
+  check_arity "remove" r.arity (Repr.Ituple.arity it);
+  let bucket = bucket_of it r in
+  if not (List.exists (Repr.Ituple.equal it) bucket) then r
+  else
+    let bucket' = List.filter (fun it' -> not (Repr.Ituple.equal it it')) bucket in
+    let buckets =
+      if bucket' = [] then Imap.remove (Repr.Ituple.hash it) r.buckets
+      else Imap.add (Repr.Ituple.hash it) bucket' r.buckets
+    in
+    build_sized r.arity buckets (r.size - 1)
+
+let remove t r = remove_interned (Tuple.intern t) r
 
 let of_list arity ts = List.fold_left (fun r t -> add t r) (empty arity) ts
 
-let to_list r = Tuple_set.elements r.tuples
+let fold_interned f r init =
+  (* both closures hoisted out of the per-bucket path: the CQ scan join
+     visits millions of buckets, and a closure allocation per bucket was
+     measurable against the seed evaluator *)
+  let g acc it = f it acc in
+  Imap.fold (fun _ bucket acc -> List.fold_left g acc bucket) r.buckets init
 
-let singleton t = build_sized (Tuple.arity t) (Tuple_set.singleton t) 1
+let scan_array r =
+  match r.scan with
+  | Some arr -> arr
+  | None ->
+    let arr =
+      Array.of_list (fold_interned (fun it acc -> it :: acc) r [])
+    in
+    r.scan <- Some arr;
+    arr
 
-let fold f r init = Tuple_set.fold f r.tuples init
+let iter_interned f r =
+  Imap.iter (fun _ bucket -> List.iter f bucket) r.buckets
 
-let iter f r = Tuple_set.iter f r.tuples
+(* Iteration order of [fold]/[iter] is unspecified (bucket order); the
+   sorted order lives in [to_list]. *)
+let fold f r init = fold_interned (fun it acc -> f (Tuple.extern it) acc) r init
 
-let filter p r = build r.arity (Tuple_set.filter p r.tuples)
+let iter f r = fold (fun t () -> f t) r ()
 
-let exists p r = Tuple_set.exists p r.tuples
+let to_list r =
+  List.sort Tuple.compare (fold (fun t acc -> t :: acc) r [])
 
-let for_all p r = Tuple_set.for_all p r.tuples
+let singleton t = add t (empty (Tuple.arity t))
 
-let equal a b = a.arity = b.arity && Tuple_set.equal a.tuples b.tuples
+let filter p r =
+  fold_interned
+    (fun it acc -> if p (Tuple.extern it) then add_interned it acc else acc)
+    r (empty r.arity)
 
+let exists_interned p r =
+  (* Imap.exists short-circuits on the first matching bucket *)
+  Imap.exists (fun _ bucket -> List.exists p bucket) r.buckets
+
+let exists p r = exists_interned (fun it -> p (Tuple.extern it)) r
+
+let for_all p r = not (exists (fun t -> not (p t)) r)
+
+let subset a b =
+  a.arity = b.arity
+  && a.size <= b.size
+  && fold_interned (fun it acc -> acc && mem_interned it b) a true
+
+let equal a b = a.arity = b.arity && a.size = b.size && subset a b
+
+(* Any total order consistent with [equal] works here: interning is
+   injective and process-global, so comparing sorted id-tuples is stable
+   within a run. *)
 let compare a b =
   let c = Int.compare a.arity b.arity in
-  if c <> 0 then c else Tuple_set.compare a.tuples b.tuples
-
-let subset a b = a.arity = b.arity && Tuple_set.subset a.tuples b.tuples
+  if c <> 0 then c
+  else
+    let sorted r =
+      List.sort Repr.Ituple.compare (fold_interned (fun it acc -> it :: acc) r [])
+    in
+    List.compare Repr.Ituple.compare (sorted a) (sorted b)
 
 let union a b =
   if a.arity <> b.arity then raise (Arity_mismatch "union")
-  else build a.arity (Tuple_set.union a.tuples b.tuples)
+  else if a.size = 0 then b
+  else if b.size = 0 then a
+  else
+    (* Imap.union takes whole subtrees from whichever side owns a key range,
+       so disjoint regions are shared, not re-inserted element by element
+       (the Set.union behaviour the seed representation got for free).  The
+       callback only runs on hash collisions between the two sides. *)
+    let dups = ref 0 in
+    let buckets =
+      Imap.union
+        (fun _ b1 b2 ->
+          let fresh =
+            List.filter
+              (fun it -> not (List.exists (Repr.Ituple.equal it) b2))
+              b1
+          in
+          dups := !dups + (List.length b1 - List.length fresh);
+          Some (List.rev_append fresh b2))
+        a.buckets b.buckets
+    in
+    build_sized a.arity buckets (a.size + b.size - !dups)
 
 let inter a b =
   if a.arity <> b.arity then raise (Arity_mismatch "inter")
-  else build a.arity (Tuple_set.inter a.tuples b.tuples)
+  else if a.size = 0 then a
+  else if b.size = 0 then b
+  else
+    let small, big = if a.size <= b.size then a, b else b, a in
+    fold_interned
+      (fun it acc -> if mem_interned it big then add_interned it acc else acc)
+      small (empty a.arity)
 
 let diff a b =
   if a.arity <> b.arity then raise (Arity_mismatch "diff")
-  else build a.arity (Tuple_set.diff a.tuples b.tuples)
+  else if a.size = 0 || b.size = 0 then a
+  else
+    fold_interned
+      (fun it acc -> if mem_interned it b then acc else add_interned it acc)
+      a (empty a.arity)
 
 let product a b =
-  let tuples =
-    Tuple_set.fold
-      (fun ta acc ->
-        Tuple_set.fold
-          (fun tb acc -> Tuple_set.add (Tuple.append ta tb) acc)
-          b.tuples acc)
-      a.tuples Tuple_set.empty
-  in
-  build (a.arity + b.arity) tuples
+  fold_interned
+    (fun ita acc ->
+      fold_interned
+        (fun itb acc -> add_interned (Repr.Ituple.append ita itb) acc)
+        b acc)
+    a
+    (empty (a.arity + b.arity))
 
 let project positions r =
-  let tuples =
-    Tuple_set.fold
-      (fun t acc -> Tuple_set.add (Tuple.project positions t) acc)
-      r.tuples Tuple_set.empty
-  in
-  build (List.length positions) tuples
+  let pos = Array.of_list positions in
+  fold_interned
+    (fun it acc -> add_interned (Repr.Ituple.project pos it) acc)
+    r
+    (empty (Array.length pos))
 
 let select p r = filter p r
 
@@ -119,10 +219,12 @@ let map_tuples f r =
 
 (* All values occurring in the relation: part of the active domain. *)
 let values r =
-  fold
-    (fun t acc -> Array.fold_left (fun acc v -> v :: acc) acc t)
+  fold_interned
+    (fun it acc -> Repr.Ituple.fold (fun id acc -> id :: acc) it acc)
     r []
-  |> List.sort_uniq Value.compare
+  |> List.sort_uniq Int.compare
+  |> List.map Value.of_id
+  |> List.sort Value.compare
 
 let pp ppf r =
   Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any "; ") Tuple.pp) (to_list r)

@@ -1,7 +1,12 @@
 (** Finite relations: sets of tuples of a fixed arity.
 
     These are the contents of local databases, message registers [Msg(q)] and
-    action registers [Act(q)] of an SWS (paper, Section 2). *)
+    action registers [Act(q)] of an SWS (paper, Section 2).
+
+    Tuples are stored interned ({!Repr.Ituple} in persistent hash buckets);
+    the [_interned] variants expose that form so hot paths (index probes,
+    CQ unification) can stay at the id level.  {!fold}/{!iter} run in
+    unspecified (bucket) order; {!to_list} is sorted by {!Tuple.compare}. *)
 
 type t
 
@@ -26,7 +31,23 @@ val add : Tuple.t -> t -> t
     {!add}: a wrong-arity removal is a bug, not a no-op). *)
 val remove : Tuple.t -> t -> t
 val of_list : int -> Tuple.t list -> t
+
+(** Sorted by {!Tuple.compare}. *)
 val to_list : t -> Tuple.t list
+
+val mem_interned : Repr.Ituple.t -> t -> bool
+val add_interned : Repr.Ituple.t -> t -> t
+val remove_interned : Repr.Ituple.t -> t -> t
+val fold_interned : (Repr.Ituple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter_interned : (Repr.Ituple.t -> unit) -> t -> unit
+val exists_interned : (Repr.Ituple.t -> bool) -> t -> bool
+
+(** All tuples as an array, memoized on first use (the relation is
+    immutable).  Borrowed, not owned: callers must not mutate it.  This is
+    the fast path for repeated scans — the CQ join re-walks the same
+    relation once per outer binding, and an array walk beats the bucket-map
+    walk by two calls per element. *)
+val scan_array : t -> Repr.Ituple.t array
 val singleton : Tuple.t -> t
 val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
 val iter : (Tuple.t -> unit) -> t -> unit

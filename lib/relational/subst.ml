@@ -1,15 +1,22 @@
 (* Substitutions mapping variable names to data values: the valuations found
-   when evaluating query bodies against a database. *)
+   when evaluating query bodies against a database.  Bindings are stored as
+   interned ids, so the join-consistency check ([extend]) is an int
+   comparison and the CQ evaluator can unify at the id level without
+   externing probe results. *)
 
 module Smap = Map.Make (String)
 
-type t = Value.t Smap.t
+type t = int Smap.t
 
 let empty = Smap.empty
 
-let find x s = Smap.find_opt x s
+let find_id x s = Smap.find_opt x s
 
-let bind x v s = Smap.add x v s
+let find x s = Option.map Value.of_id (Smap.find_opt x s)
+
+let bind_id x id s = Smap.add x id s
+
+let bind x v s = Smap.add x (Value.id v) s
 
 let remove x s = Smap.remove x s
 
@@ -17,14 +24,17 @@ let mem x s = Smap.mem x s
 
 let of_list l = List.fold_left (fun s (x, v) -> bind x v s) empty l
 
-let to_list s = Smap.bindings s
+let to_list s = List.map (fun (x, id) -> (x, Value.of_id id)) (Smap.bindings s)
 
-(* Extend [s] with [x -> v]; [None] when [x] is already bound to a different
-   value.  This is the single point where join consistency is enforced. *)
-let extend x v s =
+(* Extend [s] with [x -> id]; [None] when [x] is already bound to a different
+   value.  This is the single point where join consistency is enforced;
+   interning makes it one int comparison. *)
+let extend_id x id s =
   match Smap.find_opt x s with
-  | None -> Some (Smap.add x v s)
-  | Some v' -> if Value.equal v v' then Some s else None
+  | None -> Some (Smap.add x id s)
+  | Some id' -> if id = id' then Some s else None
+
+let extend x v s = extend_id x (Value.id v) s
 
 let apply_term s = function
   | Term.Const v -> Some v
@@ -35,7 +45,7 @@ let apply_term_exn s t =
   | Some v -> v
   | None -> invalid_arg "Subst.apply_term_exn: unbound variable"
 
-let equal = Smap.equal Value.equal
+let equal = Smap.equal Int.equal
 
 let pp ppf s =
   let pp_one ppf (x, v) = Fmt.pf ppf "%s:=%a" x Value.pp v in

@@ -14,6 +14,14 @@ val to_list : t -> (string * Value.t) list
     [x] is already bound to a different value. *)
 val extend : string -> Value.t -> t -> t option
 
+(** Id-level access for the interned evaluation path: [find_id]/[bind_id]/
+    [extend_id] agree with their value-level counterparts through
+    {!Value.id}. *)
+val find_id : string -> t -> int option
+
+val bind_id : string -> int -> t -> t
+val extend_id : string -> int -> t -> t option
+
 (** [apply_term s t] evaluates [t] under [s]; [None] on an unbound variable. *)
 val apply_term : t -> Term.t -> Value.t option
 

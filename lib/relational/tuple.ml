@@ -1,5 +1,7 @@
 (* Tuples of data values.  Represented as immutable arrays; the comparison is
-   lexicographic so tuples can live in sets and maps. *)
+   lexicographic so tuples can live in sets and maps.  [intern]/[extern]
+   convert to the packed id form ({!Repr.Ituple}) the relation and index
+   layers store internally. *)
 
 type t = Value.t array
 
@@ -28,11 +30,19 @@ let equal a b = compare a b = 0
 
 let append = Array.append
 
-let project positions t = Array.map (fun i -> t.(i)) (Array.of_list positions)
+let project_arr positions t = Array.map (fun i -> t.(i)) positions
+
+let project positions t = project_arr (Array.of_list positions) t
 
 let map = Array.map
 
 let exists = Array.exists
+
+let intern t = Repr.Ituple.of_array (Array.map Value.id t)
+
+let extern it =
+  Array.init (Repr.Ituple.arity it) (fun i ->
+      Value.of_id (Repr.Ituple.get it i))
 
 let pp ppf t =
   Fmt.pf ppf "(%a)" Fmt.(array ~sep:(any ", ") Value.pp) t

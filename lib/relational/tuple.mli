@@ -15,7 +15,18 @@ val append : t -> t -> t
     [positions], in order (positions may repeat). *)
 val project : int list -> t -> t
 
+(** Like {!project} with the positions array hoisted: allocate it once per
+    query plan, reuse it per tuple. *)
+val project_arr : int array -> t -> t
+
 val map : (Value.t -> Value.t) -> t -> t
 val exists : (Value.t -> bool) -> t -> bool
+
+(** Packed id form: [extern (intern t)] is [t] up to {!Value.equal};
+    {!Repr.Ituple.equal} on interned forms coincides with {!equal}. *)
+val intern : t -> Repr.Ituple.t
+
+val extern : Repr.Ituple.t -> t
+
 val pp : t Fmt.t
 val to_string : t -> string

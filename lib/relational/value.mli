@@ -1,8 +1,14 @@
-(** Data values from the infinite domain [D] of the paper (Section 2). *)
+(** Data values from the infinite domain [D] of the paper (Section 2).
+
+    [Frozen] values are the labelled nulls minted by {!Fresh} supplies when
+    queries are frozen into canonical databases; they are a distinct
+    constructor, so no [Int] or [Str] a user builds can ever satisfy
+    {!is_frozen}. *)
 
 type t =
   | Int of int
   | Str of string
+  | Frozen of int
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
@@ -14,10 +20,28 @@ val str : string -> t
 val pp : t Fmt.t
 val to_string : t -> string
 
-(** [fresh ()] returns a value distinct from every value returned so far and
-    from every "ordinary" value; used to freeze variables into labelled nulls
-    when building canonical databases. *)
-val fresh : unit -> t
+(** Scoped supplies of labelled nulls.  Values from one supply are pairwise
+    distinct; supplies are independent, so a procedure that merges canonical
+    databases from several freezes must thread one supply through all of
+    them. *)
+module Fresh : sig
+  type supply
 
-(** [is_frozen v] holds iff [v] was produced by {!fresh}. *)
+  val supply : unit -> supply
+
+  (** [next s] is a [Frozen] value distinct from every earlier [next s]. *)
+  val next : supply -> t
+end
+
+(** [is_frozen v] holds iff [v] is a labelled null (a [Frozen] value). *)
 val is_frozen : t -> bool
+
+(** [id v] interns [v] in the process-wide table: dense, stable, injective.
+    [equal v w] iff [id v = id w]. *)
+val id : t -> int
+
+(** Total inverse of {!id} on issued ids. *)
+val of_id : int -> t
+
+(** Number of distinct values interned so far (an [Engine.Stats] gauge). *)
+val interner_size : unit -> int

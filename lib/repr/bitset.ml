@@ -1,0 +1,219 @@
+(* Packed bit sets over small non-negative ints, the state-set currency of
+   the automata layer.  A set is a normalized int-array of words (no trailing
+   zero word), so structural equality, ordering and hashing are word-wise
+   array walks instead of balanced-tree traversals; the hash is computed once
+   and cached.  Values are immutable after publication: every operation
+   returns a fresh (normalized) set, and the only mutable field is the hash
+   cache. *)
+
+let word_bits = Sys.int_size
+
+type t = {
+  words : int array;
+  mutable hash : int; (* cached; -1 = not yet computed *)
+}
+
+(* Allocation counter: one bump per words-array materialized, reported as a
+   gauge through [Engine.Stats.snapshot] so ablations can compare churn. *)
+let alloc_count = ref 0
+
+let allocations () = !alloc_count
+
+let reset_allocations () = alloc_count := 0
+
+let empty = { words = [||]; hash = 0 }
+
+let make_normalized words =
+  let n = ref (Array.length words) in
+  while !n > 0 && words.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = 0 then empty
+  else begin
+    incr alloc_count;
+    let words = if !n = Array.length words then words else Array.sub words 0 !n in
+    { words; hash = -1 }
+  end
+
+let check_elt op i =
+  if i < 0 then invalid_arg (Printf.sprintf "Bitset.%s: negative element %d" op i)
+
+let singleton i =
+  check_elt "singleton" i;
+  let w = Array.make ((i / word_bits) + 1) 0 in
+  w.(i / word_bits) <- 1 lsl (i mod word_bits);
+  incr alloc_count;
+  { words = w; hash = -1 }
+
+let mem i s =
+  if i < 0 then false
+  else
+    let j = i / word_bits in
+    j < Array.length s.words && s.words.(j) land (1 lsl (i mod word_bits)) <> 0
+
+let add i s =
+  check_elt "add" i;
+  if mem i s then s
+  else begin
+    let j = i / word_bits in
+    let len = max (Array.length s.words) (j + 1) in
+    let w = Array.make len 0 in
+    Array.blit s.words 0 w 0 (Array.length s.words);
+    w.(j) <- w.(j) lor (1 lsl (i mod word_bits));
+    incr alloc_count;
+    { words = w; hash = -1 }
+  end
+
+let remove i s =
+  if not (mem i s) then s
+  else begin
+    let w = Array.copy s.words in
+    w.(i / word_bits) <- w.(i / word_bits) land lnot (1 lsl (i mod word_bits));
+    make_normalized w
+  end
+
+let is_empty s = Array.length s.words = 0
+
+let union a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else begin
+    let la = Array.length a.words and lb = Array.length b.words in
+    let small, big = if la <= lb then a, b else b, a in
+    let w = Array.copy big.words in
+    for j = 0 to Array.length small.words - 1 do
+      w.(j) <- w.(j) lor small.words.(j)
+    done;
+    incr alloc_count;
+    { words = w; hash = -1 }
+  end
+
+let inter a b =
+  let n = min (Array.length a.words) (Array.length b.words) in
+  if n = 0 then empty
+  else begin
+    let w = Array.make n 0 in
+    for j = 0 to n - 1 do
+      w.(j) <- a.words.(j) land b.words.(j)
+    done;
+    make_normalized w
+  end
+
+let diff a b =
+  if is_empty a then empty
+  else begin
+    let w = Array.copy a.words in
+    let n = min (Array.length a.words) (Array.length b.words) in
+    for j = 0 to n - 1 do
+      w.(j) <- w.(j) land lnot b.words.(j)
+    done;
+    make_normalized w
+  end
+
+(* [not (is_empty (inter a b))] without materializing the intersection. *)
+let intersects a b =
+  let n = min (Array.length a.words) (Array.length b.words) in
+  let rec go j = j < n && (a.words.(j) land b.words.(j) <> 0 || go (j + 1)) in
+  go 0
+
+let subset a b =
+  let la = Array.length a.words and lb = Array.length b.words in
+  la <= lb
+  &&
+  let rec go j = j >= la || (a.words.(j) land lnot b.words.(j) = 0 && go (j + 1)) in
+  go 0
+
+(* Normalization makes semantic equality plain array equality. *)
+let equal a b =
+  a == b
+  ||
+  let la = Array.length a.words in
+  la = Array.length b.words
+  &&
+  let rec go j = j >= la || (a.words.(j) = b.words.(j) && go (j + 1)) in
+  go 0
+
+let compare a b =
+  let la = Array.length a.words and lb = Array.length b.words in
+  if la <> lb then Int.compare la lb
+  else
+    let rec go j =
+      if j >= la then 0
+      else
+        let c = Int.compare a.words.(j) b.words.(j) in
+        if c <> 0 then c else go (j + 1)
+    in
+    go 0
+
+let hash s =
+  if s.hash >= 0 then s.hash
+  else begin
+    let h = ref 5381 in
+    for j = 0 to Array.length s.words - 1 do
+      (* FNV-style word mixing, truncated to non-negative. *)
+      h := (((!h lsl 5) + !h) lxor s.words.(j)) land max_int
+    done;
+    s.hash <- !h;
+    !h
+  end
+
+let cardinal s =
+  let pop w =
+    let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+    go w 0
+  in
+  Array.fold_left (fun acc w -> acc + pop w) 0 s.words
+
+let fold f s init =
+  let acc = ref init in
+  for j = 0 to Array.length s.words - 1 do
+    let w = ref s.words.(j) in
+    let base = j * word_bits in
+    while !w <> 0 do
+      let b = !w land - !w in
+      let rec log2 b i = if b = 1 then i else log2 (b lsr 1) (i + 1) in
+      acc := f (base + log2 b 0) !acc;
+      w := !w land (!w - 1)
+    done
+  done;
+  !acc
+
+let iter f s = fold (fun i () -> f i) s ()
+
+let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let of_list l = List.fold_left (fun s i -> add i s) empty l
+
+let exists p s = fold (fun i acc -> acc || p i) s false
+
+let for_all p s = fold (fun i acc -> acc && p i) s true
+
+(* [shift k s] = { i + k | i in s }, word-level.  Negative shifts are not
+   needed (the NFA combinators only renumber upwards). *)
+let shift k s =
+  if k < 0 then invalid_arg "Bitset.shift: negative shift"
+  else if k = 0 || is_empty s then s
+  else begin
+    let wshift = k / word_bits and r = k mod word_bits in
+    let n = Array.length s.words in
+    let out = Array.make (n + wshift + 1) 0 in
+    if r = 0 then Array.blit s.words 0 out wshift n
+    else
+      for j = 0 to n - 1 do
+        out.(j + wshift) <- out.(j + wshift) lor (s.words.(j) lsl r);
+        out.(j + wshift + 1) <- s.words.(j) lsr (word_bits - r)
+      done;
+    make_normalized out
+  end
+
+let choose_opt s =
+  if is_empty s then None
+  else
+    let rec first j = if s.words.(j) <> 0 then j else first (j + 1) in
+    let j = first 0 in
+    let rec log2 w i = if w land 1 = 1 then i else log2 (w lsr 1) (i + 1) in
+    Some ((j * word_bits) + log2 s.words.(j) 0)
+
+let pp ppf s =
+  Format.fprintf ppf "{%s}"
+    (String.concat "," (List.map string_of_int (elements s)))

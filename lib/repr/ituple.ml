@@ -1,0 +1,67 @@
+(* Packed tuples of interned ids.  The relational layer stores these instead
+   of [Value.t array]s: equality is an int-array walk with a precomputed-hash
+   fast path, and the hash is computed once at construction, so relations and
+   indexes can bucket tuples in O(arity) without re-hashing. *)
+
+type t = {
+  ids : int array;
+  hash : int;
+}
+
+let hash_ids ids =
+  let h = ref 5381 in
+  for i = 0 to Array.length ids - 1 do
+    h := (((!h lsl 5) + !h) lxor ids.(i)) land max_int
+  done;
+  !h
+
+(* Takes ownership of [ids]: callers must not mutate it afterwards. *)
+let of_array ids = { ids; hash = hash_ids ids }
+
+let of_list l = of_array (Array.of_list l)
+
+let arity t = Array.length t.ids
+
+let get t i = t.ids.(i)
+
+let hash t = t.hash
+
+let equal a b =
+  a == b
+  || a.hash = b.hash
+     &&
+     let la = Array.length a.ids in
+     la = Array.length b.ids
+     &&
+     let rec go i = i >= la || (a.ids.(i) = b.ids.(i) && go (i + 1)) in
+     go 0
+
+let compare a b =
+  let la = Array.length a.ids and lb = Array.length b.ids in
+  if la <> lb then Int.compare la lb
+  else
+    let rec go i =
+      if i >= la then 0
+      else
+        let c = Int.compare a.ids.(i) b.ids.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let append a b = of_array (Array.append a.ids b.ids)
+
+let project positions t = of_array (Array.map (fun i -> t.ids.(i)) positions)
+
+let to_array t = Array.copy t.ids
+
+let to_list t = Array.to_list t.ids
+
+let fold f t init = Array.fold_left (fun acc id -> f id acc) init t.ids
+
+let exists p t = Array.exists p t.ids
+
+let map f t = of_array (Array.map f t.ids)
+
+let pp ppf t =
+  Format.fprintf ppf "#(%s)"
+    (String.concat "," (List.map string_of_int (to_list t)))

@@ -1,0 +1,33 @@
+(** Packed int-array tuples with a precomputed hash.
+
+    The interned form of a relational tuple: component ids come from a
+    {!Symtab}, the hash is fixed at construction, and equality short-circuits
+    on it, so hash-bucketed relations and indexes pay O(arity) per probe. *)
+
+type t
+
+(** [of_array ids] takes ownership of [ids] — do not mutate it afterwards. *)
+val of_array : int array -> t
+
+val of_list : int list -> t
+val arity : t -> int
+val get : t -> int -> int
+
+(** Precomputed at construction; O(1). *)
+val hash : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val append : t -> t -> t
+
+(** [project positions t] keeps the ids at [positions] in order (positions
+    may repeat).  The positions array is borrowed, not owned: hoist it once
+    per query plan and reuse it across tuples. *)
+val project : int array -> t -> t
+
+val to_array : t -> int array
+val to_list : t -> int list
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val exists : (int -> bool) -> t -> bool
+val map : (int -> int) -> t -> t
+val pp : Format.formatter -> t -> unit

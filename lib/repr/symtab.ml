@@ -1,0 +1,70 @@
+(* Hash-consing tables: dense int ids for the values of any hashable type.
+   Interning is injective and ids are stable for the lifetime of the table
+   (nothing is ever removed), so id equality coincides with value equality
+   and ids can be packed into {!Ituple}s and compared with [Int.equal].
+
+   Each functor application carries a [global] table — the "default
+   interner" a library like [Relational.Value] routes everything through —
+   and [create] builds private tables for tests and scoped experiments. *)
+
+module type HASHED = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module type S = sig
+  type key
+  type t
+
+  val create : unit -> t
+  val global : t
+  val intern : t -> key -> int
+  val extern : t -> int -> key
+  val size : t -> int
+end
+
+module Make (H : HASHED) : S with type key = H.t = struct
+  type key = H.t
+
+  module Tbl = Hashtbl.Make (H)
+
+  type t = {
+    ids : int Tbl.t;
+    mutable keys : key array; (* id -> key, first [next] slots live *)
+    mutable next : int;
+  }
+
+  let create () = { ids = Tbl.create 256; keys = [||]; next = 0 }
+
+  let global = create ()
+
+  let grow t =
+    let cap = Array.length t.keys in
+    if t.next >= cap then begin
+      let cap' = max 64 (2 * cap) in
+      (* placeholder slots are never read: [extern] bounds-checks on [next] *)
+      let keys' = Array.make cap' t.keys.(0) in
+      Array.blit t.keys 0 keys' 0 cap;
+      t.keys <- keys'
+    end
+
+  let intern t k =
+    match Tbl.find_opt t.ids k with
+    | Some id -> id
+    | None ->
+      let id = t.next in
+      if Array.length t.keys = 0 then t.keys <- Array.make 64 k else grow t;
+      t.keys.(id) <- k;
+      t.next <- id + 1;
+      Tbl.add t.ids k id;
+      id
+
+  let extern t id =
+    if id < 0 || id >= t.next then
+      invalid_arg (Printf.sprintf "Symtab.extern: unknown id %d" id)
+    else t.keys.(id)
+
+  let size t = t.next
+end

@@ -1,0 +1,37 @@
+(** Hash-consing tables mapping values to dense int ids.
+
+    [intern] is injective and ids are dense ([0 .. size-1]) and stable —
+    nothing is ever removed — so id equality coincides with value equality
+    and [extern] is a total inverse on interned ids.  Apply the functor once
+    per value type; each application carries a shared [global] table (the
+    default interner) plus [create] for private scopes. *)
+
+module type HASHED = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module type S = sig
+  type key
+  type t
+
+  (** A fresh private table (tests, scoped experiments). *)
+  val create : unit -> t
+
+  (** The shared default table of this functor application. *)
+  val global : t
+
+  (** O(1) amortized; returns the existing id when [key] was seen before. *)
+  val intern : t -> key -> int
+
+  (** Total inverse of {!intern} on live ids; raises [Invalid_argument] on
+      ids this table never issued. *)
+  val extern : t -> int -> key
+
+  (** Number of distinct keys interned so far. *)
+  val size : t -> int
+end
+
+module Make (H : HASHED) : S with type key = H.t

@@ -231,10 +231,18 @@ let test_peer_wide_state () =
 (* ------------------------------------------------------------------ *)
 
 let test_fresh_values () =
-  let a = Value.fresh () and b = Value.fresh () in
+  let supply = Value.Fresh.supply () in
+  let a = Value.Fresh.next supply and b = Value.Fresh.next supply in
   check "fresh distinct" false (Value.equal a b);
   check "fresh frozen" true (Value.is_frozen a && Value.is_frozen b);
-  check "ordinary not frozen" false (Value.is_frozen (Value.int 3))
+  check "ordinary not frozen" false (Value.is_frozen (Value.int 3));
+  (* regression: user strings starting with '@' are not labelled nulls *)
+  check "at-string not frozen" false (Value.is_frozen (Value.str "@f1"));
+  check "at-string not frozen 2" false (Value.is_frozen (Value.str "@foo"));
+  (* supplies are scoped: a fresh supply restarts and stays self-consistent *)
+  let s2 = Value.Fresh.supply () in
+  let a2 = Value.Fresh.next s2 in
+  check "supplies independent" true (Value.equal a a2)
 
 let prop_project_product =
   QCheck.Test.make ~count:40 ~name:"projecting a product recovers the factor"

@@ -21,4 +21,5 @@ let () =
       ("parser", T_parser.suite);
       ("more", T_more.suite);
       ("reductions", T_reductions.suite);
+      ("repr", T_repr.suite);
     ]
