@@ -41,7 +41,22 @@ let trace_flag =
            Chrome trace_event JSON — load it in chrome://tracing or \
            ui.perfetto.dev.")
 
-let with_obs ~stats ~trace f =
+(* --jobs N: size of the domain pool for the parallel hot paths.  The
+   default comes from SWS_JOBS or Domain.recommended_domain_count; 1 runs
+   every procedure on the sequential reference path. *)
+let jobs_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run the parallel kernels (determinization, indexed joins, \
+           candidate fan-out) on $(docv) domains.  Defaults to \\$SWS_JOBS \
+           or the machine's recommended domain count; 1 forces the \
+           sequential path.  Results are identical at every job count.")
+
+let with_obs ~stats ~trace ~jobs f =
+  Par.Pool.set_jobs jobs;
   Engine.Stats.reset Engine.Stats.global;
   Obs.Trace.clear_provenances ();
   let session = Option.map (fun _ -> Obs.Trace.install ()) trace in
@@ -102,8 +117,8 @@ let regex_arg name =
     & info [ name ] ~docv:"REGEX"
         ~doc:"Regular expression over letters a..z ('0' empty, '1' epsilon).")
 
-let check stats trace regex_s =
-  with_obs ~stats ~trace @@ fun () ->
+let check stats trace jobs regex_s =
+  with_obs ~stats ~trace ~jobs @@ fun () ->
   match Regex.parse regex_s with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -131,14 +146,14 @@ let check stats trace regex_s =
 let check_cmd =
   let doc = "Decision problems for a Roman-model service given as a regex." in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const check $ stats_flag $ trace_flag $ regex_arg "regex")
+    Term.(const check $ stats_flag $ trace_flag $ jobs_flag $ regex_arg "regex")
 
 (* ------------------------------------------------------------------ *)
 (* equivalence                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let equivalence stats trace left right =
-  with_obs ~stats ~trace @@ fun () ->
+let equivalence stats trace jobs left right =
+  with_obs ~stats ~trace ~jobs @@ fun () ->
   match Regex.parse left, Regex.parse right with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -161,15 +176,15 @@ let equivalence_cmd =
   Cmd.v
     (Cmd.info "equivalence" ~doc)
     Term.(
-      const equivalence $ stats_flag $ trace_flag $ regex_arg "left"
+      const equivalence $ stats_flag $ trace_flag $ jobs_flag $ regex_arg "left"
       $ regex_arg "right")
 
 (* ------------------------------------------------------------------ *)
 (* compose                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let compose stats trace goal views =
-  with_obs ~stats ~trace @@ fun () ->
+let compose stats trace jobs goal views =
+  with_obs ~stats ~trace ~jobs @@ fun () ->
   match Regex.parse goal, List.map Regex.parse views with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -214,7 +229,7 @@ let compose_cmd =
   Cmd.v
     (Cmd.info "compose" ~doc)
     Term.(
-      const compose $ stats_flag $ trace_flag $ regex_arg "goal"
+      const compose $ stats_flag $ trace_flag $ jobs_flag $ regex_arg "goal"
       $ Arg.(
           value & opt_all string []
           & info [ "view" ] ~docv:"REGEX" ~doc:"Available service (repeatable)."))
@@ -223,8 +238,8 @@ let compose_cmd =
 (* kprefix                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let kprefix stats trace regex_s =
-  with_obs ~stats ~trace @@ fun () ->
+let kprefix stats trace jobs regex_s =
+  with_obs ~stats ~trace ~jobs @@ fun () ->
   match Regex.parse regex_s with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -240,14 +255,14 @@ let kprefix stats trace regex_s =
 let kprefix_cmd =
   let doc = "k-prefix recognizability of a regular language (Thm 5.1(4,5))." in
   Cmd.v (Cmd.info "kprefix" ~doc)
-    Term.(const kprefix $ stats_flag $ trace_flag $ regex_arg "regex")
+    Term.(const kprefix $ stats_flag $ trace_flag $ jobs_flag $ regex_arg "regex")
 
 (* ------------------------------------------------------------------ *)
 (* analyze: a service from a textual specification                      *)
 (* ------------------------------------------------------------------ *)
 
-let analyze stats trace file messages =
-  with_obs ~stats ~trace @@ fun () ->
+let analyze stats trace jobs file messages =
+  with_obs ~stats ~trace ~jobs @@ fun () ->
   match Sws_parser.parse_file file with
   | exception Sws_parser.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -297,7 +312,7 @@ let analyze_cmd =
   let doc = "Analyze an SWS(PL, PL) textual specification (see Sws_parser)." in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(
-      const analyze $ stats_flag $ trace_flag
+      const analyze $ stats_flag $ trace_flag $ jobs_flag
       $ Arg.(
           required
           & opt (some file) None
@@ -311,8 +326,8 @@ let analyze_cmd =
 (* explain: run the decision procedures and report their provenance     *)
 (* ------------------------------------------------------------------ *)
 
-let explain stats trace json regex_s =
-  with_obs ~stats ~trace @@ fun () ->
+let explain stats trace jobs json regex_s =
+  with_obs ~stats ~trace ~jobs @@ fun () ->
   match Regex.parse regex_s with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -341,7 +356,7 @@ let explain_cmd =
   in
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(
-      const explain $ stats_flag $ trace_flag
+      const explain $ stats_flag $ trace_flag $ jobs_flag
       $ Arg.(
           value & flag
           & info [ "json" ]

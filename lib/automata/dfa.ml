@@ -203,7 +203,15 @@ let to_nfa d =
 (* Subset construction, on the fly over reachable subsets only.  The
    frontier is keyed on whole NFA state sets: a hash table over packed bit
    sets (cached hash, word-wise equality) instead of a balanced map under a
-   set-of-int comparison — this lookup dominates the construction. *)
+   set-of-int comparison — this lookup dominates the construction.
+
+   The construction is level-synchronised so it can run on the domain pool:
+   stepping every set of the current BFS level is pure (closures prewarmed)
+   and fans out across domains; the discovery table [ids] is then updated
+   sequentially in (state-id order, symbol order).  A FIFO traversal assigns
+   ids in exactly that order too, so the resulting DFA — state numbering,
+   rows, finals — is bit-identical to the sequential construction at every
+   job count. *)
 let of_nfa n =
   let module H = Hashtbl.Make (Repr.Bitset) in
   let alphabet_size = Nfa.alphabet_size n in
@@ -213,26 +221,39 @@ let of_nfa n =
   let rows = ref [] in
   let n_finals = Nfa.final_set n in
   let finals = ref [] in
-  let queue = Queue.create () in
-  Queue.add (start_set, 0) queue;
   let next_id = ref 1 in
-  while not (Queue.is_empty queue) do
-    let set, i = Queue.pop queue in
-    if Nfa.Iset.intersects set n_finals then finals := i :: !finals;
-    let row =
-      Array.init alphabet_size (fun a ->
-          let set' = Nfa.step n set a in
-          match H.find_opt ids set' with
-          | Some j -> j
-          | None ->
-            let j = !next_id in
-            incr next_id;
-            H.replace ids set' j;
-            Queue.add (set', j) queue;
-            j)
-    in
-    rows := (i, row) :: !rows
-  done;
+  if Par.Pool.effective_jobs () > 1 then Nfa.warm_closures n;
+  let expand (set, _) =
+    Array.init alphabet_size (fun a -> Nfa.step n set a)
+  in
+  let rec level frontier =
+    (* frontier: this level's (set, id) pairs in ascending id order *)
+    match frontier with
+    | [] -> ()
+    | _ ->
+      let expansions = Par.Pool.parallel_list_map expand frontier in
+      let next = ref [] in
+      List.iter2
+        (fun (set, i) succs ->
+          if Nfa.Iset.intersects set n_finals then finals := i :: !finals;
+          let row = Array.make alphabet_size 0 in
+          for a = 0 to alphabet_size - 1 do
+            let set' = succs.(a) in
+            row.(a) <-
+              (match H.find_opt ids set' with
+              | Some j -> j
+              | None ->
+                let j = !next_id in
+                incr next_id;
+                H.replace ids set' j;
+                next := (set', j) :: !next;
+                j)
+          done;
+          rows := (i, row) :: !rows)
+        frontier expansions;
+      level (List.rev !next)
+  in
+  level [ (start_set, 0) ];
   let num = !next_id in
   let trans = Array.make num [||] in
   List.iter (fun (i, row) -> trans.(i) <- row) !rows;

@@ -34,6 +34,10 @@ val edges : t -> (int * int * int) list
 (** Epsilon closure of one state (memoized per automaton). *)
 val closure_of_state : t -> int -> Iset.t
 
+(** Fill the per-state closure memo for every state.  Called before a
+    parallel section so worker domains only ever read the memo. *)
+val warm_closures : t -> unit
+
 val eps_closure : t -> Iset.t -> Iset.t
 val step : t -> Iset.t -> int -> Iset.t
 val accepts : t -> int list -> bool

@@ -295,6 +295,24 @@ let compose_mdtb ?stats ?(budget = Engine.Budget.of_depth 2) ~goal ~components
     try Dfa.equivalent (plan_language ~env ~alphabet_size plan) goal_dfa
     with Not_found -> false
   in
+  (* Round-based search: the budget is checked before each round and every
+     plan of a round is ticked and tested — on the domain pool when several
+     jobs are configured.  With one job the round size is 1, which is
+     exactly the sequential loop (check, tick, test, next); with more jobs
+     the first matching plan in candidate order still wins, and a budget
+     trip can only happen having expanded at least as many plans as the
+     sequential search would have. *)
+  let round_size =
+    let jobs = Par.Pool.effective_jobs () in
+    if jobs <= 1 then 1 else 2 * jobs
+  in
+  let rec split_round k = function
+    | [] -> ([], [])
+    | plans when k = 0 -> ([], plans)
+    | plan :: rest ->
+      let batch, tail = split_round (k - 1) rest in
+      (plan :: batch, tail)
+  in
   let rec search = function
     | [] ->
       No_mediator_within_bound
@@ -303,12 +321,21 @@ let compose_mdtb ?stats ?(budget = Engine.Budget.of_depth 2) ~goal ~components
               "no boolean combination of chains of length <= %d matches \
                the goal"
               bound))
-    | plan :: rest -> (
+    | plans -> (
       match Engine.Meter.check meter ~depth:bound with
       | Error e -> No_mediator_within_bound e
       | Ok () ->
-        Engine.Meter.tick meter;
-        if matches plan then Found plan else search rest)
+        let batch, rest = split_round round_size plans in
+        let results =
+          Par.Pool.parallel_list_map
+            (fun plan ->
+              Engine.Meter.tick meter;
+              if matches plan then Some plan else None)
+            batch
+        in
+        (match List.find_map Fun.id results with
+        | Some plan -> Found plan
+        | None -> search rest))
   in
   search candidates
 
@@ -458,12 +485,16 @@ let compose_bounded_search ?stats ?(budget = Engine.Budget.of_nodes 60)
     List.map single names
     @ List.concat_map (fun a -> List.map (fun b -> chain2 a b) names) names
   in
+  (* Candidate mediators are sample-checked independently (each
+     [equiv_check] seeds its own PRNG), so the scan fans out across the
+     domain pool; the first agreeing mediator in enumeration order wins at
+     every job count. *)
   let ok m =
     match Mediator.equiv_check ?stats ~budget ~goal m with
-    | Mediator.Agree_on_samples _ -> true
-    | Mediator.Differ _ -> false
+    | Mediator.Agree_on_samples _ -> Some m
+    | Mediator.Differ _ -> None
   in
-  match List.find_opt ok candidates with
+  match Engine.find_first ok candidates with
   | Some m -> Candidate m
   | None ->
     None_within_bound

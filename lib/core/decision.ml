@@ -218,7 +218,11 @@ let cq_non_emptiness ?stats ?budget sws =
     Engine.scan ?stats ~budget ?decisive_bound ~name:"cq_non_emptiness"
       (fun meter n ->
         let q = Unfold.to_ucq ?stats sws ~n in
-        List.find_map
+        (* Disjuncts are independent: partition consistency of one never
+           depends on another, so the scan fans out across the domain pool.
+           [find_first] keeps the sequential answer — the first disjunct in
+           UCQ order with a consistent partition. *)
+        Engine.find_first
           (fun (d : R.Cq.t) ->
             Engine.Meter.tick meter;
             match R.Cq.partitions d with
@@ -319,7 +323,12 @@ let cq_validation ?stats ?budget ?(max_assignments = 4096) ?strategy sws
           end
           else candidates
         in
-        List.find_map
+        (* Candidate assignments are evaluated independently (the grounded
+           databases were all built above, sequentially, from one null
+           supply), so the re-evaluation check fans out across the pool;
+           the first reproducing candidate in assignment order wins, as in
+           the sequential search. *)
+        Engine.find_first
           (fun dbs ->
             Engine.Meter.tick meter;
             let db =

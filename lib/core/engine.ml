@@ -80,81 +80,127 @@ let pp_exhausted ppf e =
 (* ------------------------------------------------------------------ *)
 
 module Stats = struct
+  (* One plain mutable counter block per (domain, sink).  Bumps from the
+     domain pool land in the bumping domain's own block — unsynchronised
+     writes, no contention — and readers sum the blocks through
+     {!Par.Shard.fold} at join points: the per-domain + merge scheme.  On a
+     single domain there is exactly one block, so every reader returns the
+     same numbers (and [pp]/[snapshot] the same bytes) as the unsharded
+     record this replaces. *)
+  module Counters = struct
+    type t = {
+      mutable nodes_expanded : int;
+      mutable sat_calls : int;
+      mutable hom_checks : int;
+      mutable unfold_cache_hits : int;
+      mutable unfold_cache_misses : int;
+      mutable automata_cache_hits : int;
+      mutable automata_cache_misses : int;
+      mutable phases : (string * float) list;  (* reversed first-use order *)
+    }
+
+    let create () =
+      {
+        nodes_expanded = 0;
+        sat_calls = 0;
+        hom_checks = 0;
+        unfold_cache_hits = 0;
+        unfold_cache_misses = 0;
+        automata_cache_hits = 0;
+        automata_cache_misses = 0;
+        phases = [];
+      }
+
+    let clear c =
+      c.nodes_expanded <- 0;
+      c.sat_calls <- 0;
+      c.hom_checks <- 0;
+      c.unfold_cache_hits <- 0;
+      c.unfold_cache_misses <- 0;
+      c.automata_cache_hits <- 0;
+      c.automata_cache_misses <- 0;
+      c.phases <- []
+  end
+
   type t = {
-    mutable nodes_expanded : int;
-    mutable sat_calls : int;
-    mutable hom_checks : int;
-    mutable unfold_cache_hits : int;
-    mutable unfold_cache_misses : int;
-    mutable automata_cache_hits : int;
-    mutable automata_cache_misses : int;
-    mutable phases : (string * float) list;  (* reversed first-use order *)
+    owner_id : int; (* domain that created the sink: its block is [owner] *)
+    owner : Counters.t;
+    shards : Counters.t Par.Shard.t;
   }
 
   let create () =
+    let shards = Par.Shard.create Counters.create in
     {
-      nodes_expanded = 0;
-      sat_calls = 0;
-      hom_checks = 0;
-      unfold_cache_hits = 0;
-      unfold_cache_misses = 0;
-      automata_cache_hits = 0;
-      automata_cache_misses = 0;
-      phases = [];
+      owner_id = (Domain.self () :> int);
+      owner = Par.Shard.get shards;
+      shards;
     }
 
   let global = create ()
 
-  let reset t =
-    t.nodes_expanded <- 0;
-    t.sat_calls <- 0;
-    t.hom_checks <- 0;
-    t.unfold_cache_hits <- 0;
-    t.unfold_cache_misses <- 0;
-    t.automata_cache_hits <- 0;
-    t.automata_cache_misses <- 0;
-    t.phases <- []
+  (* The hot path: the creating domain (virtually all bumps) skips even the
+     domain-local-storage lookup. *)
+  let my t =
+    if (Domain.self () :> int) = t.owner_id then t.owner
+    else Par.Shard.get t.shards
+
+  let reset t = Par.Shard.iter Counters.clear t.shards
+
+  let sum field t =
+    Par.Shard.fold (fun acc c -> acc + field c) 0 t.shards
 
   (* The counter bumps are also the single trace-emission point: every
      instrumented module already routes its interesting moments through
      Stats, so emitting here gives complete traces with no extra call
-     sites (and no double counting). *)
+     sites (and no double counting).  Each bump happens exactly once on
+     whichever domain did the work. *)
 
   let node ?(count = 1) t =
-    t.nodes_expanded <- t.nodes_expanded + count;
+    let c = my t in
+    c.Counters.nodes_expanded <- c.Counters.nodes_expanded + count;
     Obs.Trace.emit Obs.Trace.Candidate_expanded
 
   let sat_call t =
-    t.sat_calls <- t.sat_calls + 1;
+    let c = my t in
+    c.Counters.sat_calls <- c.Counters.sat_calls + 1;
     Obs.Trace.emit Obs.Trace.Sat_call
 
   let hom_check t =
-    t.hom_checks <- t.hom_checks + 1;
+    let c = my t in
+    c.Counters.hom_checks <- c.Counters.hom_checks + 1;
     Obs.Trace.emit Obs.Trace.Hom_check
 
   let unfold_hit t =
-    t.unfold_cache_hits <- t.unfold_cache_hits + 1;
+    let c = my t in
+    c.Counters.unfold_cache_hits <- c.Counters.unfold_cache_hits + 1;
     Obs.Trace.emit (Obs.Trace.Cache { layer = "unfold"; hit = true })
 
   let unfold_miss t =
-    t.unfold_cache_misses <- t.unfold_cache_misses + 1;
+    let c = my t in
+    c.Counters.unfold_cache_misses <- c.Counters.unfold_cache_misses + 1;
     Obs.Trace.emit (Obs.Trace.Cache { layer = "unfold"; hit = false })
 
   let automata_hit t =
-    t.automata_cache_hits <- t.automata_cache_hits + 1;
+    let c = my t in
+    c.Counters.automata_cache_hits <- c.Counters.automata_cache_hits + 1;
     Obs.Trace.emit (Obs.Trace.Cache { layer = "automata"; hit = true })
 
   let automata_miss t =
-    t.automata_cache_misses <- t.automata_cache_misses + 1;
+    let c = my t in
+    c.Counters.automata_cache_misses <- c.Counters.automata_cache_misses + 1;
     Obs.Trace.emit (Obs.Trace.Cache { layer = "automata"; hit = false })
 
-  let add_phase t name dt =
+  let bump_phase_list phases name dt =
     let rec bump = function
       | [] -> [ (name, dt) ]
       | (n, acc) :: rest when String.equal n name -> (n, acc +. dt) :: rest
       | entry :: rest -> entry :: bump rest
     in
-    t.phases <- bump t.phases
+    bump phases
+
+  let add_phase t name dt =
+    let c = my t in
+    c.Counters.phases <- bump_phase_list c.Counters.phases name dt
 
   let time t name f =
     let t0 = Obs.Clock.now_ns () in
@@ -164,24 +210,41 @@ module Stats = struct
           (Int64.to_float (Obs.Clock.elapsed_ns t0) /. 1e9))
       f
 
-  let nodes_expanded t = t.nodes_expanded
-  let sat_calls t = t.sat_calls
-  let hom_checks t = t.hom_checks
-  let unfold_cache_hits t = t.unfold_cache_hits
-  let unfold_cache_misses t = t.unfold_cache_misses
-  let automata_cache_hits t = t.automata_cache_hits
-  let automata_cache_misses t = t.automata_cache_misses
-  let phases t = List.rev t.phases
+  let nodes_expanded t = sum (fun c -> c.Counters.nodes_expanded) t
+  let sat_calls t = sum (fun c -> c.Counters.sat_calls) t
+  let hom_checks t = sum (fun c -> c.Counters.hom_checks) t
+  let unfold_cache_hits t = sum (fun c -> c.Counters.unfold_cache_hits) t
+  let unfold_cache_misses t = sum (fun c -> c.Counters.unfold_cache_misses) t
+  let automata_cache_hits t = sum (fun c -> c.Counters.automata_cache_hits) t
+
+  let automata_cache_misses t =
+    sum (fun c -> c.Counters.automata_cache_misses) t
+
+  (* Phase buckets merged across shards in (shard creation, stored) order;
+     with one shard the merged list IS that shard's list, so the reported
+     order is byte-identical to the unsharded record. *)
+  let phases t =
+    Par.Shard.fold
+      (fun acc c ->
+        List.fold_left
+          (fun acc (n, dt) -> bump_phase_list acc n dt)
+          acc c.Counters.phases)
+      [] t.shards
+    |> List.rev
 
   let merge a b =
     let m = create () in
-    m.nodes_expanded <- a.nodes_expanded + b.nodes_expanded;
-    m.sat_calls <- a.sat_calls + b.sat_calls;
-    m.hom_checks <- a.hom_checks + b.hom_checks;
-    m.unfold_cache_hits <- a.unfold_cache_hits + b.unfold_cache_hits;
-    m.unfold_cache_misses <- a.unfold_cache_misses + b.unfold_cache_misses;
-    m.automata_cache_hits <- a.automata_cache_hits + b.automata_cache_hits;
-    m.automata_cache_misses <- a.automata_cache_misses + b.automata_cache_misses;
+    let c = m.owner in
+    c.Counters.nodes_expanded <- nodes_expanded a + nodes_expanded b;
+    c.Counters.sat_calls <- sat_calls a + sat_calls b;
+    c.Counters.hom_checks <- hom_checks a + hom_checks b;
+    c.Counters.unfold_cache_hits <- unfold_cache_hits a + unfold_cache_hits b;
+    c.Counters.unfold_cache_misses <-
+      unfold_cache_misses a + unfold_cache_misses b;
+    c.Counters.automata_cache_hits <-
+      automata_cache_hits a + automata_cache_hits b;
+    c.Counters.automata_cache_misses <-
+      automata_cache_misses a + automata_cache_misses b;
     List.iter (fun (n, dt) -> add_phase m n dt) (phases a);
     List.iter (fun (n, dt) -> add_phase m n dt) (phases b);
     m
@@ -192,13 +255,13 @@ module Stats = struct
      run, with no extra emission points. *)
   let snapshot t =
     [
-      ("nodes_expanded", t.nodes_expanded);
-      ("sat_calls", t.sat_calls);
-      ("hom_checks", t.hom_checks);
-      ("unfold_cache_hits", t.unfold_cache_hits);
-      ("unfold_cache_misses", t.unfold_cache_misses);
-      ("automata_cache_hits", t.automata_cache_hits);
-      ("automata_cache_misses", t.automata_cache_misses);
+      ("nodes_expanded", nodes_expanded t);
+      ("sat_calls", sat_calls t);
+      ("hom_checks", hom_checks t);
+      ("unfold_cache_hits", unfold_cache_hits t);
+      ("unfold_cache_misses", unfold_cache_misses t);
+      ("automata_cache_hits", automata_cache_hits t);
+      ("automata_cache_misses", automata_cache_misses t);
       ("interner_size", Relational.Value.interner_size ());
       ("bitset_allocs", Repr.Bitset.allocations ());
     ]
@@ -215,9 +278,10 @@ module Stats = struct
     Fmt.pf ppf
       "@[<v>nodes expanded:       %d@ sat calls:            %d@ \
        containment checks:   %d@ unfold cache:         %d hits / %d misses@ \
-       automata cache:       %d hits / %d misses" t.nodes_expanded t.sat_calls
-      t.hom_checks t.unfold_cache_hits t.unfold_cache_misses
-      t.automata_cache_hits t.automata_cache_misses;
+       automata cache:       %d hits / %d misses" (nodes_expanded t)
+      (sat_calls t) (hom_checks t) (unfold_cache_hits t)
+      (unfold_cache_misses t) (automata_cache_hits t)
+      (automata_cache_misses t);
     Fmt.pf ppf "@ interner size:       %d@ bitset allocations:   %d"
       (Relational.Value.interner_size ())
       (Repr.Bitset.allocations ());
@@ -236,22 +300,25 @@ module Meter = struct
     budget : Budget.t;
     stats : Stats.t;
     started_ns : int64;  (* Obs.Clock.now_ns at creation, for the deadline *)
-    mutable nodes : int;
+    nodes : int Atomic.t;
+        (* Atomic: candidates of one depth tick from every pool domain, and
+           an [Exhausted] record must carry the full count of work actually
+           done — a lost increment would under-report it. *)
   }
 
   let create ?(stats = Stats.global) budget =
-    { budget; stats; started_ns = Obs.Clock.now_ns (); nodes = 0 }
+    { budget; stats; started_ns = Obs.Clock.now_ns (); nodes = Atomic.make 0 }
 
   let tick ?(cost = 1) t =
-    t.nodes <- t.nodes + cost;
+    ignore (Atomic.fetch_and_add t.nodes cost);
     Stats.node ~count:cost t.stats
 
-  let nodes t = t.nodes
+  let nodes t = Atomic.get t.nodes
   let elapsed_s t = Int64.to_float (Obs.Clock.elapsed_ns t.started_ns) /. 1e9
 
   let exhaust t ~depth_reached ~limit message =
     Obs.Trace.emit (Obs.Trace.Budget_tripped limit);
-    { limit; depth_reached; nodes_expanded = t.nodes; message }
+    { limit; depth_reached; nodes_expanded = Atomic.get t.nodes; message }
 
   let check t ~depth =
     match t.budget.Budget.max_depth with
@@ -261,10 +328,11 @@ module Meter = struct
            (Printf.sprintf "depth budget exhausted after n = %d" (depth - 1)))
     | _ -> (
       match t.budget.Budget.max_nodes with
-      | Some n when t.nodes >= n ->
+      | Some n when Atomic.get t.nodes >= n ->
         Error
           (exhaust t ~depth_reached:(max 0 (depth - 1)) ~limit:`Nodes
-             (Printf.sprintf "node budget exhausted after %d nodes" t.nodes))
+             (Printf.sprintf "node budget exhausted after %d nodes"
+                (Atomic.get t.nodes)))
       | _ -> (
         match t.budget.Budget.deadline_s with
         | Some s when elapsed_s t >= s ->
@@ -350,3 +418,35 @@ let scan ?(stats = Stats.global) ?(budget = Budget.unlimited) ?decisive_bound
       duration_ns = Obs.Clock.elapsed_ns t0;
     };
   result
+
+(* ------------------------------------------------------------------ *)
+(* Candidate fan-out                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec split_at k = function
+  | [] -> ([], [])
+  | xs when k = 0 -> ([], xs)
+  | x :: rest ->
+    let batch, tail = split_at (k - 1) rest in
+    (x :: batch, tail)
+
+let find_first ?round probe candidates =
+  let jobs = Par.Pool.effective_jobs () in
+  if jobs <= 1 then List.find_map probe candidates
+  else begin
+    let round =
+      match round with Some r when r > 0 -> r | _ -> 2 * jobs
+    in
+    let rec go = function
+      | [] -> None
+      | candidates ->
+        let batch, rest = split_at round candidates in
+        let results = Par.Pool.parallel_list_map probe batch in
+        (* first success in list order: same winner the sequential
+           [List.find_map] picks, whatever the domains did *)
+        (match List.find_map Fun.id results with
+        | Some _ as found -> found
+        | None -> go rest)
+    in
+    go candidates
+  end

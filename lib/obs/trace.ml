@@ -112,9 +112,13 @@ end
 
 type entry = { at_ns : int64; ev : event }
 
-type t = {
-  session_start_ns : int64;
-  capacity : int;
+(* One ring + histogram table per domain that emits into the session, so
+   recording from pool workers is plain unsynchronised mutation of
+   domain-local state — no lock on the hot path.  Readers merge the shards:
+   events by timestamp (the monotonic clock is system-wide), histograms by
+   name.  With a single emitting domain there is exactly one shard and the
+   merged view is byte-identical to the old single-ring session. *)
+type shard = {
   buf : entry option array;
   mutable next : int; (* next write slot *)
   mutable length : int; (* entries currently stored, <= capacity *)
@@ -122,29 +126,40 @@ type t = {
   hists : (string, Hist.t) Hashtbl.t;
 }
 
+type t = {
+  session_start_ns : int64;
+  capacity : int; (* per-domain ring capacity *)
+  shards : shard Par.Shard.t;
+}
+
 let default_capacity = 65_536
 
 let make capacity =
   let capacity = max 1 capacity in
+  let fresh () =
+    {
+      buf = Array.make capacity None;
+      next = 0;
+      length = 0;
+      dropped_events = 0;
+      hists = Hashtbl.create 16;
+    }
+  in
   {
     session_start_ns = Clock.now_ns ();
     capacity;
-    buf = Array.make capacity None;
-    next = 0;
-    length = 0;
-    dropped_events = 0;
-    hists = Hashtbl.create 16;
+    shards = Par.Shard.create fresh;
   }
 
-let current : t option ref = ref None
+let current : t option Atomic.t = Atomic.make None
 
 let install ?(capacity = default_capacity) () =
   let t = make capacity in
-  current := Some t;
+  Atomic.set current (Some t);
   t
 
-let uninstall () = current := None
-let enabled () = !current <> None
+let uninstall () = Atomic.set current None
+let enabled () = Atomic.get current <> None
 
 let with_session ?capacity f =
   let t = install ?capacity () in
@@ -153,31 +168,35 @@ let with_session ?capacity f =
       (v, t))
 
 let record t at_ns ev =
-  if t.length = t.capacity then t.dropped_events <- t.dropped_events + 1
-  else t.length <- t.length + 1;
-  t.buf.(t.next) <- Some { at_ns; ev };
-  t.next <- (t.next + 1) mod t.capacity
+  let s = Par.Shard.get t.shards in
+  if s.length = t.capacity then s.dropped_events <- s.dropped_events + 1
+  else s.length <- s.length + 1;
+  s.buf.(s.next) <- Some { at_ns; ev };
+  s.next <- (s.next + 1) mod t.capacity
 
 let emit ev =
-  match !current with
+  match Atomic.get current with
   | None -> ()
   | Some t -> record t (Clock.now_ns ()) ev
 
+(* The emitting domain's histogram for [name], creating it in that
+   domain's shard on first use. *)
 let hist_for t name =
-  match Hashtbl.find_opt t.hists name with
+  let s = Par.Shard.get t.shards in
+  match Hashtbl.find_opt s.hists name with
   | Some h -> h
   | None ->
     let h = Hist.create () in
-    Hashtbl.add t.hists name h;
+    Hashtbl.add s.hists name h;
     h
 
 let observe name ns =
-  match !current with
+  match Atomic.get current with
   | None -> ()
   | Some t -> Hist.observe (hist_for t name) ns
 
 let span name f =
-  match !current with
+  match Atomic.get current with
   | None -> f ()
   | Some t ->
     let t0 = Clock.now_ns () in
@@ -195,23 +214,44 @@ let span name f =
       finish ();
       raise e)
 
-let events t =
-  (* oldest-first: when full the oldest entry sits at [next] *)
+(* One shard's surviving events, oldest-first: when full the oldest entry
+   sits at [next]. *)
+let shard_events t s =
   let out = ref [] in
-  let start = if t.length = t.capacity then t.next else 0 in
-  for i = t.length - 1 downto 0 do
-    match t.buf.((start + i) mod t.capacity) with
+  let start = if s.length = t.capacity then s.next else 0 in
+  for i = s.length - 1 downto 0 do
+    match s.buf.((start + i) mod t.capacity) with
     | Some e -> out := (e.at_ns, e.ev) :: !out
     | None -> ()
   done;
   !out
 
-let event_count t = t.length
-let dropped t = t.dropped_events
+let events t =
+  (* Shards are visited in creation order and the sort is stable, so one
+     emitting domain's stream comes back untouched; events of distinct
+     domains interleave by their monotonic timestamps. *)
+  Par.Shard.fold (fun acc s -> acc @ shard_events t s) [] t.shards
+  |> List.stable_sort (fun (a, _) (b, _) -> Int64.compare a b)
+
+let event_count t = Par.Shard.fold (fun acc s -> acc + s.length) 0 t.shards
+
+let dropped t =
+  Par.Shard.fold (fun acc s -> acc + s.dropped_events) 0 t.shards
+
 let start_ns t = t.session_start_ns
 
 let histograms t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.hists []
+  let merged = Hashtbl.create 16 in
+  Par.Shard.iter
+    (fun s ->
+      Hashtbl.iter
+        (fun k h ->
+          match Hashtbl.find_opt merged k with
+          | None -> Hashtbl.replace merged k h
+          | Some h0 -> Hashtbl.replace merged k (Hist.merge h0 h))
+        s.hists)
+    t.shards;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) merged []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* ------------------------------------------------------------------ *)
@@ -235,7 +275,12 @@ type provenance = {
 
 let keep_provenances = 64
 
-(* newest first, truncated to [keep_provenances] *)
+(* Newest first, truncated to [keep_provenances].  The log is process-wide
+   and nested procedure runs can execute on pool domains (a sampling check
+   inside a parallel candidate probe records its own provenance), so it is
+   mutex-guarded — a leaf lock, taken a handful of times per run, never on
+   an event hot path and never while holding another lock. *)
+let provenance_lock = Mutex.create ()
 let provenance_log : provenance list ref = ref []
 
 let rec take n = function
@@ -243,17 +288,24 @@ let rec take n = function
   | _ when n <= 0 -> []
   | x :: xs -> x :: take (n - 1) xs
 
-let record_provenance p = provenance_log := take keep_provenances (p :: !provenance_log)
+let record_provenance p =
+  Mutex.protect provenance_lock (fun () ->
+      provenance_log := take keep_provenances (p :: !provenance_log))
 
 let last_provenance () =
-  match !provenance_log with [] -> None | p :: _ -> Some p
+  Mutex.protect provenance_lock (fun () ->
+      match !provenance_log with [] -> None | p :: _ -> Some p)
 
-let provenances () = !provenance_log
+let provenances () = Mutex.protect provenance_lock (fun () -> !provenance_log)
 
 let amend_last_provenance f =
-  match !provenance_log with [] -> () | p :: rest -> provenance_log := f p :: rest
+  Mutex.protect provenance_lock (fun () ->
+      match !provenance_log with
+      | [] -> ()
+      | p :: rest -> provenance_log := f p :: rest)
 
-let clear_provenances () = provenance_log := []
+let clear_provenances () =
+  Mutex.protect provenance_lock (fun () -> provenance_log := [])
 
 let outcome_to_string = function
   | Decided b -> Printf.sprintf "decided:%b" b
@@ -329,7 +381,7 @@ let to_chrome t =
     [
       ("traceEvents", Json.List (List.map trace_event (events t)));
       ("displayTimeUnit", Json.String "ms");
-      ("dropped", Json.Int t.dropped_events);
+      ("dropped", Json.Int (dropped t));
       ( "histograms",
         Json.Obj (List.map (fun (k, h) -> (k, Hist.to_json h)) (histograms t)) );
       ("provenance", Json.List (List.map provenance_to_json (provenances ())));

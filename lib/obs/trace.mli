@@ -43,8 +43,9 @@ val event_name : event -> string
 
 (** Log-2 bucketed duration histograms: bucket [0] covers [[0, 2)] ns and
     bucket [i >= 1] covers [[2^i, 2^(i+1))] ns, so ~63 buckets span the
-    full [int] range with constant relative error.  Mutable, not
-    thread-safe (the engine is single-threaded). *)
+    full [int] range with constant relative error.  Mutable and not
+    thread-safe on its own — sessions keep one histogram table per
+    emitting domain and merge them at read time. *)
 module Hist : sig
   type t
 
@@ -72,9 +73,16 @@ end
 
 (** {1 Sessions} *)
 
-type t  (** an installed tracing session (ring buffer + histograms) *)
+type t
+(** An installed tracing session.  Each domain that emits into the session
+    gets a private ring buffer and histogram table (no lock on the
+    recording path); the inspection functions below merge the per-domain
+    shards — events by monotonic timestamp, histograms by name — so on a
+    single domain a session reads back exactly like the unsharded
+    original. *)
 
 val default_capacity : int
+(** Ring capacity {e per emitting domain}. *)
 
 (** [install ?capacity ()] creates a session and makes it current;
     replaces any previously current session. *)

@@ -1,0 +1,69 @@
+(** Fixed domain pool with deterministic fork/join combinators.
+
+    The pool is process-global and lazily started: no domain is spawned until
+    the first parallel call that actually needs one.  Worker domains are
+    reused across calls and shut down through an [at_exit] hook, so their
+    domain ids stay small and stable for the lifetime of the process — the
+    per-domain sharding in {!Shard}, [Engine.Stats] and [Obs.Trace] relies on
+    that.
+
+    Every combinator here preserves sequential result order: chunks are
+    contiguous slices of the input and results are concatenated in slice
+    order, so the output is independent of how the OS schedules domains.
+    With an effective job count of 1 every combinator degrades to a plain
+    inline loop on the calling domain — no pool, no locks, no domains —
+    which is what makes [--jobs 1] bit-identical to the pre-pool code. *)
+
+val default_jobs : unit -> int
+(** Job count used when {!set_jobs} has not been called: [SWS_JOBS] from the
+    environment if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()].  Clamped to [1 .. 64]. *)
+
+val jobs : unit -> int
+(** The configured job count: the {!set_jobs} override if any, otherwise
+    {!default_jobs}. *)
+
+val set_jobs : int option -> unit
+(** [set_jobs (Some n)] forces the job count (the [--jobs] CLI flag);
+    [set_jobs None] restores {!default_jobs}.  Clamped to [1 .. 64].  The
+    pool grows on demand but never shrinks; lowering the job count merely
+    leaves the extra workers idle. *)
+
+val effective_jobs : unit -> int
+(** {!jobs}, except inside a pool task it is 1: nested parallel calls run
+    inline on the executing domain rather than re-entering the pool, which
+    keeps the fork/join discipline flat and deadlock-free. *)
+
+val parallel_map : ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map f arr] is [Array.map f arr] computed across the pool in
+    contiguous chunks.  Result order is input order regardless of the job
+    count.  [f] must be safe to run on any domain (the elements handed to
+    each domain are disjoint, so per-element state is fine; shared state
+    needs its own synchronisation).  An exception raised by [f] is re-raised
+    on the calling domain after all chunks have finished. *)
+
+val parallel_list_map : ('a -> 'b) -> 'a list -> 'b list
+(** {!parallel_map} for lists (input order preserved). *)
+
+val parallel_fold :
+  map:('a -> 'b) -> combine:('b -> 'b -> 'b) -> init:'b -> 'a array -> 'b
+(** [parallel_fold ~map ~combine ~init arr] maps every element across the
+    pool, then combines per-chunk results left-to-right in chunk order:
+    [combine (... (combine init b0) ...) bn].  Deterministic for any
+    [combine]; equal to the sequential fold whenever [combine] is
+    associative over the mapped values. *)
+
+val parallel_frontier :
+  expand:('s -> 'd list) ->
+  register:('d -> 's option) ->
+  roots:'s list ->
+  unit
+(** Level-synchronised BFS worklist.  Each round expands every state of the
+    current frontier across the pool ([expand], run concurrently, must be
+    effect-free on shared state), then registers the discoveries sequentially
+    on the calling domain in (state order, discovery order) — exactly the
+    order a sequential FIFO traversal would produce, so id assignment done
+    inside [register] is deterministic and independent of the job count.
+    [register] returns [Some s'] to enqueue a newly-discovered state for the
+    next level, [None] for an already-known discovery.  Terminates when a
+    level registers no fresh states. *)

@@ -1,0 +1,49 @@
+(* Each shard cell owns a DLS key, so [get] is one domain-local slot read on
+   the hot path.  The registry of all instances (for [fold]) is an append-only
+   list under a mutex, touched once per (domain, cell) pair.  DLS slots are
+   never reclaimed by the runtime; cells are created per Stats/Trace session,
+   which is a few hundred slots over a long run — noise. *)
+
+type 'a t = {
+  key : 'a option ref Domain.DLS.key;
+  fresh : unit -> 'a;
+  lock : Mutex.t;
+  mutable all : 'a list; (* reverse creation order *)
+}
+
+let get t =
+  let slot = Domain.DLS.get t.key in
+  match !slot with
+  | Some v -> v
+  | None ->
+    let v = t.fresh () in
+    Mutex.protect t.lock (fun () -> t.all <- v :: t.all);
+    slot := Some v;
+    v
+
+let create fresh =
+  let t =
+    {
+      key = Domain.DLS.new_key (fun () -> ref None);
+      fresh;
+      lock = Mutex.create ();
+      all = [];
+    }
+  in
+  ignore (get t);
+  t
+
+let owner t =
+  (* the creating domain's instance is the last element (reverse order) *)
+  let rec last = function
+    | [ v ] -> v
+    | _ :: tl -> last tl
+    | [] -> assert false (* [create] registered one *)
+  in
+  last (Mutex.protect t.lock (fun () -> t.all))
+
+let snapshot t = List.rev (Mutex.protect t.lock (fun () -> t.all))
+
+let fold f init t = List.fold_left f init (snapshot t)
+
+let iter f t = List.iter f (snapshot t)

@@ -267,6 +267,12 @@ let remove_one_plan b atoms =
   in
   go atoms
 
+(* Minimum number of top-level join branches before the search forks onto
+   the domain pool.  Below this the fork/join overhead dwarfs the branch
+   work (typical test queries have a handful of matches); the bench join
+   series runs thousands of branches. *)
+let parallel_fanout_threshold = 16
+
 let eval_substs ?(strategy = `Indexed) q db =
   let plan = List.map compile_atom q.body in
   let neqs = List.map (fun (a, b) -> (compile_term a, compile_term b)) q.neqs in
@@ -305,7 +311,29 @@ let eval_substs ?(strategy = `Indexed) q db =
           acc
           (matches db subst atom)
   in
-  search Subst.empty plan []
+  (* Parallel mode forks the search at the root: the first picked atom's
+     matches (one per tuple of the outer relation, in scan — i.e. bucket —
+     order) each seed an independent branch, branches run across the pool,
+     and branch results are concatenated in branch order.  Since
+     [search s rest acc = search s rest [] @ acc], the reassembled list is
+     element-for-element the sequential one, for any strategy and any job
+     count — which is what keeps the three strategies agreement-testable
+     against each other and against [--jobs 1]. *)
+  let jobs = Par.Pool.effective_jobs () in
+  if jobs <= 1 then search Subst.empty plan []
+  else if not (neqs_hold Subst.empty neqs) then []
+  else
+    match pick Subst.empty plan with
+    | None -> if neqs_hold Subst.empty neqs then [ Subst.empty ] else []
+    | Some (atom0, rest) ->
+      let ms = matches db Subst.empty atom0 in
+      if List.length ms < parallel_fanout_threshold then
+        List.fold_left (fun acc subst' -> search subst' rest acc) [] ms
+      else
+        let branches =
+          Par.Pool.parallel_list_map (fun subst' -> search subst' rest []) ms
+        in
+        List.fold_left (fun acc branch -> branch @ acc) [] branches
 
 let eval ?strategy q db =
   Obs.Trace.span "cq_eval" @@ fun () ->

@@ -37,9 +37,16 @@ type entry = {
   tables : (int list, table) Hashtbl.t;
 }
 
-type t = (string, entry) Hashtbl.t
+(* The mutable store is sharded per domain: each domain that probes builds
+   its own tables lazily, so probes never synchronise (no lock on the hot
+   path) at the cost of re-deriving a table per probing domain.  Tables are
+   pure functions of (relation value, positions), so the shards never
+   disagree; on one domain this is exactly the old single store. *)
+type store = (string, entry) Hashtbl.t
 
-let create () : t = Hashtbl.create 16
+type t = store Par.Shard.t
+
+let create () : t = Par.Shard.create (fun () -> Hashtbl.create 16)
 
 let build_table rel positions : table =
   let table = Key_tbl.create (max 16 (Relation.cardinal rel)) in
@@ -53,7 +60,7 @@ let build_table rel positions : table =
     rel;
   table
 
-let entry_for store name rel =
+let entry_for (store : store) name rel =
   match Hashtbl.find_opt store name with
   | Some e when e.stamp = Relation.stamp rel -> e
   | _ ->
@@ -61,7 +68,8 @@ let entry_for store name rel =
     Hashtbl.replace store name e;
     e
 
-let table_for store ~name rel ~positions =
+let table_for sharded ~name rel ~positions =
+  let store = Par.Shard.get sharded in
   let entry = entry_for store name rel in
   match Hashtbl.find_opt entry.tables positions with
   | Some table ->
@@ -79,5 +87,8 @@ let probe store ~name rel ~positions key =
     let table = table_for store ~name rel ~positions in
     Option.value ~default:[] (Key_tbl.find_opt table key)
 
-let cached_tables store =
-  Hashtbl.fold (fun _ e acc -> acc + Hashtbl.length e.tables) store 0
+let cached_tables sharded =
+  Par.Shard.fold
+    (fun acc store ->
+      Hashtbl.fold (fun _ e acc -> acc + Hashtbl.length e.tables) store acc)
+    0 sharded

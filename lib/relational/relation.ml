@@ -21,11 +21,14 @@ type t = {
          scores every candidate atom by relation size at every search node,
          and a full walk would make that scoring quadratic. *)
   stamp : int;
-  mutable scan : Repr.Ituple.t array option;
+  scan : Repr.Ituple.t array option Atomic.t;
       (* memoized packed iteration order.  The scan join re-walks the same
          relation value once per outer binding, and walking the bucket map
          costs two extra calls per element over an array walk; the record is
-         otherwise immutable, so the memo is safe to fill at first use. *)
+         otherwise immutable.  Atomic because parallel join branches share
+         the relation: racing fillers each build the same (deterministic)
+         array from the persistent buckets, and compare-and-set keeps the
+         first so every later reader shares one copy. *)
 }
 
 exception Arity_mismatch of string
@@ -40,12 +43,15 @@ let check_arity op arity k =
 (* Every structurally-new relation value gets a fresh stamp, so caches (the
    Index layer) can detect staleness by an integer comparison instead of a
    set comparison.  Two relations with equal tuple sets but different stamps
-   are still [equal]; the stamp is an identity, not part of the value. *)
-let stamp_counter = ref 0
+   are still [equal]; the stamp is an identity, not part of the value.
+   Atomic: two domains building relations concurrently must never mint the
+   same stamp, or the index layer could serve one relation's tables for the
+   other. *)
+let stamp_counter = Atomic.make 0
 
 let build_sized arity buckets size =
-  incr stamp_counter;
-  { arity; buckets; size; stamp = !stamp_counter; scan = None }
+  let stamp = Atomic.fetch_and_add stamp_counter 1 + 1 in
+  { arity; buckets; size; stamp; scan = Atomic.make None }
 
 let stamp r = r.stamp
 
@@ -99,14 +105,17 @@ let fold_interned f r init =
   Imap.fold (fun _ bucket acc -> List.fold_left g acc bucket) r.buckets init
 
 let scan_array r =
-  match r.scan with
+  match Atomic.get r.scan with
   | Some arr -> arr
   | None ->
     let arr =
       Array.of_list (fold_interned (fun it acc -> it :: acc) r [])
     in
-    r.scan <- Some arr;
-    arr
+    if Atomic.compare_and_set r.scan None (Some arr) then arr
+    else (
+      match Atomic.get r.scan with
+      | Some arr -> arr (* lost the race; share the winner's copy *)
+      | None -> arr)
 
 let iter_interned f r =
   Imap.iter (fun _ bucket -> List.iter f bucket) r.buckets

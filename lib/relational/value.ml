@@ -51,14 +51,14 @@ let to_string v = Fmt.str "%a" pp v
    that accumulates canonical databases must thread a single supply through
    all of its freezes (Cq.contained_in_many, Decision.cq_validation). *)
 module Fresh = struct
-  type supply = { mutable next : int }
+  (* Atomic so a supply threaded through a parallel candidate fan-out never
+     mints the same null twice (a lost increment would alias two distinct
+     frozen constants and make containment tests spuriously succeed). *)
+  type supply = int Atomic.t
 
-  let supply () = { next = 0 }
+  let supply () = Atomic.make 0
 
-  let next s =
-    let k = s.next in
-    s.next <- k + 1;
-    Frozen k
+  let next s = Frozen (Atomic.fetch_and_add s 1)
 end
 
 let is_frozen = function Frozen _ -> true | Int _ | Str _ -> false

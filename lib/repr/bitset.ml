@@ -14,12 +14,14 @@ type t = {
 }
 
 (* Allocation counter: one bump per words-array materialized, reported as a
-   gauge through [Engine.Stats.snapshot] so ablations can compare churn. *)
-let alloc_count = ref 0
+   gauge through [Engine.Stats.snapshot] so ablations can compare churn.
+   Atomic because the automata layer allocates bitsets from every domain of
+   the pool; a plain ref would lose increments under contention. *)
+let alloc_count = Atomic.make 0
 
-let allocations () = !alloc_count
+let allocations () = Atomic.get alloc_count
 
-let reset_allocations () = alloc_count := 0
+let reset_allocations () = Atomic.set alloc_count 0
 
 let empty = { words = [||]; hash = 0 }
 
@@ -30,7 +32,7 @@ let make_normalized words =
   done;
   if !n = 0 then empty
   else begin
-    incr alloc_count;
+    Atomic.incr alloc_count;
     let words = if !n = Array.length words then words else Array.sub words 0 !n in
     { words; hash = -1 }
   end
@@ -42,7 +44,7 @@ let singleton i =
   check_elt "singleton" i;
   let w = Array.make ((i / word_bits) + 1) 0 in
   w.(i / word_bits) <- 1 lsl (i mod word_bits);
-  incr alloc_count;
+  Atomic.incr alloc_count;
   { words = w; hash = -1 }
 
 let mem i s =
@@ -60,7 +62,7 @@ let add i s =
     let w = Array.make len 0 in
     Array.blit s.words 0 w 0 (Array.length s.words);
     w.(j) <- w.(j) lor (1 lsl (i mod word_bits));
-    incr alloc_count;
+    Atomic.incr alloc_count;
     { words = w; hash = -1 }
   end
 
@@ -84,7 +86,7 @@ let union a b =
     for j = 0 to Array.length small.words - 1 do
       w.(j) <- w.(j) lor small.words.(j)
     done;
-    incr alloc_count;
+    Atomic.incr alloc_count;
     { words = w; hash = -1 }
   end
 
@@ -146,6 +148,9 @@ let compare a b =
     go 0
 
 let hash s =
+  (* Two domains may fill the cache concurrently; both compute the same
+     value from the immutable [words], and an int store cannot tear, so the
+     race is benign and the published hash is always the right one. *)
   if s.hash >= 0 then s.hash
   else begin
     let h = ref 5381 in

@@ -31,12 +31,19 @@ module Make (H : HASHED) : S with type key = H.t = struct
   module Tbl = Hashtbl.Make (H)
 
   type t = {
+    lock : Mutex.t;
+        (* Interning is process-global shared state, so every access that
+           touches [ids]/[keys]/[next] runs under this lock.  Call sites with
+           an id-space fast path that never probes the table (the negative
+           [Frozen] range in [Relational.Value]) stay lock-free by
+           construction — they never reach this module. *)
     ids : int Tbl.t;
     mutable keys : key array; (* id -> key, first [next] slots live *)
     mutable next : int;
   }
 
-  let create () = { ids = Tbl.create 256; keys = [||]; next = 0 }
+  let create () =
+    { lock = Mutex.create (); ids = Tbl.create 256; keys = [||]; next = 0 }
 
   let global = create ()
 
@@ -51,20 +58,25 @@ module Make (H : HASHED) : S with type key = H.t = struct
     end
 
   let intern t k =
-    match Tbl.find_opt t.ids k with
-    | Some id -> id
-    | None ->
-      let id = t.next in
-      if Array.length t.keys = 0 then t.keys <- Array.make 64 k else grow t;
-      t.keys.(id) <- k;
-      t.next <- id + 1;
-      Tbl.add t.ids k id;
-      id
+    Mutex.protect t.lock (fun () ->
+        match Tbl.find_opt t.ids k with
+        | Some id -> id
+        | None ->
+          let id = t.next in
+          if Array.length t.keys = 0 then t.keys <- Array.make 64 k
+          else grow t;
+          t.keys.(id) <- k;
+          t.next <- id + 1;
+          Tbl.add t.ids k id;
+          id)
 
   let extern t id =
-    if id < 0 || id >= t.next then
-      invalid_arg (Printf.sprintf "Symtab.extern: unknown id %d" id)
-    else t.keys.(id)
+    (* the lock also covers [keys] being swapped out mid-read by a
+       concurrent [grow] *)
+    Mutex.protect t.lock (fun () ->
+        if id < 0 || id >= t.next then
+          invalid_arg (Printf.sprintf "Symtab.extern: unknown id %d" id)
+        else t.keys.(id))
 
-  let size t = t.next
+  let size t = Mutex.protect t.lock (fun () -> t.next)
 end

@@ -22,4 +22,5 @@ let () =
       ("more", T_more.suite);
       ("reductions", T_reductions.suite);
       ("repr", T_repr.suite);
+      ("par", T_par.suite);
     ]
