@@ -1203,6 +1203,152 @@ let bechamel_section () =
         tbl)
     results
 
+(* ------------------------------------------------------------------ *)
+(* Server load generator: bench -- server [--json BENCH_server.json]    *)
+(* ------------------------------------------------------------------ *)
+
+(* Boots an in-process swsd on a private Unix socket and drives it with
+   concurrent client connections, each issuing a deterministic mix of
+   requests: cheap pings, automata-backed [check]s, decisive or-mode
+   compositions, and mdtb compositions under a one-node budget whose only
+   possible outcome is a structured [exhausted] response.  The section
+   reports throughput, tail latency and the budget-trip rate — the
+   numbers CI uploads as BENCH_server.json. *)
+module Server_bench = struct
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.
+    else
+      let idx = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+      sorted.(max 0 (min (n - 1) idx))
+
+  (* One request of the mix, keyed by the per-client sequence number so
+     every run issues the identical workload. *)
+  let issue client seq =
+    match seq mod 4 with
+    | 0 -> Server.Client.call client ~meth:"ping" ~params:[]
+    | 1 ->
+      Server.Client.call client ~meth:"check"
+        ~params:[ ("service", Obs.Json.String "(ab)+c") ]
+    | 2 ->
+      Server.Client.call client ~meth:"compose"
+        ~params:
+          [ ("goal", Obs.Json.String "(ab)*");
+            ( "components",
+              Obs.Json.List [ Obs.Json.String "ab"; Obs.Json.String "ba" ] );
+          ]
+    | _ ->
+      Server.Client.call client ~meth:"compose"
+        ~params:
+          [ ("goal", Obs.Json.String "(ab)*");
+            ( "components",
+              Obs.Json.List [ Obs.Json.String "ab"; Obs.Json.String "ba" ] );
+            ("mode", Obs.Json.String "mdtb");
+            ("budget", Obs.Json.Obj [ ("max_nodes", Obs.Json.Int 1) ]);
+          ]
+
+  let run () =
+    header "Server load: concurrent sessions against an in-process swsd";
+    let clients = if quick then 4 else 8 in
+    let per_client = if quick then 50 else 200 in
+    let sock = Printf.sprintf "/tmp/swsd-bench-%d.sock" (Unix.getpid ()) in
+    let cfg =
+      Server.Daemon.default_config (Server.Protocol.Unix_sock sock)
+    in
+    let daemon = Server.Daemon.start { cfg with Server.Daemon.jobs = cli_jobs } in
+    let ok = Atomic.make 0
+    and errors = Atomic.make 0
+    and exhausted = Atomic.make 0
+    and transport = Atomic.make 0 in
+    let latencies = Array.make_matrix clients per_client 0. in
+    let client_thread c =
+      let conn = Server.Client.connect (Server.Daemon.bound_addr daemon) in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close conn)
+        (fun () ->
+          for seq = 0 to per_client - 1 do
+            let t0 = Obs.Clock.now_ns () in
+            let r = issue conn seq in
+            latencies.(c).(seq) <- Obs.Clock.ns_to_ms (Obs.Clock.elapsed_ns t0);
+            match r with
+            | Ok response -> (
+              match Obs.Json.member "status" response with
+              | Some (Obs.Json.String "ok") -> Atomic.incr ok
+              | Some (Obs.Json.String "exhausted") -> Atomic.incr exhausted
+              | _ -> Atomic.incr errors)
+            | Error _ -> Atomic.incr transport
+          done)
+    in
+    let t0 = Obs.Clock.now_ns () in
+    let threads =
+      List.init clients (fun c -> Thread.create client_thread c)
+    in
+    List.iter Thread.join threads;
+    let wall_ms = Obs.Clock.ns_to_ms (Obs.Clock.elapsed_ns t0) in
+    Server.Daemon.stop daemon;
+    let total = clients * per_client in
+    let sorted =
+      let all = Array.concat (Array.to_list latencies) in
+      Array.sort Float.compare all;
+      all
+    in
+    let p50 = percentile sorted 50.
+    and p95 = percentile sorted 95.
+    and p99 = percentile sorted 99.
+    and pmax = if Array.length sorted = 0 then 0. else sorted.(Array.length sorted - 1) in
+    let throughput = float_of_int total /. (wall_ms /. 1000.) in
+    let trip_rate = float_of_int (Atomic.get exhausted) /. float_of_int total in
+    row "%d clients x %d requests on %d jobs: %.0f req/s" clients per_client
+      (Par.Pool.jobs ()) throughput;
+    row "latency ms: p50 %.3f   p95 %.3f   p99 %.3f   max %.3f" p50 p95 p99 pmax;
+    row "statuses: ok %d   exhausted %d (trip rate %.3f)   error %d   transport %d"
+      (Atomic.get ok) (Atomic.get exhausted) trip_rate (Atomic.get errors)
+      (Atomic.get transport);
+    let report =
+      let open Obs.Json in
+      Obj
+        [ ("schema_version", Int 1);
+          ("suite", String "swsd-bench");
+          ("mode", String (if quick then "quick" else "full"));
+          ("jobs", Int (Par.Pool.jobs ()));
+          ("clients", Int clients);
+          ("requests", Int total);
+          ("wall_ms", Float wall_ms);
+          ("throughput_rps", Float throughput);
+          ( "latency_ms",
+            Obj
+              [ ("p50", Float p50); ("p95", Float p95); ("p99", Float p99);
+                ("max", Float pmax);
+              ] );
+          ("budget_trip_rate", Float trip_rate);
+          ( "statuses",
+            Obj
+              [ ("ok", Int (Atomic.get ok));
+                ("exhausted", Int (Atomic.get exhausted));
+                ("error", Int (Atomic.get errors));
+                ("transport", Int (Atomic.get transport));
+              ] );
+        ]
+    in
+    let path = Option.value ~default:"BENCH_server.json" json_path in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Obs.Json.to_channel oc report);
+    Fmt.pr "@.report: %s@." path
+end
+
+let server_mode =
+  Array.exists (String.equal "server") Sys.argv
+  || Array.exists (String.equal "--server") Sys.argv
+
+let () =
+  if server_mode then begin
+    Fmt.pr "SWS benchmark harness — server load generator@.";
+    Server_bench.run ();
+    exit 0
+  end
+
 let () =
   Fmt.pr "SWS benchmark harness — reproducing Table 1, Table 2 and Figure 1 shapes@.";
   Fmt.pr "(mode: %s)@."

@@ -1,0 +1,232 @@
+(* swsd: the long-running composition server, plus a matching client
+   subcommand.
+
+     swsd serve --socket /tmp/swsd.sock --jobs 4
+     swsd serve --tcp 127.0.0.1:7466
+     swsd request --socket /tmp/swsd.sock --method ping
+     swsd request --socket /tmp/swsd.sock --method compose \
+       --param goal='(ab)*' --param-json components='["ab","ba"]'
+
+   The daemon itself lives in [Server.Daemon]; this file is only flag
+   parsing and the foreground wiring (print the bound address, wait,
+   shut down on SIGINT/SIGTERM). *)
+
+module J = Obs.Json
+open Cmdliner
+
+let addr_of ~socket ~tcp =
+  match (socket, tcp) with
+  | Some _, Some _ -> Error "--socket and --tcp are mutually exclusive"
+  | Some path, None -> Ok (Server.Protocol.Unix_sock path)
+  | None, Some hostport -> (
+    match String.rindex_opt hostport ':' with
+    | None -> Error "--tcp expects HOST:PORT"
+    | Some i -> (
+      let host = String.sub hostport 0 i in
+      let port = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p < 65536 ->
+        Ok (Server.Protocol.Tcp ((if host = "" then "127.0.0.1" else host), p))
+      | _ -> Error "--tcp expects HOST:PORT with PORT in 0..65535"))
+  | None, None -> Error "one of --socket PATH or --tcp HOST:PORT is required"
+
+let socket_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Listen on (or connect to) a Unix-domain socket at $(docv).")
+
+let tcp_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Listen on (or connect to) $(docv).  Port 0 binds an ephemeral \
+           port, printed on startup.")
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let jobs_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Size of the domain pool requests are scheduled on.  Defaults to \
+           \\$SWS_JOBS or the machine's recommended domain count.  \
+           Responses are identical at every job count.")
+
+let max_inflight_flag =
+  Arg.(
+    value & opt int 64
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:
+          "Admission control: at most $(docv) requests dispatched at once; \
+           the rest are answered $(b,busy) immediately.")
+
+let max_frame_flag =
+  Arg.(
+    value
+    & opt int Server.Protocol.default_max_frame
+    & info [ "max-frame-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Largest accepted request frame.  Oversized frames are drained \
+           and answered $(b,too_large); the connection survives.")
+
+let deadline_flag =
+  Arg.(
+    value & opt float 5.
+    & info [ "default-deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-request deadline applied when the request carries no \
+           budget.  A tripped deadline produces a structured \
+           $(b,exhausted) response, never a hang.")
+
+let serve socket tcp jobs max_inflight max_frame_bytes deadline =
+  match addr_of ~socket ~tcp with
+  | Error m -> `Error (true, m)
+  | Ok addr ->
+    let cfg = Server.Daemon.default_config addr in
+    let cfg =
+      {
+        cfg with
+        Server.Daemon.jobs;
+        max_inflight;
+        max_frame_bytes;
+        default_budget =
+          Sws.Engine.Budget.combine cfg.Server.Daemon.default_budget
+            (Sws.Engine.Budget.of_seconds deadline);
+      }
+    in
+    let t = Server.Daemon.start cfg in
+    Fmt.pr "swsd: listening on %a (jobs=%d, max-inflight=%d)@."
+      Server.Protocol.pp_addr
+      (Server.Daemon.bound_addr t)
+      (Par.Pool.jobs ()) max_inflight;
+    (* The OCaml-level signal handler only runs when a domain-0 thread
+       reaches a safe point, and every server thread parks in a blocking
+       section (accept / read / join).  So the handler just sets a flag,
+       and the main thread polls it from [Thread.delay] — which returns
+       to OCaml code a few times per second, giving signals a safe point
+       to fire from. *)
+    let stop_requested = Atomic.make false in
+    let request_stop _ = Atomic.set stop_requested true in
+    (try
+       Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+       Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop)
+     with Invalid_argument _ -> ());
+    while not (Atomic.get stop_requested) do
+      Thread.delay 0.25
+    done;
+    Server.Daemon.stop t;
+    Fmt.pr "swsd: stopped after %d sessions@." (Server.Daemon.sessions_started t);
+    `Ok 0
+
+let serve_cmd =
+  let doc = "run the composition server in the foreground" in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const serve $ socket_flag $ tcp_flag $ jobs_flag $ max_inflight_flag
+       $ max_frame_flag $ deadline_flag))
+
+(* ------------------------------------------------------------------ *)
+(* request                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let method_flag =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "method" ] ~docv:"NAME"
+        ~doc:
+          "Request method: ping, register, unregister, list, check, \
+           equivalence, kprefix, compose, stats, close.")
+
+let param_flags =
+  Arg.(
+    value & opt_all (pair ~sep:'=' string string) []
+    & info [ "param" ] ~docv:"KEY=VALUE"
+        ~doc:"A string-valued request parameter.  Repeatable.")
+
+let param_json_flags =
+  Arg.(
+    value & opt_all (pair ~sep:'=' string string) []
+    & info [ "param-json" ] ~docv:"KEY=JSON"
+        ~doc:
+          "A request parameter whose value is parsed as JSON (lists, \
+           objects, numbers, booleans).  Repeatable.")
+
+let meta_flag =
+  Arg.(
+    value & flag
+    & info [ "meta" ]
+        ~doc:
+          "Ask the server for per-request metadata (duration, counters).  \
+           Metadata carries wall-clock numbers, so it is excluded from \
+           the bit-identical-across-jobs guarantee.")
+
+let request socket tcp meth params json_params want_meta =
+  match addr_of ~socket ~tcp with
+  | Error m -> `Error (true, m)
+  | Ok addr -> (
+    let parsed =
+      List.fold_left
+        (fun acc (k, v) ->
+          match acc with
+          | Error _ -> acc
+          | Ok acc -> (
+            match J.of_string v with
+            | Ok j -> Ok ((k, j) :: acc)
+            | Error e ->
+              Error (Printf.sprintf "--param-json %s: %s" k e)))
+        (Ok []) json_params
+    in
+    match parsed with
+    | Error m -> `Error (true, m)
+    | Ok json_params -> (
+      let params =
+        List.map (fun (k, v) -> (k, J.String v)) params @ List.rev json_params
+      in
+      let c =
+        try Ok (Server.Client.connect addr)
+        with Unix.Unix_error (e, _, _) ->
+          Error (Fmt.str "cannot connect to %a: %s" Server.Protocol.pp_addr addr
+                   (Unix.error_message e))
+      in
+      match c with
+      | Error m -> `Error (false, m)
+      | Ok c -> (
+        let r = Server.Client.call ~want_meta c ~meth ~params in
+        Server.Client.close c;
+        match r with
+        | Error m -> `Error (false, m)
+        | Ok response ->
+          Fmt.pr "%s@." (J.to_string response);
+          let failed =
+            match J.member "status" response with
+            | Some (J.String "ok") -> false
+            | _ -> true
+          in
+          `Ok (if failed then 1 else 0))))
+
+let request_cmd =
+  let doc = "send one request to a running swsd and print the response" in
+  Cmd.v (Cmd.info "request" ~doc)
+    Term.(
+      ret
+        (const request $ socket_flag $ tcp_flag $ method_flag $ param_flags
+       $ param_json_flags $ meta_flag))
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "the SWS composition server and its client" in
+  let info = Cmd.info "swsd" ~version:"1.0" ~doc in
+  Cmd.group info [ serve_cmd; request_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -50,6 +50,52 @@ module Budget = struct
     | [] -> Fmt.string ppf "unlimited"
     | parts ->
       Fmt.(list ~sep:(any ", ") (pair ~sep:(any "<=") string string)) ppf parts
+
+  (* Wire form for swsd: absent components are absent keys, so
+     [to_json unlimited] is [{}] and [of_json (to_json t) = Ok t]. *)
+  let to_json t =
+    let open Obs.Json in
+    Obj
+      (List.filter_map Fun.id
+         [
+           Option.map (fun d -> ("max_depth", Int d)) t.max_depth;
+           Option.map (fun n -> ("max_nodes", Int n)) t.max_nodes;
+           Option.map (fun s -> ("deadline_s", Float s)) t.deadline_s;
+         ])
+
+  let of_json j =
+    let open Obs.Json in
+    match j with
+    | Obj kvs -> (
+      let known = [ "max_depth"; "max_nodes"; "deadline_s" ] in
+      match List.find_opt (fun (k, _) -> not (List.mem k known)) kvs with
+      | Some (k, _) -> Error (Printf.sprintf "budget: unknown field %S" k)
+      | None -> (
+        let int_field k =
+          match List.assoc_opt k kvs with
+          | None -> Ok None
+          | Some (Int i) when i >= 0 -> Ok (Some i)
+          | Some _ ->
+            Error (Printf.sprintf "budget: %s must be a non-negative integer" k)
+        in
+        let float_field k =
+          match List.assoc_opt k kvs with
+          | None -> Ok None
+          | Some v -> (
+            match to_float_opt v with
+            | Some f when Float.is_finite f && f >= 0. -> Ok (Some f)
+            | _ ->
+              Error
+                (Printf.sprintf "budget: %s must be a non-negative number" k))
+        in
+        match
+          (int_field "max_depth", int_field "max_nodes",
+           float_field "deadline_s")
+        with
+        | Ok max_depth, Ok max_nodes, Ok deadline_s ->
+          Ok { max_depth; max_nodes; deadline_s }
+        | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e))
+    | _ -> Error "budget: expected an object"
 end
 
 (* ------------------------------------------------------------------ *)
@@ -74,6 +120,17 @@ let pp_limit ppf = function
 let pp_exhausted ppf e =
   Fmt.pf ppf "%s [%a limit; depth %d, %d nodes]" e.message pp_limit e.limit
     e.depth_reached e.nodes_expanded
+
+(* The structured wire form of a budget trip: what swsd returns instead of
+   hanging or answering with a bare string. *)
+let exhausted_to_json e =
+  Obs.Json.Obj
+    [
+      ("limit", Obs.Json.String (Obs.Trace.limit_to_string e.limit));
+      ("depth_reached", Obs.Json.Int e.depth_reached);
+      ("nodes_expanded", Obs.Json.Int e.nodes_expanded);
+      ("message", Obs.Json.String e.message);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Instrumentation                                                     *)
@@ -273,6 +330,11 @@ module Stats = struct
         | Some v0 -> (k, v - v0)
         | None -> (k, v))
       (snapshot t)
+
+  let counters_to_json cs =
+    Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) cs)
+
+  let snapshot_json t = counters_to_json (snapshot t)
 
   let pp ppf t =
     Fmt.pf ppf

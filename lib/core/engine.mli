@@ -39,6 +39,15 @@ module Budget : sig
 
   val is_unlimited : t -> bool
   val pp : t Fmt.t
+
+  (** Wire form for the composition server: components map to optional
+      keys ([max_depth], [max_nodes], [deadline_s]), so [to_json unlimited]
+      is [{}] and the two functions round-trip.  [of_json] rejects unknown
+      fields and negative or non-finite values — it reads untrusted
+      request bodies. *)
+  val to_json : t -> Obs.Json.t
+
+  val of_json : Obs.Json.t -> (t, string) result
 end
 
 (** {1 Structured exhaustion} *)
@@ -61,6 +70,10 @@ type exhausted = {
 
 val pp_limit : limit Fmt.t
 val pp_exhausted : exhausted Fmt.t
+
+(** The structured wire form of a budget trip, served by [swsd] as the
+    body of an [exhausted] response. *)
+val exhausted_to_json : exhausted -> Obs.Json.t
 
 (** {1 Instrumentation} *)
 
@@ -124,6 +137,12 @@ module Stats : sig
   val merge : t -> t -> t
   val snapshot : t -> (string * int) list
   val delta : before:(string * int) list -> t -> (string * int) list
+
+  (** Counters as a flat JSON object — the per-request and per-session
+      [counters] fields of the server's responses. *)
+  val counters_to_json : (string * int) list -> Obs.Json.t
+
+  val snapshot_json : t -> Obs.Json.t
 
   val pp : t Fmt.t
 end

@@ -73,7 +73,17 @@ let pp ppf j = Fmt.string ppf (to_string j)
 
 exception Parse of string
 
-type state = { src : string; mutable pos : int }
+(* The parser faces untrusted bytes: swsd feeds it straight off the wire.
+   Every lenient corner of the original implementation is closed here —
+   strict \u hex digits (no OCaml int_of_string underscore/sign/base
+   syntax), surrogate pairs decoded to real 4-byte UTF-8 with lone
+   surrogates rejected, a nesting-depth limit instead of unbounded
+   recursion, and the exact RFC 8259 number grammar instead of
+   float_of_string leniency. *)
+
+let default_max_depth = 512
+
+type state = { src : string; mutable pos : int; max_depth : int }
 
 let fail st msg = raise (Parse (Printf.sprintf "%s at offset %d" msg st.pos))
 
@@ -104,6 +114,45 @@ let literal st word value =
   end
   else fail st (Printf.sprintf "expected %s" word)
 
+(* [int_of_string ("0x" ^ hex)] would accept OCaml integer-literal syntax
+   inside the escape — underscores ("1_23" reads as 0x123), a second sign —
+   so the four characters are checked to be hex digits one by one. *)
+let hex_digit = function
+  | '0' .. '9' as c -> Char.code c - Char.code '0'
+  | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+  | _ -> -1
+
+let parse_hex4 st =
+  if st.pos + 4 > String.length st.src then
+    fail st "bad \\u escape: expected 4 hex digits";
+  let v = ref 0 in
+  for i = 0 to 3 do
+    let d = hex_digit st.src.[st.pos + i] in
+    if d < 0 then fail st "bad \\u escape: expected 4 hex digits";
+    v := (!v lsl 4) lor d
+  done;
+  st.pos <- st.pos + 4;
+  !v
+
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
 let parse_string st =
   expect st '"';
   let buf = Buffer.create 16 in
@@ -124,25 +173,31 @@ let parse_string st =
       | Some 'f' -> advance st; Buffer.add_char buf '\012'; go ()
       | Some 'u' ->
         advance st;
-        if st.pos + 4 > String.length st.src then fail st "bad \\u escape";
-        let hex = String.sub st.src st.pos 4 in
+        let code = parse_hex4 st in
+        (* A high surrogate must be followed by a \u-escaped low surrogate;
+           the pair decodes to one astral code point (4-byte UTF-8).  A lone
+           surrogate in either direction has no UTF-8 encoding and is
+           rejected rather than smuggled out as an invalid 3-byte blob. *)
         let code =
-          try int_of_string ("0x" ^ hex)
-          with _ -> fail st "bad \\u escape"
+          if code >= 0xD800 && code <= 0xDBFF then begin
+            if
+              st.pos + 2 <= String.length st.src
+              && st.src.[st.pos] = '\\'
+              && st.src.[st.pos + 1] = 'u'
+            then begin
+              st.pos <- st.pos + 2;
+              let lo = parse_hex4 st in
+              if lo >= 0xDC00 && lo <= 0xDFFF then
+                0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00)
+              else fail st "unpaired high surrogate in \\u escape"
+            end
+            else fail st "unpaired high surrogate in \\u escape"
+          end
+          else if code >= 0xDC00 && code <= 0xDFFF then
+            fail st "unpaired low surrogate in \\u escape"
+          else code
         in
-        st.pos <- st.pos + 4;
-        (* decode to UTF-8; surrogate pairs are passed through unpaired,
-           which is enough for the ASCII-centric traces we emit *)
-        if code < 0x80 then Buffer.add_char buf (Char.chr code)
-        else if code < 0x800 then begin
-          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
-          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
-        end
-        else begin
-          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
-          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
-        end;
+        add_utf8 buf code;
         go ()
       | _ -> fail st "bad escape")
     | Some c ->
@@ -152,6 +207,45 @@ let parse_string st =
   in
   go ();
   Buffer.contents buf
+
+(* RFC 8259: minus? (0 | nonzero digit+) frac? exp?
+   float_of_string would also take "+1", "1.", ".5", "-", "0x1p3", "nan";
+   none of those is JSON, and a daemon must answer them with a parse error
+   rather than a guessed value. *)
+let valid_json_number s =
+  let n = String.length s in
+  let i = ref 0 in
+  let digits () =
+    let start = !i in
+    while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+      incr i
+    done;
+    !i > start
+  in
+  if !i < n && s.[!i] = '-' then incr i;
+  let int_ok =
+    if !i < n && s.[!i] = '0' then begin
+      incr i;
+      true (* a leading 0 stands alone: "01" is not JSON *)
+    end
+    else digits ()
+  in
+  let frac_ok =
+    if !i < n && s.[!i] = '.' then begin
+      incr i;
+      digits ()
+    end
+    else true
+  in
+  let exp_ok =
+    if !i < n && (s.[!i] = 'e' || s.[!i] = 'E') then begin
+      incr i;
+      if !i < n && (s.[!i] = '+' || s.[!i] = '-') then incr i;
+      digits ()
+    end
+    else true
+  in
+  int_ok && frac_ok && exp_ok && !i = n
 
 let parse_number st =
   let start = st.pos in
@@ -168,6 +262,10 @@ let parse_number st =
   in
   go ();
   let s = String.sub st.src start (st.pos - start) in
+  if not (valid_json_number s) then begin
+    st.pos <- start;
+    fail st (Printf.sprintf "bad number %S" s)
+  end;
   match int_of_string_opt s with
   | Some i -> Int i
   | None -> (
@@ -175,7 +273,12 @@ let parse_number st =
     | Some f -> Float f
     | None -> fail st (Printf.sprintf "bad number %S" s))
 
-let rec parse_value st =
+let rec parse_value st depth =
+  (* [depth] is the number of enclosing containers: the top-level value
+     sits at 0, so exactly [max_depth] container levels are accepted *)
+  if depth >= st.max_depth then
+    fail st
+      (Printf.sprintf "nesting deeper than %d levels" st.max_depth);
   skip_ws st;
   match peek st with
   | None -> fail st "unexpected end of input"
@@ -192,7 +295,7 @@ let rec parse_value st =
     end
     else begin
       let rec items acc =
-        let v = parse_value st in
+        let v = parse_value st (depth + 1) in
         skip_ws st;
         match peek st with
         | Some ',' ->
@@ -218,7 +321,7 @@ let rec parse_value st =
         let k = parse_string st in
         skip_ws st;
         expect st ':';
-        let v = parse_value st in
+        let v = parse_value st (depth + 1) in
         (k, v)
       in
       let rec members acc =
@@ -238,9 +341,9 @@ let rec parse_value st =
   | Some ('-' | '0' .. '9') -> parse_number st
   | Some c -> fail st (Printf.sprintf "unexpected character '%c'" c)
 
-let of_string s =
-  let st = { src = s; pos = 0 } in
-  match parse_value st with
+let of_string ?(max_depth = default_max_depth) s =
+  let st = { src = s; pos = 0; max_depth } in
+  match parse_value st 0 with
   | v ->
     skip_ws st;
     if st.pos = String.length s then Ok v

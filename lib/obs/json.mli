@@ -26,9 +26,20 @@ val to_channel : out_channel -> t -> unit
 
 val pp : t Fmt.t
 
+(** Nesting depth {!of_string} accepts by default (512 container levels). *)
+val default_max_depth : int
+
 (** Parse one JSON value (leading/trailing whitespace allowed).
-    [Error msg] carries a position-annotated message. *)
-val of_string : string -> (t, string) result
+    [Error msg] carries a position-annotated message.
+
+    The parser is strict enough for untrusted input — [swsd] runs it on
+    raw wire bytes: [\u] escapes must be exactly 4 hex digits (no OCaml
+    integer-literal leniency), surrogate pairs decode to 4-byte UTF-8 and
+    lone surrogates are rejected, numbers follow the RFC 8259 grammar
+    exactly (no leading [+], no lone [-]/[.], no leading zeros), and
+    values nested deeper than [max_depth] (default {!default_max_depth})
+    fail with a clean error instead of overflowing the stack. *)
+val of_string : ?max_depth:int -> string -> (t, string) result
 
 (** {2 Accessors (total; [None] on shape mismatch)} *)
 

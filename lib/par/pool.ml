@@ -157,6 +157,66 @@ let run_tasks tasks =
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ()
 
+(* ---- async tasks ----------------------------------------------------- *)
+
+(* One-shot promises over the same worker queue the fork/join combinators
+   drain.  The server's connection threads are systhreads multiplexed on
+   the main domain (the per-domain runtime lock serialises them), so
+   request compute must hop to a pool domain to run concurrently: [async]
+   enqueues the thunk, [await] parks the submitting thread on the
+   promise's condition variable until a worker finishes it.  Workers run
+   async tasks with the [in_task] flag set, exactly like batch tasks, so a
+   request handler that reaches a parallel combinator runs it inline —
+   the grain of server parallelism is the request, and the fork/join
+   discipline stays flat. *)
+
+type 'a outcome = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
+
+type 'a cell = { cm : Mutex.t; cc : Condition.t; mutable outcome : 'a outcome }
+type 'a promise = Inline of (unit -> 'a) | Queued of 'a cell
+
+let async f =
+  let j = jobs () in
+  if j <= 1 || !(Domain.DLS.get in_task) then Inline f
+  else begin
+    (* [j] full workers: unlike the fork/join path (j-1 workers + helping
+       caller), awaiting threads do not drain the queue. *)
+    ensure_workers j;
+    let c = { cm = Mutex.create (); cc = Condition.create (); outcome = Pending } in
+    let task () =
+      let r =
+        try Done (f ()) with e -> Failed (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock c.cm;
+      c.outcome <- r;
+      Condition.broadcast c.cc;
+      Mutex.unlock c.cm
+    in
+    Mutex.lock lock;
+    Queue.add task queue;
+    Condition.signal work_available;
+    Mutex.unlock lock;
+    Queued c
+  end
+
+let await = function
+  | Inline f -> f ()
+  | Queued c ->
+    Mutex.lock c.cm;
+    let rec wait () =
+      match c.outcome with
+      | Pending ->
+        Condition.wait c.cc c.cm;
+        wait ()
+      | Done v ->
+        Mutex.unlock c.cm;
+        v
+      | Failed (e, bt) ->
+        Mutex.unlock c.cm;
+        Printexc.raise_with_backtrace e bt
+    in
+    wait ()
+
 (* ---- chunking -------------------------------------------------------- *)
 
 (* More chunks than domains smooths uneven per-element cost; chunk order

@@ -34,6 +34,29 @@ val effective_jobs : unit -> int
     inline on the executing domain rather than re-entering the pool, which
     keeps the fork/join discipline flat and deadlock-free. *)
 
+(** {2 One-shot async tasks}
+
+    The request-scheduling interface used by the composition server
+    ([lib/server]): connection threads are systhreads serialised by their
+    domain's runtime lock, so CPU-bound request work must hop to a pool
+    domain to actually run in parallel. *)
+
+type 'a promise
+
+val async : (unit -> 'a) -> 'a promise
+(** [async f] schedules [f] on the pool and returns immediately.  Safe to
+    call from any systhread or domain.  With an effective job count of 1
+    (sequential mode, or already inside a pool task) nothing is enqueued:
+    the returned promise runs [f] on the thread that {!await}s it, so
+    results and exceptions flow identically in both modes.  Pool tasks run
+    flagged in-task: parallel combinators reached from [f] execute inline
+    — the unit of parallelism is the task, and nesting stays flat. *)
+
+val await : 'a promise -> 'a
+(** Block until the task finishes; returns its value or re-raises its
+    exception (with the original backtrace).  Each promise is one-shot
+    with a single consumer: await it exactly once. *)
+
 val parallel_map : ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map f arr] is [Array.map f arr] computed across the pool in
     contiguous chunks.  Result order is input order regardless of the job

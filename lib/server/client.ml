@@ -1,0 +1,58 @@
+(* See client.mli. *)
+
+module J = Obs.Json
+
+type t = { fd : Unix.file_descr; mutable next_id : int; mutable closed : bool }
+
+let connect addr =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let fd =
+    match addr with
+    | Protocol.Unix_sock path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+    | Protocol.Tcp (host, port) ->
+      let inet =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_loopback
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (inet, port));
+      fd
+  in
+  { fd; next_id = 1; closed = false }
+
+let send_raw t payload = Protocol.write_frame t.fd payload
+
+let recv t =
+  match Protocol.read_frame t.fd with
+  | Ok payload -> J.of_string ~max_depth:Protocol.max_wire_depth payload
+  | Error (`Too_large n) ->
+    Error (Printf.sprintf "oversized response frame (%d bytes)" n)
+  | exception Protocol.Closed -> Error "connection closed by server"
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let call ?id ?(want_meta = false) t ~meth ~params =
+  let id =
+    match id with
+    | Some id -> id
+    | None ->
+      let n = t.next_id in
+      t.next_id <- n + 1;
+      J.Int n
+  in
+  let req =
+    { Protocol.id; meth; params = J.Obj params; want_meta }
+  in
+  match send_raw t (J.to_string (Protocol.request_to_json req)) with
+  | () -> recv t
+  | exception Protocol.Closed -> Error "connection closed by server"
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,33 @@
+(** A blocking swsd client: one connection, one request/response at a
+    time.  Used by [swsd request], the server tests and the bench load
+    generator.
+
+    [send_raw]/[recv] expose the framing layer directly so tests can send
+    deliberately malformed payloads and watch the connection survive. *)
+
+type t
+
+val connect : Protocol.addr -> t
+(** Connect (retrying briefly while the server is still binding would be
+    the caller's job; this call tries once).  SIGPIPE is ignored
+    process-wide on the first connect. *)
+
+val call :
+  ?id:Obs.Json.t ->
+  ?want_meta:bool ->
+  t ->
+  meth:string ->
+  params:(string * Obs.Json.t) list ->
+  (Obs.Json.t, string) result
+(** Send one request and read one response.  [Error] is a transport or
+    response-parse failure, not a server-side error — those come back as
+    [Ok] envelopes with [status = "error"]. *)
+
+val send_raw : t -> string -> unit
+(** Frame and send an arbitrary payload (not necessarily valid JSON). *)
+
+val recv : t -> (Obs.Json.t, string) result
+(** Read one response frame and parse it. *)
+
+val close : t -> unit
+(** Idempotent. *)

@@ -1,0 +1,617 @@
+(* See daemon.mli. *)
+
+module J = Obs.Json
+module P = Protocol
+module Regex = Automata.Regex
+module Nfa = Automata.Nfa
+module Dfa = Automata.Dfa
+open Sws
+
+type config = {
+  addr : Protocol.addr;
+  jobs : int option;
+  max_inflight : int;
+  max_frame_bytes : int;
+  max_json_depth : int;
+  max_spec_len : int;
+  max_components : int;
+  default_budget : Engine.Budget.t;
+  max_budget : Engine.Budget.t;
+}
+
+let default_config addr =
+  {
+    addr;
+    jobs = None;
+    max_inflight = 64;
+    max_frame_bytes = Protocol.default_max_frame;
+    max_json_depth = Protocol.max_wire_depth;
+    max_spec_len = 2048;
+    max_components = 64;
+    (* a request that brings no budget still cannot hang: three chain
+       lengths, 200k candidates, five wall-clock seconds *)
+    default_budget =
+      Engine.Budget.make ~max_depth:3 ~max_nodes:200_000 ~deadline_s:5. ();
+    max_budget =
+      Engine.Budget.make ~max_depth:6 ~max_nodes:2_000_000 ~deadline_s:30. ();
+  }
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  bound : Protocol.addr;
+  stopping : bool Atomic.t;
+  inflight : int Atomic.t;
+  next_sid : int Atomic.t;
+  mutable accept_thread : Thread.t option;
+  conns_mu : Mutex.t;
+  mutable conns : (Unix.file_descr * Thread.t) list;
+}
+
+let bound_addr t = t.bound
+let sessions_started t = Atomic.get t.next_sid - 1
+
+(* ------------------------------------------------------------------ *)
+(* Request dispatch                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* What a handler produces; [handle] wraps it into the response envelope.
+   [`Exhausted] is the structured budget-trip outcome, not an error. *)
+type reply =
+  [ `Ok of J.t
+  | `Ok_close of J.t
+  | `Error of string * string
+  | `Exhausted of Engine.exhausted ]
+
+let ( let* ) = Result.bind
+
+let bad msg : ('a, reply) result = Error (`Error (P.err_bad_request, msg))
+
+let check_keys params allowed : (unit, reply) result =
+  match params with
+  | J.Obj kvs -> (
+    match List.find_opt (fun (k, _) -> not (List.mem k allowed)) kvs with
+    | Some (k, _) -> bad (Printf.sprintf "unknown parameter %S" k)
+    | None -> Ok ())
+  | _ -> bad "params must be an object"
+
+let req_string params k : (string, reply) result =
+  match J.member k params with
+  | Some (J.String s) -> Ok s
+  | Some _ -> bad (Printf.sprintf "parameter %S must be a string" k)
+  | None -> bad (Printf.sprintf "missing parameter %S" k)
+
+(* A service designator: an inline regex (string) or a reference to a
+   registered component ({"ref": "name"}). *)
+let resolve cfg session j : ([ `Inline | `Ref ] * string * Regex.t, reply) result
+    =
+  match j with
+  | J.String spec ->
+    if String.length spec > cfg.max_spec_len then
+      Error
+        (`Error
+           ( P.err_limit,
+             Printf.sprintf "spec longer than %d bytes" cfg.max_spec_len ))
+    else (
+      match Regex.parse spec with
+      | exception Regex.Parse_error m ->
+        bad (Printf.sprintf "bad regex %S: %s" spec m)
+      | r -> Ok (`Inline, spec, r))
+  | J.Obj [ ("ref", J.String name) ] -> (
+    match Session.find session name with
+    | Some c -> Ok (`Ref, c.Session.name, c.Session.regex)
+    | None ->
+      Error
+        (`Error
+           (P.err_unknown_component, Printf.sprintf "unknown component %S" name)))
+  | _ -> bad "service must be a regex string or {\"ref\": \"name\"}"
+
+let budget_param cfg params : (Engine.Budget.t, reply) result =
+  match J.member "budget" params with
+  | None -> Ok cfg.default_budget
+  | Some j -> (
+    match Engine.Budget.of_json j with
+    | Ok b -> Ok (Engine.Budget.combine b cfg.max_budget)
+    | Error e -> bad e)
+
+let alphabet_size_of regexes = Session.alphabet_size_of regexes
+
+let decision_outcome_json = function
+  | Decision.Yes w ->
+    Ok
+      (J.Obj
+         [ ("answer", J.String "yes"); ("witness_len", J.Int (List.length w)) ])
+  | Decision.No -> Ok (J.Obj [ ("answer", J.String "no") ])
+  | Decision.Exhausted e -> Error (`Exhausted e : reply)
+
+let dispatch cfg session ~sink (req : Protocol.request) : reply =
+  let params = req.P.params in
+  let result : (reply, reply) result =
+    match req.P.meth with
+    | "ping" ->
+      let* () = check_keys params [] in
+      Ok
+        (`Ok
+           (J.Obj [ ("pong", J.Bool true); ("server", J.String "swsd") ]))
+    | "register" ->
+      let* () = check_keys params [ "name"; "spec" ] in
+      let* name = req_string params "name" in
+      let* spec = req_string params "spec" in
+      if String.length spec > cfg.max_spec_len then
+        Error
+          (`Error
+             ( P.err_limit,
+               Printf.sprintf "spec longer than %d bytes" cfg.max_spec_len ))
+      else (
+        match
+          Session.register session ~max_components:cfg.max_components ~name
+            ~spec
+        with
+        | Ok _ ->
+          Ok
+            (`Ok
+               (J.Obj
+                  [
+                    ("registered", J.String name);
+                    ( "components",
+                      J.Int (List.length (Session.components session)) );
+                  ]))
+        | Error (`Bad m) -> bad m
+        | Error `Full ->
+          Error
+            (`Error
+               ( P.err_limit,
+                 Printf.sprintf "session already holds %d components"
+                   cfg.max_components )))
+    | "unregister" ->
+      let* () = check_keys params [ "name" ] in
+      let* name = req_string params "name" in
+      Ok (`Ok (J.Obj [ ("removed", J.Bool (Session.unregister session name)) ]))
+    | "list" ->
+      let* () = check_keys params [] in
+      Ok
+        (`Ok
+           (J.Obj
+              [
+                ( "components",
+                  J.List
+                    (List.map
+                       (fun c ->
+                         J.Obj
+                           [
+                             ("name", J.String c.Session.name);
+                             ("spec", J.String c.Session.spec);
+                           ])
+                       (Session.components session)) );
+              ]))
+    | "check" ->
+      let* () = check_keys params [ "service" ] in
+      let* j =
+        match J.member "service" params with
+        | Some j -> Ok j
+        | None -> bad "missing parameter \"service\""
+      in
+      let* _, _, r = resolve cfg session j in
+      let alphabet_size = alphabet_size_of [ r ] in
+      let sws = Roman.to_sws_pl (Nfa.of_regex ~alphabet_size r) in
+      let* ne = decision_outcome_json (Decision.pl_non_emptiness ~stats:sink sws) in
+      let* va =
+        decision_outcome_json
+          (Decision.pl_validation ~stats:sink sws ~output:false)
+      in
+      Ok
+        (`Ok
+           (J.Obj
+              [
+                ("states", J.Int (Sws_def.num_states (Sws_pl.def sws)));
+                ("recursive", J.Bool (Sws_pl.is_recursive sws));
+                ("non_emptiness", ne);
+                ("validation", va);
+              ]))
+    | "equivalence" ->
+      let* () = check_keys params [ "left"; "right" ] in
+      let* jl =
+        match J.member "left" params with
+        | Some j -> Ok j
+        | None -> bad "missing parameter \"left\""
+      in
+      let* jr =
+        match J.member "right" params with
+        | Some j -> Ok j
+        | None -> bad "missing parameter \"right\""
+      in
+      let* _, _, rl = resolve cfg session jl in
+      let* _, _, rr = resolve cfg session jr in
+      let alphabet_size = alphabet_size_of [ rl; rr ] in
+      let sl = Roman.to_sws_pl (Nfa.of_regex ~alphabet_size rl) in
+      let sr = Roman.to_sws_pl (Nfa.of_regex ~alphabet_size rr) in
+      (match Decision.pl_equivalence ~stats:sink sl sr with
+      | Decision.Equivalent -> Ok (`Ok (J.Obj [ ("equivalent", J.Bool true) ]))
+      | Decision.Inequivalent w ->
+        Ok
+          (`Ok
+             (J.Obj
+                [
+                  ("equivalent", J.Bool false);
+                  ("distinguishing_len", J.Int (List.length w));
+                ]))
+      | Decision.Equiv_exhausted e -> Error (`Exhausted e))
+    | "kprefix" ->
+      let* () = check_keys params [ "service" ] in
+      let* j =
+        match J.member "service" params with
+        | Some j -> Ok j
+        | None -> bad "missing parameter \"service\""
+      in
+      let* _, _, r = resolve cfg session j in
+      let alphabet_size = alphabet_size_of [ r ] in
+      let dfa = Dfa.of_nfa (Nfa.of_regex ~alphabet_size r) in
+      Ok
+        (`Ok
+           (J.Obj
+              [
+                ( "k",
+                  match Compose.k_prefix_bound dfa with
+                  | Some k -> J.Int k
+                  | None -> J.Null );
+              ]))
+    | "compose" ->
+      let* () = check_keys params [ "goal"; "components"; "mode"; "budget" ] in
+      let* jg =
+        match J.member "goal" params with
+        | Some j -> Ok j
+        | None -> bad "missing parameter \"goal\""
+      in
+      let* _, _, goal_r = resolve cfg session jg in
+      let* named_rs =
+        match J.member "components" params with
+        | None -> (
+          match Session.components session with
+          | [] -> bad "no components registered and none given"
+          | cs ->
+            Ok (List.map (fun c -> (c.Session.name, c.Session.regex)) cs))
+        | Some (J.List ds) ->
+          if ds = [] then bad "components must be a non-empty list"
+          else
+            List.fold_left
+              (fun acc (i, d) ->
+                let* acc = acc in
+                let* kind, label, r = resolve cfg session d in
+                let label =
+                  match kind with
+                  | `Ref -> label
+                  | `Inline -> Printf.sprintf "V%d:%s" i label
+                in
+                Ok ((label, r) :: acc))
+              (Ok [])
+              (List.mapi (fun i d -> (i, d)) ds)
+            |> Result.map List.rev
+        | Some _ -> bad "components must be a list of services"
+      in
+      let* mode =
+        match J.member "mode" params with
+        | None | Some (J.String "or") -> Ok `Or
+        | Some (J.String "mdtb") -> Ok `Mdtb
+        | Some _ -> bad "mode must be \"or\" or \"mdtb\""
+      in
+      let alphabet_size = alphabet_size_of (goal_r :: List.map snd named_rs) in
+      let goal_nfa = Nfa.of_regex ~alphabet_size goal_r in
+      let components =
+        List.map
+          (fun (n, r) -> (n, Nfa.of_regex ~alphabet_size r))
+          named_rs
+      in
+      (match mode with
+      | `Or -> (
+        match J.member "budget" params with
+        | Some _ ->
+          bad "mode \"or\" is decisive and takes no budget (use mode \"mdtb\")"
+        | None -> (
+          match Compose.compose_nfa_or ~goal:goal_nfa ~components with
+          | Some { Compose.exact; mediator; component_names } ->
+            let plans =
+              List.filter (Dfa.accepts mediator)
+                (Automata.Word_gen.words_up_to
+                   ~alphabet_size:(List.length components) 3)
+            in
+            let plans = List.filteri (fun i _ -> i < 8) plans in
+            Ok
+              (`Ok
+                 (J.Obj
+                    [
+                      ("found", J.Bool true);
+                      ("exact", J.Bool exact);
+                      ("mediator_states", J.Int (Dfa.num_states mediator));
+                      ( "plans",
+                        J.List
+                          (List.map
+                             (fun plan ->
+                               J.List
+                                 (List.map
+                                    (fun j ->
+                                      J.String (List.nth component_names j))
+                                    plan))
+                             plans) );
+                    ]))
+          | None -> Ok (`Ok (J.Obj [ ("found", J.Bool false) ]))))
+      | `Mdtb -> (
+        let* budget = budget_param cfg params in
+        match
+          Compose.compose_mdtb ~stats:sink ~budget ~goal:goal_nfa ~components ()
+        with
+        | Compose.Found plan ->
+          Ok
+            (`Ok
+               (J.Obj
+                  [
+                    ("found", J.Bool true);
+                    ("plan", J.String (Fmt.str "%a" Compose.pp_plan plan));
+                  ]))
+        | Compose.No_mediator_within_bound e ->
+          if e.Engine.limit = `Candidates then
+            (* the whole plan space within the chain bound was enumerated:
+               a decisive "no mediator within bound", not a trip *)
+            Ok
+              (`Ok
+                 (J.Obj
+                    [
+                      ("found", J.Bool false);
+                      ("chain_bound", J.Int e.Engine.depth_reached);
+                      ("plans_checked", J.Int e.Engine.nodes_expanded);
+                    ]))
+          else Error (`Exhausted e)))
+    | "stats" ->
+      let* () = check_keys params [] in
+      Ok
+        (`Ok
+           (J.Obj
+              [
+                ("requests_handled", J.Int (Session.requests_handled session));
+                ( "components",
+                  J.Int (List.length (Session.components session)) );
+                ( "counters",
+                  Engine.Stats.snapshot_json (Session.stats session) );
+              ]))
+    | "close" ->
+      let* () = check_keys params [] in
+      Ok (`Ok_close (J.Obj [ ("closing", J.Bool true) ]))
+    | m ->
+      Error (`Error (P.err_unknown_method, Printf.sprintf "unknown method %S" m))
+  in
+  match result with Ok r | Error r -> r
+
+(* ------------------------------------------------------------------ *)
+(* Per-request envelope: stats sink, provenance, meta                  *)
+(* ------------------------------------------------------------------ *)
+
+let handle cfg session (req : Protocol.request) : J.t * [ `Keep | `Close ] =
+  let trace_id = Session.next_trace_id session in
+  let sink = Engine.Stats.create () in
+  let before = Engine.Stats.snapshot sink in
+  let t0 = Obs.Clock.now_ns () in
+  let reply =
+    Engine.run ~stats:sink
+      ~name:("swsd." ^ req.P.meth)
+      ~outcome:(function
+        | `Ok _ | `Ok_close _ -> Obs.Trace.Decided true
+        | `Error _ -> Obs.Trace.Decided false
+        | `Exhausted (e : Engine.exhausted) -> Obs.Trace.Tripped e.Engine.limit)
+      (fun () ->
+        try dispatch cfg session ~sink req
+        with e -> `Error (P.err_internal, Printexc.to_string e))
+  in
+  let meta =
+    if req.P.want_meta then
+      Some
+        (J.Obj
+           [
+             ( "duration_ms",
+               J.Float (Obs.Clock.ns_to_ms (Obs.Clock.elapsed_ns t0)) );
+             ( "counters",
+               Engine.Stats.counters_to_json (Engine.Stats.delta ~before sink)
+             );
+           ])
+    else None
+  in
+  Session.absorb session sink;
+  Session.bump_handled session;
+  let id = req.P.id in
+  match reply with
+  | `Ok r -> (P.ok_response ?meta ~id ~trace_id r, `Keep)
+  | `Ok_close r -> (P.ok_response ?meta ~id ~trace_id r, `Close)
+  | `Error (code, message) ->
+    (P.error_response ?meta ~id ~trace_id ~code ~message (), `Keep)
+  | `Exhausted e -> (P.exhausted_response ?meta ~id ~trace_id e, `Keep)
+
+(* ------------------------------------------------------------------ *)
+(* Connection loop                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let serve_conn t fd =
+  let cfg = t.config in
+  let session = Session.create ~sid:(Atomic.fetch_and_add t.next_sid 1) in
+  let respond json = Protocol.write_frame fd (J.to_string json) in
+  let handle_payload payload =
+    match J.of_string ~max_depth:cfg.max_json_depth payload with
+    | Error msg ->
+      respond
+        (P.error_response ~id:J.Null ~trace_id:(Session.next_trace_id session)
+           ~code:P.err_parse ~message:msg ());
+      `Keep
+    | Ok json -> (
+      match Protocol.request_of_json json with
+      | Error msg ->
+        respond
+          (P.error_response ~id:J.Null
+             ~trace_id:(Session.next_trace_id session) ~code:P.err_bad_request
+             ~message:msg ());
+        `Keep
+      | Ok req ->
+        (* admission control: a request beyond the in-flight cap is
+           answered [busy] immediately rather than queued without bound *)
+        if Atomic.fetch_and_add t.inflight 1 >= cfg.max_inflight then begin
+          Atomic.decr t.inflight;
+          respond
+            (P.error_response ~id:req.P.id
+               ~trace_id:(Session.next_trace_id session) ~code:P.err_busy
+               ~message:
+                 (Printf.sprintf "%d requests already in flight"
+                    cfg.max_inflight)
+               ());
+          `Keep
+        end
+        else begin
+          let response, keep =
+            Fun.protect
+              ~finally:(fun () -> Atomic.decr t.inflight)
+              (fun () ->
+                (* hop to a pool domain: connection systhreads share their
+                   spawning domain's runtime lock, the pool runs requests
+                   in real parallel *)
+                Par.Pool.await
+                  (Par.Pool.async (fun () -> handle cfg session req)))
+          in
+          respond response;
+          keep
+        end)
+  in
+  let rec loop () =
+    match Protocol.read_frame ~max_bytes:cfg.max_frame_bytes fd with
+    | Error (`Too_large n) ->
+      respond
+        (P.error_response ~id:J.Null ~trace_id:(Session.next_trace_id session)
+           ~code:P.err_too_large
+           ~message:
+             (Printf.sprintf "frame of %d bytes exceeds the %d-byte cap" n
+                cfg.max_frame_bytes)
+           ());
+      loop ()
+    | Ok payload -> ( match handle_payload payload with `Keep -> loop () | `Close -> ())
+  in
+  (try loop () with
+  | Protocol.Closed -> ()
+  | Unix.Unix_error _ -> ()
+  | Sys_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.conns_mu;
+  t.conns <- List.filter (fun (fd', _) -> fd' != fd) t.conns;
+  Mutex.unlock t.conns_mu
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let listen_on addr =
+  match addr with
+  | Protocol.Unix_sock path ->
+    (try if Sys.file_exists path then Unix.unlink path
+     with Sys_error _ | Unix.Unix_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    (fd, addr)
+  | Protocol.Tcp (host, port) ->
+    let inet =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_loopback
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (inet, port));
+    Unix.listen fd 64;
+    let bound_port =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    (fd, Protocol.Tcp (host, bound_port))
+
+let accept_loop t =
+  let rec go () =
+    if Atomic.get t.stopping then ()
+    else
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+        if Atomic.get t.stopping then (
+          (try Unix.close fd with Unix.Unix_error _ -> ()))
+        else begin
+          let th = Thread.create (fun () -> serve_conn t fd) () in
+          Mutex.lock t.conns_mu;
+          t.conns <- (fd, th) :: t.conns;
+          Mutex.unlock t.conns_mu;
+          go ()
+        end
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> go ()
+      | exception _ ->
+        (* [stop] shut the listener down — or it is beyond saving; either
+           way the accept loop is done *)
+        ()
+  in
+  go ()
+
+let start config =
+  (* a client hanging up mid-response must cost an EPIPE, not the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  Option.iter (fun j -> Par.Pool.set_jobs (Some j)) config.jobs;
+  let listen_fd, bound = listen_on config.addr in
+  let t =
+    {
+      config;
+      listen_fd;
+      bound;
+      stopping = Atomic.make false;
+      inflight = Atomic.make 0;
+      next_sid = Atomic.make 1;
+      accept_thread = None;
+      conns_mu = Mutex.create ();
+      conns = [];
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let wait t = Option.iter Thread.join t.accept_thread
+
+(* Closing an fd does not interrupt a thread blocked in [Unix.accept] on
+   Linux, so [stop] first shuts the listener down (which wakes the accept
+   with EINVAL on Linux) and then connects to itself once as a portable
+   fallback wake-up; the accept loop re-checks [stopping] on every
+   iteration. *)
+let wake_accept bound =
+  try
+    let fd =
+      match bound with
+      | Protocol.Unix_sock path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+      | Protocol.Tcp (_, port) ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        fd
+    in
+    Unix.close fd
+  with Unix.Unix_error _ -> ()
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    wake_accept t.bound;
+    Option.iter Thread.join t.accept_thread;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Mutex.lock t.conns_mu;
+    let conns = t.conns in
+    Mutex.unlock t.conns_mu;
+    List.iter
+      (fun (fd, _) ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns;
+    List.iter (fun (_, th) -> Thread.join th) conns;
+    match t.bound with
+    | Protocol.Unix_sock path -> (
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    | Protocol.Tcp _ -> ()
+  end

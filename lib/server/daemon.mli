@@ -1,0 +1,66 @@
+(** swsd: the long-running composition server.
+
+    One process holds the interned representations, caches and domain
+    pool warm, and serves composition/decision requests over the
+    length-prefixed JSON protocol of {!Protocol}.  Each accepted
+    connection is one {!Session}: a dedicated systhread reads frames in
+    order, hops the compute onto the domain pool ([Par.Pool.async]) and
+    writes responses back in request order.  Concurrency therefore lives
+    {e across} sessions; within a session the request/response order is
+    the paper's run/session discipline.
+
+    Hardening contract, in order:
+
+    {ol
+    {- {b A malformed request never kills a connection}: oversized frames
+       are drained and answered with [too_large], broken JSON with
+       [parse_error], a broken envelope with [bad_request] — and the next
+       frame is processed as if nothing happened.}
+    {- {b A request never hangs}: budgeted procedures run under the
+       request budget (clamped by [max_budget], defaulted from
+       [default_budget]) and report trips as structured [exhausted]
+       responses; decisive procedures are admission-bounded by
+       [max_spec_len]/[max_components].}
+    {- {b Admission control}: at most [max_inflight] requests are
+       dispatched to the pool at once — the rest get an immediate [busy]
+       error instead of queueing without bound.}
+    {- {b Determinism}: excluding the opt-in [meta] field and the [stats]
+       method — both report measurement data (wall-clock durations,
+       per-domain work counters) — responses are bit-identical at every
+       [--jobs] count.}} *)
+
+type config = {
+  addr : Protocol.addr;
+  jobs : int option;  (** [Some n] forces the pool size, [None] leaves it *)
+  max_inflight : int;
+  max_frame_bytes : int;
+  max_json_depth : int;
+  max_spec_len : int;  (** longest accepted regex spec, in bytes *)
+  max_components : int;  (** per-session registry cap *)
+  default_budget : Sws.Engine.Budget.t;
+      (** budget applied when a request carries none *)
+  max_budget : Sws.Engine.Budget.t;
+      (** every request budget is [combine]d (pointwise min) with this *)
+}
+
+val default_config : Protocol.addr -> config
+
+type t
+(** A running server. *)
+
+val start : config -> t
+(** Bind, listen and serve on a background accept thread.  For
+    [Tcp (host, 0)] an ephemeral port is chosen; read it back with
+    {!bound_addr}.  SIGPIPE is ignored process-wide (a client hanging up
+    mid-response must not kill the daemon). *)
+
+val bound_addr : t -> Protocol.addr
+
+val sessions_started : t -> int
+
+val wait : t -> unit
+(** Block until the server stops (the foreground mode of [bin/swsd]). *)
+
+val stop : t -> unit
+(** Close the listener and shut down every live connection, then join the
+    accept thread.  Idempotent. *)

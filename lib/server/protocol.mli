@@ -1,0 +1,105 @@
+(** The swsd wire protocol: length-prefixed JSON frames and the
+    request/response envelope.
+
+    A frame is a 4-byte big-endian unsigned payload length followed by
+    that many bytes of UTF-8 JSON.  Length-prefixing keeps the stream
+    self-synchronising under malformed payloads: however broken the JSON
+    inside a frame is, the reader always knows where the next frame
+    starts, so one bad request costs one error response, never the
+    connection.
+
+    Everything here is pure or does plain blocking I/O on a connected
+    socket; no server state is involved, which is why the test suite and
+    the bench load generator drive it directly. *)
+
+(** Where a server listens / a client connects. *)
+type addr =
+  | Unix_sock of string  (** filesystem path *)
+  | Tcp of string * int  (** host, port (port 0 binds an ephemeral port) *)
+
+val pp_addr : addr Fmt.t
+
+(** {1 Framing} *)
+
+val default_max_frame : int
+(** Default payload-size admission cap: 1 MiB. *)
+
+val max_wire_depth : int
+(** Nesting-depth cap applied when parsing wire payloads (64): far above
+    any legitimate request, far below stack exhaustion. *)
+
+exception Closed
+(** The peer closed the connection (EOF mid-frame or before one). *)
+
+val read_frame :
+  ?max_bytes:int -> Unix.file_descr -> (string, [ `Too_large of int ]) result
+(** Read one frame payload.  An oversized announced length is drained and
+    discarded — the stream stays framed and the connection usable — and
+    reported as [`Too_large declared_len].  Raises {!Closed} on EOF. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one frame (length prefix + payload). *)
+
+(** {1 Requests} *)
+
+type request = {
+  id : Obs.Json.t;  (** echoed verbatim in the response; [Null] if absent *)
+  meth : string;
+  params : Obs.Json.t;  (** an object; [Obj []] if absent *)
+  want_meta : bool;
+      (** [true] adds a [meta] field (duration, counters) to the response.
+          Off by default: [meta] carries wall-clock numbers and is the one
+          part of a response excluded from the bit-identical-across-jobs
+          guarantee. *)
+}
+
+val request_of_json : Obs.Json.t -> (request, string) result
+(** Validates the envelope: [method] a non-empty string, [params] an
+    object when present, [meta] a bool when present, no unknown keys. *)
+
+val request_to_json : request -> Obs.Json.t
+
+(** {1 Responses}
+
+    Every response carries the request [id], a [trace_id], and a
+    [status] of ["ok"], ["error"] or ["exhausted"].  [exhausted] is not
+    an error: it is the structured form of a budget trip
+    ([Sws.Engine.exhausted_to_json]), the contract that a deadline or node
+    budget produces an answer, never a hang. *)
+
+val ok_response :
+  ?meta:Obs.Json.t -> id:Obs.Json.t -> trace_id:string -> Obs.Json.t -> Obs.Json.t
+
+val error_response :
+  ?meta:Obs.Json.t ->
+  id:Obs.Json.t ->
+  trace_id:string ->
+  code:string ->
+  message:string ->
+  unit ->
+  Obs.Json.t
+
+val exhausted_response :
+  ?meta:Obs.Json.t ->
+  id:Obs.Json.t ->
+  trace_id:string ->
+  Sws.Engine.exhausted ->
+  Obs.Json.t
+
+(** {2 Error codes} *)
+
+val err_parse : string  (** payload was not valid JSON *)
+
+val err_bad_request : string  (** envelope or params malformed *)
+
+val err_too_large : string  (** frame exceeded the admission cap *)
+
+val err_unknown_method : string
+
+val err_unknown_component : string  (** request names an unregistered component *)
+
+val err_busy : string  (** admission control: too many requests in flight *)
+
+val err_limit : string  (** a per-session resource cap was hit *)
+
+val err_internal : string

@@ -1,0 +1,69 @@
+(* See session.mli. *)
+
+module Regex = Automata.Regex
+module Nfa = Automata.Nfa
+
+type component = { name : string; spec : string; regex : Regex.t }
+
+type t = {
+  sid : int;
+  mutable components : component list;  (* registration order *)
+  mutable stats : Sws.Engine.Stats.t;
+  mutable handled : int;
+  mutable next_seq : int;
+}
+
+let create ~sid =
+  {
+    sid;
+    components = [];
+    stats = Sws.Engine.Stats.create ();
+    handled = 0;
+    next_seq = 0;
+  }
+
+let sid t = t.sid
+
+let next_trace_id t =
+  t.next_seq <- t.next_seq + 1;
+  Printf.sprintf "s%d-r%d" t.sid t.next_seq
+
+let stats t = t.stats
+let absorb t sink = t.stats <- Sws.Engine.Stats.merge t.stats sink
+let requests_handled t = t.handled
+let bump_handled t = t.handled <- t.handled + 1
+
+let register t ~max_components ~name ~spec =
+  if name = "" then Error (`Bad "component name must be non-empty")
+  else
+    match Regex.parse spec with
+    | exception Regex.Parse_error m ->
+      Error (`Bad (Printf.sprintf "bad regex: %s" m))
+    | regex ->
+      let c = { name; spec; regex } in
+      let exists = List.exists (fun c' -> c'.name = name) t.components in
+      if exists then begin
+        (* replace in place: registration order is part of the
+           deterministic-response contract *)
+        t.components <-
+          List.map (fun c' -> if c'.name = name then c else c') t.components;
+        Ok c
+      end
+      else if List.length t.components >= max_components then Error `Full
+      else begin
+        t.components <- t.components @ [ c ];
+        Ok c
+      end
+
+let unregister t name =
+  let before = List.length t.components in
+  t.components <- List.filter (fun c -> c.name <> name) t.components;
+  List.length t.components < before
+
+let find t name = List.find_opt (fun c -> c.name = name) t.components
+let components t = t.components
+
+let alphabet_size_of regexes =
+  List.fold_left (fun m r -> max m (Regex.max_symbol r + 1)) 1 regexes
+
+let nfa_of c ~alphabet_size = Nfa.of_regex ~alphabet_size c.regex

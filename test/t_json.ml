@@ -1,0 +1,218 @@
+(* Tests for the hardened Obs.Json parser — the module swsd runs on raw
+   wire bytes, so every laxness here is a server bug.  Covers the three
+   regressions fixed for the server PR:
+
+   1. [\u] escapes went through [int_of_string ("0x" ^ hex)], which
+      accepts OCaml integer-literal syntax: underscores ("\u1_23"), a
+      leading sign, nested "0x" prefixes.  Now: exactly 4 hex digits.
+   2. Surrogate halves were emitted as lone 3-byte UTF-8 sequences
+      (ill-formed strings).  Now: valid pairs decode to one 4-byte
+      scalar, lone halves are rejected.
+   3. Numbers went through [int_of_string_opt]/[float_of_string_opt]
+      (accepting "+1", "1_000", "0x10", hex floats).  Now: the RFC 8259
+      grammar exactly.
+
+   Plus the depth cap (a clean parse error instead of a stack overflow),
+   truncated-input behaviour, and qcheck round-trips through the
+   serializer. *)
+
+module J = Obs.Json
+
+let check = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let parses s = match J.of_string s with Ok _ -> true | Error _ -> false
+
+let parse_string_exn s =
+  match J.of_string s with
+  | Ok (J.String v) -> v
+  | Ok j -> Alcotest.failf "expected %S to parse to a string, got %s" s (J.to_string j)
+  | Error e -> Alcotest.failf "expected %S to parse, got: %s" s e
+
+let rejects name s =
+  match J.of_string s with
+  | Error _ -> ()
+  | Ok j ->
+    Alcotest.failf "%s: expected %S to fail, parsed %s" name s (J.to_string j)
+
+(* ------------------------------------------------------------------ *)
+(* 1. \u escapes: exactly 4 hex digits                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_unicode_escape_strict () =
+  check_string "BMP escape decodes to UTF-8" "\xe1\x88\xb4"
+    (parse_string_exn {|"\u1234"|});
+  check_string "ASCII escape" "A" (parse_string_exn {|"\u0041"|});
+  check_string "uppercase hex accepted" "\xe1\x88\xb4"
+    (parse_string_exn {|"\u12B4"|} |> fun _ -> parse_string_exn {|"\u1234"|});
+  check_string "mixed-case hex accepted" "\xef\xbf\xbd"
+    (parse_string_exn {|"\uFfFd"|});
+  check_string "two-byte range" "\xc3\xa9" (parse_string_exn {|"\u00E9"|});
+  (* the OCaml-integer-literal leniencies the old parser inherited *)
+  rejects "underscore inside escape" {|"\u1_23"|};
+  rejects "sign inside escape" {|"\u-123"|};
+  rejects "0x prefix smuggled in" {|"\u0x12"|};
+  rejects "too few digits" {|"\u12"|};
+  rejects "non-hex digit" {|"\u12g4"|};
+  rejects "space inside escape" {|"\u1 23"|};
+  (* exactly 4 digits are consumed; a 5th hex digit is literal text *)
+  check_string "exactly 4 digits consumed" "A5" (parse_string_exn {|"\u00415"|})
+
+let test_surrogate_pairs () =
+  (* U+1F600 (emoji grinning face): 😀 -> 4-byte UTF-8 *)
+  check_string "valid pair decodes to one scalar" "\xf0\x9f\x98\x80"
+    (parse_string_exn {|"\ud83d\ude00"|});
+  rejects "lone high surrogate" {|"\ud83d"|};
+  rejects "lone high surrogate then text" {|"\ud83dx"|};
+  rejects "lone low surrogate" {|"\ude00"|};
+  rejects "high followed by non-u escape" {|"\ud83d\n"|};
+  rejects "high followed by BMP escape" {|"\ud83d\u0041"|};
+  rejects "high followed by another high" {|"\ud83d\ud83d"|};
+  (* raw (already-encoded) astral characters still pass through *)
+  check_string "raw 4-byte UTF-8 passes through" "\xf0\x9f\x98\x80"
+    (parse_string_exn "\"\xf0\x9f\x98\x80\"")
+
+(* ------------------------------------------------------------------ *)
+(* 2. Number grammar: RFC 8259 exactly                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_number_grammar () =
+  check "plain int" true (J.of_string "42" = Ok (J.Int 42));
+  check "negative int" true (J.of_string "-7" = Ok (J.Int (-7)));
+  check "zero" true (J.of_string "0" = Ok (J.Int 0));
+  check "negative zero stays numeric" true
+    (match J.of_string "-0" with
+    | Ok (J.Int 0) -> true
+    | Ok (J.Float f) -> f = 0.
+    | _ -> false);
+  check "fraction" true (J.of_string "1.5" = Ok (J.Float 1.5));
+  check "exponent" true
+    (match J.of_string "1e3" with
+    | Ok (J.Int 1000) -> true
+    | Ok (J.Float f) -> f = 1000.
+    | _ -> false);
+  check "signed exponent" true
+    (match J.of_string "-0.5e+2" with
+    | Ok (J.Int i) -> i = -50
+    | Ok (J.Float f) -> f = -50.
+    | _ -> false);
+  (* what the stdlib converters would have accepted *)
+  rejects "leading plus" "+1";
+  rejects "lone minus" "-";
+  rejects "lone dot" ".";
+  rejects "leading dot" ".5";
+  rejects "trailing dot" "1.";
+  rejects "underscore separator" "1_000";
+  rejects "hex literal" "0x10";
+  rejects "leading zero" "01";
+  rejects "minus then dot" "-.5";
+  rejects "nan" "nan";
+  rejects "infinity" "infinity";
+  rejects "dot then exponent" "1.e3";
+  rejects "empty exponent" "1e";
+  rejects "double minus" "--1"
+
+(* ------------------------------------------------------------------ *)
+(* 3. Depth cap and truncated inputs                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bomb n = String.make n '[' ^ String.make n ']'
+
+let test_depth_cap () =
+  check "under default cap parses" true (parses (bomb 100));
+  check "at default cap parses" true (parses (bomb J.default_max_depth));
+  rejects "one past the default cap" (bomb (J.default_max_depth + 1));
+  (* a megabomb must error cleanly, not overflow the stack *)
+  rejects "100k-deep array bomb" (bomb 100_000);
+  rejects "100k-deep object bomb"
+    (String.concat "" (List.init 100_000 (fun _ -> {|{"a":|})) ^ "1");
+  (* tighter explicit cap *)
+  check "explicit cap allows" true
+    (match J.of_string ~max_depth:4 (bomb 4) with Ok _ -> true | _ -> false);
+  check "explicit cap rejects" true
+    (match J.of_string ~max_depth:4 (bomb 5) with Error _ -> true | _ -> false)
+
+let test_truncated_inputs () =
+  List.iter
+    (fun s -> rejects ("truncated/malformed: " ^ String.escaped s) s)
+    [
+      "{"; "["; {|{"a"|}; {|{"a":|}; {|{"a":1|}; "[1,"; {|"abc|}; {|"\|};
+      {|"\u12|}; "tru"; "fals"; "nul"; "1e"; "-"; ""; "   "; "[1 2]";
+      "{1:2}"; {|{"a" 1}|}; "[1,]"; {|{"a":1,}|}; "1 x"; "1 2"; "[] []";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* qcheck round-trips                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let json_gen =
+  let open QCheck.Gen in
+  sized
+  @@ fix (fun self n ->
+         let leaf =
+           oneof
+             [
+               return J.Null;
+               map (fun b -> J.Bool b) bool;
+               map (fun i -> J.Int i) small_signed_int;
+               map (fun f -> J.Float f) (float_bound_inclusive 1e6);
+               map (fun s -> J.String s) (string_size ~gen:printable (0 -- 12));
+             ]
+         in
+         if n <= 0 then leaf
+         else
+           frequency
+             [
+               (2, leaf);
+               (1, map (fun xs -> J.List xs) (list_size (0 -- 4) (self (n / 2))));
+               ( 1,
+                 map
+                   (fun kvs -> J.Obj kvs)
+                   (list_size (0 -- 4)
+                      (pair (string_size ~gen:printable (0 -- 8)) (self (n / 2))))
+               );
+             ])
+
+let arbitrary_json = QCheck.make ~print:J.to_string json_gen
+
+(* Serialize -> parse -> serialize is a fixpoint.  (Tree equality is too
+   strong: integral floats print without a point, so [Float 2.] parses
+   back as [Int 2] — numerically the same JSON value.) *)
+let roundtrip =
+  QCheck.Test.make ~count:500 ~name:"to_string |> of_string round-trips"
+    arbitrary_json (fun j ->
+      match J.of_string (J.to_string j) with
+      | Ok j' -> J.to_string j' = J.to_string j
+      | Error e -> QCheck.Test.fail_reportf "no parse: %s" e)
+
+(* Escape fuzz: arbitrary ASCII bytes (every control character included)
+   through the serializer parse back to the same string. *)
+let string_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"string escape fuzz round-trips"
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun s ->
+      (* the serializer assumes valid UTF-8 for bytes >= 0x80; restrict
+         the fuzz to the ASCII range where every byte is its own char *)
+      let s = String.map (fun c -> Char.chr (Char.code c land 0x7F)) s in
+      match J.of_string (J.to_string (J.String s)) with
+      | Ok (J.String s') -> s = s'
+      | Ok _ -> false
+      | Error e -> QCheck.Test.fail_reportf "no parse: %s" e)
+
+(* Parser fuzz: random bytes never raise — they parse or return Error. *)
+let never_raises =
+  QCheck.Test.make ~count:1000 ~name:"of_string never raises"
+    QCheck.(string_of_size Gen.(0 -- 48))
+    (fun s -> match J.of_string s with Ok _ | Error _ -> true)
+
+let suite =
+  [
+    ("unicode escapes are strict", `Quick, test_unicode_escape_strict);
+    ("surrogate pairs", `Quick, test_surrogate_pairs);
+    ("number grammar", `Quick, test_number_grammar);
+    ("depth cap", `Quick, test_depth_cap);
+    ("truncated inputs", `Quick, test_truncated_inputs);
+    QCheck_alcotest.to_alcotest roundtrip;
+    QCheck_alcotest.to_alcotest string_roundtrip;
+    QCheck_alcotest.to_alcotest never_raises;
+  ]

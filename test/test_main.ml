@@ -23,4 +23,6 @@ let () =
       ("reductions", T_reductions.suite);
       ("repr", T_repr.suite);
       ("par", T_par.suite);
+      ("json", T_json.suite);
+      ("server", T_server.suite);
     ]
