@@ -15,6 +15,9 @@
      dune exec bench/main.exe -- quick                 smaller sweeps
      dune exec bench/main.exe -- overhead              tracing-overhead
                                                        section only
+     dune exec bench/main.exe -- cache                 cache ablation only
+                                                       (cold/warm/invalidated,
+                                                       writes BENCH_cache.json)
      dune exec bench/main.exe -- --json FILE           also write a
                                                        machine-readable report
      dune exec bench/main.exe -- --jobs N              run on N domains
@@ -771,8 +774,14 @@ let engine_cache_ablation () =
         (Engine.Stats.unfold_cache_hits stats)
         (Engine.Stats.unfold_cache_misses stats))
     unfold_depths;
+  (* Since the process-lifetime store (§4h) sits above the per-structure
+     chain slots, the prep clears both: otherwise the decision-class memo
+     answers every call after the first and the row would measure that
+     store, not the chain.  As is, round 1 rebuilds the chain and shares
+     it across validation/equivalence; rounds 2–3 hit the decision memo. *)
   let redeterminize sws () =
     Sws_pl.clear_cache sws;
+    Engine.cache_clear_all ();
     for _ = 1 to 3 do
       ignore (Decision.pl_validation sws ~output:false);
       ignore (Decision.pl_equivalence sws sws)
@@ -793,6 +802,7 @@ let engine_cache_ablation () =
       ignore stats;
       let stats = Engine.Stats.create () in
       Sws_pl.clear_cache sws;
+      Engine.cache_clear_all ();
       for _ = 1 to 3 do
         ignore (Decision.pl_validation ~stats sws ~output:false);
         ignore (Decision.pl_equivalence ~stats sws sws)
@@ -1338,14 +1348,338 @@ module Server_bench = struct
     Fmt.pr "@.report: %s@." path
 end
 
+(* ------------------------------------------------------------------ *)
+(* Cache ablation: bench -- cache [--json BENCH_cache.json]            *)
+(* ------------------------------------------------------------------ *)
+
+(* Replays one deterministic cross-layer workload — decision procedures,
+   or-mode / bounded / CQ compositions — against the process-lifetime
+   memo store in three regimes: cold (stores just cleared), warm (the
+   identical second pass), and invalidated (stores cleared again, the
+   effect a stamp advance has on the affected class).  Hit rates come
+   from the per-class gauge deltas.  The cache-off arm re-runs the same
+   calls under [Engine.set_caching false] and compares outcome digests:
+   the "caching never changes answers" contract, measured rather than
+   assumed.  A final segment drives an in-process swsd so the reply
+   caches show up in the same report: an L1 hit on a repeated request, the
+   L1 invalidation a re-register's epoch bump forces, and a cross-session
+   L2 hit on content-equal requests from a fresh connection.  CI uploads
+   the result as BENCH_cache.json. *)
+module Cache_bench = struct
+  let digest_outcome = function
+    | Decision.Yes _ -> "Y"
+    | Decision.No -> "N"
+    | Decision.Exhausted _ -> "X"
+
+  let digest_equiv = function
+    | Decision.Equivalent -> "E"
+    | Decision.Inequivalent _ -> "I"
+    | Decision.Equiv_exhausted _ -> "X"
+
+  let gauge_rate delta =
+    let total =
+      List.fold_left
+        (fun acc (_, g) -> Cache.Store.Gauges.add acc g)
+        Cache.Store.Gauges.zero delta
+    in
+    let h = total.Cache.Store.Gauges.hits
+    and m = total.Cache.Store.Gauges.misses in
+    if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
+
+  (* One request, with [meta] so the response carries [meta.cache.source]
+     — how the server answered: "miss", "l1", "l2" or "off". *)
+  let call_source conn ~meth ~params =
+    match Server.Client.call ~want_meta:true conn ~meth ~params with
+    | Error e -> failwith ("cache bench: transport error: " ^ e)
+    | Ok r -> (
+      match
+        Option.bind (Obs.Json.member "meta" r) (fun m ->
+            Option.bind (Obs.Json.member "cache" m) (Obs.Json.member "source"))
+      with
+      | Some (Obs.Json.String s) -> (s, r)
+      | _ -> ("absent", r))
+
+  let server_segment () =
+    let sock = Printf.sprintf "/tmp/swsd-cachebench-%d.sock" (Unix.getpid ()) in
+    let cfg = Server.Daemon.default_config (Server.Protocol.Unix_sock sock) in
+    let daemon =
+      Server.Daemon.start { cfg with Server.Daemon.jobs = cli_jobs }
+    in
+    Fun.protect
+      ~finally:(fun () -> Server.Daemon.stop daemon)
+      (fun () ->
+        let before = Engine.cache_snapshot () in
+        let conn = Server.Client.connect (Server.Daemon.bound_addr daemon) in
+        let compose_params =
+          [ ("goal", Obs.Json.String "(ab)*");
+            ( "components",
+              Obs.Json.List
+                [ Obs.Json.Obj [ ("ref", Obs.Json.String "v") ];
+                  Obs.Json.String "ba";
+                ] );
+          ]
+        in
+        let registered =
+          match
+            Server.Client.call conn ~meth:"register"
+              ~params:
+                [ ("name", Obs.Json.String "v"); ("spec", Obs.Json.String "ab") ]
+          with
+          | Ok r -> (
+            match Obs.Json.member "status" r with
+            | Some (Obs.Json.String "ok") -> true
+            | _ -> false)
+          | Error _ -> false
+        in
+        if not registered then failwith "cache bench: register failed";
+        let s1, _ = call_source conn ~meth:"compose" ~params:compose_params in
+        let s2, r2 = call_source conn ~meth:"compose" ~params:compose_params in
+        (* the epoch bump: re-registering [v] under a different spec must
+           invalidate the L1 reply cached above, and the recomputed answer
+           must reflect the new registry *)
+        ignore
+          (Server.Client.call conn ~meth:"register"
+             ~params:
+               [ ("name", Obs.Json.String "v");
+                 ("spec", Obs.Json.String "aba");
+               ]);
+        let s3, r3 = call_source conn ~meth:"compose" ~params:compose_params in
+        Server.Client.close conn;
+        (* content-equal inline request from a brand-new session: its L1
+           key (keyed by sid) misses, the content-resolved L2 key hits *)
+        let check_params = [ ("service", Obs.Json.String "(ab)+c") ] in
+        let conn2 = Server.Client.connect (Server.Daemon.bound_addr daemon) in
+        let _ = call_source conn2 ~meth:"check" ~params:check_params in
+        Server.Client.close conn2;
+        let conn3 = Server.Client.connect (Server.Daemon.bound_addr daemon) in
+        let s5, _ = call_source conn3 ~meth:"check" ~params:check_params in
+        Server.Client.close conn3;
+        let delta =
+          Engine.cache_snapshot_delta ~before (Engine.cache_snapshot ())
+        in
+        let strip_envelope r =
+          (* drop the per-request fields; what must (or must not) be equal
+             is the payload *)
+          match r with
+          | Obs.Json.Obj kvs ->
+            Obs.Json.Obj
+              (List.filter
+                 (fun (k, _) -> k <> "trace_id" && k <> "meta" && k <> "id")
+                 kvs)
+          | j -> j
+        in
+        let l1_warm_hit = String.equal s2 "l1" in
+        let invalidated_recomputes =
+          (not (String.equal s3 "l1"))
+          && not
+               (String.equal
+                  (Obs.Json.to_string (strip_envelope r2))
+                  (Obs.Json.to_string (strip_envelope r3)))
+        in
+        let l2_cross_session_hit = String.equal s5 "l2" in
+        row "reply cache: repeat %s, after re-register %s, cross-session %s"
+          s2 s3 s5;
+        row
+          "L1 warm hit %b, epoch bump recomputes %b, L2 cross-session hit %b"
+          l1_warm_hit invalidated_recomputes l2_cross_session_hit;
+        ( (s1, s2, s3, s5),
+          l1_warm_hit,
+          invalidated_recomputes,
+          l2_cross_session_hit,
+          delta ))
+
+  let run () =
+    header
+      "Cache ablation: cold vs warm vs invalidated (process-lifetime memo store)";
+    (* instances built once, so every pass issues the identical calls *)
+    let sat_sws = Reductions.sws_of_sat (random_cnf 14 42) in
+    let pl_small = Reductions.sws_of_afa (Afa.of_nfa (kth_from_end_nfa 8)) in
+    let pl_big =
+      Reductions.sws_of_afa (Afa.of_nfa (kth_from_end_nfa (if quick then 9 else 11)))
+    in
+    let tree_small = tree_service 2 and tree_big = tree_service 4 in
+    let or_goal = nfa2 "abababab" in
+    let or_comps = [ ("c_ab", nfa2 "ab"); ("c_a", nfa2 "a"); ("c_b", nfa2 "b") ] in
+    let mdtb_goal = nfa2 "abba" in
+    let mdtb_comps = [ ("c_ab", nfa2 "ab"); ("c_ba", nfa2 "ba") ] in
+    let v = R.Term.var in
+    let cqm head body = R.Cq.make ~head ~body () in
+    let cq_schema = R.Schema.of_list [ ("e", 2) ] in
+    let cq_view =
+      ( "v2",
+        cqm [ v "a"; v "c" ]
+          [ R.Atom.make "e" [ v "a"; v "b" ]; R.Atom.make "e" [ v "b"; v "c" ] ]
+      )
+    in
+    let cq_goal =
+      R.Ucq.of_cq
+        (cqm
+           [ v "x0"; v "x4" ]
+           (List.init 4 (fun i ->
+                R.Atom.make "e"
+                  [ v (Printf.sprintf "x%d" i);
+                    v (Printf.sprintf "x%d" (i + 1));
+                  ])))
+    in
+    let workload () =
+      let b = Buffer.create 64 in
+      let add s = Buffer.add_string b s in
+      add (digest_outcome (Decision.pl_nr_non_emptiness sat_sws));
+      add (digest_outcome (Decision.pl_non_emptiness pl_small));
+      add (digest_outcome (Decision.pl_non_emptiness pl_big));
+      add (digest_outcome (Decision.pl_validation pl_small ~output:false));
+      add (digest_equiv (Decision.pl_equivalence pl_small pl_small));
+      add (digest_outcome (Decision.cq_non_emptiness tree_big));
+      add (digest_equiv (Decision.cq_equivalence tree_small tree_small));
+      add
+        (match Compose.compose_nfa_or ~goal:or_goal ~components:or_comps with
+        | Some c -> if c.Compose.exact then "Ce" else "Cm"
+        | None -> "C0");
+      add
+        (match
+           Compose.compose_mdtb ~goal:mdtb_goal ~components:mdtb_comps
+             ~budget:(Engine.Budget.of_depth 2) ()
+         with
+        | Compose.Found _ -> "F"
+        | Compose.No_mediator_within_bound _ -> "W");
+      add
+        (match
+           Compose.compose_cq ~max_atoms:3 ~db_schema:cq_schema
+             ~components:[ cq_view ] cq_goal
+         with
+        | Compose.Cq_composed _ -> "Q"
+        | Compose.Cq_only_contained _ -> "q"
+        | Compose.Cq_no_mediator -> "0");
+      Buffer.contents b
+    in
+    let repeats = if quick then 3 else 5 in
+    (* each run notes its own gauge delta; per-pass rates are read off the
+       last run (the deltas repeat — the workload is deterministic) *)
+    let timed_runs prep =
+      List.init repeats (fun _ ->
+          prep ();
+          let before = Engine.cache_snapshot () in
+          let digest, ms = time_ms workload in
+          let delta =
+            Engine.cache_snapshot_delta ~before (Engine.cache_snapshot ())
+          in
+          (digest, ms, delta))
+    in
+    let last3 runs =
+      match List.rev runs with
+      | (digest, _, delta) :: _ -> (digest, delta)
+      | [] -> assert false
+    in
+    let pass_ms runs = median (List.map (fun (_, ms, _) -> ms) runs) in
+    let cold_runs = timed_runs Engine.cache_clear_all in
+    (* the last cold run left every store primed: warm passes replay on hits *)
+    let warm_runs = timed_runs (fun () -> ()) in
+    let inval_runs = timed_runs Engine.cache_clear_all in
+    let cold_ms = pass_ms cold_runs
+    and warm_ms = pass_ms warm_runs
+    and inval_ms = pass_ms inval_runs in
+    let digest0, cold_delta = last3 cold_runs in
+    let _, warm_delta = last3 warm_runs in
+    let _, inval_delta = last3 inval_runs in
+    let cold_rate = gauge_rate cold_delta
+    and warm_rate = gauge_rate warm_delta
+    and inval_rate = gauge_rate inval_delta in
+    let speedup = if warm_ms > 0. then cold_ms /. warm_ms else 0. in
+    let digests_stable =
+      List.for_all
+        (fun (d, _, _) -> String.equal d digest0)
+        (cold_runs @ warm_runs @ inval_runs)
+    in
+    (* the contract arm: identical calls, caching globally off *)
+    Engine.set_caching false;
+    let off_digest, off_ms = time_ms workload in
+    Engine.set_caching true;
+    let cache_off_equal = String.equal off_digest digest0 in
+    row "workload: %d procedures per pass, %d repeats per regime" 10 repeats;
+    row "cold        %10.3f ms   hit rate %5.3f" cold_ms cold_rate;
+    row "warm        %10.3f ms   hit rate %5.3f   speedup %5.1fx" warm_ms
+      warm_rate speedup;
+    row "invalidated %10.3f ms   hit rate %5.3f" inval_ms inval_rate;
+    row "cache off   %10.3f ms   outcomes equal to cache on: %b" off_ms
+      cache_off_equal;
+    row "outcome digests stable across every pass: %b" digests_stable;
+    let ( (srv_s1, srv_s2, srv_s3, srv_s5),
+          l1_warm_hit,
+          invalidated_recomputes,
+          l2_cross_session_hit,
+          server_delta ) =
+      server_segment ()
+    in
+    let report =
+      let open Obs.Json in
+      let pass ms rate delta extra =
+        Obj
+          ([ ("median_ms", Float ms);
+             ("hit_rate", Float rate);
+             ("classes", Engine.cache_gauges_json delta);
+           ]
+          @ extra)
+      in
+      Obj
+        [ ("schema_version", Int 1);
+          ("suite", String "sws-cache-bench");
+          ("mode", String (if quick then "quick" else "full"));
+          ("jobs", Int (Par.Pool.jobs ()));
+          ("repeats", Int repeats);
+          ( "passes",
+            Obj
+              [ ("cold", pass cold_ms cold_rate cold_delta []);
+                ( "warm",
+                  pass warm_ms warm_rate warm_delta
+                    [ ("speedup_vs_cold", Float speedup) ] );
+                ("invalidated", pass inval_ms inval_rate inval_delta []);
+              ] );
+          ("warm_hit_rate", Float warm_rate);
+          ("warm_speedup", Float speedup);
+          ("cache_off_median_ms", Float off_ms);
+          ("cache_off_equal", Bool cache_off_equal);
+          ("digests_stable", Bool digests_stable);
+          ( "server",
+            Obj
+              [ ( "sources",
+                  Obj
+                    [ ("first", String srv_s1);
+                      ("repeat", String srv_s2);
+                      ("after_reregister", String srv_s3);
+                      ("cross_session", String srv_s5);
+                    ] );
+                ("l1_warm_hit", Bool l1_warm_hit);
+                ("epoch_bump_recomputes", Bool invalidated_recomputes);
+                ("l2_cross_session_hit", Bool l2_cross_session_hit);
+                ("reply_classes", Engine.cache_gauges_json server_delta);
+              ] );
+        ]
+    in
+    let path = Option.value ~default:"BENCH_cache.json" json_path in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Obs.Json.to_channel oc report);
+    Fmt.pr "@.report: %s@." path
+end
+
 let server_mode =
   Array.exists (String.equal "server") Sys.argv
   || Array.exists (String.equal "--server") Sys.argv
+
+let cache_mode =
+  Array.exists (String.equal "cache") Sys.argv
+  || Array.exists (String.equal "--cache") Sys.argv
 
 let () =
   if server_mode then begin
     Fmt.pr "SWS benchmark harness — server load generator@.";
     Server_bench.run ();
+    exit 0
+  end;
+  if cache_mode then begin
+    Fmt.pr "SWS benchmark harness — cache ablation@.";
+    Cache_bench.run ();
     exit 0
   end
 

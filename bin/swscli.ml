@@ -55,8 +55,33 @@ let jobs_flag =
            or the machine's recommended domain count; 1 forces the \
            sequential path.  Results are identical at every job count.")
 
-let with_obs ~stats ~trace ~jobs f =
+let cache_cap_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-cap" ] ~docv:"N"
+        ~doc:
+          "Cap every result-cache class (unfold, automata, decision, \
+           compose, ...) at $(docv) entries.  Defaults to the per-store \
+           caps.  Caching never changes results, only repeat latency.")
+
+let no_cache_flag =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the process-lifetime result caches entirely (the \
+           ablation arm).  Answers are identical either way.")
+
+(* Bundled so every subcommand keeps its arity: [cache_cap] threads
+   through as one (cap, off) value. *)
+let cache_cap_flag =
+  Term.(const (fun cap off -> (cap, off)) $ cache_cap_flag $ no_cache_flag)
+
+let with_obs ~stats ~trace ~jobs ~cache_cap:(cache_cap, no_cache) f =
   Par.Pool.set_jobs jobs;
+  if no_cache then Engine.set_caching false;
+  Option.iter (fun n -> Engine.cache_set_caps ~max_entries:n ()) cache_cap;
   Engine.Stats.reset Engine.Stats.global;
   Obs.Trace.clear_provenances ();
   let session = Option.map (fun _ -> Obs.Trace.install ()) trace in
@@ -117,8 +142,8 @@ let regex_arg name =
     & info [ name ] ~docv:"REGEX"
         ~doc:"Regular expression over letters a..z ('0' empty, '1' epsilon).")
 
-let check stats trace jobs regex_s =
-  with_obs ~stats ~trace ~jobs @@ fun () ->
+let check stats trace jobs cache_cap regex_s =
+  with_obs ~stats ~trace ~jobs ~cache_cap @@ fun () ->
   match Regex.parse regex_s with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -146,14 +171,14 @@ let check stats trace jobs regex_s =
 let check_cmd =
   let doc = "Decision problems for a Roman-model service given as a regex." in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const check $ stats_flag $ trace_flag $ jobs_flag $ regex_arg "regex")
+    Term.(const check $ stats_flag $ trace_flag $ jobs_flag $ cache_cap_flag $ regex_arg "regex")
 
 (* ------------------------------------------------------------------ *)
 (* equivalence                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let equivalence stats trace jobs left right =
-  with_obs ~stats ~trace ~jobs @@ fun () ->
+let equivalence stats trace jobs cache_cap left right =
+  with_obs ~stats ~trace ~jobs ~cache_cap @@ fun () ->
   match Regex.parse left, Regex.parse right with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -176,15 +201,15 @@ let equivalence_cmd =
   Cmd.v
     (Cmd.info "equivalence" ~doc)
     Term.(
-      const equivalence $ stats_flag $ trace_flag $ jobs_flag $ regex_arg "left"
+      const equivalence $ stats_flag $ trace_flag $ jobs_flag $ cache_cap_flag $ regex_arg "left"
       $ regex_arg "right")
 
 (* ------------------------------------------------------------------ *)
 (* compose                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let compose stats trace jobs goal views =
-  with_obs ~stats ~trace ~jobs @@ fun () ->
+let compose stats trace jobs cache_cap goal views =
+  with_obs ~stats ~trace ~jobs ~cache_cap @@ fun () ->
   match Regex.parse goal, List.map Regex.parse views with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -229,7 +254,7 @@ let compose_cmd =
   Cmd.v
     (Cmd.info "compose" ~doc)
     Term.(
-      const compose $ stats_flag $ trace_flag $ jobs_flag $ regex_arg "goal"
+      const compose $ stats_flag $ trace_flag $ jobs_flag $ cache_cap_flag $ regex_arg "goal"
       $ Arg.(
           value & opt_all string []
           & info [ "view" ] ~docv:"REGEX" ~doc:"Available service (repeatable)."))
@@ -238,8 +263,8 @@ let compose_cmd =
 (* kprefix                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let kprefix stats trace jobs regex_s =
-  with_obs ~stats ~trace ~jobs @@ fun () ->
+let kprefix stats trace jobs cache_cap regex_s =
+  with_obs ~stats ~trace ~jobs ~cache_cap @@ fun () ->
   match Regex.parse regex_s with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -255,14 +280,14 @@ let kprefix stats trace jobs regex_s =
 let kprefix_cmd =
   let doc = "k-prefix recognizability of a regular language (Thm 5.1(4,5))." in
   Cmd.v (Cmd.info "kprefix" ~doc)
-    Term.(const kprefix $ stats_flag $ trace_flag $ jobs_flag $ regex_arg "regex")
+    Term.(const kprefix $ stats_flag $ trace_flag $ jobs_flag $ cache_cap_flag $ regex_arg "regex")
 
 (* ------------------------------------------------------------------ *)
 (* analyze: a service from a textual specification                      *)
 (* ------------------------------------------------------------------ *)
 
-let analyze stats trace jobs file messages =
-  with_obs ~stats ~trace ~jobs @@ fun () ->
+let analyze stats trace jobs cache_cap file messages =
+  with_obs ~stats ~trace ~jobs ~cache_cap @@ fun () ->
   match Sws_parser.parse_file file with
   | exception Sws_parser.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -312,7 +337,7 @@ let analyze_cmd =
   let doc = "Analyze an SWS(PL, PL) textual specification (see Sws_parser)." in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(
-      const analyze $ stats_flag $ trace_flag $ jobs_flag
+      const analyze $ stats_flag $ trace_flag $ jobs_flag $ cache_cap_flag
       $ Arg.(
           required
           & opt (some file) None
@@ -326,8 +351,8 @@ let analyze_cmd =
 (* explain: run the decision procedures and report their provenance     *)
 (* ------------------------------------------------------------------ *)
 
-let explain stats trace jobs json regex_s =
-  with_obs ~stats ~trace ~jobs @@ fun () ->
+let explain stats trace jobs cache_cap json regex_s =
+  with_obs ~stats ~trace ~jobs ~cache_cap @@ fun () ->
   match Regex.parse regex_s with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -356,7 +381,7 @@ let explain_cmd =
   in
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(
-      const explain $ stats_flag $ trace_flag $ jobs_flag
+      const explain $ stats_flag $ trace_flag $ jobs_flag $ cache_cap_flag
       $ Arg.(
           value & flag
           & info [ "json" ]

@@ -77,6 +77,26 @@ let max_frame_flag =
           "Largest accepted request frame.  Oversized frames are drained \
            and answered $(b,too_large); the connection survives.")
 
+let cache_cap_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-cap" ] ~docv:"N"
+        ~doc:
+          "Cap every result-cache class (unfold, automata, decision, \
+           compose, server replies, ...) at $(docv) entries.  Defaults \
+           to the per-store caps.  Caching never changes responses — \
+           only how fast repeated work is answered.")
+
+let no_cache_flag =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the process-lifetime result caches entirely (the \
+           ablation arm).  Responses are identical either way; \
+           $(b,meta.cache.source) reports $(b,off).")
+
 let deadline_flag =
   Arg.(
     value & opt float 5.
@@ -86,10 +106,12 @@ let deadline_flag =
            budget.  A tripped deadline produces a structured \
            $(b,exhausted) response, never a hang.")
 
-let serve socket tcp jobs max_inflight max_frame_bytes deadline =
+let serve socket tcp jobs max_inflight max_frame_bytes cache_cap no_cache
+    deadline =
   match addr_of ~socket ~tcp with
   | Error m -> `Error (true, m)
   | Ok addr ->
+    if no_cache then Sws.Engine.set_caching false;
     let cfg = Server.Daemon.default_config addr in
     let cfg =
       {
@@ -97,6 +119,7 @@ let serve socket tcp jobs max_inflight max_frame_bytes deadline =
         Server.Daemon.jobs;
         max_inflight;
         max_frame_bytes;
+        cache_cap;
         default_budget =
           Sws.Engine.Budget.combine cfg.Server.Daemon.default_budget
             (Sws.Engine.Budget.of_seconds deadline);
@@ -132,7 +155,7 @@ let serve_cmd =
     Term.(
       ret
         (const serve $ socket_flag $ tcp_flag $ jobs_flag $ max_inflight_flag
-       $ max_frame_flag $ deadline_flag))
+       $ max_frame_flag $ cache_cap_flag $ no_cache_flag $ deadline_flag))
 
 (* ------------------------------------------------------------------ *)
 (* request                                                             *)
@@ -145,7 +168,7 @@ let method_flag =
     & info [ "method" ] ~docv:"NAME"
         ~doc:
           "Request method: ping, register, unregister, list, check, \
-           equivalence, kprefix, compose, stats, close.")
+           equivalence, kprefix, compose, stats, cache, close.")
 
 let param_flags =
   Arg.(

@@ -78,6 +78,25 @@ let edges n =
   done;
   !acc
 
+(* Exact canonical representation of the automaton's content.  Built from
+   plain int lists, never by marshaling [t] itself: the closure memo (and
+   the bitsets' cached hashes) fill in lazily, so raw [t] bytes depend on
+   how much the automaton has been queried. *)
+let canonical_repr n =
+  let eps_edges =
+    List.concat
+      (List.init n.num_states (fun p ->
+           List.map (fun q -> (p, q)) (Iset.elements n.eps.(p))))
+  in
+  Marshal.to_string
+    ( n.num_states,
+      n.alphabet_size,
+      Iset.elements n.starts,
+      Iset.elements n.finals,
+      edges n,
+      eps_edges )
+    [ Marshal.No_sharing ]
+
 (* Memoized per-state epsilon closure (includes the state itself). *)
 let closure_of_state n q =
   match n.closures.(q) with

@@ -31,6 +31,13 @@ val successors : t -> int -> int -> Iset.t
 val eps_successors : t -> int -> Iset.t
 val edges : t -> (int * int * int) list
 
+(** Exact canonical representation of the automaton's content (states,
+    transitions, epsilon edges), as an opaque byte string: structurally
+    equal automata get equal strings however much their lazy closure
+    memos have been filled.  Composition cache keys are built from it
+    (DESIGN.md §4h). *)
+val canonical_repr : t -> string
+
 (** Epsilon closure of one state (memoized per automaton). *)
 val closure_of_state : t -> int -> Iset.t
 

@@ -1,0 +1,295 @@
+module Key = struct
+  type t = { fp : int; repr : string }
+
+  let of_string repr = { fp = Repr.Fingerprint.of_string repr; repr }
+
+  (* Length-prefixing makes the encoding injective on the part *list*:
+     parts may be raw marshal bytes, so no separator byte is safe. *)
+  let of_parts parts =
+    of_string
+      (String.concat ""
+         (List.map
+            (fun p -> string_of_int (String.length p) ^ ":" ^ p)
+            parts))
+
+  let make ~fp ~repr = { fp = fp land max_int; repr }
+  let equal a b = a.fp = b.fp && String.equal a.repr b.repr
+  let hash k = k.fp
+end
+
+module Gauges = struct
+  type t = {
+    hits : int;
+    misses : int;
+    evictions : int;
+    invalidations : int;
+    entries : int;
+    bytes : int;
+  }
+
+  let zero =
+    { hits = 0; misses = 0; evictions = 0; invalidations = 0; entries = 0;
+      bytes = 0 }
+
+  let add a b =
+    {
+      hits = a.hits + b.hits;
+      misses = a.misses + b.misses;
+      evictions = a.evictions + b.evictions;
+      invalidations = a.invalidations + b.invalidations;
+      entries = a.entries + b.entries;
+      bytes = a.bytes + b.bytes;
+    }
+
+  (* Counters subtract; [entries]/[bytes] are levels, keep the latest. *)
+  let delta ~before g =
+    {
+      hits = g.hits - before.hits;
+      misses = g.misses - before.misses;
+      evictions = g.evictions - before.evictions;
+      invalidations = g.invalidations - before.invalidations;
+      entries = g.entries;
+      bytes = g.bytes;
+    }
+end
+
+module type VALUE = sig
+  type t
+
+  val weight : t -> int
+end
+
+(* The registry sees stores through this closure record so stores of
+   different value types coexist in one list.  Lock order: the registry
+   mutex is only held around list reads/appends; per-store operations
+   take only that store's own mutex.  No thread ever holds both except
+   the registry iterators (snapshot/clear_all/set_caps), which acquire
+   registry-then-store — and no store operation takes the registry
+   mutex, so the order is acyclic. *)
+type registered = {
+  r_cls : string;
+  r_gauges : unit -> Gauges.t;
+  r_clear : unit -> unit;
+  r_set_caps : ?max_entries:int -> ?max_bytes:int -> unit -> unit;
+}
+
+let registry_mu = Mutex.create ()
+let registry : registered list ref = ref []
+
+let register r =
+  Mutex.lock registry_mu;
+  registry := r :: !registry;
+  Mutex.unlock registry_mu
+
+let registered () =
+  Mutex.lock registry_mu;
+  let rs = !registry in
+  Mutex.unlock registry_mu;
+  rs
+
+module Make (V : VALUE) = struct
+  type node = {
+    key : Key.t;
+    mutable value : V.t;
+    mutable weight : int;
+    mutable epoch : int;
+    mutable prev : node option;  (* toward MRU *)
+    mutable next : node option;  (* toward LRU *)
+  }
+
+  module Tbl = Hashtbl.Make (Key)
+
+  type t = {
+    mu : Mutex.t;
+    tbl : node Tbl.t;
+    mutable head : node option;  (* MRU *)
+    mutable tail : node option;  (* LRU *)
+    mutable bytes : int;
+    mutable max_entries : int;
+    mutable max_bytes : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+    mutable invalidations : int;
+  }
+
+  let locked t f =
+    Mutex.lock t.mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+  (* --- intrusive LRU list, all under [t.mu] --- *)
+
+  let detach t n =
+    (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+    (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+    n.prev <- None;
+    n.next <- None
+
+  let push_front t n =
+    n.next <- t.head;
+    n.prev <- None;
+    (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+    t.head <- Some n
+
+  let drop t n =
+    detach t n;
+    Tbl.remove t.tbl n.key;
+    t.bytes <- t.bytes - n.weight
+
+  let evict_over_caps t =
+    let rec go () =
+      if Tbl.length t.tbl > t.max_entries || t.bytes > t.max_bytes then
+        match t.tail with
+        | None -> ()
+        | Some lru ->
+          drop t lru;
+          t.evictions <- t.evictions + 1;
+          go ()
+    in
+    go ()
+
+  (* --- public API --- *)
+
+  let entry_weight k v = String.length k.Key.repr + V.weight v + 64
+
+  let find ?epoch ?(validate = fun _ -> true) t k =
+    locked t @@ fun () ->
+    match Tbl.find_opt t.tbl k with
+    | None ->
+      t.misses <- t.misses + 1;
+      None
+    | Some n -> (
+      match epoch with
+      | Some e when n.epoch <> e ->
+        (* Stale: the registry advanced since this was computed. *)
+        drop t n;
+        t.invalidations <- t.invalidations + 1;
+        t.misses <- t.misses + 1;
+        None
+      | _ ->
+        if validate n.value then (
+          detach t n;
+          push_front t n;
+          t.hits <- t.hits + 1;
+          Some n.value)
+        else (
+          (* Resident but not servable for this request (e.g. computed
+             under a smaller budget): a miss, though the entry stays —
+             it may still serve an equal-or-larger request later. *)
+          t.misses <- t.misses + 1;
+          None))
+
+  let add ?(epoch = 0) t k v =
+    locked t @@ fun () ->
+    let w = entry_weight k v in
+    (match Tbl.find_opt t.tbl k with
+    | Some n ->
+      t.bytes <- t.bytes + w - n.weight;
+      n.value <- v;
+      n.weight <- w;
+      n.epoch <- epoch;
+      detach t n;
+      push_front t n
+    | None ->
+      let n = { key = k; value = v; weight = w; epoch; prev = None; next = None }
+      in
+      Tbl.add t.tbl k n;
+      t.bytes <- t.bytes + w;
+      push_front t n);
+    evict_over_caps t
+
+  let remove t k =
+    locked t @@ fun () ->
+    match Tbl.find_opt t.tbl k with None -> () | Some n -> drop t n
+
+  let clear t =
+    locked t @@ fun () ->
+    Tbl.reset t.tbl;
+    t.head <- None;
+    t.tail <- None;
+    t.bytes <- 0
+
+  let length t = locked t @@ fun () -> Tbl.length t.tbl
+
+  let gauges t =
+    locked t @@ fun () ->
+    {
+      Gauges.hits = t.hits;
+      misses = t.misses;
+      evictions = t.evictions;
+      invalidations = t.invalidations;
+      entries = Tbl.length t.tbl;
+      bytes = t.bytes;
+    }
+
+  let set_caps ?max_entries ?max_bytes t () =
+    locked t @@ fun () ->
+    (match max_entries with Some n -> t.max_entries <- max 0 n | None -> ());
+    (match max_bytes with Some n -> t.max_bytes <- max 0 n | None -> ());
+    evict_over_caps t
+
+  let create ?(max_entries = 4096) ?(max_bytes = 32 * 1024 * 1024) ~cls () =
+    let t =
+      {
+        mu = Mutex.create ();
+        tbl = Tbl.create 256;
+        head = None;
+        tail = None;
+        bytes = 0;
+        max_entries;
+        max_bytes;
+        hits = 0;
+        misses = 0;
+        evictions = 0;
+        invalidations = 0;
+      }
+    in
+    register
+      {
+        r_cls = cls;
+        r_gauges = (fun () -> gauges t);
+        r_clear = (fun () -> clear t);
+        r_set_caps = (fun ?max_entries ?max_bytes () ->
+          set_caps ?max_entries ?max_bytes t ());
+      };
+    t
+end
+
+(* --- registry-wide views --- *)
+
+let classes () =
+  registered ()
+  |> List.map (fun r -> r.r_cls)
+  |> List.sort_uniq String.compare
+
+let snapshot () =
+  let rs = registered () in
+  classes ()
+  |> List.map (fun cls ->
+         let g =
+           List.fold_left
+             (fun acc r ->
+               if String.equal r.r_cls cls then Gauges.add acc (r.r_gauges ())
+               else acc)
+             Gauges.zero rs
+         in
+         (cls, g))
+
+let total () =
+  List.fold_left (fun acc (_, g) -> Gauges.add acc g) Gauges.zero (snapshot ())
+
+let snapshot_delta ~before now =
+  List.map
+    (fun (cls, g) ->
+      let b =
+        match List.assoc_opt cls before with
+        | Some b -> b
+        | None -> Gauges.zero
+      in
+      (cls, Gauges.delta ~before:b g))
+    now
+
+let clear_all () = List.iter (fun r -> r.r_clear ()) (registered ())
+
+let set_caps ?max_entries ?max_bytes () =
+  List.iter (fun r -> r.r_set_caps ?max_entries ?max_bytes ()) (registered ())

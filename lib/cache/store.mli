@@ -1,0 +1,123 @@
+(** Process-lifetime, domain-safe, bounded memo stores.
+
+    One [Store] instance backs one cache class (["unfold"],
+    ["automata"], ["decision"], ...).  Every instance is an LRU over
+    exact canonical keys, capped both by entry count and by approximate
+    resident bytes, and guarded by its own leaf mutex (see DESIGN.md
+    §4h for the lock hierarchy: a store's mutex is acquired last and
+    nothing is called while holding it).
+
+    Keys pair a {!Repr.Fingerprint} hash with the exact canonical
+    representation; lookups compare the representation, so a
+    fingerprint collision costs a probe, never a wrong answer.
+
+    Entries carry the registry/repository {e epoch} they were computed
+    under.  A lookup that passes [~epoch] treats an entry from any
+    other epoch as stale: the entry is dropped, the class's
+    invalidation gauge is bumped, and the lookup misses.  Epoch-less
+    classes (content-addressed caches) simply never pass [~epoch].
+
+    All instances register themselves in a global registry so the
+    server and CLI can snapshot per-class gauges, clear everything, or
+    re-cap everything ([--cache-cap]). *)
+
+module Key : sig
+  type t = private { fp : int; repr : string }
+
+  val of_string : string -> t
+  (** Key over an exact canonical representation; the fingerprint is
+      derived from it.  Callers are responsible for canonicalizing
+      [repr] (sorted bindings, resolved references) so that equal
+      inputs produce equal strings. *)
+
+  val of_parts : string list -> t
+  (** Key over a list of canonical parts, each length-prefixed so the
+      encoding is injective whatever bytes the parts contain (marshal
+      output may contain anything).  Convention: the first part tags
+      the procedure, so stores shared by several procedures never mix
+      their answers. *)
+
+  val make : fp:int -> repr:string -> t
+  (** Key with a precomputed fingerprint (e.g. mixed from interned ids
+      while the canonical [repr] was being built). *)
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module Gauges : sig
+  type t = {
+    hits : int;
+    misses : int;
+    evictions : int;
+    invalidations : int;
+    entries : int;  (** resident entries (a level, not a counter) *)
+    bytes : int;  (** approximate resident bytes (a level) *)
+  }
+
+  val zero : t
+  val add : t -> t -> t
+
+  val delta : before:t -> t -> t
+  (** Counter fields subtract; level fields ([entries], [bytes]) keep
+      the latest value. *)
+end
+
+module type VALUE = sig
+  type t
+
+  val weight : t -> int
+  (** Approximate resident bytes of one value (keys add their own
+      [repr] length on top). *)
+end
+
+module Make (V : VALUE) : sig
+  type t
+
+  val create : ?max_entries:int -> ?max_bytes:int -> cls:string -> unit -> t
+  (** Defaults: 4096 entries, 32 MiB.  [cls] names the cache class the
+      instance's gauges aggregate under; several stores may share a
+      class. *)
+
+  val find : ?epoch:int -> ?validate:(V.t -> bool) -> t -> Key.t -> V.t option
+  (** LRU-touching lookup.  With [~epoch], an entry stored under a
+      different epoch is dropped (invalidation + miss).  With
+      [~validate], a resident entry the predicate rejects counts as a
+      miss and is returned as [None] — but stays resident, untouched in
+      LRU order, because it may satisfy a later request (e.g. an answer
+      computed under a small budget awaiting an equal-or-smaller
+      request). *)
+
+  val add : ?epoch:int -> t -> Key.t -> V.t -> unit
+  (** Insert or overwrite at the MRU end, then evict from the LRU end
+      until both caps hold.  [epoch] defaults to [0]. *)
+
+  val remove : t -> Key.t -> unit
+  val clear : t -> unit
+  val length : t -> int
+  val gauges : t -> Gauges.t
+end
+
+(** {1 Global registry} *)
+
+val classes : unit -> string list
+(** Sorted, deduplicated class names of all live stores. *)
+
+val snapshot : unit -> (string * Gauges.t) list
+(** Per-class aggregated gauges, sorted by class name. *)
+
+val total : unit -> Gauges.t
+
+val snapshot_delta :
+  before:(string * Gauges.t) list ->
+  (string * Gauges.t) list ->
+  (string * Gauges.t) list
+(** Pointwise {!Gauges.delta} by class name; classes missing from
+    [before] count from zero. *)
+
+val clear_all : unit -> unit
+(** Empty every registered store (gauge counters are kept). *)
+
+val set_caps : ?max_entries:int -> ?max_bytes:int -> unit -> unit
+(** Re-cap every registered store, evicting immediately if the new caps
+    are already exceeded.  Omitted caps are left unchanged. *)

@@ -177,8 +177,45 @@ let universal_nfa alphabet_size =
    out" is the decision the caller sees. *)
 let compose_outcome found = Obs.Trace.Decided found
 
+(* ------------------------------------------------------------------ *)
+(* The result cache (class "compose")                                  *)
+(*                                                                     *)
+(* The decidable synthesis procedures are pure functions of (goal,     *)
+(* components) — plus the budget for the bounded MDT_b search — so     *)
+(* their results are routed through [Engine.Memo] stores, keyed on     *)
+(* exact canonical representations (DESIGN.md §4h).  The randomized    *)
+(* bounded search at the bottom of this file is deliberately not       *)
+(* cached: its sample-based verdicts are neither decisive nor          *)
+(* deterministic across processes.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let key tag parts = Cache.Store.Key.of_parts (tag :: parts)
+
+let component_parts repr components =
+  List.concat_map (fun (name, c) -> [ name; repr c ]) components
+
+(* Synthesized mediators carry whole automata; a flat per-entry estimate
+   keeps the weight math out of the result types. *)
+let flat_weight _ = 4096
+
+module Pl_or_memo = Engine.Memo (struct
+  type t = pl_composition option
+
+  let weight = flat_weight
+end)
+
+let pl_or_store = Pl_or_memo.create ~cls:"compose" ()
+
 (* CP(SWS(PL, PL), MDT(∨), SWS(PL, PL)) with a PL goal service. *)
 let compose_pl_or ~goal ~components =
+  Pl_or_memo.run pl_or_store ~name:"compose_pl_or"
+    ~key:
+      (key "comp_pl_or"
+         (Sws_pl.canonical_repr goal
+         :: component_parts Sws_pl.canonical_repr components))
+    ~outcome:(fun r -> compose_outcome (Option.is_some r))
+    ~cacheable:(fun _ -> true)
+  @@ fun () ->
   Engine.run ~name:"compose_pl_or"
     ~outcome:(fun r -> compose_outcome (Option.is_some r))
   @@ fun () ->
@@ -202,6 +239,14 @@ let compose_pl_or ~goal ~components =
 (* CP(NFA/DFA, MDT(∨), SWS(PL, PL)): the Roman-model goals of
    Theorem 5.3(2). *)
 let compose_nfa_or ~goal ~components =
+  Pl_or_memo.run pl_or_store ~name:"compose_nfa_or"
+    ~key:
+      (key "comp_nfa_or"
+         (Nfa.canonical_repr goal
+         :: component_parts Nfa.canonical_repr components))
+    ~outcome:(fun r -> compose_outcome (Option.is_some r))
+    ~cacheable:(fun _ -> true)
+  @@ fun () ->
   Engine.run ~name:"compose_nfa_or"
     ~outcome:(fun r -> compose_outcome (Option.is_some r))
   @@ fun () -> compose_or_nfa ~goal ~components
@@ -255,6 +300,22 @@ type bounded_result =
   | Found of plan
   | No_mediator_within_bound of Engine.exhausted
 
+module Mdtb_memo = Engine.Memo (struct
+  type t = bounded_result
+
+  let weight = flat_weight
+end)
+
+let mdtb_store = Mdtb_memo.create ~cls:"compose" ()
+
+(* [Found] is decisive; so is running the plan space dry ([`Candidates]
+   after a complete enumeration) — the space itself is in the key via
+   the chain-length bound.  A meter trip (nodes/deadline) is a budget
+   artifact and is never stored. *)
+let cacheable_mdtb = function
+  | Found _ -> true
+  | No_mediator_within_bound e -> e.Engine.limit = `Candidates
+
 (* CP(SWS(PL,PL), MDT_b(PL), SWS(PL,PL)): each component is invoked a
    bounded number of times and synthesis sizes are bounded — here realized
    as chains of length <= the budget's depth combined by one boolean
@@ -264,14 +325,26 @@ type bounded_result =
    plan costs one budget node. *)
 let compose_mdtb ?stats ?(budget = Engine.Budget.of_depth 2) ~goal ~components
     () =
-  Engine.run ?stats ~name:"compose_mdtb"
-    ~outcome:(function
-      | Found _ -> Obs.Trace.Decided true
-      | No_mediator_within_bound e -> Obs.Trace.Tripped e.Engine.limit)
-  @@ fun () ->
   let bound =
     match budget.Engine.Budget.max_depth with Some d -> d | None -> 2
   in
+  let mdtb_outcome = function
+    | Found _ -> Obs.Trace.Decided true
+    | No_mediator_within_bound e -> Obs.Trace.Tripped e.Engine.limit
+  in
+  (* The chain-length bound shapes the candidate enumeration itself, so
+     it lives in the key; the budget's node/deadline axes are handled by
+     the memo's subsumption rule. *)
+  Mdtb_memo.run mdtb_store ?stats ~budget ~name:"compose_mdtb"
+    ~key:
+      (key "comp_mdtb"
+         (string_of_int bound
+         :: Nfa.canonical_repr goal
+         :: component_parts Nfa.canonical_repr components))
+    ~outcome:mdtb_outcome ~cacheable:cacheable_mdtb
+  @@ fun () ->
+  Engine.run ?stats ~name:"compose_mdtb" ~outcome:mdtb_outcome
+  @@ fun () ->
   let meter = Engine.Meter.create ?stats budget in
   let env =
     List.map (fun (n, c) -> (n, Dfa.minimize (Dfa.of_nfa (minimal_prefix_nfa c)))) components
@@ -409,13 +482,38 @@ type cq_result =
   | Cq_only_contained of R.Ucq.t
   | Cq_no_mediator
 
+module Cq_comp_memo = Engine.Memo (struct
+  type t = cq_result
+
+  let weight = flat_weight
+end)
+
+let cq_comp_store = Cq_comp_memo.create ~cls:"compose" ()
+
+(* Queries are pure immutable data (terms, atoms, lists), so marshaling
+   is canonical for structurally equal queries; [max_atoms] bounds the
+   rewriting space, so it is part of the key. *)
+let cq_repr (q : R.Cq.t) = Marshal.to_string q [ Marshal.No_sharing ]
+
 (* CP for a goal *query* (the unfolded goal service) over query-shaped
    components.  [max_atoms] is the small-model bound on rewriting size. *)
 let compose_cq ?max_atoms ~db_schema ~components goal_query =
-  Engine.run ~name:"compose_cq"
-    ~outcome:(function
-      | Cq_composed _ -> Obs.Trace.Decided true
-      | Cq_only_contained _ | Cq_no_mediator -> Obs.Trace.Decided false)
+  let cq_outcome = function
+    | Cq_composed _ -> Obs.Trace.Decided true
+    | Cq_only_contained _ | Cq_no_mediator -> Obs.Trace.Decided false
+  in
+  Cq_comp_memo.run cq_comp_store ~name:"compose_cq"
+    ~key:
+      (key "comp_cq"
+         ((match max_atoms with None -> "-" | Some n -> string_of_int n)
+         :: Marshal.to_string (R.Schema.to_list db_schema)
+              [ Marshal.No_sharing ]
+         :: Marshal.to_string (R.Ucq.disjuncts goal_query)
+              [ Marshal.No_sharing ]
+         :: component_parts cq_repr components))
+    ~outcome:cq_outcome ~cacheable:(fun _ -> true)
+  @@ fun () ->
+  Engine.run ~name:"compose_cq" ~outcome:cq_outcome
   @@ fun () ->
   let views =
     List.map (fun (name, q) -> View.make name q) components

@@ -39,6 +39,89 @@ type 'c equiv_outcome =
   | Equiv_exhausted of Engine.exhausted
 
 (* ------------------------------------------------------------------ *)
+(* The result cache (class "decision")                                 *)
+(*                                                                     *)
+(* Every decisive answer below is a pure function of (procedure,       *)
+(* service content, arguments) — plus a budget for the bounded scans — *)
+(* so results are routed through [Engine.Memo] stores keyed on exact   *)
+(* canonical representations.  The budget-monotonicity rule            *)
+(* (DESIGN.md §4h) is enforced by the memo: [Exhausted] answers are    *)
+(* never stored (the [cacheable] predicates below), and a stored       *)
+(* definitive answer is only served to requests whose budget subsumes  *)
+(* the one it was computed under.  The FO row is deliberately not      *)
+(* cached: its semi-procedures almost never answer definitively, so a  *)
+(* store would hold nothing but dead keys.                             *)
+(* ------------------------------------------------------------------ *)
+
+let cacheable_outcome = function Yes _ | No -> true | Exhausted _ -> false
+
+let cacheable_equiv = function
+  | Equivalent | Inequivalent _ -> true
+  | Equiv_exhausted _ -> false
+
+(* Witnesses are small (an input sequence, a canonical database); a flat
+   per-entry estimate keeps the weight math out of every witness type. *)
+let flat_weight _ = 512
+
+module Pl_word_memo = Engine.Memo (struct
+  type t = Proplogic.Prop.assignment list outcome
+
+  let weight = flat_weight
+end)
+
+module Pl_word_equiv_memo = Engine.Memo (struct
+  type t = Proplogic.Prop.assignment list equiv_outcome
+
+  let weight = flat_weight
+end)
+
+module Cq_ne_memo = Engine.Memo (struct
+  type t =
+    (Relational.Database.t * Relational.Relation.t list * Relational.Tuple.t)
+    outcome
+
+  let weight = flat_weight
+end)
+
+module Cq_val_memo = Engine.Memo (struct
+  type t = (Relational.Database.t * Relational.Relation.t list) outcome
+
+  let weight = flat_weight
+end)
+
+module Cq_equiv_memo = Engine.Memo (struct
+  type t =
+    (Relational.Database.t * Relational.Relation.t list * Relational.Tuple.t)
+    equiv_outcome
+
+  let weight = flat_weight
+end)
+
+let pl_word_store = Pl_word_memo.create ~cls:"decision" ()
+let pl_word_equiv_store = Pl_word_equiv_memo.create ~cls:"decision" ()
+let cq_ne_store = Cq_ne_memo.create ~cls:"decision" ()
+let cq_val_store = Cq_val_memo.create ~cls:"decision" ()
+let cq_equiv_store = Cq_equiv_memo.create ~cls:"decision" ()
+
+(* Exact canonical key components.  The leading tag names the procedure,
+   so stores shared by several procedures never mix their answers. *)
+let key tag parts = Cache.Store.Key.of_parts (tag :: parts)
+
+let relation_repr r =
+  Relational.Relation.to_list r
+  |> List.map (fun t -> List.map Relational.Value.id (Relational.Tuple.to_list t))
+  |> List.sort compare
+  |> List.map (fun ids -> String.concat "," (List.map string_of_int ids))
+  |> fun rows ->
+  string_of_int (Relational.Relation.arity r) ^ ":" ^ String.concat ";" rows
+
+let strategy_repr = function
+  | None -> "-"
+  | Some `Naive -> "naive"
+  | Some `Greedy -> "greedy"
+  | Some `Indexed -> "indexed"
+
+(* ------------------------------------------------------------------ *)
 (* SWS(PL, PL), recursive: automata-based, always decisive             *)
 (* ------------------------------------------------------------------ *)
 
@@ -55,8 +138,13 @@ let run_equiv_outcome = function
   | Inequivalent _ -> Obs.Trace.Decided false
   | Equiv_exhausted e -> Obs.Trace.Tripped e.Engine.limit
 
-(* Non-emptiness: is some input sequence answered with [true]? *)
+(* Non-emptiness: is some input sequence answered with [true]?  Decisive
+   whatever the budget, so the cached answer carries no budget tag. *)
 let pl_non_emptiness ?stats sws =
+  Pl_word_memo.run pl_word_store ?stats ~name:"pl_non_emptiness"
+    ~key:(key "pl_ne" [ Sws_pl.canonical_repr sws ])
+    ~outcome:run_outcome ~cacheable:cacheable_outcome
+  @@ fun () ->
   Engine.run ?stats ~name:"pl_non_emptiness" ~outcome:run_outcome @@ fun () ->
   let afa = Sws_pl.to_afa ?stats sws in
   match Afa.shortest_word afa with
@@ -68,6 +156,10 @@ let pl_non_emptiness ?stats sws =
    rejected sequence — note the empty sequence is always rejected, so the
    interesting check is universality of the complement. *)
 let pl_validation ?stats sws ~output =
+  Pl_word_memo.run pl_word_store ?stats ~name:"pl_validation"
+    ~key:(key "pl_val" [ (if output then "t" else "f"); Sws_pl.canonical_repr sws ])
+    ~outcome:run_outcome ~cacheable:cacheable_outcome
+  @@ fun () ->
   Engine.run ?stats ~name:"pl_validation" ~outcome:run_outcome @@ fun () ->
   if output then begin
     let afa = Sws_pl.to_afa ?stats sws in
@@ -88,6 +180,11 @@ let pl_validation ?stats sws ~output =
 let pl_equivalence ?stats sws1 sws2 =
   if Sws_pl.input_vars sws1 <> Sws_pl.input_vars sws2 then
     invalid_arg "pl_equivalence: services declare different input variables";
+  Pl_word_equiv_memo.run pl_word_equiv_store ?stats ~name:"pl_equivalence"
+    ~key:
+      (key "pl_eq" [ Sws_pl.canonical_repr sws1; Sws_pl.canonical_repr sws2 ])
+    ~outcome:run_equiv_outcome ~cacheable:cacheable_equiv
+  @@ fun () ->
   Engine.run ?stats ~name:"pl_equivalence" ~outcome:run_equiv_outcome
   @@ fun () ->
   let d1 = Sws_pl.language_dfa ?stats sws1 in
@@ -123,6 +220,10 @@ let solve_counted ?(stats = Engine.Stats.global) f =
    scanning n = 0 .. depth + 1 is a complete search. *)
 let pl_nr_non_emptiness ?stats sws =
   let d = require_nonrecursive_pl sws in
+  Pl_word_memo.run pl_word_store ?stats ~name:"pl_nr_non_emptiness"
+    ~key:(key "pl_nr_ne" [ Sws_pl.canonical_repr sws ])
+    ~outcome:run_outcome ~cacheable:cacheable_outcome
+  @@ fun () ->
   match
     Engine.scan ?stats ~decisive_bound:(d + 1) ~name:"pl_nr_non_emptiness"
       (fun meter n ->
@@ -137,6 +238,12 @@ let pl_nr_non_emptiness ?stats sws =
 
 let pl_nr_validation ?stats sws ~output =
   let d = require_nonrecursive_pl sws in
+  Pl_word_memo.run pl_word_store ?stats ~name:"pl_nr_validation"
+    ~key:
+      (key "pl_nr_val"
+         [ (if output then "t" else "f"); Sws_pl.canonical_repr sws ])
+    ~outcome:run_outcome ~cacheable:cacheable_outcome
+  @@ fun () ->
   match
     Engine.scan ?stats ~decisive_bound:(d + 1) ~name:"pl_nr_validation"
       (fun meter n ->
@@ -155,6 +262,12 @@ let pl_nr_equivalence ?stats sws1 sws2 =
   let d1 = require_nonrecursive_pl sws1 and d2 = require_nonrecursive_pl sws2 in
   if Sws_pl.input_vars sws1 <> Sws_pl.input_vars sws2 then
     invalid_arg "pl_nr_equivalence: services declare different input variables";
+  Pl_word_equiv_memo.run pl_word_equiv_store ?stats ~name:"pl_nr_equivalence"
+    ~key:
+      (key "pl_nr_eq"
+         [ Sws_pl.canonical_repr sws1; Sws_pl.canonical_repr sws2 ])
+    ~outcome:run_equiv_outcome ~cacheable:cacheable_equiv
+  @@ fun () ->
   match
     Engine.scan ?stats ~decisive_bound:(max d1 d2 + 1)
       ~name:"pl_nr_equivalence" (fun meter n ->
@@ -213,6 +326,10 @@ let cq_non_emptiness ?stats ?budget sws =
   let decisive_bound, budget =
     scan_limits sws ~budget ~default:(Engine.Budget.of_depth 6)
   in
+  Cq_ne_memo.run cq_ne_store ?stats ~budget ~name:"cq_non_emptiness"
+    ~key:(key "cq_ne" [ Sws_data.canonical_repr sws ])
+    ~outcome:run_outcome ~cacheable:cacheable_outcome
+  @@ fun () ->
   let schema_at n = Unfold.schema sws ~n in
   match
     Engine.scan ?stats ~budget ?decisive_bound ~name:"cq_non_emptiness"
@@ -252,6 +369,17 @@ let cq_validation ?stats ?budget ?(max_assignments = 4096) ?strategy sws
     let decisive_bound, budget =
       scan_limits sws ~budget ~default:(Engine.Budget.of_depth 4)
     in
+    Cq_val_memo.run cq_val_store ?stats ~budget ~name:"cq_validation"
+      ~key:
+        (key "cq_val"
+           [
+             Sws_data.canonical_repr sws;
+             relation_repr output;
+             string_of_int max_assignments;
+             strategy_repr strategy;
+           ])
+      ~outcome:run_outcome ~cacheable:cacheable_outcome
+    @@ fun () ->
     let tuples = Relation.to_list output in
     let truncated = ref false in
     let try_n meter n =
@@ -389,6 +517,12 @@ let cq_equivalence ?stats ?budget sws1 sws2 =
     match (b1, b2) with Some a, Some b -> Some (max a b) | _ -> None
   in
   let budget = Engine.Budget.combine bu1 bu2 in
+  Cq_equiv_memo.run cq_equiv_store ?stats ~budget ~name:"cq_equivalence"
+    ~key:
+      (key "cq_eq"
+         [ Sws_data.canonical_repr sws1; Sws_data.canonical_repr sws2 ])
+    ~outcome:run_equiv_outcome ~cacheable:cacheable_equiv
+  @@ fun () ->
   let stats_sink =
     match stats with Some s -> s | None -> Engine.Stats.global
   in

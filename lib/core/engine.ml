@@ -36,6 +36,26 @@ module Budget = struct
   let is_unlimited t =
     t.max_depth = None && t.max_nodes = None && t.deadline_s = None
 
+  (* [subsumes ~cached ~req]: may a definitive answer computed under
+     [cached] be served to a request running under [req]?  Sound iff the
+     request is at least as generous on every deterministic axis — a
+     cache-off run under [req] would have explored a superset of what
+     the cached run explored, so it would have reached the same
+     definitive answer.  [None] is "unlimited", so a cached unlimited
+     axis demands an unlimited request axis.  The wall-clock axis is
+     deliberately ignored: deadlines are advisory and machine-dependent
+     (no deterministic client can rely on where they trip), and serving
+     a stored answer satisfies any deadline. *)
+  let axis_subsumed ~cached ~req =
+    match (cached, req) with
+    | None, Some _ -> false
+    | None, None | Some _, None -> true
+    | Some c, Some r -> r >= c
+
+  let subsumes ~cached ~req =
+    axis_subsumed ~cached:cached.max_depth ~req:req.max_depth
+    && axis_subsumed ~cached:cached.max_nodes ~req:req.max_nodes
+
   let pp ppf t =
     let part name pp_v = Option.map (fun v -> (name, Fmt.str "%a" pp_v v)) in
     let parts =
@@ -512,3 +532,96 @@ let find_first ?round probe candidates =
     in
     go candidates
   end
+
+(* ------------------------------------------------------------------ *)
+(* Budget-monotone result memoization                                  *)
+(* ------------------------------------------------------------------ *)
+
+module type MEMO_VALUE = sig
+  type t
+
+  val weight : t -> int
+end
+
+module Memo (V : MEMO_VALUE) = struct
+  (* An entry remembers the budget its answer was computed under;
+     [None] marks a budget-independent answer (decisive procedures).
+     Serving is gated by [Budget.subsumes], so a cached definitive
+     answer found under a small budget is served under any larger one,
+     and never under a smaller one — indistinguishable from cache-off
+     on the deterministic budget axes. *)
+  module Entry = struct
+    type t = { under : Budget.t option; v : V.t }
+
+    let weight e = V.weight e.v + 48
+  end
+
+  module S = Cache.Store.Make (Entry)
+
+  type t = { cls : string; store : S.t }
+
+  let create ?max_entries ?max_bytes ~cls () =
+    { cls; store = S.create ?max_entries ?max_bytes ~cls () }
+
+  let servable ~req entry =
+    match entry.Entry.under with
+    | None -> true
+    | Some cached -> Budget.subsumes ~cached ~req
+
+  let run t ?(stats = Stats.global) ?budget ?epoch ~name ~key ~outcome
+      ~cacheable f =
+    if not (caching_enabled ()) then run ~stats ~name ~outcome f
+    else begin
+      let req = Option.value budget ~default:Budget.unlimited in
+      (* Serve-rejection is decided inside [find] so the gauges stay
+         truthful: an entry resident but computed under too small a
+         budget counts as a miss, not a hit. *)
+      match S.find ?epoch ~validate:(servable ~req) t.store key with
+      | Some { Entry.v; _ } ->
+        Obs.Trace.emit (Obs.Trace.Cache { layer = t.cls; hit = true });
+        (* Serve through [run]: the hit gets a provenance record
+           (near-zero duration, zero counter movement), so [explain]
+           and traces see every request, cached or not. *)
+        run ~stats ~name ~outcome (fun () -> v)
+      | None ->
+        Obs.Trace.emit (Obs.Trace.Cache { layer = t.cls; hit = false });
+        (* [f] is the procedure body, already instrumented (it records
+           its own provenance via [run] or [scan]) — no second wrap, so
+           a call costs exactly one provenance record, hit or miss. *)
+        let v = f () in
+        if cacheable v then
+          S.add ?epoch t.store key { Entry.under = budget; v };
+        v
+    end
+end
+
+(* Registry-wide cache surface, re-exported so binaries and the server
+   need only Engine to snapshot, re-cap, or drop every cache class
+   (including stores created inside lib/core). *)
+
+let cache_snapshot () = Cache.Store.snapshot ()
+let cache_total () = Cache.Store.total ()
+let cache_clear_all () = Cache.Store.clear_all ()
+
+let cache_snapshot_delta ~before now =
+  Cache.Store.snapshot_delta ~before now
+
+let cache_set_caps ?max_entries ?max_bytes () =
+  Cache.Store.set_caps ?max_entries ?max_bytes ()
+
+let cache_gauges_json snap =
+  Obs.Json.Obj
+    (List.map
+       (fun (cls, g) ->
+         ( cls,
+           Obs.Json.Obj
+             [
+               ("hits", Obs.Json.Int g.Cache.Store.Gauges.hits);
+               ("misses", Obs.Json.Int g.Cache.Store.Gauges.misses);
+               ("evictions", Obs.Json.Int g.Cache.Store.Gauges.evictions);
+               ( "invalidations",
+                 Obs.Json.Int g.Cache.Store.Gauges.invalidations );
+               ("entries", Obs.Json.Int g.Cache.Store.Gauges.entries);
+               ("bytes", Obs.Json.Int g.Cache.Store.Gauges.bytes);
+             ] ))
+       snap)

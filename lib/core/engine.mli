@@ -38,6 +38,16 @@ module Budget : sig
   val combine : t -> t -> t
 
   val is_unlimited : t -> bool
+
+  (** [subsumes ~cached ~req]: may a definitive answer computed under
+      budget [cached] be served to a request running under [req]?  True
+      iff [req] is at least as generous on every deterministic axis
+      ([max_depth], [max_nodes]; [None] = unlimited).  The wall-clock
+      axis is ignored — deadlines are advisory and machine-dependent,
+      and serving a stored answer satisfies any deadline.  This is the
+      budget-monotonicity rule of the result cache (DESIGN.md §4h). *)
+  val subsumes : cached:t -> req:t -> bool
+
   val pp : t Fmt.t
 
   (** Wire form for the composition server: components map to optional
@@ -245,3 +255,73 @@ val scan :
     undercut it.  With one job this is exactly [List.find_map] — same
     probes, same ticks, same answer. *)
 val find_first : ?round:int -> ('a -> 'b option) -> 'a list -> 'b option
+
+(** {1 Budget-monotone result memoization}
+
+    [Memo] wraps {!run} with a process-lifetime, domain-safe result
+    store ([Cache.Store]) keyed on exact canonical keys.  Procedures
+    route their results through [Memo.run] instead of [run]; on a hit
+    the stored answer is re-served (still through {!run}, so provenance
+    and traces see every request), on a miss the body executes and the
+    answer is stored iff [cacheable] accepts it.
+
+    Correctness contract (DESIGN.md §4h): [cacheable] must reject every
+    budget-dependent answer (any [Exhausted], sample-count agreements);
+    a definitive answer is stored with the budget it was computed under
+    and served only to requests whose budget {!Budget.subsumes} it.
+    With those two rules, cache-on results are indistinguishable from
+    cache-off on the deterministic budget axes. *)
+
+module type MEMO_VALUE = sig
+  type t
+
+  val weight : t -> int
+  (** Approximate resident bytes, for the store's byte cap. *)
+end
+
+module Memo (V : MEMO_VALUE) : sig
+  type t
+
+  val create : ?max_entries:int -> ?max_bytes:int -> cls:string -> unit -> t
+  (** The store registers under cache class [cls] (gauges, [clear],
+      [--cache-cap] all aggregate per class). *)
+
+  val run :
+    t ->
+    ?stats:Stats.t ->
+    ?budget:Budget.t ->
+    ?epoch:int ->
+    name:string ->
+    key:Cache.Store.Key.t ->
+    outcome:(V.t -> Obs.Trace.outcome) ->
+    cacheable:(V.t -> bool) ->
+    (unit -> V.t) ->
+    V.t
+  (** Omit [budget] when the procedure is decisive independent of any
+      budget (the answer is then served under every request budget);
+      pass it otherwise.  [epoch] stamps/validates entries against a
+      registry epoch (see [Cache.Store.find]).  When the global cache
+      switch is off this is exactly {!run}. *)
+end
+
+(** {1 Cache registry surface}
+
+    Re-exports of the [Cache.Store] registry, so the server and the
+    CLIs can snapshot, diff, re-cap and clear every cache class through
+    Engine alone. *)
+
+val cache_snapshot : unit -> (string * Cache.Store.Gauges.t) list
+val cache_total : unit -> Cache.Store.Gauges.t
+
+val cache_clear_all : unit -> unit
+(** Drop every entry of every registered class (gauges survive). *)
+
+val cache_snapshot_delta :
+  before:(string * Cache.Store.Gauges.t) list ->
+  (string * Cache.Store.Gauges.t) list ->
+  (string * Cache.Store.Gauges.t) list
+
+val cache_set_caps : ?max_entries:int -> ?max_bytes:int -> unit -> unit
+
+val cache_gauges_json : (string * Cache.Store.Gauges.t) list -> Obs.Json.t
+(** Per-class [{hits,misses,evictions,invalidations,entries,bytes}]. *)

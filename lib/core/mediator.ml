@@ -170,6 +170,32 @@ type equiv_verdict =
   | Agree_on_samples of int
   | Differ of Database.t * Relation.t list
 
+(* Result cache (class "mediator").  Only [Differ] is stored: a found
+   counterexample is decisive (pi and tau really disagree on it), and
+   with the seed in the key the sampling sequence is deterministic, so a
+   larger-budget replay would surface the same counterexample.
+   [Agree_on_samples] is a budget-shaped non-answer and is never cached
+   (DESIGN.md §4h). *)
+module Equiv_memo = Engine.Memo (struct
+  type t = equiv_verdict
+
+  let weight _ = 512
+end)
+
+let equiv_store = Equiv_memo.create ~cls:"mediator" ()
+
+(* Exact canonical content of the mediator: schema as a sorted list
+   (never the map, whose marshal bytes depend on construction order),
+   component services by their own canonical representations, and the
+   pure-data rule table. *)
+let canonical_repr t =
+  Marshal.to_string
+    ( Schema.to_list t.db_schema,
+      t.arity,
+      List.map (fun c -> (c.name, Sws_data.canonical_repr c.service)) t.components,
+      t.def )
+    [ Marshal.No_sharing ]
+
 (* pi ≡ tau demands equal outputs on every database and input sequence;
    that inclusion of component runs makes the exact problem undecidable
    already for CQ/UCQ (Theorem 5.1(2)), so the operational check here is a
@@ -179,10 +205,23 @@ let equiv_check ?stats ?(budget = Engine.Budget.of_nodes 100) ?(seed = 42)
     ~goal t =
   if Sws_data.out_arity goal <> t.arity then
     invalid_arg "equiv_check: goal output arity mismatch";
-  Engine.run ?stats ~name:"mediator_equiv_check"
-    ~outcome:(function
-      | Agree_on_samples _ -> Obs.Trace.Decided true
-      | Differ _ -> Obs.Trace.Decided false)
+  let equiv_outcome = function
+    | Agree_on_samples _ -> Obs.Trace.Decided true
+    | Differ _ -> Obs.Trace.Decided false
+  in
+  Equiv_memo.run equiv_store ?stats ~budget ~name:"mediator_equiv_check"
+    ~key:
+      (Cache.Store.Key.of_parts
+         [
+           "med_eq";
+           string_of_int seed;
+           Sws_data.canonical_repr goal;
+           canonical_repr t;
+         ])
+    ~outcome:equiv_outcome
+    ~cacheable:(function Differ _ -> true | Agree_on_samples _ -> false)
+  @@ fun () ->
+  Engine.run ?stats ~name:"mediator_equiv_check" ~outcome:equiv_outcome
   @@ fun () ->
   let meter = Engine.Meter.create ?stats budget in
   let rng = Random.State.make [| seed |] in

@@ -285,6 +285,32 @@ type agreement_verdict =
   | Agree_within_budget of Engine.exhausted
   | Disagree of Database.t * Relation.t list
 
+(* Result cache (class "peer").  Only [Disagree] is stored: a found
+   counterexample is decisive, and with the seed in the key the sample
+   sequence is deterministic, so a larger-budget replay would surface
+   the same one.  [Agree_within_budget] is a budget-shaped non-answer
+   and is never cached (DESIGN.md §4h). *)
+module Agreement_memo = Engine.Memo (struct
+  type t = agreement_verdict
+
+  let weight _ = 512
+end)
+
+let agreement_store = Agreement_memo.create ~cls:"peer" ()
+
+(* Exact canonical content of the peer: schema as a sorted list (never
+   the map, whose marshal bytes depend on construction order) plus the
+   pure-data arities and rules. *)
+let canonical_repr peer =
+  Marshal.to_string
+    ( Schema.to_list peer.db_schema,
+      peer.state_arity,
+      peer.input_arity,
+      peer.out_arity,
+      peer.state_rule,
+      peer.action_rule )
+    [ Marshal.No_sharing ]
+
 (* Randomized cross-validation of the Section 3 encoding: [run] and
    [run_encoded] must produce the same per-step outputs on every instance.
    One sample costs one budget node; the returned [exhausted] record says
@@ -292,10 +318,21 @@ type agreement_verdict =
    counterexample. *)
 let agreement_check ?stats ?(budget = Engine.Budget.of_nodes 40) ?(seed = 7)
     peer =
-  Engine.run ?stats ~name:"peer_agreement_check"
-    ~outcome:(function
-      | Agree_within_budget _ -> Obs.Trace.Decided true
-      | Disagree _ -> Obs.Trace.Decided false)
+  let agreement_outcome = function
+    | Agree_within_budget _ -> Obs.Trace.Decided true
+    | Disagree _ -> Obs.Trace.Decided false
+  in
+  Agreement_memo.run agreement_store ?stats ~budget
+    ~name:"peer_agreement_check"
+    ~key:
+      (Cache.Store.Key.of_parts
+         [ "peer_agree"; string_of_int seed; canonical_repr peer ])
+    ~outcome:agreement_outcome
+    ~cacheable:(function
+      | Disagree _ -> true
+      | Agree_within_budget _ -> false)
+  @@ fun () ->
+  Engine.run ?stats ~name:"peer_agreement_check" ~outcome:agreement_outcome
   @@ fun () ->
   let meter = Engine.Meter.create ?stats budget in
   let rng = Random.State.make [| seed |] in

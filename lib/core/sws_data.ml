@@ -47,6 +47,7 @@ type t = {
   in_arity : int;
   out_arity : int;
   def : (query, query) Sws_def.t;
+  mutable canon_id : int;  (* content id, 0 until first demanded *)
 }
 
 (* Services are immutable, so a creation stamp identifies one for the
@@ -119,10 +120,49 @@ let make ~db_schema ~in_arity ~out_arity ~start ~rules =
       in_arity;
       out_arity;
       def = Sws_def.make ~start ~rules;
+      canon_id = 0;
     }
   in
   check t;
   t
+
+(* Content identity, for the process-lifetime caches: equal definitions
+   get equal ids whatever their creation stamps, so a second request (or
+   a second server session) registering the same service hits the first
+   one's Unfold work.  The representation is the marshalled definition —
+   an exact encoding, so equal ids imply equal services (a fingerprint
+   alone could collide).  Marshalling is shape-sensitive for the rule
+   map, but both map shapes and the encoder are deterministic functions
+   of the construction sequence, and every reuse path (the wire parsers,
+   [Roman]) builds equal services through identical constructions. *)
+let canonical_repr t =
+  Marshal.to_string
+    (t.db_schema, t.in_arity, t.out_arity, t.def)
+    [ Marshal.No_sharing ]
+
+let canon_mu = Mutex.create ()
+let canon_ids : (string, int) Hashtbl.t = Hashtbl.create 64
+let next_canon = ref 0
+
+let canonical_id t =
+  (* Benign race on [canon_id]: every writer stores the same value (the
+     id a given repr maps to is fixed by the mutex-guarded table). *)
+  if t.canon_id <> 0 then t.canon_id
+  else begin
+    let repr = canonical_repr t in
+    Mutex.lock canon_mu;
+    let id =
+      match Hashtbl.find_opt canon_ids repr with
+      | Some id -> id
+      | None ->
+        incr next_canon;
+        Hashtbl.replace canon_ids repr !next_canon;
+        !next_canon
+    in
+    Mutex.unlock canon_mu;
+    t.canon_id <- id;
+    id
+  end
 
 let stamp t = t.stamp
 let def t = t.def

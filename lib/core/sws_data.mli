@@ -39,6 +39,19 @@ val make :
     memoization stores key on it (the {!Relational.Index} pattern). *)
 val stamp : t -> int
 
+(** Content identity: equal definitions get equal ids, whatever their
+    creation stamps.  This is what the process-lifetime caches key on
+    (DESIGN.md §4h), so equal services built by different requests — or
+    different server sessions — share cached work.  Ids are dense,
+    positive, and stable for the process lifetime; the id is derived
+    from an exact canonical representation, so equal ids imply equal
+    services. *)
+val canonical_id : t -> int
+
+(** The exact canonical representation behind {!canonical_id} (an opaque
+    byte string; useful as a cache-key component). *)
+val canonical_repr : t -> string
+
 val def : t -> (query, query) Sws_def.t
 val db_schema : t -> Relational.Schema.t
 val in_arity : t -> int

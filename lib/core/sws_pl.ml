@@ -28,8 +28,17 @@ type query = Prop.t
    service, so each service value carries one lazily filled slot per stage:
    pl_validation, pl_equivalence and Compose.pl_language_nfa stop paying
    for the same exponential constructions twice.  [Engine.set_caching
-   false] bypasses the slots (reads and writes) for ablations. *)
+   false] bypasses the slots (reads and writes) for ablations.
+
+   The slots live in a record *shared by content*: [make] fetches the
+   record from the process-lifetime store (cache class "automata") keyed
+   on the service's canonical representation, so a second request — or a
+   second server session — building an equal service finds the chain
+   already built.  The record has its own mutex because sharers may sit
+   on different pool domains; builds run outside the lock (leaf-lock
+   discipline, DESIGN.md §4h) and the first finished build wins. *)
 type automata_cache = {
+  mu : Mutex.t;
   mutable afa : Automata.Afa.t option;
   mutable nfa : Automata.Nfa.t option;
   mutable dfa : Automata.Dfa.t option;
@@ -47,6 +56,43 @@ let next_stamp = ref 0
 let fresh_stamp () =
   incr next_stamp;
   !next_stamp
+
+let fresh_cache () =
+  { mu = Mutex.create (); afa = None; nfa = None; dfa = None }
+
+module Chain_value = struct
+  type t = automata_cache
+
+  (* The record is registered before any stage is built, so its true
+     resident size is unknowable at [add] time; charge a flat estimate
+     (the entry cap, not the byte cap, is the effective bound here). *)
+  let weight _ = 1024
+end
+
+module Chain_store = Cache.Store.Make (Chain_value)
+
+let chains = Chain_store.create ~max_entries:1024 ~cls:"automata" ()
+
+(* Exact content identity: see Sws_data.canonical_repr for why
+   marshalling is canonical enough here (equal services are built
+   through identical construction sequences on every reuse path). *)
+let canonical_repr ~input_vars ~def =
+  Marshal.to_string (input_vars, def) [ Marshal.No_sharing ]
+
+let shared_cache ~input_vars ~def =
+  if not (Engine.caching_enabled ()) then fresh_cache ()
+  else begin
+    let key = Cache.Store.Key.of_string (canonical_repr ~input_vars ~def) in
+    match Chain_store.find chains key with
+    | Some c -> c
+    | None ->
+      let c = fresh_cache () in
+      (* Two domains may race to register equal services; both records
+         are valid (the slots converge on equal automata), so losing the
+         race only costs the loser its private record. *)
+      Chain_store.add chains key c;
+      c
+  end
 
 exception Ill_formed = Sws_def.Ill_formed
 
@@ -66,7 +112,7 @@ let make ~input_vars ~start ~rules =
       stamp = fresh_stamp ();
       input_vars;
       def;
-      cache = { afa = None; nfa = None; dfa = None };
+      cache = shared_cache ~input_vars ~def;
     }
   in
   let env_vars = msg_var :: input_vars in
@@ -92,6 +138,7 @@ let make ~input_vars ~start ~rules =
   t
 
 let stamp t = t.stamp
+let canonical_repr t = canonical_repr ~input_vars:t.input_vars ~def:t.def
 let def t = t.def
 let input_vars t = t.input_vars
 let is_recursive t = Sws_def.is_recursive t.def
@@ -235,20 +282,38 @@ let build_afa t =
 
 (* One memoized stage of the automata chain.  [name] labels the build in
    traces: each uncached construction appears as one span and feeds the
-   per-stage latency histogram. *)
+   per-stage latency histogram.  The slot record may be shared across
+   pool domains, so reads and writes go through its mutex; the build
+   itself runs outside the lock (it recurses into earlier stages and
+   into Symtab-locking automata code), and when two domains race, the
+   first finished build wins — both build the same automaton, so the
+   loser only wastes its own work. *)
 let cached ?(stats = Engine.Stats.global) ~name ~get ~set build t =
   if not (Engine.caching_enabled ()) then
     Obs.Trace.span name (fun () -> build t)
-  else
-    match get t.cache with
+  else begin
+    Mutex.lock t.cache.mu;
+    let slot = get t.cache in
+    Mutex.unlock t.cache.mu;
+    match slot with
     | Some v ->
       Engine.Stats.automata_hit stats;
       v
     | None ->
       Engine.Stats.automata_miss stats;
       let v = Obs.Trace.span name (fun () -> build t) in
-      set t.cache (Some v);
+      Mutex.lock t.cache.mu;
+      let v =
+        match get t.cache with
+        | Some w ->
+          w (* another domain finished first; converge on its value *)
+        | None ->
+          set t.cache (Some v);
+          v
+      in
+      Mutex.unlock t.cache.mu;
       v
+  end
 
 let to_afa ?stats t =
   cached ?stats ~name:"afa_build"
@@ -271,9 +336,11 @@ let language_dfa ?stats t =
     t
 
 let clear_cache t =
+  Mutex.lock t.cache.mu;
   t.cache.afa <- None;
   t.cache.nfa <- None;
-  t.cache.dfa <- None
+  t.cache.dfa <- None;
+  Mutex.unlock t.cache.mu
 
 (* ------------------------------------------------------------------ *)
 (* Nonrecursive unfolding to a single formula                          *)

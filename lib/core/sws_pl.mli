@@ -35,6 +35,13 @@ val make :
 (** A unique creation stamp (services are immutable). *)
 val stamp : t -> int
 
+(** Exact canonical representation of the service's content (input
+    variables + definition), as an opaque byte string: equal services
+    get equal representations whatever their stamps.  The cache keys of
+    the decision/composition result stores are built from it
+    (DESIGN.md §4h). *)
+val canonical_repr : t -> string
+
 val def : t -> (query, query) Sws_def.t
 val input_vars : t -> string list
 val is_recursive : t -> bool
@@ -75,10 +82,13 @@ val accepts_word : t -> int list -> bool
     implementation for the construction.  Drives the PSPACE procedures of
     Theorem 4.1(3).
 
-    Memoized per service (together with {!language_nfa} and
-    {!language_dfa}, forming the to_afa → to_nfa → of_nfa chain), unless
-    [Engine.set_caching false]; cache traffic is counted into [stats]
-    (default: the global sink). *)
+    Memoized per service *content* (together with {!language_nfa} and
+    {!language_dfa}, forming the to_afa → to_nfa → of_nfa chain): the
+    chain record lives in the process-lifetime store (cache class
+    ["automata"]) keyed on {!canonical_repr}, so equal services built by
+    different requests or server sessions share one chain.  Bypassed
+    entirely under [Engine.set_caching false]; cache traffic is counted
+    into [stats] (default: the global sink). *)
 val to_afa : ?stats:Engine.Stats.t -> t -> Automata.Afa.t
 
 (** [Afa.to_nfa] of {!to_afa}, memoized per service. *)

@@ -183,58 +183,86 @@ let state_depths def =
 (* Message registers interned by construction: two nodes whose registers
    were built from the same (parent register, level, transition query) hold
    structurally interchangeable values, whatever fresh names each build
-   drew.  Id 0 is the root's empty register.  Keys carry the service stamp
-   so distinct services never share ids by accident. *)
+   drew.  Id 0 is the root's empty register.  Keys carry the service's
+   *content* id ([Sws_data.canonical_id]), not its creation stamp, so a
+   second request — or a second server session — building an equal
+   service reuses the first one's subtrees.  The table is shared across
+   the process and the domain pool, hence the mutex (a leaf lock per
+   DESIGN.md §4h: nothing is called while it is held). *)
 (* The key carries a whole [Sws_data.query], so this table keeps the
    polymorphic hash: equality must be structural on the query term, and a
    handwritten deep hash would re-state [Hashtbl.hash] without being any
    cheaper.  Queries come from service definitions, so keys stay small. *)
+let msg_mu = Mutex.create ()
+
 let msg_ids : (int * int * int * Sws_data.query, int) Hashtbl.t =
   Hashtbl.create 251
 
 let next_msg_id = ref 0
 
-let intern_msg ~stamp ~parent ~level phi =
-  let key = (stamp, parent, level, phi) in
-  match Hashtbl.find_opt msg_ids key with
-  | Some id -> id
-  | None ->
-    incr next_msg_id;
-    Hashtbl.replace msg_ids key !next_msg_id;
-    !next_msg_id
+let intern_msg ~cid ~parent ~level phi =
+  let key = (cid, parent, level, phi) in
+  Mutex.lock msg_mu;
+  let id =
+    match Hashtbl.find_opt msg_ids key with
+    | Some id -> id
+    | None ->
+      incr next_msg_id;
+      Hashtbl.replace msg_ids key !next_msg_id;
+      !next_msg_id
+  in
+  Mutex.unlock msg_mu;
+  id
 
-(* Node values, keyed (stamp, state, level, message id, cutoff): cutoff is
+(* Node values, hoisted into the process-lifetime store (class "unfold"):
+   keyed (content id, state, level, message id, cutoff), where cutoff is
    [-1] for n-independent entries (reusable at every sufficient n, the
-   depth-(n-1) -> depth-n increment) and the concrete n otherwise.  The key
-   is flat, so the table is monomorphic: equality short-circuits on the int
-   fields before touching the state name, and the hash mixes the fields
-   directly instead of walking a boxed tuple polymorphically. *)
-module Node_key = struct
-  type t = int * string * int * int * int
+   depth-(n-1) -> depth-n increment) and the concrete n otherwise.  The
+   key fields are ints plus the state name, so the canonical repr is an
+   unambiguous flat string and the fingerprint is mixed from the ints
+   directly. *)
+module Ucq_value = struct
+  type t = Ucq.t
 
-  let equal (s1, q1, j1, m1, c1) (s2, q2, j2, m2, c2) =
-    s1 = s2 && j1 = j2 && m1 = m2 && c1 = c2 && String.equal q1 q2
-
-  let hash (s, q, j, m, c) =
-    let mix h x = ((h * 31) + x) land max_int in
-    mix (mix (mix (mix (String.hash q) s) j) m) c
+  (* Rough resident bytes: disjunct count dominates; each carries atoms,
+     terms and variable names. *)
+  let weight u = 256 * (1 + List.length (Ucq.disjuncts u))
 end
 
-module Node_tbl = Hashtbl.Make (Node_key)
+module Node_store = Cache.Store.Make (Ucq_value)
 
-let memo : Ucq.t Node_tbl.t = Node_tbl.create 251
+let memo = Node_store.create ~max_entries:4096 ~cls:"unfold" ()
 
-let max_memo_entries = 4096
+let node_key (cid, q, j, m, c) =
+  let fp =
+    let open Repr.Fingerprint in
+    finish (string (int (int (int (int seed cid) j) m) c) q)
+  in
+  Cache.Store.Key.make ~fp
+    ~repr:(Printf.sprintf "%d|%d|%d|%d|%s" cid j m c q)
+
+let max_msg_entries = 4096
 
 let clear_caches () =
+  Mutex.lock msg_mu;
   Hashtbl.reset msg_ids;
-  Node_tbl.reset memo;
-  next_msg_id := 0
+  next_msg_id := 0;
+  Mutex.unlock msg_mu;
+  Node_store.clear memo
 
-(* The two tables reference each other's ids, so they are only ever
-   trimmed together. *)
+(* Node entries reference message ids in their keys, so the id table is
+   never cleared without also dropping the node store (an id reassigned
+   after a lone id-table reset could alias a stale node entry).  The
+   node store alone is LRU-bounded, which is safe: evicting a node entry
+   orphans no id. *)
 let maybe_trim () =
-  if Node_tbl.length memo > max_memo_entries then clear_caches ()
+  let over =
+    Mutex.lock msg_mu;
+    let n = Hashtbl.length msg_ids in
+    Mutex.unlock msg_mu;
+    n > max_msg_entries
+  in
+  if over then clear_caches ()
 
 let cutoff depths q j ~n =
   match Hashtbl.find_opt depths q with
@@ -250,9 +278,9 @@ let rec act_ucq ctx sws depths ~n q j ~m_id (m : Ucq.t option Lazy.t) : Ucq.t =
   if j > n then Ucq.make_empty out_arity
   else begin
     let caching = Engine.caching_enabled () in
-    let stamp = Sws_data.stamp sws in
-    let key = (stamp, q, j, m_id, cutoff depths q j ~n) in
-    match if caching then Node_tbl.find_opt memo key else None with
+    let cid = Sws_data.canonical_id sws in
+    let key = node_key (cid, q, j, m_id, cutoff depths q j ~n) in
+    match if caching then Node_store.find memo key else None with
     | Some v ->
       Engine.Stats.unfold_hit ctx.stats;
       v
@@ -279,8 +307,7 @@ let rec act_ucq ctx sws depths ~n q j ~m_id (m : Ucq.t option Lazy.t) : Ucq.t =
             List.mapi
               (fun i (q_i, phi_i) ->
                 let child_id =
-                  if caching then
-                    intern_msg ~stamp ~parent:m_id ~level:j phi_i
+                  if caching then intern_msg ~cid ~parent:m_id ~level:j phi_i
                   else 0
                 in
                 let m_i =
@@ -302,7 +329,7 @@ let rec act_ucq ctx sws depths ~n q j ~m_id (m : Ucq.t option Lazy.t) : Ucq.t =
         | None -> inner
         | Some m -> guard_nonempty ctx inner m
       in
-      if caching then Node_tbl.replace memo key v;
+      if caching then Node_store.add memo key v;
       v
   end
 

@@ -8,11 +8,15 @@
 
     Freshness is scoped per top-level call: two identical calls return
     identical (not merely alpha-equivalent) queries.  The UCQ unfolding
-    memoizes node values in a store keyed on the service's creation stamp
-    — identical twin subtrees collapse within one unfolding, and depth-n
-    reuses the n-independent subtrees of depth-(n-1) — unless caching is
-    disabled via [Engine.set_caching].  Cache traffic and nodes expanded
-    are counted into [stats] (default: [Engine.Stats.global]). *)
+    memoizes node values in the process-lifetime store (cache class
+    ["unfold"]), keyed on the service's content id
+    ([Sws_data.canonical_id]) — identical twin subtrees collapse within
+    one unfolding, depth-n reuses the n-independent subtrees of
+    depth-(n-1), and equal services built by different requests or
+    server sessions share entries — unless caching is disabled via
+    [Engine.set_caching].  The store is mutex-guarded and safe to hit
+    from pool domains.  Cache traffic and nodes expanded are counted
+    into [stats] (default: [Engine.Stats.global]). *)
 
 (** The timed copy of the input relation at step [j] (1-based). *)
 val timed_in : int -> string

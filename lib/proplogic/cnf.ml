@@ -57,14 +57,19 @@ let of_prop_distrib f =
   in
   clauses (nnf f)
 
-let fresh_counter = ref 0
-
-let fresh_def_var () =
-  incr fresh_counter;
-  Printf.sprintf "@t%d" !fresh_counter
-
-(* Tseitin: return (literal standing for f, defining clauses). *)
+(* Tseitin: return (literal standing for f, defining clauses).  The fresh
+   counter is per call, not global: definition-variable names must be a
+   function of the input formula alone, so that converting the same formula
+   twice yields byte-identical CNF.  The DPLL heuristics below iterate hash
+   tables keyed by variable name, so name drift would steer branching to a
+   different (equally valid) model — and a global counter is also a data
+   race when solves run on parallel domains. *)
 let tseitin f =
+  let fresh_counter = ref 0 in
+  let fresh_def_var () =
+    incr fresh_counter;
+    Printf.sprintf "@t%d" !fresh_counter
+  in
   let clauses = ref [] in
   let emit c = clauses := c :: !clauses in
   let define_binary mk g h =

@@ -1,0 +1,36 @@
+(* FNV-1a-style mixing restricted to OCaml's tagged-int range.  The
+   constants are the 64-bit FNV prime/offset; [land max_int] keeps every
+   intermediate non-negative so fingerprints can be used directly as
+   Hashtbl hashes. *)
+
+type t = int
+
+let fnv_prime = 0x100000001b3
+let seed = 0x4bf29ce484222325 (* FNV offset basis, truncated to 63 bits *)
+
+let int acc v =
+  (* Split the int into byte-ish chunks so small ids still diffuse. *)
+  let acc = (acc lxor (v land 0xffff)) * fnv_prime land max_int in
+  let acc = (acc lxor ((v lsr 16) land 0xffff)) * fnv_prime land max_int in
+  (acc lxor (v lsr 32)) * fnv_prime land max_int
+
+let bool acc b = int acc (if b then 1 else 0)
+let char acc c = (acc lxor Char.code c) * fnv_prime land max_int
+
+let string acc s =
+  let acc = ref (int acc (String.length s)) in
+  String.iter (fun c -> acc := char !acc c) s;
+  !acc
+
+let option f acc = function None -> int acc 0 | Some x -> f (int acc 1) x
+
+let list f acc xs =
+  List.fold_left f (int acc (List.length xs)) xs
+
+let pair f g acc (a, b) = g (f acc a) b
+
+let finish acc =
+  (* xor-fold the high half back in, then force non-negative. *)
+  (acc lxor (acc lsr 31)) land max_int
+
+let of_string s = finish (string seed s)

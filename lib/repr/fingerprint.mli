@@ -1,0 +1,44 @@
+(** Structural fingerprints: cheap, process-stable hashes used as cache
+    keys' hash component.
+
+    A fingerprint is a plain [int] in [0, max_int] built by folding a
+    value's structure through mixing combinators.  The intended inputs
+    are *interned ids* ([Value.id], [Symtab] ids, [Ituple.hash],
+    [Bitset.hash]) so fingerprinting a goal or a PL spec costs a few
+    integer multiplies, not a traversal of the underlying strings.
+
+    Fingerprints are stable within a process run (they depend only on
+    structure and on interned ids, which are assigned deterministically
+    by first-touch order) but are {e not} collision-free: a cache must
+    pair the fingerprint with an exact representation of the key and
+    compare that on lookup.  [Store] in [lib/cache] does exactly this. *)
+
+type t = int
+
+val seed : t
+(** Starting accumulator for a fresh fingerprint. *)
+
+val int : t -> int -> t
+(** Mix one integer (an interned id, a length, a small enum tag). *)
+
+val bool : t -> bool -> t
+val char : t -> char -> t
+
+val string : t -> string -> t
+(** Mix a string byte-by-byte.  Prefer [int] over an interned id when
+    one exists; this is the fallback for un-interned text. *)
+
+val option : (t -> 'a -> t) -> t -> 'a option -> t
+(** Tag-discriminated: [None] and [Some x] never collide by accident. *)
+
+val list : (t -> 'a -> t) -> t -> 'a list -> t
+(** Length-prefixed fold, so [[1];[2]] and [[1;2]] differ. *)
+
+val pair : (t -> 'a -> t) -> (t -> 'b -> t) -> t -> 'a * 'b -> t
+
+val finish : t -> int
+(** Final avalanche; result is non-negative. *)
+
+val of_string : string -> int
+(** [of_string s] = [finish (string seed s)] — fingerprint an exact
+    canonical key representation in one call. *)

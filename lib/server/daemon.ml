@@ -17,6 +17,7 @@ type config = {
   max_components : int;
   default_budget : Engine.Budget.t;
   max_budget : Engine.Budget.t;
+  cache_cap : int option;
 }
 
 let default_config addr =
@@ -34,7 +35,52 @@ let default_config addr =
       Engine.Budget.make ~max_depth:3 ~max_nodes:200_000 ~deadline_s:5. ();
     max_budget =
       Engine.Budget.make ~max_depth:6 ~max_nodes:2_000_000 ~deadline_s:30. ();
+    cache_cap = None;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Reply caches                                                        *)
+(*                                                                     *)
+(* Two layers over the process-lifetime store (DESIGN.md §4h).  L1     *)
+(* (class "server_l1") keys the raw request — session id, method and   *)
+(* rendered params — and stamps entries with the session's registry    *)
+(* epoch, so any register/unregister/re-register invalidates every     *)
+(* reply that might have resolved a component reference.  L2 (class    *)
+(* "server_l2") keys the content-resolved request — the parsed regex   *)
+(* ASTs and the effective budget — so equal work is shared across      *)
+(* sessions whatever names their registries use.  Only definitive      *)
+(* [`Ok] payloads are stored: errors, budget trips and close replies   *)
+(* always recompute.  The cached value is the payload alone — the      *)
+(* envelope (trace id, meta) stays per-request.                        *)
+(* ------------------------------------------------------------------ *)
+
+module Reply_store = Cache.Store.Make (struct
+  type t = J.t
+
+  let weight j = String.length (J.to_string j)
+end)
+
+let l1_store = Reply_store.create ~max_entries:1024 ~cls:"server_l1" ()
+let l2_store = Reply_store.create ~max_entries:1024 ~cls:"server_l2" ()
+
+type cache_source = [ `Off | `Miss | `L1 | `L2 ]
+
+let cache_source_string = function
+  | `Off -> "off"
+  | `Miss -> "miss"
+  | `L1 -> "l1"
+  | `L2 -> "l2"
+
+(* Methods whose [`Ok] reply is a pure function of (resolved) params. *)
+let cacheable_method = function
+  | "check" | "equivalence" | "kprefix" | "compose" -> true
+  | _ -> false
+
+(* Parsed regexes are pure ASTs, so marshaling is canonical: two specs
+   that parse to the same AST share one entry. *)
+let regex_repr r = Marshal.to_string r [ Marshal.No_sharing ]
+
+let budget_repr (b : Engine.Budget.t) = Marshal.to_string b [ Marshal.No_sharing ]
 
 type t = {
   config : config;
@@ -124,7 +170,27 @@ let decision_outcome_json = function
   | Decision.No -> Ok (J.Obj [ ("answer", J.String "no") ])
   | Decision.Exhausted e -> Error (`Exhausted e : reply)
 
-let dispatch cfg session ~sink (req : Protocol.request) : reply =
+(* Serve from / fill the content-resolved L2 cache around a method body.
+   Runs after parameter validation and reference resolution, so bad
+   requests never produce entries and the key is registry-independent. *)
+let l2 ~csrc parts (f : unit -> (reply, reply) result) : (reply, reply) result
+    =
+  if not (Engine.caching_enabled ()) then f ()
+  else begin
+    let key = Cache.Store.Key.of_parts parts in
+    match Reply_store.find l2_store key with
+    | Some payload ->
+      csrc := `L2;
+      Ok (`Ok payload)
+    | None ->
+      let r = f () in
+      (match r with
+      | Ok (`Ok payload) -> Reply_store.add l2_store key payload
+      | _ -> ());
+      r
+  end
+
+let dispatch cfg session ~sink ~csrc (req : Protocol.request) : reply =
   let params = req.P.params in
   let result : (reply, reply) result =
     match req.P.meth with
@@ -192,6 +258,8 @@ let dispatch cfg session ~sink (req : Protocol.request) : reply =
         | None -> bad "missing parameter \"service\""
       in
       let* _, _, r = resolve cfg session j in
+      l2 ~csrc [ "check"; regex_repr r ]
+      @@ fun () ->
       let alphabet_size = alphabet_size_of [ r ] in
       let sws = Roman.to_sws_pl (Nfa.of_regex ~alphabet_size r) in
       let* ne = decision_outcome_json (Decision.pl_non_emptiness ~stats:sink sws) in
@@ -222,6 +290,8 @@ let dispatch cfg session ~sink (req : Protocol.request) : reply =
       in
       let* _, _, rl = resolve cfg session jl in
       let* _, _, rr = resolve cfg session jr in
+      l2 ~csrc [ "equivalence"; regex_repr rl; regex_repr rr ]
+      @@ fun () ->
       let alphabet_size = alphabet_size_of [ rl; rr ] in
       let sl = Roman.to_sws_pl (Nfa.of_regex ~alphabet_size rl) in
       let sr = Roman.to_sws_pl (Nfa.of_regex ~alphabet_size rr) in
@@ -244,6 +314,8 @@ let dispatch cfg session ~sink (req : Protocol.request) : reply =
         | None -> bad "missing parameter \"service\""
       in
       let* _, _, r = resolve cfg session j in
+      l2 ~csrc [ "kprefix"; regex_repr r ]
+      @@ fun () ->
       let alphabet_size = alphabet_size_of [ r ] in
       let dfa = Dfa.of_nfa (Nfa.of_regex ~alphabet_size r) in
       Ok
@@ -301,13 +373,19 @@ let dispatch cfg session ~sink (req : Protocol.request) : reply =
           (fun (n, r) -> (n, Nfa.of_regex ~alphabet_size r))
           named_rs
       in
+      let component_parts =
+        List.concat_map (fun (n, r) -> [ n; regex_repr r ]) named_rs
+      in
       (match mode with
       | `Or -> (
         match J.member "budget" params with
         | Some _ ->
           bad "mode \"or\" is decisive and takes no budget (use mode \"mdtb\")"
-        | None -> (
-          match Compose.compose_nfa_or ~goal:goal_nfa ~components with
+        | None ->
+          l2 ~csrc
+            (("compose_or" :: regex_repr goal_r :: component_parts))
+          @@ fun () ->
+          (match Compose.compose_nfa_or ~goal:goal_nfa ~components with
           | Some { Compose.exact; mediator; component_names } ->
             let plans =
               List.filter (Dfa.accepts mediator)
@@ -336,6 +414,10 @@ let dispatch cfg session ~sink (req : Protocol.request) : reply =
           | None -> Ok (`Ok (J.Obj [ ("found", J.Bool false) ]))))
       | `Mdtb -> (
         let* budget = budget_param cfg params in
+        l2 ~csrc
+          ("compose_mdtb" :: budget_repr budget :: regex_repr goal_r
+          :: component_parts)
+        @@ fun () ->
         match
           Compose.compose_mdtb ~stats:sink ~budget ~goal:goal_nfa ~components ()
         with
@@ -371,7 +453,29 @@ let dispatch cfg session ~sink (req : Protocol.request) : reply =
                   J.Int (List.length (Session.components session)) );
                 ( "counters",
                   Engine.Stats.snapshot_json (Session.stats session) );
+                ("cache", Engine.cache_gauges_json (Engine.cache_snapshot ()));
               ]))
+    | "cache" -> (
+      let* () = check_keys params [ "op" ] in
+      let* op =
+        match J.member "op" params with
+        | None | Some (J.String "stats") -> Ok `Stats
+        | Some (J.String "clear") -> Ok `Clear
+        | Some _ -> bad "op must be \"stats\" or \"clear\""
+      in
+      match op with
+      | `Stats ->
+        Ok
+          (`Ok
+             (J.Obj
+                [
+                  ("enabled", J.Bool (Engine.caching_enabled ()));
+                  ( "classes",
+                    Engine.cache_gauges_json (Engine.cache_snapshot ()) );
+                ]))
+      | `Clear ->
+        Engine.cache_clear_all ();
+        Ok (`Ok (J.Obj [ ("cleared", J.Bool true) ])))
     | "close" ->
       let* () = check_keys params [] in
       Ok (`Ok_close (J.Obj [ ("closing", J.Bool true) ]))
@@ -388,6 +492,10 @@ let handle cfg session (req : Protocol.request) : J.t * [ `Keep | `Close ] =
   let trace_id = Session.next_trace_id session in
   let sink = Engine.Stats.create () in
   let before = Engine.Stats.snapshot sink in
+  let cache_before = Engine.cache_snapshot () in
+  let csrc : cache_source ref =
+    ref (if Engine.caching_enabled () then `Miss else `Off)
+  in
   let t0 = Obs.Clock.now_ns () in
   let reply =
     Engine.run ~stats:sink
@@ -397,8 +505,36 @@ let handle cfg session (req : Protocol.request) : J.t * [ `Keep | `Close ] =
         | `Error _ -> Obs.Trace.Decided false
         | `Exhausted (e : Engine.exhausted) -> Obs.Trace.Tripped e.Engine.limit)
       (fun () ->
-        try dispatch cfg session ~sink req
-        with e -> `Error (P.err_internal, Printexc.to_string e))
+        let compute () =
+          try dispatch cfg session ~sink ~csrc req
+          with e -> `Error (P.err_internal, Printexc.to_string e)
+        in
+        if not (Engine.caching_enabled () && cacheable_method req.P.meth)
+        then compute ()
+        else begin
+          (* L1: the raw request per session, validated against the
+             registry epoch so any (un)registration invalidates it *)
+          let epoch = Session.epoch session in
+          let key =
+            Cache.Store.Key.of_parts
+              [
+                "l1";
+                string_of_int (Session.sid session);
+                req.P.meth;
+                J.to_string req.P.params;
+              ]
+          in
+          match Reply_store.find ~epoch l1_store key with
+          | Some payload ->
+            csrc := `L1;
+            `Ok payload
+          | None ->
+            let r = compute () in
+            (match r with
+            | `Ok payload -> Reply_store.add ~epoch l1_store key payload
+            | _ -> ());
+            r
+        end)
   in
   let meta =
     if req.P.want_meta then
@@ -410,6 +546,15 @@ let handle cfg session (req : Protocol.request) : J.t * [ `Keep | `Close ] =
              ( "counters",
                Engine.Stats.counters_to_json (Engine.Stats.delta ~before sink)
              );
+             ( "cache",
+               J.Obj
+                 [
+                   ("source", J.String (cache_source_string !csrc));
+                   ( "delta",
+                     Engine.cache_gauges_json
+                       (Engine.cache_snapshot_delta ~before:cache_before
+                          (Engine.cache_snapshot ())) );
+                 ] );
            ])
     else None
   in
@@ -555,6 +700,7 @@ let start config =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   Option.iter (fun j -> Par.Pool.set_jobs (Some j)) config.jobs;
+  Option.iter (fun n -> Engine.cache_set_caps ~max_entries:n ()) config.cache_cap;
   let listen_fd, bound = listen_on config.addr in
   let t =
     {

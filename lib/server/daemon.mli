@@ -41,6 +41,9 @@ type config = {
       (** budget applied when a request carries none *)
   max_budget : Sws.Engine.Budget.t;
       (** every request budget is [combine]d (pointwise min) with this *)
+  cache_cap : int option;
+      (** re-cap every cache class to this many entries at start
+          ([--cache-cap]); [None] keeps the per-store defaults *)
 }
 
 val default_config : Protocol.addr -> config

@@ -11,6 +11,7 @@ type t = {
   mutable stats : Sws.Engine.Stats.t;
   mutable handled : int;
   mutable next_seq : int;
+  mutable epoch : int;
 }
 
 let create ~sid =
@@ -20,9 +21,11 @@ let create ~sid =
     stats = Sws.Engine.Stats.create ();
     handled = 0;
     next_seq = 0;
+    epoch = 0;
   }
 
 let sid t = t.sid
+let epoch t = t.epoch
 
 let next_trace_id t =
   t.next_seq <- t.next_seq + 1;
@@ -47,18 +50,22 @@ let register t ~max_components ~name ~spec =
            deterministic-response contract *)
         t.components <-
           List.map (fun c' -> if c'.name = name then c else c') t.components;
+        t.epoch <- t.epoch + 1;
         Ok c
       end
       else if List.length t.components >= max_components then Error `Full
       else begin
         t.components <- t.components @ [ c ];
+        t.epoch <- t.epoch + 1;
         Ok c
       end
 
 let unregister t name =
   let before = List.length t.components in
   t.components <- List.filter (fun c -> c.name <> name) t.components;
-  List.length t.components < before
+  let removed = List.length t.components < before in
+  if removed then t.epoch <- t.epoch + 1;
+  removed
 
 let find t name = List.find_opt (fun c -> c.name = name) t.components
 let components t = t.components

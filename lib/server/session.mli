@@ -24,6 +24,13 @@ val create : sid:int -> t
 
 val sid : t -> int
 
+(** Registry stamp: advanced by every successful [register] (including
+    an in-place re-registration, whose spec may differ), [unregister]
+    that removed something.  Cached replies that resolved component
+    references are stored under the epoch they were computed at, so any
+    registry change invalidates them (DESIGN.md §4h). *)
+val epoch : t -> int
+
 (** ["s<sid>-r<seq>"] — unique per request, deterministic per connection,
     echoed in every response. *)
 val next_trace_id : t -> string

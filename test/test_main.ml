@@ -25,4 +25,5 @@ let () =
       ("par", T_par.suite);
       ("json", T_json.suite);
       ("server", T_server.suite);
+      ("cache", T_cache.suite);
     ]
