@@ -106,48 +106,115 @@ let deadline_flag =
            budget.  A tripped deadline produces a structured \
            $(b,exhausted) response, never a hang.")
 
+let metrics_port_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "metrics-port" ] ~docv:"PORT"
+        ~doc:
+          "Serve $(b,GET /metrics) (Prometheus text format) and \
+           $(b,GET /healthz) on 127.0.0.1:$(docv).  Port 0 binds an \
+           ephemeral port, logged on startup.")
+
+let no_metrics_flag =
+  Arg.(
+    value & flag
+    & info [ "no-metrics" ]
+        ~doc:
+          "Disable metrics recording (the overhead-ablation arm).  \
+           Responses are identical either way; scrapes still answer, \
+           with frozen values.")
+
+let log_level_flag =
+  Arg.(
+    value & opt string "info"
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:"Log threshold: $(b,debug), $(b,info), $(b,warn) or $(b,error).")
+
+let log_json_flag =
+  Arg.(
+    value & flag
+    & info [ "log-json" ]
+        ~doc:
+          "Emit log records as one JSON object per line instead of the \
+           human-readable text form.")
+
+let trace_sample_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "trace-sample" ] ~docv:"N"
+        ~doc:
+          "Capture a full trace session around every $(docv)-th request; \
+           fetch the latest with the $(b,trace) method.")
+
+let trace_dir_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write each captured sample to $(docv)/trace-<trace_id>.json \
+           (Chrome trace_event format: chrome://tracing, Perfetto).")
+
+let slow_ms_flag =
+  Arg.(
+    value & opt float 1000.
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "Log (warn) and count any request taking at least $(docv) \
+           wall-clock milliseconds; 0 disables the check.")
+
 let serve socket tcp jobs max_inflight max_frame_bytes cache_cap no_cache
-    deadline =
+    deadline metrics_port no_metrics log_level log_json trace_sample trace_dir
+    slow_ms =
   match addr_of ~socket ~tcp with
   | Error m -> `Error (true, m)
-  | Ok addr ->
-    if no_cache then Sws.Engine.set_caching false;
-    let cfg = Server.Daemon.default_config addr in
-    let cfg =
-      {
-        cfg with
-        Server.Daemon.jobs;
-        max_inflight;
-        max_frame_bytes;
-        cache_cap;
-        default_budget =
-          Sws.Engine.Budget.combine cfg.Server.Daemon.default_budget
-            (Sws.Engine.Budget.of_seconds deadline);
-      }
-    in
-    let t = Server.Daemon.start cfg in
-    Fmt.pr "swsd: listening on %a (jobs=%d, max-inflight=%d)@."
-      Server.Protocol.pp_addr
-      (Server.Daemon.bound_addr t)
-      (Par.Pool.jobs ()) max_inflight;
-    (* The OCaml-level signal handler only runs when a domain-0 thread
-       reaches a safe point, and every server thread parks in a blocking
-       section (accept / read / join).  So the handler just sets a flag,
-       and the main thread polls it from [Thread.delay] — which returns
-       to OCaml code a few times per second, giving signals a safe point
-       to fire from. *)
-    let stop_requested = Atomic.make false in
-    let request_stop _ = Atomic.set stop_requested true in
-    (try
-       Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
-       Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop)
-     with Invalid_argument _ -> ());
-    while not (Atomic.get stop_requested) do
-      Thread.delay 0.25
-    done;
-    Server.Daemon.stop t;
-    Fmt.pr "swsd: stopped after %d sessions@." (Server.Daemon.sessions_started t);
-    `Ok 0
+  | Ok addr -> (
+    match Obs.Log.level_of_string log_level with
+    | None ->
+      `Error
+        (true, Printf.sprintf "--log-level: unknown level %S" log_level)
+    | Some level ->
+      Obs.Log.set_level level;
+      Obs.Log.set_format (if log_json then Obs.Log.Json else Obs.Log.Text);
+      if no_cache then Sws.Engine.set_caching false;
+      let cfg = Server.Daemon.default_config addr in
+      let cfg =
+        {
+          cfg with
+          Server.Daemon.jobs;
+          max_inflight;
+          max_frame_bytes;
+          cache_cap;
+          default_budget =
+            Sws.Engine.Budget.combine cfg.Server.Daemon.default_budget
+              (Sws.Engine.Budget.of_seconds deadline);
+          metrics = not no_metrics;
+          metrics_port;
+          trace_sample;
+          trace_dir;
+          slow_ms = (if slow_ms > 0. then Some slow_ms else None);
+        }
+      in
+      let t = Server.Daemon.start cfg in
+      (* The OCaml-level signal handler only runs when a domain-0 thread
+         reaches a safe point, and every server thread parks in a blocking
+         section (accept / read / join).  So the handler just sets a flag,
+         and the main thread polls it from [Thread.delay] — which returns
+         to OCaml code a few times per second, giving signals a safe point
+         to fire from. *)
+      let stop_requested = Atomic.make false in
+      let request_stop _ = Atomic.set stop_requested true in
+      (try
+         Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+         Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop)
+       with Invalid_argument _ -> ());
+      while not (Atomic.get stop_requested) do
+        Thread.delay 0.25
+      done;
+      Server.Daemon.stop t;
+      `Ok 0)
 
 let serve_cmd =
   let doc = "run the composition server in the foreground" in
@@ -155,7 +222,9 @@ let serve_cmd =
     Term.(
       ret
         (const serve $ socket_flag $ tcp_flag $ jobs_flag $ max_inflight_flag
-       $ max_frame_flag $ cache_cap_flag $ no_cache_flag $ deadline_flag))
+       $ max_frame_flag $ cache_cap_flag $ no_cache_flag $ deadline_flag
+       $ metrics_port_flag $ no_metrics_flag $ log_level_flag $ log_json_flag
+       $ trace_sample_flag $ trace_dir_flag $ slow_ms_flag))
 
 (* ------------------------------------------------------------------ *)
 (* request                                                             *)
@@ -168,7 +237,8 @@ let method_flag =
     & info [ "method" ] ~docv:"NAME"
         ~doc:
           "Request method: ping, register, unregister, list, check, \
-           equivalence, kprefix, compose, stats, cache, close.")
+           equivalence, kprefix, compose, stats, cache, metrics, trace, \
+           close.")
 
 let param_flags =
   Arg.(

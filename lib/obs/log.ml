@@ -1,0 +1,111 @@
+(* See log.mli. *)
+
+type level = Debug | Info | Warn | Error
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+(* The threshold is an atomic int so [would_log] is one load — the only
+   cost a suppressed record pays. *)
+let threshold = Atomic.make (severity Warn)
+let set_level l = Atomic.set threshold (severity l)
+
+let level () =
+  match Atomic.get threshold with
+  | 0 -> Debug
+  | 1 -> Info
+  | 2 -> Warn
+  | _ -> Error
+
+let would_log l = severity l >= Atomic.get threshold
+
+type format = Json | Text
+
+let current_format = Atomic.make Text
+let set_format f = Atomic.set current_format f
+let format () = Atomic.get current_format
+
+(* Channel + emission lock: records from connection threads, pool domains
+   and the accept loop interleave, and a torn line is worse than a short
+   wait.  A leaf lock — nothing is called while holding it but the
+   formatter and the write. *)
+let lock = Mutex.create ()
+let channel = ref stderr
+let set_channel oc = Mutex.protect lock (fun () -> channel := oc)
+
+let timestamp () =
+  let now = Unix.gettimeofday () in
+  let tm = Unix.gmtime now in
+  let ms = int_of_float ((now -. Float.of_int (int_of_float now)) *. 1000.) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+    (max 0 (min 999 ms))
+
+type field = string * Json.t
+
+let reserved = [ "ts"; "level"; "msg" ]
+
+let sanitize fields =
+  List.map
+    (fun (k, v) -> if List.mem k reserved then (k ^ "_field", v) else (k, v))
+    fields
+
+let render_json ts l msg fields =
+  Json.to_string
+    (Json.Obj
+       ([
+          ("ts", Json.String ts);
+          ("level", Json.String (level_to_string l));
+          ("msg", Json.String msg);
+        ]
+       @ sanitize fields))
+
+let render_text ts l msg fields =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf ts;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (String.uppercase_ascii (level_to_string l));
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf msg;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf k;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf
+        (match v with Json.String s -> s | v -> Json.to_string v))
+    fields;
+  Buffer.contents buf
+
+let log l ?(fields = []) msg =
+  if would_log l then begin
+    let ts = timestamp () in
+    let line =
+      match Atomic.get current_format with
+      | Json -> render_json ts l msg fields
+      | Text -> render_text ts l msg fields
+    in
+    Mutex.protect lock (fun () ->
+        let oc = !channel in
+        output_string oc line;
+        output_char oc '\n';
+        flush oc)
+  end
+
+let debug ?fields msg = log Debug ?fields msg
+let info ?fields msg = log Info ?fields msg
+let warn ?fields msg = log Warn ?fields msg
+let error ?fields msg = log Error ?fields msg

@@ -1,0 +1,51 @@
+(** Leveled structured logging for the long-running binaries.
+
+    One process-wide logger, mutex-guarded, writing one line per record
+    to a configurable channel (stderr by default) in either JSON
+    (machines: one object per line with [ts]/[level]/[msg] plus the
+    record's fields) or text (humans: [ts LEVEL msg key=value ...]).
+
+    The default level is {!Warn}: a library that embeds a daemon (the
+    tests, the bench) stays quiet unless something is actually wrong;
+    the [swsd] binary raises it to [Info] via [--log-level].  Below-level
+    records cost one atomic load and a branch — fields are not even
+    evaluated by {!debug}/{!info} callers that guard with {!would_log}
+    (the combinators here always evaluate their arguments; guard hot
+    paths explicitly). *)
+
+type level = Debug | Info | Warn | Error
+
+val level_to_string : level -> string
+val level_of_string : string -> level option
+
+val set_level : level -> unit
+val level : unit -> level
+
+val would_log : level -> bool
+
+type format = Json | Text
+
+val set_format : format -> unit
+val format : unit -> format
+
+val set_channel : out_channel -> unit
+(** Where records go (default [stderr]).  The channel is flushed after
+    every record, so lines survive a crash. *)
+
+type field = string * Json.t
+
+val log : level -> ?fields:field list -> string -> unit
+(** Emit one record if [level] clears the threshold.  In JSON format the
+    record is [{"ts": ..., "level": ..., "msg": ..., <fields>}] with
+    [ts] an ISO-8601 UTC timestamp; reserved keys ([ts], [level], [msg])
+    in [fields] are suffixed with [_field] rather than clobbering the
+    envelope. *)
+
+val debug : ?fields:field list -> string -> unit
+val info : ?fields:field list -> string -> unit
+val warn : ?fields:field list -> string -> unit
+val error : ?fields:field list -> string -> unit
+
+val timestamp : unit -> string
+(** The ISO-8601 UTC timestamp (millisecond precision) records carry —
+    exposed for the format tests. *)

@@ -86,6 +86,24 @@ module Hist = struct
     m.sum_ns <- a.sum_ns + b.sum_ns;
     m
 
+  (* Upper-bound convention: the exclusive upper bound of the bucket
+     holding the rank-ceil(q*count) smallest observation, so the true
+     quantile value is always <= the reported one (and < it, except in
+     the top bucket, whose bound caps at [max_int] inclusive). *)
+  let quantile t q =
+    if t.count = 0 then 0
+    else begin
+      let q = Float.max 0. (Float.min 1. q) in
+      let rank = max 1 (int_of_float (ceil (q *. float_of_int t.count))) in
+      let rec go i seen =
+        if i >= n_buckets then snd (bucket_bounds (n_buckets - 1))
+        else
+          let seen = seen + t.counts.(i) in
+          if seen >= rank then snd (bucket_bounds i) else go (i + 1) seen
+      in
+      go 0 0
+    end
+
   let to_json t =
     Json.Obj
       [

@@ -68,6 +68,14 @@ module Hist : sig
   (** Fresh histogram with summed counts. *)
   val merge : t -> t -> t
 
+  (** [quantile t q] for [q] in [[0, 1]] (clamped): the {e exclusive
+      upper bound} of the bucket holding the [ceil (q * count)]-th
+      smallest observation, so the true quantile never exceeds the
+      reported value.  Returns [0] on an empty histogram.  This is the
+      p50/p95/p99 read-out of the bench and the telemetry plane — exact
+      to within one log-2 bucket (constant relative error). *)
+  val quantile : t -> float -> int
+
   val to_json : t -> Json.t
 end
 

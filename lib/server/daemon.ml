@@ -18,6 +18,11 @@ type config = {
   default_budget : Engine.Budget.t;
   max_budget : Engine.Budget.t;
   cache_cap : int option;
+  metrics : bool;
+  metrics_port : int option;
+  trace_sample : int option;
+  trace_dir : string option;
+  slow_ms : float option;
 }
 
 let default_config addr =
@@ -36,6 +41,12 @@ let default_config addr =
     max_budget =
       Engine.Budget.make ~max_depth:6 ~max_nodes:2_000_000 ~deadline_s:30. ();
     cache_cap = None;
+    metrics = true;
+    metrics_port = None;
+    trace_sample = None;
+    trace_dir = None;
+    (* a second of wall clock on one request is news worth a log line *)
+    slow_ms = Some 1000.;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -84,18 +95,22 @@ let budget_repr (b : Engine.Budget.t) = Marshal.to_string b [ Marshal.No_sharing
 
 type t = {
   config : config;
+  tel : Telemetry.t;
   listen_fd : Unix.file_descr;
   bound : Protocol.addr;
   stopping : bool Atomic.t;
   inflight : int Atomic.t;
   next_sid : int Atomic.t;
   mutable accept_thread : Thread.t option;
+  mutable http : Http.t option;
   conns_mu : Mutex.t;
   mutable conns : (Unix.file_descr * Thread.t) list;
 }
 
 let bound_addr t = t.bound
 let sessions_started t = Atomic.get t.next_sid - 1
+let telemetry t = t.tel
+let metrics_bound_port t = Option.map Http.bound_port t.http
 
 (* ------------------------------------------------------------------ *)
 (* Request dispatch                                                    *)
@@ -190,7 +205,7 @@ let l2 ~csrc parts (f : unit -> (reply, reply) result) : (reply, reply) result
       r
   end
 
-let dispatch cfg session ~sink ~csrc (req : Protocol.request) : reply =
+let dispatch cfg session ~tel ~sink ~csrc (req : Protocol.request) : reply =
   let params = req.P.params in
   let result : (reply, reply) result =
     match req.P.meth with
@@ -198,7 +213,12 @@ let dispatch cfg session ~sink ~csrc (req : Protocol.request) : reply =
       let* () = check_keys params [] in
       Ok
         (`Ok
-           (J.Obj [ ("pong", J.Bool true); ("server", J.String "swsd") ]))
+           (J.Obj
+              [
+                ("pong", J.Bool true);
+                ("server", J.String "swsd");
+                ("version", J.Int P.version);
+              ]))
     | "register" ->
       let* () = check_keys params [ "name"; "spec" ] in
       let* name = req_string params "name" in
@@ -448,12 +468,51 @@ let dispatch cfg session ~sink ~csrc (req : Protocol.request) : reply =
         (`Ok
            (J.Obj
               [
+                ("version", J.Int P.version);
+                ("pid", J.Int (Telemetry.pid tel));
+                ("started_at", J.Float (Telemetry.started_at tel));
+                ("uptime_ns", J.Int (Telemetry.uptime_ns tel));
                 ("requests_handled", J.Int (Session.requests_handled session));
                 ( "components",
                   J.Int (List.length (Session.components session)) );
                 ( "counters",
                   Engine.Stats.snapshot_json (Session.stats session) );
                 ("cache", Engine.cache_gauges_json (Engine.cache_snapshot ()));
+              ]))
+    | "metrics" ->
+      let* () = check_keys params [] in
+      Ok
+        (`Ok
+           (J.Obj
+              [
+                ("version", J.Int P.version);
+                ("pid", J.Int (Telemetry.pid tel));
+                ("started_at", J.Float (Telemetry.started_at tel));
+                ("uptime_ns", J.Int (Telemetry.uptime_ns tel));
+                ("enabled", J.Bool (Obs.Metrics.enabled ()));
+                ("metrics", Telemetry.to_json tel);
+              ]))
+    | "trace" ->
+      let* () = check_keys params [ "op" ] in
+      let* () =
+        match J.member "op" params with
+        | None | Some (J.String "last") -> Ok ()
+        | Some _ -> bad "op must be \"last\""
+      in
+      Ok
+        (`Ok
+           (J.Obj
+              [
+                ( "sample_every",
+                  match Telemetry.sample_every tel with
+                  | Some n -> J.Int n
+                  | None -> J.Null );
+                ("samples_taken", J.Int (Telemetry.samples_taken tel));
+                ("samples_skipped", J.Int (Telemetry.samples_skipped tel));
+                ( "trace",
+                  match Telemetry.last_trace tel with
+                  | Some j -> j
+                  | None -> J.Null );
               ]))
     | "cache" -> (
       let* () = check_keys params [ "op" ] in
@@ -488,7 +547,8 @@ let dispatch cfg session ~sink ~csrc (req : Protocol.request) : reply =
 (* Per-request envelope: stats sink, provenance, meta                  *)
 (* ------------------------------------------------------------------ *)
 
-let handle cfg session (req : Protocol.request) : J.t * [ `Keep | `Close ] =
+let handle cfg tel session (req : Protocol.request) : J.t * [ `Keep | `Close ]
+    =
   let trace_id = Session.next_trace_id session in
   let sink = Engine.Stats.create () in
   let before = Engine.Stats.snapshot sink in
@@ -498,6 +558,7 @@ let handle cfg session (req : Protocol.request) : J.t * [ `Keep | `Close ] =
   in
   let t0 = Obs.Clock.now_ns () in
   let reply =
+    Telemetry.with_sample tel ~trace_id @@ fun () ->
     Engine.run ~stats:sink
       ~name:("swsd." ^ req.P.meth)
       ~outcome:(function
@@ -506,7 +567,7 @@ let handle cfg session (req : Protocol.request) : J.t * [ `Keep | `Close ] =
         | `Exhausted (e : Engine.exhausted) -> Obs.Trace.Tripped e.Engine.limit)
       (fun () ->
         let compute () =
-          try dispatch cfg session ~sink ~csrc req
+          try dispatch cfg session ~tel ~sink ~csrc req
           with e -> `Error (P.err_internal, Printexc.to_string e)
         in
         if not (Engine.caching_enabled () && cacheable_method req.P.meth)
@@ -536,6 +597,44 @@ let handle cfg session (req : Protocol.request) : J.t * [ `Keep | `Close ] =
             r
         end)
   in
+  let dur_ns = Int64.to_int (Obs.Clock.elapsed_ns t0) in
+  let status =
+    match reply with
+    | `Ok _ | `Ok_close _ -> "ok"
+    | `Error _ -> "error"
+    | `Exhausted _ -> "exhausted"
+  in
+  Telemetry.record_request tel ~meth:req.P.meth ~status ~dur_ns;
+  (match reply with
+  | `Exhausted (e : Engine.exhausted) -> Telemetry.budget_trip tel e.Engine.limit
+  | _ -> ());
+  (match cfg.slow_ms with
+  | Some threshold_ms ->
+    let dur_ms = Obs.Clock.ns_to_ms (Int64.of_int dur_ns) in
+    if dur_ms >= threshold_ms then begin
+      Telemetry.slow_request tel;
+      (* best effort: under concurrency another run may have recorded
+         provenance since ours, so only trust a record naming this
+         method; otherwise fall back to the reply status *)
+      let outcome =
+        match Obs.Trace.last_provenance () with
+        | Some p when String.equal p.Obs.Trace.procedure ("swsd." ^ req.P.meth)
+          ->
+          Obs.Trace.outcome_to_string p.Obs.Trace.outcome
+        | _ -> status
+      in
+      Obs.Log.warn
+        ~fields:
+          [
+            ("trace_id", J.String trace_id);
+            ("method", J.String req.P.meth);
+            ("duration_ms", J.Float dur_ms);
+            ("outcome", J.String outcome);
+            ("cache", J.String (cache_source_string !csrc));
+          ]
+        "slow request"
+    end
+  | None -> ());
   let meta =
     if req.P.want_meta then
       Some
@@ -575,10 +674,13 @@ let handle cfg session (req : Protocol.request) : J.t * [ `Keep | `Close ] =
 let serve_conn t fd =
   let cfg = t.config in
   let session = Session.create ~sid:(Atomic.fetch_and_add t.next_sid 1) in
+  Telemetry.connection_opened t.tel;
+  Telemetry.session_started t.tel;
   let respond json = Protocol.write_frame fd (J.to_string json) in
   let handle_payload payload =
     match J.of_string ~max_depth:cfg.max_json_depth payload with
     | Error msg ->
+      Telemetry.wire_error t.tel P.err_parse;
       respond
         (P.error_response ~id:J.Null ~trace_id:(Session.next_trace_id session)
            ~code:P.err_parse ~message:msg ());
@@ -586,6 +688,7 @@ let serve_conn t fd =
     | Ok json -> (
       match Protocol.request_of_json json with
       | Error msg ->
+        Telemetry.wire_error t.tel P.err_bad_request;
         respond
           (P.error_response ~id:J.Null
              ~trace_id:(Session.next_trace_id session) ~code:P.err_bad_request
@@ -596,6 +699,7 @@ let serve_conn t fd =
            answered [busy] immediately rather than queued without bound *)
         if Atomic.fetch_and_add t.inflight 1 >= cfg.max_inflight then begin
           Atomic.decr t.inflight;
+          Telemetry.wire_error t.tel P.err_busy;
           respond
             (P.error_response ~id:req.P.id
                ~trace_id:(Session.next_trace_id session) ~code:P.err_busy
@@ -606,15 +710,18 @@ let serve_conn t fd =
           `Keep
         end
         else begin
+          Telemetry.request_started t.tel;
           let response, keep =
             Fun.protect
-              ~finally:(fun () -> Atomic.decr t.inflight)
+              ~finally:(fun () ->
+                Atomic.decr t.inflight;
+                Telemetry.request_finished t.tel)
               (fun () ->
                 (* hop to a pool domain: connection systhreads share their
                    spawning domain's runtime lock, the pool runs requests
                    in real parallel *)
                 Par.Pool.await
-                  (Par.Pool.async (fun () -> handle cfg session req)))
+                  (Par.Pool.async (fun () -> handle cfg t.tel session req)))
           in
           respond response;
           keep
@@ -623,6 +730,7 @@ let serve_conn t fd =
   let rec loop () =
     match Protocol.read_frame ~max_bytes:cfg.max_frame_bytes fd with
     | Error (`Too_large n) ->
+      Telemetry.wire_error t.tel P.err_too_large;
       respond
         (P.error_response ~id:J.Null ~trace_id:(Session.next_trace_id session)
            ~code:P.err_too_large
@@ -638,6 +746,7 @@ let serve_conn t fd =
   | Unix.Unix_error _ -> ()
   | Sys_error _ -> ());
   (try Unix.close fd with Unix.Unix_error _ -> ());
+  Telemetry.connection_closed t.tel;
   Mutex.lock t.conns_mu;
   t.conns <- List.filter (fun (fd', _) -> fd' != fd) t.conns;
   Mutex.unlock t.conns_mu
@@ -695,27 +804,99 @@ let accept_loop t =
   in
   go ()
 
+(* The /healthz contract: 200 while the daemon can take another request,
+   503 with a reason once it cannot (pool saturated, or stopping).  A
+   load balancer draining on 503 is the intended reader. *)
+let http_handler t ~meth ~path : Http.response =
+  if not (String.equal meth "GET") then
+    {
+      Http.status = 405;
+      content_type = "text/plain";
+      body = "method not allowed\n";
+    }
+  else
+    match path with
+    | "/metrics" ->
+      {
+        Http.status = 200;
+        content_type = "text/plain; version=0.0.4";
+        body = Telemetry.to_prometheus t.tel;
+      }
+    | "/healthz" ->
+      let inflight = Atomic.get t.inflight in
+      let state =
+        if Atomic.get t.stopping then Error "stopping"
+        else if inflight >= t.config.max_inflight then Error "saturated"
+        else Ok ()
+      in
+      let body reason_or_ok =
+        J.to_string
+          (J.Obj
+             [
+               ("status", J.String reason_or_ok);
+               ("inflight", J.Int inflight);
+               ("max_inflight", J.Int t.config.max_inflight);
+               ("uptime_ns", J.Int (Telemetry.uptime_ns t.tel));
+             ])
+        ^ "\n"
+      in
+      (match state with
+      | Ok () ->
+        { Http.status = 200; content_type = "application/json"; body = body "ok" }
+      | Error reason ->
+        {
+          Http.status = 503;
+          content_type = "application/json";
+          body = body reason;
+        })
+    | _ ->
+      { Http.status = 404; content_type = "text/plain"; body = "not found\n" }
+
 let start config =
   (* a client hanging up mid-response must cost an EPIPE, not the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   Option.iter (fun j -> Par.Pool.set_jobs (Some j)) config.jobs;
   Option.iter (fun n -> Engine.cache_set_caps ~max_entries:n ()) config.cache_cap;
+  Obs.Metrics.set_enabled config.metrics;
+  let tel =
+    Telemetry.create ?trace_sample:config.trace_sample
+      ?trace_dir:config.trace_dir ()
+  in
   let listen_fd, bound = listen_on config.addr in
   let t =
     {
       config;
+      tel;
       listen_fd;
       bound;
       stopping = Atomic.make false;
       inflight = Atomic.make 0;
       next_sid = Atomic.make 1;
       accept_thread = None;
+      http = None;
       conns_mu = Mutex.create ();
       conns = [];
     }
   in
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  (match config.metrics_port with
+  | Some port ->
+    let http = Http.start ~port (fun ~meth ~path -> http_handler t ~meth ~path) in
+    t.http <- Some http;
+    Obs.Log.info
+      ~fields:[ ("port", J.Int (Http.bound_port http)) ]
+      "metrics listener up"
+  | None -> ());
+  Obs.Log.info
+    ~fields:
+      [
+        ("addr", J.String (Fmt.str "%a" Protocol.pp_addr bound));
+        ("pid", J.Int (Unix.getpid ()));
+        ("jobs", J.Int (Par.Pool.jobs ()));
+        ("metrics", J.Bool config.metrics);
+      ]
+    "swsd listening";
   t
 
 let wait t = Option.iter Thread.join t.accept_thread
@@ -743,6 +924,7 @@ let wake_accept bound =
 
 let stop t =
   if not (Atomic.exchange t.stopping true) then begin
+    Option.iter Http.stop t.http;
     (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
      with Unix.Unix_error _ -> ());
     wake_accept t.bound;
@@ -756,8 +938,11 @@ let stop t =
         try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
       conns;
     List.iter (fun (_, th) -> Thread.join th) conns;
-    match t.bound with
+    (match t.bound with
     | Protocol.Unix_sock path -> (
       try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
-    | Protocol.Tcp _ -> ()
+    | Protocol.Tcp _ -> ());
+    Obs.Log.info
+      ~fields:[ ("sessions", J.Int (sessions_started t)) ]
+      "swsd stopped"
   end

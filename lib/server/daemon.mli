@@ -44,6 +44,23 @@ type config = {
   cache_cap : int option;
       (** re-cap every cache class to this many entries at start
           ([--cache-cap]); [None] keeps the per-store defaults *)
+  metrics : bool;
+      (** sets the process-wide {!Obs.Metrics} switch at start
+          ([--no-metrics] turns recording off; export keeps working) *)
+  metrics_port : int option;
+      (** serve [GET /metrics] (Prometheus text format) and
+          [GET /healthz] on [127.0.0.1:port]; [0] picks an ephemeral
+          port, read back with {!metrics_bound_port} *)
+  trace_sample : int option;
+      (** capture a full trace session around every [n]-th request
+          ([--trace-sample n]); [None] or [n < 1] disables sampling *)
+  trace_dir : string option;
+      (** write each captured sample as Chrome-format
+          [trace-<trace_id>.json] into this directory *)
+  slow_ms : float option;
+      (** requests at least this many wall-clock milliseconds long are
+          counted and logged at warn level with their provenance
+          outcome; [None] disables the check (default 1000 ms) *)
 }
 
 val default_config : Protocol.addr -> config
@@ -60,6 +77,13 @@ val start : config -> t
 val bound_addr : t -> Protocol.addr
 
 val sessions_started : t -> int
+
+val telemetry : t -> Telemetry.t
+(** The daemon's metrics registry and sampler (tests, embedders). *)
+
+val metrics_bound_port : t -> int option
+(** The port the scrape listener actually bound ([metrics_port = Some 0]
+    picks an ephemeral one); [None] when no listener was configured. *)
 
 val wait : t -> unit
 (** Block until the server stops (the foreground mode of [bin/swsd]). *)

@@ -1,0 +1,155 @@
+(* See http.mli. *)
+
+type response = { status : int; content_type : string; body : string }
+
+type handler = meth:string -> path:string -> response
+
+type t = {
+  fd : Unix.file_descr;
+  port : int;
+  handler : handler;
+  stopping : bool Atomic.t;
+  mutable thread : Thread.t option;
+}
+
+let bound_port t = t.port
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 503 -> "Service Unavailable"
+  | _ -> "OK"
+
+let write_response fd { status; content_type; body } =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\n\
+       Content-Type: %s\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\
+       \r\n"
+      status (status_text status) content_type (String.length body)
+  in
+  let msg = head ^ body in
+  let rec go ofs remaining =
+    if remaining > 0 then begin
+      let n = Unix.write_substring fd msg ofs remaining in
+      go (ofs + n) (remaining - n)
+    end
+  in
+  go 0 (String.length msg)
+
+(* Read until the blank line ending the header block, bounded: a scrape
+   request is a GET with no body, so 8 KiB of headers is generous and
+   anything beyond it is not a scraper. *)
+let max_head = 8192
+
+let read_head fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > max_head then None
+    else begin
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n = 0 then None
+      else begin
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        (* the terminator can straddle chunks, so re-scan the whole head *)
+        let rec find i =
+          if i + 3 >= String.length s then None
+          else if
+            s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+            && s.[i + 3] = '\n'
+          then Some (String.sub s 0 i)
+          else find (i + 1)
+        in
+        match find 0 with Some head -> Some head | None -> go ()
+      end
+    end
+  in
+  try go () with Unix.Unix_error _ -> None
+
+let parse_request_line head =
+  let line =
+    match String.index_opt head '\r' with
+    | Some i -> String.sub head 0 i
+    | None -> head
+  in
+  match String.split_on_char ' ' line with
+  | [ meth; target; _version ] ->
+    (* ignore any query string: /metrics?x=y scrapes /metrics *)
+    let path =
+      match String.index_opt target '?' with
+      | Some i -> String.sub target 0 i
+      | None -> target
+    in
+    Some (meth, path)
+  | _ -> None
+
+let serve_one handler fd =
+  (* a stalled scraper must not wedge the listener: the accept thread
+     serves connections serially, bounded by this read timeout *)
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
+  (try
+     match read_head fd with
+     | None -> ()
+     | Some head -> (
+       match parse_request_line head with
+       | None ->
+         write_response fd
+           { status = 400; content_type = "text/plain"; body = "bad request\n" }
+       | Some (meth, path) -> write_response fd (handler ~meth ~path))
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  let rec go () =
+    if Atomic.get t.stopping then ()
+    else
+      match Unix.accept t.fd with
+      | fd, _ ->
+        if Atomic.get t.stopping then (
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        else begin
+          serve_one t.handler fd;
+          go ()
+        end
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> go ()
+      | exception _ -> ()
+  in
+  go ()
+
+let start ~port handler =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  (try Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen fd 16;
+  let port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  let t = { fd; port; handler; stopping = Atomic.make false; thread = None } in
+  t.thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+(* Same wake-up dance as [Daemon.stop]: shut the listener down, then
+   connect once so a blocked [accept] returns and re-checks [stopping]. *)
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try
+       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, t.port))
+        with Unix.Unix_error _ -> ());
+       Unix.close fd
+     with Unix.Unix_error _ -> ());
+    Option.iter Thread.join t.thread;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,28 @@
+(** A deliberately minimal plain-HTTP/1.1 listener for the scrape
+    endpoints ([GET /metrics], [GET /healthz]).
+
+    Scope: loopback only, serial request handling on the accept thread
+    (a Prometheus scrape arrives every few seconds, not thousands per
+    second), one request per connection ([Connection: close]), request
+    head capped at 8 KiB, stalled readers dropped after a 2-second
+    timeout.  Anything needing more than that should sit behind a real
+    reverse proxy — this listener exists so a stock Prometheus can
+    scrape the daemon with zero extra moving parts. *)
+
+type response = { status : int; content_type : string; body : string }
+
+type handler = meth:string -> path:string -> response
+(** Called on the accept thread with the request method and path (query
+    string stripped).  Must not block. *)
+
+type t
+
+val start : port:int -> handler -> t
+(** Bind [127.0.0.1:port] ([port = 0] picks an ephemeral port — read it
+    back with {!bound_port}) and serve on a background thread.  Raises
+    [Unix.Unix_error] if the bind fails. *)
+
+val bound_port : t -> int
+
+val stop : t -> unit
+(** Shut the listener down and join its thread.  Idempotent. *)

@@ -2,6 +2,11 @@
 
 type addr = Unix_sock of string | Tcp of string * int
 
+(* Bumped when the wire protocol changes shape; echoed by [ping],
+   [stats] and [metrics] so clients can check what they are talking
+   to. *)
+let version = 1
+
 let pp_addr ppf = function
   | Unix_sock path -> Fmt.pf ppf "unix:%s" path
   | Tcp (host, port) -> Fmt.pf ppf "tcp:%s:%d" host port

@@ -19,6 +19,9 @@ type addr =
 
 val pp_addr : addr Fmt.t
 
+val version : int
+(** Wire-protocol version, echoed by [ping], [stats] and [metrics]. *)
+
 (** {1 Framing} *)
 
 val default_max_frame : int

@@ -1,0 +1,76 @@
+(** The daemon's telemetry plane: one {!Obs.Metrics} registry per daemon
+    instance, typed recording hooks for the connection loop, the bridged
+    engine cache gauges, and the sampled request tracer.
+
+    Each daemon owns its own registry so two servers in one process (the
+    tests, the bench) never mix series; the {e values} of the bridged
+    cache gauges and the pool gauge are process-global, matching the
+    process-lifetime stores they describe (DESIGN.md §4i).
+
+    Recording hooks are lock-free ({!Obs.Metrics} sharded counters and
+    histograms, atomic gauges); only scrape-time export takes the
+    registry mutex. *)
+
+type t
+
+val create : ?trace_sample:int -> ?trace_dir:string -> unit -> t
+(** [trace_sample] below 1 (or absent) disables the sampler;
+    [trace_dir], when set, receives one Chrome-format
+    [trace-<trace_id>.json] per captured sample. *)
+
+val registry : t -> Obs.Metrics.t
+val pid : t -> int
+
+val started_at : t -> float
+(** Unix epoch seconds at {!create}. *)
+
+val uptime_ns : t -> int
+(** Monotonic nanoseconds since {!create}. *)
+
+(** {1 Recording} *)
+
+val connection_opened : t -> unit
+val connection_closed : t -> unit
+val session_started : t -> unit
+val request_started : t -> unit
+val request_finished : t -> unit
+
+val record_request : t -> meth:string -> status:string -> dur_ns:int -> unit
+(** Count one finished request and feed its latency histogram.  Methods
+    outside the wire protocol accumulate under [method="other"], keeping
+    the label set closed (no unbounded series from hostile method
+    names). *)
+
+val budget_trip : t -> Obs.Trace.limit -> unit
+val wire_error : t -> string -> unit
+val slow_request : t -> unit
+
+(** {1 Sampled request tracing}
+
+    {!with_sample} counts {e every} request exactly (one atomic add) and
+    captures a full {!Obs.Trace} session around every [trace_sample]-th.
+    Because a capture installs the process-global trace session, at most
+    one runs at a time: a due request that finds a capture in progress
+    runs untraced and bumps [swsd_trace_samples_skipped]. *)
+
+val with_sample : t -> trace_id:string -> (unit -> 'a) -> 'a
+
+val last_trace : t -> Obs.Json.t option
+(** The most recently captured session, Chrome [trace_event] format. *)
+
+val sample_every : t -> int option
+val samples_taken : t -> int
+val samples_skipped : t -> int
+
+(** {1 Export} *)
+
+val refresh : t -> unit
+(** Pull the engine's per-class cache gauges into the registry (children
+    are get-or-create, so classes appearing after startup still show
+    up).  Called by the exporters; exposed for tests. *)
+
+val to_json : t -> Obs.Json.t
+(** {!refresh} then {!Obs.Metrics.to_json}. *)
+
+val to_prometheus : t -> string
+(** {!refresh} then {!Obs.Metrics.to_prometheus}. *)

@@ -26,4 +26,5 @@ let () =
       ("json", T_json.suite);
       ("server", T_server.suite);
       ("cache", T_cache.suite);
+      ("metrics", T_metrics.suite);
     ]
