@@ -444,7 +444,9 @@ let table2_mdt_or () =
            measure (fun () ->
                ignore
                  (Compose.compose_nfa_or ~goal
-                    ~components:[ ("c_ab", nfa2 "ab"); ("c_a", nfa2 "a"); ("c_b", nfa2 "b") ])) ))
+                    ~components:
+                      [ ("c_ab", nfa2 "ab"); ("c_a", nfa2 "a"); ("c_b", nfa2 "b") ]
+                    ())) ))
        sizes);
   series "no-mediator goals (maximality certificates)"
     (List.map
@@ -455,7 +457,7 @@ let table2_mdt_or () =
          ( Printf.sprintf "k = %d" k,
            measure (fun () ->
                ignore
-                 (Compose.compose_nfa_or ~goal ~components:[ ("c_ab", nfa2 "ab") ])) ))
+                 (Compose.compose_nfa_or ~goal ~components:[ ("c_ab", nfa2 "ab") ] ())) ))
        (if quick then [ 2 ] else [ 2; 4; 8 ]))
 
 let table2_mdtb () =
@@ -538,7 +540,7 @@ let table2_uc2rpq () =
            measure (fun () ->
                ignore
                  (Rewriting.Regex_rewrite.rewrite ~target:goal
-                    ~views:[ nfa2 "a"; nfa2 "aa" ])) ))
+                    ~views:[ nfa2 "a"; nfa2 "aa" ] ())) ))
        (if quick then [ 2; 4 ] else [ 2; 4; 8; 16 ]))
 
 let table2_undecidable () =
@@ -1174,7 +1176,7 @@ let bechamel_section () =
       (Staged.stage (fun () ->
            ignore
              (Compose.compose_nfa_or ~goal:(nfa2 "abababab")
-                ~components:[ ("c_ab", nfa2 "ab") ])))
+                ~components:[ ("c_ab", nfa2 "ab") ] ())))
   in
   let fig_db =
     Travel.catalog_db
@@ -1646,7 +1648,7 @@ module Cache_bench = struct
       add (digest_outcome (Decision.cq_non_emptiness tree_big));
       add (digest_equiv (Decision.cq_equivalence tree_small tree_small));
       add
-        (match Compose.compose_nfa_or ~goal:or_goal ~components:or_comps with
+        (match Compose.compose_nfa_or ~goal:or_goal ~components:or_comps () with
         | Some c -> if c.Compose.exact then "Ce" else "Cm"
         | None -> "C0");
       add
@@ -1777,6 +1779,149 @@ module Cache_bench = struct
     Fmt.pr "@.report: %s@." path
 end
 
+(* ------------------------------------------------------------------ *)
+(* Antichain-vs-eager language-engine ablation ("antichain" mode)       *)
+(* ------------------------------------------------------------------ *)
+
+(* The k-chain family ("k-th symbol from the end is 'a'", minimal DFA
+   2^k states) is exactly where eager determinization walls out and the
+   lazy antichain product should not.  The sweep raises k per strategy
+   until a run blows the per-run wall budget; the largest k that still
+   fits is that strategy's wall.  Verdict agreement is checked at every
+   k where both arms are still alive: the equivalent pair (chain vs its
+   self-union) must come back [true] from both, the inequivalent pair
+   (k vs k+1 chains) [false], and the distinguishing words must have
+   equal length (both engines promise shortest witnesses). *)
+module Antichain_bench = struct
+  module Lang = Automata.Lang
+
+  let cap_ms = if quick then 750. else 1500.
+  let repeats = if quick then 1 else 3
+  let k_max = if quick then 18 else 22
+
+  let eq_pair k =
+    let n = kth_from_end_nfa k in
+    (n, Nfa.union n n)
+
+  let neq_pair k = (kth_from_end_nfa k, kth_from_end_nfa (k + 1))
+
+  let decide strategy (a, b) =
+    match strategy with
+    | `Eager -> Dfa.nfa_equivalent a b
+    | `Antichain -> (
+      match Lang.equivalent a b with Ok v -> v | Error _ -> assert false)
+
+  let cex_len strategy (a, b) =
+    match strategy with
+    | `Eager -> Option.map List.length (Dfa.nfa_contains_cex a b)
+    | `Antichain -> (
+      match Lang.contains_cex a b with
+      | Ok w -> Option.map List.length w
+      | Error _ -> assert false)
+
+  let run () =
+    let ks = List.init (k_max - 3) (fun i -> i + 4) in
+    let walled = Hashtbl.create 2 in
+    let results = Hashtbl.create 2 (* strategy -> (k, median_ms) list rev *) in
+    let verdicts_equal = ref true in
+    let strategies = [ `Eager; `Antichain ] in
+    List.iter (fun s -> Hashtbl.replace results s []) strategies;
+    header "language engines on the k-chain family (equivalence, chain vs self-union)";
+    List.iter
+      (fun k ->
+        let pair = eq_pair k in
+        let alive s = not (Hashtbl.mem walled s) in
+        (* verdict agreement while both arms are still tractable *)
+        if List.for_all alive strategies then begin
+          let eq_ok =
+            List.for_all (fun s -> decide s pair) strategies
+          and neq_ok =
+            List.for_all (fun s -> not (decide s (neq_pair k))) strategies
+          and cex_ok =
+            let lens = List.map (fun s -> cex_len s (neq_pair k)) strategies in
+            match lens with
+            | [ Some l1; Some l2 ] -> l1 = l2
+            | _ -> false
+          in
+          if not (eq_ok && neq_ok && cex_ok) then begin
+            verdicts_equal := false;
+            row "DISAGREEMENT at k = %d (eq %b, neq %b, cex %b)" k eq_ok
+              neq_ok cex_ok
+          end
+        end;
+        List.iter
+          (fun s ->
+            if alive s then begin
+              let ms =
+                median
+                  (List.init repeats (fun _ ->
+                       snd (time_ms (fun () -> ignore (decide s pair)))))
+              in
+              Hashtbl.replace results s ((k, ms) :: Hashtbl.find results s);
+              row "%-9s k = %2d   %10.3f ms%s"
+                (Lang.strategy_to_string s)
+                k ms
+                (if ms > cap_ms then "   (wall: over budget, stopping)"
+                 else "");
+              if ms > cap_ms then Hashtbl.replace walled s ()
+            end)
+          strategies)
+      ks;
+    (* the wall = largest k whose median fit under the budget *)
+    let k_wall s =
+      match Hashtbl.find results s with
+      | [] -> 0
+      | (k, ms) :: rest -> if ms > cap_ms then (match rest with
+          | (k', _) :: _ -> k'
+          | [] -> 0)
+        else k
+    in
+    let eager_wall = k_wall `Eager and anti_wall = k_wall `Antichain in
+    row "verdicts equal on every compared instance: %b" !verdicts_equal;
+    row "k wall (largest k under %.0f ms): eager %d, antichain %d" cap_ms
+      eager_wall anti_wall;
+    let report =
+      let open Obs.Json in
+      let series s =
+        List
+          (List.rev_map
+             (fun (k, ms) ->
+               Obj [ ("k", Int k); ("median_ms", Float ms) ])
+             (Hashtbl.find results s))
+      in
+      Obj
+        [ ("schema_version", Int 1);
+          ("suite", String "sws-antichain-bench");
+          ("mode", String (if quick then "quick" else "full"));
+          ("jobs", Int (Par.Pool.jobs ()));
+          ("family", String "kth-symbol-from-end chain, equivalence vs self-union");
+          ("per_run_cap_ms", Float cap_ms);
+          ("repeats", Int repeats);
+          ("verdicts_equal", Bool !verdicts_equal);
+          ( "k_wall",
+            Obj [ ("eager", Int eager_wall); ("antichain", Int anti_wall) ] );
+          ( "series",
+            Obj
+              [ ("eager", series `Eager); ("antichain", series `Antichain) ]
+          );
+          ( "gauges",
+            Obj
+              [ ( "lang_states_explored",
+                  Int (Lang.states_explored_total ()) );
+                ("lang_antichain_peak", Int (Lang.antichain_peak ()));
+                ( "lang_subsumption_prunes",
+                  Int (Lang.subsumption_prunes_total ()) );
+              ] );
+        ]
+    in
+    let path = Option.value ~default:"BENCH_antichain.json" json_path in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Obs.Json.to_channel oc report);
+    Fmt.pr "@.report: %s@." path
+end
+
 let server_mode =
   Array.exists (String.equal "server") Sys.argv
   || Array.exists (String.equal "--server") Sys.argv
@@ -1784,6 +1929,10 @@ let server_mode =
 let cache_mode =
   Array.exists (String.equal "cache") Sys.argv
   || Array.exists (String.equal "--cache") Sys.argv
+
+let antichain_mode =
+  Array.exists (String.equal "antichain") Sys.argv
+  || Array.exists (String.equal "--antichain") Sys.argv
 
 let () =
   if server_mode then begin
@@ -1794,6 +1943,11 @@ let () =
   if cache_mode then begin
     Fmt.pr "SWS benchmark harness — cache ablation@.";
     Cache_bench.run ();
+    exit 0
+  end;
+  if antichain_mode then begin
+    Fmt.pr "SWS benchmark harness — antichain language-engine ablation@.";
+    Antichain_bench.run ();
     exit 0
   end
 

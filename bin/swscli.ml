@@ -78,6 +78,39 @@ let no_cache_flag =
 let cache_cap_flag =
   Term.(const (fun cap off -> (cap, off)) $ cache_cap_flag $ no_cache_flag)
 
+(* --strategy: which language engine decides containment/equivalence. *)
+let strategy_flag =
+  Arg.(
+    value
+    & opt (enum [ ("antichain", `Antichain); ("eager", `Eager) ]) `Antichain
+    & info [ "strategy" ] ~docv:"ENGINE"
+        ~doc:
+          "Language-decision engine: $(b,antichain) (default) explores the \
+           product lazily with antichain subsumption and never builds the \
+           full subset automaton; $(b,eager) determinizes first (the \
+           reference implementation).  Verdicts are identical.")
+
+(* Witness words as compact strings: messages are assignments over the
+   input variables, rendered one char each — 'a'+i for the one-hot mask
+   of variable i ('#' when that variable is the Roman session delimiter),
+   '.' for the all-false padding message, '?' for anything else. *)
+let word_string sws w =
+  let vars = Array.of_list (Sws_pl.input_vars sws) in
+  let char_of a =
+    match Sws_pl.symbol_of_assignment sws a with
+    | 0 -> '.'
+    | mask when mask land (mask - 1) = 0 ->
+      let i = ref 0 in
+      while mask lsr !i > 1 do
+        incr i
+      done;
+      if !i < Array.length vars && vars.(!i) = "#end" then '#'
+      else if !i < 26 then Char.chr (Char.code 'a' + !i)
+      else '?'
+    | _ -> '?'
+  in
+  String.init (List.length w) (fun i -> char_of (List.nth w i))
+
 let with_obs ~stats ~trace ~jobs ~cache_cap:(cache_cap, no_cache) f =
   Par.Pool.set_jobs jobs;
   if no_cache then Engine.set_caching false;
@@ -142,7 +175,7 @@ let regex_arg name =
     & info [ name ] ~docv:"REGEX"
         ~doc:"Regular expression over letters a..z ('0' empty, '1' epsilon).")
 
-let check stats trace jobs cache_cap regex_s =
+let check stats trace jobs cache_cap strategy regex_s =
   with_obs ~stats ~trace ~jobs ~cache_cap @@ fun () ->
   match Regex.parse regex_s with
   | exception Regex.Parse_error m ->
@@ -161,8 +194,10 @@ let check stats trace jobs cache_cap regex_s =
     | Decision.No -> Fmt.pr "non-emptiness: No@."
     | Decision.Exhausted e ->
       Fmt.pr "non-emptiness: exhausted (%a)@." Engine.pp_exhausted e);
-    (match Decision.pl_validation sws ~output:false with
-    | Decision.Yes _ -> Fmt.pr "validation (output false): Yes@."
+    (match Decision.pl_validation ~strategy sws ~output:false with
+    | Decision.Yes w ->
+      Fmt.pr "validation (output false): Yes (rejected word: %S)@."
+        (word_string sws w)
     | Decision.No -> Fmt.pr "validation (output false): No@."
     | Decision.Exhausted e ->
       Fmt.pr "validation: exhausted (%a)@." Engine.pp_exhausted e);
@@ -171,13 +206,15 @@ let check stats trace jobs cache_cap regex_s =
 let check_cmd =
   let doc = "Decision problems for a Roman-model service given as a regex." in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const check $ stats_flag $ trace_flag $ jobs_flag $ cache_cap_flag $ regex_arg "regex")
+    Term.(
+      const check $ stats_flag $ trace_flag $ jobs_flag $ cache_cap_flag
+      $ strategy_flag $ regex_arg "regex")
 
 (* ------------------------------------------------------------------ *)
 (* equivalence                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let equivalence stats trace jobs cache_cap left right =
+let equivalence stats trace jobs cache_cap strategy left right =
   with_obs ~stats ~trace ~jobs ~cache_cap @@ fun () ->
   match Regex.parse left, Regex.parse right with
   | exception Regex.Parse_error m ->
@@ -187,11 +224,11 @@ let equivalence stats trace jobs cache_cap left right =
     let alphabet_size = alphabet_size_of [ rl; rr ] in
     let sl = Roman.to_sws_pl (Nfa.of_regex ~alphabet_size rl) in
     let sr = Roman.to_sws_pl (Nfa.of_regex ~alphabet_size rr) in
-    (match Decision.pl_equivalence sl sr with
+    (match Decision.pl_equivalence ~strategy sl sr with
     | Decision.Equivalent -> Fmt.pr "equivalent@."
     | Decision.Inequivalent w ->
-      Fmt.pr "inequivalent (distinguishing sequence of %d messages)@."
-        (List.length w)
+      Fmt.pr "inequivalent (distinguishing sequence of %d messages: %S)@."
+        (List.length w) (word_string sl w)
     | Decision.Equiv_exhausted e ->
       Fmt.pr "exhausted: %a@." Engine.pp_exhausted e);
     0
@@ -201,14 +238,14 @@ let equivalence_cmd =
   Cmd.v
     (Cmd.info "equivalence" ~doc)
     Term.(
-      const equivalence $ stats_flag $ trace_flag $ jobs_flag $ cache_cap_flag $ regex_arg "left"
-      $ regex_arg "right")
+      const equivalence $ stats_flag $ trace_flag $ jobs_flag $ cache_cap_flag
+      $ strategy_flag $ regex_arg "left" $ regex_arg "right")
 
 (* ------------------------------------------------------------------ *)
 (* compose                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let compose stats trace jobs cache_cap goal views =
+let compose stats trace jobs cache_cap strategy goal views =
   with_obs ~stats ~trace ~jobs ~cache_cap @@ fun () ->
   match Regex.parse goal, List.map Regex.parse views with
   | exception Regex.Parse_error m ->
@@ -228,7 +265,7 @@ let compose stats trace jobs cache_cap goal views =
                        Nfa.of_regex ~alphabet_size r))
           view_rs
       in
-      (match Compose.compose_nfa_or ~goal:goal_nfa ~components with
+      (match Compose.compose_nfa_or ~strategy ~goal:goal_nfa ~components () with
       | Some { Compose.exact; mediator; component_names } ->
         Fmt.pr "%s MDT(∨) mediator found (%d states).@."
           (if exact then "equivalent" else "maximally-contained (not equivalent)")
@@ -254,7 +291,8 @@ let compose_cmd =
   Cmd.v
     (Cmd.info "compose" ~doc)
     Term.(
-      const compose $ stats_flag $ trace_flag $ jobs_flag $ cache_cap_flag $ regex_arg "goal"
+      const compose $ stats_flag $ trace_flag $ jobs_flag $ cache_cap_flag
+      $ strategy_flag $ regex_arg "goal"
       $ Arg.(
           value & opt_all string []
           & info [ "view" ] ~docv:"REGEX" ~doc:"Available service (repeatable)."))
@@ -351,19 +389,36 @@ let analyze_cmd =
 (* explain: run the decision procedures and report their provenance     *)
 (* ------------------------------------------------------------------ *)
 
-let explain stats trace jobs cache_cap json regex_s =
+let explain stats trace jobs cache_cap strategy json against regex_s =
   with_obs ~stats ~trace ~jobs ~cache_cap @@ fun () ->
-  match Regex.parse regex_s with
+  match Regex.parse regex_s, Option.map Regex.parse against with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
     1
-  | regex ->
-    let alphabet_size = alphabet_size_of [ regex ] in
+  | regex, against_r ->
+    (* Both services share one alphabet so their input variables line up
+       and the equivalence witness decodes on either side. *)
+    let alphabet_size =
+      alphabet_size_of (regex :: Option.to_list against_r)
+    in
     let sws = Roman.to_sws_pl (Nfa.of_regex ~alphabet_size regex) in
     ignore (Decision.pl_non_emptiness sws);
-    ignore (Decision.pl_validation sws ~output:false);
+    ignore (Decision.pl_validation ~strategy sws ~output:false);
     if not (Sws_pl.is_recursive sws) then
       ignore (Decision.pl_nr_non_emptiness sws);
+    (match against_r with
+    | None -> ()
+    | Some r ->
+      let other = Roman.to_sws_pl (Nfa.of_regex ~alphabet_size r) in
+      (match Decision.pl_equivalence ~strategy sws other with
+      | Decision.Equivalent ->
+        Fmt.pr "against %s: equivalent@." (Option.get against)
+      | Decision.Inequivalent w ->
+        Fmt.pr "against %s: inequivalent (counterexample %S)@."
+          (Option.get against) (word_string sws w)
+      | Decision.Equiv_exhausted e ->
+        Fmt.pr "against %s: exhausted (%a)@." (Option.get against)
+          Engine.pp_exhausted e));
     let provs = List.rev (Obs.Trace.provenances ()) in
     if json then
       Fmt.pr "%s@."
@@ -382,10 +437,18 @@ let explain_cmd =
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(
       const explain $ stats_flag $ trace_flag $ jobs_flag $ cache_cap_flag
+      $ strategy_flag
       $ Arg.(
           value & flag
           & info [ "json" ]
               ~doc:"Print the provenance records as a JSON array.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "against" ] ~docv:"REGEX"
+              ~doc:
+                "Also decide equivalence against $(docv) and print the \
+                 distinguishing word, if any.")
       $ regex_arg "regex")
 
 (* ------------------------------------------------------------------ *)

@@ -52,7 +52,7 @@ let () =
   Fmt.pr "== composition as rewriting (Corollary 5.2 pipeline) ==@.@.";
   let target = Nfa.of_regex ~alphabet_size:2 (Regex.parse "aa") in
   let views = [ Nfa.of_regex ~alphabet_size:2 (Regex.parse "a") ] in
-  (match Regex_rewrite.rewrite ~target ~views with
+  (match Regex_rewrite.rewrite ~target ~views () with
   | Regex_rewrite.Exact m ->
     Fmt.pr "goal r.r over view V = r: exact rewriting, V.V in M = %b@."
       (Dfa.accepts m [ 0; 0 ])
@@ -62,6 +62,7 @@ let () =
   (match
      Regex_rewrite.rewrite ~target
        ~views:[ Nfa.of_regex ~alphabet_size:2 (Regex.parse "b") ]
+       ()
    with
   | Regex_rewrite.Empty_rewriting -> Fmt.pr "goal r.r over view m only: no rewriting@."
   | _ -> Fmt.pr "unexpected@.");

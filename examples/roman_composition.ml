@@ -52,7 +52,7 @@ let () =
   Fmt.pr "@.available services: browse = search.add, checkout = pay,@.";
   Fmt.pr "                    impulse = search.add.pay@.@.";
 
-  (match Compose.compose_nfa_or ~goal ~components with
+  (match Compose.compose_nfa_or ~goal ~components () with
   | Some { Compose.exact = true; mediator; component_names } ->
     Fmt.pr "composition synthesis: an equivalent MDT(∨) mediator exists.@.";
     Fmt.pr "mediator automaton: %d states over components %a@."
@@ -77,6 +77,6 @@ let () =
   (* a goal that cannot be composed: no available service can produce a
      bare add action *)
   Fmt.pr "@.goal pay.add from the same components:@.";
-  match Compose.compose_nfa_or ~goal:(nfa "cb") ~components with
+  match Compose.compose_nfa_or ~goal:(nfa "cb") ~components () with
   | Some { Compose.exact; _ } -> Fmt.pr "  exact: %b@." exact
   | None -> Fmt.pr "  no mediator@."

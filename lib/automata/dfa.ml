@@ -129,6 +129,9 @@ let shortest_word d =
 
 let contains d1 d2 = is_empty (diff d2 d1) (* L(d2) <= L(d1) *)
 
+(* Shortest word of L(d2) \ L(d1): [None] iff [contains d1 d2]. *)
+let contains_cex d1 d2 = shortest_word (diff d2 d1)
+
 let equivalent d1 d2 = is_empty (diff d1 d2) && is_empty (diff d2 d1)
 
 (* A word in L(d1) xor L(d2), when the two differ. *)
@@ -262,6 +265,8 @@ let of_nfa n =
 let nfa_equivalent n1 n2 = equivalent (of_nfa n1) (of_nfa n2)
 
 let nfa_contains n1 n2 = contains (of_nfa n1) (of_nfa n2)
+
+let nfa_contains_cex n1 n2 = contains_cex (of_nfa n1) (of_nfa n2)
 
 let pp ppf d =
   Fmt.pf ppf "DFA(states=%d, alphabet=%d, start=%d, finals=%a)" (num_states d)

@@ -33,6 +33,10 @@ val shortest_word : t -> int list option
 (** [contains a b] iff L(b) is a subset of L(a). *)
 val contains : t -> t -> bool
 
+(** [contains_cex a b] is a shortest word of [L(b) \ L(a)]: [None] iff
+    [contains a b].  The eager counterpart of [Lang.contains_cex]. *)
+val contains_cex : t -> t -> int list option
+
 val equivalent : t -> t -> bool
 
 (** A word accepted by exactly one of the two, when they differ. *)
@@ -50,5 +54,9 @@ val nfa_equivalent : Nfa.t -> Nfa.t -> bool
 
 (** [nfa_contains a b] iff L(b) is a subset of L(a). *)
 val nfa_contains : Nfa.t -> Nfa.t -> bool
+
+(** [nfa_contains_cex a b] is a shortest word of [L(b) \ L(a)] found by
+    full determinization; [None] iff [nfa_contains a b]. *)
+val nfa_contains_cex : Nfa.t -> Nfa.t -> int list option
 
 val pp : t Fmt.t

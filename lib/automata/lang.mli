@@ -1,0 +1,120 @@
+(** The lazy language-decision engine: containment, equivalence, emptiness
+    and universality of NFAs decided by on-the-fly product/subset
+    exploration with antichain subsumption — the matching upper-bound
+    technique for the EXPTIME lower bound on automata-game composition.
+
+    The eager pipeline ([Dfa.of_nfa] then a DFA product) materializes the
+    full subset automaton before asking the question; this engine explores
+    pairs [(p, S)] of a left-automaton state and a right-automaton state
+    set ({!Repr.Bitset}) breadth-first, pruning every pair whose right set
+    is a superset of one already explored for the same [p] (rejection is
+    antitone in the set, so the smaller set reaches every counterexample
+    the larger one does).  On adversarial families (the k-th-symbol-from-
+    the-end NFAs whose minimal DFA needs [2^k] states) the frontier stays
+    polynomial where determinization walls out.
+
+    Every procedure takes a {!strategy}: [`Antichain] is the lazy core,
+    [`Eager] delegates to the determinizing reference implementation in
+    {!Dfa} — the two are differentially tested and benchable side by side.
+    Exploration is sequential and deterministic: verdicts and witness
+    words are identical at every domain-pool size. *)
+
+type strategy = [ `Eager | `Antichain ]
+
+val strategy_to_string : strategy -> string
+val strategy_of_string : string -> strategy option
+
+(** Exploration limits ([None] = unlimited).  The antichain arm checks
+    them as it explores; the eager arm is a monolithic subset construction
+    that cannot stop mid-way, so it ignores limits and always answers
+    (budgets bound work, they never forbid a completed answer). *)
+type limits = {
+  max_states : int option;  (** product pairs expanded *)
+  max_depth : int option;  (** BFS depth = witness word length *)
+  deadline_s : float option;  (** wall clock from the call *)
+}
+
+val no_limits : limits
+val limits : ?max_states:int -> ?max_depth:int -> ?deadline_s:float -> unit -> limits
+
+(** A tripped exploration: which limit stopped it and how far it got.
+    A trip is the only alternative to a sound verdict — the engine never
+    converts an exhausted search into a Yes or a No. *)
+type trip = {
+  tripped : [ `States | `Depth | `Deadline ];
+  depth_reached : int;
+  states_explored : int;
+}
+
+val pp_trip : trip Fmt.t
+
+type 'a run = ('a, trip) result
+
+(** [contains_cex sup sub] decides [L(sub) <= L(sup)] (the argument order
+    of {!Dfa.nfa_contains}): [Ok None] when contained, [Ok (Some w)] with
+    [w] a shortest word of [L(sub) \ L(sup)] otherwise.  [tick] is called
+    once per expanded pair (the caller's stats hook).  Raises
+    [Invalid_argument] when the alphabets differ. *)
+val contains_cex :
+  ?strategy:strategy ->
+  ?limits:limits ->
+  ?tick:(unit -> unit) ->
+  Nfa.t ->
+  Nfa.t ->
+  int list option run
+
+val contains :
+  ?strategy:strategy ->
+  ?limits:limits ->
+  ?tick:(unit -> unit) ->
+  Nfa.t ->
+  Nfa.t ->
+  bool run
+
+(** [equivalent_cex n1 n2]: [Ok None] when the languages coincide,
+    [Ok (Some w)] with [w] accepted by exactly one of the two otherwise.
+    Containment is checked [L(n1) <= L(n2)] first, then the converse, so
+    the witness is a shortest word of the first non-empty difference —
+    the convention of {!Dfa.distinguishing_word}. *)
+val equivalent_cex :
+  ?strategy:strategy ->
+  ?limits:limits ->
+  ?tick:(unit -> unit) ->
+  Nfa.t ->
+  Nfa.t ->
+  int list option run
+
+val equivalent :
+  ?strategy:strategy ->
+  ?limits:limits ->
+  ?tick:(unit -> unit) ->
+  Nfa.t ->
+  Nfa.t ->
+  bool run
+
+(** [universal_cex n]: [Ok None] when [L(n)] is all words, [Ok (Some w)]
+    with [w] a shortest rejected word otherwise — containment of the
+    one-state universal automaton in [n]. *)
+val universal_cex :
+  ?strategy:strategy ->
+  ?limits:limits ->
+  ?tick:(unit -> unit) ->
+  Nfa.t ->
+  int list option run
+
+(** Metered emptiness (strategy-independent: a reachability fixpoint on
+    eps-closed state sets, no determinization either way). *)
+val is_empty : ?limits:limits -> ?tick:(unit -> unit) -> Nfa.t -> bool run
+
+(** {1 Process-wide gauges}  Read at snapshot time by [Engine.Stats] and
+    the server's telemetry registry, like the interner and bit-set
+    gauges: no per-sink plumbing, monotone except {!antichain_peak}. *)
+
+(** Product pairs expanded by the antichain arm since process start. *)
+val states_explored_total : unit -> int
+
+(** Largest kept-pair count any single exploration reached. *)
+val antichain_peak : unit -> int
+
+(** Candidates pruned or retro-dropped by subsumption since start. *)
+val subsumption_prunes_total : unit -> int

@@ -32,6 +32,7 @@
 module R = Relational
 module Nfa = Automata.Nfa
 module Dfa = Automata.Dfa
+module Lang = Automata.Lang
 module Regex_rewrite = Rewriting.Regex_rewrite
 module Bucket = Rewriting.Bucket
 module View = Rewriting.View
@@ -125,12 +126,12 @@ type pl_composition = {
 (* Goal and components as languages; returns the mediator automaton when an
    equivalent MDT(∨) mediator exists, and the maximally-contained one (or
    None) otherwise. *)
-let compose_or_nfa ~goal ~components =
+let compose_or_nfa ?strategy ~goal ~components () =
   let views =
     List.map (fun (_, nfa) -> minimal_prefix_nfa nfa) components
   in
   let names = List.map fst components in
-  match Regex_rewrite.rewrite ~target:goal ~views with
+  match Regex_rewrite.rewrite ?strategy ~target:goal ~views () with
   | Regex_rewrite.Exact m ->
     Some { mediator = m; component_names = names; exact = true }
   | Regex_rewrite.Maximal m ->
@@ -206,12 +207,16 @@ end)
 
 let pl_or_store = Pl_or_memo.create ~cls:"compose" ()
 
-(* CP(SWS(PL, PL), MDT(∨), SWS(PL, PL)) with a PL goal service. *)
-let compose_pl_or ~goal ~components =
+(* CP(SWS(PL, PL), MDT(∨), SWS(PL, PL)) with a PL goal service.  The
+   exactness check (closed expansion equivalent to the goal) runs on the
+   lazy engine: the closed expansion is the spliced view NFA and is never
+   determinized under [`Antichain]. *)
+let compose_pl_or ?(strategy = `Antichain) ~goal ~components () =
   Pl_or_memo.run pl_or_store ~name:"compose_pl_or"
     ~key:
       (key "comp_pl_or"
-         (Sws_pl.canonical_repr goal
+         (Lang.strategy_to_string strategy
+         :: Sws_pl.canonical_repr goal
          :: component_parts Sws_pl.canonical_repr components))
     ~outcome:(fun r -> compose_outcome (Option.is_some r))
     ~cacheable:(fun _ -> true)
@@ -232,24 +237,29 @@ let compose_pl_or ~goal ~components =
     let closed_expansion =
       Nfa.concat (Regex_rewrite.expansion ~views m) (universal_nfa alphabet_size)
     in
-    let exact = Dfa.equivalent (Dfa.of_nfa closed_expansion) goal_dfa in
+    let exact =
+      match Lang.equivalent ~strategy closed_expansion (Dfa.to_nfa goal_dfa) with
+      | Ok b -> b
+      | Error _ -> assert false (* no limits: the exploration never trips *)
+    in
     Some { mediator = m; component_names = names; exact }
   end
 
 (* CP(NFA/DFA, MDT(∨), SWS(PL, PL)): the Roman-model goals of
    Theorem 5.3(2). *)
-let compose_nfa_or ~goal ~components =
+let compose_nfa_or ?(strategy = `Antichain) ~goal ~components () =
   Pl_or_memo.run pl_or_store ~name:"compose_nfa_or"
     ~key:
       (key "comp_nfa_or"
-         (Nfa.canonical_repr goal
+         (Lang.strategy_to_string strategy
+         :: Nfa.canonical_repr goal
          :: component_parts Nfa.canonical_repr components))
     ~outcome:(fun r -> compose_outcome (Option.is_some r))
     ~cacheable:(fun _ -> true)
   @@ fun () ->
   Engine.run ~name:"compose_nfa_or"
     ~outcome:(fun r -> compose_outcome (Option.is_some r))
-  @@ fun () -> compose_or_nfa ~goal ~components
+  @@ fun () -> compose_or_nfa ~strategy ~goal ~components ()
 
 (* ------------------------------------------------------------------ *)
 (* MDT_b(PL): bounded boolean-combination search (Theorem 5.3(3))        *)
@@ -285,6 +295,29 @@ let rec plan_language ~env ~alphabet_size = function
     Dfa.inter (plan_language ~env ~alphabet_size a) (plan_language ~env ~alphabet_size b)
   | Minus (a, b) ->
     Dfa.diff (plan_language ~env ~alphabet_size a) (plan_language ~env ~alphabet_size b)
+
+(* NFA-level plan language for the lazy arm: chains and unions stay
+   nondeterministic, so only [Minus] (which needs complementation) ever
+   determinizes — and then only its two operands, never the whole plan. *)
+let rec plan_language_nfa ~env ~alphabet_size = function
+  | Invoke n -> List.assoc n env
+  | Chain ps ->
+    List.fold_left
+      (fun acc p -> Nfa.concat acc (plan_language_nfa ~env ~alphabet_size p))
+      (Nfa.epsilon alphabet_size) ps
+  | Union (a, b) ->
+    Nfa.union
+      (plan_language_nfa ~env ~alphabet_size a)
+      (plan_language_nfa ~env ~alphabet_size b)
+  | Inter (a, b) ->
+    Nfa.inter
+      (plan_language_nfa ~env ~alphabet_size a)
+      (plan_language_nfa ~env ~alphabet_size b)
+  | Minus (a, b) ->
+    Dfa.to_nfa
+      (Dfa.diff
+         (Dfa.of_nfa (plan_language_nfa ~env ~alphabet_size a))
+         (Dfa.of_nfa (plan_language_nfa ~env ~alphabet_size b)))
 
 (* All nonempty component-name sequences of length <= b. *)
 let chains names b =
@@ -323,8 +356,8 @@ let cacheable_mdtb = function
    (DFA equivalence), so a [Found] answer is a real mediator and the
    search is complete over the plan space it enumerates; each candidate
    plan costs one budget node. *)
-let compose_mdtb ?stats ?(budget = Engine.Budget.of_depth 2) ~goal ~components
-    () =
+let compose_mdtb ?stats ?(budget = Engine.Budget.of_depth 2)
+    ?(strategy = `Antichain) ~goal ~components () =
   let bound =
     match budget.Engine.Budget.max_depth with Some d -> d | None -> 2
   in
@@ -339,6 +372,7 @@ let compose_mdtb ?stats ?(budget = Engine.Budget.of_depth 2) ~goal ~components
     ~key:
       (key "comp_mdtb"
          (string_of_int bound
+         :: Lang.strategy_to_string strategy
          :: Nfa.canonical_repr goal
          :: component_parts Nfa.canonical_repr components))
     ~outcome:mdtb_outcome ~cacheable:cacheable_mdtb
@@ -346,10 +380,6 @@ let compose_mdtb ?stats ?(budget = Engine.Budget.of_depth 2) ~goal ~components
   Engine.run ?stats ~name:"compose_mdtb" ~outcome:mdtb_outcome
   @@ fun () ->
   let meter = Engine.Meter.create ?stats budget in
-  let env =
-    List.map (fun (n, c) -> (n, Dfa.minimize (Dfa.of_nfa (minimal_prefix_nfa c)))) components
-  in
-  let goal_dfa = Dfa.minimize (Dfa.of_nfa goal) in
   let alphabet_size = Nfa.alphabet_size goal in
   let base_chains =
     chains (List.map fst components) bound
@@ -364,9 +394,35 @@ let compose_mdtb ?stats ?(budget = Engine.Budget.of_depth 2) ~goal ~components
             base_chains)
         base_chains
   in
-  let matches plan =
-    try Dfa.equivalent (plan_language ~env ~alphabet_size plan) goal_dfa
-    with Not_found -> false
+  (* The per-plan equivalence check against the goal language.  The eager
+     arm minimizes everything up front and compares DFAs; the lazy arm
+     keeps the goal an NFA — its closure memo is warmed before the
+     parallel rounds so worker domains only read it — and runs the
+     antichain product per plan. *)
+  let matches =
+    match strategy with
+    | `Eager ->
+      let env =
+        List.map
+          (fun (n, c) -> (n, Dfa.minimize (Dfa.of_nfa (minimal_prefix_nfa c))))
+          components
+      in
+      let goal_dfa = Dfa.minimize (Dfa.of_nfa goal) in
+      fun plan ->
+        (try Dfa.equivalent (plan_language ~env ~alphabet_size plan) goal_dfa
+         with Not_found -> false)
+    | `Antichain ->
+      let env = List.map (fun (n, c) -> (n, minimal_prefix_nfa c)) components in
+      Nfa.warm_closures goal;
+      List.iter (fun (_, n) -> Nfa.warm_closures n) env;
+      fun plan ->
+        (try
+           match
+             Lang.equivalent (plan_language_nfa ~env ~alphabet_size plan) goal
+           with
+           | Ok b -> b
+           | Error _ -> assert false (* no limits *)
+         with Not_found -> false)
   in
   (* Round-based search: the budget is checked before each round and every
      plan of a round is ticked and tested — on the domain pool when several
@@ -412,8 +468,8 @@ let compose_mdtb ?stats ?(budget = Engine.Budget.of_depth 2) ~goal ~components
   in
   search candidates
 
-let compose_mdtb_pl ?stats ?budget ~goal ~components () =
-  compose_mdtb ?stats ?budget ~goal:(pl_language_nfa ?stats goal)
+let compose_mdtb_pl ?stats ?budget ?strategy ~goal ~components () =
+  compose_mdtb ?stats ?budget ?strategy ~goal:(pl_language_nfa ?stats goal)
     ~components:(List.map (fun (n, c) -> (n, pl_language_nfa ?stats c)) components)
     ()
 

@@ -40,20 +40,30 @@ type pl_composition = {
 }
 
 (** Language-level synthesis for a regular goal (the Roman/NFA/DFA goals of
-    Theorem 5.3(2)). *)
+    Theorem 5.3(2)).  [strategy] (default [`Antichain]) selects the
+    engine for the exactness check; both arms are decisive, so it never
+    changes a verdict, only how it is computed. *)
 val compose_or_nfa :
+  ?strategy:Automata.Lang.strategy ->
   goal:Automata.Nfa.t ->
   components:(string * Automata.Nfa.t) list ->
+  unit ->
   pl_composition option
 
 (** CP(SWS(PL,PL), MDT(∨), SWS(PL,PL)) with the trailing-closure equation
     for service goals. *)
 val compose_pl_or :
-  goal:Sws_pl.t -> components:(string * Sws_pl.t) list -> pl_composition option
+  ?strategy:Automata.Lang.strategy ->
+  goal:Sws_pl.t ->
+  components:(string * Sws_pl.t) list ->
+  unit ->
+  pl_composition option
 
 val compose_nfa_or :
+  ?strategy:Automata.Lang.strategy ->
   goal:Automata.Nfa.t ->
   components:(string * Automata.Nfa.t) list ->
+  unit ->
   pl_composition option
 
 (** Mediator plans for the bounded search: chains of component invocations
@@ -72,18 +82,25 @@ val pp_plan : plan Fmt.t
 val plan_language :
   env:(string * Automata.Dfa.t) list -> alphabet_size:int -> plan -> Automata.Dfa.t
 
+(** The same language kept nondeterministic (the lazy arm's plan side):
+    only [Minus] determinizes, and only its own operands. *)
+val plan_language_nfa :
+  env:(string * Automata.Nfa.t) list -> alphabet_size:int -> plan -> Automata.Nfa.t
+
 type bounded_result =
   | Found of plan
   | No_mediator_within_bound of Engine.exhausted
       (** the plan space or the budget ran out first *)
 
-(** CP(·, MDT_b(PL), ·): exact DFA equivalence over the enumerated plan
-    space.  The budget's depth is the chain-length bound (default 2,
+(** CP(·, MDT_b(PL), ·): exact language equivalence over the enumerated
+    plan space.  The budget's depth is the chain-length bound (default 2,
     replacing the old [bound] integer); each candidate plan costs one
-    budget node. *)
+    budget node.  Under [`Antichain] (default) the goal is never
+    determinized — each plan is checked by lazy product exploration. *)
 val compose_mdtb :
   ?stats:Engine.Stats.t ->
   ?budget:Engine.Budget.t ->
+  ?strategy:Automata.Lang.strategy ->
   goal:Automata.Nfa.t ->
   components:(string * Automata.Nfa.t) list ->
   unit ->
@@ -92,6 +109,7 @@ val compose_mdtb :
 val compose_mdtb_pl :
   ?stats:Engine.Stats.t ->
   ?budget:Engine.Budget.t ->
+  ?strategy:Automata.Lang.strategy ->
   goal:Sws_pl.t ->
   components:(string * Sws_pl.t) list ->
   unit ->

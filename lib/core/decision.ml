@@ -122,6 +122,42 @@ let strategy_repr = function
   | Some `Indexed -> "indexed"
 
 (* ------------------------------------------------------------------ *)
+(* Language-engine strategy plumbing                                   *)
+(*                                                                     *)
+(* The PL procedures decide language questions through                 *)
+(* [Automata.Lang]: [`Antichain] (default) explores lazily under the   *)
+(* caller's budget, [`Eager] determinizes through the memoized         *)
+(* [Sws_pl.language_dfa] chain and is always decisive.  The memo keys  *)
+(* carry the strategy, so the two engines never serve each other's     *)
+(* entries and stay differentially testable through the cache.         *)
+(* ------------------------------------------------------------------ *)
+
+module Lang = Automata.Lang
+
+let limits_of_budget (b : Engine.Budget.t) =
+  Lang.limits ?max_states:b.Engine.Budget.max_nodes
+    ?max_depth:b.Engine.Budget.max_depth ?deadline_s:b.Engine.Budget.deadline_s
+    ()
+
+(* [`States] meters product pairs — the node axis of the budget. *)
+let exhausted_of_trip ~name (t : Lang.trip) =
+  {
+    Engine.limit =
+      (match t.Lang.tripped with
+      | `States -> `Nodes
+      | `Depth -> `Depth
+      | `Deadline -> `Deadline);
+    depth_reached = t.Lang.depth_reached;
+    nodes_expanded = t.Lang.states_explored;
+    message = Fmt.str "%s: %a" name Lang.pp_trip t;
+  }
+
+let lang_tick stats =
+  match stats with
+  | Some s -> Some (fun () -> Engine.Stats.node s)
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
 (* SWS(PL, PL), recursive: automata-based, always decisive             *)
 (* ------------------------------------------------------------------ *)
 
@@ -155,9 +191,16 @@ let pl_non_emptiness ?stats sws =
    coincides with non-emptiness (as the paper remarks); O = false asks for a
    rejected sequence — note the empty sequence is always rejected, so the
    interesting check is universality of the complement. *)
-let pl_validation ?stats sws ~output =
-  Pl_word_memo.run pl_word_store ?stats ~name:"pl_validation"
-    ~key:(key "pl_val" [ (if output then "t" else "f"); Sws_pl.canonical_repr sws ])
+let pl_validation ?stats ?(strategy = `Antichain) ?budget sws ~output =
+  let budget_v = Option.value budget ~default:Engine.Budget.unlimited in
+  Pl_word_memo.run pl_word_store ?stats ~budget:budget_v ~name:"pl_validation"
+    ~key:
+      (key "pl_val"
+         [
+           (if output then "t" else "f");
+           Lang.strategy_to_string strategy;
+           Sws_pl.canonical_repr sws;
+         ])
     ~outcome:run_outcome ~cacheable:cacheable_outcome
   @@ fun () ->
   Engine.run ?stats ~name:"pl_validation" ~outcome:run_outcome @@ fun () ->
@@ -168,30 +211,63 @@ let pl_validation ?stats sws ~output =
     | None -> No
   end
   else begin
-    let dfa = Sws_pl.language_dfa ?stats sws in
-    match Dfa.shortest_word (Dfa.complement dfa) with
-    | Some w -> Yes (decode_word sws w)
-    | None -> No
+    (* O = false asks for a rejected sequence: non-universality of the
+       language.  The eager arm complements the full DFA; the antichain
+       arm never determinizes. *)
+    match strategy with
+    | `Eager -> (
+      let dfa = Sws_pl.language_dfa ?stats sws in
+      match Dfa.shortest_word (Dfa.complement dfa) with
+      | Some w -> Yes (decode_word sws w)
+      | None -> No)
+    | `Antichain -> (
+      let nfa = Sws_pl.language_nfa ?stats sws in
+      match
+        Lang.universal_cex ~limits:(limits_of_budget budget_v)
+          ?tick:(lang_tick stats) nfa
+      with
+      | Ok (Some w) -> Yes (decode_word sws w)
+      | Ok None -> No
+      | Error t -> Exhausted (exhausted_of_trip ~name:"pl_validation" t))
   end
 
 (* Equivalence: same outputs on all databases (trivial here) and inputs,
    i.e. language equivalence of the two translations.  The services must
    agree on their input variables; re-declare them if needed. *)
-let pl_equivalence ?stats sws1 sws2 =
+let pl_equivalence ?stats ?(strategy = `Antichain) ?budget sws1 sws2 =
   if Sws_pl.input_vars sws1 <> Sws_pl.input_vars sws2 then
     invalid_arg "pl_equivalence: services declare different input variables";
-  Pl_word_equiv_memo.run pl_word_equiv_store ?stats ~name:"pl_equivalence"
+  let budget_v = Option.value budget ~default:Engine.Budget.unlimited in
+  Pl_word_equiv_memo.run pl_word_equiv_store ?stats ~budget:budget_v
+    ~name:"pl_equivalence"
     ~key:
-      (key "pl_eq" [ Sws_pl.canonical_repr sws1; Sws_pl.canonical_repr sws2 ])
+      (key "pl_eq"
+         [
+           Lang.strategy_to_string strategy;
+           Sws_pl.canonical_repr sws1;
+           Sws_pl.canonical_repr sws2;
+         ])
     ~outcome:run_equiv_outcome ~cacheable:cacheable_equiv
   @@ fun () ->
   Engine.run ?stats ~name:"pl_equivalence" ~outcome:run_equiv_outcome
   @@ fun () ->
-  let d1 = Sws_pl.language_dfa ?stats sws1 in
-  let d2 = Sws_pl.language_dfa ?stats sws2 in
-  match Dfa.distinguishing_word d1 d2 with
-  | None -> Equivalent
-  | Some w -> Inequivalent (decode_word sws1 w)
+  match strategy with
+  | `Eager -> (
+    let d1 = Sws_pl.language_dfa ?stats sws1 in
+    let d2 = Sws_pl.language_dfa ?stats sws2 in
+    match Dfa.distinguishing_word d1 d2 with
+    | None -> Equivalent
+    | Some w -> Inequivalent (decode_word sws1 w))
+  | `Antichain -> (
+    let n1 = Sws_pl.language_nfa ?stats sws1 in
+    let n2 = Sws_pl.language_nfa ?stats sws2 in
+    match
+      Lang.equivalent_cex ~limits:(limits_of_budget budget_v)
+        ?tick:(lang_tick stats) n1 n2
+    with
+    | Ok None -> Equivalent
+    | Ok (Some w) -> Inequivalent (decode_word sws1 w)
+    | Error t -> Equiv_exhausted (exhausted_of_trip ~name:"pl_equivalence" t))
 
 (* ------------------------------------------------------------------ *)
 (* SWS_nr(PL, PL): SAT-based NP / coNP procedures                      *)

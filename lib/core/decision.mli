@@ -24,7 +24,15 @@ type 'c equiv_outcome =
   | Inequivalent of 'c  (** with a distinguishing input *)
   | Equiv_exhausted of Engine.exhausted
 
-(** {1 SWS(PL, PL) — automata-based, always decisive (pspace cells)} *)
+(** {1 SWS(PL, PL) — automata-based (pspace cells)}
+
+    The language questions run on {!Automata.Lang}: [`Antichain] (the
+    default) explores the product lazily with antichain subsumption and
+    respects [budget] ([max_nodes] meters product pairs, [max_depth]
+    witness length), reporting [Exhausted] when it trips; [`Eager]
+    determinizes through the memoized DFA chain, ignores the budget and
+    always answers.  Results are cached per strategy under the
+    budget-monotonicity rule. *)
 
 val pl_non_emptiness :
   ?stats:Engine.Stats.t -> Sws_pl.t -> Proplogic.Prop.assignment list outcome
@@ -34,6 +42,8 @@ val pl_non_emptiness :
     complement. *)
 val pl_validation :
   ?stats:Engine.Stats.t ->
+  ?strategy:Automata.Lang.strategy ->
+  ?budget:Engine.Budget.t ->
   Sws_pl.t ->
   output:bool ->
   Proplogic.Prop.assignment list outcome
@@ -42,6 +52,8 @@ val pl_validation :
     declare the same input variables. *)
 val pl_equivalence :
   ?stats:Engine.Stats.t ->
+  ?strategy:Automata.Lang.strategy ->
+  ?budget:Engine.Budget.t ->
   Sws_pl.t ->
   Sws_pl.t ->
   Proplogic.Prop.assignment list equiv_outcome

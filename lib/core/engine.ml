@@ -341,6 +341,9 @@ module Stats = struct
       ("automata_cache_misses", automata_cache_misses t);
       ("interner_size", Relational.Value.interner_size ());
       ("bitset_allocs", Repr.Bitset.allocations ());
+      ("lang_states_explored", Automata.Lang.states_explored_total ());
+      ("lang_antichain_peak", Automata.Lang.antichain_peak ());
+      ("lang_subsumption_prunes", Automata.Lang.subsumption_prunes_total ());
     ]
 
   let delta ~before t =
@@ -367,6 +370,12 @@ module Stats = struct
     Fmt.pf ppf "@ interner size:       %d@ bitset allocations:   %d"
       (Relational.Value.interner_size ())
       (Repr.Bitset.allocations ());
+    Fmt.pf ppf
+      "@ lang states explored: %d@ lang antichain peak:  %d@ \
+       lang subsumption prunes: %d"
+      (Automata.Lang.states_explored_total ())
+      (Automata.Lang.antichain_peak ())
+      (Automata.Lang.subsumption_prunes_total ());
     List.iter
       (fun (name, dt) -> Fmt.pf ppf "@ phase %-15s %.3fms" name (dt *. 1000.))
       (phases t);

@@ -140,9 +140,11 @@ module Stats : sig
       counters as a stable-keyed assoc list; [delta ~before t] subtracts a
       snapshot, giving the counter movement attributable to one run (the
       [counters] field of a provenance record).  Snapshots also carry the
-      process-wide representation gauges ([interner_size],
-      [bitset_allocs]), so a delta reports the interner growth and
-      bit-set churn of the run. *)
+      process-wide representation and lazy-engine gauges
+      ([interner_size], [bitset_allocs], [lang_states_explored],
+      [lang_antichain_peak], [lang_subsumption_prunes]), so a delta
+      reports the interner growth, bit-set churn and antichain
+      exploration work of the run. *)
 
   val merge : t -> t -> t
   val snapshot : t -> (string * int) list

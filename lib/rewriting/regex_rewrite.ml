@@ -124,11 +124,17 @@ type result =
   | Empty_rewriting     (* no view word expands inside the target at all *)
 
 (* By [8]: the maximal rewriting's expansion is always contained in the
-   target; an equivalent rewriting exists iff it covers the target too. *)
-let rewrite ~target ~views =
+   target; an equivalent rewriting exists iff it covers the target too.
+   The covering check is the one language decision here that does not
+   need the complement DFA already built above, so it runs on the lazy
+   engine (the expansion NFA is the large side). *)
+let rewrite ?strategy ~target ~views () =
   let m = maximal_rewriting ~target ~views in
   if Dfa.is_empty m then
     if Nfa.is_empty target then Exact m else Empty_rewriting
   else
     let e = expansion ~views m in
-    if Dfa.nfa_contains e target then Exact m else Maximal m
+    match Automata.Lang.contains ?strategy e target with
+    | Ok true -> Exact m
+    | Ok false -> Maximal m
+    | Error _ -> assert false (* no limits: the exploration never trips *)

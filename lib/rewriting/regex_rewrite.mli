@@ -23,5 +23,13 @@ type result =
   | Maximal of Automata.Dfa.t    (** strictly contained: no equivalent one *)
   | Empty_rewriting              (** no view word fits inside the target *)
 
+(** [rewrite ?strategy ~target ~views ()] classifies the maximal
+    rewriting.  The exactness check (expansion covers target) runs on
+    {!Automata.Lang} under [strategy] (default [`Antichain]); both
+    strategies are decisive here, so the verdict is strategy-independent. *)
 val rewrite :
-  target:Automata.Nfa.t -> views:Automata.Nfa.t list -> result
+  ?strategy:Automata.Lang.strategy ->
+  target:Automata.Nfa.t ->
+  views:Automata.Nfa.t list ->
+  unit ->
+  result

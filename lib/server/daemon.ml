@@ -175,6 +175,39 @@ let budget_param cfg params : (Engine.Budget.t, reply) result =
     | Ok b -> Ok (Engine.Budget.combine b cfg.max_budget)
     | Error e -> bad e)
 
+(* Language-engine selector for the check/equivalence methods: "antichain"
+   (default) or "eager".  Part of the L2 key — the strategies agree on
+   verdicts but not necessarily on witness words. *)
+let strategy_param params : (Automata.Lang.strategy, reply) result =
+  match J.member "strategy" params with
+  | None -> Ok `Antichain
+  | Some (J.String s) -> (
+    match Automata.Lang.strategy_of_string s with
+    | Some st -> Ok st
+    | None ->
+      bad (Printf.sprintf "unknown strategy %S (want \"eager\" or \"antichain\")" s))
+  | Some _ -> bad "parameter \"strategy\" must be a string"
+
+(* Witness words travel as compact strings, one char per message: 'a'+i
+   for the one-hot mask of input variable i ('#' for the Roman session
+   delimiter), '.' for the all-false padding message, '?' otherwise. *)
+let word_string sws w =
+  let vars = Array.of_list (Sws_pl.input_vars sws) in
+  let char_of a =
+    match Sws_pl.symbol_of_assignment sws a with
+    | 0 -> '.'
+    | mask when mask land (mask - 1) = 0 ->
+      let i = ref 0 in
+      while mask lsr !i > 1 do
+        incr i
+      done;
+      if !i < Array.length vars && vars.(!i) = "#end" then '#'
+      else if !i < 26 then Char.chr (Char.code 'a' + !i)
+      else '?'
+    | _ -> '?'
+  in
+  String.init (List.length w) (fun i -> char_of (List.nth w i))
+
 let alphabet_size_of regexes = Session.alphabet_size_of regexes
 
 let decision_outcome_json = function
@@ -271,21 +304,23 @@ let dispatch cfg session ~tel ~sink ~csrc (req : Protocol.request) : reply =
                        (Session.components session)) );
               ]))
     | "check" ->
-      let* () = check_keys params [ "service" ] in
+      let* () = check_keys params [ "service"; "strategy" ] in
       let* j =
         match J.member "service" params with
         | Some j -> Ok j
         | None -> bad "missing parameter \"service\""
       in
       let* _, _, r = resolve cfg session j in
-      l2 ~csrc [ "check"; regex_repr r ]
+      let* strategy = strategy_param params in
+      l2 ~csrc
+        [ "check"; Automata.Lang.strategy_to_string strategy; regex_repr r ]
       @@ fun () ->
       let alphabet_size = alphabet_size_of [ r ] in
       let sws = Roman.to_sws_pl (Nfa.of_regex ~alphabet_size r) in
       let* ne = decision_outcome_json (Decision.pl_non_emptiness ~stats:sink sws) in
       let* va =
         decision_outcome_json
-          (Decision.pl_validation ~stats:sink sws ~output:false)
+          (Decision.pl_validation ~stats:sink ~strategy sws ~output:false)
       in
       Ok
         (`Ok
@@ -297,7 +332,7 @@ let dispatch cfg session ~tel ~sink ~csrc (req : Protocol.request) : reply =
                 ("validation", va);
               ]))
     | "equivalence" ->
-      let* () = check_keys params [ "left"; "right" ] in
+      let* () = check_keys params [ "left"; "right"; "strategy" ] in
       let* jl =
         match J.member "left" params with
         | Some j -> Ok j
@@ -310,12 +345,19 @@ let dispatch cfg session ~tel ~sink ~csrc (req : Protocol.request) : reply =
       in
       let* _, _, rl = resolve cfg session jl in
       let* _, _, rr = resolve cfg session jr in
-      l2 ~csrc [ "equivalence"; regex_repr rl; regex_repr rr ]
+      let* strategy = strategy_param params in
+      l2 ~csrc
+        [
+          "equivalence";
+          Automata.Lang.strategy_to_string strategy;
+          regex_repr rl;
+          regex_repr rr;
+        ]
       @@ fun () ->
       let alphabet_size = alphabet_size_of [ rl; rr ] in
       let sl = Roman.to_sws_pl (Nfa.of_regex ~alphabet_size rl) in
       let sr = Roman.to_sws_pl (Nfa.of_regex ~alphabet_size rr) in
-      (match Decision.pl_equivalence ~stats:sink sl sr with
+      (match Decision.pl_equivalence ~stats:sink ~strategy sl sr with
       | Decision.Equivalent -> Ok (`Ok (J.Obj [ ("equivalent", J.Bool true) ]))
       | Decision.Inequivalent w ->
         Ok
@@ -324,6 +366,7 @@ let dispatch cfg session ~tel ~sink ~csrc (req : Protocol.request) : reply =
                 [
                   ("equivalent", J.Bool false);
                   ("distinguishing_len", J.Int (List.length w));
+                  ("counterexample", J.String (word_string sl w));
                 ]))
       | Decision.Equiv_exhausted e -> Error (`Exhausted e))
     | "kprefix" ->
@@ -405,7 +448,7 @@ let dispatch cfg session ~tel ~sink ~csrc (req : Protocol.request) : reply =
           l2 ~csrc
             (("compose_or" :: regex_repr goal_r :: component_parts))
           @@ fun () ->
-          (match Compose.compose_nfa_or ~goal:goal_nfa ~components with
+          (match Compose.compose_nfa_or ~goal:goal_nfa ~components () with
           | Some { Compose.exact; mediator; component_names } ->
             let plans =
               List.filter (Dfa.accepts mediator)

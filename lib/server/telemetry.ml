@@ -120,6 +120,19 @@ let create ?trace_sample ?trace_dir () =
     "swsd_start_time_seconds" (fun () -> int_of_float started_at);
   M.gauge_fn reg ~help:"Configured domain-pool size" "swsd_pool_jobs" (fun () ->
       Par.Pool.jobs ());
+  (* Lazy language-engine gauges, read straight off the process-wide
+     counters in Automata.Lang (the interner/bitset pattern). *)
+  M.gauge_fn reg
+    ~help:"Product pairs expanded by the antichain language engine"
+    "swsd_lang_states_explored_total" (fun () ->
+      Automata.Lang.states_explored_total ());
+  M.gauge_fn reg
+    ~help:"Largest kept-pair count one antichain exploration reached"
+    "swsd_lang_antichain_peak" (fun () -> Automata.Lang.antichain_peak ());
+  M.gauge_fn reg
+    ~help:"Pairs pruned by antichain subsumption"
+    "swsd_lang_subsumption_prunes_total" (fun () ->
+      Automata.Lang.subsumption_prunes_total ());
   {
     reg;
     started_at;

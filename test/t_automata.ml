@@ -146,6 +146,168 @@ let test_afa_emptiness_witness () =
     Alcotest.(check int) "shortest is ac" 2 (List.length w)
   | None -> Alcotest.fail "expected witness"
 
+(* ------------------------------------------------------------------ *)
+(* The lazy language engine (Lang) against the eager reference (Dfa)    *)
+(* ------------------------------------------------------------------ *)
+
+module Lang = Automata.Lang
+
+let ok = function
+  | Ok v -> v
+  | Error _ -> Alcotest.fail "unexpected budget trip under no_limits"
+
+(* Random well-formed regex strings over a..c (plus epsilon leaves). *)
+let regex_gen =
+  QCheck.Gen.(
+    sized_size (int_range 0 8)
+    @@ fix (fun self n ->
+           if n <= 0 then oneofl [ "a"; "b"; "c"; "1" ]
+           else
+             oneof
+               [
+                 map2
+                   (fun l r -> "(" ^ l ^ r ^ ")")
+                   (self (n / 2)) (self (n / 2));
+                 map2
+                   (fun l r -> "(" ^ l ^ "|" ^ r ^ ")")
+                   (self (n / 2)) (self (n / 2));
+                 map (fun e -> "(" ^ e ^ ")*") (self (n - 1));
+                 oneofl [ "a"; "b"; "c" ];
+               ]))
+
+let regex_pair_gen = QCheck.Gen.pair regex_gen regex_gen
+
+(* Random small NFAs: <= 5 states, alphabet 2, arbitrary edges, some
+   epsilon edges, nonempty start and final candidate sets. *)
+let raw_nfa_gen =
+  QCheck.Gen.(
+    int_range 1 5 >>= fun n ->
+    list_size (int_range 0 (4 * n))
+      (triple (int_range 0 (n - 1)) (int_range 0 1) (int_range 0 (n - 1)))
+    >>= fun edges ->
+    list_size (int_range 0 2)
+      (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+    >>= fun eps_edges ->
+    list_size (int_range 1 2) (int_range 0 (n - 1)) >>= fun starts ->
+    list_size (int_range 0 n) (int_range 0 (n - 1)) >>= fun finals ->
+    return (n, edges, eps_edges, starts, finals))
+
+let build_nfa (n, edges, eps_edges, starts, finals) =
+  Nfa.create ~num_states:n ~alphabet_size:2 ~starts ~finals ~edges ~eps_edges
+
+let nfa_pair_gen = QCheck.Gen.pair raw_nfa_gen raw_nfa_gen
+
+(* Verdict agreement on regex-derived NFAs: the antichain engine and the
+   determinizing reference must decide containment and equivalence
+   identically. *)
+let prop_lang_agrees_regex =
+  QCheck.Test.make ~count:600 ~name:"lang antichain = eager (regex pairs)"
+    (QCheck.make regex_pair_gen) (fun (s1, s2) ->
+      let n1 = nfa_of s1 and n2 = nfa_of s2 in
+      Bool.equal (ok (Lang.contains n1 n2)) (Dfa.nfa_contains n1 n2)
+      && Bool.equal (ok (Lang.contains n2 n1)) (Dfa.nfa_contains n2 n1)
+      && Bool.equal (ok (Lang.equivalent n1 n2)) (Dfa.nfa_equivalent n1 n2))
+
+(* Same agreement on arbitrary (not regex-shaped) NFAs: junk states,
+   unreachable finals, epsilon cycles, empty languages. *)
+let prop_lang_agrees_random_nfa =
+  QCheck.Test.make ~count:400 ~name:"lang antichain = eager (random nfas)"
+    (QCheck.make nfa_pair_gen) (fun (r1, r2) ->
+      let n1 = build_nfa r1 and n2 = build_nfa r2 in
+      Bool.equal (ok (Lang.contains n1 n2)) (Dfa.nfa_contains n1 n2)
+      && Bool.equal (ok (Lang.equivalent n1 n2)) (Dfa.nfa_equivalent n1 n2)
+      && Bool.equal (ok (Lang.is_empty n1)) (Nfa.is_empty n1))
+
+(* Counterexample validity and minimality: a containment witness lies in
+   L(sub) \ L(sup) and has the length of the eager engine's shortest
+   witness; an equivalence witness is accepted by exactly one side. *)
+let prop_lang_cex_valid =
+  QCheck.Test.make ~count:300 ~name:"lang counterexamples valid and shortest"
+    (QCheck.make regex_pair_gen) (fun (s1, s2) ->
+      let n1 = nfa_of s1 and n2 = nfa_of s2 in
+      let contain_ok =
+        match ok (Lang.contains_cex n1 n2) with
+        | None -> Dfa.nfa_contains n1 n2
+        | Some w ->
+          Nfa.accepts n2 w
+          && (not (Nfa.accepts n1 w))
+          && (match Dfa.nfa_contains_cex n1 n2 with
+             | Some w' -> List.length w = List.length w'
+             | None -> false)
+      in
+      let equiv_ok =
+        match ok (Lang.equivalent_cex n1 n2) with
+        | None -> Dfa.nfa_equivalent n1 n2
+        | Some w ->
+          not (Bool.equal (Nfa.accepts n1 w) (Nfa.accepts n2 w))
+      in
+      contain_ok && equiv_ok)
+
+(* Budget soundness: a tripped exploration is an [Error], never a wrong
+   verdict; whenever the metered run does answer, the answer matches the
+   unlimited one. *)
+let prop_lang_budget_sound =
+  QCheck.Test.make ~count:200 ~name:"lang budget trips are never verdicts"
+    (QCheck.make (QCheck.Gen.pair regex_pair_gen (QCheck.Gen.int_range 1 4)))
+    (fun ((s1, s2), max_states) ->
+      let n1 = nfa_of s1 and n2 = nfa_of s2 in
+      let limits = Lang.limits ~max_states () in
+      match Lang.equivalent ~limits n1 n2 with
+      | Error t -> t.Lang.states_explored <= max_states
+      | Ok v -> Bool.equal v (ok (Lang.equivalent n1 n2)))
+
+(* The adversarial chain family ("k-th symbol from the end is 'a'",
+   minimal DFA 2^k states): the lazy engine must clear k = 16, past the
+   wall where eager determinization stops being testable. *)
+let kth_from_end_nfa k =
+  let edges =
+    (0, 0, 0) :: (0, 1, 0) :: (0, 0, 1)
+    :: List.concat_map
+         (fun i -> [ (i, 0, i + 1); (i, 1, i + 1) ])
+         (List.init (k - 1) (fun i -> i + 1))
+  in
+  Nfa.create ~num_states:(k + 1) ~alphabet_size:2 ~starts:[ 0 ] ~finals:[ k ]
+    ~edges ~eps_edges:[]
+
+let test_lang_kchain_16 () =
+  let n = kth_from_end_nfa 16 in
+  check "k=16 self-union equivalent" true
+    (ok (Lang.equivalent n (Nfa.union n n)));
+  check "k=16 vs k=17 inequivalent" false
+    (ok (Lang.equivalent n (kth_from_end_nfa 17)));
+  match ok (Lang.contains_cex (kth_from_end_nfa 17) n) with
+  | Some w -> check "cex valid at k=16" true (Nfa.accepts n w)
+  | None -> Alcotest.fail "expected a containment counterexample"
+
+(* Exploration is sequential: verdicts and witness words are bit-for-bit
+   identical at every domain-pool size. *)
+let test_lang_jobs_deterministic () =
+  let pairs =
+    [
+      ("(ab)*", "(ab)*ab");
+      ("(a|b)*a", "(a|b)*");
+      ("a*b*", "(a|b)*");
+      ("(abc)*", "(abc)*abc");
+      ("a|b|c", "c|b|a");
+    ]
+  in
+  let run () =
+    List.map
+      (fun (s1, s2) ->
+        let n1 = nfa_of s1 and n2 = nfa_of s2 in
+        (ok (Lang.equivalent_cex n1 n2), ok (Lang.contains_cex n1 n2)))
+      pairs
+  in
+  let before = Par.Pool.jobs () in
+  Fun.protect
+    ~finally:(fun () -> Par.Pool.set_jobs (Some before))
+    (fun () ->
+      Par.Pool.set_jobs (Some 1);
+      let r1 = run () in
+      Par.Pool.set_jobs (Some 4);
+      let r4 = run () in
+      check "jobs 1 = jobs 4" true (r1 = r4))
+
 let suite =
   [
     Alcotest.test_case "regex parse" `Quick test_regex_parse;
@@ -159,4 +321,10 @@ let suite =
     Alcotest.test_case "afa negation" `Quick test_afa_negation;
     QCheck_alcotest.to_alcotest prop_afa_nfa_roundtrip;
     Alcotest.test_case "afa emptiness witness" `Quick test_afa_emptiness_witness;
+    QCheck_alcotest.to_alcotest prop_lang_agrees_regex;
+    QCheck_alcotest.to_alcotest prop_lang_agrees_random_nfa;
+    QCheck_alcotest.to_alcotest prop_lang_cex_valid;
+    QCheck_alcotest.to_alcotest prop_lang_budget_sound;
+    Alcotest.test_case "lang k-chain k=16" `Quick test_lang_kchain_16;
+    Alcotest.test_case "lang jobs determinism" `Quick test_lang_jobs_deterministic;
   ]

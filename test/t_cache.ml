@@ -239,6 +239,47 @@ let test_budget_monotonic_serve () =
   let d = decision_delta ~before in
   check_int "smaller budget recomputes" 0 d.G.hits
 
+(* The antichain language engine obeys the same contract as the scan
+   procedures: an exploration stopped by the node budget answers
+   Equiv_exhausted and is never cached, and a decisive answer computed
+   without a budget is never served to a budgeted request that excludes
+   the exploration it needed. *)
+let test_lang_trip_never_cached () =
+  Engine.cache_clear_all ();
+  let mk s = Roman.to_sws_pl (Nfa.of_regex ~alphabet_size:2 (Regex.parse s)) in
+  let s1 = mk "(ab)*" and s2 = mk "(ab)*ab|1" in
+  let tiny = Engine.Budget.of_nodes 1 in
+  (match Decision.pl_equivalence ~budget:tiny s1 s2 with
+  | Decision.Equiv_exhausted _ -> ()
+  | _ -> Alcotest.fail "expected Equiv_exhausted under a 1-node budget");
+  let before = Engine.cache_snapshot () in
+  (match Decision.pl_equivalence ~budget:tiny s1 s2 with
+  | Decision.Equiv_exhausted _ -> ()
+  | _ -> Alcotest.fail "expected Equiv_exhausted again");
+  let d = decision_delta ~before in
+  check_int "a tripped exploration is never served" 0 d.G.hits;
+  check "the trip is probed and recomputed" true (d.G.misses >= 1);
+  (* the two regexes denote the same language, so the unmetered run
+     decides — and that answer must not leak back to a tiny budget *)
+  (match Decision.pl_equivalence s1 s2 with
+  | Decision.Equivalent -> ()
+  | _ -> Alcotest.fail "expected Equivalent without a budget");
+  let before = Engine.cache_snapshot () in
+  (match Decision.pl_equivalence ~budget:tiny s1 s2 with
+  | Decision.Equiv_exhausted _ -> ()
+  | _ -> Alcotest.fail "expected the budgeted request to recompute and trip");
+  let d = decision_delta ~before in
+  check_int "decisive unlimited answer not served to a tiny budget" 0
+    d.G.hits;
+  (* the two strategies key separately: an eager verdict is never served
+     to an antichain request or vice versa *)
+  let before = Engine.cache_snapshot () in
+  (match Decision.pl_equivalence ~strategy:`Eager s1 s2 with
+  | Decision.Equivalent -> ()
+  | _ -> Alcotest.fail "expected Equivalent from the eager arm");
+  let d = decision_delta ~before in
+  check_int "strategies never share entries" 0 d.G.hits
+
 let test_content_sharing () =
   (* two services built independently from the same regex text share one
      content key: the second computation is a pure cache hit *)
@@ -574,6 +615,8 @@ let suite =
       test_exhausted_never_cached;
     Alcotest.test_case "budget-monotone serving" `Quick
       test_budget_monotonic_serve;
+    Alcotest.test_case "lang budget trip never cached" `Quick
+      test_lang_trip_never_cached;
     Alcotest.test_case "content-equal services share entries" `Quick
       test_content_sharing;
     QCheck_alcotest.to_alcotest prop_cache_transparent;

@@ -60,7 +60,7 @@ let test_minimal_prefix () =
 
 let test_compose_or_exact () =
   (* goal (ab)* from component ab *)
-  match Compose.compose_nfa_or ~goal:(nfa "(ab)*") ~components:[ ("c_ab", nfa "ab") ] with
+  match Compose.compose_nfa_or ~goal:(nfa "(ab)*") ~components:[ ("c_ab", nfa "ab") ] () with
   | Some { Compose.exact = true; mediator; _ } ->
     check "mediator accepts V*" true
       (List.for_all (fun k -> Dfa.accepts mediator (List.init k (fun _ -> 0))) [ 0; 1; 2; 3 ])
@@ -71,6 +71,7 @@ let test_compose_or_two_components () =
   match
     Compose.compose_nfa_or ~goal:(nfa "(ab|ba)*")
       ~components:[ ("c_ab", nfa "ab"); ("c_ba", nfa "ba") ]
+      ()
   with
   | Some { Compose.exact = true; mediator; _ } ->
     check "mixed plan accepted" true (Dfa.accepts mediator [ 0; 1; 0 ])
@@ -78,7 +79,7 @@ let test_compose_or_two_components () =
 
 let test_compose_or_impossible () =
   (* goal requires the letter b; only an a-component available *)
-  match Compose.compose_nfa_or ~goal:(nfa "ab") ~components:[ ("c_a", nfa "a") ] with
+  match Compose.compose_nfa_or ~goal:(nfa "ab") ~components:[ ("c_a", nfa "a") ] () with
   | None -> ()
   | Some { Compose.exact; _ } -> check "not exact" false exact
 
@@ -103,6 +104,7 @@ let test_compose_or_pl_goal () =
   match
     Compose.compose_pl_or ~goal
       ~components:[ ("check_x", check_first "x"); ("check_y", check_first "y") ]
+      ()
   with
   | Some { Compose.exact = true; mediator; _ } ->
     (* the mediator must be check_x then check_y: word [0; 1] *)
@@ -224,7 +226,7 @@ let prop_compose_or_sound =
     (fun (goal_s, views_s) ->
       let goal = nfa goal_s in
       let components = List.mapi (fun i s -> (Printf.sprintf "c%d" i, nfa s)) views_s in
-      match Compose.compose_nfa_or ~goal ~components with
+      match Compose.compose_nfa_or ~goal ~components () with
       | None -> true
       | Some { Compose.mediator; exact; _ } ->
         let views = List.map (fun (_, n) -> Compose.minimal_prefix_nfa n) components in

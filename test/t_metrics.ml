@@ -618,6 +618,48 @@ let test_scrape_endpoints () =
       let ncode, _, _ = http_get port "/nope" in
       check_int "unknown path is 404" 404 ncode)
 
+(* ------------------------------------------------------------------ *)
+(* Lazy language-engine gauges                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The three swsd_lang_* gauges bridge Automata.Lang's process-wide
+   counters into every scrape: after one antichain decision the
+   states-explored and peak readings are positive, and the page still
+   validates as a whole. *)
+let test_lang_gauges_exposed () =
+  let tel = Server.Telemetry.create () in
+  let n =
+    Automata.Nfa.of_regex ~alphabet_size:2 (Automata.Regex.parse "(ab)*ab")
+  in
+  (match Automata.Lang.equivalent n n with
+  | Ok true -> ()
+  | _ -> Alcotest.fail "self-equivalence must hold");
+  let body = Server.Telemetry.to_prometheus tel in
+  ignore (validate_exposition body);
+  let lines = String.split_on_char '\n' body in
+  let reading name =
+    match
+      List.find_opt
+        (fun l ->
+          String.length l > String.length name
+          && String.equal (String.sub l 0 (String.length name)) name
+          && l.[String.length name] = ' ')
+        lines
+    with
+    | Some line -> (
+      match String.rindex_opt line ' ' with
+      | Some i ->
+        int_of_string (String.sub line (i + 1) (String.length line - i - 1))
+      | None -> Alcotest.failf "%s: unparsable sample" name)
+    | None -> Alcotest.failf "%s: series missing from the exposition" name
+  in
+  check "states explored positive" true
+    (reading "swsd_lang_states_explored_total" > 0);
+  check "antichain peak positive" true
+    (reading "swsd_lang_antichain_peak" > 0);
+  check "subsumption prunes nonnegative" true
+    (reading "swsd_lang_subsumption_prunes_total" >= 0)
+
 let suite =
   List.map wrap
     [
@@ -634,4 +676,5 @@ let suite =
         test_snapshots_equal_across_jobs );
       ("sampler: every Nth counts exactly", `Quick, test_sampler_exact_every_nth);
       ("scrape endpoints over a real socket", `Quick, test_scrape_endpoints);
+      ("lang engine gauges exposed", `Quick, test_lang_gauges_exposed);
     ]

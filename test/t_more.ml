@@ -100,7 +100,7 @@ let test_compose_pl_or_inexact () =
     Sws_pl.make ~input_vars:[ "x" ] ~start:"q0"
       ~rules:[ ("q0", { Sws_def.succs = []; synth = P.var "x" }) ]
   in
-  match Compose.compose_pl_or ~goal ~components:[ ("cx", check_first) ] with
+  match Compose.compose_pl_or ~goal ~components:[ ("cx", check_first) ] () with
   | Some { Compose.exact; mediator; _ } ->
     check "exact two-chain" true exact;
     check "cx;cx plan" true (Dfa.accepts mediator [ 0; 0 ])

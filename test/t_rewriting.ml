@@ -123,20 +123,20 @@ let nfa s = Nfa.of_regex ~alphabet_size:2 (Regex.parse s)
 
 let test_regex_rewrite_exact () =
   (* target (ab)*; views: E0 = ab.  Rewriting: V0* *)
-  (match Regex_rewrite.rewrite ~target:(nfa "(ab)*") ~views:[ nfa "ab" ] with
+  (match Regex_rewrite.rewrite ~target:(nfa "(ab)*") ~views:[ nfa "ab" ] () with
   | Regex_rewrite.Exact m ->
     check "eps in M" true (Dfa.accepts m []);
     check "V0 in M" true (Dfa.accepts m [ 0 ]);
     check "V0V0 in M" true (Dfa.accepts m [ 0; 0 ])
   | _ -> Alcotest.fail "expected exact rewriting");
   (* target a(ba)*b = (ab)+; views ab: exact, M = V0+ *)
-  match Regex_rewrite.rewrite ~target:(nfa "a(ba)*b") ~views:[ nfa "ab" ] with
+  match Regex_rewrite.rewrite ~target:(nfa "a(ba)*b") ~views:[ nfa "ab" ] () with
   | Regex_rewrite.Exact m -> check "V0 in M" true (Dfa.accepts m [ 0 ])
   | _ -> Alcotest.fail "expected exact rewriting"
 
 let test_regex_rewrite_maximal_only () =
   (* target (ab)|(ba); views: ab only — the maximal rewriting misses ba *)
-  match Regex_rewrite.rewrite ~target:(nfa "ab|ba") ~views:[ nfa "ab" ] with
+  match Regex_rewrite.rewrite ~target:(nfa "ab|ba") ~views:[ nfa "ab" ] () with
   | Regex_rewrite.Maximal m ->
     check "V0 in M" true (Dfa.accepts m [ 0 ]);
     check "M not empty" false (Dfa.is_empty m)
@@ -144,13 +144,13 @@ let test_regex_rewrite_maximal_only () =
 
 let test_regex_rewrite_empty () =
   (* no view word fits inside the target at all *)
-  match Regex_rewrite.rewrite ~target:(nfa "aa") ~views:[ nfa "b" ] with
+  match Regex_rewrite.rewrite ~target:(nfa "aa") ~views:[ nfa "b" ] () with
   | Regex_rewrite.Empty_rewriting -> ()
   | _ -> Alcotest.fail "expected empty rewriting"
 
 let test_regex_rewrite_two_views () =
   (* target (a|b)*; views a and b: M = (V0|V1)* *)
-  match Regex_rewrite.rewrite ~target:(nfa "(a|b)*") ~views:[ nfa "a"; nfa "b" ] with
+  match Regex_rewrite.rewrite ~target:(nfa "(a|b)*") ~views:[ nfa "a"; nfa "b" ] () with
   | Regex_rewrite.Exact m ->
     check "mixed word" true (Dfa.accepts m [ 0; 1; 1; 0 ])
   | _ -> Alcotest.fail "expected exact rewriting"
