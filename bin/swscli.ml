@@ -78,6 +78,22 @@ let no_cache_flag =
 let cache_cap_flag =
   Term.(const (fun cap off -> (cap, off)) $ cache_cap_flag $ no_cache_flag)
 
+(* --snapshot FILE: reload interned state and persistable caches before
+   the command, save them back after — so repeated invocations skip the
+   parse/intern/derive work the first one already paid for. *)
+let snapshot_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot" ] ~docv:"FILE"
+        ~doc:
+          "Warm-start from the binary snapshot at $(docv) if it exists \
+           (interner and persistable result caches), and write the \
+           state back to $(docv) after the command.  Repeated \
+           invocations with the same $(docv) answer repeated work from \
+           the persisted caches instead of recomputing.  Answers are \
+           identical either way.")
+
 (* --strategy: which language engine decides containment/equivalence. *)
 let strategy_flag =
   Arg.(
@@ -111,10 +127,21 @@ let word_string sws w =
   in
   String.init (List.length w) (fun i -> char_of (List.nth w i))
 
-let with_obs ~stats ~trace ~jobs ~cache_cap:(cache_cap, no_cache) f =
+let with_obs ~stats ~trace ~jobs ~cache_cap:(cache_cap, no_cache) ~snapshot f =
   Par.Pool.set_jobs jobs;
   if no_cache then Engine.set_caching false;
   Option.iter (fun n -> Engine.cache_set_caps ~max_entries:n ()) cache_cap;
+  (* Warm-start before the command runs; diagnostics go to stderr so the
+     command's stdout stays byte-identical with and without the flag. *)
+  (match snapshot with
+  | Some path when Sys.file_exists path -> (
+    match Snapshot.load ~path with
+    | Ok (info, c) ->
+      Fmt.epr "snapshot: loaded %s (%d bytes, %d interned, %d cache entries)@."
+        path info.Snapshot.i_bytes c.Snapshot.c_symtab
+        (List.fold_left (fun n (_, k) -> n + k) 0 c.Snapshot.c_caches)
+    | Error m -> Fmt.epr "snapshot: %s: %s (cold start)@." path m)
+  | _ -> ());
   Engine.Stats.reset Engine.Stats.global;
   Obs.Trace.clear_provenances ();
   let session = Option.map (fun _ -> Obs.Trace.install ()) trace in
@@ -128,6 +155,13 @@ let with_obs ~stats ~trace ~jobs ~cache_cap:(cache_cap, no_cache) f =
       | 0 -> ""
       | d -> Printf.sprintf " (%d oldest dropped)" d)
   | _ -> ());
+  (match snapshot with
+  | None -> ()
+  | Some path -> (
+    match Snapshot.save ~caches:true ~path () with
+    | Ok info ->
+      Fmt.epr "snapshot: wrote %s (%d bytes)@." path info.Snapshot.i_bytes
+    | Error m -> Fmt.epr "snapshot: save %s: %s@." path m));
   if stats then Fmt.pr "%a@." Engine.Stats.pp Engine.Stats.global;
   code
 
@@ -175,8 +209,8 @@ let regex_arg name =
     & info [ name ] ~docv:"REGEX"
         ~doc:"Regular expression over letters a..z ('0' empty, '1' epsilon).")
 
-let check stats trace jobs cache_cap strategy regex_s =
-  with_obs ~stats ~trace ~jobs ~cache_cap @@ fun () ->
+let check stats trace jobs cache_cap snapshot strategy regex_s =
+  with_obs ~stats ~trace ~jobs ~cache_cap ~snapshot @@ fun () ->
   match Regex.parse regex_s with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -208,14 +242,14 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const check $ stats_flag $ trace_flag $ jobs_flag $ cache_cap_flag
-      $ strategy_flag $ regex_arg "regex")
+      $ snapshot_flag $ strategy_flag $ regex_arg "regex")
 
 (* ------------------------------------------------------------------ *)
 (* equivalence                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let equivalence stats trace jobs cache_cap strategy left right =
-  with_obs ~stats ~trace ~jobs ~cache_cap @@ fun () ->
+let equivalence stats trace jobs cache_cap snapshot strategy left right =
+  with_obs ~stats ~trace ~jobs ~cache_cap ~snapshot @@ fun () ->
   match Regex.parse left, Regex.parse right with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -239,14 +273,14 @@ let equivalence_cmd =
     (Cmd.info "equivalence" ~doc)
     Term.(
       const equivalence $ stats_flag $ trace_flag $ jobs_flag $ cache_cap_flag
-      $ strategy_flag $ regex_arg "left" $ regex_arg "right")
+      $ snapshot_flag $ strategy_flag $ regex_arg "left" $ regex_arg "right")
 
 (* ------------------------------------------------------------------ *)
 (* compose                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let compose stats trace jobs cache_cap strategy goal views =
-  with_obs ~stats ~trace ~jobs ~cache_cap @@ fun () ->
+let compose stats trace jobs cache_cap snapshot strategy goal views =
+  with_obs ~stats ~trace ~jobs ~cache_cap ~snapshot @@ fun () ->
   match Regex.parse goal, List.map Regex.parse views with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -292,7 +326,7 @@ let compose_cmd =
     (Cmd.info "compose" ~doc)
     Term.(
       const compose $ stats_flag $ trace_flag $ jobs_flag $ cache_cap_flag
-      $ strategy_flag $ regex_arg "goal"
+      $ snapshot_flag $ strategy_flag $ regex_arg "goal"
       $ Arg.(
           value & opt_all string []
           & info [ "view" ] ~docv:"REGEX" ~doc:"Available service (repeatable)."))
@@ -301,8 +335,8 @@ let compose_cmd =
 (* kprefix                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let kprefix stats trace jobs cache_cap regex_s =
-  with_obs ~stats ~trace ~jobs ~cache_cap @@ fun () ->
+let kprefix stats trace jobs cache_cap snapshot regex_s =
+  with_obs ~stats ~trace ~jobs ~cache_cap ~snapshot @@ fun () ->
   match Regex.parse regex_s with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -318,14 +352,16 @@ let kprefix stats trace jobs cache_cap regex_s =
 let kprefix_cmd =
   let doc = "k-prefix recognizability of a regular language (Thm 5.1(4,5))." in
   Cmd.v (Cmd.info "kprefix" ~doc)
-    Term.(const kprefix $ stats_flag $ trace_flag $ jobs_flag $ cache_cap_flag $ regex_arg "regex")
+    Term.(
+      const kprefix $ stats_flag $ trace_flag $ jobs_flag $ cache_cap_flag
+      $ snapshot_flag $ regex_arg "regex")
 
 (* ------------------------------------------------------------------ *)
 (* analyze: a service from a textual specification                      *)
 (* ------------------------------------------------------------------ *)
 
-let analyze stats trace jobs cache_cap file messages =
-  with_obs ~stats ~trace ~jobs ~cache_cap @@ fun () ->
+let analyze stats trace jobs cache_cap snapshot file messages =
+  with_obs ~stats ~trace ~jobs ~cache_cap ~snapshot @@ fun () ->
   match Sws_parser.parse_file file with
   | exception Sws_parser.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -376,6 +412,7 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(
       const analyze $ stats_flag $ trace_flag $ jobs_flag $ cache_cap_flag
+      $ snapshot_flag
       $ Arg.(
           required
           & opt (some file) None
@@ -389,8 +426,8 @@ let analyze_cmd =
 (* explain: run the decision procedures and report their provenance     *)
 (* ------------------------------------------------------------------ *)
 
-let explain stats trace jobs cache_cap strategy json against regex_s =
-  with_obs ~stats ~trace ~jobs ~cache_cap @@ fun () ->
+let explain stats trace jobs cache_cap snapshot strategy json against regex_s =
+  with_obs ~stats ~trace ~jobs ~cache_cap ~snapshot @@ fun () ->
   match Regex.parse regex_s, Option.map Regex.parse against with
   | exception Regex.Parse_error m ->
     Fmt.epr "parse error: %s@." m;
@@ -437,7 +474,7 @@ let explain_cmd =
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(
       const explain $ stats_flag $ trace_flag $ jobs_flag $ cache_cap_flag
-      $ strategy_flag
+      $ snapshot_flag $ strategy_flag
       $ Arg.(
           value & flag
           & info [ "json" ]

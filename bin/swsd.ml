@@ -165,9 +165,20 @@ let slow_ms_flag =
           "Log (warn) and count any request taking at least $(docv) \
            wall-clock milliseconds; 0 disables the check.")
 
+let snapshot_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot" ] ~docv:"PATH"
+        ~doc:
+          "Warm-boot from the binary snapshot at $(docv) if it exists \
+           (interner, persistable caches, seed component registry); a \
+           missing or invalid file degrades to a cold start.  Also the \
+           default target of the $(b,snapshot) wire method.")
+
 let serve socket tcp jobs max_inflight max_frame_bytes cache_cap no_cache
     deadline metrics_port no_metrics log_level log_json trace_sample trace_dir
-    slow_ms =
+    slow_ms snapshot =
   match addr_of ~socket ~tcp with
   | Error m -> `Error (true, m)
   | Ok addr -> (
@@ -195,6 +206,7 @@ let serve socket tcp jobs max_inflight max_frame_bytes cache_cap no_cache
           trace_sample;
           trace_dir;
           slow_ms = (if slow_ms > 0. then Some slow_ms else None);
+          snapshot;
         }
       in
       let t = Server.Daemon.start cfg in
@@ -224,7 +236,7 @@ let serve_cmd =
         (const serve $ socket_flag $ tcp_flag $ jobs_flag $ max_inflight_flag
        $ max_frame_flag $ cache_cap_flag $ no_cache_flag $ deadline_flag
        $ metrics_port_flag $ no_metrics_flag $ log_level_flag $ log_json_flag
-       $ trace_sample_flag $ trace_dir_flag $ slow_ms_flag))
+       $ trace_sample_flag $ trace_dir_flag $ slow_ms_flag $ snapshot_flag))
 
 (* ------------------------------------------------------------------ *)
 (* request                                                             *)
@@ -238,7 +250,7 @@ let method_flag =
         ~doc:
           "Request method: ping, register, unregister, list, check, \
            equivalence, kprefix, compose, stats, cache, metrics, trace, \
-           close.")
+           snapshot, close.")
 
 let param_flags =
   Arg.(
@@ -316,10 +328,37 @@ let request_cmd =
        $ param_json_flags $ meta_flag))
 
 (* ------------------------------------------------------------------ *)
+(* snapshot                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Sugar for [request --method snapshot]: ask the running daemon to dump
+   its live state (interner, persistable caches, this session's component
+   registry) to a snapshot file it can warm-boot from. *)
+
+let snapshot_path_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "path" ] ~docv:"PATH"
+        ~doc:
+          "Write the snapshot to $(docv).  Defaults to the daemon's own \
+           $(b,--snapshot) path when it was started with one.")
+
+let snapshot socket tcp path =
+  let params = match path with None -> [] | Some p -> [ ("path", p) ] in
+  request socket tcp "snapshot" params [] false
+
+let snapshot_cmd =
+  let doc = "ask a running swsd to dump a warm-boot snapshot" in
+  Cmd.v (Cmd.info "snapshot" ~doc)
+    Term.(
+      ret (const snapshot $ socket_flag $ tcp_flag $ snapshot_path_flag))
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "the SWS composition server and its client" in
   let info = Cmd.info "swsd" ~version:"1.0" ~doc in
-  Cmd.group info [ serve_cmd; request_cmd ]
+  Cmd.group info [ serve_cmd; request_cmd; snapshot_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -59,18 +59,45 @@ module type VALUE = sig
   val weight : t -> int
 end
 
+(* Persisted (snapshot) form of a store's contents.  Value bytes are
+   whatever the store's codec produced; the snapshot layer treats them as
+   opaque payloads.  Entries are ordered LRU-first so replaying them
+   through [add] reproduces the recency order. *)
+type dumped_entry = {
+  d_fp : int;
+  d_repr : string;
+  d_epoch : int;
+  d_value : string;
+}
+
+type dumped_store = {
+  d_tag : string;
+      (* unique persistence tag.  NOT the class: several stores of
+         *different* value types share a class (all five decision memos
+         are cls "decision"), and decoding one store's bytes as another
+         store's type would be memory-unsafe under Marshal.  The tag
+         names exactly one (store, value-type, codec) triple. *)
+  d_abi_sensitive : bool;
+      (* true when the value bytes are only valid for the binary that
+         wrote them (Marshal); false for self-describing codecs (JSON) *)
+  d_entries : dumped_entry list; (* LRU first, MRU last *)
+}
+
 (* The registry sees stores through this closure record so stores of
    different value types coexist in one list.  Lock order: the registry
    mutex is only held around list reads/appends; per-store operations
    take only that store's own mutex.  No thread ever holds both except
-   the registry iterators (snapshot/clear_all/set_caps), which acquire
-   registry-then-store — and no store operation takes the registry
-   mutex, so the order is acyclic. *)
+   the registry iterators (snapshot/clear_all/set_caps/dump/restore),
+   which acquire registry-then-store — and no store operation takes the
+   registry mutex, so the order is acyclic. *)
 type registered = {
   r_cls : string;
   r_gauges : unit -> Gauges.t;
   r_clear : unit -> unit;
   r_set_caps : ?max_entries:int -> ?max_bytes:int -> unit -> unit;
+  r_tag : unit -> string option;
+  r_dump : unit -> dumped_store option;
+  r_restore : dumped_store -> int;
 }
 
 let registry_mu = Mutex.create ()
@@ -88,6 +115,13 @@ let registered () =
   rs
 
 module Make (V : VALUE) = struct
+  type codec = {
+    c_tag : string;
+    c_abi : bool;
+    c_enc : V.t -> string option;
+    c_dec : string -> V.t option;
+  }
+
   type node = {
     key : Key.t;
     mutable value : V.t;
@@ -111,6 +145,7 @@ module Make (V : VALUE) = struct
     mutable misses : int;
     mutable evictions : int;
     mutable invalidations : int;
+    mutable persist : codec option;
   }
 
   let locked t f =
@@ -228,6 +263,57 @@ module Make (V : VALUE) = struct
     (match max_bytes with Some n -> t.max_bytes <- max 0 n | None -> ());
     evict_over_caps t
 
+  (* --- persistence --- *)
+
+  let set_codec ?(abi_sensitive = true) t ~tag ~encode ~decode =
+    locked t @@ fun () ->
+    t.persist <-
+      Some { c_tag = tag; c_abi = abi_sensitive; c_enc = encode; c_dec = decode }
+
+  let persist_tag t = locked t @@ fun () -> Option.map (fun c -> c.c_tag) t.persist
+
+  let dump t =
+    locked t @@ fun () ->
+    match t.persist with
+    | None -> None
+    | Some c ->
+      (* Walk the intrusive list tail -> head (LRU -> MRU) so that a
+         restore replaying [add] front to back reproduces the recency
+         order.  Encoding runs under the store mutex — snapshots are
+         rare, and the codec must see a consistent entry set. *)
+      let rec walk acc = function
+        | None -> acc
+        | Some n ->
+          let acc =
+            match c.c_enc n.value with
+            | None -> acc (* unserializable value: skip, don't fail *)
+            | Some bytes ->
+              { d_fp = n.key.Key.fp; d_repr = n.key.Key.repr;
+                d_epoch = n.epoch; d_value = bytes }
+              :: acc
+          in
+          walk acc n.prev
+      in
+      let entries = List.rev (walk [] t.tail) in
+      Some { d_tag = c.c_tag; d_abi_sensitive = c.c_abi; d_entries = entries }
+
+  let restore t dumped =
+    let codec = locked t (fun () -> t.persist) in
+    match codec with
+    | None -> 0
+    | Some c ->
+      (* [add] re-takes the mutex per entry and enforces both caps as it
+         goes, so restoring a snapshot larger than [max_bytes] evicts
+         from the LRU end instead of growing without bound. *)
+      List.fold_left
+        (fun n e ->
+          match c.c_dec e.d_value with
+          | None -> n (* undecodable bytes: skip, don't fail *)
+          | Some v ->
+            add ~epoch:e.d_epoch t (Key.make ~fp:e.d_fp ~repr:e.d_repr) v;
+            n + 1)
+        0 dumped.d_entries
+
   let create ?(max_entries = 4096) ?(max_bytes = 32 * 1024 * 1024) ~cls () =
     let t =
       {
@@ -242,6 +328,7 @@ module Make (V : VALUE) = struct
         misses = 0;
         evictions = 0;
         invalidations = 0;
+        persist = None;
       }
     in
     register
@@ -251,6 +338,9 @@ module Make (V : VALUE) = struct
         r_clear = (fun () -> clear t);
         r_set_caps = (fun ?max_entries ?max_bytes () ->
           set_caps ?max_entries ?max_bytes t ());
+        r_tag = (fun () -> persist_tag t);
+        r_dump = (fun () -> dump t);
+        r_restore = (fun d -> restore t d);
       };
     t
 end
@@ -293,3 +383,29 @@ let clear_all () = List.iter (fun r -> r.r_clear ()) (registered ())
 
 let set_caps ?max_entries ?max_bytes () =
   List.iter (fun r -> r.r_set_caps ?max_entries ?max_bytes ()) (registered ())
+
+(* --- registry-wide persistence --- *)
+
+let dump_persistable () =
+  List.filter_map (fun r -> r.r_dump ()) (registered ())
+  |> List.sort (fun a b -> String.compare a.d_tag b.d_tag)
+
+let restore_persistable dumps =
+  let rs = registered () in
+  List.filter_map
+    (fun d ->
+      (* Restore into the store carrying this exact tag; a dump whose tag
+         no longer exists (the store was retired, or its codec was never
+         installed in this process) is skipped, never misrouted into a
+         store of a different value type. *)
+      match
+        List.find_opt
+          (fun r ->
+            match r.r_tag () with
+            | Some tag -> String.equal tag d.d_tag
+            | None -> false)
+          rs
+      with
+      | None -> None
+      | Some r -> Some (d.d_tag, r.r_restore d))
+    dumps

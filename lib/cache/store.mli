@@ -71,6 +71,31 @@ module type VALUE = sig
       [repr] length on top). *)
 end
 
+(** {1 Persisted form}
+
+    Stores opt into snapshot persistence by installing a codec
+    ({!Make.set_codec}) under a process-unique {e tag}.  The tag — not
+    the class — keys dump/restore routing: several stores of different
+    value types may share a class, and decoding one store's bytes as
+    another's type would be memory-unsafe under [Marshal]. *)
+
+type dumped_entry = {
+  d_fp : int;
+  d_repr : string;
+  d_epoch : int;
+  d_value : string;  (** opaque codec output *)
+}
+
+type dumped_store = {
+  d_tag : string;
+  d_abi_sensitive : bool;
+      (** [true] when the value bytes are only valid for the exact binary
+          that wrote them (Marshal codecs); [false] for self-describing
+          codecs (JSON).  The snapshot layer drops abi-sensitive sections
+          when the loading binary differs from the writing one. *)
+  d_entries : dumped_entry list;  (** LRU first, MRU last *)
+}
+
 module Make (V : VALUE) : sig
   type t
 
@@ -96,6 +121,35 @@ module Make (V : VALUE) : sig
   val clear : t -> unit
   val length : t -> int
   val gauges : t -> Gauges.t
+
+  val set_codec :
+    ?abi_sensitive:bool ->
+    t ->
+    tag:string ->
+    encode:(V.t -> string option) ->
+    decode:(string -> V.t option) ->
+    unit
+  (** Opt this store into snapshot persistence.  [tag] must be unique
+      process-wide (convention: ["layer/store"], e.g.
+      ["decision/pl_word"]).  [encode] returns [None] for values that
+      cannot be serialized (they are skipped, not fatal); [decode]
+      returns [None] for bytes it cannot decode (skipped on restore).
+      [abi_sensitive] defaults to [true] — set [false] only for
+      self-describing codecs valid across binaries. *)
+
+  val persist_tag : t -> string option
+  (** The installed codec's tag, if any. *)
+
+  val dump : t -> dumped_store option
+  (** Entries LRU-first under the installed codec; [None] when no codec
+      is installed.  Unserializable values are silently skipped. *)
+
+  val restore : t -> dumped_store -> int
+  (** Decode and [add] each entry in order (LRU-first replay reproduces
+      recency), enforcing both caps as it goes — restoring a snapshot
+      larger than [max_bytes] evicts from the LRU end rather than
+      growing without bound.  Returns the number of entries restored.
+      No-op ([0]) when no codec is installed. *)
 end
 
 (** {1 Global registry} *)
@@ -121,3 +175,11 @@ val clear_all : unit -> unit
 val set_caps : ?max_entries:int -> ?max_bytes:int -> unit -> unit
 (** Re-cap every registered store, evicting immediately if the new caps
     are already exceeded.  Omitted caps are left unchanged. *)
+
+val dump_persistable : unit -> dumped_store list
+(** Dump every store with an installed codec, sorted by tag. *)
+
+val restore_persistable : dumped_store list -> (string * int) list
+(** Route each dump to the live store carrying its exact tag and restore
+    it; dumps whose tag matches no live store are skipped.  Returns
+    [(tag, entries_restored)] for each dump that found its store. *)

@@ -207,6 +207,11 @@ end)
 
 let pl_or_store = Pl_or_memo.create ~cls:"compose" ()
 
+(* Snapshot persistence: [pl_composition] is pure data (a [Dfa.t] is
+   ints, int arrays and an int set), so the Marshal codec is sound under
+   the snapshot layer's abi stamp. *)
+let () = Pl_or_memo.persist_marshal pl_or_store ~tag:"compose/pl_or"
+
 (* CP(SWS(PL, PL), MDT(∨), SWS(PL, PL)) with a PL goal service.  The
    exactness check (closed expansion equivalent to the goal) runs on the
    lazy engine: the closed expansion is the spliced view NFA and is never
@@ -340,6 +345,12 @@ module Mdtb_memo = Engine.Memo (struct
 end)
 
 let mdtb_store = Mdtb_memo.create ~cls:"compose" ()
+
+(* Persisted like [pl_or_store]: plans and exhausted records are pure
+   data.  The only cached [No_mediator_within_bound] is the decisive
+   [`Candidates] trip (see [cacheable_mdtb]), so persisting resident
+   entries never persists a budget artifact. *)
+let () = Mdtb_memo.persist_marshal mdtb_store ~tag:"compose/mdtb"
 
 (* [Found] is decisive; so is running the plan space dry ([`Candidates]
    after a complete enumeration) — the space itself is in the key via

@@ -103,6 +103,19 @@ let cq_ne_store = Cq_ne_memo.create ~cls:"decision" ()
 let cq_val_store = Cq_val_memo.create ~cls:"decision" ()
 let cq_equiv_store = Cq_equiv_memo.create ~cls:"decision" ()
 
+(* Snapshot persistence (DESIGN.md §4k).  Only the PL stores: their
+   values are pure data (assignment lists are [Set.Make(String)] sets),
+   so a Marshal codec is sound under the abi stamp.  The CQ stores stay
+   process-local — their witnesses embed [Database.t], whose shared
+   [Index.t] holds per-domain shard initializers (closures), and Marshal
+   would reject or, worse, a layout change would misdecode them.  Tags,
+   not the shared "decision" class, route restore: each tag names exactly
+   one (store, value type) pair. *)
+let () =
+  Pl_word_memo.persist_marshal pl_word_store ~tag:"decision/pl_word";
+  Pl_word_equiv_memo.persist_marshal pl_word_equiv_store
+    ~tag:"decision/pl_word_equiv"
+
 (* Exact canonical key components.  The leading tag names the procedure,
    so stores shared by several procedures never mix their answers. *)
 let key tag parts = Cache.Store.Key.of_parts (tag :: parts)

@@ -577,6 +577,70 @@ module Memo (V : MEMO_VALUE) = struct
     | None -> true
     | Some cached -> Budget.subsumes ~cached ~req
 
+  (* --- snapshot persistence ---
+
+     A persisted entry is the budget metadata as its JSON wire form
+     (`Budget.to_json`: stable, no Marshal), length-prefixed, followed by
+     the value codec's bytes.  Keeping the budget out of the opaque value
+     payload means budget-monotone serving survives a reload: a restored
+     answer computed under depth 4 still refuses a depth-8 request.
+     Exhausted results are never cached (the [cacheable] gate in [run]),
+     so they are never persisted either — the dump only sees resident
+     entries. *)
+
+  let encode_entry enc e =
+    match enc e.Entry.v with
+    | None -> None
+    | Some value_bytes ->
+      let budget_json =
+        match e.Entry.under with
+        | None -> ""
+        | Some b -> Obs.Json.to_string (Budget.to_json b)
+      in
+      Some
+        (Printf.sprintf "%d:%s%s" (String.length budget_json) budget_json
+           value_bytes)
+
+  let decode_entry dec s =
+    match String.index_opt s ':' with
+    | None -> None
+    | Some colon -> (
+      match int_of_string_opt (String.sub s 0 colon) with
+      | None -> None
+      | Some blen when blen < 0 || colon + 1 + blen > String.length s -> None
+      | Some blen -> (
+        let budget_json = String.sub s (colon + 1) blen in
+        let value_bytes =
+          String.sub s (colon + 1 + blen)
+            (String.length s - colon - 1 - blen)
+        in
+        let under =
+          if String.equal budget_json "" then Ok None
+          else
+            match Obs.Json.of_string budget_json with
+            | Error e -> Error e
+            | Ok j -> Result.map Option.some (Budget.of_json j)
+        in
+        match under with
+        | Error _ -> None
+        | Ok under -> (
+          match dec value_bytes with
+          | None -> None
+          | Some v -> Some { Entry.under; v })))
+
+  let set_persist ?abi_sensitive t ~tag ~encode ~decode =
+    S.set_codec ?abi_sensitive t.store ~tag ~encode:(encode_entry encode)
+      ~decode:(decode_entry decode)
+
+  (* Marshal codec for stores whose value type is pure data (no closures,
+     no custom blocks beyond ints/strings): the bytes are tied to this
+     exact binary, which the snapshot layer enforces via the
+     abi-sensitive flag before any [Marshal.from_string] runs. *)
+  let persist_marshal t ~tag =
+    set_persist t ~tag
+      ~encode:(fun v -> try Some (Marshal.to_string v []) with _ -> None)
+      ~decode:(fun s -> try Some (Marshal.from_string s 0) with _ -> None)
+
   let run t ?(stats = Stats.global) ?budget ?epoch ~name ~key ~outcome
       ~cacheable f =
     if not (caching_enabled ()) then run ~stats ~name ~outcome f

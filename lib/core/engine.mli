@@ -304,6 +304,25 @@ module Memo (V : MEMO_VALUE) : sig
       pass it otherwise.  [epoch] stamps/validates entries against a
       registry epoch (see [Cache.Store.find]).  When the global cache
       switch is off this is exactly {!run}. *)
+
+  val set_persist :
+    ?abi_sensitive:bool ->
+    t ->
+    tag:string ->
+    encode:(V.t -> string option) ->
+    decode:(string -> V.t option) ->
+    unit
+  (** Opt this memo into snapshot persistence under process-unique
+      [tag] (see [Cache.Store.set_codec]).  The budget an entry was
+      computed under travels alongside the value as its JSON wire form
+      ([Budget.to_json]), so budget-monotone serving survives a reload;
+      [Exhausted] answers are never cached, hence never persisted. *)
+
+  val persist_marshal : t -> tag:string -> unit
+  (** {!set_persist} with a [Marshal] codec.  Only for value types that
+      are pure data (no closures, no abstract custom blocks): the bytes
+      are abi-sensitive, and the snapshot layer refuses to decode them
+      in any binary other than the one that wrote them. *)
 end
 
 (** {1 Cache registry surface}

@@ -235,6 +235,46 @@ let values r =
   |> List.map Value.of_id
   |> List.sort Value.compare
 
+(* ------------------------------------------------------------------ *)
+(* Packed form (snapshots)                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Row-major flat id array, [cardinal r * arity r] long.  Row order is the
+   bucket-map order — unspecified but irrelevant: [of_packed] rebuilds the
+   same set whatever the order, and [equal] ignores it. *)
+let dump r =
+  let ids = Array.make (r.size * r.arity) 0 in
+  let pos = ref 0 in
+  iter_interned
+    (fun it ->
+      for j = 0 to r.arity - 1 do
+        ids.(!pos) <- Repr.Ituple.get it j;
+        incr pos
+      done)
+    r;
+  ids
+
+(* Bulk inverse of [dump]: one pass groups rows into hash buckets in a
+   mutable table (dedup within bucket), then the persistent map is built
+   once per bucket — n map insertions total instead of n re-balancing
+   [add_interned] rounds each allocating an intermediate record. *)
+let of_packed ~arity ~n ids =
+  if arity < 0 || n < 0 || Array.length ids <> arity * n then
+    invalid_arg "Relation.of_packed: flat array length <> arity * n";
+  let tbl = Hashtbl.create (max 16 (min n 65536)) in
+  let size = ref 0 in
+  for i = 0 to n - 1 do
+    let it = Repr.Ituple.of_array (Array.sub ids (i * arity) arity) in
+    let h = Repr.Ituple.hash it in
+    let bucket = Option.value ~default:[] (Hashtbl.find_opt tbl h) in
+    if not (List.exists (Repr.Ituple.equal it) bucket) then begin
+      Hashtbl.replace tbl h (it :: bucket);
+      incr size
+    end
+  done;
+  let buckets = Hashtbl.fold Imap.add tbl Imap.empty in
+  build_sized arity buckets !size
+
 let pp ppf r =
   Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any "; ") Tuple.pp) (to_list r)
 

@@ -68,5 +68,16 @@ val map_tuples : (Tuple.t -> Tuple.t) -> t -> t
 (** Sorted list of the distinct values occurring in the relation. *)
 val values : t -> Value.t list
 
+(** Row-major flat array of interned ids, [cardinal * arity] long — the
+    snapshot wire form.  Row order is unspecified; {!of_packed} rebuilds
+    the same set from any order. *)
+val dump : t -> int array
+
+(** Bulk inverse of {!dump}: [of_packed ~arity ~n ids] rebuilds a relation
+    from [n] rows of [arity] ids in one pass (single bucket-table build, no
+    per-row persistent-map rebalancing).  Duplicate rows collapse.  Raises
+    [Invalid_argument] when [Array.length ids <> arity * n]. *)
+val of_packed : arity:int -> n:int -> int array -> t
+
 val pp : t Fmt.t
 val to_string : t -> string

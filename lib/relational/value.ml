@@ -86,3 +86,10 @@ let id = function
 let of_id i = if i < 0 then Frozen (-i - 1) else Tab.extern Tab.global i
 
 let interner_size () = Tab.size Tab.global
+
+(* Snapshot support: the persisted form of the id space is simply every
+   interned value in id order.  [Frozen] values never appear — they live in
+   the negative arithmetic range and never reach the table — so a snapshot
+   holds only [Int]/[Str] values and id stability reduces to re-interning
+   the dump front to back. *)
+let interner_dump () = Tab.dump Tab.global

@@ -45,3 +45,9 @@ val of_id : int -> t
 
 (** Number of distinct values interned so far (an [Engine.Stats] gauge). *)
 val interner_size : unit -> int
+
+(** Every interned value in id order ([interner_dump ()].(i) has id [i]).
+    Contains no [Frozen] values (those live in the negative id range and
+    never enter the table).  The snapshot layer persists this array and
+    re-interns it front to back on load to re-establish id stability. *)
+val interner_dump : unit -> t array

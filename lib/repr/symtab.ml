@@ -23,6 +23,7 @@ module type S = sig
   val intern : t -> key -> int
   val extern : t -> int -> key
   val size : t -> int
+  val dump : t -> key array
 end
 
 module Make (H : HASHED) : S with type key = H.t = struct
@@ -79,4 +80,9 @@ module Make (H : HASHED) : S with type key = H.t = struct
         else t.keys.(id))
 
   let size t = Mutex.protect t.lock (fun () -> t.next)
+
+  let dump t =
+    (* A copy, not the live array: the caller (snapshot writer) walks it
+       outside the lock while other threads may keep interning. *)
+    Mutex.protect t.lock (fun () -> Array.sub t.keys 0 t.next)
 end

@@ -32,6 +32,12 @@ module type S = sig
 
   (** Number of distinct keys interned so far. *)
   val size : t -> int
+
+  (** All interned keys in id order ([dump t].(i) has id [i]): the exact
+      content a snapshot must persist so a fresh process re-interning the
+      array front to back reproduces every id.  Returns a copy; safe to
+      walk while other threads intern. *)
+  val dump : t -> key array
 end
 
 module Make (H : HASHED) : S with type key = H.t

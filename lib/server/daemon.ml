@@ -23,6 +23,7 @@ type config = {
   trace_sample : int option;
   trace_dir : string option;
   slow_ms : float option;
+  snapshot : string option;
 }
 
 let default_config addr =
@@ -47,6 +48,7 @@ let default_config addr =
     trace_dir = None;
     (* a second of wall clock on one request is news worth a log line *)
     slow_ms = Some 1000.;
+    snapshot = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -74,6 +76,24 @@ end)
 let l1_store = Reply_store.create ~max_entries:1024 ~cls:"server_l1" ()
 let l2_store = Reply_store.create ~max_entries:1024 ~cls:"server_l2" ()
 
+(* Snapshot persistence for L2 only.  Payloads are JSON, so the codec is
+   self-describing and survives binary upgrades ([abi_sensitive:false]).
+   L2 keys embed the resolved content (regex ASTs, effective budget), so
+   a restored entry is correct in any process — it is what makes the
+   first post-restart request a warm hit.  L1 deliberately gets no
+   codec: its keys embed the session id and are validated by the
+   registry epoch, and both counters restart from the same values after
+   a reboot — a persisted L1 entry computed against one session's
+   registry could collide with an unrelated session that happens to
+   reuse the sid and epoch number. *)
+let () =
+  let encode j = Some (J.to_string j) in
+  let decode s =
+    match J.of_string s with Ok j -> Some j | Error _ -> None
+  in
+  Reply_store.set_codec ~abi_sensitive:false l2_store ~tag:"server/l2" ~encode
+    ~decode
+
 type cache_source = [ `Off | `Miss | `L1 | `L2 ]
 
 let cache_source_string = function
@@ -93,6 +113,20 @@ let regex_repr r = Marshal.to_string r [ Marshal.No_sharing ]
 
 let budget_repr (b : Engine.Budget.t) = Marshal.to_string b [ Marshal.No_sharing ]
 
+(* Provenance of the snapshot this daemon booted from, surfaced by the
+   [stats] wire method and frozen at [start]. *)
+type snapshot_prov = {
+  sp_path : string;
+  sp_version : int;
+  sp_digest : int;
+  sp_bytes : int;
+  sp_load_ms : float;
+  sp_sections : (string * int) list;
+  sp_symtab : int;
+  sp_cache_entries : int;
+  sp_caches_skipped : string list;
+}
+
 type t = {
   config : config;
   tel : Telemetry.t;
@@ -105,6 +139,8 @@ type t = {
   mutable http : Http.t option;
   conns_mu : Mutex.t;
   mutable conns : (Unix.file_descr * Thread.t) list;
+  mutable snap_prov : snapshot_prov option;
+  mutable seed_components : (int * (string * string) list) option;
 }
 
 let bound_addr t = t.bound
@@ -238,7 +274,29 @@ let l2 ~csrc parts (f : unit -> (reply, reply) result) : (reply, reply) result
       r
   end
 
-let dispatch cfg session ~tel ~sink ~csrc (req : Protocol.request) : reply =
+let snapshot_prov_json t =
+  match t.snap_prov with
+  | None -> J.Obj [ ("loaded", J.Bool false) ]
+  | Some p ->
+    J.Obj
+      [
+        ("loaded", J.Bool true);
+        ("path", J.String p.sp_path);
+        ("format_version", J.Int p.sp_version);
+        ("digest", J.String (Printf.sprintf "%x" p.sp_digest));
+        ("bytes", J.Int p.sp_bytes);
+        ("load_ms", J.Float p.sp_load_ms);
+        ( "sections",
+          J.Obj (List.map (fun (tag, n) -> (tag, J.Int n)) p.sp_sections) );
+        ("symtab", J.Int p.sp_symtab);
+        ("cache_entries", J.Int p.sp_cache_entries);
+        ( "caches_skipped",
+          J.List (List.map (fun s -> J.String s) p.sp_caches_skipped) );
+      ]
+
+let dispatch t session ~sink ~csrc (req : Protocol.request) : reply =
+  let cfg = t.config in
+  let tel = t.tel in
   let params = req.P.params in
   let result : (reply, reply) result =
     match req.P.meth with
@@ -521,7 +579,55 @@ let dispatch cfg session ~tel ~sink ~csrc (req : Protocol.request) : reply =
                 ( "counters",
                   Engine.Stats.snapshot_json (Session.stats session) );
                 ("cache", Engine.cache_gauges_json (Engine.cache_snapshot ()));
+                ("snapshot", snapshot_prov_json t);
               ]))
+    | "snapshot" ->
+      let* () = check_keys params [ "path" ] in
+      let* path =
+        match J.member "path" params with
+        | Some (J.String p) -> Ok p
+        | Some _ -> bad "parameter \"path\" must be a string"
+        | None -> (
+          match cfg.snapshot with
+          | Some p -> Ok p
+          | None -> bad "no \"path\" given and the daemon has no --snapshot")
+      in
+      let comps =
+        List.map
+          (fun c -> (c.Session.name, c.Session.spec))
+          (Session.components session)
+      in
+      (* epoch-stamped: cached replies persisted here were stamped with
+         the session epoch at the time they were computed, and the seeded
+         session after a restart starts at least at this epoch *)
+      (match
+         Snapshot.save ~components:(Session.epoch session, comps) ~path ()
+       with
+      | Error msg -> Error (`Error (P.err_internal, msg))
+      | Ok info ->
+        Telemetry.snapshot_saved tel ~bytes:info.Snapshot.i_bytes;
+        Obs.Log.info
+          ~fields:
+            [
+              ("path", J.String info.Snapshot.i_path);
+              ("bytes", J.Int info.Snapshot.i_bytes);
+            ]
+          "snapshot written";
+        Ok
+          (`Ok
+             (J.Obj
+                [
+                  ("path", J.String info.Snapshot.i_path);
+                  ("bytes", J.Int info.Snapshot.i_bytes);
+                  ("format_version", J.Int info.Snapshot.i_version);
+                  ("digest", J.String (Printf.sprintf "%x" info.Snapshot.i_digest));
+                  ("epoch", J.Int (Session.epoch session));
+                  ( "sections",
+                    J.Obj
+                      (List.map
+                         (fun (tag, n) -> (tag, J.Int n))
+                         info.Snapshot.i_sections) );
+                ])))
     | "metrics" ->
       let* () = check_keys params [] in
       Ok
@@ -590,8 +696,9 @@ let dispatch cfg session ~tel ~sink ~csrc (req : Protocol.request) : reply =
 (* Per-request envelope: stats sink, provenance, meta                  *)
 (* ------------------------------------------------------------------ *)
 
-let handle cfg tel session (req : Protocol.request) : J.t * [ `Keep | `Close ]
-    =
+let handle t session (req : Protocol.request) : J.t * [ `Keep | `Close ] =
+  let cfg = t.config in
+  let tel = t.tel in
   let trace_id = Session.next_trace_id session in
   let sink = Engine.Stats.create () in
   let before = Engine.Stats.snapshot sink in
@@ -610,7 +717,7 @@ let handle cfg tel session (req : Protocol.request) : J.t * [ `Keep | `Close ]
         | `Exhausted (e : Engine.exhausted) -> Obs.Trace.Tripped e.Engine.limit)
       (fun () ->
         let compute () =
-          try dispatch cfg session ~tel ~sink ~csrc req
+          try dispatch t session ~sink ~csrc req
           with e -> `Error (P.err_internal, Printexc.to_string e)
         in
         if not (Engine.caching_enabled () && cacheable_method req.P.meth)
@@ -717,6 +824,14 @@ let handle cfg tel session (req : Protocol.request) : J.t * [ `Keep | `Close ]
 let serve_conn t fd =
   let cfg = t.config in
   let session = Session.create ~sid:(Atomic.fetch_and_add t.next_sid 1) in
+  (* warm boot: every fresh session starts from the snapshot's component
+     registry (and at least its epoch), so a client reconnecting after a
+     restart sees the components it registered before it *)
+  (match t.seed_components with
+  | Some (epoch, comps) ->
+    ignore
+      (Session.seed session ~max_components:cfg.max_components ~epoch comps)
+  | None -> ());
   Telemetry.connection_opened t.tel;
   Telemetry.session_started t.tel;
   let respond json = Protocol.write_frame fd (J.to_string json) in
@@ -764,7 +879,7 @@ let serve_conn t fd =
                    spawning domain's runtime lock, the pool runs requests
                    in real parallel *)
                 Par.Pool.await
-                  (Par.Pool.async (fun () -> handle cfg t.tel session req)))
+                  (Par.Pool.async (fun () -> handle t session req)))
           in
           respond response;
           keep
@@ -920,8 +1035,64 @@ let start config =
       http = None;
       conns_mu = Mutex.create ();
       conns = [];
+      snap_prov = None;
+      seed_components = None;
     }
   in
+  (* Warm boot, before the accept thread exists: the first connection must
+     already see the restored interner, caches and seed registry.  Any
+     failure (absent file, corruption, version skew) degrades to a cold
+     start — a bad snapshot must never keep the daemon down. *)
+  (match config.snapshot with
+  | None -> ()
+  | Some path when not (Sys.file_exists path) ->
+    Obs.Log.info
+      ~fields:[ ("path", J.String path) ]
+      "snapshot absent; cold start"
+  | Some path -> (
+    let t0 = Obs.Clock.now_ns () in
+    match Snapshot.load ~path with
+    | Error msg ->
+      Obs.Log.warn
+        ~fields:[ ("path", J.String path); ("error", J.String msg) ]
+        "snapshot load failed; cold start"
+    | Ok (info, contents) ->
+      let dur_ns = Int64.to_int (Obs.Clock.elapsed_ns t0) in
+      let load_ms = Obs.Clock.ns_to_ms (Int64.of_int dur_ns) in
+      Telemetry.snapshot_loaded tel ~dur_ns ~bytes:info.Snapshot.i_bytes
+        ~sections:(List.length info.Snapshot.i_sections);
+      let cache_entries =
+        List.fold_left (fun n (_, k) -> n + k) 0 contents.Snapshot.c_caches
+      in
+      t.snap_prov <-
+        Some
+          {
+            sp_path = path;
+            sp_version = info.Snapshot.i_version;
+            sp_digest = info.Snapshot.i_digest;
+            sp_bytes = info.Snapshot.i_bytes;
+            sp_load_ms = load_ms;
+            sp_sections = info.Snapshot.i_sections;
+            sp_symtab = contents.Snapshot.c_symtab;
+            sp_cache_entries = cache_entries;
+            sp_caches_skipped = contents.Snapshot.c_caches_skipped;
+          };
+      t.seed_components <- contents.Snapshot.c_components;
+      Obs.Log.info
+        ~fields:
+          [
+            ("path", J.String path);
+            ("bytes", J.Int info.Snapshot.i_bytes);
+            ("load_ms", J.Float load_ms);
+            ("symtab", J.Int contents.Snapshot.c_symtab);
+            ("cache_entries", J.Int cache_entries);
+            ( "components",
+              J.Int
+                (match contents.Snapshot.c_components with
+                | Some (_, cs) -> List.length cs
+                | None -> 0) );
+          ]
+        "snapshot loaded"));
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
   (match config.metrics_port with
   | Some port ->

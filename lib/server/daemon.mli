@@ -61,6 +61,12 @@ type config = {
       (** requests at least this many wall-clock milliseconds long are
           counted and logged at warn level with their provenance
           outcome; [None] disables the check (default 1000 ms) *)
+  snapshot : string option;
+      (** warm-boot path ([--snapshot]): loaded at {!start} if the file
+          exists (interner, persistable caches, seed component registry
+          for every fresh session); any load failure degrades to a cold
+          start.  Also the default dump target of the [snapshot] wire
+          method when the request carries no ["path"]. *)
 }
 
 val default_config : Protocol.addr -> config

@@ -53,6 +53,14 @@ val register :
   t -> max_components:int -> name:string -> spec:string ->
   (component, [ `Bad of string | `Full ]) result
 
+(** [seed t ~max_components ~epoch comps] registers each [(name, spec)]
+    from a snapshot's COMP section (unparsable specs are skipped) and
+    pins the session epoch to at least [epoch], so reply-cache entries
+    persisted mid-session can never be re-served under a smaller epoch
+    after a restart.  Returns the number of components registered. *)
+val seed :
+  t -> max_components:int -> epoch:int -> (string * string) list -> int
+
 (** [true] if the component existed. *)
 val unregister : t -> string -> bool
 

@@ -22,6 +22,7 @@ let known_methods =
     "cache";
     "metrics";
     "trace";
+    "snapshot";
     "close";
     "other";
   ]
@@ -52,6 +53,11 @@ type t = {
   last : J.t option Atomic.t;
   taken : M.Counter.t;
   skipped : M.Counter.t;
+  snap_loads : M.Counter.t;
+  snap_saves : M.Counter.t;
+  snap_load_ns : M.Gauge.t;
+  snap_bytes : M.Gauge.t;
+  snap_sections : M.Gauge.t;
 }
 
 let create ?trace_sample ?trace_dir () =
@@ -114,6 +120,24 @@ let create ?trace_sample ?trace_dir () =
       ~help:"Sampler hits skipped because a capture was already running"
       "swsd_trace_samples_skipped"
   in
+  let snap_loads =
+    M.counter reg ~help:"Snapshots loaded since start" "swsd_snapshot_loads"
+  in
+  let snap_saves =
+    M.counter reg ~help:"Snapshots written since start" "swsd_snapshot_saves"
+  in
+  let snap_load_ns =
+    M.gauge reg ~help:"Duration of the last snapshot load, nanoseconds"
+      "swsd_snapshot_load_duration_ns"
+  in
+  let snap_bytes =
+    M.gauge reg ~help:"Size of the last snapshot loaded or written, bytes"
+      "swsd_snapshot_bytes"
+  in
+  let snap_sections =
+    M.gauge reg ~help:"Sections decoded by the last snapshot load"
+      "swsd_snapshot_sections_loaded"
+  in
   M.gauge_fn reg ~help:"Seconds since the daemon started" "swsd_uptime_seconds"
     (fun () -> int_of_float (Unix.gettimeofday () -. started_at));
   M.gauge_fn reg ~help:"Daemon start time, seconds since the Unix epoch"
@@ -153,6 +177,11 @@ let create ?trace_sample ?trace_dir () =
     last = Atomic.make None;
     taken;
     skipped;
+    snap_loads;
+    snap_saves;
+    snap_load_ns;
+    snap_bytes;
+    snap_sections;
   }
 
 let registry t = t.reg
@@ -194,6 +223,16 @@ let wire_error t code =
   | None -> ()
 
 let slow_request t = M.Counter.inc t.slow
+
+let snapshot_loaded t ~dur_ns ~bytes ~sections =
+  M.Counter.inc t.snap_loads;
+  M.Gauge.set t.snap_load_ns dur_ns;
+  M.Gauge.set t.snap_bytes bytes;
+  M.Gauge.set t.snap_sections sections
+
+let snapshot_saved t ~bytes =
+  M.Counter.inc t.snap_saves;
+  M.Gauge.set t.snap_bytes bytes
 
 (* ------------------------------------------------------------------ *)
 (* Sampled request tracing                                             *)

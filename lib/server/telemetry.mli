@@ -45,6 +45,13 @@ val budget_trip : t -> Obs.Trace.limit -> unit
 val wire_error : t -> string -> unit
 val slow_request : t -> unit
 
+val snapshot_loaded : t -> dur_ns:int -> bytes:int -> sections:int -> unit
+(** Count one snapshot load and set the [swsd_snapshot_*] gauges (load
+    duration, file bytes, sections decoded). *)
+
+val snapshot_saved : t -> bytes:int -> unit
+(** Count one snapshot write and update the size gauge. *)
+
 (** {1 Sampled request tracing}
 
     {!with_sample} counts {e every} request exactly (one atomic add) and

@@ -27,4 +27,5 @@ let () =
       ("server", T_server.suite);
       ("cache", T_cache.suite);
       ("metrics", T_metrics.suite);
+      ("snapshot", T_snapshot.suite);
     ]
